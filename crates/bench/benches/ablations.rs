@@ -1,0 +1,61 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! governor policy, UFPG zone count, cache sleep mode, in-place vs
+//! external retention, and the C6A/C6AE split.
+
+use agilewatts::experiments::{
+    enhanced_split, governor_ablation, retention_ablation, sleep_mode_ablation,
+    zone_count_ablation, SweepParams,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let params = SweepParams::default();
+
+    println!("\nGovernor ablation (Memcached @ 300K QPS):");
+    for r in governor_ablation(&params, 300_000.0) {
+        println!(
+            "  {:<8} AvgP {:>7.1} mW  p99 {:>7.2} µs  deep residency {:>5.1}%",
+            r.governor, r.avg_power_mw, r.p99_us, r.deep_residency_pct
+        );
+    }
+
+    println!("\nUFPG zone-count ablation:");
+    for r in zone_count_ablation() {
+        println!(
+            "  {:>2} zones: staggered {:>6.1} ns, simultaneous peak {:>4.1}× AVX",
+            r.zones, r.staggered_latency_ns, r.simultaneous_peak
+        );
+    }
+
+    let s = sleep_mode_ablation();
+    println!(
+        "\nCache sleep-mode ablation: C6A {} with vs {} without (+{})",
+        s.with_sleep_mode, s.without_sleep_mode, s.penalty
+    );
+
+    let r = retention_ablation();
+    println!(
+        "Retention ablation: exit {} in-place vs {} external; entry {} vs {}",
+        r.in_place_exit, r.external_exit, r.in_place_entry, r.external_entry
+    );
+
+    let e = enhanced_split(&params, 300_000.0);
+    println!(
+        "C6AE split: {:.1}% savings with C6AE vs {:.1}% with C6A only\n",
+        e.with_c6ae_pct, e.c6a_only_pct
+    );
+
+    let quick = SweepParams::quick();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("governor_quick", |b| {
+        b.iter(|| std::hint::black_box(governor_ablation(&quick, 60_000.0).len()))
+    });
+    g.bench_function("retention", |b| {
+        b.iter(|| std::hint::black_box(retention_ablation().in_place_exit))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Fig. 10: AW against each tuned configuration (twin
+//! methodology: same enable mask with C1/C1E replaced by C6A/C6AE).
+
+use agilewatts::experiments::{Fig10, SweepParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", Fig10::new(SweepParams::default()).run());
+
+    let quick = SweepParams::quick();
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("aw_vs_tuned_quick", |b| {
+        b.iter(|| std::hint::black_box(Fig10::new(quick.clone()).run().rows.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

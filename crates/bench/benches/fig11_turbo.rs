@@ -1,0 +1,27 @@
+//! Regenerates Fig. 11: the idle-state / Turbo interplay.
+
+use agilewatts::experiments::{Fig11, SweepParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let report = Fig11::new(SweepParams::default()).run();
+    println!("\n{report}");
+    for cfg in ["T_No_C6", "T_No_C6,No_C1E", "T_C6A,No_C6,No_C1E"] {
+        println!(
+            "{cfg}: mean p99 {:.2} µs, turbo busy {:.0}%",
+            report.mean_p99(cfg),
+            report.mean_turbo(cfg) * 100.0
+        );
+    }
+
+    let quick = SweepParams::quick();
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("turbo_interplay_quick", |b| {
+        b.iter(|| std::hint::black_box(Fig11::new(quick.clone()).run().rows.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

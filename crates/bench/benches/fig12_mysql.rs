@@ -1,0 +1,18 @@
+//! Regenerates Fig. 12: the MySQL/sysbench-OLTP evaluation.
+
+use agilewatts::experiments::Fig12;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", Fig12::default().run_all());
+
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("mysql_quick", |b| {
+        b.iter(|| std::hint::black_box(Fig12::quick().run_all().rows.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

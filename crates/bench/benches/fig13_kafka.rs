@@ -1,0 +1,18 @@
+//! Regenerates Fig. 13: the Apache Kafka evaluation.
+
+use agilewatts::experiments::Fig13;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", Fig13::default().run_all());
+
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("kafka_quick", |b| {
+        b.iter(|| std::hint::black_box(Fig13::quick().run_all().rows.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates the Fig. 6 / Sec. 5.2 flow latencies and microbenchmarks
+//! the cycle-level PMA FSM.
+
+use agilewatts::aw_pma::PmaFsm;
+use agilewatts::experiments::flow_latencies;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let f = flow_latencies();
+    println!("\nFig. 6 / Sec. 5.2 flow latencies:");
+    println!("  C1 round trip:      {}", f.c1_round_trip);
+    println!("  C6 entry / exit:    {} / {}", f.c6_entry, f.c6_exit);
+    println!("  C6A entry (budget): {} (measured {})", f.c6a_entry_budget, f.c6a_entry_measured);
+    println!("  C6A exit  (budget): {} (measured {})", f.c6a_exit_budget, f.c6a_exit_measured);
+    println!("  speedup vs C6:      {:.0}×", f.speedup_vs_c6);
+
+    c.bench_function("fig6_entry_exit_round_trip", |b| {
+        b.iter(|| {
+            let mut fsm = PmaFsm::new_c6a();
+            let e = fsm.run_entry();
+            let x = fsm.run_exit();
+            std::hint::black_box(e.total() + x.total())
+        })
+    });
+    c.bench_function("fig6_snoop_flow", |b| {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.run_entry();
+        b.iter(|| std::hint::black_box(fsm.run_snoop(2).total()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Fig. 8: Memcached, AW vs the baseline configuration.
+//! The full sweep is printed; the benchmark times a reduced sweep point.
+
+use agilewatts::experiments::{Fig8, SweepParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", Fig8::new(SweepParams::default()).run());
+
+    let quick = SweepParams::quick();
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("memcached_sweep_quick", |b| {
+        b.iter(|| std::hint::black_box(Fig8::new(quick.clone()).run().rows.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates Fig. 9: the tuned (Turbo-disabled) configurations.
+
+use agilewatts::experiments::{Fig9, SweepParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", Fig9::new(SweepParams::default()).run());
+
+    let quick = SweepParams::quick();
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("tuned_configs_quick", |b| {
+        b.iter(|| std::hint::black_box(Fig9::new(quick.clone()).run().rows.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

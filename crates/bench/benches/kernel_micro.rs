@@ -1,0 +1,73 @@
+//! Microbenchmarks of the simulation kernel itself: event-queue
+//! throughput, RNG/distribution sampling, and the online statistics the
+//! hot simulation loop leans on.
+
+use agilewatts::aw_sim::{
+    Distribution, EventQueue, Exponential, LogNormal, OnlineStats, P2Quantile, SampleSet, SimRng,
+};
+use agilewatts::aw_types::Nanos;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        let mut rng = SimRng::seed(1);
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u32 {
+                q.schedule(Nanos::new(rng.uniform() * 1e6), i);
+            }
+            let mut last = 0u32;
+            while let Some((_, e)) = q.pop() {
+                last = e;
+            }
+            std::hint::black_box(last)
+        })
+    });
+
+    c.bench_function("exponential_sample", |b| {
+        let d = Exponential::with_mean(1_000.0);
+        let mut rng = SimRng::seed(2);
+        b.iter(|| std::hint::black_box(d.sample(&mut rng)))
+    });
+
+    c.bench_function("lognormal_sample", |b| {
+        let d = LogNormal::from_median(1_000.0, 0.4);
+        let mut rng = SimRng::seed(3);
+        b.iter(|| std::hint::black_box(d.sample(&mut rng)))
+    });
+
+    c.bench_function("online_stats_record", |b| {
+        let mut s = OnlineStats::new();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1.0;
+            s.record(x);
+            std::hint::black_box(s.mean())
+        })
+    });
+
+    c.bench_function("p2_quantile_record", |b| {
+        let mut p = P2Quantile::new(0.99);
+        let mut rng = SimRng::seed(4);
+        b.iter(|| {
+            p.record(rng.uniform());
+            std::hint::black_box(p.estimate())
+        })
+    });
+
+    c.bench_function("exact_percentile_10k", |b| {
+        let mut rng = SimRng::seed(5);
+        let mut s = SampleSet::new();
+        for _ in 0..10_000 {
+            s.record(rng.uniform());
+        }
+        b.iter_batched(
+            || s.clone(),
+            |mut s| std::hint::black_box(s.percentile(0.99)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates the Sec. 6.3 power-model validation.
+
+use agilewatts::experiments::Validation;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", Validation::default().run());
+
+    let mut g = c.benchmark_group("sec63");
+    g.sample_size(10);
+    g.bench_function("validation_quick", |b| {
+        b.iter(|| std::hint::black_box(Validation::quick().run().mean_accuracy_pct()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates the Sec. 7.5 snoop-impact bounds.
+
+use agilewatts::experiments::snoop_impact;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = snoop_impact();
+    println!("\nSec. 7.5 — snoop impact (100% idle core):");
+    println!("  C1:  {} quiet, {} snooping", s.c1_quiet, s.c1_snooping);
+    println!("  C6A: {} quiet, {} snooping", s.c6a_quiet, s.c6a_snooping);
+    println!(
+        "  AW savings: {:.1}% quiet, {:.1}% snooping ({:.1} points lost)",
+        s.savings_quiet_pct, s.savings_snooping_pct, s.lost_pct
+    );
+
+    c.bench_function("sec75_snoop_bounds", |b| {
+        b.iter(|| std::hint::black_box(snoop_impact().lost_pct))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

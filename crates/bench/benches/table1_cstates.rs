@@ -1,0 +1,27 @@
+//! Regenerates Table 1 (the C-state parameter catalog) and benchmarks
+//! catalog construction + rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated table once so the bench log carries the data.
+    println!("\n{}", agilewatts::experiments::table1());
+    println!("{}", agilewatts::experiments::table2());
+    for row in agilewatts::experiments::motivation() {
+        println!(
+            "Eq. 1 — {}: C0/C1/C6 = {:.0}/{:.0}/{:.0}% → savings bound {:.1}%",
+            row.label,
+            row.residencies_pct.0,
+            row.residencies_pct.1,
+            row.residencies_pct.2,
+            row.savings_pct
+        );
+    }
+
+    c.bench_function("table1_generate", |b| {
+        b.iter(|| std::hint::black_box(agilewatts::experiments::table1().to_string()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates Table 3 (the AW PPA cost model) and benchmarks the model.
+
+use agilewatts::aw_power::PpaModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", agilewatts::experiments::table3());
+    let m = PpaModel::skylake();
+    println!(
+        "C6A total: {}–{} (mid {}); C6AE total: {}–{} (mid {})",
+        m.c6a_total().low,
+        m.c6a_total().high,
+        m.c6a_total().mid(),
+        m.c6ae_total().low,
+        m.c6ae_total().high,
+        m.c6ae_total().mid()
+    );
+
+    c.bench_function("table3_ppa_model", |b| {
+        b.iter(|| {
+            let m = PpaModel::skylake();
+            std::hint::black_box((m.c6a_total(), m.c6ae_total(), m.rows().len()))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

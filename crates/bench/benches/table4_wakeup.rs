@@ -1,0 +1,25 @@
+//! Regenerates Table 4 (power-gating scheme comparison) and benchmarks
+//! the staggered-wake in-rush simulation.
+
+use agilewatts::aw_pma::{Ufpg, WakePolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", agilewatts::experiments::table4());
+    let ufpg = Ufpg::skylake_c6a();
+    for policy in [WakePolicy::Staggered, WakePolicy::Simultaneous, WakePolicy::Instantaneous] {
+        let w = ufpg.wake(policy);
+        println!(
+            "{policy:?}: latency {}, peak {:.1}× AVX reference",
+            w.latency,
+            w.peak_current()
+        );
+    }
+
+    c.bench_function("table4_staggered_wake", |b| {
+        b.iter(|| std::hint::black_box(ufpg.wake(WakePolicy::Staggered).peak_current()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

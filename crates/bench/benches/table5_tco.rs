@@ -1,0 +1,19 @@
+//! Regenerates Table 5 (yearly datacenter savings per 100K servers).
+
+use agilewatts::experiments::{table5, Table5Params};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", table5(&Table5Params::default()));
+
+    let quick = Table5Params::quick();
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.bench_function("tco_sweep_quick", |b| {
+        b.iter(|| std::hint::black_box(table5(&quick).rows.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

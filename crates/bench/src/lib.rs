@@ -1,0 +1,1 @@
+//! Benchmark harness crate (see benches/).

@@ -1,0 +1,313 @@
+//! Hand-rolled argument parsing.
+
+use std::fmt;
+
+use agilewatts::aw_cstates::NamedConfig;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `table <n>`
+    Table(u8),
+    /// `fig <n> [--quick]`
+    Fig {
+        /// Figure number (8–13).
+        number: u8,
+        /// Reduced parameter set.
+        quick: bool,
+    },
+    /// `flows`
+    Flows,
+    /// `motivation [--simulated]`
+    Motivation {
+        /// Derive the residency profiles from simulation instead of
+        /// quoting the published ones.
+        simulated: bool,
+    },
+    /// `package [--quick]`
+    Package {
+        /// Reduced parameter set.
+        quick: bool,
+    },
+    /// `diurnal [--quick]`
+    Diurnal {
+        /// Reduced parameter set.
+        quick: bool,
+    },
+    /// `snoop`
+    Snoop,
+    /// `validate [--quick]`
+    Validate {
+        /// Reduced parameter set.
+        quick: bool,
+    },
+    /// `ablations [--quick]`
+    Ablations {
+        /// Reduced parameter set.
+        quick: bool,
+    },
+    /// `sweep [OPTIONS]`
+    Sweep(SweepArgs),
+    /// `report [--quick]`
+    Report {
+        /// Reduced parameter set.
+        quick: bool,
+    },
+    /// `help` / `--help` / no arguments.
+    Help,
+}
+
+/// Options of the `sweep` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Workload selector.
+    pub workload: String,
+    /// Offered load (memcached only).
+    pub qps: f64,
+    /// C-state configuration.
+    pub config: NamedConfig,
+    /// Core count.
+    pub cores: usize,
+    /// Simulated duration in milliseconds.
+    pub duration_ms: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            workload: "memcached".to_string(),
+            qps: 300_000.0,
+            config: NamedConfig::Baseline,
+            cores: 10,
+            duration_ms: 400.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Parse failures, with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn named_config(name: &str) -> Result<NamedConfig, ParseError> {
+    NamedConfig::ALL
+        .iter()
+        .find(|c| c.to_string().eq_ignore_ascii_case(name))
+        .copied()
+        .ok_or_else(|| ParseError(format!("unknown config '{name}'")))
+}
+
+fn has_quick(rest: &[String]) -> Result<bool, ParseError> {
+    match rest {
+        [] => Ok(false),
+        [flag] if flag == "--quick" => Ok(true),
+        [other, ..] => Err(ParseError(format!("unexpected argument '{other}'"))),
+    }
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first invalid argument.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "table" => {
+            let [n] = rest else {
+                return Err(ParseError("usage: table <1|2|3|4|5>".into()));
+            };
+            let n: u8 = n.parse().map_err(|_| ParseError(format!("bad table number '{n}'")))?;
+            if (1..=5).contains(&n) {
+                Ok(Command::Table(n))
+            } else {
+                Err(ParseError(format!("no table {n} in the paper (1–5)")))
+            }
+        }
+        "fig" => {
+            let Some((n, flags)) = rest.split_first() else {
+                return Err(ParseError("usage: fig <8|9|10|11|12|13> [--quick]".into()));
+            };
+            let number: u8 =
+                n.parse().map_err(|_| ParseError(format!("bad figure number '{n}'")))?;
+            if !(8..=13).contains(&number) {
+                return Err(ParseError(format!("no figure {number} experiment (8–13)")));
+            }
+            Ok(Command::Fig { number, quick: has_quick(flags)? })
+        }
+        "flows" => has_quick(rest).map(|_| Command::Flows),
+        "motivation" => match rest {
+            [] => Ok(Command::Motivation { simulated: false }),
+            [flag] if flag == "--simulated" => Ok(Command::Motivation { simulated: true }),
+            [other, ..] => Err(ParseError(format!("unexpected argument '{other}'"))),
+        },
+        "package" => Ok(Command::Package { quick: has_quick(rest)? }),
+        "diurnal" => Ok(Command::Diurnal { quick: has_quick(rest)? }),
+        "snoop" => has_quick(rest).map(|_| Command::Snoop),
+        "validate" => Ok(Command::Validate { quick: has_quick(rest)? }),
+        "ablations" => Ok(Command::Ablations { quick: has_quick(rest)? }),
+        "report" => Ok(Command::Report { quick: has_quick(rest)? }),
+        "sweep" => parse_sweep(rest).map(Command::Sweep),
+        other => Err(ParseError(format!("unknown command '{other}' (try 'help')"))),
+    }
+}
+
+fn parse_sweep(rest: &[String]) -> Result<SweepArgs, ParseError> {
+    let mut args = SweepArgs::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| ParseError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--workload" => args.workload = value("--workload")?,
+            "--qps" => {
+                let v = value("--qps")?;
+                args.qps = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad --qps value '{v}'")))?;
+                if args.qps <= 0.0 {
+                    return Err(ParseError("--qps must be positive".into()));
+                }
+            }
+            "--config" => args.config = named_config(&value("--config")?)?,
+            "--cores" => {
+                let v = value("--cores")?;
+                args.cores = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad --cores value '{v}'")))?;
+                if args.cores == 0 {
+                    return Err(ParseError("--cores must be positive".into()));
+                }
+            }
+            "--duration-ms" => {
+                let v = value("--duration-ms")?;
+                args.duration_ms = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad --duration-ms value '{v}'")))?;
+                if args.duration_ms <= 0.0 {
+                    return Err(ParseError("--duration-ms must be positive".into()));
+                }
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed =
+                    v.parse().map_err(|_| ParseError(format!("bad --seed value '{v}'")))?;
+            }
+            other => return Err(ParseError(format!("unknown sweep option '{other}'"))),
+        }
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn tables_parse_and_validate() {
+        assert_eq!(parse(&argv("table 3")).unwrap(), Command::Table(3));
+        assert!(parse(&argv("table 7")).is_err());
+        assert!(parse(&argv("table")).is_err());
+        assert!(parse(&argv("table x")).is_err());
+    }
+
+    #[test]
+    fn figs_parse_with_quick() {
+        assert_eq!(parse(&argv("fig 8")).unwrap(), Command::Fig { number: 8, quick: false });
+        assert_eq!(
+            parse(&argv("fig 12 --quick")).unwrap(),
+            Command::Fig { number: 12, quick: true }
+        );
+        assert!(parse(&argv("fig 7")).is_err());
+        assert!(parse(&argv("fig 8 --fast")).is_err());
+    }
+
+    #[test]
+    fn simple_commands() {
+        assert_eq!(parse(&argv("flows")).unwrap(), Command::Flows);
+        assert_eq!(
+            parse(&argv("motivation")).unwrap(),
+            Command::Motivation { simulated: false }
+        );
+        assert_eq!(
+            parse(&argv("motivation --simulated")).unwrap(),
+            Command::Motivation { simulated: true }
+        );
+        assert_eq!(parse(&argv("package --quick")).unwrap(), Command::Package { quick: true });
+        assert_eq!(parse(&argv("diurnal")).unwrap(), Command::Diurnal { quick: false });
+        assert_eq!(parse(&argv("snoop")).unwrap(), Command::Snoop);
+        assert_eq!(parse(&argv("validate --quick")).unwrap(), Command::Validate { quick: true });
+        assert_eq!(parse(&argv("report")).unwrap(), Command::Report { quick: false });
+    }
+
+    #[test]
+    fn sweep_defaults() {
+        let Command::Sweep(s) = parse(&argv("sweep")).unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(s, SweepArgs::default());
+    }
+
+    #[test]
+    fn sweep_full_options() {
+        let cmd = parse(&argv(
+            "sweep --workload kafka-low --qps 50000 --config NT_No_C6 --cores 4 --duration-ms 80 --seed 7",
+        ))
+        .unwrap();
+        let Command::Sweep(s) = cmd else { panic!("expected sweep") };
+        assert_eq!(s.workload, "kafka-low");
+        assert_eq!(s.qps, 50_000.0);
+        assert_eq!(s.config, NamedConfig::NtNoC6);
+        assert_eq!(s.cores, 4);
+        assert_eq!(s.duration_ms, 80.0);
+        assert_eq!(s.seed, 7);
+    }
+
+    #[test]
+    fn sweep_config_is_case_insensitive() {
+        let Command::Sweep(s) = parse(&argv("sweep --config aw")).unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(s.config, NamedConfig::Aw);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_values() {
+        assert!(parse(&argv("sweep --qps -5")).is_err());
+        assert!(parse(&argv("sweep --cores 0")).is_err());
+        assert!(parse(&argv("sweep --config NoSuch")).is_err());
+        assert!(parse(&argv("sweep --qps")).is_err());
+        assert!(parse(&argv("sweep --frobnicate 3")).is_err());
+    }
+
+    #[test]
+    fn unknown_command_suggests_help() {
+        let err = parse(&argv("fgi 8")).unwrap_err();
+        assert!(err.to_string().contains("help"));
+    }
+}

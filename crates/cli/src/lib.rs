@@ -1,0 +1,61 @@
+//! # aw-cli — the `agilewatts` command-line tool
+//!
+//! A thin, dependency-free front end over the [`agilewatts`] experiment
+//! API: regenerate any table or figure of the paper, or run a one-off
+//! simulation with custom parameters.
+//!
+//! ```console
+//! $ agilewatts table 3
+//! $ agilewatts fig 8 --quick
+//! $ agilewatts sweep --workload memcached --qps 300000 --config AW
+//! $ agilewatts report --quick
+//! ```
+//!
+//! The argument parser is hand-rolled (no external CLI dependency) and
+//! lives here so it can be unit-tested; `main.rs` only dispatches.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod args;
+mod run;
+
+pub use args::{parse, Command, ParseError, SweepArgs};
+pub use run::execute;
+
+/// The CLI usage text.
+pub const USAGE: &str = "\
+agilewatts — reproduce the AgileWatts (MICRO 2022) evaluation
+
+USAGE:
+    agilewatts <COMMAND> [OPTIONS]
+
+COMMANDS:
+    table <1|2|3|4|5>      regenerate one of the paper's tables
+    fig <8|9|10|11|12|13>  regenerate one of the paper's figures
+    flows                  transition-latency budget (Figs. 3/6, Sec. 5.2)
+    motivation             the Sec. 2 Eq. 1 savings bounds
+                           (--simulated derives the profiles in the DES)
+    package                the package-C-state (uncore) analysis
+    diurnal                AW savings under a day/night load swing
+    snoop                  the Sec. 7.5 snoop-impact bounds
+    validate               the Sec. 6.3 power-model validation
+    ablations              the design-choice ablation suite
+    sweep [OPTIONS]        one custom simulation run
+    report                 every artifact in one run
+    help                   print this message
+
+OPTIONS (fig/validate/ablations/report):
+    --quick                reduced parameter set (seconds, not minutes)
+
+OPTIONS (sweep):
+    --workload <memcached|kafka-low|kafka-high|mysql-low|mysql-mid|mysql-high|
+                websearch-25|websearch-50>
+    --qps <N>              offered load (memcached only; default 300000)
+    --config <NAME>        Baseline | NT_Baseline | NT_No_C6 | NT_No_C6,No_C1E |
+                           T_No_C6 | T_No_C6,No_C1E | AW | NT_AW |
+                           T_C6A,No_C6,No_C1E | NT_C6A,No_C6,No_C1E
+    --cores <N>            core count (default 10)
+    --duration-ms <N>      simulated milliseconds (default 400)
+    --seed <N>             RNG seed (default 42)
+";

@@ -1,0 +1,20 @@
+//! The `agilewatts` binary: parse arguments, dispatch, report errors.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match aw_cli::parse(&args) {
+        Ok(command) => match aw_cli::execute(&command) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", aw_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Command execution: maps a parsed [`Command`] onto the experiment API.
+
+use agilewatts::aw_server::{ServerConfig, ServerSim, WorkloadSpec};
+use agilewatts::aw_types::Nanos;
+use agilewatts::aw_workloads::{
+    kafka, memcached_etc, mysql_oltp, websearch, KafkaRate, MysqlRate,
+};
+use agilewatts::experiments::{
+    enhanced_split, flow_latencies, governor_ablation, motivation, motivation_simulated,
+    retention_ablation, sleep_mode_ablation, snoop_impact, table1, table2, table3, table4,
+    table5, zone_count_ablation, Diurnal, Fig10, Fig11, Fig12, Fig13, Fig8, Fig9,
+    PackageAnalysis, SweepParams, Table5Params, Validation,
+};
+
+use crate::args::{Command, ParseError, SweepArgs};
+use crate::USAGE;
+
+fn sweep_params(quick: bool) -> SweepParams {
+    if quick {
+        SweepParams::quick()
+    } else {
+        SweepParams::default()
+    }
+}
+
+fn workload_by_name(args: &SweepArgs) -> Result<WorkloadSpec, ParseError> {
+    match args.workload.as_str() {
+        "memcached" => Ok(memcached_etc(args.qps)),
+        "kafka-low" => Ok(kafka(KafkaRate::Low)),
+        "kafka-high" => Ok(kafka(KafkaRate::High)),
+        "mysql-low" => Ok(mysql_oltp(MysqlRate::Low)),
+        "mysql-mid" => Ok(mysql_oltp(MysqlRate::Mid)),
+        "mysql-high" => Ok(mysql_oltp(MysqlRate::High)),
+        "websearch-25" => Ok(websearch(0.25, args.cores)),
+        "websearch-50" => Ok(websearch(0.5, args.cores)),
+        other => Err(ParseError(format!("unknown workload '{other}'"))),
+    }
+}
+
+/// Executes a command, writing its report to stdout.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for semantic errors detectable only at
+/// execution time (e.g., an unknown workload name).
+pub fn execute(command: &Command) -> Result<(), ParseError> {
+    match command {
+        Command::Help => println!("{USAGE}"),
+        Command::Table(1) => println!("{}", table1()),
+        Command::Table(2) => println!("{}", table2()),
+        Command::Table(3) => println!("{}", table3()),
+        Command::Table(4) => println!("{}", table4()),
+        Command::Table(5) => println!("{}", table5(&Table5Params::default())),
+        Command::Table(n) => return Err(ParseError(format!("no table {n}"))),
+        Command::Fig { number, quick } => run_fig(*number, *quick)?,
+        Command::Flows => {
+            let f = flow_latencies();
+            println!("C1 round trip:        {}", f.c1_round_trip);
+            println!("C6 entry / exit:      {} / {}", f.c6_entry, f.c6_exit);
+            println!(
+                "C6A entry / exit:     {} / {} (measured)",
+                f.c6a_entry_measured, f.c6a_exit_measured
+            );
+            println!("C6A speedup over C6:  {:.0}×", f.speedup_vs_c6);
+        }
+        Command::Motivation { simulated } => {
+            let rows = if *simulated { motivation_simulated(42) } else { motivation() };
+            for r in rows {
+                println!(
+                    "{:<40} C0/C1/C6 = {:>3.0}/{:>3.0}/{:>3.0}% → {:>5.1}% savings bound",
+                    r.label,
+                    r.residencies_pct.0,
+                    r.residencies_pct.1,
+                    r.residencies_pct.2,
+                    r.savings_pct
+                );
+            }
+        }
+        Command::Package { quick } => {
+            let pkg = if *quick { PackageAnalysis::quick() } else { PackageAnalysis::default() };
+            for r in pkg.run() {
+                println!(
+                    "{:<16} {:<9} PC0/PC2/PC6 = {:>5.1}/{:>5.1}/{:>5.1}%  uncore {:>7.1} mW  core {:>7.1} mW",
+                    r.workload, r.config, r.package_pct[0], r.package_pct[1],
+                    r.package_pct[2], r.uncore_mw, r.core_mw
+                );
+            }
+        }
+        Command::Diurnal { quick } => {
+            let d = if *quick { Diurnal::quick() } else { Diurnal::default() };
+            let r = d.run();
+            println!(
+                "stationary savings {:.1}%, diurnal savings {:.1}% (baseline {:.0} mW → AW {:.0} mW, tail Δ {:+.1}%)",
+                r.stationary_savings_pct,
+                r.diurnal_savings_pct,
+                r.baseline_power_mw,
+                r.aw_power_mw,
+                r.tail_delta_pct
+            );
+        }
+        Command::Snoop => {
+            let s = snoop_impact();
+            println!(
+                "AW savings: {:.1}% quiet → {:.1}% snooping ({:.1} points lost)",
+                s.savings_quiet_pct, s.savings_snooping_pct, s.lost_pct
+            );
+        }
+        Command::Validate { quick } => {
+            let v = if *quick { Validation::quick() } else { Validation::default() };
+            println!("{}", v.run());
+        }
+        Command::Ablations { quick } => run_ablations(*quick),
+        Command::Sweep(args) => run_sweep(args)?,
+        Command::Report { quick } => run_report(*quick)?,
+    }
+    Ok(())
+}
+
+fn run_fig(number: u8, quick: bool) -> Result<(), ParseError> {
+    let params = sweep_params(quick);
+    match number {
+        8 => println!("{}", Fig8::new(params).run()),
+        9 => println!("{}", Fig9::new(params).run()),
+        10 => println!("{}", Fig10::new(params).run()),
+        11 => println!("{}", Fig11::new(params).run()),
+        12 => {
+            let f = if quick { Fig12::quick() } else { Fig12::default() };
+            println!("{}", f.run_all());
+        }
+        13 => {
+            let f = if quick { Fig13::quick() } else { Fig13::default() };
+            println!("{}", f.run_all());
+        }
+        n => return Err(ParseError(format!("no figure {n}"))),
+    }
+    Ok(())
+}
+
+fn run_ablations(quick: bool) {
+    let params = sweep_params(quick);
+    let qps = if quick { 60_000.0 } else { 300_000.0 };
+    println!("Governors (Memcached @ {qps:.0} QPS):");
+    for r in governor_ablation(&params, qps) {
+        println!(
+            "  {:<8} AvgP {:>7.1} mW  p99 {:>7.2} µs  deep {:>5.1}%",
+            r.governor, r.avg_power_mw, r.p99_us, r.deep_residency_pct
+        );
+    }
+    println!("UFPG zones:");
+    for r in zone_count_ablation() {
+        println!(
+            "  {:>2} zones: staggered {:>5.1} ns, simultaneous peak {:>4.1}×",
+            r.zones, r.staggered_latency_ns, r.simultaneous_peak
+        );
+    }
+    let s = sleep_mode_ablation();
+    println!("Cache sleep mode: {} with vs {} without", s.with_sleep_mode, s.without_sleep_mode);
+    let r = retention_ablation();
+    println!("Retention: exit {} in-place vs {} external", r.in_place_exit, r.external_exit);
+    let e = enhanced_split(&params, qps);
+    println!("C6AE split: {:.1}% with C6AE vs {:.1}% C6A-only", e.with_c6ae_pct, e.c6a_only_pct);
+}
+
+fn run_sweep(args: &SweepArgs) -> Result<(), ParseError> {
+    let workload = workload_by_name(args)?;
+    let config = ServerConfig::new(args.cores, args.config)
+        .with_duration(Nanos::from_millis(args.duration_ms));
+    let metrics = ServerSim::new(config, workload, args.seed).run();
+    println!("{metrics}");
+    println!(
+        "  package:   {} ({} uncore), PC0/PC2/PC6 = {}/{}/{}",
+        metrics.package_power(),
+        metrics.avg_uncore_power,
+        metrics.package_residency[0],
+        metrics.package_residency[1],
+        metrics.package_residency[2],
+    );
+    Ok(())
+}
+
+fn run_report(quick: bool) -> Result<(), ParseError> {
+    for n in 1..=5 {
+        execute(&Command::Table(n))?;
+    }
+    execute(&Command::Motivation { simulated: false })?;
+    execute(&Command::Flows)?;
+    for number in 8..=13 {
+        run_fig(number, quick)?;
+    }
+    execute(&Command::Validate { quick })?;
+    execute(&Command::Snoop)?;
+    run_ablations(quick);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_execute() {
+        for n in 1..=4 {
+            // Table 5 runs simulations; covered by the quick sweep below.
+            execute(&Command::Table(n)).unwrap();
+        }
+        assert!(execute(&Command::Table(6)).is_err());
+    }
+
+    #[test]
+    fn cheap_commands_execute() {
+        execute(&Command::Flows).unwrap();
+        execute(&Command::Motivation { simulated: false }).unwrap();
+        execute(&Command::Snoop).unwrap();
+        execute(&Command::Help).unwrap();
+    }
+
+    #[test]
+    fn quick_sweep_executes() {
+        let args = SweepArgs {
+            cores: 2,
+            duration_ms: 20.0,
+            qps: 50_000.0,
+            ..SweepArgs::default()
+        };
+        run_sweep(&args).unwrap();
+    }
+
+    #[test]
+    fn unknown_workload_errors() {
+        let args = SweepArgs { workload: "redis".into(), ..SweepArgs::default() };
+        assert!(run_sweep(&args).is_err());
+    }
+
+    #[test]
+    fn all_workload_names_resolve() {
+        for name in [
+            "memcached",
+            "kafka-low",
+            "kafka-high",
+            "mysql-low",
+            "mysql-mid",
+            "mysql-high",
+            "websearch-25",
+            "websearch-50",
+        ] {
+            let args = SweepArgs { workload: name.into(), ..SweepArgs::default() };
+            assert!(workload_by_name(&args).is_ok(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Lightweight report types: text tables and data series.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// A renderable text table (the form every "Table N" experiment emits).
+///
+/// # Examples
+///
+/// ```
+/// use agilewatts::TextTable;
+///
+/// let mut t = TextTable::new("Demo", &["state", "power"]);
+/// t.push_row(vec!["C1".into(), "1.44W".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("C1"));
+/// assert!(s.contains("power"));
+/// ```
+#[derive(Debug, Clone, Serialize)]
+pub struct TextTable {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must match the header count.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting for cells
+    /// containing commas or quotes), for plotting pipelines.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use agilewatts::TextTable;
+    ///
+    /// let mut t = TextTable::new("T", &["a", "b"]);
+    /// t.push_row(vec!["1".into(), "x,y".into()]);
+    /// assert_eq!(t.to_csv(), "a,b\n1,\"x,y\"\n");
+    /// ```
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        writeln!(f, "=== {} ===", self.title)?;
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            line.push_str(&format!("{h:<w$}  "));
+        }
+        writeln!(f, "{}", line.trim_end())?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (cell, w) in row.iter().zip(&widths) {
+                line.push_str(&format!("{cell:<w$}  "));
+            }
+            writeln!(f, "{}", line.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+/// A named (x, y) series — the form every "Fig. N" experiment emits.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Series label (e.g. a configuration name).
+    pub name: String,
+    /// `(x, y)` points in sweep order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Renders the series as two-column CSV (`x,y` with a header).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("x,{}\n", self.name.replace(',', ";"));
+        for (x, y) in &self.points {
+            out.push_str(&format!("{x},{y}\n"));
+        }
+        out
+    }
+
+    /// The y value at the first x ≥ `x`, if any.
+    #[must_use]
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| *px >= x).map(|&(_, y)| y)
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:", self.name)?;
+        for (x, y) in &self.points {
+            if x.fract() == 0.0 {
+                write!(f, " ({x:.0}, {y:.3})")?;
+            } else {
+                write!(f, " ({x}, {y:.3})")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("T", &["a", "bbbb"]);
+        t.push_row(vec!["xxxxx".into(), "y".into()]);
+        let s = t.to_string();
+        assert!(s.contains("=== T ==="));
+        assert!(s.contains("xxxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new("T", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_and_renders() {
+        let mut t = TextTable::new("T", &["name", "value"]);
+        t.push_row(vec!["plain".into(), "1".into()]);
+        t.push_row(vec!["with,comma".into(), "quote\"d".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",\"quote\"\"d\"");
+    }
+
+    #[test]
+    fn series_csv() {
+        let mut s = Series::new("power");
+        s.push(1.0, 2.5);
+        assert_eq!(s.to_csv(), "x,power\n1,2.5\n");
+    }
+
+    #[test]
+    fn series_lookup() {
+        let mut s = Series::new("s");
+        s.push(10.0, 1.0);
+        s.push(20.0, 2.0);
+        assert_eq!(s.y_at(15.0), Some(2.0));
+        assert_eq!(s.y_at(10.0), Some(1.0));
+        assert_eq!(s.y_at(30.0), None);
+    }
+
+    #[test]
+    fn series_display() {
+        let mut s = Series::new("power");
+        s.push(100.0, 0.5);
+        assert_eq!(s.to_string(), "power: (100, 0.500)");
+    }
+}

@@ -1,0 +1,346 @@
+//! The C-state parameter catalog (paper Table 1).
+
+use std::collections::BTreeMap;
+
+use aw_types::{MilliWatts, Nanos};
+use serde::{Deserialize, Serialize};
+
+use crate::{CState, FreqLevel};
+
+/// Per-C-state parameters: latencies, target residency, and power.
+///
+/// `transition_time` is Table 1's worst-case software+hardware entry+exit
+/// budget (what the OS governor reasons about); `entry_latency` and
+/// `exit_latency` split it into the phase before the core is fully idle and
+/// the phase between the wake interrupt and the first retired instruction
+/// (what a queued request actually waits for).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CStateParams {
+    /// Which state these parameters describe.
+    pub state: CState,
+    /// Worst-case total software+hardware entry+exit time (Table 1).
+    pub transition_time: Nanos,
+    /// Time from the MWAIT until the state's power level is reached.
+    pub entry_latency: Nanos,
+    /// Time from the wake interrupt until the core executes instructions.
+    pub exit_latency: Nanos,
+    /// Minimum residency for the transition to pay off energetically
+    /// (Table 1's "target residency"); governors compare predicted idle
+    /// time against this.
+    pub target_residency: Nanos,
+    /// Core power while resident at base frequency (P1).
+    pub power_p1: MilliWatts,
+    /// Core power while resident at minimum frequency (Pn).
+    pub power_pn: MilliWatts,
+}
+
+impl CStateParams {
+    /// Power while resident in this state at frequency level `level`.
+    ///
+    /// States that pin a level (C1E/C6AE are defined at Pn) report that
+    /// level's power regardless of the argument.
+    #[must_use]
+    pub fn power(&self, level: FreqLevel) -> MilliWatts {
+        match self.state.freq_level() {
+            FreqLevel::Pn => self.power_pn,
+            FreqLevel::P1 => match level {
+                FreqLevel::P1 => self.power_p1,
+                FreqLevel::Pn => self.power_pn,
+            },
+        }
+    }
+}
+
+/// The catalog mapping every modeled C-state to its parameters.
+///
+/// Defaults reproduce Table 1 of the paper for an Intel Skylake server
+/// (SKX) core; [`CStateCatalog::skylake_with_aw`] adds the AgileWatts C6A
+/// and C6AE rows. Individual rows can be overridden (e.g., to plug in power
+/// numbers computed by the `aw-power` PPA model) via
+/// [`CStateCatalog::set_params`].
+///
+/// # Examples
+///
+/// ```
+/// use aw_cstates::{CState, CStateCatalog};
+/// use aw_types::Nanos;
+///
+/// let cat = CStateCatalog::skylake_with_aw();
+/// // C6 transition is ~66× the C1/C6A transition budget (133 µs vs 2 µs)
+/// let ratio = cat.params(CState::C6).transition_time
+///     / cat.params(CState::C6A).transition_time;
+/// assert!(ratio > 60.0);
+/// // ...and ~1700× the C6A *hardware* exit latency (30 µs vs 80 ns),
+/// // which is where the paper's "up to 900×" transition speedup lives.
+/// let hw = cat.params(CState::C6).exit_latency.as_nanos()
+///     / cat.params(CState::C6A).hw_exit_latency().as_nanos();
+/// assert!(hw > 300.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CStateCatalog {
+    params: BTreeMap<CState, CStateParams>,
+}
+
+impl CStateParams {
+    /// The pure hardware exit latency, excluding the shared software
+    /// overhead (interrupt delivery, kernel idle-loop exit).
+    ///
+    /// For the AW states this is the Fig. 6 flow latency (< 80 ns exit,
+    /// Sec. 5.2.2); for C1 a few nanoseconds of clock-ungating; for C6 the
+    /// full ~30 µs restore.
+    #[must_use]
+    pub fn hw_exit_latency(&self) -> Nanos {
+        match self.state {
+            CState::C0 => Nanos::ZERO,
+            CState::C1 | CState::C1E => Nanos::new(5.0),
+            CState::C6A => Nanos::new(80.0),
+            CState::C6AE => Nanos::new(100.0),
+            CState::C6 => Nanos::from_micros(30.0),
+        }
+    }
+}
+
+impl CStateCatalog {
+    /// The legacy Skylake server catalog: C0, C1, C1E, C6 (Table 1).
+    #[must_use]
+    pub fn skylake_baseline() -> Self {
+        let mut params = BTreeMap::new();
+        for p in [
+            CStateParams {
+                state: CState::C0,
+                transition_time: Nanos::ZERO,
+                entry_latency: Nanos::ZERO,
+                exit_latency: Nanos::ZERO,
+                target_residency: Nanos::ZERO,
+                power_p1: MilliWatts::from_watts(4.0),
+                power_pn: MilliWatts::from_watts(1.0),
+            },
+            CStateParams {
+                state: CState::C1,
+                transition_time: Nanos::from_micros(2.0),
+                entry_latency: Nanos::from_micros(1.0),
+                exit_latency: Nanos::from_micros(1.0),
+                target_residency: Nanos::from_micros(2.0),
+                power_p1: MilliWatts::from_watts(1.44),
+                power_pn: MilliWatts::from_watts(0.88),
+            },
+            CStateParams {
+                state: CState::C1E,
+                transition_time: Nanos::from_micros(10.0),
+                entry_latency: Nanos::from_micros(5.0),
+                exit_latency: Nanos::from_micros(5.0),
+                target_residency: Nanos::from_micros(20.0),
+                power_p1: MilliWatts::from_watts(0.88),
+                power_pn: MilliWatts::from_watts(0.88),
+            },
+            CStateParams {
+                state: CState::C6,
+                transition_time: Nanos::from_micros(133.0),
+                entry_latency: Nanos::from_micros(103.0),
+                exit_latency: Nanos::from_micros(30.0),
+                target_residency: Nanos::from_micros(600.0),
+                power_p1: MilliWatts::from_watts(0.1),
+                power_pn: MilliWatts::from_watts(0.1),
+            },
+        ] {
+            params.insert(p.state, p);
+        }
+        CStateCatalog { params }
+    }
+
+    /// The AgileWatts catalog: the baseline plus C6A and C6AE (Table 1's
+    /// new rows).
+    ///
+    /// C6A/C6AE keep the *software* transition budget of the C1/C1E states
+    /// they replace — the hardware flow adds only ~100 ns (Sec. 5.2) — and
+    /// use the Table 1 headline powers (~0.3 W / ~0.23 W, i.e., the
+    /// midpoints of Table 3's 290–315 mW and 227–243 mW ranges).
+    #[must_use]
+    pub fn skylake_with_aw() -> Self {
+        let mut cat = Self::skylake_baseline();
+        cat.params.insert(
+            CState::C6A,
+            CStateParams {
+                state: CState::C6A,
+                transition_time: Nanos::from_micros(2.0),
+                entry_latency: Nanos::from_micros(1.0),
+                exit_latency: Nanos::from_micros(1.0) + Nanos::new(80.0),
+                target_residency: Nanos::from_micros(2.0),
+                power_p1: MilliWatts::new(302.5),
+                power_pn: MilliWatts::new(302.5),
+            },
+        );
+        cat.params.insert(
+            CState::C6AE,
+            CStateParams {
+                state: CState::C6AE,
+                transition_time: Nanos::from_micros(10.0),
+                entry_latency: Nanos::from_micros(5.0),
+                exit_latency: Nanos::from_micros(5.0) + Nanos::new(100.0),
+                target_residency: Nanos::from_micros(20.0),
+                power_p1: MilliWatts::new(235.0),
+                power_pn: MilliWatts::new(235.0),
+            },
+        );
+        cat
+    }
+
+    /// Parameters for `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is not present in this catalog (C6A/C6AE are
+    /// absent from [`CStateCatalog::skylake_baseline`]).
+    #[must_use]
+    pub fn params(&self, state: CState) -> &CStateParams {
+        self.params
+            .get(&state)
+            .unwrap_or_else(|| panic!("state {state} not present in catalog"))
+    }
+
+    /// Parameters for `state`, or `None` if not modeled by this catalog.
+    #[must_use]
+    pub fn get(&self, state: CState) -> Option<&CStateParams> {
+        self.params.get(&state)
+    }
+
+    /// Replaces (or inserts) the parameters for one state, e.g. to inject
+    /// C6A power computed by the PPA model.
+    pub fn set_params(&mut self, params: CStateParams) {
+        self.params.insert(params.state, params);
+    }
+
+    /// Shorthand for the resident power of `state` at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is not present in this catalog.
+    #[must_use]
+    pub fn power(&self, state: CState, level: FreqLevel) -> MilliWatts {
+        self.params(state).power(level)
+    }
+
+    /// States present in this catalog, shallowest first.
+    #[must_use]
+    pub fn states(&self) -> Vec<CState> {
+        let mut v: Vec<CState> = self.params.keys().copied().collect();
+        v.sort_by_key(|s| s.depth());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let cat = CStateCatalog::skylake_baseline();
+        assert_eq!(cat.power(CState::C0, FreqLevel::P1), MilliWatts::from_watts(4.0));
+        assert_eq!(cat.power(CState::C0, FreqLevel::Pn), MilliWatts::from_watts(1.0));
+        assert_eq!(cat.power(CState::C1, FreqLevel::P1), MilliWatts::from_watts(1.44));
+        assert_eq!(cat.power(CState::C1E, FreqLevel::P1), MilliWatts::from_watts(0.88));
+        assert_eq!(cat.power(CState::C6, FreqLevel::P1), MilliWatts::from_watts(0.1));
+        assert_eq!(cat.params(CState::C1).transition_time, Nanos::from_micros(2.0));
+        assert_eq!(cat.params(CState::C1E).transition_time, Nanos::from_micros(10.0));
+        assert_eq!(cat.params(CState::C6).transition_time, Nanos::from_micros(133.0));
+        assert_eq!(cat.params(CState::C6).target_residency, Nanos::from_micros(600.0));
+    }
+
+    #[test]
+    fn baseline_lacks_aw_states() {
+        let cat = CStateCatalog::skylake_baseline();
+        assert!(cat.get(CState::C6A).is_none());
+        assert!(cat.get(CState::C6AE).is_none());
+    }
+
+    #[test]
+    fn aw_catalog_power_ordering() {
+        let cat = CStateCatalog::skylake_with_aw();
+        // Deeper states consume strictly less power at P1.
+        let states = cat.states();
+        for w in states.windows(2) {
+            assert!(
+                cat.power(w[0], FreqLevel::P1) > cat.power(w[1], FreqLevel::P1),
+                "{} should draw more than {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn aw_states_keep_legacy_latency_budget() {
+        let cat = CStateCatalog::skylake_with_aw();
+        assert_eq!(
+            cat.params(CState::C6A).transition_time,
+            cat.params(CState::C1).transition_time
+        );
+        assert_eq!(
+            cat.params(CState::C6AE).transition_time,
+            cat.params(CState::C1E).transition_time
+        );
+        assert_eq!(
+            cat.params(CState::C6A).target_residency,
+            cat.params(CState::C1).target_residency
+        );
+    }
+
+    #[test]
+    fn c6a_power_is_about_7pct_of_c0() {
+        let cat = CStateCatalog::skylake_with_aw();
+        let frac = cat.power(CState::C6A, FreqLevel::P1) / cat.power(CState::C0, FreqLevel::P1);
+        assert!((0.06..=0.08).contains(&frac), "C6A/C0 = {frac}");
+        let frac_e = cat.power(CState::C6AE, FreqLevel::P1) / cat.power(CState::C0, FreqLevel::P1);
+        assert!((0.05..=0.065).contains(&frac_e), "C6AE/C0 = {frac_e}");
+    }
+
+    #[test]
+    fn hw_exit_speedup_vs_c6_is_hundreds() {
+        let cat = CStateCatalog::skylake_with_aw();
+        let speedup = cat.params(CState::C6).exit_latency.as_nanos()
+            / cat.params(CState::C6A).hw_exit_latency().as_nanos();
+        assert!(speedup >= 300.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn pinned_level_states_report_pn_power() {
+        let cat = CStateCatalog::skylake_with_aw();
+        // C1E is defined at Pn; asking for P1 power still yields Pn power.
+        assert_eq!(
+            cat.params(CState::C1E).power(FreqLevel::P1),
+            cat.params(CState::C1E).power(FreqLevel::Pn)
+        );
+    }
+
+    #[test]
+    fn set_params_overrides() {
+        let mut cat = CStateCatalog::skylake_with_aw();
+        let mut p = *cat.params(CState::C6A);
+        p.power_p1 = MilliWatts::new(290.0);
+        cat.set_params(p);
+        assert_eq!(cat.power(CState::C6A, FreqLevel::P1), MilliWatts::new(290.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn missing_state_panics() {
+        let cat = CStateCatalog::skylake_baseline();
+        let _ = cat.params(CState::C6A);
+    }
+
+    #[test]
+    fn entry_plus_exit_close_to_transition() {
+        let cat = CStateCatalog::skylake_with_aw();
+        for s in cat.states() {
+            let p = cat.params(s);
+            let sum = p.entry_latency + p.exit_latency;
+            assert!(
+                (sum.as_nanos() - p.transition_time.as_nanos()).abs()
+                    <= 0.01 * p.transition_time.as_nanos() + 150.0,
+                "{s}: {sum} vs {}",
+                p.transition_time
+            );
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! OS idle governors: the policy that picks a C-state when a core idles.
+//!
+//! The paper's motivation (Sec. 2) hinges on governor behaviour: because
+//! idle-period lengths are irregular and deep states have long target
+//! residencies, governors running latency-critical services almost never
+//! pick C6 and the core camps in C1. The governors here reproduce that
+//! dynamic:
+//!
+//! * [`MenuGovernor`] — a Linux-menu-style predictor (EWMA over recent
+//!   idle durations, clipped by the next-timer hint).
+//! * [`LadderGovernor`] — steps up/down one state at a time based on
+//!   whether previous residencies met the target.
+//! * [`OracleGovernor`] — is told the true upcoming idle duration; the
+//!   upper bound on governor quality.
+
+use std::fmt;
+
+use aw_types::Nanos;
+
+use crate::{CState, CStateCatalog, CStateConfig};
+
+/// Policy deciding which idle state a core enters.
+///
+/// The server simulator calls [`IdleGovernor::select`] when a core's run
+/// queue empties and [`IdleGovernor::observe_idle`] when the core wakes, so
+/// predictive governors can learn the workload's idle-duration
+/// distribution.
+pub trait IdleGovernor: fmt::Debug + Send {
+    /// Picks an enabled idle state.
+    ///
+    /// `hint` is the time until the next *known* wake-up (e.g., a pending
+    /// timer), if any; unpredictable request arrivals provide no hint.
+    fn select(
+        &mut self,
+        config: &CStateConfig,
+        catalog: &CStateCatalog,
+        hint: Option<Nanos>,
+    ) -> CState;
+
+    /// Reports the actual duration of the idle period that just ended.
+    fn observe_idle(&mut self, actual: Nanos);
+
+    /// Resets learned state (between experiment runs).
+    fn reset(&mut self) {}
+}
+
+/// Picks the deepest enabled state whose target residency fits within
+/// `predicted`, falling back to the shallowest enabled state.
+///
+/// This is the core residency rule all governors share (Sec. 1: "power
+/// management controllers only switch to a deeper C-state if they predict
+/// that waking-up will not be needed before a target residency time").
+fn deepest_fitting(
+    config: &CStateConfig,
+    catalog: &CStateCatalog,
+    predicted: Nanos,
+) -> CState {
+    let mut choice = None;
+    for state in config.enabled_states() {
+        let Some(params) = catalog.get(state) else { continue };
+        if params.target_residency <= predicted {
+            choice = Some(state);
+        }
+    }
+    choice
+        .or_else(|| {
+            // Nothing fits: take the shallowest state present in the catalog.
+            config.enabled_states().into_iter().find(|&s| catalog.get(s).is_some())
+        })
+        .expect("config validated against catalog: at least one enabled state")
+}
+
+/// A Linux-`menu`-style predictive governor.
+///
+/// Maintains an exponentially-weighted moving average of recent idle
+/// durations with a pessimism factor: latency-critical request streams are
+/// bursty, so the predictor underestimates (factor < 1) to avoid entering
+/// a deep state just before the next request lands. A next-timer `hint`
+/// clips the prediction from above.
+///
+/// # Examples
+///
+/// ```
+/// use aw_cstates::{CState, CStateCatalog, IdleGovernor, MenuGovernor, NamedConfig};
+/// use aw_types::Nanos;
+///
+/// let catalog = CStateCatalog::skylake_with_aw();
+/// let config = NamedConfig::Baseline.config();
+/// let mut gov = MenuGovernor::new();
+///
+/// // A stream of ~30 µs idles settles on C1E (target 20 µs), not C6
+/// // (target 600 µs):
+/// for _ in 0..32 {
+///     gov.observe_idle(Nanos::from_micros(30.0));
+/// }
+/// assert_eq!(gov.select(&config, &catalog, None), CState::C1E);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MenuGovernor {
+    ewma: Option<Nanos>,
+    alpha: f64,
+    pessimism: f64,
+}
+
+impl MenuGovernor {
+    /// Creates a menu governor with default smoothing (α = 0.25) and
+    /// pessimism (0.8).
+    #[must_use]
+    pub fn new() -> Self {
+        MenuGovernor { ewma: None, alpha: 0.25, pessimism: 0.8 }
+    }
+
+    /// Creates a menu governor with explicit smoothing factor `alpha` in
+    /// `(0, 1]` and `pessimism` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is out of range.
+    #[must_use]
+    pub fn with_params(alpha: f64, pessimism: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(pessimism > 0.0 && pessimism <= 1.0, "pessimism must be in (0, 1]");
+        MenuGovernor { ewma: None, alpha, pessimism }
+    }
+
+    /// The current idle-duration prediction, before hint clipping.
+    #[must_use]
+    pub fn predicted(&self) -> Option<Nanos> {
+        self.ewma.map(|e| e * self.pessimism)
+    }
+}
+
+impl Default for MenuGovernor {
+    fn default() -> Self {
+        MenuGovernor::new()
+    }
+}
+
+impl IdleGovernor for MenuGovernor {
+    fn select(
+        &mut self,
+        config: &CStateConfig,
+        catalog: &CStateCatalog,
+        hint: Option<Nanos>,
+    ) -> CState {
+        // With no history, be conservative: predict zero, which lands in
+        // the shallowest enabled state.
+        let mut predicted = self.predicted().unwrap_or(Nanos::ZERO);
+        if let Some(h) = hint {
+            predicted = predicted.min(h);
+        }
+        deepest_fitting(config, catalog, predicted)
+    }
+
+    fn observe_idle(&mut self, actual: Nanos) {
+        self.ewma = Some(match self.ewma {
+            None => actual,
+            Some(prev) => prev * (1.0 - self.alpha) + actual * self.alpha,
+        });
+    }
+
+    fn reset(&mut self) {
+        self.ewma = None;
+    }
+}
+
+/// A ladder governor: promote one state deeper after `promote_after`
+/// consecutive idle periods that met the *next* state's target residency;
+/// demote one state shallower immediately after an idle period shorter
+/// than the current state's target.
+#[derive(Debug, Clone)]
+pub struct LadderGovernor {
+    rung: usize,
+    streak: u32,
+    promote_after: u32,
+    last_idle: Option<Nanos>,
+}
+
+impl LadderGovernor {
+    /// Creates a ladder governor with the default promotion threshold (4
+    /// consecutive qualifying idles).
+    #[must_use]
+    pub fn new() -> Self {
+        LadderGovernor { rung: 0, streak: 0, promote_after: 4, last_idle: None }
+    }
+
+    /// Creates a ladder governor promoting after `promote_after`
+    /// qualifying idle periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `promote_after` is zero.
+    #[must_use]
+    pub fn with_threshold(promote_after: u32) -> Self {
+        assert!(promote_after > 0, "promotion threshold must be positive");
+        LadderGovernor { rung: 0, streak: 0, promote_after, last_idle: None }
+    }
+}
+
+impl Default for LadderGovernor {
+    fn default() -> Self {
+        LadderGovernor::new()
+    }
+}
+
+impl IdleGovernor for LadderGovernor {
+    fn select(
+        &mut self,
+        config: &CStateConfig,
+        catalog: &CStateCatalog,
+        _hint: Option<Nanos>,
+    ) -> CState {
+        let states: Vec<CState> = config
+            .enabled_states()
+            .into_iter()
+            .filter(|&s| catalog.get(s).is_some())
+            .collect();
+        assert!(!states.is_empty(), "config validated against catalog");
+        self.rung = self.rung.min(states.len() - 1);
+
+        if let Some(idle) = self.last_idle.take() {
+            let current_target = catalog.params(states[self.rung]).target_residency;
+            if idle < current_target && self.rung > 0 {
+                self.rung -= 1;
+                self.streak = 0;
+            } else if self.rung + 1 < states.len() {
+                let next_target = catalog.params(states[self.rung + 1]).target_residency;
+                if idle >= next_target {
+                    self.streak += 1;
+                    if self.streak >= self.promote_after {
+                        self.rung += 1;
+                        self.streak = 0;
+                    }
+                } else {
+                    self.streak = 0;
+                }
+            }
+        }
+        states[self.rung]
+    }
+
+    fn observe_idle(&mut self, actual: Nanos) {
+        self.last_idle = Some(actual);
+    }
+
+    fn reset(&mut self) {
+        self.rung = 0;
+        self.streak = 0;
+        self.last_idle = None;
+    }
+}
+
+/// An oracle governor: `hint` carries the *true* upcoming idle duration,
+/// so it always picks the energy-optimal state under the residency rule.
+/// Used as the upper bound in governor ablations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleGovernor;
+
+impl OracleGovernor {
+    /// Creates the oracle governor.
+    #[must_use]
+    pub fn new() -> Self {
+        OracleGovernor
+    }
+}
+
+impl IdleGovernor for OracleGovernor {
+    fn select(
+        &mut self,
+        config: &CStateConfig,
+        catalog: &CStateCatalog,
+        hint: Option<Nanos>,
+    ) -> CState {
+        deepest_fitting(config, catalog, hint.unwrap_or(Nanos::ZERO))
+    }
+
+    fn observe_idle(&mut self, _actual: Nanos) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NamedConfig;
+
+    fn setup() -> (CStateConfig, CStateCatalog) {
+        (NamedConfig::Baseline.config(), CStateCatalog::skylake_with_aw())
+    }
+
+    #[test]
+    fn menu_starts_shallow() {
+        let (cfg, cat) = setup();
+        let mut g = MenuGovernor::new();
+        assert_eq!(g.select(&cfg, &cat, None), CState::C1);
+    }
+
+    #[test]
+    fn menu_learns_long_idles() {
+        let (cfg, cat) = setup();
+        let mut g = MenuGovernor::new();
+        for _ in 0..64 {
+            g.observe_idle(Nanos::from_millis(2.0));
+        }
+        assert_eq!(g.select(&cfg, &cat, None), CState::C6);
+    }
+
+    #[test]
+    fn menu_short_idles_stay_in_c1() {
+        let (cfg, cat) = setup();
+        let mut g = MenuGovernor::new();
+        for _ in 0..64 {
+            g.observe_idle(Nanos::from_micros(3.0));
+        }
+        // 3 µs × 0.8 pessimism = 2.4 µs: fits C1 (2 µs) but not C1E (20 µs).
+        assert_eq!(g.select(&cfg, &cat, None), CState::C1);
+    }
+
+    #[test]
+    fn menu_hint_clips_prediction() {
+        let (cfg, cat) = setup();
+        let mut g = MenuGovernor::new();
+        for _ in 0..64 {
+            g.observe_idle(Nanos::from_millis(5.0));
+        }
+        // Prediction says C6, but a 10 µs timer is pending.
+        assert_eq!(g.select(&cfg, &cat, Some(Nanos::from_micros(10.0))), CState::C1);
+    }
+
+    #[test]
+    fn menu_respects_enable_mask() {
+        let cat = CStateCatalog::skylake_with_aw();
+        let cfg = NamedConfig::TC6aNoC6NoC1e.config();
+        let mut g = MenuGovernor::new();
+        for _ in 0..64 {
+            g.observe_idle(Nanos::from_millis(5.0));
+        }
+        // Only C6A is enabled; even a huge prediction picks it.
+        assert_eq!(g.select(&cfg, &cat, None), CState::C6A);
+    }
+
+    #[test]
+    fn menu_reset_forgets() {
+        let (cfg, cat) = setup();
+        let mut g = MenuGovernor::new();
+        for _ in 0..64 {
+            g.observe_idle(Nanos::from_millis(5.0));
+        }
+        g.reset();
+        assert_eq!(g.select(&cfg, &cat, None), CState::C1);
+    }
+
+    #[test]
+    fn ladder_promotes_gradually() {
+        let (cfg, cat) = setup();
+        let mut g = LadderGovernor::new();
+        assert_eq!(g.select(&cfg, &cat, None), CState::C1);
+        // Long idles eventually climb C1 → C1E → C6.
+        let mut seen = Vec::new();
+        for _ in 0..24 {
+            g.observe_idle(Nanos::from_millis(2.0));
+            seen.push(g.select(&cfg, &cat, None));
+        }
+        assert!(seen.contains(&CState::C1E));
+        assert_eq!(*seen.last().unwrap(), CState::C6);
+    }
+
+    #[test]
+    fn ladder_demotes_on_short_idle() {
+        let (cfg, cat) = setup();
+        let mut g = LadderGovernor::new();
+        for _ in 0..24 {
+            g.observe_idle(Nanos::from_millis(2.0));
+            let _ = g.select(&cfg, &cat, None);
+        }
+        assert_eq!(g.select(&cfg, &cat, None), CState::C6);
+        // One premature wake drops back to C1E.
+        g.observe_idle(Nanos::from_micros(5.0));
+        assert_eq!(g.select(&cfg, &cat, None), CState::C1E);
+    }
+
+    #[test]
+    fn oracle_picks_optimal() {
+        let (cfg, cat) = setup();
+        let mut g = OracleGovernor::new();
+        assert_eq!(g.select(&cfg, &cat, Some(Nanos::from_micros(1.0))), CState::C1);
+        assert_eq!(g.select(&cfg, &cat, Some(Nanos::from_micros(50.0))), CState::C1E);
+        assert_eq!(g.select(&cfg, &cat, Some(Nanos::from_millis(1.0))), CState::C6);
+        assert_eq!(g.select(&cfg, &cat, None), CState::C1);
+    }
+
+    #[test]
+    fn governors_never_pick_disabled_states() {
+        let cat = CStateCatalog::skylake_with_aw();
+        let cfg = NamedConfig::NtNoC6NoC1e.config();
+        let mut menu = MenuGovernor::new();
+        let mut ladder = LadderGovernor::new();
+        let mut oracle = OracleGovernor::new();
+        for _ in 0..50 {
+            menu.observe_idle(Nanos::from_millis(10.0));
+            ladder.observe_idle(Nanos::from_millis(10.0));
+            assert_eq!(menu.select(&cfg, &cat, None), CState::C1);
+            assert_eq!(ladder.select(&cfg, &cat, None), CState::C1);
+            assert_eq!(oracle.select(&cfg, &cat, Some(Nanos::from_millis(10.0))), CState::C1);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # aw-cstates — the CPU core idle-state (C-state) architecture model
+//!
+//! Models the Intel Skylake server core C-state hierarchy of the AgileWatts
+//! paper (Tables 1 and 2), the C-state entry/exit flows (Fig. 3), named
+//! server configurations (`NT_Baseline`, `NT_No_C6`, …, and the AW
+//! configurations), and the OS idle governors that decide which state an
+//! idle core enters.
+//!
+//! The two new AgileWatts states are first-class citizens:
+//!
+//! * **C6A** (*C6 Agile*) — replaces C1: power-gates ~70% of the core with
+//!   in-place context retention and keeps L1/L2 in sleep mode, reaching
+//!   ~0.3 W at a ~100 ns hardware transition.
+//! * **C6AE** (*C6A Enhanced*) — replaces C1E: additionally drops the core
+//!   to the minimum voltage/frequency level (Pn), reaching ~0.23 W.
+//!
+//! # Examples
+//!
+//! ```
+//! use aw_cstates::{CState, CStateCatalog, FreqLevel};
+//!
+//! let skylake = CStateCatalog::skylake_with_aw();
+//! let c1 = skylake.params(CState::C1);
+//! let c6a = skylake.params(CState::C6A);
+//!
+//! // C6A keeps C1's software transition budget but ~4.8× lower power:
+//! assert_eq!(c1.transition_time, c6a.transition_time);
+//! assert!(c1.power(FreqLevel::P1) / c6a.power(FreqLevel::P1) > 4.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod catalog;
+mod components;
+mod config;
+mod flows;
+mod governor;
+mod state;
+
+pub use catalog::{CStateCatalog, CStateParams};
+pub use components::{
+    CacheState, ClockState, ComponentMatrix, ContextState, PllState, VoltageState,
+};
+pub use config::{CStateConfig, NamedConfig};
+pub use flows::{
+    C1Flow, C6AFlow, C6Flow, FlowPhase, FlowStep, PMA_CLOCK, SKYLAKE_CACHE_REFERENCE,
+};
+pub use governor::{
+    IdleGovernor, LadderGovernor, MenuGovernor, OracleGovernor,
+};
+pub use state::{CState, FreqLevel};

@@ -1,0 +1,146 @@
+//! Property-based tests of the C-state architecture invariants.
+
+use aw_cstates::{
+    C6AFlow, C6Flow, CState, CStateCatalog, CStateConfig, IdleGovernor, LadderGovernor,
+    MenuGovernor, NamedConfig,
+};
+use aw_types::{MegaHertz, Nanos, Ratio};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The C6 flush model is monotone in dirtiness and inverse-monotone
+    /// in frequency, for any parameters.
+    #[test]
+    fn c6_flow_monotonicity(d1 in 0.0f64..1.0, d2 in 0.0f64..1.0, f1 in 400.0f64..4000.0, f2 in 400.0f64..4000.0) {
+        let freq = MegaHertz::new(f1);
+        let a = C6Flow::new(freq, Ratio::new(d1));
+        let b = C6Flow::new(freq, Ratio::new(d2));
+        if d1 <= d2 {
+            prop_assert!(a.entry_latency() <= b.entry_latency() + Nanos::new(1e-9));
+        }
+        let dirty = Ratio::new(0.5);
+        let c = C6Flow::new(MegaHertz::new(f1), dirty);
+        let d = C6Flow::new(MegaHertz::new(f2), dirty);
+        if f1 <= f2 {
+            prop_assert!(c.entry_latency() >= d.entry_latency() - Nanos::new(1e-9));
+        }
+    }
+
+    /// The C6A budget always beats the C6 transition by ≥ two orders of
+    /// magnitude, regardless of how clean the cache is.
+    #[test]
+    fn c6a_speedup_floor(dirty in 0.0f64..1.0, freq in 800.0f64..3000.0) {
+        let c6 = C6Flow::new(MegaHertz::new(freq), Ratio::new(dirty));
+        let c6a = C6AFlow::new();
+        prop_assert!(c6.transition_time() / c6a.round_trip() > 100.0);
+    }
+
+    /// Every named configuration validates against the AW catalog, and
+    /// legacy-only configs validate against the baseline catalog.
+    #[test]
+    fn configs_validate(idx in 0usize..10) {
+        let named = NamedConfig::ALL[idx];
+        let cfg = named.config();
+        prop_assert_eq!(cfg.validate(&CStateCatalog::skylake_with_aw()), Ok(()));
+        if !named.is_aw() {
+            prop_assert_eq!(cfg.validate(&CStateCatalog::skylake_baseline()), Ok(()));
+        }
+    }
+
+    /// Governor selections are stable: the same history produces the
+    /// same decision (determinism) and never a disabled or deeper-than-
+    /// deepest state.
+    #[test]
+    fn governor_determinism(idles in prop::collection::vec(1.0f64..1e7, 1..40), idx in 0usize..10) {
+        let named = NamedConfig::ALL[idx];
+        let cfg = named.config();
+        let catalog = CStateCatalog::skylake_with_aw();
+        let run = || {
+            let mut g = MenuGovernor::new();
+            let mut picks = Vec::new();
+            for &i in &idles {
+                g.observe_idle(Nanos::new(i));
+                picks.push(g.select(&cfg, &catalog, None));
+            }
+            picks
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b);
+        let deepest = cfg.deepest().unwrap();
+        for s in a {
+            prop_assert!(cfg.is_enabled(s));
+            prop_assert!(s.depth() <= deepest.depth());
+        }
+    }
+
+    /// The ladder moves at most one rung per decision.
+    #[test]
+    fn ladder_moves_one_rung(idles in prop::collection::vec(1.0f64..1e7, 2..60)) {
+        let cfg = NamedConfig::Baseline.config();
+        let catalog = CStateCatalog::skylake_with_aw();
+        let mut g = LadderGovernor::new();
+        let mut prev: Option<CState> = None;
+        let order = [CState::C1, CState::C1E, CState::C6];
+        let rank = |s: CState| order.iter().position(|&o| o == s).unwrap();
+        for &i in &idles {
+            g.observe_idle(Nanos::new(i));
+            let pick = g.select(&cfg, &catalog, None);
+            if let Some(p) = prev {
+                let delta = rank(pick) as i64 - rank(p) as i64;
+                prop_assert!(delta.abs() <= 1, "{p} -> {pick}");
+            }
+            prev = Some(pick);
+        }
+    }
+
+    /// aw_twin never contains legacy shallow states and preserves depth
+    /// ordering of the mask.
+    #[test]
+    fn aw_twin_depth_preserved(idx in 0usize..10) {
+        let cfg = NamedConfig::ALL[idx].config();
+        let twin = cfg.aw_twin();
+        prop_assert!(!twin.is_enabled(CState::C1));
+        prop_assert!(!twin.is_enabled(CState::C1E));
+        // The twin's shallowest state is at least as deep (by power) as
+        // the original's shallowest.
+        let orig = cfg.shallowest().unwrap();
+        let new = twin.shallowest().unwrap();
+        prop_assert!(new.depth() >= orig.depth());
+    }
+
+    /// Catalog power ordering is strict at P1 for every adjacent pair.
+    #[test]
+    fn catalog_power_strictly_ordered(_x in 0u8..1) {
+        let catalog = CStateCatalog::skylake_with_aw();
+        let states = catalog.states();
+        for w in states.windows(2) {
+            prop_assert!(
+                catalog.power(w[0], aw_cstates::FreqLevel::P1)
+                    > catalog.power(w[1], aw_cstates::FreqLevel::P1)
+            );
+        }
+    }
+
+    /// CStateConfig construction is order-insensitive.
+    #[test]
+    fn config_order_insensitive(perm in Just(()).prop_perturb(|(), mut rng| {
+        use proptest::prelude::RngCore;
+        let mut v = vec![CState::C1, CState::C1E, CState::C6A, CState::C6];
+        // Fisher–Yates with the proptest RNG.
+        for i in (1..v.len()).rev() {
+            let j = (rng.next_u32() as usize) % (i + 1);
+            v.swap(i, j);
+        }
+        v
+    })) {
+        let a = CStateConfig::new(perm.clone(), true);
+        let b = CStateConfig::new(
+            [CState::C1, CState::C1E, CState::C6A, CState::C6],
+            true,
+        );
+        prop_assert_eq!(a, b);
+    }
+}

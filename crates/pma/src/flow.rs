@@ -1,0 +1,566 @@
+//! The C6A/C6AE power-management flow FSM (Fig. 6), stepped at the
+//! 500 MHz PMA clock.
+//!
+//! The FSM sequences the entry flow ①–③ (clock-gate UFPG, in-place save +
+//! power-gate, cache sleep), the exit flow ④–⑥ (cache wake, staggered
+//! power-ungate + SRPG restore, clock-ungate), and the snoop flow ⓐ–ⓒ.
+//! Every transition is traced with start time and duration so tests and
+//! benches can check the paper's latency budget step by step.
+
+use aw_cstates::{FreqLevel, PMA_CLOCK};
+use aw_types::{Cycles, Nanos};
+use serde::Serialize;
+
+use crate::cache::CacheSleepController;
+use crate::srpg::SrpgBank;
+use crate::ufpg::{Ufpg, WakePolicy};
+
+/// States of the Fig. 6 flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum PmaState {
+    /// C0: core active.
+    Active,
+    /// ① clock-gate the UFPG domain (PLL stays on).
+    EntryClockGate,
+    /// ② save context in place (Ret↑) and power-gate (Pwr↓).
+    EntrySaveAndGate,
+    /// ③ put L1/L2 in sleep mode and clock-gate them.
+    EntryCacheSleep,
+    /// Resident in C6A/C6AE.
+    Idle,
+    /// ⓐ clock-ungate caches and raise array voltage.
+    SnoopWake,
+    /// ⓑ the caches answer the outstanding snoops.
+    SnoopServe,
+    /// ⓒ roll back to full C6A/C6AE.
+    SnoopResleep,
+    /// ④ cache clock-ungate + sleep exit.
+    ExitCacheWake,
+    /// ⑤ staggered power-ungate of the five UFPG zones, then SRPG restore.
+    ExitPowerUngate,
+    /// ⑥ clock-ungate all domains.
+    ExitClockUngate,
+}
+
+/// One traced step: the state occupied, when it began, how long it took.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TraceStep {
+    /// The flow state.
+    pub state: PmaState,
+    /// Start time (relative to the flow's own t=0).
+    pub start: Nanos,
+    /// Duration of the step.
+    pub duration: Nanos,
+}
+
+/// An ordered trace of one flow execution.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct FlowTrace {
+    steps: Vec<TraceStep>,
+}
+
+impl FlowTrace {
+    fn push(&mut self, state: PmaState, start: Nanos, duration: Nanos) {
+        self.steps.push(TraceStep { state, start, duration });
+    }
+
+    /// The traced steps in execution order.
+    #[must_use]
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Total wall-clock duration of the flow.
+    #[must_use]
+    pub fn total(&self) -> Nanos {
+        self.steps.iter().map(|s| s.duration).sum()
+    }
+
+    /// Duration of the given state within this trace (zero if absent).
+    #[must_use]
+    pub fn duration_of(&self, state: PmaState) -> Nanos {
+        self.steps.iter().filter(|s| s.state == state).map(|s| s.duration).sum()
+    }
+
+    /// Checks the trace is contiguous: each step starts where the previous
+    /// ended.
+    #[must_use]
+    pub fn is_contiguous(&self) -> bool {
+        self.steps.windows(2).all(|w| {
+            ((w[0].start + w[0].duration) - w[1].start).as_nanos().abs() < 1e-9
+        })
+    }
+}
+
+/// The core's power-management agent running the C6A/C6AE flow.
+///
+/// Owns the three hardware subsystems the flow orchestrates: the UFPG
+/// zones, the SRPG retention bank holding the ~8 kB core context, and the
+/// CCSM cache-sleep controller.
+///
+/// # Examples
+///
+/// Entry, a snoop while idle, then exit — with context integrity checked
+/// end to end:
+///
+/// ```
+/// use aw_pma::{PmaFsm, PmaState};
+///
+/// let mut fsm = PmaFsm::new_c6a();
+/// fsm.write_context(0x5EED);
+///
+/// let entry = fsm.run_entry();
+/// assert!(entry.total().as_nanos() < 20.0);
+/// assert_eq!(fsm.state(), PmaState::Idle);
+///
+/// let snoop = fsm.run_snoop(1);
+/// assert_eq!(fsm.state(), PmaState::Idle); // back to full C6A
+///
+/// let exit = fsm.run_exit();
+/// assert!(exit.total().as_nanos() < 80.0);
+/// assert_eq!(fsm.read_context(), Some(0x5EED)); // context survived
+/// ```
+#[derive(Debug, Clone, Serialize)]
+pub struct PmaFsm {
+    state: PmaState,
+    enhanced: bool,
+    wake_policy: WakePolicy,
+    ufpg: Ufpg,
+    srpg: SrpgBank,
+    ccsm: CacheSleepController,
+    entries: u64,
+    exits: u64,
+    /// Monotonic FSM time, advanced by flows and [`PmaFsm::wait`].
+    now: Nanos,
+    /// When the in-flight non-blocking Pn transition completes (C6AE).
+    pn_ready_at: Option<Nanos>,
+}
+
+/// The non-blocking DVFS ramp to Pn kicked off at C6AE entry step ①
+/// (Sec. 5.2.1: "can take few tens of microseconds").
+pub const PN_TRANSITION: Nanos = Nanos::new(30_000.0);
+
+impl PmaFsm {
+    /// A PMA configured for C6A at the paper's design point.
+    #[must_use]
+    pub fn new_c6a() -> Self {
+        PmaFsm::with_parts(Ufpg::skylake_c6a(), CacheSleepController::skylake(), false)
+    }
+
+    /// A PMA configured for C6AE (adds the non-blocking transition to Pn;
+    /// the DVFS runs in parallel and does not lengthen the flow).
+    #[must_use]
+    pub fn new_c6ae() -> Self {
+        PmaFsm::with_parts(Ufpg::skylake_c6a(), CacheSleepController::skylake(), true)
+    }
+
+    /// Builds a PMA from explicit subsystems (for ablations).
+    #[must_use]
+    pub fn with_parts(ufpg: Ufpg, ccsm: CacheSleepController, enhanced: bool) -> Self {
+        PmaFsm {
+            state: PmaState::Active,
+            enhanced,
+            wake_policy: WakePolicy::Staggered,
+            ufpg,
+            srpg: SrpgBank::new(8 * 1024),
+            ccsm,
+            entries: 0,
+            exits: 0,
+            now: Nanos::ZERO,
+            pn_ready_at: None,
+        }
+    }
+
+    /// The FSM's monotonic clock (advanced by flows and [`PmaFsm::wait`]).
+    #[must_use]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Lets simulated time pass while the core stays in its current
+    /// state (e.g., residing in C6AE while the Pn ramp completes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is negative.
+    pub fn wait(&mut self, duration: Nanos) {
+        assert!(duration >= Nanos::ZERO, "cannot wait a negative duration");
+        self.now += duration;
+    }
+
+    /// The voltage/frequency level the core currently sits at. A C6AE
+    /// core reaches [`FreqLevel::Pn`] only once the non-blocking DVFS
+    /// ramp (started at entry step ①) completes; exit cancels any
+    /// in-flight ramp and returns to P1.
+    #[must_use]
+    pub fn freq_level(&self) -> FreqLevel {
+        match self.pn_ready_at {
+            Some(ready) if self.state == PmaState::Idle && self.now >= ready => FreqLevel::Pn,
+            _ => FreqLevel::P1,
+        }
+    }
+
+    /// Overrides the exit wake policy (ablation: staggered vs
+    /// simultaneous).
+    pub fn set_wake_policy(&mut self, policy: WakePolicy) {
+        self.wake_policy = policy;
+    }
+
+    /// Current FSM state.
+    #[must_use]
+    pub fn state(&self) -> PmaState {
+        self.state
+    }
+
+    /// `true` for a C6AE-configured PMA.
+    #[must_use]
+    pub fn is_enhanced(&self) -> bool {
+        self.enhanced
+    }
+
+    /// Writes a context value into the core (only legal while active).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is not in [`PmaState::Active`].
+    pub fn write_context(&mut self, value: u64) {
+        assert_eq!(self.state, PmaState::Active, "context writes require an active core");
+        self.srpg.write(value);
+    }
+
+    /// Reads the live context value (None while power-gated or if a flow
+    /// bug corrupted it).
+    #[must_use]
+    pub fn read_context(&self) -> Option<u64> {
+        self.srpg.read()
+    }
+
+    /// Lifetime entry/exit counts.
+    #[must_use]
+    pub fn transition_counts(&self) -> (u64, u64) {
+        (self.entries, self.exits)
+    }
+
+    /// Runs the entry flow ①–③ from `Active` to `Idle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is not active.
+    pub fn run_entry(&mut self) -> FlowTrace {
+        assert_eq!(self.state, PmaState::Active, "entry requires an active core");
+        let mut trace = FlowTrace::default();
+        let mut now = Nanos::ZERO;
+
+        // ① clock-gate the UFPG domain; PLL remains on and locked.
+        //    For C6AE, the PMA also kicks off the non-blocking Pn
+        //    transition here; it completes in the background without
+        //    lengthening the flow.
+        if self.enhanced {
+            self.pn_ready_at = Some(self.now + PN_TRANSITION);
+        }
+        self.state = PmaState::EntryClockGate;
+        let d1 = Cycles::new(2).at(PMA_CLOCK);
+        trace.push(self.state, now, d1);
+        now += d1;
+
+        // ② in-place save: Ret↑ then Pwr↓ on the SRPG bank.
+        self.state = PmaState::EntrySaveAndGate;
+        let d2 = self.srpg.save().at(PMA_CLOCK);
+        trace.push(self.state, now, d2);
+        now += d2;
+
+        // ③ caches into sleep mode, clock-gate the cache domain.
+        self.state = PmaState::EntryCacheSleep;
+        let d3 = self.ccsm.enter_sleep().at(PMA_CLOCK);
+        trace.push(self.state, now, d3);
+
+        self.state = PmaState::Idle;
+        self.entries += 1;
+        self.now += trace.total();
+        trace
+    }
+
+    /// Runs the snoop flow ⓐ–ⓒ for a burst of `count` snoops, returning
+    /// to full C6A/C6AE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is not idle.
+    pub fn run_snoop(&mut self, count: u32) -> FlowTrace {
+        assert_eq!(self.state, PmaState::Idle, "snoop flow requires an idle core");
+        let mut trace = FlowTrace::default();
+        let mut now = Nanos::ZERO;
+
+        // ⓐ clock-ungate the cache domain, raise the array voltage.
+        self.state = PmaState::SnoopWake;
+        let da = Cycles::new(2).at(PMA_CLOCK);
+        trace.push(self.state, now, da);
+        now += da;
+
+        // ⓑ the caches service the outstanding snoops. Delegate to the
+        // CCSM controller for bookkeeping, subtracting the wake/re-sleep
+        // cycles it accounts internally (traced separately here).
+        self.state = PmaState::SnoopServe;
+        let burst = self.ccsm.serve_snoops(count);
+        let overhead = Cycles::new(5).at(PMA_CLOCK);
+        let db = (burst - overhead).clamp_non_negative();
+        trace.push(self.state, now, db);
+        now += db;
+
+        // ⓒ back to sleep mode and clock-gated.
+        self.state = PmaState::SnoopResleep;
+        let dc = Cycles::new(3).at(PMA_CLOCK);
+        trace.push(self.state, now, dc);
+
+        self.state = PmaState::Idle;
+        self.now += trace.total();
+        trace
+    }
+
+    /// Runs the exit flow ④–⑥ from `Idle` back to `Active`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is not idle.
+    pub fn run_exit(&mut self) -> FlowTrace {
+        assert_eq!(self.state, PmaState::Idle, "exit requires an idle core");
+        let mut trace = FlowTrace::default();
+        let mut now = Nanos::ZERO;
+
+        // ④ clock-ungate L1/L2 and leave sleep mode.
+        self.state = PmaState::ExitCacheWake;
+        let d4 = self.ccsm.exit_sleep().at(PMA_CLOCK);
+        trace.push(self.state, now, d4);
+        now += d4;
+
+        // ⑤ power-ungate the UFPG zones (staggered), then deassert Ret.
+        self.state = PmaState::ExitPowerUngate;
+        let wake = self.ufpg.wake(self.wake_policy);
+        let restore = self.srpg.restore().at(PMA_CLOCK);
+        let d5 = wake.latency + restore;
+        trace.push(self.state, now, d5);
+        now += d5;
+
+        // ⑥ clock-ungate every domain; the core resumes in C0.
+        self.state = PmaState::ExitClockUngate;
+        let d6 = Cycles::new(2).at(PMA_CLOCK);
+        trace.push(self.state, now, d6);
+
+        self.state = PmaState::Active;
+        self.exits += 1;
+        self.now += trace.total();
+        // Exit cancels any in-flight or completed Pn ramp: the core
+        // returns to P1 for execution.
+        self.pn_ready_at = None;
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_budget_under_20ns() {
+        let mut fsm = PmaFsm::new_c6a();
+        let t = fsm.run_entry();
+        assert!(t.total() < Nanos::new(20.0), "entry {}", t.total());
+        assert!(t.is_contiguous());
+        assert_eq!(fsm.state(), PmaState::Idle);
+    }
+
+    #[test]
+    fn exit_budget_under_80ns() {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.run_entry();
+        let t = fsm.run_exit();
+        assert!(t.total() < Nanos::new(80.0), "exit {}", t.total());
+        assert!(t.is_contiguous());
+        assert_eq!(fsm.state(), PmaState::Active);
+        // Step ⑤ dominates: the 67.5 ns staggered wake + 1 restore cycle.
+        let d5 = t.duration_of(PmaState::ExitPowerUngate);
+        assert!((d5.as_nanos() - 69.5).abs() < 1e-9, "step5 {d5}");
+    }
+
+    #[test]
+    fn round_trip_under_100ns() {
+        let mut fsm = PmaFsm::new_c6a();
+        let total = fsm.run_entry().total() + fsm.run_exit().total();
+        assert!(total < Nanos::new(100.0), "round trip {total}");
+    }
+
+    #[test]
+    fn c6ae_flow_latency_matches_c6a() {
+        // The Pn transition is non-blocking; C6AE's flow latency equals
+        // C6A's.
+        let mut a = PmaFsm::new_c6a();
+        let mut e = PmaFsm::new_c6ae();
+        assert_eq!(a.run_entry().total(), e.run_entry().total());
+        assert_eq!(a.run_exit().total(), e.run_exit().total());
+        assert!(e.is_enhanced());
+    }
+
+    #[test]
+    fn context_survives_many_transitions() {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.write_context(0xABCD);
+        for _ in 0..100 {
+            fsm.run_entry();
+            fsm.run_exit();
+        }
+        assert_eq!(fsm.read_context(), Some(0xABCD));
+        assert_eq!(fsm.transition_counts(), (100, 100));
+    }
+
+    #[test]
+    fn context_unreadable_while_gated() {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.write_context(7);
+        fsm.run_entry();
+        assert_eq!(fsm.read_context(), None);
+        fsm.run_exit();
+        assert_eq!(fsm.read_context(), Some(7));
+    }
+
+    #[test]
+    fn snoop_flow_returns_to_idle() {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.run_entry();
+        let t = fsm.run_snoop(4);
+        assert_eq!(fsm.state(), PmaState::Idle);
+        assert!(t.is_contiguous());
+        // 2 cy wake + 4 × 20 ns + 3 cy re-sleep = 90 ns.
+        assert!((t.total().as_nanos() - 90.0).abs() < 1e-9, "{}", t.total());
+    }
+
+    #[test]
+    fn snoop_then_exit_preserves_context() {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.write_context(123);
+        fsm.run_entry();
+        fsm.run_snoop(2);
+        fsm.run_snoop(1);
+        fsm.run_exit();
+        assert_eq!(fsm.read_context(), Some(123));
+    }
+
+    #[test]
+    fn simultaneous_wake_is_faster_but_violates_current() {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.set_wake_policy(WakePolicy::Simultaneous);
+        fsm.run_entry();
+        let t = fsm.run_exit();
+        // Faster than the staggered 80 ns budget...
+        assert!(t.total() < Nanos::new(30.0));
+        // ...but the in-rush peak would be 5× the AVX budget (checked at
+        // the Ufpg level; here we just confirm the latency trade).
+        let ufpg = Ufpg::skylake_c6a();
+        assert!(!ufpg.wake(WakePolicy::Simultaneous).within_current_limit(1.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "entry requires an active core")]
+    fn double_entry_panics() {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.run_entry();
+        fsm.run_entry();
+    }
+
+    #[test]
+    #[should_panic(expected = "exit requires an idle core")]
+    fn exit_without_entry_panics() {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.run_exit();
+    }
+
+    #[test]
+    #[should_panic(expected = "snoop flow requires an idle core")]
+    fn snoop_while_active_panics() {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.run_snoop(1);
+    }
+
+    #[test]
+    fn traces_enumerate_fig6_steps() {
+        let mut fsm = PmaFsm::new_c6a();
+        let entry = fsm.run_entry();
+        let states: Vec<_> = entry.steps().iter().map(|s| s.state).collect();
+        assert_eq!(
+            states,
+            [PmaState::EntryClockGate, PmaState::EntrySaveAndGate, PmaState::EntryCacheSleep]
+        );
+        let exit = fsm.run_exit();
+        let states: Vec<_> = exit.steps().iter().map(|s| s.state).collect();
+        assert_eq!(
+            states,
+            [PmaState::ExitCacheWake, PmaState::ExitPowerUngate, PmaState::ExitClockUngate]
+        );
+    }
+}
+
+#[cfg(test)]
+mod pn_transition_tests {
+    use super::*;
+
+    #[test]
+    fn c6a_never_drops_to_pn() {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.run_entry();
+        fsm.wait(Nanos::from_micros(100.0));
+        assert_eq!(fsm.freq_level(), FreqLevel::P1);
+    }
+
+    #[test]
+    fn c6ae_reaches_pn_after_the_ramp() {
+        let mut fsm = PmaFsm::new_c6ae();
+        fsm.run_entry();
+        // Ramp in flight: still at P1.
+        assert_eq!(fsm.freq_level(), FreqLevel::P1);
+        fsm.wait(Nanos::from_micros(10.0));
+        assert_eq!(fsm.freq_level(), FreqLevel::P1);
+        // The ~30 µs non-blocking DVFS completes.
+        fsm.wait(Nanos::from_micros(25.0));
+        assert_eq!(fsm.freq_level(), FreqLevel::Pn);
+    }
+
+    #[test]
+    fn early_exit_cancels_the_ramp() {
+        let mut fsm = PmaFsm::new_c6ae();
+        fsm.run_entry();
+        fsm.wait(Nanos::from_micros(5.0));
+        fsm.run_exit();
+        assert_eq!(fsm.freq_level(), FreqLevel::P1);
+        fsm.wait(Nanos::from_micros(100.0));
+        assert_eq!(fsm.freq_level(), FreqLevel::P1, "cancelled ramp must not complete");
+    }
+
+    #[test]
+    fn ramp_does_not_lengthen_the_flow() {
+        let mut a = PmaFsm::new_c6a();
+        let mut e = PmaFsm::new_c6ae();
+        assert_eq!(a.run_entry().total(), e.run_entry().total());
+    }
+
+    #[test]
+    fn snoops_advance_time_but_keep_pn() {
+        let mut fsm = PmaFsm::new_c6ae();
+        fsm.run_entry();
+        fsm.wait(PN_TRANSITION);
+        assert_eq!(fsm.freq_level(), FreqLevel::Pn);
+        fsm.run_snoop(2);
+        assert_eq!(fsm.freq_level(), FreqLevel::Pn, "snoop service keeps the core in C6AE");
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut fsm = PmaFsm::new_c6ae();
+        let t0 = fsm.now();
+        fsm.run_entry();
+        let t1 = fsm.now();
+        fsm.wait(Nanos::from_micros(1.0));
+        let t2 = fsm.now();
+        fsm.run_exit();
+        let t3 = fsm.now();
+        assert!(t0 < t1 && t1 < t2 && t2 < t3);
+    }
+}

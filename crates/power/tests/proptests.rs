@@ -1,0 +1,138 @@
+//! Property-based tests of the analytical power models.
+
+use aw_cstates::{CState, CStateCatalog, FreqLevel};
+use aw_power::{
+    average_power, leakage_scale, motivation_savings, scale_cache_leakage, turbo_savings,
+    AwTransform, Fivr, PpaModel, ResidencyVector, SleepTransistorLvr, TcoModel, TechNode,
+};
+use aw_types::{MilliWatts, Ratio};
+use proptest::prelude::*;
+
+fn residency_strategy() -> impl Strategy<Value = ResidencyVector> {
+    prop::collection::vec(0.01f64..1.0, 4).prop_map(|parts| {
+        let total: f64 = parts.iter().sum();
+        let states = [CState::C0, CState::C1, CState::C1E, CState::C6];
+        ResidencyVector::new(
+            states.iter().zip(&parts).map(|(&s, &p)| (s, Ratio::new(p / total))),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 2 is linear: scaling every residency toward C6 can only
+    /// reduce power.
+    #[test]
+    fn moving_residency_deeper_reduces_power(r in residency_strategy(), shift in 0.0f64..1.0) {
+        let catalog = CStateCatalog::skylake_baseline();
+        let p0 = average_power(&r, &catalog, FreqLevel::P1);
+        // Move `shift` of the C1 residency into C6.
+        let c1 = r.get(CState::C1);
+        let moved = c1 * shift;
+        let r2 = r
+            .with(CState::C1, Ratio::new(c1.get() - moved.get()))
+            .with(CState::C6, r.get(CState::C6) + moved);
+        let p1 = average_power(&r2, &catalog, FreqLevel::P1);
+        prop_assert!(p1 <= p0 + MilliWatts::new(1e-9));
+    }
+
+    /// Eq. 1 savings are within [0, 100%) and zero iff there is no C1
+    /// residency.
+    #[test]
+    fn motivation_savings_bounded(r in residency_strategy()) {
+        let s = motivation_savings(&r);
+        prop_assert!(s.get() >= 0.0);
+        prop_assert!(s.get() < 1.0);
+        if r.get(CState::C1) == Ratio::ZERO {
+            prop_assert_eq!(s, Ratio::ZERO);
+        }
+    }
+
+    /// Eq. 4 turbo savings scale inversely with the measured baseline.
+    #[test]
+    fn turbo_savings_inverse_in_baseline(r in residency_strategy(), base_w in 1.0f64..10.0) {
+        let catalog = CStateCatalog::skylake_with_aw();
+        let s1 = turbo_savings(&r, &catalog, MilliWatts::from_watts(base_w));
+        let s2 = turbo_savings(&r, &catalog, MilliWatts::from_watts(2.0 * base_w));
+        prop_assert!((s1.get() - 2.0 * s2.get()).abs() < 1e-9);
+    }
+
+    /// The AW transform is idempotent: applying it twice equals once
+    /// (no C1/C1E remains to replace; with zero overheads residencies
+    /// are unchanged on the second pass).
+    #[test]
+    fn aw_transform_idempotent_without_overheads(r in residency_strategy()) {
+        let t = AwTransform::new(0.0, 0.0);
+        let once = t.apply(&r);
+        let twice = t.apply(&once);
+        for s in CState::ALL {
+            prop_assert!((once.get(s).get() - twice.get(s).get()).abs() < 1e-12, "{s}");
+        }
+    }
+
+    /// Leakage scaling composes multiplicatively.
+    #[test]
+    fn leakage_scaling_composes(p in 1.0f64..1000.0, a1 in 0.2f64..2.0, a2 in 0.2f64..2.0) {
+        let p = MilliWatts::new(p);
+        let step = leakage_scale(leakage_scale(p, a1, 1.0), a2, 1.0);
+        let direct = leakage_scale(p, a1 * a2, 1.0);
+        prop_assert!((step.as_milliwatts() - direct.as_milliwatts()).abs() < 1e-9);
+    }
+
+    /// Cache-leakage scaling is linear in capacity.
+    #[test]
+    fn cache_scaling_linear(p in 10.0f64..1000.0, mb in 0.1f64..16.0) {
+        let reference = MilliWatts::new(p);
+        let one = scale_cache_leakage(reference, 1.0, TechNode::Nm22, mb, TechNode::Nm14);
+        let two = scale_cache_leakage(reference, 1.0, TechNode::Nm22, 2.0 * mb, TechNode::Nm14);
+        prop_assert!((two.as_milliwatts() - 2.0 * one.as_milliwatts()).abs() < 1e-9);
+    }
+
+    /// FIVR input power is monotone in the load and always at least the
+    /// static loss.
+    #[test]
+    fn fivr_monotone(load1 in 0.0f64..2000.0, load2 in 0.0f64..2000.0) {
+        let fivr = Fivr::skylake();
+        let p1 = fivr.input_power(MilliWatts::new(load1));
+        let p2 = fivr.input_power(MilliWatts::new(load2));
+        prop_assert!(p1 >= fivr.static_loss());
+        if load1 <= load2 {
+            prop_assert!(p1 <= p2);
+        }
+    }
+
+    /// Sleep-transistor loss shrinks as the rail approaches the
+    /// retention voltage.
+    #[test]
+    fn lvr_loss_monotone_in_rail(v_ret in 0.3f64..0.7, dv1 in 0.0f64..0.5, dv2 in 0.0f64..0.5) {
+        let retained = MilliWatts::new(40.0);
+        let l1 = SleepTransistorLvr::new(v_ret + dv1, v_ret).drop_loss(retained);
+        let l2 = SleepTransistorLvr::new(v_ret + dv2, v_ret).drop_loss(retained);
+        if dv1 <= dv2 {
+            prop_assert!(l1 <= l2 + MilliWatts::new(1e-9));
+        }
+    }
+
+    /// The PPA totals respond monotonically to their inputs: more gated
+    /// leakage → more C6A power.
+    #[test]
+    fn ppa_monotone_in_leakage(extra in 0.0f64..1000.0) {
+        let base = PpaModel::skylake();
+        let mut hot = PpaModel::skylake();
+        hot.core_leakage_p1 += MilliWatts::new(extra);
+        prop_assert!(hot.c6a_total().mid() >= base.c6a_total().mid());
+    }
+
+    /// TCO savings are linear in ΔP and in the fleet size.
+    #[test]
+    fn tco_linear(delta in 0.0f64..2000.0, servers in 1u64..1_000_000) {
+        let mut t = TcoModel::paper_instance();
+        t.servers = servers;
+        let one = t.yearly_fleet_savings(MilliWatts::new(delta));
+        let mut t2 = t;
+        t2.servers = servers * 2;
+        let twice = t2.yearly_fleet_savings(MilliWatts::new(delta));
+        prop_assert!((twice - 2.0 * one).abs() < 1e-6 * (1.0 + one.abs()));
+    }
+}

@@ -1,0 +1,282 @@
+//! Simulation configuration: machine shape, C-state setup, governor,
+//! dispatch policy, snoop traffic, and run window.
+
+use aw_cstates::{
+    CStateCatalog, CStateConfig, IdleGovernor, LadderGovernor, MenuGovernor, NamedConfig,
+    OracleGovernor,
+};
+use aw_types::{Joules, MegaHertz, MilliWatts, Nanos};
+
+/// How arriving requests are routed to cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dispatch {
+    /// Round-robin across cores (the default; models evenly pinned
+    /// connections).
+    RoundRobin,
+    /// Uniformly random core per request.
+    Random,
+    /// The core with the shortest queue (ties to the lowest index).
+    LeastLoaded,
+}
+
+/// Which idle-governor policy the OS runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GovernorKind {
+    /// Linux-menu-style EWMA predictor (the default).
+    Menu,
+    /// Step-up/step-down ladder.
+    Ladder,
+    /// Oracle told the true idle duration (upper bound).
+    Oracle,
+}
+
+impl GovernorKind {
+    /// Instantiates the governor.
+    #[must_use]
+    pub fn build(self) -> Box<dyn IdleGovernor> {
+        match self {
+            GovernorKind::Menu => Box::new(MenuGovernor::new()),
+            GovernorKind::Ladder => Box::new(LadderGovernor::new()),
+            GovernorKind::Oracle => Box::new(OracleGovernor::new()),
+        }
+    }
+}
+
+/// Inter-core coherence (snoop) traffic parameters (Sec. 7.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnoopTraffic {
+    /// Poisson snoop arrival rate per idle core, in snoops per second.
+    pub rate_per_core: f64,
+    /// Extra power above C1 while servicing snoops in a legacy shallow
+    /// state (~50 mW: L1/L2 clock-ungated).
+    pub legacy_power: MilliWatts,
+    /// Extra power above C6A while servicing snoops in an AW state
+    /// (~120 mW: arrays out of sleep mode).
+    pub aw_power: MilliWatts,
+    /// Duration the cache domain stays active per snoop burst.
+    pub burst_duration: Nanos,
+}
+
+impl SnoopTraffic {
+    /// No snoop traffic.
+    #[must_use]
+    pub fn none() -> Self {
+        SnoopTraffic {
+            rate_per_core: 0.0,
+            legacy_power: MilliWatts::new(50.0),
+            aw_power: MilliWatts::new(120.0),
+            burst_duration: Nanos::from_micros(1.0),
+        }
+    }
+
+    /// Snoop traffic at `rate_per_core` snoops/s with the paper's power
+    /// deltas.
+    #[must_use]
+    pub fn at_rate(rate_per_core: f64) -> Self {
+        assert!(rate_per_core >= 0.0, "snoop rate must be non-negative");
+        SnoopTraffic { rate_per_core, ..SnoopTraffic::none() }
+    }
+
+    /// `true` if any snoop traffic is generated.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.rate_per_core > 0.0
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// Number of physical cores serving requests.
+    pub cores: usize,
+    /// Named C-state configuration (enable mask + Turbo flag).
+    pub named: NamedConfig,
+    /// The C-state enable mask (derived from `named`, overridable).
+    pub cstates: CStateConfig,
+    /// The C-state parameter catalog.
+    pub catalog: CStateCatalog,
+    /// Idle-governor policy.
+    pub governor: GovernorKind,
+    /// Request dispatch policy.
+    pub dispatch: Dispatch,
+    /// Base (P1) core frequency.
+    pub base_freq: MegaHertz,
+    /// Maximum Turbo frequency.
+    pub turbo_freq: MegaHertz,
+    /// Snoop traffic parameters.
+    pub snoops: SnoopTraffic,
+    /// Simulated duration (after warm-up).
+    pub duration: Nanos,
+    /// Warm-up period excluded from metrics.
+    pub warmup: Nanos,
+    /// Extra service-time stretch from AW's power-gate IR drop (≈1% ×
+    /// workload scalability), applied only for AW configurations.
+    pub aw_frequency_degradation: f64,
+    /// Hidden energy burned per idle-state round trip (wake in-rush,
+    /// clock restart, PLL stabilization) that residency counters cannot
+    /// see. This is what keeps the Sec. 6.3 analytical-model validation
+    /// below 100%: Eq. 2 prices residencies, not transitions.
+    pub transition_energy: Joules,
+    /// Optional per-core OS timer tick: a periodic kernel interrupt that
+    /// wakes each core and runs [`ServerConfig::tick_work`] of kernel
+    /// time. Real kernels' ticks chop long idle periods, which is a big
+    /// part of why production residency profiles stay shallower than
+    /// queueing theory alone predicts. `None` (default) disables it.
+    pub timer_tick: Option<Nanos>,
+    /// Kernel work per timer tick.
+    pub tick_work: Nanos,
+}
+
+impl ServerConfig {
+    /// A Xeon-4114-shaped configuration: `cores` cores at 2.2 GHz base /
+    /// 3.0 GHz Turbo, menu governor, round-robin dispatch, 1 s simulated
+    /// with 100 ms warm-up, no snoop traffic.
+    ///
+    /// The catalog always carries the AW states so AW configurations
+    /// validate; legacy configurations simply never select them.
+    #[must_use]
+    pub fn new(cores: usize, named: NamedConfig) -> Self {
+        assert!(cores > 0, "need at least one core");
+        ServerConfig {
+            cores,
+            named,
+            cstates: named.config(),
+            catalog: CStateCatalog::skylake_with_aw(),
+            governor: GovernorKind::Menu,
+            dispatch: Dispatch::RoundRobin,
+            base_freq: MegaHertz::from_ghz(2.2),
+            turbo_freq: MegaHertz::from_ghz(3.0),
+            snoops: SnoopTraffic::none(),
+            duration: Nanos::from_secs(1.0),
+            warmup: Nanos::from_millis(100.0),
+            aw_frequency_degradation: 0.01,
+            transition_energy: Joules::new(10e-6),
+            timer_tick: None,
+            tick_work: Nanos::from_micros(5.0),
+        }
+    }
+
+    /// Sets the simulated duration (post-warm-up).
+    #[must_use]
+    pub fn with_duration(mut self, duration: Nanos) -> Self {
+        assert!(duration > Nanos::ZERO, "duration must be positive");
+        self.duration = duration;
+        // Keep warm-up proportionate for short test runs.
+        self.warmup = self.warmup.min(duration * 0.2);
+        self
+    }
+
+    /// Sets the warm-up period.
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: Nanos) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the governor policy.
+    #[must_use]
+    pub fn with_governor(mut self, governor: GovernorKind) -> Self {
+        self.governor = governor;
+        self
+    }
+
+    /// Sets the dispatch policy.
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: Dispatch) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Sets the snoop traffic.
+    #[must_use]
+    pub fn with_snoops(mut self, snoops: SnoopTraffic) -> Self {
+        self.snoops = snoops;
+        self
+    }
+
+    /// Enables a per-core OS timer tick with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive.
+    #[must_use]
+    pub fn with_timer_tick(mut self, period: Nanos) -> Self {
+        assert!(period > Nanos::ZERO, "tick period must be positive");
+        self.timer_tick = Some(period);
+        self
+    }
+
+    /// Overrides the C-state catalog (e.g., PPA-derived C6A power).
+    #[must_use]
+    pub fn with_catalog(mut self, catalog: CStateCatalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Overrides the C-state enable mask while keeping the named label
+    /// (for configurations the paper uses that aren't in
+    /// [`NamedConfig`], e.g. MySQL's "C1 + C6 only" baseline).
+    #[must_use]
+    pub fn with_cstates(mut self, cstates: CStateConfig) -> Self {
+        self.cstates = cstates;
+        self
+    }
+
+    /// `true` if this run models AW hardware (and thus its ~1% frequency
+    /// degradation applies).
+    #[must_use]
+    pub fn is_aw(&self) -> bool {
+        self.named.is_aw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_cstates::CState;
+
+    #[test]
+    fn default_shape_is_xeon_4114() {
+        let c = ServerConfig::new(10, NamedConfig::Baseline);
+        assert_eq!(c.cores, 10);
+        assert_eq!(c.base_freq, MegaHertz::from_ghz(2.2));
+        assert_eq!(c.turbo_freq, MegaHertz::from_ghz(3.0));
+        assert!(c.cstates.turbo());
+        assert!(c.cstates.is_enabled(CState::C6));
+    }
+
+    #[test]
+    fn catalog_validates_for_all_named_configs() {
+        for named in NamedConfig::ALL {
+            let c = ServerConfig::new(2, named);
+            assert_eq!(c.cstates.validate(&c.catalog), Ok(()), "{named}");
+        }
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = ServerConfig::new(2, NamedConfig::Aw)
+            .with_duration(Nanos::from_millis(10.0))
+            .with_governor(GovernorKind::Oracle)
+            .with_dispatch(Dispatch::LeastLoaded)
+            .with_snoops(SnoopTraffic::at_rate(1_000.0));
+        assert_eq!(c.duration, Nanos::from_millis(10.0));
+        assert!(c.warmup <= c.duration * 0.2);
+        assert_eq!(c.governor, GovernorKind::Oracle);
+        assert!(c.snoops.is_active());
+        assert!(c.is_aw());
+    }
+
+    #[test]
+    fn governor_kinds_build() {
+        for kind in [GovernorKind::Menu, GovernorKind::Ladder, GovernorKind::Oracle] {
+            let _ = kind.build();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn rejects_zero_cores() {
+        let _ = ServerConfig::new(0, NamedConfig::Baseline);
+    }
+}

@@ -1,0 +1,339 @@
+//! Run metrics: the observables the paper's evaluation reports.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use aw_cstates::CState;
+use aw_power::ResidencyVector;
+use aw_sim::SampleSet;
+use aw_types::{MilliWatts, Nanos, Ratio};
+use serde::Serialize;
+
+use crate::uncore::PackageCState;
+
+/// Latency distribution summary: mean, median, p99 ("tail"), and max.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LatencyStats {
+    /// Arithmetic mean.
+    pub mean: Nanos,
+    /// Median (p50).
+    pub p50: Nanos,
+    /// 99th percentile — the paper's "tail latency".
+    pub p99: Nanos,
+    /// Maximum observed.
+    pub max: Nanos,
+}
+
+impl LatencyStats {
+    /// Summarizes a sample set; zero stats if empty.
+    #[must_use]
+    pub fn from_samples(samples: &mut SampleSet) -> Self {
+        LatencyStats {
+            mean: Nanos::new(samples.mean().unwrap_or(0.0)),
+            p50: Nanos::new(samples.median().unwrap_or(0.0)),
+            p99: Nanos::new(samples.p99().unwrap_or(0.0)),
+            max: Nanos::new(samples.percentile(1.0).unwrap_or(0.0)),
+        }
+    }
+
+    /// Returns a copy with `offset` added to every statistic (used to turn
+    /// server-side latency into end-to-end latency by adding the network
+    /// round trip).
+    #[must_use]
+    pub fn offset_by(&self, offset: Nanos) -> LatencyStats {
+        LatencyStats {
+            mean: self.mean + offset,
+            p50: self.p50 + offset,
+            p99: self.p99 + offset,
+            max: self.max + offset,
+        }
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mean={} p50={} p99={} max={}", self.mean, self.p50, self.p99, self.max)
+    }
+}
+
+/// Decomposition of mean server-side sojourn time into its causes.
+///
+/// `transition + queue + service ≈ server_latency.mean`: the transition
+/// component is the idle-state exit latency personally absorbed by
+/// wake-triggering requests (averaged over *all* requests), the queue
+/// component is time spent behind other requests, and service is the
+/// execution time itself. This is the quantity behind the paper's
+/// Fig. 8(c) worst/expected analysis: AW shrinks the transition share to
+/// nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LatencyBreakdown {
+    /// Mean idle-exit latency absorbed per request.
+    pub transition: Nanos,
+    /// Mean time queued behind other requests.
+    pub queue: Nanos,
+    /// Mean service (execution) time.
+    pub service: Nanos,
+}
+
+impl LatencyBreakdown {
+    /// The sum of the components (≈ mean server latency).
+    #[must_use]
+    pub fn total(&self) -> Nanos {
+        self.transition + self.queue + self.service
+    }
+
+    /// The transition component as a fraction of the total.
+    #[must_use]
+    pub fn transition_share(&self) -> Ratio {
+        let t = self.total();
+        if t <= Nanos::ZERO {
+            Ratio::ZERO
+        } else {
+            Ratio::new(self.transition / t)
+        }
+    }
+}
+
+/// Everything one simulation run measures.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunMetrics {
+    /// Configuration name (e.g. `NT_No_C6`).
+    pub config: String,
+    /// Workload name.
+    pub workload: String,
+    /// Measured window (post-warm-up).
+    pub duration: Nanos,
+    /// Core count.
+    pub cores: usize,
+    /// Aggregate C-state residencies across cores (time-weighted).
+    pub residencies: ResidencyVector,
+    /// Average per-core power over the window (the paper's `AvgP`).
+    pub avg_core_power: MilliWatts,
+    /// Server-side request latency.
+    pub server_latency: LatencyStats,
+    /// End-to-end latency (server + network round trip).
+    pub end_to_end_latency: LatencyStats,
+    /// Requests completed in the window.
+    pub completed: u64,
+    /// Offered load (requests/s).
+    pub offered_qps: f64,
+    /// Achieved throughput (requests/s).
+    pub achieved_qps: f64,
+    /// Idle-state entry counts per C-state.
+    pub transitions: BTreeMap<CState, u64>,
+    /// Snoop bursts serviced by idle cores.
+    pub snoops_served: u64,
+    /// Fraction of busy time spent at Turbo frequency.
+    pub turbo_fraction: Ratio,
+    /// Average uncore power over the window.
+    pub avg_uncore_power: MilliWatts,
+    /// Package C-state residencies: (PC0, PC2, PC6).
+    pub package_residency: [Ratio; 3],
+    /// Mean-latency decomposition (transition / queue / service).
+    pub breakdown: LatencyBreakdown,
+}
+
+impl RunMetrics {
+    /// Residency of one state (zero if never entered).
+    #[must_use]
+    pub fn residency_of(&self, state: CState) -> Ratio {
+        self.residencies.get(state)
+    }
+
+    /// Residency of one package state.
+    #[must_use]
+    pub fn package_residency_of(&self, state: PackageCState) -> Ratio {
+        match state {
+            PackageCState::Pc0 => self.package_residency[0],
+            PackageCState::Pc2 => self.package_residency[1],
+            PackageCState::Pc6 => self.package_residency[2],
+        }
+    }
+
+    /// Total package power: all cores plus the uncore.
+    #[must_use]
+    pub fn package_power(&self) -> MilliWatts {
+        self.avg_core_power * self.cores as f64 + self.avg_uncore_power
+    }
+
+    /// Mean CPU energy spent per completed request (cores + uncore),
+    /// the energy-efficiency figure of merit for the datacenter analysis.
+    #[must_use]
+    pub fn energy_per_request(&self) -> aw_types::Joules {
+        if self.completed == 0 {
+            return aw_types::Joules::ZERO;
+        }
+        (self.package_power() * self.duration) / self.completed as f64
+    }
+
+    /// Total idle-state transitions per second of measured time.
+    #[must_use]
+    pub fn transitions_per_second(&self) -> f64 {
+        let total: u64 = self.transitions.values().sum();
+        if self.duration <= Nanos::ZERO {
+            0.0
+        } else {
+            total as f64 / self.duration.as_secs()
+        }
+    }
+
+    /// Power savings of this run relative to `baseline`, as a fraction of
+    /// the baseline's average power.
+    #[must_use]
+    pub fn power_savings_vs(&self, baseline: &RunMetrics) -> Ratio {
+        if baseline.avg_core_power <= MilliWatts::ZERO {
+            return Ratio::ZERO;
+        }
+        Ratio::new(1.0 - self.avg_core_power / baseline.avg_core_power)
+    }
+
+    /// Fractional p99 latency change versus `baseline` (positive =
+    /// degradation).
+    #[must_use]
+    pub fn tail_latency_delta_vs(&self, baseline: &RunMetrics) -> f64 {
+        let b = baseline.server_latency.p99.as_nanos();
+        if b <= 0.0 {
+            return 0.0;
+        }
+        self.server_latency.p99.as_nanos() / b - 1.0
+    }
+
+    /// Fractional mean latency change versus `baseline` (positive =
+    /// degradation).
+    #[must_use]
+    pub fn mean_latency_delta_vs(&self, baseline: &RunMetrics) -> f64 {
+        let b = baseline.server_latency.mean.as_nanos();
+        if b <= 0.0 {
+            return 0.0;
+        }
+        self.server_latency.mean.as_nanos() / b - 1.0
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} / {}: {:.0} QPS offered, {:.0} achieved, AvgP={}",
+            self.config, self.workload, self.offered_qps, self.achieved_qps, self.avg_core_power
+        )?;
+        writeln!(f, "  residency: {}", self.residencies)?;
+        writeln!(f, "  latency:   {}", self.server_latency)?;
+        write!(f, "  turbo: {}, snoops: {}", self.turbo_fraction, self.snoops_served)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics(power_mw: f64, p99_us: f64) -> RunMetrics {
+        let mut s = SampleSet::new();
+        for i in 1..=100 {
+            s.record(p99_us * 1e3 * f64::from(i) / 100.0);
+        }
+        RunMetrics {
+            config: "test".into(),
+            workload: "w".into(),
+            duration: Nanos::from_secs(1.0),
+            cores: 2,
+            residencies: ResidencyVector::from_percents([
+                (CState::C0, 30.0),
+                (CState::C1, 70.0),
+            ]),
+            avg_core_power: MilliWatts::new(power_mw),
+            server_latency: LatencyStats::from_samples(&mut s.clone()),
+            end_to_end_latency: LatencyStats::from_samples(&mut s).offset_by(Nanos::from_micros(117.0)),
+            completed: 1000,
+            offered_qps: 1000.0,
+            achieved_qps: 1000.0,
+            transitions: BTreeMap::from([(CState::C1, 500u64)]),
+            snoops_served: 0,
+            turbo_fraction: Ratio::ZERO,
+            avg_uncore_power: MilliWatts::from_watts(10.0),
+            package_residency: [Ratio::ONE, Ratio::ZERO, Ratio::ZERO],
+            breakdown: LatencyBreakdown {
+                transition: Nanos::from_micros(1.0),
+                queue: Nanos::from_micros(2.0),
+                service: Nanos::from_micros(4.0),
+            },
+        }
+    }
+
+    #[test]
+    fn latency_stats_ordering() {
+        let m = sample_metrics(1000.0, 100.0);
+        assert!(m.server_latency.p50 <= m.server_latency.p99);
+        assert!(m.server_latency.p99 <= m.server_latency.max);
+    }
+
+    #[test]
+    fn end_to_end_adds_network() {
+        let m = sample_metrics(1000.0, 100.0);
+        let delta = m.end_to_end_latency.mean - m.server_latency.mean;
+        assert_eq!(delta, Nanos::from_micros(117.0));
+    }
+
+    #[test]
+    fn savings_vs_baseline() {
+        let baseline = sample_metrics(2000.0, 100.0);
+        let aw = sample_metrics(1200.0, 101.0);
+        let s = aw.power_savings_vs(&baseline);
+        assert!((s.as_percent() - 40.0).abs() < 1e-9);
+        assert!(aw.tail_latency_delta_vs(&baseline) > 0.0);
+        assert!(aw.tail_latency_delta_vs(&baseline) < 0.02);
+    }
+
+    #[test]
+    fn transitions_per_second() {
+        let m = sample_metrics(1000.0, 100.0);
+        assert!((m.transitions_per_second() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baseline_power_yields_zero_savings() {
+        let baseline = sample_metrics(0.0, 100.0);
+        let m = sample_metrics(1000.0, 100.0);
+        assert_eq!(m.power_savings_vs(&baseline), Ratio::ZERO);
+    }
+
+    #[test]
+    fn empty_samples_yield_zero_stats() {
+        let mut s = SampleSet::new();
+        let l = LatencyStats::from_samples(&mut s);
+        assert_eq!(l.mean, Nanos::ZERO);
+        assert_eq!(l.p99, Nanos::ZERO);
+    }
+
+    #[test]
+    fn breakdown_totals_and_shares() {
+        let m = sample_metrics(1000.0, 100.0);
+        assert_eq!(m.breakdown.total(), Nanos::from_micros(7.0));
+        assert!((m.breakdown.transition_share().get() - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn package_power_sums_cores_and_uncore() {
+        let m = sample_metrics(1000.0, 100.0);
+        assert_eq!(m.package_power(), MilliWatts::from_watts(12.0));
+        assert_eq!(m.package_residency_of(PackageCState::Pc0), Ratio::ONE);
+    }
+
+    #[test]
+    fn energy_per_request() {
+        let m = sample_metrics(1000.0, 100.0);
+        // 12 W × 1 s / 1000 requests = 12 mJ per request.
+        assert!((m.energy_per_request().as_joules() - 0.012).abs() < 1e-9);
+        let mut empty = sample_metrics(1000.0, 100.0);
+        empty.completed = 0;
+        assert_eq!(empty.energy_per_request(), aw_types::Joules::ZERO);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = sample_metrics(1000.0, 100.0);
+        let text = m.to_string();
+        assert!(text.contains("QPS"));
+        assert!(text.contains("residency"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Package-level (uncore) idle states.
+//!
+//! The paper scopes itself to *core* C-states and notes (footnote 1)
+//! that package C-states (PC2/PC6…) save additional uncore power but
+//! need *every* core idle — and deep package states additionally need
+//! every core in C6, because a core with live caches (C1…C6A) still
+//! requires the coherence fabric powered. That is exactly why AW's C6A
+//! keeps the package out of PC6: its caches stay coherent. The follow-up
+//! AgilePkgC paper (ref [9]) attacks that limitation; this module models
+//! the baseline package behaviour so the simulator's package power is
+//! honest about it.
+
+use aw_sim::{EnergyMeter, ResidencyTracker};
+use aw_types::{Joules, MilliWatts, Nanos, Ratio};
+use serde::Serialize;
+
+/// Package-level idle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum PackageCState {
+    /// At least one core is active or transitioning: uncore fully on.
+    Pc0,
+    /// Every core idle: uncore clock-gated where possible.
+    Pc2,
+    /// Every core in (legacy) C6 with caches flushed: uncore voltage
+    /// reduced, shared cache in retention.
+    Pc6,
+}
+
+/// Uncore power levels per package state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct UncorePower {
+    /// Uncore power with any core active.
+    pub pc0: MilliWatts,
+    /// Uncore power with all cores idle.
+    pub pc2: MilliWatts,
+    /// Uncore power with all cores in C6.
+    pub pc6: MilliWatts,
+}
+
+impl UncorePower {
+    /// Skylake-like defaults: 12 W active, 8 W all-idle, 2 W in PC6.
+    #[must_use]
+    pub fn skylake() -> Self {
+        UncorePower {
+            pc0: MilliWatts::from_watts(12.0),
+            pc2: MilliWatts::from_watts(8.0),
+            pc6: MilliWatts::from_watts(2.0),
+        }
+    }
+
+    /// The power drawn in `state`.
+    #[must_use]
+    pub fn of(&self, state: PackageCState) -> MilliWatts {
+        match state {
+            PackageCState::Pc0 => self.pc0,
+            PackageCState::Pc2 => self.pc2,
+            PackageCState::Pc6 => self.pc6,
+        }
+    }
+}
+
+/// Tracks the package idle state from per-core occupancy counts and
+/// integrates uncore energy.
+///
+/// The server simulator reports every change in the number of
+/// idle/flushed cores; the model derives the package state:
+///
+/// * any core busy → PC0;
+/// * all cores idle → PC2;
+/// * all cores idle **and** all in C6 → PC6.
+///
+/// # Examples
+///
+/// ```
+/// use aw_server::{PackageCState, UncoreModel};
+/// use aw_types::Nanos;
+///
+/// let mut u = UncoreModel::skylake(4, Nanos::ZERO);
+/// assert_eq!(u.state(), PackageCState::Pc0);
+///
+/// // All four cores go idle, two of them into C6:
+/// u.update(4, 2, Nanos::from_micros(10.0));
+/// assert_eq!(u.state(), PackageCState::Pc2);
+///
+/// // The other two reach C6 as well:
+/// u.update(4, 4, Nanos::from_micros(50.0));
+/// assert_eq!(u.state(), PackageCState::Pc6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UncoreModel {
+    cores: usize,
+    power: UncorePower,
+    state: PackageCState,
+    meter: EnergyMeter,
+    tracker: ResidencyTracker<PackageCState>,
+}
+
+impl UncoreModel {
+    /// Creates the model for a `cores`-core package with Skylake-like
+    /// uncore powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    #[must_use]
+    pub fn skylake(cores: usize, start: Nanos) -> Self {
+        UncoreModel::new(cores, UncorePower::skylake(), start)
+    }
+
+    /// Creates the model with explicit power levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    #[must_use]
+    pub fn new(cores: usize, power: UncorePower, start: Nanos) -> Self {
+        assert!(cores > 0, "need at least one core");
+        UncoreModel {
+            cores,
+            power,
+            state: PackageCState::Pc0,
+            meter: EnergyMeter::new(start),
+            tracker: ResidencyTracker::new(PackageCState::Pc0, start),
+        }
+    }
+
+    /// Current package state.
+    #[must_use]
+    pub fn state(&self) -> PackageCState {
+        self.state
+    }
+
+    /// Reports the occupancy at time `now`: `idle_cores` cores resident
+    /// in any idle state, of which `c6_cores` are in legacy C6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts are inconsistent with the core count.
+    pub fn update(&mut self, idle_cores: usize, c6_cores: usize, now: Nanos) {
+        assert!(idle_cores <= self.cores, "idle count exceeds core count");
+        assert!(c6_cores <= idle_cores, "C6 cores must be idle cores");
+        let next = if idle_cores < self.cores {
+            PackageCState::Pc0
+        } else if c6_cores == self.cores {
+            PackageCState::Pc6
+        } else {
+            PackageCState::Pc2
+        };
+        if next != self.state {
+            self.meter.advance(self.power.of(self.state), now);
+            self.tracker.transition(next, now);
+            self.state = next;
+        }
+    }
+
+    /// Closes the observation window and returns accumulated energy.
+    pub fn finish(&mut self, end: Nanos) -> Joules {
+        self.meter.advance(self.power.of(self.state), end);
+        self.tracker.finish(end);
+        self.meter.energy()
+    }
+
+    /// Restarts energy/residency accounting at `now`, keeping the
+    /// current state (warm-up boundary).
+    pub fn reset_metrics(&mut self, now: Nanos) {
+        self.meter = EnergyMeter::new(now);
+        self.tracker = ResidencyTracker::new(self.state, now);
+    }
+
+    /// Fraction of observed time in `state`.
+    #[must_use]
+    pub fn residency(&self, state: PackageCState) -> Ratio {
+        self.tracker.residency(&state)
+    }
+
+    /// Uncore energy accumulated so far (excludes the open interval).
+    #[must_use]
+    pub fn energy(&self) -> Joules {
+        self.meter.energy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_in_pc0() {
+        let u = UncoreModel::skylake(2, Nanos::ZERO);
+        assert_eq!(u.state(), PackageCState::Pc0);
+    }
+
+    #[test]
+    fn all_idle_enters_pc2() {
+        let mut u = UncoreModel::skylake(2, Nanos::ZERO);
+        u.update(1, 0, Nanos::new(10.0));
+        assert_eq!(u.state(), PackageCState::Pc0);
+        u.update(2, 0, Nanos::new(20.0));
+        assert_eq!(u.state(), PackageCState::Pc2);
+    }
+
+    #[test]
+    fn pc6_requires_all_cores_in_c6() {
+        let mut u = UncoreModel::skylake(3, Nanos::ZERO);
+        u.update(3, 2, Nanos::new(10.0));
+        assert_eq!(u.state(), PackageCState::Pc2);
+        u.update(3, 3, Nanos::new(20.0));
+        assert_eq!(u.state(), PackageCState::Pc6);
+        // One core waking drops straight to PC0.
+        u.update(2, 2, Nanos::new(30.0));
+        assert_eq!(u.state(), PackageCState::Pc0);
+    }
+
+    #[test]
+    fn aw_cores_block_pc6() {
+        // The documented limitation: cores idling in C6A (coherent
+        // caches) count as idle but never as C6, so PC6 is unreachable.
+        let mut u = UncoreModel::skylake(2, Nanos::ZERO);
+        u.update(2, 0, Nanos::new(10.0));
+        assert_eq!(u.state(), PackageCState::Pc2);
+    }
+
+    #[test]
+    fn energy_integrates_state_power() {
+        let mut u = UncoreModel::skylake(1, Nanos::ZERO);
+        // 1 ms at PC0 (12 W) then 1 ms at PC6 (2 W).
+        u.update(1, 1, Nanos::from_millis(1.0));
+        let total = u.finish(Nanos::from_millis(2.0));
+        assert!((total.as_joules() - (12.0e-3 + 2.0e-3)).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn residencies_partition() {
+        let mut u = UncoreModel::skylake(1, Nanos::ZERO);
+        u.update(1, 0, Nanos::new(40.0));
+        u.update(0, 0, Nanos::new(80.0));
+        u.finish(Nanos::new(100.0));
+        let sum = u.residency(PackageCState::Pc0).get()
+            + u.residency(PackageCState::Pc2).get()
+            + u.residency(PackageCState::Pc6).get();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((u.residency(PackageCState::Pc2).get() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_accounting() {
+        let mut u = UncoreModel::skylake(1, Nanos::ZERO);
+        u.update(1, 1, Nanos::from_millis(1.0));
+        u.reset_metrics(Nanos::from_millis(1.0));
+        assert_eq!(u.energy(), Joules::ZERO);
+        assert_eq!(u.state(), PackageCState::Pc6);
+    }
+
+    #[test]
+    #[should_panic(expected = "C6 cores must be idle")]
+    fn rejects_inconsistent_counts() {
+        let mut u = UncoreModel::skylake(2, Nanos::ZERO);
+        u.update(1, 2, Nanos::new(1.0));
+    }
+}

@@ -1,0 +1,229 @@
+//! Workload specification: the arrival process and service-time
+//! distribution a simulation run is driven by.
+
+use std::fmt;
+use std::sync::Arc;
+
+use aw_sim::{Distribution, Exponential, SimRng};
+use aw_types::Nanos;
+
+/// A workload: an open-loop arrival process plus a service-time
+/// distribution, with the metadata the power model needs.
+///
+/// Concrete workload models (Memcached/ETC, Kafka, MySQL OLTP, the
+/// validation loads) live in the `aw-workloads` crate and construct
+/// `WorkloadSpec`s; the simulator is agnostic to what the distributions
+/// represent.
+#[derive(Clone)]
+pub struct WorkloadSpec {
+    name: String,
+    /// Inter-arrival gaps in nanoseconds (server-wide).
+    interarrival: Arc<dyn Distribution>,
+    /// Per-request service time in nanoseconds at base frequency.
+    service: Arc<dyn Distribution>,
+    /// Fractional performance change per fractional frequency change
+    /// (Sec. 6.2 footnote 8): 1.0 = fully compute-bound.
+    frequency_scalability: f64,
+    /// Fixed network round-trip added to server-side latency for
+    /// end-to-end reporting (the paper measures 117 µs).
+    network_rtt: Nanos,
+}
+
+impl WorkloadSpec {
+    /// Creates a workload from explicit distributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency_scalability` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        interarrival: Arc<dyn Distribution>,
+        service: Arc<dyn Distribution>,
+        frequency_scalability: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&frequency_scalability),
+            "frequency scalability must be in [0, 1]"
+        );
+        WorkloadSpec {
+            name: name.into(),
+            interarrival,
+            service,
+            frequency_scalability,
+            network_rtt: Nanos::from_micros(117.0),
+        }
+    }
+
+    /// A Poisson arrival process at `qps` requests per second with
+    /// exponentially distributed service around `mean_service`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qps` is not positive or `mean_service` is not positive.
+    #[must_use]
+    pub fn poisson(
+        name: impl Into<String>,
+        qps: f64,
+        mean_service: Nanos,
+        frequency_scalability: f64,
+    ) -> Self {
+        assert!(qps > 0.0, "offered load must be positive");
+        assert!(mean_service > Nanos::ZERO, "service time must be positive");
+        WorkloadSpec::new(
+            name,
+            Arc::new(Exponential::with_mean(1e9 / qps)),
+            Arc::new(Exponential::with_mean(mean_service.as_nanos())),
+            frequency_scalability,
+        )
+    }
+
+    /// Workload name (used in reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Draws the gap to the next arrival.
+    #[must_use]
+    pub fn next_gap(&self, rng: &mut SimRng) -> Nanos {
+        Nanos::new(self.interarrival.sample(rng))
+    }
+
+    /// Draws a service time (at base frequency).
+    #[must_use]
+    pub fn next_service(&self, rng: &mut SimRng) -> Nanos {
+        Nanos::new(self.service.sample(rng))
+    }
+
+    /// Mean offered load in requests per second.
+    #[must_use]
+    pub fn offered_qps(&self) -> f64 {
+        1e9 / self.interarrival.mean()
+    }
+
+    /// Mean service time at base frequency.
+    #[must_use]
+    pub fn mean_service(&self) -> Nanos {
+        Nanos::new(self.service.mean())
+    }
+
+    /// The workload's frequency scalability.
+    #[must_use]
+    pub fn frequency_scalability(&self) -> f64 {
+        self.frequency_scalability
+    }
+
+    /// The fixed network round-trip for end-to-end latency reporting.
+    #[must_use]
+    pub fn network_rtt(&self) -> Nanos {
+        self.network_rtt
+    }
+
+    /// Returns a copy with a different network round-trip.
+    #[must_use]
+    pub fn with_network_rtt(mut self, rtt: Nanos) -> Self {
+        self.network_rtt = rtt;
+        self
+    }
+
+    /// Returns a copy with every service time stretched by `factor`
+    /// (> 1 models running at a lower core frequency: the Fig. 8d
+    /// frequency-scalability experiment stretches service by
+    /// `1 + scalability × Δf/f`).
+    #[must_use]
+    pub fn scaled_service(&self, factor: f64) -> WorkloadSpec {
+        assert!(factor > 0.0, "scale factor must be positive");
+        #[derive(Debug)]
+        struct Scaled {
+            inner: Arc<dyn Distribution>,
+            factor: f64,
+        }
+        impl Distribution for Scaled {
+            fn sample(&self, rng: &mut SimRng) -> f64 {
+                self.inner.sample(rng) * self.factor
+            }
+            fn mean(&self) -> f64 {
+                self.inner.mean() * self.factor
+            }
+        }
+        WorkloadSpec {
+            name: self.name.clone(),
+            interarrival: Arc::clone(&self.interarrival),
+            service: Arc::new(Scaled { inner: Arc::clone(&self.service), factor }),
+            frequency_scalability: self.frequency_scalability,
+            network_rtt: self.network_rtt,
+        }
+    }
+
+    /// Returns a copy with the offered load scaled by `factor` (a sweep
+    /// helper; inter-arrival gaps shrink by the same factor).
+    #[must_use]
+    pub fn scaled_qps(&self, factor: f64) -> WorkloadSpec {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let qps = self.offered_qps() * factor;
+        WorkloadSpec {
+            name: self.name.clone(),
+            interarrival: Arc::new(Exponential::with_mean(1e9 / qps)),
+            service: Arc::clone(&self.service),
+            frequency_scalability: self.frequency_scalability,
+            network_rtt: self.network_rtt,
+        }
+    }
+}
+
+impl fmt::Debug for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkloadSpec")
+            .field("name", &self.name)
+            .field("offered_qps", &self.offered_qps())
+            .field("mean_service", &self.mean_service())
+            .field("frequency_scalability", &self.frequency_scalability)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_spec_moments() {
+        let w = WorkloadSpec::poisson("w", 100_000.0, Nanos::from_micros(2.0), 0.5);
+        assert!((w.offered_qps() - 100_000.0).abs() < 1e-6);
+        assert_eq!(w.mean_service(), Nanos::from_micros(2.0));
+        assert_eq!(w.frequency_scalability(), 0.5);
+    }
+
+    #[test]
+    fn sampled_gaps_match_rate() {
+        let w = WorkloadSpec::poisson("w", 1_000_000.0, Nanos::from_micros(1.0), 0.5);
+        let mut rng = SimRng::seed(1);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| w.next_gap(&mut rng).as_nanos()).sum::<f64>() / f64::from(n);
+        assert!((mean - 1_000.0).abs() < 30.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn qps_scaling() {
+        let w = WorkloadSpec::poisson("w", 100_000.0, Nanos::from_micros(2.0), 0.5);
+        let w2 = w.scaled_qps(3.0);
+        assert!((w2.offered_qps() - 300_000.0).abs() < 1e-6);
+        assert_eq!(w2.mean_service(), w.mean_service());
+    }
+
+    #[test]
+    fn network_rtt_default_matches_paper() {
+        let w = WorkloadSpec::poisson("w", 1_000.0, Nanos::from_micros(2.0), 0.5);
+        assert_eq!(w.network_rtt(), Nanos::from_micros(117.0));
+        let w2 = w.with_network_rtt(Nanos::ZERO);
+        assert_eq!(w2.network_rtt(), Nanos::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalability")]
+    fn rejects_bad_scalability() {
+        let _ = WorkloadSpec::poisson("w", 1_000.0, Nanos::from_micros(2.0), 1.5);
+    }
+}

@@ -1,0 +1,192 @@
+//! Time-ordered event queue with stable FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use aw_types::Nanos;
+
+/// A pending event: its firing time, a monotone sequence number for stable
+/// ordering of simultaneous events, and the payload.
+struct Entry<E> {
+    at: Nanos,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (then the
+        // lowest sequence number) pops first. Times are finite by
+        // construction (`schedule` rejects non-finite times).
+        other
+            .at
+            .partial_cmp(&self.at)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event queue ordered by firing time.
+///
+/// Events scheduled for the same instant pop in the order they were
+/// scheduled (FIFO), which keeps simulations deterministic without needing
+/// a total order on the event payload type.
+///
+/// # Examples
+///
+/// ```
+/// use aw_sim::EventQueue;
+/// use aw_types::Nanos;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Nanos::from_micros(2.0), 1u32);
+/// q.schedule(Nanos::from_micros(1.0), 2u32);
+/// assert_eq!(q.pop(), Some((Nanos::from_micros(1.0), 2)));
+/// assert_eq!(q.pop(), Some((Nanos::from_micros(2.0), 1)));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is NaN or infinite — scheduling at a non-finite time
+    /// is always a simulation bug and would corrupt heap ordering.
+    pub fn schedule(&mut self, at: Nanos, event: E) {
+        assert!(at.is_finite(), "event scheduled at non-finite time");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is
+    /// empty.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// The firing time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next_time", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[5.0, 1.0, 3.0, 2.0, 4.0] {
+            q.schedule(Nanos::new(t), t as u32);
+        }
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Nanos::new(7.0), i);
+        }
+        let out: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        let expect: Vec<_> = (0..100).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::new(9.0), ());
+        q.schedule(Nanos::new(4.0), ());
+        assert_eq!(q.peek_time(), Some(Nanos::new(4.0)));
+        assert_eq!(q.pop().unwrap().0, Nanos::new(4.0));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Nanos::ZERO, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::new(f64::NAN), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::new(10.0), "a");
+        q.schedule(Nanos::new(20.0), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.schedule(Nanos::new(15.0), "c");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+}

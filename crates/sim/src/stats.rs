@@ -1,0 +1,402 @@
+//! Online statistics: moments, percentiles, and histograms.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use aw_sim::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 if no observations were recorded.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (dividing by `n`), or 0 for fewer than one
+    /// observation.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest observation, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A reservoir of raw samples supporting exact percentile queries.
+///
+/// The evaluation reports p50/p99 ("tail") latencies over full runs, which
+/// fit comfortably in memory, so we keep exact samples rather than a sketch.
+/// Percentiles use the nearest-rank method.
+///
+/// # Examples
+///
+/// ```
+/// use aw_sim::SampleSet;
+///
+/// let mut s = SampleSet::new();
+/// for i in 1..=100 {
+///     s.record(f64::from(i));
+/// }
+/// assert_eq!(s.percentile(0.50), Some(50.0));
+/// assert_eq!(s.percentile(0.99), Some(99.0));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SampleSet {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl SampleSet {
+    /// Creates an empty sample set.
+    #[must_use]
+    pub fn new() -> Self {
+        SampleSet { samples: Vec::new(), sorted: true }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean of the samples, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// The `q`-quantile (nearest-rank), `q` in `[0, 1]`. `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        Some(self.samples[rank - 1])
+    }
+
+    /// Convenience: the median (p50).
+    #[must_use]
+    pub fn median(&mut self) -> Option<f64> {
+        self.percentile(0.5)
+    }
+
+    /// Convenience: the p99 "tail" latency used throughout the evaluation.
+    #[must_use]
+    pub fn p99(&mut self) -> Option<f64> {
+        self.percentile(0.99)
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with overflow/underflow buckets.
+///
+/// # Examples
+///
+/// ```
+/// use aw_sim::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 100.0, 10);
+/// h.record(5.0);
+/// h.record(15.0);
+/// h.record(-3.0);   // underflow
+/// h.record(250.0);  // overflow
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(1), 1);
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `n` equal-width buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `n == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(lo < hi, "histogram bounds must be ordered");
+        assert!(n > 0, "histogram needs at least one bucket");
+        Histogram { lo, hi, buckets: vec![0; n], underflow: 0, overflow: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.buckets.len() as f64) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Observations below the histogram range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the histogram range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including out-of-range.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, count) in self.buckets.iter().enumerate() {
+            let lo = self.lo + width * i as f64;
+            writeln!(f, "[{:>10.1}, {:>10.1}): {count}", lo, lo + width)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for x in [1.0, 2.0, 3.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert!((s.population_variance() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.37).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..40] {
+            a.record(x);
+        }
+        for &x in &xs[40..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.population_variance() - whole.population_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.record(5.0);
+        let before = a.mean();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before);
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e.mean(), before);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = SampleSet::new();
+        for i in (1..=10).rev() {
+            s.record(f64::from(i));
+        }
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(0.1), Some(1.0));
+        assert_eq!(s.percentile(0.5), Some(5.0));
+        assert_eq!(s.percentile(1.0), Some(10.0));
+        assert_eq!(s.median(), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_after_more_records_resorts() {
+        let mut s = SampleSet::new();
+        s.record(10.0);
+        assert_eq!(s.percentile(1.0), Some(10.0));
+        s.record(20.0);
+        assert_eq!(s.percentile(1.0), Some(20.0));
+    }
+
+    #[test]
+    fn empty_sample_set() {
+        let mut s = SampleSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.percentile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 9.99] {
+            h.record(x);
+        }
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(4), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn histogram_rejects_bad_bounds() {
+        let _ = Histogram::new(5.0, 5.0, 3);
+    }
+}

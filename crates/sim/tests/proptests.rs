@@ -1,0 +1,168 @@
+//! Property-based tests of the simulation kernel's invariants.
+
+use aw_sim::{
+    Distribution, Empirical, EnergyMeter, EventQueue, Exponential, Histogram, LogNormal,
+    OnlineStats, P2Quantile, Pareto, Point, ResidencyTracker, SampleSet, SimRng,
+};
+use aw_types::{MilliWatts, Nanos};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Simultaneous events preserve FIFO order regardless of how many
+    /// distinct timestamps interleave.
+    #[test]
+    fn queue_fifo_within_timestamp(groups in prop::collection::vec((0.0f64..100.0, 1usize..6), 1..20)) {
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(f64, usize)> = Vec::new();
+        let mut seq = 0usize;
+        for (t, n) in groups {
+            for _ in 0..n {
+                q.schedule(Nanos::new(t), seq);
+                expected.push((t, seq));
+                seq += 1;
+            }
+        }
+        expected.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let drained: Vec<(f64, usize)> =
+            std::iter::from_fn(|| q.pop()).map(|(t, e)| (t.as_nanos(), e)).collect();
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// OnlineStats merge order doesn't matter (associativity within fp
+    /// tolerance).
+    #[test]
+    fn stats_merge_is_order_insensitive(xs in prop::collection::vec(-1e6f64..1e6, 2..100), split in 1usize..99) {
+        let split = split.min(xs.len() - 1);
+        let (a, b) = xs.split_at(split);
+        let mut ab = OnlineStats::new();
+        for &x in a { ab.record(x); }
+        let mut bb = OnlineStats::new();
+        for &x in b { bb.record(x); }
+        let mut m1 = ab;
+        m1.merge(&bb);
+        let mut m2 = bb;
+        m2.merge(&ab);
+        prop_assert_eq!(m1.count(), m2.count());
+        prop_assert!((m1.mean() - m2.mean()).abs() <= 1e-6 * (1.0 + m1.mean().abs()));
+        prop_assert!(
+            (m1.population_variance() - m2.population_variance()).abs()
+                <= 1e-3 * (1.0 + m1.population_variance().abs())
+        );
+    }
+
+    /// Exact percentiles are monotone in the quantile.
+    #[test]
+    fn percentiles_are_monotone(xs in prop::collection::vec(0.0f64..1e9, 1..200)) {
+        let mut s = SampleSet::new();
+        for &x in &xs { s.record(x); }
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = s.percentile(q).unwrap();
+            prop_assert!(v >= prev, "p{q} = {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    /// The P² estimate lands within the sample range and tracks the
+    /// exact quantile for large-enough samples.
+    #[test]
+    fn p2_within_range(seed: u64, n in 100usize..2000) {
+        let mut rng = SimRng::seed(seed);
+        let mut p2 = P2Quantile::new(0.9);
+        let mut exact = SampleSet::new();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..n {
+            let x = rng.uniform_range(0.0, 1000.0);
+            p2.record(x);
+            exact.record(x);
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        let est = p2.estimate().unwrap();
+        prop_assert!(est >= lo && est <= hi);
+        let truth = exact.percentile(0.9).unwrap();
+        prop_assert!((est - truth).abs() < 0.25 * (hi - lo) + 1e-9);
+    }
+
+    /// Histogram totals equal the number of recorded observations.
+    #[test]
+    fn histogram_conserves_counts(xs in prop::collection::vec(-50.0f64..150.0, 0..300)) {
+        let mut h = Histogram::new(0.0, 100.0, 7);
+        for &x in &xs { h.record(x); }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let bucketed: u64 = (0..h.buckets()).map(|i| h.bucket_count(i)).sum();
+        prop_assert_eq!(bucketed + h.underflow() + h.overflow(), xs.len() as u64);
+    }
+
+    /// Residency tracker: total time equals the observation window and
+    /// residencies sum to one, for any transition sequence.
+    #[test]
+    fn tracker_partitions_window(mut gaps in prop::collection::vec(0.0f64..1e6, 1..50)) {
+        let mut t = ResidencyTracker::new(0u8, Nanos::ZERO);
+        let mut now = Nanos::ZERO;
+        for (i, g) in gaps.drain(..).enumerate() {
+            now += Nanos::new(g);
+            t.transition((i % 4) as u8, now);
+        }
+        now += Nanos::new(1.0);
+        t.finish(now);
+        prop_assert!((t.total_time().as_nanos() - now.as_nanos()).abs() < 1e-6);
+        let sum: f64 = (0u8..4).map(|s| t.residency(&s).get()).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Energy meter: total energy equals the sum of per-segment products
+    /// for any piecewise schedule.
+    #[test]
+    fn meter_is_additive(segs in prop::collection::vec((0.0f64..5000.0, 0.0f64..1e6), 1..40)) {
+        let mut m = EnergyMeter::new(Nanos::ZERO);
+        let mut now = Nanos::ZERO;
+        let mut expect = 0.0;
+        for &(p_mw, dt_ns) in &segs {
+            // advance() charges the elapsed interval at the power passed
+            // in this call: p_mw over dt_ns.
+            m.advance(MilliWatts::new(p_mw), now + Nanos::new(dt_ns));
+            now += Nanos::new(dt_ns);
+            expect += p_mw * dt_ns * 1e-12;
+        }
+        prop_assert!((m.energy().as_joules() - expect).abs() < 1e-9 * (1.0 + expect.abs()));
+    }
+
+    /// Mixture means equal the weighted component means for arbitrary
+    /// weights.
+    #[test]
+    fn mixture_mean_is_weighted(w1 in 0.1f64..10.0, w2 in 0.1f64..10.0, m1 in 1.0f64..1e5, m2 in 1.0f64..1e5) {
+        let mix = Empirical::new(vec![
+            (w1, Box::new(Point::new(m1)) as Box<dyn Distribution>),
+            (w2, Box::new(Exponential::with_mean(m2))),
+        ]);
+        let expect = (w1 * m1 + w2 * m2) / (w1 + w2);
+        prop_assert!((mix.mean() - expect).abs() < 1e-9 * expect);
+    }
+
+    /// Pareto and log-normal samples always respect their supports.
+    #[test]
+    fn supports_hold(seed: u64, xm in 0.1f64..100.0, alpha in 0.5f64..5.0, median in 0.1f64..1e4, sigma in 0.0f64..2.0) {
+        let mut rng = SimRng::seed(seed);
+        let pareto = Pareto::new(xm, alpha);
+        let ln = LogNormal::from_median(median, sigma);
+        for _ in 0..200 {
+            prop_assert!(pareto.sample(&mut rng) >= xm);
+            prop_assert!(ln.sample(&mut rng) > 0.0);
+        }
+    }
+
+    /// Forked RNG streams never collide with the parent stream.
+    #[test]
+    fn forked_streams_differ(seed: u64) {
+        let mut parent = SimRng::seed(seed);
+        let mut fork = parent.fork(1);
+        let a: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| fork.next_u64()).collect();
+        prop_assert_ne!(a, b);
+    }
+}

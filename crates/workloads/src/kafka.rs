@@ -1,0 +1,109 @@
+//! The Apache Kafka workload model.
+//!
+//! Kafka's producer/consumer tools move records in *batches*: a burst of
+//! closely spaced requests followed by a long quiet gap while the next
+//! batch accumulates (linger time, fetch polls). At low publish rates the
+//! gaps stretch to tens of milliseconds — long enough for cores to meet
+//! even C6's 600 µs target residency, which is why the paper's Fig. 13(a)
+//! shows >60% C6 residency at the low rate.
+
+use std::sync::Arc;
+
+use aw_server::WorkloadSpec;
+use aw_sim::{Distribution, Empirical, Exponential, LogNormal, Point};
+
+/// The two operating points evaluated in Fig. 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KafkaRate {
+    /// Low publish rate: long inter-batch gaps, deep idle reachable.
+    Low,
+    /// High publish rate: batches arrive back-to-back.
+    High,
+}
+
+/// Builds the Kafka workload at the given operating point.
+///
+/// The arrival process is a two-phase hyperexponential: within a batch,
+/// records land ~30 µs apart; between batches the broker sits quiet for an
+/// exponentially distributed gap (mean 25 ms at [`KafkaRate::Low`], 400 µs
+/// at [`KafkaRate::High`]). Per-record service is tens of microseconds
+/// (log append + index update).
+///
+/// Frequency scalability is 0.6: the log append path mixes compute with
+/// memory/storage stalls.
+///
+/// # Examples
+///
+/// ```
+/// use aw_workloads::{kafka, KafkaRate};
+///
+/// let low = kafka(KafkaRate::Low);
+/// let high = kafka(KafkaRate::High);
+/// assert!(high.offered_qps() > 5.0 * low.offered_qps());
+/// ```
+#[must_use]
+pub fn kafka(rate: KafkaRate) -> WorkloadSpec {
+    let (batch_weight, quiet_gap_ns, name) = match rate {
+        KafkaRate::Low => (0.85, 25_000_000.0, "kafka-low"),
+        KafkaRate::High => (0.95, 400_000.0, "kafka-high"),
+    };
+    let interarrival = Empirical::new(vec![
+        // Intra-batch record spacing.
+        (batch_weight, Box::new(Exponential::with_mean(30_000.0)) as Box<dyn Distribution>),
+        // Inter-batch quiet period.
+        (1.0 - batch_weight, Box::new(Exponential::with_mean(quiet_gap_ns))),
+    ]);
+    let service = Empirical::new(vec![
+        // Log append for one record.
+        (0.97, Box::new(LogNormal::from_median(20_000.0, 0.4)) as Box<dyn Distribution>),
+        // Periodic index/flush work.
+        (0.03, Box::new(Point::new(150_000.0))),
+    ]);
+    WorkloadSpec::new(name, Arc::new(interarrival), Arc::new(service), 0.6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_sim::SimRng;
+    use aw_types::Nanos;
+
+    #[test]
+    fn low_rate_has_long_quiet_gaps() {
+        let w = kafka(KafkaRate::Low);
+        let mut rng = SimRng::seed(3);
+        let long_gaps = (0..10_000)
+            .filter(|_| w.next_gap(&mut rng) > Nanos::from_millis(5.0))
+            .count();
+        // ~15% of gaps are inter-batch; most of those exceed 5 ms.
+        assert!((800..2500).contains(&long_gaps), "{long_gaps}");
+    }
+
+    #[test]
+    fn high_rate_rarely_quiet() {
+        let w = kafka(KafkaRate::High);
+        let mut rng = SimRng::seed(4);
+        let long_gaps = (0..10_000)
+            .filter(|_| w.next_gap(&mut rng) > Nanos::from_millis(5.0))
+            .count();
+        assert!(long_gaps < 50, "{long_gaps}");
+    }
+
+    #[test]
+    fn rates_are_ordered() {
+        assert!(kafka(KafkaRate::High).offered_qps() > kafka(KafkaRate::Low).offered_qps());
+    }
+
+    #[test]
+    fn record_service_is_tens_of_microseconds() {
+        let w = kafka(KafkaRate::Low);
+        let mean = w.mean_service().as_micros();
+        assert!((15.0..40.0).contains(&mean), "{mean}");
+    }
+
+    #[test]
+    fn names_distinguish_rates() {
+        assert_eq!(kafka(KafkaRate::Low).name(), "kafka-low");
+        assert_eq!(kafka(KafkaRate::High).name(), "kafka-high");
+    }
+}

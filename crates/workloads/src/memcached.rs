@@ -1,0 +1,108 @@
+//! The Memcached / Facebook-ETC workload model.
+//!
+//! ETC (Atikoglu et al., SIGMETRICS 2012) is the general-purpose Facebook
+//! Memcached pool: overwhelmingly GETs over small keys, with value sizes
+//! following a Pareto-tailed distribution. Request service time on a
+//! Skylake-class core is a few microseconds, dominated by network-stack
+//! and hash/slab work, with SETs and large-value responses costlier than
+//! the small-GET fast path.
+
+use std::sync::Arc;
+
+use aw_server::WorkloadSpec;
+use aw_sim::{Distribution, Empirical, Exponential, LogNormal, Pareto, Shifted};
+
+/// Builds the Memcached/ETC workload at `qps` offered requests per second.
+///
+/// Mix (per the ETC characterization):
+///
+/// * ~90% GETs: log-normal service around a 4 µs median (network stack +
+///   slab lookup + small response);
+/// * ~9% SETs: log-normal around 8 µs (allocation + LRU update);
+/// * ~1% large-value requests: Pareto tail from 12 µs (multi-packet
+///   responses).
+///
+/// Frequency scalability is 0.8: Memcached is mostly compute/network-stack
+/// bound and speeds up nearly linearly with core frequency (Fig. 8d shows
+/// strong sensitivity to a 2 → 2.2 GHz step).
+///
+/// # Panics
+///
+/// Panics if `qps` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use aw_workloads::memcached_etc;
+///
+/// let w = memcached_etc(500_000.0);
+/// // Mean service lands in the low microseconds.
+/// let mean_us = w.mean_service().as_micros();
+/// assert!((4.0..8.0).contains(&mean_us), "{mean_us}");
+/// ```
+#[must_use]
+pub fn memcached_etc(qps: f64) -> WorkloadSpec {
+    assert!(qps > 0.0, "offered load must be positive");
+    let service = Empirical::new(vec![
+        (0.90, Box::new(LogNormal::from_median(4_000.0, 0.35)) as Box<dyn Distribution>),
+        (0.09, Box::new(LogNormal::from_median(8_000.0, 0.45))),
+        (0.01, Box::new(Shifted::new(12_000.0, Pareto::new(4_000.0, 2.2)))),
+    ]);
+    WorkloadSpec::new(
+        "memcached-etc",
+        Arc::new(Exponential::with_mean(1e9 / qps)),
+        Arc::new(service),
+        0.8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_sim::SimRng;
+    use aw_types::Nanos;
+
+    #[test]
+    fn offered_load_matches() {
+        let w = memcached_etc(750_000.0);
+        assert!((w.offered_qps() - 750_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn service_body_is_microseconds() {
+        let w = memcached_etc(100_000.0);
+        let mut rng = SimRng::seed(1);
+        let mut over_40us = 0;
+        for _ in 0..10_000 {
+            let s = w.next_service(&mut rng);
+            assert!(s > Nanos::ZERO);
+            if s > Nanos::from_micros(40.0) {
+                over_40us += 1;
+            }
+        }
+        // Tail exists but is rare (~1% class plus log-normal outliers).
+        assert!(over_40us > 0, "expected some tail requests");
+        assert!(over_40us < 300, "tail too fat: {over_40us}/10000");
+    }
+
+    #[test]
+    fn get_fast_path_dominates() {
+        let w = memcached_etc(100_000.0);
+        let mut rng = SimRng::seed(2);
+        let below_8us = (0..10_000)
+            .filter(|_| w.next_service(&mut rng) < Nanos::from_micros(8.0))
+            .count();
+        assert!(below_8us > 6_000, "only {below_8us}/10000 on the GET path");
+    }
+
+    #[test]
+    fn scalability_is_high() {
+        assert!((memcached_etc(1.0).frequency_scalability() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_qps() {
+        let _ = memcached_etc(0.0);
+    }
+}

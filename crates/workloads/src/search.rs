@@ -1,0 +1,116 @@
+//! The web-search workload of the paper's Sec. 2 motivation.
+//!
+//! The motivating residency profiles come from Google's energy-
+//! proportionality study (ref [28]): a search leaf at 50% load shows
+//! `R_C0/R_C1/R_C6 = 50/45/5%` and at 25% load `25/55/20%` — *mostly C1,
+//! a little C6*. What produces that shape is burstiness: leaf queries
+//! arrive in fan-out bursts, so most idle gaps are short (the governor
+//! stays in C1), with occasional long lulls where C6 pays off. The model
+//! here uses a hyperexponential arrival process (frequent intra-burst
+//! gaps + rare long lulls) over sub-millisecond services.
+
+use std::sync::Arc;
+
+use aw_server::WorkloadSpec;
+use aw_sim::{Distribution, Empirical, Exponential, LogNormal};
+
+/// Ratio of the long-lull mean gap to the intra-burst mean gap.
+const LULL_RATIO: f64 = 25.0;
+/// Fraction of gaps that are intra-burst.
+const BURST_WEIGHT: f64 = 0.8;
+
+/// Builds the web-search leaf workload at `load` fractional utilization
+/// of a `cores`-core server.
+///
+/// Service: log-normal around a 400 µs median with a 15% heavy-scan
+/// class. Arrivals: hyperexponential — 80% short intra-burst gaps, 20%
+/// lulls 25× longer — tuned so the *mean* rate hits the target load while
+/// the idle-gap distribution keeps the menu governor mostly in C1 with a
+/// C6 slice that grows as load drops, reproducing the Sec. 2 profiles'
+/// shape.
+///
+/// Frequency scalability is 0.7 (scoring is compute-heavy with memory
+/// stalls).
+///
+/// # Panics
+///
+/// Panics if `load` is outside `(0, 1]` or `cores` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use aw_workloads::websearch;
+///
+/// let w = websearch(0.25, 10);
+/// let busy = w.offered_qps() * w.mean_service().as_secs();
+/// assert!((busy - 2.5).abs() < 0.3); // 25% of 10 cores
+/// ```
+#[must_use]
+pub fn websearch(load: f64, cores: usize) -> WorkloadSpec {
+    assert!(load > 0.0 && load <= 1.0, "load must be in (0, 1]");
+    assert!(cores > 0, "need at least one core");
+    let service = Empirical::new(vec![
+        (0.85, Box::new(LogNormal::from_median(400_000.0, 0.5)) as Box<dyn Distribution>),
+        (0.15, Box::new(LogNormal::from_median(1_200_000.0, 0.5))),
+    ]);
+    let mean_service = service.mean();
+    let mean_gap = mean_service / (load * cores as f64);
+    // mean_gap = w·g + (1−w)·R·g  ⇒  g = mean_gap / (w + (1−w)R)
+    let short = mean_gap / (BURST_WEIGHT + (1.0 - BURST_WEIGHT) * LULL_RATIO);
+    let interarrival = Empirical::new(vec![
+        (BURST_WEIGHT, Box::new(Exponential::with_mean(short)) as Box<dyn Distribution>),
+        (1.0 - BURST_WEIGHT, Box::new(Exponential::with_mean(short * LULL_RATIO))),
+    ]);
+    WorkloadSpec::new(
+        format!("websearch-l{:02.0}", load * 100.0),
+        Arc::new(interarrival),
+        Arc::new(service),
+        0.7,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_sim::SimRng;
+    use aw_types::Nanos;
+
+    #[test]
+    fn utilization_matches_load() {
+        for load in [0.25, 0.5] {
+            let w = websearch(load, 10);
+            let busy = w.offered_qps() * w.mean_service().as_secs();
+            assert!((busy - load * 10.0).abs() < 0.12 * load * 10.0, "load {load}: {busy}");
+        }
+    }
+
+    #[test]
+    fn gaps_are_bimodal() {
+        let w = websearch(0.5, 10);
+        let mut rng = SimRng::seed(9);
+        let gaps: Vec<f64> = (0..20_000).map(|_| w.next_gap(&mut rng).as_nanos()).collect();
+        let mean: f64 = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        // Most gaps are well below the mean (intra-burst), the rest far
+        // above it (lulls).
+        let below_half_mean = gaps.iter().filter(|&&g| g < 0.5 * mean).count();
+        let above_double_mean = gaps.iter().filter(|&&g| g > 2.0 * mean).count();
+        assert!(below_half_mean > 10_000, "{below_half_mean}");
+        assert!(above_double_mean > 1_000, "{above_double_mean}");
+    }
+
+    #[test]
+    fn service_is_sub_millisecond_dominated() {
+        let w = websearch(0.5, 10);
+        let mut rng = SimRng::seed(9);
+        let sub_ms = (0..5_000)
+            .filter(|_| w.next_service(&mut rng) < Nanos::from_millis(1.0))
+            .count();
+        assert!(sub_ms > 3_000, "{sub_ms}");
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in")]
+    fn rejects_zero_load() {
+        let _ = websearch(0.0, 10);
+    }
+}

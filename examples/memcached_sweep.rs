@@ -1,0 +1,31 @@
+//! The full Memcached evaluation: regenerates Figs. 8, 9, and 10 of the
+//! paper — baseline residencies, AW power savings and latency impact
+//! across request rates, the tuned-configuration comparison, and AW
+//! against each tuned configuration.
+//!
+//! Run with: `cargo run --release --example memcached_sweep`
+//! (pass `--quick` for a reduced sweep)
+
+use agilewatts::experiments::{Fig10, Fig8, Fig9, SweepParams};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick { SweepParams::quick() } else { SweepParams::default() };
+    println!(
+        "Memcached sweep: {} QPS points on {} cores, {} per point\n",
+        params.qps.len(),
+        params.cores,
+        params.duration
+    );
+
+    let fig8 = Fig8::new(params.clone()).run();
+    println!("{fig8}");
+
+    println!();
+    let fig9 = Fig9::new(params.clone()).run();
+    println!("{fig9}");
+
+    println!();
+    let fig10 = Fig10::new(params).run();
+    println!("{fig10}");
+}

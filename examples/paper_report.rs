@@ -1,0 +1,124 @@
+//! Regenerates every table and figure of the paper in one run and prints
+//! them in order. This is the source of the numbers recorded in
+//! EXPERIMENTS.md.
+//!
+//! Run with: `cargo run --release --example paper_report`
+//! (pass `--quick` for the reduced parameter set)
+
+use agilewatts::experiments::{
+    enhanced_split, flow_latencies, governor_ablation, motivation, motivation_simulated,
+    retention_ablation, sleep_mode_ablation, snoop_impact, table1, table2, table3, table4,
+    table5, zone_count_ablation, Fig10, Fig11, Fig12, Fig13, Fig8, Fig9, PackageAnalysis,
+    SweepParams, Table5Params, Validation,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sweep = if quick { SweepParams::quick() } else { SweepParams::default() };
+    let t5 = if quick { Table5Params::quick() } else { Table5Params::default() };
+
+    println!("{}", table1());
+    println!("{}", table2());
+    println!("{}", table3());
+    println!("{}", table4());
+
+    println!("=== Sec. 2 motivation (Eq. 1) ===");
+    for r in motivation() {
+        println!(
+            "{:<40} C0/C1/C6 = {:>3.0}/{:>3.0}/{:>3.0}%  → savings bound {:>5.1}%",
+            r.label, r.residencies_pct.0, r.residencies_pct.1, r.residencies_pct.2, r.savings_pct
+        );
+    }
+    if !quick {
+        for r in motivation_simulated(42) {
+            println!(
+                "{:<40} C0/C1/C6 = {:>3.0}/{:>3.0}/{:>3.0}%  → savings bound {:>5.1}%",
+                r.label,
+                r.residencies_pct.0,
+                r.residencies_pct.1,
+                r.residencies_pct.2,
+                r.savings_pct
+            );
+        }
+    }
+    println!();
+
+    let f = flow_latencies();
+    println!("=== Fig. 3 / Fig. 6 / Sec. 5.2 flow latencies ===");
+    println!("C1 round trip        {}", f.c1_round_trip);
+    println!("C6 entry / exit      {} / {}", f.c6_entry, f.c6_exit);
+    println!("C6A entry budget     {} (measured {})", f.c6a_entry_budget, f.c6a_entry_measured);
+    println!("C6A exit budget      {} (measured {})", f.c6a_exit_budget, f.c6a_exit_measured);
+    println!("C6A speedup vs C6    {:.0}×\n", f.speedup_vs_c6);
+
+    println!("{}", Fig8::new(sweep.clone()).run());
+    println!();
+    println!("{}", Fig9::new(sweep.clone()).run());
+    println!();
+    println!("{}", Fig10::new(sweep.clone()).run());
+    println!();
+    println!("{}", Fig11::new(sweep.clone()).run());
+    println!();
+
+    let fig12 = if quick { Fig12::quick() } else { Fig12::default() };
+    println!("{}", fig12.run_all());
+    println!();
+    let fig13 = if quick { Fig13::quick() } else { Fig13::default() };
+    println!("{}", fig13.run_all());
+    println!();
+
+    let validation = if quick { Validation::quick() } else { Validation::default() };
+    println!("{}", validation.run());
+    println!();
+
+    let s = snoop_impact();
+    println!("=== Sec. 7.5 snoop impact ===");
+    println!(
+        "AW savings: {:.1}% quiet → {:.1}% under continuous snoops ({:.1} points lost)\n",
+        s.savings_quiet_pct, s.savings_snooping_pct, s.lost_pct
+    );
+
+    println!("{}", table5(&t5));
+
+    println!("=== Package-level analysis (footnote 1 / AgilePkgC motivation) ===");
+    let pkg = if quick { PackageAnalysis::quick() } else { PackageAnalysis::default() };
+    for r in pkg.run() {
+        println!(
+            "{:<16} {:<9} PC0/PC2/PC6 = {:>5.1}/{:>5.1}/{:>5.1}%  uncore {:>7.1} mW  core {:>7.1} mW",
+            r.workload, r.config, r.package_pct[0], r.package_pct[1], r.package_pct[2],
+            r.uncore_mw, r.core_mw
+        );
+    }
+    println!();
+
+    println!("=== Ablations ===");
+    println!("Governors (Memcached @ 300K QPS):");
+    for r in governor_ablation(&sweep, 300_000.0) {
+        println!(
+            "  {:<8} AvgP {:>7.1} mW  p99 {:>7.2} µs  deep {:>5.1}%",
+            r.governor, r.avg_power_mw, r.p99_us, r.deep_residency_pct
+        );
+    }
+    println!("UFPG zones:");
+    for r in zone_count_ablation() {
+        println!(
+            "  {:>2} zones: staggered {:>5.1} ns, simultaneous peak {:>4.1}×",
+            r.zones, r.staggered_latency_ns, r.simultaneous_peak
+        );
+    }
+    let sm = sleep_mode_ablation();
+    println!(
+        "Cache sleep mode: C6A {} with vs {} without (+{})",
+        sm.with_sleep_mode, sm.without_sleep_mode, sm.penalty
+    );
+    let ra = retention_ablation();
+    println!(
+        "Retention: exit {} in-place vs {} external; entry {} vs {}",
+        ra.in_place_exit, ra.external_exit, ra.in_place_entry, ra.external_entry
+    );
+    let es = enhanced_split(&sweep, 300_000.0);
+    println!(
+        "C6AE split: {:.1}% savings with C6AE vs {:.1}% with C6A only",
+        es.with_c6ae_pct, es.c6a_only_pct
+    );
+}

@@ -1,0 +1,60 @@
+//! The hardware micro-flows (Figs. 2, 5, 6; Secs. 5.2–5.3): steps the
+//! cycle-level PMA model through C6A entry, snoop servicing, and exit,
+//! prints the per-step latency trace, and shows the staggered-wake
+//! in-rush ablation.
+//!
+//! Run with: `cargo run --release --example pma_microflows`
+
+use agilewatts::aw_pma::{PmaFsm, Ufpg, WakePolicy};
+use agilewatts::experiments::flow_latencies;
+
+fn main() {
+    let mut fsm = PmaFsm::new_c6a();
+    fsm.write_context(0xC0FFEE);
+
+    println!("C6A entry flow (Fig. 6 ①–③):");
+    let entry = fsm.run_entry();
+    for step in entry.steps() {
+        println!("  {:<22} start {:>7}  duration {:>7}", format!("{:?}", step.state), step.start, step.duration);
+    }
+    println!("  total: {}  (budget < 20 ns)\n", entry.total());
+
+    println!("Snoop burst while idle (Fig. 6 ⓐ–ⓒ), 3 snoops:");
+    let snoop = fsm.run_snoop(3);
+    for step in snoop.steps() {
+        println!("  {:<22} start {:>7}  duration {:>7}", format!("{:?}", step.state), step.start, step.duration);
+    }
+    println!("  total: {}\n", snoop.total());
+
+    println!("C6A exit flow (Fig. 6 ④–⑥):");
+    let exit = fsm.run_exit();
+    for step in exit.steps() {
+        println!("  {:<22} start {:>7}  duration {:>7}", format!("{:?}", step.state), step.start, step.duration);
+    }
+    println!("  total: {}  (budget < 80 ns)", exit.total());
+    println!(
+        "  context after round trip: {:#x} (written {:#x})\n",
+        fsm.read_context().expect("context must survive"),
+        0xC0FFEEu64
+    );
+
+    println!("Staggered wake-up ablation (Sec. 5.3), UFPG = 4.5× AVX area:");
+    let ufpg = Ufpg::skylake_c6a();
+    for policy in [WakePolicy::Staggered, WakePolicy::Simultaneous, WakePolicy::Instantaneous] {
+        let w = ufpg.wake(policy);
+        println!(
+            "  {policy:<14?} latency {:>8}  in-rush peak {:>6.1}× AVX reference{}",
+            w.latency,
+            w.peak_current(),
+            if w.within_current_limit(1.05) { "  (within PDN limit)" } else { "  (VIOLATES PDN limit)" }
+        );
+    }
+    println!();
+
+    let f = flow_latencies();
+    println!("Headline transition-latency summary:");
+    println!("  C1 round trip:  {}", f.c1_round_trip);
+    println!("  C6 entry/exit:  {} / {}", f.c6_entry, f.c6_exit);
+    println!("  C6A entry/exit: {} / {} (measured)", f.c6a_entry_measured, f.c6a_exit_measured);
+    println!("  C6A speedup over C6: {:.0}×", f.speedup_vs_c6);
+}

@@ -1,0 +1,51 @@
+//! Quickstart: simulate a Memcached-like service on a 10-core server,
+//! first with the legacy Skylake C-state hierarchy, then with AgileWatts'
+//! C6A/C6AE states, and compare power and latency.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use agilewatts::aw_cstates::{CState, NamedConfig};
+use agilewatts::aw_server::{ServerConfig, ServerSim};
+use agilewatts::aw_types::Nanos;
+use agilewatts::aw_workloads::memcached_etc;
+
+fn main() {
+    let qps = 300_000.0;
+    let workload = memcached_etc(qps);
+    println!(
+        "Workload: {} at {:.0} QPS (mean service {})\n",
+        workload.name(),
+        qps,
+        workload.mean_service()
+    );
+
+    let run = |named: NamedConfig| {
+        let config = ServerConfig::new(10, named).with_duration(Nanos::from_millis(400.0));
+        ServerSim::new(config, memcached_etc(qps), 42).run()
+    };
+
+    let baseline = run(NamedConfig::Baseline);
+    let aw = run(NamedConfig::Aw);
+
+    println!("--- Baseline (C1/C1E/C6) ---");
+    println!("{baseline}\n");
+    println!("--- AgileWatts (C6A/C6AE/C6) ---");
+    println!("{aw}\n");
+
+    println!(
+        "AW power savings:    {:.1}%",
+        aw.power_savings_vs(&baseline).as_percent()
+    );
+    println!(
+        "AW tail-latency Δ:   {:+.2}%",
+        aw.tail_latency_delta_vs(&baseline) * 100.0
+    );
+    println!(
+        "AW mean-latency Δ:   {:+.2}%",
+        aw.mean_latency_delta_vs(&baseline) * 100.0
+    );
+    println!(
+        "Agile-state residency: {}",
+        (aw.residency_of(CState::C6A) + aw.residency_of(CState::C6AE))
+    );
+}

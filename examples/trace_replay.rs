@@ -1,0 +1,78 @@
+//! Trace-driven simulation: replay a captured arrival trace and a
+//! diurnal day/night swing through the simulator, comparing the legacy
+//! hierarchy against AgileWatts — plus the energy-proportionality curve
+//! behind the paper's Sec. 7.1 Google quote.
+//!
+//! Run with: `cargo run --release --example trace_replay`
+
+use std::sync::Arc;
+
+use agilewatts::aw_cstates::NamedConfig;
+use agilewatts::aw_server::{ServerConfig, ServerSim, WorkloadSpec};
+use agilewatts::aw_sim::{LogNormal, SimRng};
+use agilewatts::aw_types::Nanos;
+use agilewatts::aw_workloads::{diurnal_memcached, TraceGaps};
+use agilewatts::experiments::Proportionality;
+
+fn main() {
+    // 1) Replay an explicit arrival trace. Here the "capture" is
+    //    synthesized: a bursty on/off pattern written out as absolute
+    //    timestamps, exactly as a packet capture would provide them.
+    let mut times = Vec::new();
+    let mut t = 0.0;
+    let mut rng = SimRng::seed(7);
+    for burst in 0..400 {
+        let burst_len = 20 + (burst % 30);
+        for _ in 0..burst_len {
+            t += rng.uniform_range(2_000.0, 10_000.0); // 2–10 µs apart
+            times.push(t);
+        }
+        t += rng.uniform_range(0.5e6, 3.0e6); // 0.5–3 ms lull
+    }
+    let trace = TraceGaps::from_arrival_times(&times).expect("valid trace");
+    println!(
+        "Replaying a {}-gap trace ({} bursts, mean gap {:.1} µs):",
+        trace.len(),
+        400,
+        agilewatts::aw_sim::Distribution::mean(&trace) / 1e3
+    );
+
+    let service = LogNormal::from_median(4_000.0, 0.4);
+    let run = |named: NamedConfig| {
+        let workload = WorkloadSpec::new(
+            "trace-replay",
+            Arc::new(TraceGaps::from_arrival_times(&times).expect("valid trace")),
+            Arc::new(service),
+            0.8,
+        );
+        let cfg = ServerConfig::new(4, named).with_duration(Nanos::from_millis(200.0));
+        ServerSim::new(cfg, workload, 42).run()
+    };
+    let base = run(NamedConfig::Baseline);
+    let aw = run(NamedConfig::Aw);
+    println!("  baseline: AvgP {}  p99 {}", base.avg_core_power, base.server_latency.p99);
+    println!("  AW:       AvgP {}  p99 {}", aw.avg_core_power, aw.server_latency.p99);
+    println!("  savings:  {:.1}%\n", aw.power_savings_vs(&base).as_percent());
+
+    // 2) A diurnal swing at the same mean load.
+    let run_diurnal = |named: NamedConfig| {
+        let workload = diurnal_memcached(240_000.0, 0.85, 100e6);
+        let cfg = ServerConfig::new(4, named).with_duration(Nanos::from_millis(200.0));
+        ServerSim::new(cfg, workload, 42).run()
+    };
+    let base = run_diurnal(NamedConfig::Baseline);
+    let aw = run_diurnal(NamedConfig::Aw);
+    println!("Diurnal swing (±85% around 240K QPS):");
+    println!("  baseline: AvgP {}", base.avg_core_power);
+    println!("  AW:       AvgP {}  (savings {:.1}%)\n", aw.avg_core_power, aw.power_savings_vs(&base).as_percent());
+
+    // 3) The energy-proportionality curve.
+    let report = Proportionality::default().run();
+    println!("Energy proportionality (Memcached, power vs utilization):");
+    println!("  {}", report.baseline);
+    println!("  {}", report.aw);
+    println!(
+        "  proportionality score: baseline {:.2}, AW {:.2} (1.0 = ideal)",
+        report.baseline_score, report.aw_score
+    );
+}

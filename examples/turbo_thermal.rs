@@ -1,0 +1,54 @@
+//! The Turbo-interplay analysis (Sec. 7.3, Fig. 11): how the idle-state
+//! choice feeds the thermal-capacitance bank that gates Turbo, and why
+//! C6A uniquely combines low idle power (credit accrues) with nanosecond
+//! transitions (no latency tax).
+//!
+//! Run with: `cargo run --release --example turbo_thermal`
+
+use agilewatts::aw_server::ThermalModel;
+use agilewatts::aw_types::{MilliWatts, Nanos};
+use agilewatts::experiments::{Fig11, SweepParams};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // First, the mechanism in isolation: credit accrual per idle state.
+    println!("Thermal credit banked after 50 ms of idle, by idle state:");
+    for (name, power) in [
+        ("C1   (1.44 W)", MilliWatts::from_watts(1.44)),
+        ("C1E  (0.88 W)", MilliWatts::from_watts(0.88)),
+        ("C6A  (0.30 W)", MilliWatts::new(302.5)),
+        ("C6AE (0.235 W)", MilliWatts::new(235.0)),
+        ("C6   (0.10 W)", MilliWatts::from_watts(0.1)),
+    ] {
+        let mut t = ThermalModel::skylake();
+        t.advance(power, Nanos::from_millis(50.0));
+        println!(
+            "  {name:<15} {:.3} J {}",
+            t.credit().as_joules(),
+            if t.turbo_available() { "→ Turbo available" } else { "" }
+        );
+    }
+    println!();
+
+    // Then the full Fig. 11 sweep.
+    let params = if quick { SweepParams::quick() } else { SweepParams::default() };
+    let report = Fig11::new(params).run();
+    println!("{report}");
+
+    println!("Mean p99 across the sweep:");
+    for config in [
+        "T_No_C6",
+        "NT_No_C6",
+        "T_No_C6,No_C1E",
+        "NT_No_C6,No_C1E",
+        "T_C6A,No_C6,No_C1E",
+        "NT_C6A,No_C6,No_C1E",
+    ] {
+        println!(
+            "  {config:<22} {:>8.2} µs  (turbo busy {:.0}%)",
+            report.mean_p99(config),
+            report.mean_turbo(config) * 100.0
+        );
+    }
+}

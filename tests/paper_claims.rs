@@ -1,0 +1,128 @@
+//! Quantitative shape checks against the paper's headline claims.
+//!
+//! Absolute numbers come from a simulator, not the authors' testbed, so
+//! each check targets the *shape*: who wins, by roughly what factor, and
+//! where the crossovers fall.
+
+use agilewatts::aw_cstates::{CState, CStateCatalog, FreqLevel};
+use agilewatts::aw_power::PpaModel;
+use agilewatts::experiments::{
+    flow_latencies, motivation, snoop_impact, Fig8, SweepParams, Validation,
+};
+
+#[test]
+fn claim_c6a_power_is_5_to_7_pct_of_c0() {
+    // "while consuming only 7% and 5% of the active state (C0) power"
+    let catalog = CStateCatalog::skylake_with_aw();
+    let c0 = catalog.power(CState::C0, FreqLevel::P1);
+    let c6a_pct = catalog.power(CState::C6A, FreqLevel::P1) / c0 * 100.0;
+    let c6ae_pct = catalog.power(CState::C6AE, FreqLevel::P1) / c0 * 100.0;
+    assert!((6.0..8.5).contains(&c6a_pct), "C6A {c6a_pct}%");
+    assert!((5.0..6.5).contains(&c6ae_pct), "C6AE {c6ae_pct}%");
+}
+
+#[test]
+fn claim_transition_speedup_up_to_900x() {
+    // "reduce transition-time by up to 900× as compared to ... C6"
+    let f = flow_latencies();
+    assert!(f.speedup_vs_c6 >= 900.0, "{}", f.speedup_vs_c6);
+}
+
+#[test]
+fn claim_c6a_flow_budgets() {
+    // Sec. 5.2: entry < 20 ns, exit < 80 ns, round trip < 100 ns.
+    let f = flow_latencies();
+    assert!(f.c6a_entry_measured.as_nanos() < 20.0);
+    assert!(f.c6a_exit_measured.as_nanos() < 80.0);
+    assert!((f.c6a_entry_measured + f.c6a_exit_measured).as_nanos() < 100.0);
+}
+
+#[test]
+fn claim_motivation_23_41_55() {
+    // Sec. 2: 23% / 41% / 55% savings potential for the three residency
+    // profiles from prior work.
+    let rows = motivation();
+    assert!((rows[0].savings_pct - 23.0).abs() < 1.5, "{}", rows[0].savings_pct);
+    assert!((rows[1].savings_pct - 41.0).abs() < 1.5, "{}", rows[1].savings_pct);
+    assert!((rows[2].savings_pct - 55.0).abs() < 1.5, "{}", rows[2].savings_pct);
+}
+
+#[test]
+fn claim_table3_totals() {
+    // Table 3 overall: 290–315 mW (C6A), 227–243 mW (C6AE) — our
+    // self-consistent recomputation must land within a few mW of those
+    // bands.
+    let m = PpaModel::skylake();
+    let c6a = m.c6a_total();
+    let c6ae = m.c6ae_total();
+    assert!((c6a.low.as_milliwatts() - 290.0).abs() < 10.0, "{:?}", c6a);
+    assert!((c6a.high.as_milliwatts() - 315.0).abs() < 10.0, "{:?}", c6a);
+    assert!((c6ae.low.as_milliwatts() - 227.0).abs() < 10.0, "{:?}", c6ae);
+    assert!((c6ae.high.as_milliwatts() - 243.0).abs() < 10.0, "{:?}", c6ae);
+}
+
+#[test]
+fn claim_memcached_savings_shape() {
+    // Fig. 8(b): up to ~38% savings at low load, ~10% still at high load,
+    // monotonically shrinking; <2% average latency impact at low load.
+    let report = Fig8::new(SweepParams {
+        qps: vec![80e3, 400e3, 900e3],
+        cores: 8,
+        duration: agilewatts::aw_types::Nanos::from_millis(120.0),
+        seed: 42,
+    })
+    .run();
+    let savings: Vec<f64> = report.rows.iter().map(|r| r.power_savings_pct).collect();
+    assert!(savings[0] > 20.0, "low-load savings {:.1}%", savings[0]);
+    assert!(savings[0] > savings[2], "savings must shrink with load: {savings:?}");
+    assert!(savings[2] > 3.0, "high-load savings {:.1}%", savings[2]);
+
+    // End-to-end degradation is negligible because the 117 µs network RTT
+    // dominates (Fig. 8c).
+    for r in &report.rows {
+        assert!(r.expected_e2e_delta_pct < 1.0, "{}", r.expected_e2e_delta_pct);
+    }
+}
+
+#[test]
+fn claim_snoop_bounds_79_68() {
+    // Sec. 7.5: 79% quiet savings, 68% under continuous snoops.
+    let s = snoop_impact();
+    assert!((s.savings_quiet_pct - 79.0).abs() < 1.5, "{}", s.savings_quiet_pct);
+    // The paper quotes 68% from slightly different intermediate rounding
+    // (it uses 0.470 W for snooping C6A where 0.3025+0.120 = 0.4225 W);
+    // accept the 66–73% band.
+    assert!((66.0..73.0).contains(&s.savings_snooping_pct), "{}", s.savings_snooping_pct);
+}
+
+#[test]
+fn claim_power_model_accuracy() {
+    // Sec. 6.3: 94–96% accuracy for the analytical model. Our in-sim
+    // cross-check must clear 90% on every workload.
+    let report = Validation::quick().run();
+    assert!(report.min_accuracy_pct() >= 90.0, "{}", report.min_accuracy_pct());
+}
+
+#[test]
+fn claim_aw_area_overhead_3_to_7_pct() {
+    let m = PpaModel::skylake();
+    let area = m.area_total();
+    assert!((area.low.as_percent() - 3.0).abs() < 1e-9);
+    assert!((area.high.as_percent() - 7.0).abs() < 1e-9);
+    assert_eq!(area.basis, "core");
+}
+
+#[test]
+fn claim_c6a_latency_equals_c1_budget() {
+    // Table 1: C6A keeps C1's 2 µs software transition budget and 2 µs
+    // target residency; C6AE keeps C1E's 10 µs / 20 µs.
+    let catalog = CStateCatalog::skylake_with_aw();
+    let c1 = catalog.params(CState::C1);
+    let c6a = catalog.params(CState::C6A);
+    assert_eq!(c1.transition_time, c6a.transition_time);
+    assert_eq!(c1.target_residency, c6a.target_residency);
+    let c1e = catalog.params(CState::C1E);
+    let c6ae = catalog.params(CState::C6AE);
+    assert_eq!(c1e.transition_time, c6ae.transition_time);
+    assert_eq!(c1e.target_residency, c6ae.target_residency);
+}

@@ -1,0 +1,189 @@
+//! Property-based tests over the core invariants of the stack.
+
+use agilewatts::aw_cstates::{
+    CState, CStateCatalog, CStateConfig, IdleGovernor, MenuGovernor, NamedConfig, OracleGovernor,
+};
+use agilewatts::aw_pma::{PmaFsm, Ufpg, WakePolicy};
+use agilewatts::aw_power::{average_power, AwTransform, ResidencyVector};
+use agilewatts::aw_sim::{Distribution, EventQueue, Exponential, LogNormal, SimRng};
+use agilewatts::aw_types::{MilliWatts, Nanos, Ratio};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The event queue always pops in non-decreasing time order.
+    #[test]
+    fn event_queue_is_time_ordered(times in prop::collection::vec(0.0f64..1e9, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Nanos::new(t), i);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t.as_nanos() >= prev);
+            prev = t.as_nanos();
+        }
+    }
+
+    /// Residency vectors built from arbitrary partitions are complete and
+    /// yield power between the deepest and shallowest state powers.
+    #[test]
+    fn average_power_is_bounded(parts in prop::collection::vec(0.01f64..1.0, 4)) {
+        let total: f64 = parts.iter().sum();
+        let states = [CState::C0, CState::C1, CState::C1E, CState::C6];
+        let r = ResidencyVector::new(
+            states.iter().zip(&parts).map(|(&s, &p)| (s, Ratio::new(p / total))),
+        );
+        prop_assert!(r.is_complete(1e-9));
+        let catalog = CStateCatalog::skylake_baseline();
+        let p = average_power(&r, &catalog, agilewatts::aw_cstates::FreqLevel::P1);
+        prop_assert!(p >= catalog.power(CState::C6, agilewatts::aw_cstates::FreqLevel::P1));
+        prop_assert!(p <= catalog.power(CState::C0, agilewatts::aw_cstates::FreqLevel::P1));
+    }
+
+    /// The AW transform conserves total residency and never increases
+    /// average power for legacy-shallow-heavy profiles.
+    #[test]
+    fn aw_transform_conserves_and_saves(
+        c0 in 0.0f64..0.9,
+        c1_share in 0.1f64..1.0,
+        scalability in 0.0f64..1.0,
+        rate in 0.0f64..100_000.0,
+    ) {
+        let idle = 1.0 - c0;
+        let c1 = idle * c1_share;
+        let c1e = idle - c1;
+        let baseline = ResidencyVector::new([
+            (CState::C0, Ratio::new(c0)),
+            (CState::C1, Ratio::new(c1)),
+            (CState::C1E, Ratio::new(c1e)),
+        ]);
+        let t = AwTransform::new(scalability, rate);
+        let aw = t.apply(&baseline);
+        prop_assert!(aw.is_complete(1e-9), "total {}", aw.total());
+        prop_assert_eq!(aw.get(CState::C1), Ratio::ZERO);
+        prop_assert_eq!(aw.get(CState::C1E), Ratio::ZERO);
+
+        let catalog = CStateCatalog::skylake_with_aw();
+        let level = agilewatts::aw_cstates::FreqLevel::P1;
+        let p0 = average_power(&baseline, &catalog, level);
+        let p1 = average_power(&aw, &catalog, level);
+        // The busy stretch is bounded by rate × 100 ns, which is ≤ 1% of
+        // time here; C6A/C6AE save >1.1 W on every replaced idle second,
+        // so with any meaningful idle time AW must not be worse.
+        if idle > 0.2 {
+            prop_assert!(p1 <= p0 + MilliWatts::new(1.0), "{p1} > {p0}");
+        }
+    }
+
+    /// Governors only ever pick enabled states, for any idle history.
+    #[test]
+    fn governor_respects_enable_mask(
+        idles in prop::collection::vec(1.0f64..1e7, 1..64),
+        config_idx in 0usize..10,
+    ) {
+        let named = NamedConfig::ALL[config_idx];
+        let config = named.config();
+        let catalog = CStateCatalog::skylake_with_aw();
+        let mut menu = MenuGovernor::new();
+        let mut oracle = OracleGovernor::new();
+        for &i in &idles {
+            menu.observe_idle(Nanos::new(i));
+            let s = menu.select(&config, &catalog, None);
+            prop_assert!(config.is_enabled(s), "{named}: menu picked {s}");
+            let o = oracle.select(&config, &catalog, Some(Nanos::new(i)));
+            prop_assert!(config.is_enabled(o), "{named}: oracle picked {o}");
+        }
+    }
+
+    /// The oracle's choice never violates the residency rule: the chosen
+    /// state's target residency fits within the true idle duration, or no
+    /// enabled state fits at all.
+    #[test]
+    fn oracle_choice_fits_residency(idle_us in 0.1f64..100_000.0) {
+        let config = NamedConfig::Baseline.config();
+        let catalog = CStateCatalog::skylake_with_aw();
+        let idle = Nanos::from_micros(idle_us);
+        let mut oracle = OracleGovernor::new();
+        let s = oracle.select(&config, &catalog, Some(idle));
+        let fits = catalog.params(s).target_residency <= idle;
+        let nothing_fits = config
+            .enabled_states()
+            .iter()
+            .all(|&c| catalog.params(c).target_residency > idle);
+        prop_assert!(fits || nothing_fits);
+    }
+
+    /// PMA round trips preserve arbitrary context values and stay within
+    /// the latency budget, regardless of interleaved snoops.
+    #[test]
+    fn pma_round_trip_context_safe(value: u64, snoops in prop::collection::vec(1u32..8, 0..6)) {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.write_context(value);
+        let entry = fsm.run_entry();
+        for &n in &snoops {
+            fsm.run_snoop(n);
+        }
+        let exit = fsm.run_exit();
+        prop_assert_eq!(fsm.read_context(), Some(value));
+        prop_assert!(entry.total().as_nanos() < 20.0);
+        prop_assert!(exit.total().as_nanos() < 80.0);
+    }
+
+    /// For any zone split, staggered wake keeps the in-rush peak at the
+    /// single-zone level and conserves delivered charge.
+    #[test]
+    fn staggered_wake_bounds_inrush(zones in 1usize..12, area in 0.5f64..10.0) {
+        let ufpg = Ufpg::with_zones(zones, area, 16);
+        let st = ufpg.wake(WakePolicy::Staggered);
+        let si = ufpg.wake(WakePolicy::Simultaneous);
+        prop_assert!(st.peak_current() <= si.peak_current() + 1e-9);
+        prop_assert!((st.profile.charge() - si.profile.charge()).abs() < 1e-6);
+        // Staggered latency equals total area at the reference rate.
+        prop_assert!((st.latency.as_nanos() - area * 15.0).abs() < 1e-6);
+    }
+
+    /// Sampled distributions never produce negative values and their
+    /// empirical means land near the analytical means.
+    #[test]
+    fn distributions_match_their_means(mean in 10.0f64..10_000.0, sigma in 0.0f64..1.0, seed: u64) {
+        let exp = Exponential::with_mean(mean);
+        let ln = LogNormal::from_median(mean, sigma);
+        let mut rng = SimRng::seed(seed);
+        let n = 4_000;
+        let mut exp_sum = 0.0;
+        let mut ln_sum = 0.0;
+        for _ in 0..n {
+            let e = exp.sample(&mut rng);
+            let l = ln.sample(&mut rng);
+            prop_assert!(e >= 0.0);
+            prop_assert!(l > 0.0);
+            exp_sum += e;
+            ln_sum += l;
+        }
+        let exp_mean = exp_sum / f64::from(n);
+        prop_assert!((exp_mean - mean).abs() / mean < 0.15, "{exp_mean} vs {mean}");
+        // Log-normal tails are fat at high sigma: only check the body.
+        if sigma < 0.5 {
+            let ln_mean = ln_sum / f64::from(n);
+            prop_assert!((ln_mean - ln.mean()).abs() / ln.mean() < 0.2);
+        }
+    }
+
+    /// The AW twin of any configuration preserves the Turbo flag, the
+    /// state count, and replaces every shallow legacy state.
+    #[test]
+    fn aw_twin_is_structure_preserving(config_idx in 0usize..10) {
+        let named = NamedConfig::ALL[config_idx];
+        let config = named.config();
+        let twin = config.aw_twin();
+        prop_assert_eq!(config.turbo(), twin.turbo());
+        prop_assert_eq!(config.enabled_states().len(), twin.enabled_states().len());
+        prop_assert!(!twin.is_enabled(CState::C1));
+        prop_assert!(!twin.is_enabled(CState::C1E));
+        // Twin of the twin is itself (idempotence).
+        let twice: CStateConfig = twin.aw_twin();
+        prop_assert_eq!(twin, twice);
+    }
+}
