@@ -87,6 +87,34 @@ impl Default for SweepArgs {
     }
 }
 
+/// Telemetry options, accepted by every experiment subcommand.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryArgs {
+    /// Write a Chrome trace-event JSON file here (`--trace-out`).
+    pub trace_out: Option<String>,
+    /// Write a metrics JSON file here (`--metrics-out`).
+    pub metrics_out: Option<String>,
+    /// Trace ring-buffer capacity (`--trace-limit`), `None` = default.
+    pub trace_limit: Option<usize>,
+}
+
+impl TelemetryArgs {
+    /// Default ring-buffer capacity when `--trace-limit` is not given.
+    pub const DEFAULT_TRACE_LIMIT: usize = 200_000;
+
+    /// `true` if any output was requested, i.e. the run must be traced.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// The effective ring-buffer capacity.
+    #[must_use]
+    pub fn limit(&self) -> usize {
+        self.trace_limit.unwrap_or(Self::DEFAULT_TRACE_LIMIT)
+    }
+}
+
 /// Parse failures, with a human-readable message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError(pub String);
@@ -113,6 +141,47 @@ fn has_quick(rest: &[String]) -> Result<bool, ParseError> {
         [flag] if flag == "--quick" => Ok(true),
         [other, ..] => Err(ParseError(format!("unexpected argument '{other}'"))),
     }
+}
+
+/// Parses an argument vector (without the program name), extracting the
+/// telemetry options (`--trace-out`, `--metrics-out`, `--trace-limit`)
+/// first — they are accepted anywhere on the command line — and handing
+/// the rest to [`parse`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first invalid argument.
+pub fn parse_cli(args: &[String]) -> Result<(Command, TelemetryArgs), ParseError> {
+    let mut telemetry = TelemetryArgs::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| ParseError(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--trace-out" => telemetry.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => telemetry.metrics_out = Some(value("--metrics-out")?),
+            "--trace-limit" => {
+                let v = value("--trace-limit")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad --trace-limit value '{v}'")))?;
+                if n == 0 {
+                    return Err(ParseError("--trace-limit must be positive".into()));
+                }
+                telemetry.trace_limit = Some(n);
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    let command = parse(&rest)?;
+    if telemetry.is_active() && matches!(command, Command::Help) {
+        return Err(ParseError(
+            "--trace-out/--metrics-out need an experiment subcommand".into(),
+        ));
+    }
+    Ok((command, telemetry))
 }
 
 /// Parses an argument vector (without the program name).
@@ -309,5 +378,38 @@ mod tests {
     fn unknown_command_suggests_help() {
         let err = parse(&argv("fgi 8")).unwrap_err();
         assert!(err.to_string().contains("help"));
+    }
+
+    #[test]
+    fn telemetry_flags_accepted_anywhere() {
+        let (cmd, t) =
+            parse_cli(&argv("fig 8 --trace-out /tmp/t.json --quick --metrics-out /tmp/m.json"))
+                .unwrap();
+        assert_eq!(cmd, Command::Fig { number: 8, quick: true });
+        assert_eq!(t.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(t.metrics_out.as_deref(), Some("/tmp/m.json"));
+        assert!(t.is_active());
+        assert_eq!(t.limit(), TelemetryArgs::DEFAULT_TRACE_LIMIT);
+    }
+
+    #[test]
+    fn trace_limit_parses_and_validates() {
+        let (_, t) = parse_cli(&argv("sweep --trace-limit 5000 --trace-out x.json")).unwrap();
+        assert_eq!(t.limit(), 5000);
+        assert!(parse_cli(&argv("sweep --trace-limit 0")).is_err());
+        assert!(parse_cli(&argv("sweep --trace-limit abc")).is_err());
+        assert!(parse_cli(&argv("sweep --trace-out")).is_err());
+    }
+
+    #[test]
+    fn no_telemetry_flags_is_inactive() {
+        let (cmd, t) = parse_cli(&argv("table 1")).unwrap();
+        assert_eq!(cmd, Command::Table(1));
+        assert!(!t.is_active());
+    }
+
+    #[test]
+    fn telemetry_without_subcommand_is_an_error() {
+        assert!(parse_cli(&argv("--trace-out /tmp/t.json")).is_err());
     }
 }

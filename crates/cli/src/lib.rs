@@ -20,8 +20,8 @@
 mod args;
 mod run;
 
-pub use args::{parse, Command, ParseError, SweepArgs};
-pub use run::execute;
+pub use args::{parse, parse_cli, Command, ParseError, SweepArgs, TelemetryArgs};
+pub use run::{execute, execute_with};
 
 /// The CLI usage text.
 pub const USAGE: &str = "\
@@ -58,4 +58,12 @@ OPTIONS (sweep):
     --cores <N>            core count (default 10)
     --duration-ms <N>      simulated milliseconds (default 400)
     --seed <N>             RNG seed (default 42)
+
+TELEMETRY OPTIONS (any experiment subcommand):
+    --trace-out <FILE>     write a Chrome trace-event JSON file (open in
+                           chrome://tracing or Perfetto; one track per core)
+    --metrics-out <FILE>   write a metrics-registry JSON file (counters,
+                           gauges, histograms, governor mispredict rate)
+    --trace-limit <N>      trace ring-buffer capacity (default 200000;
+                           oldest events are dropped first)
 ";

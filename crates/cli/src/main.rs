@@ -4,8 +4,8 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match aw_cli::parse(&args) {
-        Ok(command) => match aw_cli::execute(&command) {
+    match aw_cli::parse_cli(&args) {
+        Ok((command, telemetry)) => match aw_cli::execute_with(&command, &telemetry) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -1,10 +1,13 @@
 //! Command execution: maps a parsed [`Command`] onto the experiment API.
 
+use agilewatts::aw_cstates::NamedConfig;
 use agilewatts::aw_server::{ServerConfig, ServerSim, WorkloadSpec};
+use agilewatts::aw_telemetry::TelemetryReport;
 use agilewatts::aw_types::Nanos;
 use agilewatts::aw_workloads::{
     kafka, memcached_etc, mysql_oltp, websearch, KafkaRate, MysqlRate,
 };
+use agilewatts::telemetry_table;
 use agilewatts::experiments::{
     enhanced_split, flow_latencies, governor_ablation, motivation, motivation_simulated,
     retention_ablation, sleep_mode_ablation, snoop_impact, table1, table2, table3, table4,
@@ -12,7 +15,7 @@ use agilewatts::experiments::{
     PackageAnalysis, SweepParams, Table5Params, Validation,
 };
 
-use crate::args::{Command, ParseError, SweepArgs};
+use crate::args::{Command, ParseError, SweepArgs, TelemetryArgs};
 use crate::USAGE;
 
 fn sweep_params(quick: bool) -> SweepParams {
@@ -35,6 +38,29 @@ fn workload_by_name(args: &SweepArgs) -> Result<WorkloadSpec, ParseError> {
         "websearch-50" => Ok(websearch(0.5, args.cores)),
         other => Err(ParseError(format!("unknown workload '{other}'"))),
     }
+}
+
+/// Executes a command with telemetry options, writing its report to
+/// stdout and any requested trace/metrics JSON artifacts to disk.
+///
+/// A traced `sweep` instruments its own simulation; every other
+/// subcommand runs normally and then attaches one representative traced
+/// run (see [`run_traced_representative`]).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for semantic errors detectable only at
+/// execution time (e.g., an unknown workload name or unwritable output
+/// path).
+pub fn execute_with(command: &Command, telemetry: &TelemetryArgs) -> Result<(), ParseError> {
+    if !telemetry.is_active() {
+        return execute(command);
+    }
+    if let Command::Sweep(args) = command {
+        return run_sweep_with(args, telemetry);
+    }
+    execute(command)?;
+    run_traced_representative(command, telemetry)
 }
 
 /// Executes a command, writing its report to stdout.
@@ -162,10 +188,18 @@ fn run_ablations(quick: bool) {
 }
 
 fn run_sweep(args: &SweepArgs) -> Result<(), ParseError> {
+    run_sweep_with(args, &TelemetryArgs::default())
+}
+
+fn run_sweep_with(args: &SweepArgs, telemetry: &TelemetryArgs) -> Result<(), ParseError> {
     let workload = workload_by_name(args)?;
     let config = ServerConfig::new(args.cores, args.config)
         .with_duration(Nanos::from_millis(args.duration_ms));
-    let metrics = ServerSim::new(config, workload, args.seed).run();
+    let mut sim = ServerSim::new(config, workload, args.seed);
+    if telemetry.is_active() {
+        sim = sim.with_telemetry(telemetry.limit());
+    }
+    let (metrics, report) = sim.run_traced();
     println!("{metrics}");
     println!(
         "  package:   {} ({} uncore), PC0/PC2/PC6 = {}/{}/{}",
@@ -175,7 +209,59 @@ fn run_sweep(args: &SweepArgs) -> Result<(), ParseError> {
         metrics.package_residency[1],
         metrics.package_residency[2],
     );
+    if let Some(report) = report {
+        println!("{}", telemetry_table(&report.summary));
+        write_telemetry(&report, telemetry)?;
+    }
     Ok(())
+}
+
+/// Writes the requested telemetry artifacts to disk.
+fn write_telemetry(report: &TelemetryReport, telemetry: &TelemetryArgs) -> Result<(), ParseError> {
+    if let Some(path) = &telemetry.trace_out {
+        std::fs::write(path, report.chrome_trace_json())
+            .map_err(|e| ParseError(format!("cannot write trace to '{path}': {e}")))?;
+        println!(
+            "trace: {} events over {} cores -> {path} (open in chrome://tracing or Perfetto)",
+            report.events.len(),
+            report.cores
+        );
+    }
+    if let Some(path) = &telemetry.metrics_out {
+        std::fs::write(path, report.metrics_json())
+            .map_err(|e| ParseError(format!("cannot write metrics to '{path}': {e}")))?;
+        println!("metrics: -> {path}");
+    }
+    Ok(())
+}
+
+/// The representative traced run attached to a non-sweep command: the AW
+/// configuration under the workload family the command studies. Keeps
+/// `--trace-out` meaningful on experiment subcommands whose own sweeps
+/// aggregate dozens of runs (tracing each would be an unreadable blur).
+fn run_traced_representative(
+    command: &Command,
+    telemetry: &TelemetryArgs,
+) -> Result<(), ParseError> {
+    let workload = match command {
+        Command::Fig { number: 12, .. } => mysql_oltp(MysqlRate::Mid),
+        Command::Fig { number: 13, .. } => kafka(KafkaRate::Low),
+        _ => memcached_etc(200_000.0),
+    };
+    let config = ServerConfig::new(10, NamedConfig::Aw)
+        .with_duration(Nanos::from_millis(100.0));
+    println!(
+        "\ntraced representative run: {} / {} on 10 cores",
+        NamedConfig::Aw,
+        workload.name()
+    );
+    let (metrics, report) = ServerSim::new(config, workload, 42)
+        .with_telemetry(telemetry.limit())
+        .run_traced();
+    let report = report.expect("telemetry was enabled");
+    println!("{}", telemetry_table(&report.summary));
+    let _ = metrics;
+    write_telemetry(&report, telemetry)
 }
 
 fn run_report(quick: bool) -> Result<(), ParseError> {
@@ -223,6 +309,37 @@ mod tests {
             ..SweepArgs::default()
         };
         run_sweep(&args).unwrap();
+    }
+
+    #[test]
+    fn traced_sweep_writes_artifacts() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join("aw_cli_test_trace.json");
+        let metrics = dir.join("aw_cli_test_metrics.json");
+        let args = SweepArgs {
+            cores: 2,
+            duration_ms: 10.0,
+            qps: 50_000.0,
+            ..SweepArgs::default()
+        };
+        let telemetry = TelemetryArgs {
+            trace_out: Some(trace.to_string_lossy().into_owned()),
+            metrics_out: Some(metrics.to_string_lossy().into_owned()),
+            trace_limit: Some(10_000),
+        };
+        execute_with(&Command::Sweep(args), &telemetry).unwrap();
+        let trace_json = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_json.contains("\"traceEvents\""));
+        assert!(trace_json.contains("\"thread_name\""));
+        let metrics_json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(metrics_json.contains("\"mispredict_rate\""));
+        let _ = std::fs::remove_file(trace);
+        let _ = std::fs::remove_file(metrics);
+    }
+
+    #[test]
+    fn inactive_telemetry_is_plain_execute() {
+        execute_with(&Command::Flows, &TelemetryArgs::default()).unwrap();
     }
 
     #[test]

@@ -28,7 +28,8 @@
 //! [`aw_types`] (units), [`aw_sim`] (DES kernel), [`aw_cstates`]
 //! (C-state architecture), [`aw_pma`] (cycle-level PMA model),
 //! [`aw_power`] (analytical models), [`aw_server`] (server simulator),
-//! and [`aw_workloads`] (workload models).
+//! [`aw_telemetry`] (event tracing, metrics, Chrome-trace export), and
+//! [`aw_workloads`] (workload models).
 //!
 //! # Quickstart
 //!
@@ -51,12 +52,13 @@
 pub mod experiments;
 mod report;
 
-pub use report::{Series, TextTable};
+pub use report::{telemetry_table, Series, TextTable};
 
 pub use aw_cstates;
 pub use aw_pma;
 pub use aw_power;
 pub use aw_server;
 pub use aw_sim;
+pub use aw_telemetry;
 pub use aw_types;
 pub use aw_workloads;

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use aw_telemetry::TelemetrySummary;
 use serde::Serialize;
 
 /// A renderable text table (the form every "Table N" experiment emits).
@@ -111,6 +112,50 @@ impl fmt::Display for TextTable {
     }
 }
 
+/// Renders a telemetry summary as a metric/value [`TextTable`] — the
+/// "Telemetry" section appended to experiment reports for traced runs.
+///
+/// # Examples
+///
+/// ```
+/// use agilewatts::{aw_telemetry::TelemetryRecorder, telemetry_table};
+/// use agilewatts::aw_types::Nanos;
+///
+/// let mut rec = TelemetryRecorder::new(1, 64);
+/// rec.sim_event(Nanos::ZERO, 3);
+/// let table = telemetry_table(&rec.finish(Nanos::from_micros(1.0)));
+/// assert!(table.to_string().contains("mispredict rate"));
+/// ```
+#[must_use]
+pub fn telemetry_table(summary: &TelemetrySummary) -> TextTable {
+    let mut t = TextTable::new("Telemetry", &["metric", "value"]);
+    t.push_row(vec!["trace events recorded".into(), summary.events_recorded.to_string()]);
+    t.push_row(vec!["trace events dropped".into(), summary.events_dropped.to_string()]);
+    t.push_row(vec!["DES events dispatched".into(), summary.sim_events.to_string()]);
+    t.push_row(vec![
+        "DES events/sec (wall clock)".into(),
+        format!("{:.0}", summary.events_per_sec),
+    ]);
+    t.push_row(vec![
+        "event-queue depth HWM".into(),
+        format!("{:.0}", summary.event_queue_depth_hwm),
+    ]);
+    t.push_row(vec![
+        "run-queue depth HWM".into(),
+        format!("{:.0}", summary.run_queue_depth_hwm),
+    ]);
+    t.push_row(vec!["governor decisions".into(), summary.governor_decisions.to_string()]);
+    t.push_row(vec![
+        "governor mispredict rate".into(),
+        format!("{:.2}%", summary.mispredict_rate * 100.0),
+    ]);
+    t.push_row(vec![
+        "mean residency error".into(),
+        summary.mean_residency_error.to_string(),
+    ]);
+    t
+}
+
 /// A named (x, y) series — the form every "Fig. N" experiment emits.
 #[derive(Debug, Clone, Serialize)]
 pub struct Series {
@@ -210,6 +255,30 @@ mod tests {
         assert_eq!(s.y_at(15.0), Some(2.0));
         assert_eq!(s.y_at(10.0), Some(1.0));
         assert_eq!(s.y_at(30.0), None);
+    }
+
+    #[test]
+    fn telemetry_table_renders_headline_metrics() {
+        let mut rec = aw_telemetry::TelemetryRecorder::new(2, 64);
+        rec.sim_event(aw_types::Nanos::ZERO, 5);
+        rec.governor_decision(
+            0,
+            aw_types::Nanos::ZERO,
+            "C1",
+            aw_types::Nanos::from_micros(1.0),
+        );
+        rec.idle_outcome(
+            0,
+            aw_types::Nanos::from_micros(3.0),
+            aw_types::Nanos::from_micros(3.0),
+            aw_types::Nanos::from_micros(2.0),
+        );
+        let table = telemetry_table(&rec.finish(aw_types::Nanos::from_micros(10.0)));
+        let text = table.to_string();
+        assert!(text.contains("governor mispredict rate"));
+        assert!(text.contains("0.00%"));
+        assert!(text.contains("event-queue depth HWM"));
+        assert!(text.contains("5"));
     }
 
     #[test]

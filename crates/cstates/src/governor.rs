@@ -42,6 +42,13 @@ pub trait IdleGovernor: fmt::Debug + Send {
 
     /// Resets learned state (between experiment runs).
     fn reset(&mut self) {}
+
+    /// The governor's current idle-duration prediction, if it maintains
+    /// one. Telemetry uses this to score predicted-vs-actual residency;
+    /// non-predictive governors keep the default `None`.
+    fn last_prediction(&self) -> Option<Nanos> {
+        None
+    }
 }
 
 /// Picks the deepest enabled state whose target residency fits within
@@ -161,6 +168,10 @@ impl IdleGovernor for MenuGovernor {
 
     fn reset(&mut self) {
         self.ewma = None;
+    }
+
+    fn last_prediction(&self) -> Option<Nanos> {
+        self.predicted()
     }
 }
 

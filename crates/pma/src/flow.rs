@@ -42,6 +42,26 @@ pub enum PmaState {
     ExitClockUngate,
 }
 
+impl PmaState {
+    /// Short static name of the state, used as the trace-event label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PmaState::Active => "Active",
+            PmaState::EntryClockGate => "EntryClockGate",
+            PmaState::EntrySaveAndGate => "EntrySaveAndGate",
+            PmaState::EntryCacheSleep => "EntryCacheSleep",
+            PmaState::Idle => "Idle",
+            PmaState::SnoopWake => "SnoopWake",
+            PmaState::SnoopServe => "SnoopServe",
+            PmaState::SnoopResleep => "SnoopResleep",
+            PmaState::ExitCacheWake => "ExitCacheWake",
+            PmaState::ExitPowerUngate => "ExitPowerUngate",
+            PmaState::ExitClockUngate => "ExitClockUngate",
+        }
+    }
+}
+
 /// One traced step: the state occupied, when it began, how long it took.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct TraceStep {
@@ -89,6 +109,25 @@ impl FlowTrace {
         self.steps.windows(2).all(|w| {
             ((w[0].start + w[0].duration) - w[1].start).as_nanos().abs() < 1e-9
         })
+    }
+
+    /// Emits the trace into a telemetry sink as one
+    /// [`aw_telemetry::EventKind::FlowStep`] per step, shifting the
+    /// flow-relative timestamps to absolute time `base`.
+    pub fn emit(&self, sink: &mut impl aw_telemetry::TraceSink, core: u32, base: Nanos) {
+        if !sink.is_enabled() {
+            return;
+        }
+        for step in &self.steps {
+            sink.record(aw_telemetry::TraceEvent {
+                time: base + step.start,
+                core,
+                kind: aw_telemetry::EventKind::FlowStep {
+                    step: step.state.name(),
+                    duration: step.duration,
+                },
+            });
+        }
     }
 }
 

@@ -41,6 +41,7 @@ mod core;
 mod metrics;
 mod sim;
 mod thermal;
+pub mod trace;
 mod uncore;
 mod workload;
 

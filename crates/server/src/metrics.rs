@@ -6,6 +6,7 @@ use std::fmt;
 use aw_cstates::CState;
 use aw_power::ResidencyVector;
 use aw_sim::SampleSet;
+use aw_telemetry::TelemetrySummary;
 use aw_types::{MilliWatts, Nanos, Ratio};
 use serde::Serialize;
 
@@ -22,10 +23,16 @@ pub struct LatencyStats {
     pub p99: Nanos,
     /// Maximum observed.
     pub max: Nanos,
+    /// Number of samples summarized. Zero marks "no data": the
+    /// statistics above are filler zeros, not measured values.
+    pub count: u64,
 }
 
 impl LatencyStats {
-    /// Summarizes a sample set; zero stats if empty.
+    /// Summarizes a sample set. An empty set yields zero statistics with
+    /// [`LatencyStats::count`] of zero, which [`LatencyStats::is_empty`]
+    /// and the `Display` impl surface explicitly — a run that completed
+    /// nothing must not masquerade as one with zero-nanosecond latency.
     #[must_use]
     pub fn from_samples(samples: &mut SampleSet) -> Self {
         LatencyStats {
@@ -33,25 +40,40 @@ impl LatencyStats {
             p50: Nanos::new(samples.median().unwrap_or(0.0)),
             p99: Nanos::new(samples.p99().unwrap_or(0.0)),
             max: Nanos::new(samples.percentile(1.0).unwrap_or(0.0)),
+            count: samples.len() as u64,
         }
+    }
+
+    /// `true` if no samples back these statistics.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
     }
 
     /// Returns a copy with `offset` added to every statistic (used to turn
     /// server-side latency into end-to-end latency by adding the network
-    /// round trip).
+    /// round trip). An empty summary stays empty: there is nothing to
+    /// offset.
     #[must_use]
     pub fn offset_by(&self, offset: Nanos) -> LatencyStats {
+        if self.is_empty() {
+            return *self;
+        }
         LatencyStats {
             mean: self.mean + offset,
             p50: self.p50 + offset,
             p99: self.p99 + offset,
             max: self.max + offset,
+            count: self.count,
         }
     }
 }
 
 impl fmt::Display for LatencyStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "no samples");
+        }
         write!(f, "mean={} p50={} p99={} max={}", self.mean, self.p50, self.p99, self.max)
     }
 }
@@ -131,6 +153,9 @@ pub struct RunMetrics {
     pub package_residency: [Ratio; 3],
     /// Mean-latency decomposition (transition / queue / service).
     pub breakdown: LatencyBreakdown,
+    /// Telemetry headline numbers; `Some` only for traced runs (see
+    /// `ServerSim::with_telemetry`).
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl RunMetrics {
@@ -219,7 +244,11 @@ impl fmt::Display for RunMetrics {
         )?;
         writeln!(f, "  residency: {}", self.residencies)?;
         writeln!(f, "  latency:   {}", self.server_latency)?;
-        write!(f, "  turbo: {}, snoops: {}", self.turbo_fraction, self.snoops_served)
+        write!(f, "  turbo: {}, snoops: {}", self.turbo_fraction, self.snoops_served)?;
+        if let Some(t) = &self.telemetry {
+            write!(f, "\n  telemetry: {t}")?;
+        }
+        Ok(())
     }
 }
 
@@ -257,6 +286,7 @@ mod tests {
                 queue: Nanos::from_micros(2.0),
                 service: Nanos::from_micros(4.0),
             },
+            telemetry: None,
         }
     }
 
@@ -298,11 +328,25 @@ mod tests {
     }
 
     #[test]
-    fn empty_samples_yield_zero_stats() {
+    fn empty_samples_are_explicitly_marked() {
         let mut s = SampleSet::new();
         let l = LatencyStats::from_samples(&mut s);
         assert_eq!(l.mean, Nanos::ZERO);
         assert_eq!(l.p99, Nanos::ZERO);
+        assert!(l.is_empty());
+        assert_eq!(l.to_string(), "no samples");
+        // Offsetting an empty summary must not fabricate latencies.
+        let shifted = l.offset_by(Nanos::from_micros(100.0));
+        assert!(shifted.is_empty());
+        assert_eq!(shifted.mean, Nanos::ZERO);
+    }
+
+    #[test]
+    fn populated_samples_are_not_empty() {
+        let m = sample_metrics(1000.0, 100.0);
+        assert!(!m.server_latency.is_empty());
+        assert_eq!(m.server_latency.count, 100);
+        assert!(m.server_latency.to_string().contains("mean="));
     }
 
     #[test]

@@ -6,11 +6,13 @@ use std::fmt;
 use aw_cstates::CState;
 use aw_power::ResidencyVector;
 use aw_sim::{EventQueue, SampleSet, SimRng};
+use aw_telemetry::{TelemetryRecorder, TelemetryReport};
 use aw_types::{MilliWatts, Nanos, Ratio};
 
 use crate::config::{Dispatch, GovernorKind, ServerConfig, SnoopTraffic};
 use crate::core::{CoreState, QueuedRequest, SimCore};
 use crate::metrics::{LatencyBreakdown, LatencyStats, RunMetrics};
+use crate::trace;
 use crate::uncore::{PackageCState, UncoreModel};
 use crate::workload::WorkloadSpec;
 
@@ -41,6 +43,11 @@ pub struct ServerSim {
     config: ServerConfig,
     workload: WorkloadSpec,
     rng: SimRng,
+    /// Dedicated stream for snoop inter-arrival gaps: keeping snoop draws
+    /// out of the workload stream means enabling snoops does not perturb
+    /// the arrival/service sample path, so configurations with and without
+    /// snoop traffic are directly comparable (common random numbers).
+    snoop_rng: SimRng,
     queue: EventQueue<Event>,
     cores: Vec<SimCore>,
     rr_next: usize,
@@ -53,6 +60,9 @@ pub struct ServerSim {
     next_arrival: Nanos,
     end: Nanos,
     uncore: UncoreModel,
+    /// `Some` when tracing is enabled (see [`ServerSim::with_telemetry`]);
+    /// `None` keeps every emission site a single branch on the fast path.
+    telemetry: Option<TelemetryRecorder>,
 }
 
 impl ServerSim {
@@ -66,10 +76,12 @@ impl ServerSim {
         let _ = rng.fork(0); // decorrelate from the seed's first draw
         let end = config.warmup + config.duration;
         let uncore = UncoreModel::skylake(config.cores, Nanos::ZERO);
+        let snoop_rng = SimRng::seed(seed ^ 0x534E_4F4F_505F_5247); // "SNOOP_RG"
         ServerSim {
             config,
             workload,
             rng,
+            snoop_rng,
             queue: EventQueue::new(),
             cores,
             rr_next: 0,
@@ -82,7 +94,21 @@ impl ServerSim {
             next_arrival: Nanos::ZERO,
             end,
             uncore,
+            telemetry: None,
         }
+    }
+
+    /// Enables telemetry: structured trace events (bounded to
+    /// `trace_limit`, oldest evicted first) plus the metrics registry.
+    /// Run with [`ServerSim::run_traced`] to get the report back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace_limit` is zero.
+    #[must_use]
+    pub fn with_telemetry(mut self, trace_limit: usize) -> Self {
+        self.telemetry = Some(TelemetryRecorder::new(self.cores.len(), trace_limit));
+        self
     }
 
     /// Re-derives the package state from core occupancy after any core
@@ -117,7 +143,15 @@ impl ServerSim {
 
     /// Runs the simulation to completion and returns the metrics.
     #[must_use]
-    pub fn run(mut self) -> RunMetrics {
+    pub fn run(self) -> RunMetrics {
+        self.run_traced().0
+    }
+
+    /// Runs the simulation and additionally returns the
+    /// [`TelemetryReport`] if [`ServerSim::with_telemetry`] was called.
+    /// The metrics' `telemetry` field carries the same summary.
+    #[must_use]
+    pub fn run_traced(mut self) -> (RunMetrics, Option<TelemetryReport>) {
         // Every core starts active with nothing to do: send each to idle
         // immediately so the fleet begins in a realistic parked state.
         for id in 0..self.cores.len() {
@@ -146,6 +180,10 @@ impl ServerSim {
             if now > self.end {
                 break;
             }
+            if let Some(t) = self.telemetry.as_mut() {
+                // Depth counts the popped event plus everything pending.
+                t.sim_event(now, self.queue.len() + 1);
+            }
             match event {
                 Event::Arrival => self.on_arrival(now),
                 Event::ServiceDone { core, gen } => self.on_service_done(core, gen, now),
@@ -157,7 +195,11 @@ impl ServerSim {
             }
         }
 
-        self.finalize()
+        let end = self.end;
+        let report = self.telemetry.take().map(|t| t.into_report(end));
+        let mut metrics = self.finalize();
+        metrics.telemetry = report.as_ref().map(|r| r.summary.clone());
+        (metrics, report)
     }
 
     fn dispatch(&mut self) -> usize {
@@ -187,6 +229,9 @@ impl ServerSim {
             wake_penalty: Nanos::ZERO,
             is_tick: false,
         });
+        if let Some(t) = self.telemetry.as_mut() {
+            t.enqueue(id as u32, now, self.cores[id].queue.len() as u32);
+        }
 
         if let CoreState::Idle { state } = self.cores[id].state {
             // This request personally pays the exit latency.
@@ -194,7 +239,7 @@ impl ServerSim {
             if let Some(req) = self.cores[id].queue.back_mut() {
                 req.wake_penalty = penalty;
             }
-            self.begin_wake(id, state, now);
+            self.begin_wake(id, state, now, "arrival");
         }
         // Active, Waking: the queue drains naturally.
         // Entering: EntryDone will notice the pending work and wake.
@@ -204,11 +249,15 @@ impl ServerSim {
         self.queue.schedule(self.next_arrival, Event::Arrival);
     }
 
-    fn begin_wake(&mut self, id: usize, from: CState, now: Nanos) {
+    fn begin_wake(&mut self, id: usize, from: CState, now: Nanos, reason: &'static str) {
         let exit = self.config.catalog.params(from).exit_latency;
         // The voltage/clock ramp means a transition burns roughly the
         // midpoint of the two endpoint powers, not full C0 power.
         let ramp = self.transition_power(from);
+        if let Some(t) = self.telemetry.as_mut() {
+            t.wake(id as u32, now, reason);
+            t.state_change(id as u32, now, trace::exit_label(from));
+        }
         let core = &mut self.cores[id];
         core.switch_power(now, ramp);
         core.set_state(now, CoreState::Waking { from });
@@ -227,6 +276,14 @@ impl ServerSim {
             &self.config.catalog,
             hint,
         );
+        if let Some(t) = self.telemetry.as_mut() {
+            // Predictive governors report their own estimate; for hinted
+            // (oracle) governors the hint *is* the prediction.
+            let predicted =
+                self.cores[id].governor.last_prediction().or(hint).unwrap_or(Nanos::ZERO);
+            t.governor_decision(id as u32, now, trace::cstate_label(target), predicted);
+            t.state_change(id as u32, now, trace::enter_label(target));
+        }
         let entry = self.config.catalog.params(target).entry_latency;
         let ramp = self.transition_power(target);
         let core = &mut self.cores[id];
@@ -246,6 +303,9 @@ impl ServerSim {
         let CoreState::Entering { target } = self.cores[id].state else {
             return;
         };
+        if let Some(t) = self.telemetry.as_mut() {
+            t.state_change(id as u32, now, trace::cstate_label(target));
+        }
         let idle_power =
             self.config.catalog.power(target, aw_cstates::FreqLevel::P1);
         let core = &mut self.cores[id];
@@ -262,7 +322,7 @@ impl ServerSim {
             if let Some(req) = core.queue.front_mut() {
                 req.wake_penalty = penalty;
             }
-            self.begin_wake(id, target, now);
+            self.begin_wake(id, target, now, "queued-work");
         }
     }
 
@@ -270,10 +330,15 @@ impl ServerSim {
         if self.cores[id].generation != gen {
             return;
         }
-        let CoreState::Waking { .. } = self.cores[id].state else {
+        let CoreState::Waking { from } = self.cores[id].state else {
             return;
         };
         let idle_duration = now - self.cores[id].idle_since;
+        if let Some(t) = self.telemetry.as_mut() {
+            let target = self.config.catalog.params(from).target_residency;
+            t.idle_outcome(id as u32, now, idle_duration, target);
+            t.state_change(id as u32, now, "C0");
+        }
         self.cores[id].governor.observe_idle(idle_duration);
         // One idle round trip completed: charge the hidden transition
         // energy (in-rush current, clock restart) that residency-based
@@ -289,8 +354,16 @@ impl ServerSim {
             self.begin_idle(id, now);
             return;
         };
+        if let Some(t) = self.telemetry.as_mut() {
+            t.dequeue(id as u32, now, self.cores[id].queue.len() as u32);
+        }
 
         let turbo = self.config.cstates.turbo() && self.cores[id].thermal.turbo_available();
+        if turbo && !self.cores[id].serving_at_turbo {
+            if let Some(t) = self.telemetry.as_mut() {
+                t.turbo_engage(id as u32, now);
+            }
+        }
         let s = self.workload.frequency_scalability();
         let mut time_factor = if turbo {
             let speedup = self.config.base_freq / self.config.turbo_freq;
@@ -356,8 +429,11 @@ impl ServerSim {
             wake_penalty: Nanos::ZERO,
             is_tick: true,
         });
+        if let Some(t) = self.telemetry.as_mut() {
+            t.enqueue(id as u32, now, self.cores[id].queue.len() as u32);
+        }
         if let CoreState::Idle { state } = self.cores[id].state {
-            self.begin_wake(id, state, now);
+            self.begin_wake(id, state, now, "timer");
         }
     }
 
@@ -366,15 +442,14 @@ impl ServerSim {
         if rate <= 0.0 {
             return;
         }
-        let gap = Nanos::from_secs(-self.rng.uniform_open().ln() / rate);
+        let gap = Nanos::from_secs(-self.snoop_rng.uniform_open().ln() / rate);
         self.queue.schedule(now + gap, Event::Snoop { core: id });
     }
 
     fn on_snoop(&mut self, id: usize, now: Nanos) {
         self.schedule_snoop(id, now);
         let SnoopTraffic { legacy_power, aw_power, burst_duration, .. } = self.config.snoops;
-        let core = &mut self.cores[id];
-        if let CoreState::Idle { state } = core.state {
+        if let CoreState::Idle { state } = self.cores[id].state {
             let extra = match state {
                 CState::C1 | CState::C1E => Some(legacy_power),
                 CState::C6A | CState::C6AE => Some(aw_power),
@@ -382,8 +457,12 @@ impl ServerSim {
                 _ => None,
             };
             if let Some(p) = extra {
+                let core = &mut self.cores[id];
                 core.snoop_energy += p * burst_duration;
                 core.snoops_served += 1;
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.snoop(id as u32, now, trace::cstate_label(state));
+                }
             }
         }
     }
@@ -495,6 +574,8 @@ impl ServerSim {
             avg_uncore_power,
             package_residency,
             breakdown,
+            // Filled by `run_traced` after the recorder is finished.
+            telemetry: None,
         }
     }
 }

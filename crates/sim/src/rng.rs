@@ -1,14 +1,26 @@
 //! Seeded random-number generation for deterministic simulation.
+//!
+//! Self-contained (no external `rand` dependency): the generator is
+//! xoshiro256++ (Blackman & Vigna), seeded through SplitMix64 exactly as
+//! the reference implementation recommends. Both algorithms are public
+//! domain, pass BigCrush, and are more than adequate for discrete-event
+//! simulation draws.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// Expands a 64-bit seed into successive state words (SplitMix64).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded random-number generator for simulation use.
 ///
-/// Thin wrapper over [`rand::rngs::StdRng`] that fixes the seeding
-/// discipline: every simulation component derives its generator from an
-/// explicit `u64` seed so that runs are reproducible, and independent
-/// streams can be forked for sub-components without sharing state.
+/// Thin wrapper over xoshiro256++ that fixes the seeding discipline: every
+/// simulation component derives its generator from an explicit `u64` seed
+/// so that runs are reproducible, and independent streams can be forked
+/// for sub-components without sharing state.
 ///
 /// # Examples
 ///
@@ -21,14 +33,22 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seed(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        SimRng {
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
     }
 
     /// Forks an independent generator stream, keyed by `stream`.
@@ -39,20 +59,36 @@ impl SimRng {
     /// without perturbing one another.
     #[must_use]
     pub fn fork(&mut self, stream: u64) -> SimRng {
-        let base = self.inner.gen::<u64>();
+        let base = self.next_u64();
         SimRng::seed(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// The next raw 64-bit value.
+    /// The next raw 64-bit value (xoshiro256++).
     #[must_use]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// The next raw 32-bit value (upper half of a 64-bit draw).
+    #[must_use]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
     /// Uniform value in `[0, 1)`.
     #[must_use]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the canonical [0, 1) double.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform value in the open interval `(0, 1)`.
@@ -61,7 +97,7 @@ impl SimRng {
     #[must_use]
     pub fn uniform_open(&mut self) -> f64 {
         loop {
-            let u = self.inner.gen::<f64>();
+            let u = self.uniform();
             if u > 0.0 {
                 return u;
             }
@@ -82,7 +118,18 @@ impl SimRng {
     #[must_use]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift with rejection for exact uniformity.
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let m = u128::from(x) * u128::from(n);
+                ((m >> 64) as u64, m as u64)
+            };
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return hi as usize;
+            }
+        }
     }
 
     /// A Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
@@ -97,21 +144,6 @@ impl SimRng {
         let u1 = self.uniform_open();
         let u2 = self.uniform();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -195,5 +227,20 @@ mod tests {
             seen[r.index(5)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn index_is_unbiased_across_buckets() {
+        let mut r = SimRng::seed(17);
+        let mut counts = [0u32; 7];
+        let draws = 70_000;
+        for _ in 0..draws {
+            counts[r.index(7)] += 1;
+        }
+        let expected = draws as f64 / 7.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (f64::from(c) - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket {i} off by {dev}");
+        }
     }
 }

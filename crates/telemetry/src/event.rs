@@ -1,0 +1,136 @@
+//! Typed trace events.
+//!
+//! Every observable action in the simulation stack maps to one
+//! [`TraceEvent`]: a timestamp, the core it concerns, and a typed
+//! [`EventKind`] payload. State names are `&'static str` so events are
+//! `Copy`-cheap and the telemetry crate stays at the bottom of the
+//! dependency graph (it never needs the C-state or PMA enums themselves).
+
+use aw_types::Nanos;
+use serde::Serialize;
+
+/// One trace event: when, where, what.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub time: Nanos,
+    /// The core the event concerns.
+    pub core: u32,
+    /// The typed payload.
+    pub kind: EventKind,
+}
+
+/// The typed payload of a [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum EventKind {
+    /// The core entered a (life-cycle) C-state at [`TraceEvent::time`].
+    CStateEnter {
+        /// Name of the state entered (e.g. `"C6A"`, `"enter:C6"`).
+        state: &'static str,
+    },
+    /// The core left a C-state it occupied for `residency`.
+    CStateExit {
+        /// Name of the state left.
+        state: &'static str,
+        /// How long the core occupied the state.
+        residency: Nanos,
+    },
+    /// The idle governor picked a state, predicting an idle duration.
+    GovernorDecision {
+        /// Name of the chosen idle state.
+        chosen: &'static str,
+        /// The governor's predicted idle duration.
+        predicted: Nanos,
+    },
+    /// An idle period ended: the governor's prediction meets reality.
+    IdleOutcome {
+        /// Name of the state the governor had chosen.
+        chosen: &'static str,
+        /// The predicted idle duration at selection time.
+        predicted: Nanos,
+        /// The actual idle duration.
+        actual: Nanos,
+        /// `true` if the core woke before the chosen state's target
+        /// residency — the governor mispredicted.
+        premature: bool,
+    },
+    /// An interrupt (arrival or timer) woke the core.
+    WakeInterrupt {
+        /// What woke the core (`"arrival"`, `"timer"`).
+        reason: &'static str,
+    },
+    /// An idle core serviced a coherence snoop burst.
+    SnoopService {
+        /// The idle state the core was in while servicing.
+        state: &'static str,
+    },
+    /// A service interval started at Turbo frequency.
+    TurboEngage,
+    /// A request joined the core's run queue.
+    QueueEnqueue {
+        /// Queue depth after the enqueue.
+        depth: u32,
+    },
+    /// A request left the core's run queue to start service.
+    QueueDequeue {
+        /// Queue depth after the dequeue.
+        depth: u32,
+    },
+    /// One step of a PMA entry/snoop/exit flow (Fig. 6).
+    FlowStep {
+        /// The flow step's state name.
+        step: &'static str,
+        /// How long the step took.
+        duration: Nanos,
+    },
+}
+
+impl EventKind {
+    /// A short human-readable label for this kind of event (used for
+    /// instant-event names in the Chrome trace).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::CStateEnter { .. } => "cstate-enter",
+            EventKind::CStateExit { .. } => "cstate-exit",
+            EventKind::GovernorDecision { .. } => "governor-decision",
+            EventKind::IdleOutcome { .. } => "idle-outcome",
+            EventKind::WakeInterrupt { .. } => "wake",
+            EventKind::SnoopService { .. } => "snoop",
+            EventKind::TurboEngage => "turbo",
+            EventKind::QueueEnqueue { .. } => "enqueue",
+            EventKind::QueueDequeue { .. } => "dequeue",
+            EventKind::FlowStep { .. } => "flow-step",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_for_distinct_kinds() {
+        let kinds = [
+            EventKind::CStateEnter { state: "C1" },
+            EventKind::CStateExit { state: "C1", residency: Nanos::ZERO },
+            EventKind::GovernorDecision { chosen: "C1", predicted: Nanos::ZERO },
+            EventKind::IdleOutcome {
+                chosen: "C1",
+                predicted: Nanos::ZERO,
+                actual: Nanos::ZERO,
+                premature: false,
+            },
+            EventKind::WakeInterrupt { reason: "arrival" },
+            EventKind::SnoopService { state: "C1" },
+            EventKind::TurboEngage,
+            EventKind::QueueEnqueue { depth: 1 },
+            EventKind::QueueDequeue { depth: 0 },
+            EventKind::FlowStep { step: "x", duration: Nanos::ZERO },
+        ];
+        let mut labels: Vec<_> = kinds.iter().map(EventKind::label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), kinds.len());
+    }
+}

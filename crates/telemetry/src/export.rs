@@ -1,0 +1,304 @@
+//! Exporters: Chrome trace-event JSON and machine-readable metrics JSON.
+//!
+//! The Chrome format is the "JSON Array with metadata" flavour consumed
+//! by `chrome://tracing` and Perfetto: a `traceEvents` array of objects
+//! with `ph` (phase), `ts`/`dur` (microseconds), `pid`, and `tid`.
+//! Every core maps to its own `tid`, so the viewer shows one track per
+//! core; C-state occupancy renders as complete (`"X"`) slices and
+//! point-in-time actions (wakes, snoops, governor decisions) as instant
+//! (`"i"`) events.
+
+use aw_types::Nanos;
+
+use crate::event::{EventKind, TraceEvent};
+use crate::json::JsonValue;
+use crate::recorder::TelemetrySummary;
+use crate::registry::MetricsRegistry;
+
+const PID: u64 = 0;
+
+fn us(t: Nanos) -> JsonValue {
+    JsonValue::Num(t.as_micros())
+}
+
+fn slice(name: &str, cat: &str, core: u32, start: Nanos, dur: Nanos) -> JsonValue {
+    JsonValue::obj(vec![
+        ("ph", JsonValue::str("X")),
+        ("name", JsonValue::str(name)),
+        ("cat", JsonValue::str(cat)),
+        ("pid", JsonValue::UInt(PID)),
+        ("tid", JsonValue::UInt(u64::from(core))),
+        ("ts", us(start)),
+        ("dur", us(dur)),
+    ])
+}
+
+fn instant(name: &str, cat: &str, core: u32, ts: Nanos, args: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::obj(vec![
+        ("ph", JsonValue::str("i")),
+        ("s", JsonValue::str("t")), // thread-scoped instant
+        ("name", JsonValue::str(name)),
+        ("cat", JsonValue::str(cat)),
+        ("pid", JsonValue::UInt(PID)),
+        ("tid", JsonValue::UInt(u64::from(core))),
+        ("ts", us(ts)),
+        ("args", JsonValue::obj(args)),
+    ])
+}
+
+fn metadata(name: &str, tid: u64, value: &str) -> JsonValue {
+    JsonValue::obj(vec![
+        ("ph", JsonValue::str("M")),
+        ("name", JsonValue::str(name)),
+        ("pid", JsonValue::UInt(PID)),
+        ("tid", JsonValue::UInt(tid)),
+        ("args", JsonValue::obj(vec![("name", JsonValue::str(value))])),
+    ])
+}
+
+/// Renders events as Chrome trace-event JSON with one track (`tid`) per
+/// core. `cores` controls how many thread-name metadata records are
+/// emitted; events referencing higher core ids still render.
+#[must_use]
+pub fn chrome_trace_json(events: &[TraceEvent], cores: usize) -> String {
+    let mut out: Vec<JsonValue> = Vec::with_capacity(events.len() + cores + 1);
+    out.push(metadata("process_name", 0, "agilewatts simulation"));
+    for core in 0..cores {
+        let tid = u64::try_from(core).expect("core index fits u64");
+        out.push(metadata("thread_name", tid, &format!("core {core}")));
+    }
+
+    for event in events {
+        let core = event.core;
+        let t = event.time;
+        match event.kind {
+            // Slices are reconstructed from exit events, which carry the
+            // exact residency: the slice spans [time − residency, time).
+            EventKind::CStateExit { state, residency } => {
+                out.push(slice(state, "cstate", core, t - residency, residency));
+            }
+            // Enter events duplicate the slice starts; skip them here.
+            EventKind::CStateEnter { .. } => {}
+            EventKind::FlowStep { step, duration } => {
+                out.push(slice(step, "pma", core, t, duration));
+            }
+            EventKind::GovernorDecision { chosen, predicted } => {
+                out.push(instant(
+                    "governor-decision",
+                    "governor",
+                    core,
+                    t,
+                    vec![
+                        ("chosen", JsonValue::str(chosen)),
+                        ("predicted_us", JsonValue::Num(predicted.as_micros())),
+                    ],
+                ));
+            }
+            EventKind::IdleOutcome { chosen, predicted, actual, premature } => {
+                out.push(instant(
+                    "idle-outcome",
+                    "governor",
+                    core,
+                    t,
+                    vec![
+                        ("chosen", JsonValue::str(chosen)),
+                        ("predicted_us", JsonValue::Num(predicted.as_micros())),
+                        ("actual_us", JsonValue::Num(actual.as_micros())),
+                        ("premature", JsonValue::Bool(premature)),
+                    ],
+                ));
+            }
+            EventKind::WakeInterrupt { reason } => {
+                out.push(instant(
+                    "wake",
+                    "wake",
+                    core,
+                    t,
+                    vec![("reason", JsonValue::str(reason))],
+                ));
+            }
+            EventKind::SnoopService { state } => {
+                out.push(instant(
+                    "snoop",
+                    "snoop",
+                    core,
+                    t,
+                    vec![("state", JsonValue::str(state))],
+                ));
+            }
+            EventKind::TurboEngage => {
+                out.push(instant("turbo", "turbo", core, t, vec![]));
+            }
+            EventKind::QueueEnqueue { depth } => {
+                out.push(instant(
+                    "enqueue",
+                    "queue",
+                    core,
+                    t,
+                    vec![("depth", JsonValue::UInt(u64::from(depth)))],
+                ));
+            }
+            EventKind::QueueDequeue { depth } => {
+                out.push(instant(
+                    "dequeue",
+                    "queue",
+                    core,
+                    t,
+                    vec![("depth", JsonValue::UInt(u64::from(depth)))],
+                ));
+            }
+        }
+    }
+
+    JsonValue::obj(vec![
+        ("traceEvents", JsonValue::Array(out)),
+        ("displayTimeUnit", JsonValue::str("ns")),
+    ])
+    .render()
+}
+
+fn summary_json(summary: &TelemetrySummary) -> JsonValue {
+    JsonValue::obj(vec![
+        ("events_recorded", JsonValue::UInt(summary.events_recorded)),
+        ("events_dropped", JsonValue::UInt(summary.events_dropped)),
+        ("sim_events", JsonValue::UInt(summary.sim_events)),
+        ("events_per_sec", JsonValue::Num(summary.events_per_sec)),
+        ("event_queue_depth_hwm", JsonValue::Num(summary.event_queue_depth_hwm)),
+        ("run_queue_depth_hwm", JsonValue::Num(summary.run_queue_depth_hwm)),
+        ("governor_decisions", JsonValue::UInt(summary.governor_decisions)),
+        ("governor_mispredicts", JsonValue::UInt(summary.governor_mispredicts)),
+        ("mispredict_rate", JsonValue::Num(summary.mispredict_rate)),
+        (
+            "mean_residency_error_ns",
+            JsonValue::Num(summary.mean_residency_error.as_nanos()),
+        ),
+        (
+            "per_core_mispredict_rate",
+            JsonValue::Array(
+                summary.per_core_mispredict_rate.iter().map(|&r| JsonValue::Num(r)).collect(),
+            ),
+        ),
+    ])
+}
+
+/// Renders the registry and summary as one machine-readable JSON
+/// document: `{"summary": ..., "counters": ..., "gauges": ...,
+/// "histograms": ...}`.
+#[must_use]
+pub fn metrics_json(registry: &MetricsRegistry, summary: &TelemetrySummary) -> String {
+    let counters = JsonValue::Object(
+        registry.counters().map(|(name, v)| (name.to_string(), JsonValue::UInt(v))).collect(),
+    );
+    let gauges = JsonValue::Object(
+        registry
+            .gauges()
+            .map(|(name, g)| {
+                (
+                    name.to_string(),
+                    JsonValue::obj(vec![
+                        ("mean", JsonValue::Num(g.mean())),
+                        ("high_water_mark", JsonValue::Num(g.high_water_mark())),
+                        ("last", JsonValue::Num(g.last())),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let histograms = JsonValue::Object(
+        registry
+            .histograms()
+            .map(|(name, h)| {
+                let buckets = h
+                    .buckets()
+                    .map(|(i, count)| {
+                        let (lo, hi) = h.bucket_bounds(i);
+                        JsonValue::obj(vec![
+                            ("lo", JsonValue::Num(lo)),
+                            ("hi", JsonValue::Num(hi)),
+                            ("count", JsonValue::UInt(count)),
+                        ])
+                    })
+                    .collect();
+                (
+                    name.to_string(),
+                    JsonValue::obj(vec![
+                        ("count", JsonValue::UInt(h.count())),
+                        ("rejected", JsonValue::UInt(h.rejected())),
+                        ("mean", JsonValue::Num(h.mean())),
+                        ("max", JsonValue::Num(h.max())),
+                        ("p50_upper_bound", JsonValue::Num(h.quantile_upper_bound(0.5))),
+                        ("p99_upper_bound", JsonValue::Num(h.quantile_upper_bound(0.99))),
+                        ("buckets", JsonValue::Array(buckets)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    JsonValue::obj(vec![
+        ("summary", summary_json(summary)),
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::TelemetryRecorder;
+
+    fn sample_report() -> crate::recorder::TelemetryReport {
+        let mut r = TelemetryRecorder::new(2, 100);
+        r.state_change(0, Nanos::new(0.0), "C0");
+        r.state_change(0, Nanos::new(100.0), "C1");
+        r.governor_decision(0, Nanos::new(100.0), "C1", Nanos::new(500.0));
+        r.idle_outcome(0, Nanos::new(400.0), Nanos::new(300.0), Nanos::new(2000.0));
+        r.wake(0, Nanos::new(400.0), "arrival");
+        r.enqueue(1, Nanos::new(250.0), 1);
+        r.dequeue(1, Nanos::new(260.0), 0);
+        r.turbo_engage(1, Nanos::new(260.0));
+        r.snoop(0, Nanos::new(350.0), "C1");
+        r.flow_step(1, Nanos::new(270.0), "EntryClockGate", Nanos::new(4.0));
+        r.sim_event(Nanos::new(0.0), 2);
+        r.into_report(Nanos::new(500.0))
+    }
+
+    #[test]
+    fn chrome_trace_has_tracks_and_required_keys() {
+        let report = sample_report();
+        let json = report.chrome_trace_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"core 0\""));
+        assert!(json.contains("\"core 1\""));
+        for key in ["\"ph\"", "\"ts\"", "\"dur\"", "\"pid\"", "\"tid\""] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn slices_come_from_exit_events() {
+        // One C0 occupancy of 100 ns ending at t=100 → slice at ts=0.
+        let report = sample_report();
+        let json = report.chrome_trace_json();
+        assert!(json.contains("\"name\":\"C0\",\"cat\":\"cstate\",\"pid\":0,\"tid\":0,\"ts\":0,\"dur\":0.1"));
+    }
+
+    #[test]
+    fn metrics_json_carries_headline_numbers() {
+        let report = sample_report();
+        let json = report.metrics_json();
+        for key in [
+            "\"summary\"",
+            "\"mispredict_rate\"",
+            "\"event_queue_depth_hwm\"",
+            "\"events_per_sec\"",
+            "\"governor.decisions\"",
+            "\"runqueue.depth\"",
+            "\"governor.residency_error_ns\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+}

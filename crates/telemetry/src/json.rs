@@ -1,0 +1,152 @@
+//! A minimal JSON value tree and writer.
+//!
+//! The workspace is offline (no `serde_json`), so the exporters build
+//! their documents from this tiny value enum and render them with a
+//! hand-rolled writer. Output is strict JSON: strings are escaped per
+//! RFC 8259, non-finite numbers render as `null`, and object keys keep
+//! insertion order so exports are byte-stable across runs.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A floating-point number (`null` if not finite).
+    Num(f64),
+    /// An unsigned integer, rendered without a fractional part.
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object.
+    #[must_use]
+    pub fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor for a string value.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> JsonValue {
+        JsonValue::Str(s.into())
+    }
+
+    /// Renders the value as compact JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(v) => {
+                if v.is_finite() {
+                    // Rust's `Display` for f64 is shortest-round-trip
+                    // decimal notation, which is always valid JSON.
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::Num(1.5).render(), "1.5");
+        assert_eq!(JsonValue::UInt(42).render(), "42");
+        assert_eq!(JsonValue::str("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_and_quotes() {
+        assert_eq!(JsonValue::str("a\"b\\c\n").render(), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(JsonValue::str("\u{01}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = JsonValue::obj(vec![
+            ("xs", JsonValue::Array(vec![JsonValue::UInt(1), JsonValue::UInt(2)])),
+            ("name", JsonValue::str("t")),
+        ]);
+        assert_eq!(v.render(), "{\"xs\":[1,2],\"name\":\"t\"}");
+    }
+
+    #[test]
+    fn small_decimals_stay_plain_notation() {
+        // Rust's f64 Display never emits exponent notation, which keeps
+        // the output strictly JSON-parsable by minimal parsers.
+        assert_eq!(JsonValue::Num(0.0000001).render(), "0.0000001");
+    }
+}

@@ -1,0 +1,60 @@
+//! # aw-telemetry — event tracing, metrics registry, and trace export
+//!
+//! Zero-external-dependency observability for the AgileWatts simulation
+//! stack, in three layers:
+//!
+//! 1. **Events** — [`TraceEvent`]/[`EventKind`]: typed records of C-state
+//!    entries and exits, governor decisions and their outcomes, wake
+//!    interrupts, snoop services, turbo engagements, run-queue
+//!    enqueue/dequeue, and PMA flow steps. Events flow into a
+//!    [`TraceSink`]; the [`NullSink`] no-op implementation compiles away,
+//!    and [`RingBufferSink`] keeps a bounded window and counts drops.
+//! 2. **Metrics** — [`MetricsRegistry`]: named counters, time-weighted
+//!    gauges ([`TimeWeightedGauge`]), and log₂-scaled histograms
+//!    ([`LogHistogram`], built on [`aw_sim::OnlineStats`]).
+//! 3. **Export** — [`export::chrome_trace_json`] renders an event window
+//!    as Chrome trace-event JSON (loadable in `chrome://tracing` and
+//!    Perfetto, one track per core), and [`export::metrics_json`]
+//!    renders the registry as machine-readable JSON. Both use the
+//!    crate's own minimal [`json`] writer — no serde_json.
+//!
+//! The [`TelemetryRecorder`] ties the layers together for a simulator:
+//! it pairs C-state enter/exit events with exact residencies, scores
+//! every governor decision against the idle period that followed, and
+//! produces a [`TelemetryReport`] plus a [`TelemetrySummary`] of the
+//! headline numbers (mispredict rate, queue-depth high-water marks,
+//! events/sec).
+//!
+//! # Examples
+//!
+//! ```
+//! use aw_telemetry::TelemetryRecorder;
+//! use aw_types::Nanos;
+//!
+//! let mut rec = TelemetryRecorder::new(1, 1024);
+//! rec.state_change(0, Nanos::ZERO, "C0");
+//! rec.governor_decision(0, Nanos::new(100.0), "C1", Nanos::from_micros(4.0));
+//! rec.state_change(0, Nanos::new(100.0), "C1");
+//! rec.idle_outcome(0, Nanos::new(400.0), Nanos::new(300.0), Nanos::from_micros(2.0));
+//! rec.state_change(0, Nanos::new(400.0), "C0");
+//!
+//! let report = rec.into_report(Nanos::new(1000.0));
+//! assert_eq!(report.summary.governor_mispredicts, 1); // 300 ns < 2 µs target
+//! let trace = report.chrome_trace_json();
+//! assert!(trace.contains("\"traceEvents\""));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+pub mod export;
+pub mod json;
+mod recorder;
+mod registry;
+mod sink;
+
+pub use event::{EventKind, TraceEvent};
+pub use recorder::{TelemetryRecorder, TelemetryReport, TelemetrySummary};
+pub use registry::{LogHistogram, MetricsRegistry, TimeWeightedGauge};
+pub use sink::{NullSink, RingBufferSink, TraceSink};

@@ -1,0 +1,400 @@
+//! The [`TelemetryRecorder`]: stateful glue between a simulator and the
+//! event/metrics layers.
+//!
+//! The recorder owns a [`RingBufferSink`] and a [`MetricsRegistry`],
+//! tracks per-core occupancy so C-state enter/exit events pair up with
+//! exact residencies, and scores every governor decision against the
+//! idle period that actually followed it.
+
+use std::fmt;
+use std::time::Instant;
+
+use aw_sim::OnlineStats;
+use aw_types::Nanos;
+use serde::Serialize;
+
+use crate::event::{EventKind, TraceEvent};
+use crate::export;
+use crate::registry::MetricsRegistry;
+use crate::sink::{RingBufferSink, TraceSink};
+
+/// Per-core governor bookkeeping.
+#[derive(Debug, Clone, Default)]
+struct GovernorScore {
+    /// The last decision awaiting its outcome: (state name, predicted).
+    pending: Option<(&'static str, Nanos)>,
+    decisions: u64,
+    mispredicts: u64,
+}
+
+/// Records trace events and metrics for one simulation run.
+///
+/// Construct with the core count and a trace capacity, drive it from the
+/// simulator's event handlers, then call [`TelemetryRecorder::finish`]
+/// once and convert into a [`TelemetryReport`].
+#[derive(Debug)]
+pub struct TelemetryRecorder {
+    sink: RingBufferSink,
+    registry: MetricsRegistry,
+    /// Per core: the occupied state's name and when it was entered.
+    occupancy: Vec<Option<(&'static str, Nanos)>>,
+    governor: Vec<GovernorScore>,
+    residency_error: OnlineStats,
+    started: Instant,
+    finished: Option<TelemetrySummary>,
+}
+
+impl TelemetryRecorder {
+    /// Creates a recorder for `cores` cores, keeping at most
+    /// `trace_limit` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace_limit` is zero.
+    #[must_use]
+    pub fn new(cores: usize, trace_limit: usize) -> Self {
+        TelemetryRecorder {
+            sink: RingBufferSink::new(trace_limit),
+            registry: MetricsRegistry::new(),
+            occupancy: vec![None; cores],
+            governor: vec![GovernorScore::default(); cores],
+            residency_error: OnlineStats::new(),
+            started: Instant::now(),
+            finished: None,
+        }
+    }
+
+    /// Number of cores this recorder tracks.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    fn emit(&mut self, time: Nanos, core: u32, kind: EventKind) {
+        self.sink.record(TraceEvent { time, core, kind });
+    }
+
+    /// The core moved to a new life-cycle state: emits the exit event for
+    /// the previous state (with its exact residency) and the enter event
+    /// for the new one.
+    pub fn state_change(&mut self, core: u32, now: Nanos, state: &'static str) {
+        let slot = usize::try_from(core).expect("core index fits usize");
+        if let Some((prev, since)) = self.occupancy[slot] {
+            let residency = (now - since).clamp_non_negative();
+            self.emit(now, core, EventKind::CStateExit { state: prev, residency });
+            self.registry.histogram_record("cstate.residency_ns", residency.as_nanos());
+        }
+        self.occupancy[slot] = Some((state, now));
+        self.emit(now, core, EventKind::CStateEnter { state });
+        self.registry.inc("cstate.transitions", 1);
+    }
+
+    /// The governor picked `chosen`, predicting `predicted` of idleness.
+    pub fn governor_decision(
+        &mut self,
+        core: u32,
+        now: Nanos,
+        chosen: &'static str,
+        predicted: Nanos,
+    ) {
+        let slot = usize::try_from(core).expect("core index fits usize");
+        self.governor[slot].pending = Some((chosen, predicted));
+        self.governor[slot].decisions += 1;
+        self.registry.inc("governor.decisions", 1);
+        self.emit(now, core, EventKind::GovernorDecision { chosen, predicted });
+    }
+
+    /// The idle period chosen by the last decision on this core ended
+    /// after `actual`; `target_residency` is the chosen state's
+    /// break-even residency. A wake before the target is a mispredict.
+    pub fn idle_outcome(&mut self, core: u32, now: Nanos, actual: Nanos, target_residency: Nanos) {
+        let slot = usize::try_from(core).expect("core index fits usize");
+        let Some((chosen, predicted)) = self.governor[slot].pending.take() else {
+            return;
+        };
+        let premature = actual < target_residency;
+        if premature {
+            self.governor[slot].mispredicts += 1;
+            self.registry.inc("governor.mispredicts", 1);
+        }
+        let error = (actual - predicted).as_nanos().abs();
+        self.residency_error.record(error);
+        self.registry.histogram_record("governor.residency_error_ns", error);
+        self.emit(now, core, EventKind::IdleOutcome { chosen, predicted, actual, premature });
+    }
+
+    /// An interrupt woke the core.
+    pub fn wake(&mut self, core: u32, now: Nanos, reason: &'static str) {
+        self.registry.inc("wakes", 1);
+        self.emit(now, core, EventKind::WakeInterrupt { reason });
+    }
+
+    /// An idle core serviced a snoop burst.
+    pub fn snoop(&mut self, core: u32, now: Nanos, state: &'static str) {
+        self.registry.inc("snoops.serviced", 1);
+        self.emit(now, core, EventKind::SnoopService { state });
+    }
+
+    /// A service interval started at Turbo frequency.
+    pub fn turbo_engage(&mut self, core: u32, now: Nanos) {
+        self.registry.inc("turbo.engagements", 1);
+        self.emit(now, core, EventKind::TurboEngage);
+    }
+
+    /// A request joined the core's run queue (depth after the push).
+    pub fn enqueue(&mut self, core: u32, now: Nanos, depth: u32) {
+        self.registry.inc("runqueue.enqueues", 1);
+        self.registry.gauge_set("runqueue.depth", now, f64::from(depth));
+        self.emit(now, core, EventKind::QueueEnqueue { depth });
+    }
+
+    /// A request left the core's run queue (depth after the pop).
+    pub fn dequeue(&mut self, core: u32, now: Nanos, depth: u32) {
+        self.registry.inc("runqueue.dequeues", 1);
+        self.registry.gauge_set("runqueue.depth", now, f64::from(depth));
+        self.emit(now, core, EventKind::QueueDequeue { depth });
+    }
+
+    /// One DES event was dispatched with `queue_depth` events still
+    /// pending. Cheap: bumps a counter and a gauge, emits no trace event.
+    pub fn sim_event(&mut self, now: Nanos, queue_depth: usize) {
+        self.registry.inc("sim.events", 1);
+        self.registry.gauge_set("sim.queue_depth", now, queue_depth as f64);
+    }
+
+    /// Records one PMA flow step (see `aw-pma`'s `FlowTrace`).
+    pub fn flow_step(&mut self, core: u32, time: Nanos, step: &'static str, duration: Nanos) {
+        self.registry.inc("pma.flow_steps", 1);
+        self.emit(time, core, EventKind::FlowStep { step, duration });
+    }
+
+    /// Direct access to the registry (for callers recording custom
+    /// metrics alongside the built-in ones).
+    pub fn registry_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.registry
+    }
+
+    /// Closes the run at simulation time `end`: emits final C-state exit
+    /// events, folds per-core governor scores into the registry, and
+    /// computes the summary. Idempotent — later calls return the first
+    /// summary.
+    pub fn finish(&mut self, end: Nanos) -> TelemetrySummary {
+        if let Some(summary) = &self.finished {
+            return summary.clone();
+        }
+        for slot in 0..self.occupancy.len() {
+            if let Some((state, since)) = self.occupancy[slot].take() {
+                let residency = (end - since).clamp_non_negative();
+                let core = u32::try_from(slot).expect("core index fits u32");
+                self.emit(end, core, EventKind::CStateExit { state, residency });
+            }
+        }
+        self.registry.finish_gauges(end);
+        self.registry.inc("trace.recorded", self.sink.recorded());
+        self.registry.inc("trace.dropped", self.sink.dropped());
+
+        let mut per_core_mispredict_rate = Vec::with_capacity(self.governor.len());
+        for (i, score) in self.governor.iter().enumerate() {
+            self.registry.inc(&format!("governor.decisions.core{i}"), score.decisions);
+            self.registry.inc(&format!("governor.mispredicts.core{i}"), score.mispredicts);
+            let rate = if score.decisions > 0 {
+                score.mispredicts as f64 / score.decisions as f64
+            } else {
+                0.0
+            };
+            per_core_mispredict_rate.push(rate);
+        }
+
+        let decisions = self.registry.counter("governor.decisions");
+        let mispredicts = self.registry.counter("governor.mispredicts");
+        let sim_events = self.registry.counter("sim.events");
+        let wall = self.started.elapsed().as_secs_f64();
+        let summary = TelemetrySummary {
+            events_recorded: self.sink.recorded(),
+            events_dropped: self.sink.dropped(),
+            sim_events,
+            events_per_sec: if wall > 0.0 { sim_events as f64 / wall } else { 0.0 },
+            event_queue_depth_hwm: self
+                .registry
+                .gauge("sim.queue_depth")
+                .map_or(0.0, super::TimeWeightedGauge::high_water_mark),
+            run_queue_depth_hwm: self
+                .registry
+                .gauge("runqueue.depth")
+                .map_or(0.0, super::TimeWeightedGauge::high_water_mark),
+            governor_decisions: decisions,
+            governor_mispredicts: mispredicts,
+            mispredict_rate: if decisions > 0 {
+                mispredicts as f64 / decisions as f64
+            } else {
+                0.0
+            },
+            mean_residency_error: Nanos::new(self.residency_error.mean()),
+            per_core_mispredict_rate,
+        };
+        self.finished = Some(summary.clone());
+        summary
+    }
+
+    /// Consumes the recorder into a report. Calls
+    /// [`TelemetryRecorder::finish`] if the caller has not already.
+    #[must_use]
+    pub fn into_report(mut self, end: Nanos) -> TelemetryReport {
+        let summary = self.finish(end);
+        TelemetryReport {
+            cores: self.occupancy.len(),
+            events: self.sink.into_events(),
+            registry: self.registry,
+            summary,
+        }
+    }
+}
+
+impl TraceSink for TelemetryRecorder {
+    fn record(&mut self, event: TraceEvent) {
+        self.sink.record(event);
+    }
+}
+
+/// The headline numbers a traced run surfaces in `RunMetrics`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TelemetrySummary {
+    /// Trace events emitted (held + dropped).
+    pub events_recorded: u64,
+    /// Trace events evicted from the bounded buffer.
+    pub events_dropped: u64,
+    /// DES events dispatched by the simulator loop.
+    pub sim_events: u64,
+    /// DES events dispatched per wall-clock second (engine throughput).
+    pub events_per_sec: f64,
+    /// High-water mark of the DES event-queue depth.
+    pub event_queue_depth_hwm: f64,
+    /// High-water mark of the per-core run-queue depth.
+    pub run_queue_depth_hwm: f64,
+    /// Governor decisions scored.
+    pub governor_decisions: u64,
+    /// Decisions where the core woke before the chosen state's target
+    /// residency.
+    pub governor_mispredicts: u64,
+    /// `governor_mispredicts / governor_decisions` (0 if no decisions).
+    pub mispredict_rate: f64,
+    /// Mean |actual − predicted| idle duration.
+    pub mean_residency_error: Nanos,
+    /// Mispredict rate per core, indexed by core id.
+    pub per_core_mispredict_rate: Vec<f64>,
+}
+
+impl fmt::Display for TelemetrySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events ({} dropped), {:.0} sim-events/s, queue HWM {:.0}, \
+             mispredict {:.1}% over {} decisions, residency err {}",
+            self.events_recorded,
+            self.events_dropped,
+            self.events_per_sec,
+            self.event_queue_depth_hwm,
+            self.mispredict_rate * 100.0,
+            self.governor_decisions,
+            self.mean_residency_error,
+        )
+    }
+}
+
+/// Everything a traced run produced: the event window, the registry, and
+/// the summary. Ready to export.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// The traced events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// The metrics registry at end of run.
+    pub registry: MetricsRegistry,
+    /// The headline summary.
+    pub summary: TelemetrySummary,
+    /// Number of cores (one Chrome-trace track each).
+    pub cores: usize,
+}
+
+impl TelemetryReport {
+    /// Renders the event window as Chrome trace-event JSON (loadable in
+    /// `chrome://tracing` and Perfetto; one track per core).
+    #[must_use]
+    pub fn chrome_trace_json(&self) -> String {
+        export::chrome_trace_json(&self.events, self.cores)
+    }
+
+    /// Renders the registry and summary as machine-readable JSON.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        export::metrics_json(&self.registry, &self.summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_changes_pair_exits_with_enters() {
+        let mut r = TelemetryRecorder::new(1, 100);
+        r.state_change(0, Nanos::new(0.0), "C0");
+        r.state_change(0, Nanos::new(50.0), "C1");
+        let report = r.into_report(Nanos::new(80.0));
+        let exits: Vec<_> = report
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::CStateExit { state, residency } => Some((state, residency)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(exits, [("C0", Nanos::new(50.0)), ("C1", Nanos::new(30.0))]);
+    }
+
+    #[test]
+    fn mispredicts_are_scored_against_target_residency() {
+        let mut r = TelemetryRecorder::new(2, 100);
+        r.governor_decision(0, Nanos::ZERO, "C6", Nanos::from_micros(700.0));
+        r.idle_outcome(0, Nanos::new(100.0), Nanos::new(100.0), Nanos::from_micros(600.0));
+        r.governor_decision(1, Nanos::ZERO, "C1", Nanos::from_micros(3.0));
+        r.idle_outcome(
+            1,
+            Nanos::from_micros(5.0),
+            Nanos::from_micros(5.0),
+            Nanos::from_micros(2.0),
+        );
+        let s = r.finish(Nanos::from_micros(10.0));
+        assert_eq!(s.governor_decisions, 2);
+        assert_eq!(s.governor_mispredicts, 1);
+        assert_eq!(s.mispredict_rate, 0.5);
+        assert_eq!(s.per_core_mispredict_rate, [1.0, 0.0]);
+    }
+
+    #[test]
+    fn outcome_without_decision_is_ignored() {
+        let mut r = TelemetryRecorder::new(1, 16);
+        r.idle_outcome(0, Nanos::ZERO, Nanos::ZERO, Nanos::new(1.0));
+        assert_eq!(r.finish(Nanos::new(1.0)).governor_decisions, 0);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut r = TelemetryRecorder::new(1, 16);
+        r.state_change(0, Nanos::ZERO, "C0");
+        let a = r.finish(Nanos::new(10.0));
+        let b = r.finish(Nanos::new(99.0));
+        assert_eq!(a.events_recorded, b.events_recorded);
+    }
+
+    #[test]
+    fn sim_events_feed_throughput_and_hwm() {
+        let mut r = TelemetryRecorder::new(1, 16);
+        r.sim_event(Nanos::new(0.0), 3);
+        r.sim_event(Nanos::new(10.0), 7);
+        r.sim_event(Nanos::new(20.0), 1);
+        let s = r.finish(Nanos::new(30.0));
+        assert_eq!(s.sim_events, 3);
+        assert_eq!(s.event_queue_depth_hwm, 7.0);
+        assert!(s.events_per_sec > 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Trace sinks: where emitted events go.
+//!
+//! Emission sites are generic over [`TraceSink`], so a disabled build
+//! path using [`NullSink`] is a static no-op the optimizer deletes
+//! entirely — `is_enabled` is a constant `false` and `record` has an
+//! empty body.
+
+use std::collections::VecDeque;
+
+use crate::event::TraceEvent;
+
+/// A destination for trace events.
+pub trait TraceSink {
+    /// Records one event.
+    fn record(&mut self, event: TraceEvent);
+
+    /// `true` if recording actually stores events. Emission sites may
+    /// branch on this to skip building expensive payloads.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A sink that drops everything; the disabled-tracing fast path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn record(&mut self, _event: TraceEvent) {}
+
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A bounded ring buffer of events.
+///
+/// When full, the oldest event is evicted and counted as dropped, so a
+/// long run keeps the most recent window of activity and the export can
+/// report exactly how much was truncated.
+///
+/// # Examples
+///
+/// ```
+/// use aw_telemetry::{EventKind, RingBufferSink, TraceEvent, TraceSink};
+/// use aw_types::Nanos;
+///
+/// let mut sink = RingBufferSink::new(2);
+/// for i in 0..3 {
+///     sink.record(TraceEvent {
+///         time: Nanos::new(f64::from(i)),
+///         core: 0,
+///         kind: EventKind::TurboEngage,
+///     });
+/// }
+/// assert_eq!(sink.len(), 2);
+/// assert_eq!(sink.dropped(), 1);
+/// assert_eq!(sink.events().next().unwrap().time, Nanos::new(1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    recorded: u64,
+}
+
+impl RingBufferSink {
+    /// Creates a sink holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer needs a positive capacity");
+        RingBufferSink {
+            events: VecDeque::with_capacity(capacity.min(64 * 1024)),
+            capacity,
+            dropped: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Number of events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no events are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the buffer was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (held + dropped).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// The held events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Consumes the sink, returning the held events oldest-first.
+    #[must_use]
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events.into()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+        self.recorded += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use aw_types::Nanos;
+
+    fn ev(t: f64) -> TraceEvent {
+        TraceEvent { time: Nanos::new(t), core: 0, kind: EventKind::TurboEngage }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.is_enabled());
+        s.record(ev(1.0)); // no-op
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut s = RingBufferSink::new(3);
+        for i in 0..5 {
+            s.record(ev(f64::from(i)));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        assert_eq!(s.recorded(), 5);
+        let times: Vec<f64> = s.events().map(|e| e.time.as_nanos()).collect();
+        assert_eq!(times, [2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn into_events_preserves_order() {
+        let mut s = RingBufferSink::new(2);
+        s.record(ev(1.0));
+        s.record(ev(2.0));
+        s.record(ev(3.0));
+        let v = s.into_events();
+        assert_eq!(v.len(), 2);
+        assert!(v[0].time < v[1].time);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_rejected() {
+        let _ = RingBufferSink::new(0);
+    }
+}

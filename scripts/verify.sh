@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# One-shot verification gate: release build, full test suite, and a
+# warning-free clippy pass. CI and pre-commit both run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

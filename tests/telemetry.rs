@@ -1,0 +1,434 @@
+//! Integration tests for the telemetry stack: event ordering, slice
+//! reconstruction, registry/event-stream consistency, and the Chrome
+//! trace exporter's golden format.
+
+use agilewatts::aw_cstates::NamedConfig;
+use agilewatts::aw_server::{ServerConfig, ServerSim};
+use agilewatts::aw_telemetry::{EventKind, TelemetryRecorder, TelemetryReport};
+use agilewatts::aw_types::Nanos;
+use agilewatts::aw_workloads::memcached_etc;
+use proptest::prelude::*;
+
+/// A minimal recursive-descent JSON reader, enough to *validate* the
+/// exporters' output and walk its structure. Intentionally independent
+/// of the writer in `aw-telemetry` so a writer bug cannot hide behind a
+/// matching reader bug.
+mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Array(Vec<Value>),
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(map) => map.get(key),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", c as char))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => parse_object(b, pos),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+            Some(_) => parse_number(b, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {pos}"))
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len()
+            && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5])
+                                .map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                Some(&c) => {
+                    if c < 0x20 {
+                        return Err(format!("unescaped control char at byte {pos}"));
+                    }
+                    // Collect the full UTF-8 sequence.
+                    let start = *pos;
+                    *pos += 1;
+                    while *pos < b.len() && b[*pos] & 0xC0 == 0x80 {
+                        *pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad utf-8")?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut map = std::collections::BTreeMap::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, b':')?;
+            map.insert(key, parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+}
+
+fn traced_run(named: NamedConfig, cores: usize) -> TelemetryReport {
+    let config = ServerConfig::new(cores, named).with_duration(Nanos::from_millis(30.0));
+    let (metrics, report) = ServerSim::new(config, memcached_etc(80_000.0), 7)
+        .with_telemetry(1_000_000)
+        .run_traced();
+    let report = report.expect("telemetry enabled");
+    assert_eq!(
+        metrics.telemetry.as_ref().expect("summary attached"),
+        &report.summary,
+        "RunMetrics carries the same summary as the report"
+    );
+    report
+}
+
+#[test]
+fn trace_events_are_time_ordered() {
+    let report = traced_run(NamedConfig::Aw, 4);
+    assert!(report.events.len() > 1_000, "expected a busy trace");
+    for pair in report.events.windows(2) {
+        assert!(
+            pair[0].time <= pair[1].time,
+            "events out of order: {:?} then {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+}
+
+#[test]
+fn per_core_cstate_slices_do_not_overlap() {
+    let report = traced_run(NamedConfig::Baseline, 4);
+    // Reconstruct each core's slices exactly as the Chrome exporter does:
+    // an exit event at `t` with residency `r` is the slice [t − r, t].
+    for core in 0..4u32 {
+        let mut prev_end = Nanos::new(f64::NEG_INFINITY);
+        let mut slices = 0;
+        for event in report.events.iter().filter(|e| e.core == core) {
+            if let EventKind::CStateExit { residency, state } = event.kind {
+                let start = event.time - residency;
+                assert!(
+                    start.as_nanos() >= prev_end.as_nanos() - 1e-6,
+                    "core {core}: slice '{state}' starting {start} overlaps \
+                     previous slice ending {prev_end}"
+                );
+                prev_end = event.time;
+                slices += 1;
+            }
+        }
+        assert!(slices > 10, "core {core} produced only {slices} slices");
+    }
+}
+
+#[test]
+fn governor_metrics_match_a_fold_over_the_events() {
+    let report = traced_run(NamedConfig::Aw, 4);
+    // Every governor decision is an event; every outcome scored against
+    // it is an event too. The summary's aggregates must equal a plain
+    // fold over the stream (the buffer was large enough to drop nothing).
+    assert_eq!(report.summary.events_dropped, 0);
+    let decisions = report
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::GovernorDecision { .. }))
+        .count() as u64;
+    let outcomes: Vec<bool> = report
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::IdleOutcome { premature, .. } => Some(premature),
+            _ => None,
+        })
+        .collect();
+    let mispredicts = outcomes.iter().filter(|&&p| p).count() as u64;
+    assert_eq!(report.summary.governor_decisions, decisions);
+    assert_eq!(report.summary.governor_mispredicts, mispredicts);
+    assert!(report.summary.mispredict_rate >= 0.0 && report.summary.mispredict_rate <= 1.0);
+}
+
+#[test]
+fn chrome_export_is_valid_json_with_required_keys() {
+    let cores = 3;
+    let report = traced_run(NamedConfig::Aw, cores);
+    let doc = json::parse(&report.chrome_trace_json()).expect("exporter emits valid JSON");
+
+    let events = doc.get("traceEvents").and_then(json::Value::as_array).expect("traceEvents");
+    assert!(!events.is_empty());
+
+    let mut tracks = std::collections::BTreeSet::new();
+    let mut slices = 0;
+    for event in events {
+        let ph = event.get("ph").and_then(json::Value::as_str).expect("every event has ph");
+        let pid = event.get("pid").and_then(json::Value::as_f64).expect("every event has pid");
+        let tid = event.get("tid").and_then(json::Value::as_f64).expect("every event has tid");
+        assert_eq!(pid, 0.0);
+        match ph {
+            "X" => {
+                let ts = event.get("ts").and_then(json::Value::as_f64).expect("X has ts");
+                let dur = event.get("dur").and_then(json::Value::as_f64).expect("X has dur");
+                assert!(ts >= 0.0 && dur >= 0.0);
+                tracks.insert(tid as u64);
+                slices += 1;
+            }
+            "i" => {
+                assert!(event.get("ts").is_some(), "instant has ts");
+            }
+            "M" => {
+                assert!(event.get("args").is_some(), "metadata carries args");
+            }
+            other => panic!("unexpected phase '{other}'"),
+        }
+    }
+    assert!(slices > 100, "expected plenty of slices, got {slices}");
+    // One track per core: every core contributed slices.
+    assert_eq!(tracks.len(), cores, "tracks {tracks:?}");
+
+    // Thread-name metadata names each core's track.
+    for core in 0..cores {
+        let name = format!("core {core}");
+        assert!(
+            events.iter().any(|e| {
+                e.get("ph").and_then(json::Value::as_str) == Some("M")
+                    && e.get("args").and_then(|a| a.get("name")).and_then(json::Value::as_str)
+                        == Some(name.as_str())
+            }),
+            "missing thread_name metadata for {name}"
+        );
+    }
+}
+
+#[test]
+fn metrics_export_is_valid_json_with_headline_numbers() {
+    let report = traced_run(NamedConfig::Aw, 2);
+    let doc = json::parse(&report.metrics_json()).expect("exporter emits valid JSON");
+    let summary = doc.get("summary").expect("summary section");
+    for key in [
+        "mispredict_rate",
+        "events_per_sec",
+        "event_queue_depth_hwm",
+        "run_queue_depth_hwm",
+        "governor_decisions",
+    ] {
+        assert!(summary.get(key).is_some(), "summary is missing {key}");
+    }
+    let counters = doc.get("counters").expect("counters section");
+    assert!(counters.get("governor.decisions").and_then(json::Value::as_f64).unwrap() > 0.0);
+    let gauges = doc.get("gauges").expect("gauges section");
+    assert!(gauges.get("runqueue.depth").is_some());
+    let histograms = doc.get("histograms").expect("histograms section");
+    assert!(histograms.get("cstate.residency_ns").is_some());
+}
+
+#[test]
+fn pma_flow_traces_emit_into_sinks() {
+    use agilewatts::aw_pma::PmaFsm;
+    use agilewatts::aw_telemetry::{RingBufferSink, TraceSink};
+
+    let mut fsm = PmaFsm::new_c6a();
+    let mut sink = RingBufferSink::new(64);
+    let base = Nanos::from_micros(5.0);
+    let entry = fsm.run_entry();
+    entry.emit(&mut sink, 3, base);
+    assert_eq!(sink.len(), entry.steps().len());
+    let events: Vec<_> = sink.events().collect();
+    // Steps land at base + their flow-relative start, in order.
+    assert_eq!(events[0].time, base);
+    for e in &events {
+        assert_eq!(e.core, 3);
+        assert!(matches!(e.kind, EventKind::FlowStep { .. }));
+    }
+    // A disabled sink records nothing.
+    let mut null = agilewatts::aw_telemetry::NullSink;
+    entry.emit(&mut null, 0, Nanos::ZERO);
+    assert!(!null.is_enabled());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The registry's aggregates equal a fold over the raw event stream,
+    /// for arbitrary interleavings of recorder calls.
+    #[test]
+    fn registry_aggregates_equal_event_fold(ops in prop::collection::vec((0u8..5, 0u32..3, 1.0f64..1e6), 1..200)) {
+        let mut rec = TelemetryRecorder::new(3, 10_000);
+        let mut clock = 0.0;
+        for &(op, core, jitter) in &ops {
+            clock += jitter;
+            let now = Nanos::new(clock);
+            match op {
+                0 => rec.enqueue(core, now, 1),
+                1 => rec.dequeue(core, now, 0),
+                2 => rec.wake(core, now, "arrival"),
+                3 => rec.snoop(core, now, "C1"),
+                _ => rec.turbo_engage(core, now),
+            }
+        }
+        let report = rec.into_report(Nanos::new(clock));
+        prop_assert_eq!(report.summary.events_dropped, 0);
+        let count = |f: fn(&EventKind) -> bool| {
+            report.events.iter().filter(|e| f(&e.kind)).count() as u64
+        };
+        let enqueues = count(|k| matches!(k, EventKind::QueueEnqueue { .. }));
+        let dequeues = count(|k| matches!(k, EventKind::QueueDequeue { .. }));
+        let wakes = count(|k| matches!(k, EventKind::WakeInterrupt { .. }));
+        let snoops = count(|k| matches!(k, EventKind::SnoopService { .. }));
+        let turbos = count(|k| matches!(k, EventKind::TurboEngage));
+        prop_assert_eq!(report.registry.counter("runqueue.enqueues"), enqueues);
+        prop_assert_eq!(report.registry.counter("runqueue.dequeues"), dequeues);
+        prop_assert_eq!(report.registry.counter("wakes"), wakes);
+        prop_assert_eq!(report.registry.counter("snoops.serviced"), snoops);
+        prop_assert_eq!(report.registry.counter("turbo.engagements"), turbos);
+        prop_assert_eq!(report.summary.events_recorded, ops.len() as u64);
+    }
+}

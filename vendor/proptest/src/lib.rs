@@ -1,0 +1,138 @@
+//! Offline stand-in for [proptest](https://proptest-rs.github.io/proptest).
+//!
+//! The build environment has no registry access, so the real crate cannot
+//! be fetched. This stand-in implements the subset the workspace's
+//! property tests use — the `proptest!` macro, range/tuple/`Just`/
+//! `select`/`vec` strategies, `prop_map`/`prop_perturb` combinators, and
+//! the `prop_assert*` macros — with a deterministic per-test RNG so
+//! failures reproduce exactly. It does **not** shrink failing inputs; a
+//! failure reports the sampled values via the panic message instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Runner configuration: how many random cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Strategy constructors, mirroring proptest's `prop` module paths.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Sampling strategies (`prop::sample::select`).
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Arbitrary, Just, Strategy};
+    pub use crate::test_runner::RngCore;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that samples its arguments deterministically
+/// for the configured number of cases and runs the body on each sample.
+/// Plain `arg: Type` parameters draw from the type's [`strategy::Arbitrary`]
+/// implementation, as in real proptest.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($params:tt)*) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut prop_rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $crate::__proptest_bind!(prop_rng; $($params)*);
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($params:tt)*) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($params)*) $body
+            )*
+        }
+    };
+}
+
+/// Internal: binds one `pat in strategy` or `name: Type` parameter at a
+/// time, sampling from the given RNG.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $arg:pat_param in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident; $arg:pat_param in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $arg:ident : $ty:ty) => {
+        let $arg = <$ty as $crate::strategy::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $arg:ident : $ty:ty, $($rest:tt)*) => {
+        let $arg = <$ty as $crate::strategy::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure, aborting the
+/// whole test rather than shrinking as real proptest would).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

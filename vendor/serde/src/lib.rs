@@ -1,0 +1,37 @@
+//! Offline stand-in for [serde](https://serde.rs).
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the real `serde` cannot be fetched. The workspace uses serde derives
+//! purely as annotations today (nothing links a serializer: JSON export in
+//! `aw-telemetry` is hand-rolled), so this stand-in provides just enough
+//! surface for `#[derive(Serialize, Deserialize)]` and `#[serde(...)]`
+//! attributes to compile: marker traits plus no-op derive macros.
+//!
+//! If registry access returns, deleting `vendor/` and restoring the
+//! `serde = "1"` workspace dependency restores the real thing without any
+//! source change elsewhere.
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The no-op derive does not implement it; nothing in the workspace bounds
+/// on it. It exists so `use serde::Serialize` resolves in the type
+/// namespace exactly as with real serde.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for `serde::ser`, re-exporting the [`Serialize`] marker.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Stand-in for `serde::de`, re-exporting the deserialization markers.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

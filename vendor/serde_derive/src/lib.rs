@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! Each derive accepts the `#[serde(...)]` helper attribute (so existing
+//! annotations like `#[serde(skip)]` keep compiling) and expands to
+//! nothing: the marker traits in the `serde` stand-in carry no methods, so
+//! there is nothing to implement.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
