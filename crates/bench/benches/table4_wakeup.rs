@@ -9,11 +9,7 @@ fn bench(c: &mut Criterion) {
     let ufpg = Ufpg::skylake_c6a();
     for policy in [WakePolicy::Staggered, WakePolicy::Simultaneous, WakePolicy::Instantaneous] {
         let w = ufpg.wake(policy);
-        println!(
-            "{policy:?}: latency {}, peak {:.1}× AVX reference",
-            w.latency,
-            w.peak_current()
-        );
+        println!("{policy:?}: latency {}, peak {:.1}× AVX reference", w.latency, w.peak_current());
     }
 
     c.bench_function("table4_staggered_wake", |b| {

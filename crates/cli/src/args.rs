@@ -96,16 +96,31 @@ pub struct TelemetryArgs {
     pub metrics_out: Option<String>,
     /// Trace ring-buffer capacity (`--trace-limit`), `None` = default.
     pub trace_limit: Option<usize>,
+    /// Per-window p99 SLO target in nanoseconds (`--slo-p99`).
+    pub slo_p99: Option<f64>,
+    /// Write the attribution time series here (`--timeline-out`); a
+    /// `.json` suffix selects JSON, anything else CSV.
+    pub timeline_out: Option<String>,
+    /// Write the folded-stack attribution here (`--attrib-out`).
+    pub attrib_out: Option<String>,
 }
 
 impl TelemetryArgs {
     /// Default ring-buffer capacity when `--trace-limit` is not given.
     pub const DEFAULT_TRACE_LIMIT: usize = 200_000;
 
-    /// `true` if any output was requested, i.e. the run must be traced.
+    /// `true` if any output was requested, i.e. the run must be
+    /// instrumented (traced and/or attributed).
     #[must_use]
     pub fn is_active(&self) -> bool {
-        self.trace_out.is_some() || self.metrics_out.is_some()
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.attrib_active()
+    }
+
+    /// `true` if any attribution output was requested, i.e. the run must
+    /// collect request spans and a timeline.
+    #[must_use]
+    pub fn attrib_active(&self) -> bool {
+        self.slo_p99.is_some() || self.timeline_out.is_some() || self.attrib_out.is_some()
     }
 
     /// The effective ring-buffer capacity.
@@ -164,21 +179,31 @@ pub fn parse_cli(args: &[String]) -> Result<(Command, TelemetryArgs), ParseError
             "--metrics-out" => telemetry.metrics_out = Some(value("--metrics-out")?),
             "--trace-limit" => {
                 let v = value("--trace-limit")?;
-                let n: usize = v
-                    .parse()
-                    .map_err(|_| ParseError(format!("bad --trace-limit value '{v}'")))?;
+                let n: usize =
+                    v.parse().map_err(|_| ParseError(format!("bad --trace-limit value '{v}'")))?;
                 if n == 0 {
                     return Err(ParseError("--trace-limit must be positive".into()));
                 }
                 telemetry.trace_limit = Some(n);
             }
+            "--slo-p99" => {
+                let v = value("--slo-p99")?;
+                let ns: f64 =
+                    v.parse().map_err(|_| ParseError(format!("bad --slo-p99 value '{v}' (ns)")))?;
+                if ns <= 0.0 || !ns.is_finite() {
+                    return Err(ParseError("--slo-p99 must be positive nanoseconds".into()));
+                }
+                telemetry.slo_p99 = Some(ns);
+            }
+            "--timeline-out" => telemetry.timeline_out = Some(value("--timeline-out")?),
+            "--attrib-out" => telemetry.attrib_out = Some(value("--attrib-out")?),
             _ => rest.push(arg.clone()),
         }
     }
     let command = parse(&rest)?;
     if telemetry.is_active() && matches!(command, Command::Help) {
         return Err(ParseError(
-            "--trace-out/--metrics-out need an experiment subcommand".into(),
+            "--trace-out/--metrics-out/--slo-p99/--timeline-out/--attrib-out need an experiment subcommand".into(),
         ));
     }
     Ok((command, telemetry))
@@ -245,9 +270,7 @@ fn parse_sweep(rest: &[String]) -> Result<SweepArgs, ParseError> {
             "--workload" => args.workload = value("--workload")?,
             "--qps" => {
                 let v = value("--qps")?;
-                args.qps = v
-                    .parse()
-                    .map_err(|_| ParseError(format!("bad --qps value '{v}'")))?;
+                args.qps = v.parse().map_err(|_| ParseError(format!("bad --qps value '{v}'")))?;
                 if args.qps <= 0.0 {
                     return Err(ParseError("--qps must be positive".into()));
                 }
@@ -255,26 +278,23 @@ fn parse_sweep(rest: &[String]) -> Result<SweepArgs, ParseError> {
             "--config" => args.config = named_config(&value("--config")?)?,
             "--cores" => {
                 let v = value("--cores")?;
-                args.cores = v
-                    .parse()
-                    .map_err(|_| ParseError(format!("bad --cores value '{v}'")))?;
+                args.cores =
+                    v.parse().map_err(|_| ParseError(format!("bad --cores value '{v}'")))?;
                 if args.cores == 0 {
                     return Err(ParseError("--cores must be positive".into()));
                 }
             }
             "--duration-ms" => {
                 let v = value("--duration-ms")?;
-                args.duration_ms = v
-                    .parse()
-                    .map_err(|_| ParseError(format!("bad --duration-ms value '{v}'")))?;
+                args.duration_ms =
+                    v.parse().map_err(|_| ParseError(format!("bad --duration-ms value '{v}'")))?;
                 if args.duration_ms <= 0.0 {
                     return Err(ParseError("--duration-ms must be positive".into()));
                 }
             }
             "--seed" => {
                 let v = value("--seed")?;
-                args.seed =
-                    v.parse().map_err(|_| ParseError(format!("bad --seed value '{v}'")))?;
+                args.seed = v.parse().map_err(|_| ParseError(format!("bad --seed value '{v}'")))?;
             }
             other => return Err(ParseError(format!("unknown sweep option '{other}'"))),
         }
@@ -319,10 +339,7 @@ mod tests {
     #[test]
     fn simple_commands() {
         assert_eq!(parse(&argv("flows")).unwrap(), Command::Flows);
-        assert_eq!(
-            parse(&argv("motivation")).unwrap(),
-            Command::Motivation { simulated: false }
-        );
+        assert_eq!(parse(&argv("motivation")).unwrap(), Command::Motivation { simulated: false });
         assert_eq!(
             parse(&argv("motivation --simulated")).unwrap(),
             Command::Motivation { simulated: true }
@@ -411,5 +428,41 @@ mod tests {
     #[test]
     fn telemetry_without_subcommand_is_an_error() {
         assert!(parse_cli(&argv("--trace-out /tmp/t.json")).is_err());
+        assert!(parse_cli(&argv("--slo-p99 500000")).is_err());
+    }
+
+    #[test]
+    fn attribution_flags_parse_anywhere() {
+        let (cmd, t) = parse_cli(&argv(
+            "sweep --slo-p99 500000 --config AW --timeline-out /tmp/tl.csv --attrib-out /tmp/a.folded",
+        ))
+        .unwrap();
+        let Command::Sweep(s) = cmd else { panic!("expected sweep") };
+        assert_eq!(s.config, NamedConfig::Aw);
+        assert_eq!(t.slo_p99, Some(500_000.0));
+        assert_eq!(t.timeline_out.as_deref(), Some("/tmp/tl.csv"));
+        assert_eq!(t.attrib_out.as_deref(), Some("/tmp/a.folded"));
+        assert!(t.attrib_active());
+        assert!(t.is_active());
+        // Attribution alone does not request event tracing outputs.
+        assert!(t.trace_out.is_none());
+    }
+
+    #[test]
+    fn slo_p99_validates() {
+        assert!(parse_cli(&argv("sweep --slo-p99 0")).is_err());
+        assert!(parse_cli(&argv("sweep --slo-p99 -3")).is_err());
+        assert!(parse_cli(&argv("sweep --slo-p99 abc")).is_err());
+        assert!(parse_cli(&argv("sweep --slo-p99")).is_err());
+        let (_, t) = parse_cli(&argv("fig 8 --slo-p99 250000")).unwrap();
+        assert_eq!(t.slo_p99, Some(250_000.0));
+        assert!(t.attrib_active());
+    }
+
+    #[test]
+    fn trace_flags_alone_do_not_enable_attribution() {
+        let (_, t) = parse_cli(&argv("sweep --trace-out /tmp/t.json")).unwrap();
+        assert!(t.is_active());
+        assert!(!t.attrib_active());
     }
 }

@@ -66,4 +66,13 @@ TELEMETRY OPTIONS (any experiment subcommand):
                            gauges, histograms, governor mispredict rate)
     --trace-limit <N>      trace ring-buffer capacity (default 200000;
                            oldest events are dropped first)
+
+ATTRIBUTION OPTIONS (any experiment subcommand):
+    --slo-p99 <NS>         per-window p99 latency SLO target in ns; prints
+                           the burn rate (fraction of windows violated)
+    --timeline-out <FILE>  write the windowed time series (throughput,
+                           per-phase latency, p50/p99/p99.9, power,
+                           residency); .json suffix = JSON, else CSV
+    --attrib-out <FILE>    write the per-phase latency attribution as
+                           folded stacks (flamegraph.pl / speedscope)
 ";

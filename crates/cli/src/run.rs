@@ -2,18 +2,16 @@
 
 use agilewatts::aw_cstates::NamedConfig;
 use agilewatts::aw_server::{ServerConfig, ServerSim, WorkloadSpec};
-use agilewatts::aw_telemetry::TelemetryReport;
+use agilewatts::aw_telemetry::{AttributionReport, SloMonitor, TelemetryReport};
 use agilewatts::aw_types::Nanos;
-use agilewatts::aw_workloads::{
-    kafka, memcached_etc, mysql_oltp, websearch, KafkaRate, MysqlRate,
-};
-use agilewatts::telemetry_table;
+use agilewatts::aw_workloads::{kafka, memcached_etc, mysql_oltp, websearch, KafkaRate, MysqlRate};
 use agilewatts::experiments::{
     enhanced_split, flow_latencies, governor_ablation, motivation, motivation_simulated,
-    retention_ablation, sleep_mode_ablation, snoop_impact, table1, table2, table3, table4,
-    table5, zone_count_ablation, Diurnal, Fig10, Fig11, Fig12, Fig13, Fig8, Fig9,
-    PackageAnalysis, SweepParams, Table5Params, Validation,
+    retention_ablation, sleep_mode_ablation, snoop_impact, table1, table2, table3, table4, table5,
+    zone_count_ablation, Diurnal, Fig10, Fig11, Fig12, Fig13, Fig8, Fig9, PackageAnalysis,
+    SweepParams, Table5Params, Validation,
 };
+use agilewatts::{attribution_table, telemetry_table};
 
 use crate::args::{Command, ParseError, SweepArgs, TelemetryArgs};
 use crate::USAGE;
@@ -191,6 +189,13 @@ fn run_sweep(args: &SweepArgs) -> Result<(), ParseError> {
     run_sweep_with(args, &TelemetryArgs::default())
 }
 
+/// The attribution timeline window for a run of `duration_ms`: ~50
+/// windows per run, but never finer than 1 ms (sub-millisecond windows
+/// hold too few completions for a meaningful windowed p99).
+fn attrib_window(duration_ms: f64) -> Nanos {
+    Nanos::from_millis((duration_ms / 50.0).max(1.0))
+}
+
 fn run_sweep_with(args: &SweepArgs, telemetry: &TelemetryArgs) -> Result<(), ParseError> {
     let workload = workload_by_name(args)?;
     let config = ServerConfig::new(args.cores, args.config)
@@ -199,7 +204,11 @@ fn run_sweep_with(args: &SweepArgs, telemetry: &TelemetryArgs) -> Result<(), Par
     if telemetry.is_active() {
         sim = sim.with_telemetry(telemetry.limit());
     }
-    let (metrics, report) = sim.run_traced();
+    if telemetry.attrib_active() {
+        sim = sim.with_attribution(attrib_window(args.duration_ms));
+    }
+    let output = sim.run_full();
+    let metrics = &output.metrics;
     println!("{metrics}");
     println!(
         "  package:   {} ({} uncore), PC0/PC2/PC6 = {}/{}/{}",
@@ -209,9 +218,12 @@ fn run_sweep_with(args: &SweepArgs, telemetry: &TelemetryArgs) -> Result<(), Par
         metrics.package_residency[1],
         metrics.package_residency[2],
     );
-    if let Some(report) = report {
+    if let Some(report) = &output.telemetry {
         println!("{}", telemetry_table(&report.summary));
-        write_telemetry(&report, telemetry)?;
+        write_telemetry(report, telemetry)?;
+    }
+    if let Some(report) = &output.attribution {
+        write_attribution(report, telemetry)?;
     }
     Ok(())
 }
@@ -235,6 +247,42 @@ fn write_telemetry(report: &TelemetryReport, telemetry: &TelemetryArgs) -> Resul
     Ok(())
 }
 
+/// Prints the attribution table and SLO verdict, and writes the
+/// requested attribution artifacts to disk. The timeline format follows
+/// the `--timeline-out` suffix: `.json` selects JSON, anything else CSV.
+fn write_attribution(
+    report: &AttributionReport,
+    telemetry: &TelemetryArgs,
+) -> Result<(), ParseError> {
+    println!("{}", attribution_table(&report.summary));
+    if let Some(ns) = telemetry.slo_p99 {
+        println!("{}", SloMonitor::new(Nanos::new(ns)).evaluate(&report.timeline));
+    }
+    if let Some(path) = &telemetry.timeline_out {
+        let body = if path.ends_with(".json") {
+            report.timeline.to_json()
+        } else {
+            report.timeline.to_csv()
+        };
+        std::fs::write(path, body)
+            .map_err(|e| ParseError(format!("cannot write timeline to '{path}': {e}")))?;
+        println!(
+            "timeline: {} windows of {} -> {path}",
+            report.timeline.windows().len(),
+            report.timeline.window_duration()
+        );
+    }
+    if let Some(path) = &telemetry.attrib_out {
+        std::fs::write(path, report.summary.folded_stack())
+            .map_err(|e| ParseError(format!("cannot write attribution to '{path}': {e}")))?;
+        println!(
+            "attribution: folded stacks over {} spans -> {path} (feed to flamegraph.pl or speedscope)",
+            report.spans.len()
+        );
+    }
+    Ok(())
+}
+
 /// The representative traced run attached to a non-sweep command: the AW
 /// configuration under the workload family the command studies. Keeps
 /// `--trace-out` meaningful on experiment subcommands whose own sweeps
@@ -248,20 +296,22 @@ fn run_traced_representative(
         Command::Fig { number: 13, .. } => kafka(KafkaRate::Low),
         _ => memcached_etc(200_000.0),
     };
-    let config = ServerConfig::new(10, NamedConfig::Aw)
-        .with_duration(Nanos::from_millis(100.0));
-    println!(
-        "\ntraced representative run: {} / {} on 10 cores",
-        NamedConfig::Aw,
-        workload.name()
-    );
-    let (metrics, report) = ServerSim::new(config, workload, 42)
-        .with_telemetry(telemetry.limit())
-        .run_traced();
-    let report = report.expect("telemetry was enabled");
+    let duration_ms = 100.0;
+    let config =
+        ServerConfig::new(10, NamedConfig::Aw).with_duration(Nanos::from_millis(duration_ms));
+    println!("\ntraced representative run: {} / {} on 10 cores", NamedConfig::Aw, workload.name());
+    let mut sim = ServerSim::new(config, workload, 42).with_telemetry(telemetry.limit());
+    if telemetry.attrib_active() {
+        sim = sim.with_attribution(attrib_window(duration_ms));
+    }
+    let output = sim.run_full();
+    let report = output.telemetry.as_ref().expect("telemetry was enabled");
     println!("{}", telemetry_table(&report.summary));
-    let _ = metrics;
-    write_telemetry(&report, telemetry)
+    write_telemetry(report, telemetry)?;
+    if let Some(report) = &output.attribution {
+        write_attribution(report, telemetry)?;
+    }
+    Ok(())
 }
 
 fn run_report(quick: bool) -> Result<(), ParseError> {
@@ -302,12 +352,7 @@ mod tests {
 
     #[test]
     fn quick_sweep_executes() {
-        let args = SweepArgs {
-            cores: 2,
-            duration_ms: 20.0,
-            qps: 50_000.0,
-            ..SweepArgs::default()
-        };
+        let args = SweepArgs { cores: 2, duration_ms: 20.0, qps: 50_000.0, ..SweepArgs::default() };
         run_sweep(&args).unwrap();
     }
 
@@ -316,16 +361,12 @@ mod tests {
         let dir = std::env::temp_dir();
         let trace = dir.join("aw_cli_test_trace.json");
         let metrics = dir.join("aw_cli_test_metrics.json");
-        let args = SweepArgs {
-            cores: 2,
-            duration_ms: 10.0,
-            qps: 50_000.0,
-            ..SweepArgs::default()
-        };
+        let args = SweepArgs { cores: 2, duration_ms: 10.0, qps: 50_000.0, ..SweepArgs::default() };
         let telemetry = TelemetryArgs {
             trace_out: Some(trace.to_string_lossy().into_owned()),
             metrics_out: Some(metrics.to_string_lossy().into_owned()),
             trace_limit: Some(10_000),
+            ..TelemetryArgs::default()
         };
         execute_with(&Command::Sweep(args), &telemetry).unwrap();
         let trace_json = std::fs::read_to_string(&trace).unwrap();
@@ -335,6 +376,56 @@ mod tests {
         assert!(metrics_json.contains("\"mispredict_rate\""));
         let _ = std::fs::remove_file(trace);
         let _ = std::fs::remove_file(metrics);
+    }
+
+    #[test]
+    fn attributed_sweep_writes_artifacts() {
+        let dir = std::env::temp_dir();
+        let timeline = dir.join("aw_cli_test_timeline.csv");
+        let folded = dir.join("aw_cli_test_attrib.folded");
+        let args =
+            SweepArgs { cores: 2, duration_ms: 20.0, qps: 100_000.0, ..SweepArgs::default() };
+        let telemetry = TelemetryArgs {
+            slo_p99: Some(500_000.0),
+            timeline_out: Some(timeline.to_string_lossy().into_owned()),
+            attrib_out: Some(folded.to_string_lossy().into_owned()),
+            ..TelemetryArgs::default()
+        };
+        execute_with(&Command::Sweep(args), &telemetry).unwrap();
+
+        // The timeline CSV parses into equal-width rows with the
+        // documented leading columns.
+        let csv = std::fs::read_to_string(&timeline).unwrap();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("start_ms,completed,throughput_qps,queue_ns"), "{header}");
+        let width = header.split(',').count();
+        let mut rows = 0;
+        for line in lines {
+            assert_eq!(line.split(',').count(), width, "{line}");
+            for cell in line.split(',') {
+                assert!(cell.is_empty() || cell.parse::<f64>().is_ok(), "{line}");
+            }
+            rows += 1;
+        }
+        assert!(rows > 0);
+
+        // The folded stacks are valid `frame;frame count` lines.
+        let stacks = std::fs::read_to_string(&folded).unwrap();
+        assert!(!stacks.is_empty());
+        for line in stacks.lines() {
+            let (stack, count) = line.rsplit_once(' ').unwrap();
+            assert!(stack.split(';').count() >= 2, "{line}");
+            count.parse::<u64>().unwrap();
+        }
+        let _ = std::fs::remove_file(timeline);
+        let _ = std::fs::remove_file(folded);
+    }
+
+    #[test]
+    fn attrib_window_is_clamped() {
+        assert_eq!(attrib_window(400.0), Nanos::from_millis(8.0));
+        assert_eq!(attrib_window(10.0), Nanos::from_millis(1.0));
     }
 
     #[test]

@@ -106,10 +106,8 @@ pub fn sleep_mode_ablation() -> SleepModeAblation {
     // 55 mW is the slept leakage at the deepest setting (25% of awake):
     // awake leakage ≈ 55 / 0.25 = 220 mW; same for the C6AE column.
     let sleep_fraction = 0.25;
-    without.ccsm_caches = (
-        without.ccsm_caches.0 / sleep_fraction,
-        without.ccsm_caches.1 / sleep_fraction,
-    );
+    without.ccsm_caches =
+        (without.ccsm_caches.0 / sleep_fraction, without.ccsm_caches.1 / sleep_fraction);
     let a = with.c6a_total().mid();
     let b = without.c6a_total().mid();
     SleepModeAblation { with_sleep_mode: a, without_sleep_mode: b, penalty: b - a }
@@ -140,18 +138,10 @@ pub fn retention_ablation() -> RetentionAblation {
     let in_place_exit = fsm.run_exit().total();
 
     let c6 = C6Flow::new(MegaHertz::new(800.0), Ratio::new(0.0)); // no flush
-    let save: Nanos = c6
-        .steps()
-        .iter()
-        .filter(|s| s.name.contains("save context"))
-        .map(|s| s.latency)
-        .sum();
-    let restore: Nanos = c6
-        .steps()
-        .iter()
-        .filter(|s| s.name.contains("restore"))
-        .map(|s| s.latency)
-        .sum();
+    let save: Nanos =
+        c6.steps().iter().filter(|s| s.name.contains("save context")).map(|s| s.latency).sum();
+    let restore: Nanos =
+        c6.steps().iter().filter(|s| s.name.contains("restore")).map(|s| s.latency).sum();
     RetentionAblation {
         in_place_exit,
         external_exit: in_place_exit + restore,
@@ -180,8 +170,8 @@ pub fn enhanced_split(params: &SweepParams, qps: f64) -> EnhancedSplit {
             .with_duration(params.duration);
         ServerSim::new(cfg, memcached_etc(qps), params.seed).run()
     };
-    let baseline_cfg = ServerConfig::new(params.cores, NamedConfig::NtBaseline)
-        .with_duration(params.duration);
+    let baseline_cfg =
+        ServerConfig::new(params.cores, NamedConfig::NtBaseline).with_duration(params.duration);
     let baseline = ServerSim::new(baseline_cfg, memcached_etc(qps), params.seed).run();
 
     let both = run(CStateConfig::new([CState::C6A, CState::C6AE, CState::C6], false));

@@ -120,16 +120,10 @@ impl Fig8 {
                 baseline.transitions_per_second() / self.params.cores as f64,
             );
             let catalog = aw_cstates::CStateCatalog::skylake_with_aw();
-            let p_base = aw_power::average_power(
-                &baseline.residencies,
-                &catalog,
-                aw_cstates::FreqLevel::P1,
-            );
-            let p_model = transform.average_power(
-                &baseline.residencies,
-                &catalog,
-                aw_cstates::FreqLevel::P1,
-            );
+            let p_base =
+                aw_power::average_power(&baseline.residencies, &catalog, aw_cstates::FreqLevel::P1);
+            let p_model =
+                transform.average_power(&baseline.residencies, &catalog, aw_cstates::FreqLevel::P1);
 
             // Fig. 8c: worst case charges the extra AW transition latency
             // (~100 ns) plus the 1% frequency stretch to *every* query;
@@ -137,9 +131,9 @@ impl Fig8 {
             // actually happened (transitions / completed queries).
             let extra = 100.0; // ns per transition (Sec. 5.2)
             let mean_lat = baseline.server_latency.mean.as_nanos().max(1.0);
-            let freq_stretch_ns =
-                0.01 * memcached_etc(qps).frequency_scalability()
-                    * baseline.server_latency.mean.as_nanos();
+            let freq_stretch_ns = 0.01
+                * memcached_etc(qps).frequency_scalability()
+                * baseline.server_latency.mean.as_nanos();
             let worst = (extra + freq_stretch_ns) / mean_lat * 100.0;
             let transitions_per_query = if baseline.completed == 0 {
                 0.0
@@ -147,11 +141,9 @@ impl Fig8 {
                 let total: u64 = baseline.transitions.values().sum();
                 total as f64 / baseline.completed as f64
             };
-            let expected =
-                (extra * transitions_per_query + freq_stretch_ns) / mean_lat * 100.0;
+            let expected = (extra * transitions_per_query + freq_stretch_ns) / mean_lat * 100.0;
             let e2e_mean = baseline.end_to_end_latency.mean.as_nanos().max(1.0);
-            let expected_e2e =
-                (extra * transitions_per_query + freq_stretch_ns) / e2e_mean * 100.0;
+            let expected_e2e = (extra * transitions_per_query + freq_stretch_ns) / e2e_mean * 100.0;
 
             rows.push(Fig8Row {
                 qps,
@@ -368,8 +360,7 @@ impl Fig10 {
                 if tuned_mask.is_enabled(aw_cstates::CState::C6) {
                     aw_states.push(aw_cstates::CState::C6);
                 }
-                let twin_mask =
-                    aw_cstates::CStateConfig::new(aw_states, tuned_mask.turbo());
+                let twin_mask = aw_cstates::CStateConfig::new(aw_states, tuned_mask.turbo());
                 let cfg = ServerConfig::new(self.params.cores, NamedConfig::NtAw)
                     .with_cstates(twin_mask)
                     .with_duration(self.params.duration);
@@ -420,12 +411,8 @@ impl Fig11Report {
     /// The mean p99 latency of a configuration across the sweep.
     #[must_use]
     pub fn mean_p99(&self, config: &str) -> f64 {
-        let xs: Vec<f64> = self
-            .rows
-            .iter()
-            .filter(|(c, ..)| c == config)
-            .map(|&(_, _, _, p99, _)| p99)
-            .collect();
+        let xs: Vec<f64> =
+            self.rows.iter().filter(|(c, ..)| c == config).map(|&(_, _, _, p99, _)| p99).collect();
         if xs.is_empty() {
             0.0
         } else {
@@ -436,12 +423,8 @@ impl Fig11Report {
     /// The mean turbo-busy fraction of a configuration.
     #[must_use]
     pub fn mean_turbo(&self, config: &str) -> f64 {
-        let xs: Vec<f64> = self
-            .rows
-            .iter()
-            .filter(|(c, ..)| c == config)
-            .map(|&(.., t)| t)
-            .collect();
+        let xs: Vec<f64> =
+            self.rows.iter().filter(|(c, ..)| c == config).map(|&(.., t)| t).collect();
         if xs.is_empty() {
             0.0
         } else {
@@ -548,9 +531,7 @@ mod tests {
             rows.iter().map(|r| f(r)).sum::<f64>() / rows.len() as f64
         };
         // Disabling C1E/C6 lowers tail latency but raises power.
-        assert!(
-            mean(&lean, |r| r.tail_latency_us) <= mean(&base, |r| r.tail_latency_us) * 1.05
-        );
+        assert!(mean(&lean, |r| r.tail_latency_us) <= mean(&base, |r| r.tail_latency_us) * 1.05);
         assert!(mean(&lean, |r| r.package_power_w) > mean(&base, |r| r.package_power_w));
         // And its cores sit exclusively in C1 when idle.
         for r in &lean {
@@ -565,7 +546,12 @@ mod tests {
         for r in &report.rows {
             assert!(r.power_reduction_pct > 0.0, "{}: {}", r.config, r.power_reduction_pct);
             // Latency stays within a few percent either way.
-            assert!(r.tail_latency_reduction_pct > -10.0, "{}: {}", r.config, r.tail_latency_reduction_pct);
+            assert!(
+                r.tail_latency_reduction_pct > -10.0,
+                "{}: {}",
+                r.config,
+                r.tail_latency_reduction_pct
+            );
         }
     }
 
@@ -577,8 +563,7 @@ mod tests {
         assert_eq!(report.mean_turbo("NT_No_C6"), 0.0);
         // Turbo lowers average latency vs its NT sibling.
         assert!(
-            report.mean_p99("T_C6A,No_C6,No_C1E")
-                <= report.mean_p99("NT_C6A,No_C6,No_C1E") * 1.02
+            report.mean_p99("T_C6A,No_C6,No_C1E") <= report.mean_p99("NT_C6A,No_C6,No_C1E") * 1.02
         );
     }
 }

@@ -268,12 +268,7 @@ mod tests {
         let report = Fig12::quick().run_all();
         for r in &report.rows {
             // Paper: 22–56% reduction.
-            assert!(
-                r.c6a_power_reduction_pct > 10.0,
-                "{}: {}%",
-                r.rate,
-                r.c6a_power_reduction_pct
-            );
+            assert!(r.c6a_power_reduction_pct > 10.0, "{}: {}%", r.rate, r.c6a_power_reduction_pct);
         }
     }
 

@@ -22,14 +22,14 @@ mod validation;
 
 pub use ablations::{
     enhanced_split, governor_ablation, retention_ablation, sleep_mode_ablation,
-    zone_count_ablation, EnhancedSplit, GovernorAblationRow, RetentionAblation,
-    SleepModeAblation, ZoneAblationRow,
-};
-pub use figs_memcached::{
-    Fig10, Fig10Report, Fig10Row, Fig11, Fig11Report, Fig8, Fig8Report, Fig8Row, Fig9,
-    Fig9Report, Fig9Row, SweepParams,
+    zone_count_ablation, EnhancedSplit, GovernorAblationRow, RetentionAblation, SleepModeAblation,
+    ZoneAblationRow,
 };
 pub use diurnal::{Diurnal, DiurnalReport};
+pub use figs_memcached::{
+    Fig10, Fig10Report, Fig10Row, Fig11, Fig11Report, Fig8, Fig8Report, Fig8Row, Fig9, Fig9Report,
+    Fig9Row, SweepParams,
+};
 pub use figs_other::{Fig12, Fig12Report, Fig12Row, Fig13, Fig13Report, Fig13Row};
 pub use flows::{flow_latencies, FlowLatencies};
 pub use motivation::{motivation, motivation_simulated, MotivationRow};

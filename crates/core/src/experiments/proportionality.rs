@@ -60,10 +60,7 @@ fn proportionality_score(points: &[(f64, f64)]) -> f64 {
     if p_max <= 0.0 || u_max <= 0.0 {
         return 0.0;
     }
-    let dev: f64 = points
-        .iter()
-        .map(|&(u, p)| (p - p_max * u / u_max).abs() / p_max)
-        .sum::<f64>()
+    let dev: f64 = points.iter().map(|&(u, p)| (p - p_max * u / u_max).abs() / p_max).sum::<f64>()
         / points.len() as f64;
     (1.0 - dev).max(0.0)
 }
@@ -89,8 +86,7 @@ impl Proportionality {
         for &u in &self.utilizations {
             let qps = u * self.cores as f64 / mean_service;
             let run = |named: NamedConfig| {
-                let cfg =
-                    ServerConfig::new(self.cores, named).with_duration(self.duration);
+                let cfg = ServerConfig::new(self.cores, named).with_duration(self.duration);
                 ServerSim::new(cfg, memcached_etc(qps), self.seed).run()
             };
             baseline.push(u, run(NamedConfig::Baseline).avg_core_power.as_milliwatts());

@@ -67,11 +67,7 @@ mod tests {
         let s = snoop_impact();
         // Paper: 79% quiet, 68% snooping, ~11 points lost.
         assert!((77.0..81.0).contains(&s.savings_quiet_pct), "{}", s.savings_quiet_pct);
-        assert!(
-            (66.0..72.0).contains(&s.savings_snooping_pct),
-            "{}",
-            s.savings_snooping_pct
-        );
+        assert!((66.0..72.0).contains(&s.savings_snooping_pct), "{}", s.savings_snooping_pct);
         assert!((7.0..13.0).contains(&s.lost_pct), "{}", s.lost_pct);
     }
 
@@ -82,8 +78,6 @@ mod tests {
         assert!(s.c6a_snooping > s.c6a_quiet);
         // AW pays more per snoop (sleep-mode exit) than the baseline
         // (clock ungate), which is exactly why savings shrink.
-        assert!(
-            (s.c6a_snooping - s.c6a_quiet) > (s.c1_snooping - s.c1_quiet)
-        );
+        assert!((s.c6a_snooping - s.c6a_quiet) > (s.c1_snooping - s.c1_quiet));
     }
 }

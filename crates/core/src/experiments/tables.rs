@@ -33,22 +33,11 @@ pub fn table1() -> TextTable {
             FreqLevel::Pn => format!("{state} (Pn)"),
             _ => state.to_string(),
         };
-        let transition = if state == CState::C0 {
-            "N/A".to_string()
-        } else {
-            p.transition_time.to_string()
-        };
-        let residency = if state == CState::C0 {
-            "N/A".to_string()
-        } else {
-            p.target_residency.to_string()
-        };
-        t.push_row(vec![
-            label,
-            transition,
-            residency,
-            p.power(FreqLevel::P1).to_string(),
-        ]);
+        let transition =
+            if state == CState::C0 { "N/A".to_string() } else { p.transition_time.to_string() };
+        let residency =
+            if state == CState::C0 { "N/A".to_string() } else { p.target_residency.to_string() };
+        t.push_row(vec![label, transition, residency, p.power(FreqLevel::P1).to_string()]);
     }
     t
 }
@@ -130,18 +119,36 @@ pub fn table4() -> TextTable {
     for (tech, core, trigger, blocks, wake) in [
         ("Roy et al. [109]", "In-order CPU", "Cache miss", "Register file", "5 cycles".to_string()),
         ("MAPG [102]", "In-order CPU", "Cache miss", "Core", "10 ns".to_string()),
-        ("Hu et al. [47]", "OoO CPU", "Execution unit idle", "Execution units", "9 cycles".to_string()),
-        ("Battle et al. [110]", "OoO CPU", "RF bank idle", "Register file bank", "17 cycles".to_string()),
-        ("GPU RF virt. [111]", "GPU", "Subarray unused", "Register subarray", "10 cycles".to_string()),
-        ("Intel AVX PG [35]", "OoO CPU", "AVX unit idle", "AVX execution units", "~10–15 ns".to_string()),
+        (
+            "Hu et al. [47]",
+            "OoO CPU",
+            "Execution unit idle",
+            "Execution units",
+            "9 cycles".to_string(),
+        ),
+        (
+            "Battle et al. [110]",
+            "OoO CPU",
+            "RF bank idle",
+            "Register file bank",
+            "17 cycles".to_string(),
+        ),
+        (
+            "GPU RF virt. [111]",
+            "GPU",
+            "Subarray unused",
+            "Register subarray",
+            "10 cycles".to_string(),
+        ),
+        (
+            "Intel AVX PG [35]",
+            "OoO CPU",
+            "AVX unit idle",
+            "AVX execution units",
+            "~10–15 ns".to_string(),
+        ),
     ] {
-        t.push_row(vec![
-            tech.into(),
-            core.into(),
-            trigger.into(),
-            blocks.into(),
-            wake,
-        ]);
+        t.push_row(vec![tech.into(), core.into(), trigger.into(), blocks.into(), wake]);
     }
     // AW's row comes from the model, not a citation.
     let measured = Ufpg::skylake_c6a().wake(WakePolicy::Staggered).latency;

@@ -128,7 +128,12 @@ impl Validation {
                 } else {
                     0.0
                 };
-                ValidationRow { workload: name, measured_mw: measured, estimated_mw: estimated, accuracy_pct: accuracy }
+                ValidationRow {
+                    workload: name,
+                    measured_mw: measured,
+                    estimated_mw: estimated,
+                    accuracy_pct: accuracy,
+                }
             })
             .collect();
         ValidationReport { rows }
@@ -146,11 +151,7 @@ mod tests {
         // The paper reports 94–96%; we require ≥90% everywhere in the
         // reduced run (snoop-free, Turbo-free: the only estimate error is
         // transition-power attribution).
-        assert!(
-            report.min_accuracy_pct() >= 90.0,
-            "min accuracy {}",
-            report.min_accuracy_pct()
-        );
+        assert!(report.min_accuracy_pct() >= 90.0, "min accuracy {}", report.min_accuracy_pct());
         assert!(report.mean_accuracy_pct() >= 93.0, "{}", report.mean_accuracy_pct());
         // The check must not be vacuous: the hidden transition energy has
         // to create a visible gap for at least one transition-heavy load.

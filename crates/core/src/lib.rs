@@ -52,7 +52,7 @@
 pub mod experiments;
 mod report;
 
-pub use report::{telemetry_table, Series, TextTable};
+pub use report::{attribution_table, telemetry_table, Series, TextTable};
 
 pub use aw_cstates;
 pub use aw_pma;

@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-use aw_telemetry::TelemetrySummary;
+use aw_telemetry::{AttributionSummary, Phase, TelemetrySummary};
+use aw_types::Nanos;
 use serde::Serialize;
 
 /// A renderable text table (the form every "Table N" experiment emits).
@@ -140,18 +141,94 @@ pub fn telemetry_table(summary: &TelemetrySummary) -> TextTable {
         "event-queue depth HWM".into(),
         format!("{:.0}", summary.event_queue_depth_hwm),
     ]);
-    t.push_row(vec![
-        "run-queue depth HWM".into(),
-        format!("{:.0}", summary.run_queue_depth_hwm),
-    ]);
+    t.push_row(vec!["run-queue depth HWM".into(), format!("{:.0}", summary.run_queue_depth_hwm)]);
     t.push_row(vec!["governor decisions".into(), summary.governor_decisions.to_string()]);
     t.push_row(vec![
         "governor mispredict rate".into(),
         format!("{:.2}%", summary.mispredict_rate * 100.0),
     ]);
+    t.push_row(vec!["mean residency error".into(), summary.mean_residency_error.to_string()]);
+    t
+}
+
+/// Renders a latency-attribution summary as a [`TextTable`] — the
+/// "Latency attribution" section appended to experiment reports for
+/// attributed runs. One row per server-side phase (shares are of the
+/// measured mean latency), with the exit penalty split one level deeper
+/// by the charging C-state, and a closing measured-total row.
+///
+/// # Examples
+///
+/// ```
+/// use agilewatts::attribution_table;
+/// use agilewatts::aw_telemetry::{Attribution, RequestSpan};
+/// use agilewatts::aw_types::Nanos;
+///
+/// let mut attrib = Attribution::new(Nanos::from_millis(1.0));
+/// attrib.record_span(RequestSpan {
+///     arrival: Nanos::ZERO,
+///     completion: Nanos::new(1_500.0),
+///     queue_wait: Nanos::new(500.0),
+///     exit_penalty: Nanos::ZERO,
+///     exit_state: None,
+///     snoop_stall: Nanos::ZERO,
+///     service: Nanos::new(1_000.0),
+///     network_rtt: Nanos::ZERO,
+/// });
+/// let table = attribution_table(&attrib.finish().summary);
+/// assert!(table.to_string().contains("service"));
+/// ```
+#[must_use]
+pub fn attribution_table(summary: &AttributionSummary) -> TextTable {
+    fn pct(part: Nanos, whole: Nanos) -> String {
+        if whole.as_nanos() > 0.0 {
+            format!("{:.1}%", 100.0 * part.as_nanos() / whole.as_nanos())
+        } else {
+            "-".into()
+        }
+    }
+    let mut t = TextTable::new(
+        format!(
+            "Latency attribution ({} requests, tail = p99 >= {})",
+            summary.requests, summary.tail_threshold
+        ),
+        &["phase", "mean", "share", "tail mean", "tail share"],
+    );
+    for phase in [Phase::QueueWait, Phase::ExitPenalty, Phase::SnoopStall, Phase::Service] {
+        t.push_row(vec![
+            phase.label().into(),
+            summary.mean.phase(phase).to_string(),
+            pct(summary.mean.phase(phase), summary.mean_latency),
+            summary.tail_mean.phase(phase).to_string(),
+            pct(summary.tail_mean.phase(phase), summary.tail_mean_latency),
+        ]);
+        if phase != Phase::ExitPenalty {
+            continue;
+        }
+        for share in &summary.exit_by_state {
+            let mean = Nanos::new(share.total.as_nanos() / summary.requests.max(1) as f64);
+            let tail_mean = summary
+                .tail_exit_by_state
+                .iter()
+                .find(|s| s.state == share.state)
+                .map_or(Nanos::ZERO, |s| {
+                    Nanos::new(s.total.as_nanos() / summary.tail_requests.max(1) as f64)
+                });
+            t.push_row(vec![
+                format!("  {} ({} wakes)", share.state, share.count),
+                mean.to_string(),
+                pct(mean, summary.mean_latency),
+                tail_mean.to_string(),
+                pct(tail_mean, summary.tail_mean_latency),
+            ]);
+        }
+    }
     t.push_row(vec![
-        "mean residency error".into(),
-        summary.mean_residency_error.to_string(),
+        "total (measured)".into(),
+        summary.mean_latency.to_string(),
+        pct(summary.mean_latency, summary.mean_latency),
+        summary.tail_mean_latency.to_string(),
+        pct(summary.tail_mean_latency, summary.tail_mean_latency),
     ]);
     t
 }
@@ -261,12 +338,7 @@ mod tests {
     fn telemetry_table_renders_headline_metrics() {
         let mut rec = aw_telemetry::TelemetryRecorder::new(2, 64);
         rec.sim_event(aw_types::Nanos::ZERO, 5);
-        rec.governor_decision(
-            0,
-            aw_types::Nanos::ZERO,
-            "C1",
-            aw_types::Nanos::from_micros(1.0),
-        );
+        rec.governor_decision(0, aw_types::Nanos::ZERO, "C1", aw_types::Nanos::from_micros(1.0));
         rec.idle_outcome(
             0,
             aw_types::Nanos::from_micros(3.0),
@@ -279,6 +351,39 @@ mod tests {
         assert!(text.contains("0.00%"));
         assert!(text.contains("event-queue depth HWM"));
         assert!(text.contains("5"));
+    }
+
+    #[test]
+    fn attribution_table_splits_exit_by_state() {
+        let mut attrib = aw_telemetry::Attribution::new(Nanos::from_millis(1.0));
+        for i in 0..99 {
+            attrib.record_span(aw_telemetry::RequestSpan {
+                arrival: Nanos::new(f64::from(i) * 10.0),
+                completion: Nanos::new(f64::from(i) * 10.0 + 1_000.0 + f64::from(i)),
+                queue_wait: Nanos::ZERO,
+                exit_penalty: Nanos::ZERO,
+                exit_state: None,
+                snoop_stall: Nanos::ZERO,
+                service: Nanos::new(1_000.0 + f64::from(i)),
+                network_rtt: Nanos::ZERO,
+            });
+        }
+        attrib.record_span(aw_telemetry::RequestSpan {
+            arrival: Nanos::ZERO,
+            completion: Nanos::new(51_000.0),
+            queue_wait: Nanos::ZERO,
+            exit_penalty: Nanos::new(50_000.0),
+            exit_state: Some("C6"),
+            snoop_stall: Nanos::ZERO,
+            service: Nanos::new(1_000.0),
+            network_rtt: Nanos::ZERO,
+        });
+        let text = attribution_table(&attrib.finish().summary).to_string();
+        assert!(text.contains("Latency attribution (100 requests"), "{text}");
+        assert!(text.contains("cstate_exit"), "{text}");
+        assert!(text.contains("C6 (1 wakes)"), "{text}");
+        assert!(text.contains("total (measured)"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
     }
 
     #[test]

@@ -193,9 +193,7 @@ impl CStateCatalog {
     /// absent from [`CStateCatalog::skylake_baseline`]).
     #[must_use]
     pub fn params(&self, state: CState) -> &CStateParams {
-        self.params
-            .get(&state)
-            .unwrap_or_else(|| panic!("state {state} not present in catalog"))
+        self.params.get(&state).unwrap_or_else(|| panic!("state {state} not present in catalog"))
     }
 
     /// Parameters for `state`, or `None` if not modeled by this catalog.
@@ -272,10 +270,7 @@ mod tests {
     #[test]
     fn aw_states_keep_legacy_latency_budget() {
         let cat = CStateCatalog::skylake_with_aw();
-        assert_eq!(
-            cat.params(CState::C6A).transition_time,
-            cat.params(CState::C1).transition_time
-        );
+        assert_eq!(cat.params(CState::C6A).transition_time, cat.params(CState::C1).transition_time);
         assert_eq!(
             cat.params(CState::C6AE).transition_time,
             cat.params(CState::C1E).transition_time

@@ -235,10 +235,7 @@ mod tests {
     fn baseline_has_legacy_states() {
         let cfg = NamedConfig::Baseline.config();
         assert!(cfg.turbo());
-        assert_eq!(
-            cfg.enabled_states(),
-            vec![CState::C1, CState::C1E, CState::C6]
-        );
+        assert_eq!(cfg.enabled_states(), vec![CState::C1, CState::C1E, CState::C6]);
     }
 
     #[test]

@@ -159,7 +159,11 @@ impl C6Flow {
             FlowStep::new(FlowPhase::Entry, "save context to S/R SRAM", save),
             FlowStep::new(FlowPhase::Entry, "PMA control handshake", Nanos::from_micros(2.0)),
             FlowStep::new(FlowPhase::Entry, "power-gate core, PLL off", Nanos::from_micros(1.0)),
-            FlowStep::new(FlowPhase::Exit, "power-ungate, PLL relock, reset, fuses", Nanos::from_micros(10.0)),
+            FlowStep::new(
+                FlowPhase::Exit,
+                "power-ungate, PLL relock, reset, fuses",
+                Nanos::from_micros(10.0),
+            ),
             FlowStep::new(FlowPhase::Exit, "restore microcode + context from SRAM", restore),
         ];
         C6Flow { steps }
@@ -354,9 +358,6 @@ mod tests {
     fn phases_partition_steps() {
         let f = C6AFlow::new();
         let total: Nanos = f.steps().iter().map(|s| s.latency).sum();
-        assert_eq!(
-            total,
-            f.entry_latency() + f.exit_latency() + f.snoop_overhead()
-        );
+        assert_eq!(total, f.entry_latency() + f.exit_latency() + f.snoop_overhead());
     }
 }

@@ -57,11 +57,7 @@ pub trait IdleGovernor: fmt::Debug + Send {
 /// This is the core residency rule all governors share (Sec. 1: "power
 /// management controllers only switch to a deeper C-state if they predict
 /// that waking-up will not be needed before a target residency time").
-fn deepest_fitting(
-    config: &CStateConfig,
-    catalog: &CStateCatalog,
-    predicted: Nanos,
-) -> CState {
+fn deepest_fitting(config: &CStateConfig, catalog: &CStateCatalog, predicted: Nanos) -> CState {
     let mut choice = None;
     for state in config.enabled_states() {
         let Some(params) = catalog.get(state) else { continue };
@@ -221,11 +217,8 @@ impl IdleGovernor for LadderGovernor {
         catalog: &CStateCatalog,
         _hint: Option<Nanos>,
     ) -> CState {
-        let states: Vec<CState> = config
-            .enabled_states()
-            .into_iter()
-            .filter(|&s| catalog.get(s).is_some())
-            .collect();
+        let states: Vec<CState> =
+            config.enabled_states().into_iter().filter(|&s| catalog.get(s).is_some()).collect();
         assert!(!states.is_empty(), "config validated against catalog");
         self.rung = self.rung.min(states.len() - 1);
 

@@ -43,10 +43,6 @@ pub use components::{
     CacheState, ClockState, ComponentMatrix, ContextState, PllState, VoltageState,
 };
 pub use config::{CStateConfig, NamedConfig};
-pub use flows::{
-    C1Flow, C6AFlow, C6Flow, FlowPhase, FlowStep, PMA_CLOCK, SKYLAKE_CACHE_REFERENCE,
-};
-pub use governor::{
-    IdleGovernor, LadderGovernor, MenuGovernor, OracleGovernor,
-};
+pub use flows::{C1Flow, C6AFlow, C6Flow, FlowPhase, FlowStep, PMA_CLOCK, SKYLAKE_CACHE_REFERENCE};
+pub use governor::{IdleGovernor, LadderGovernor, MenuGovernor, OracleGovernor};
 pub use state::{CState, FreqLevel};

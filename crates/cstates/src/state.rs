@@ -21,9 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(CState::C6A.is_agile());
 /// assert!(!CState::C6.is_agile());
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum CState {
     /// Active: the core is executing instructions.
     C0,
@@ -48,8 +46,7 @@ impl CState {
         [CState::C0, CState::C1, CState::C1E, CState::C6A, CState::C6AE, CState::C6];
 
     /// The idle states (everything but C0), shallowest first.
-    pub const IDLE: [CState; 5] =
-        [CState::C1, CState::C1E, CState::C6A, CState::C6AE, CState::C6];
+    pub const IDLE: [CState; 5] = [CState::C1, CState::C1E, CState::C6A, CState::C6AE, CState::C6];
 
     /// The legacy Skylake states.
     pub const LEGACY: [CState; 4] = [CState::C0, CState::C1, CState::C1E, CState::C6];
@@ -139,9 +136,7 @@ impl fmt::Display for CState {
 /// (2.2 GHz on the modeled Xeon 4114) and the minimum level **Pn**
 /// (0.8 GHz) appear; Turbo is modeled separately as an opportunistic boost
 /// above P1.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum FreqLevel {
     /// Base frequency (guaranteed all-core frequency).
     P1,

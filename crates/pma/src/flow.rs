@@ -106,9 +106,9 @@ impl FlowTrace {
     /// ended.
     #[must_use]
     pub fn is_contiguous(&self) -> bool {
-        self.steps.windows(2).all(|w| {
-            ((w[0].start + w[0].duration) - w[1].start).as_nanos().abs() < 1e-9
-        })
+        self.steps
+            .windows(2)
+            .all(|w| ((w[0].start + w[0].duration) - w[1].start).as_nanos().abs() < 1e-9)
     }
 
     /// Emits the trace into a telemetry sink as one

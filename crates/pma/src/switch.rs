@@ -120,10 +120,7 @@ impl CurrentProfile {
             .collect();
         times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
         times.dedup();
-        let segments = times
-            .into_iter()
-            .map(|t| (t, self.at(t) + other.at(t)))
-            .collect();
+        let segments = times.into_iter().map(|t| (t, self.at(t) + other.at(t))).collect();
         CurrentProfile::from_segments(segments, end)
     }
 }
@@ -249,7 +246,9 @@ mod tests {
         let b = DaisyChain::new(5, 1.0, Nanos::new(10.0)).wake_profile(Nanos::new(5.0));
         let s = a.superpose(&b);
         // Overlap region [5, 10) carries both currents.
-        assert!((s.at(Nanos::new(7.0)) - (a.at(Nanos::new(7.0)) + b.at(Nanos::new(7.0)))).abs() < 1e-12);
+        assert!(
+            (s.at(Nanos::new(7.0)) - (a.at(Nanos::new(7.0)) + b.at(Nanos::new(7.0)))).abs() < 1e-12
+        );
         assert!((s.charge() - (a.charge() + b.charge())).abs() < 1e-9);
         assert_eq!(s.end(), Nanos::new(15.0));
     }

@@ -161,10 +161,7 @@ impl Ufpg {
                 // All charge delivered over one cell switch time.
                 let current = self.total_area() / self.cell_switch_time.as_nanos()
                     * AVX_REFERENCE_WAKE.as_nanos();
-                CurrentProfile::from_segments(
-                    vec![(Nanos::ZERO, current)],
-                    self.cell_switch_time,
-                )
+                CurrentProfile::from_segments(vec![(Nanos::ZERO, current)], self.cell_switch_time)
             }
         };
         WakeReport { policy, latency: profile.end(), profile }

@@ -55,9 +55,7 @@ impl ResidencyVector {
     /// Creates a vector from `(state, percent)` pairs.
     #[must_use]
     pub fn from_percents(entries: impl IntoIterator<Item = (CState, f64)>) -> Self {
-        ResidencyVector::new(
-            entries.into_iter().map(|(s, pct)| (s, Ratio::from_percent(pct))),
-        )
+        ResidencyVector::new(entries.into_iter().map(|(s, pct)| (s, Ratio::from_percent(pct))))
     }
 
     /// Residency of `state` (zero if absent).
@@ -136,10 +134,7 @@ pub fn average_power(
     catalog: &CStateCatalog,
     level: FreqLevel,
 ) -> MilliWatts {
-    residencies
-        .iter()
-        .map(|(state, r)| catalog.power(state, level) * r)
-        .sum()
+    residencies.iter().map(|(state, r)| catalog.power(state, level) * r).sum()
 }
 
 /// Eq. 1: the Sec. 2 upper bound on savings from an ideal deep idle state
@@ -244,10 +239,7 @@ impl AwTransform {
     /// `transitions_per_second` is negative.
     #[must_use]
     pub fn new(frequency_scalability: f64, transitions_per_second: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&frequency_scalability),
-            "scalability must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&frequency_scalability), "scalability must be in [0, 1]");
         assert!(transitions_per_second >= 0.0, "transition rate must be non-negative");
         AwTransform {
             frequency_scalability,
@@ -275,15 +267,9 @@ impl AwTransform {
         let c0 = Ratio::new((baseline.get(CState::C0).get() + stretch).min(1.0));
 
         // Idle states shrink proportionally to absorb the stretch.
-        let idle_total: f64 = CState::IDLE
-            .iter()
-            .map(|&s| baseline.get(s).get())
-            .sum();
-        let idle_scale = if idle_total > 0.0 {
-            ((idle_total - stretch) / idle_total).max(0.0)
-        } else {
-            1.0
-        };
+        let idle_total: f64 = CState::IDLE.iter().map(|&s| baseline.get(s).get()).sum();
+        let idle_scale =
+            if idle_total > 0.0 { ((idle_total - stretch) / idle_total).max(0.0) } else { 1.0 };
 
         let mut entries: Vec<(CState, Ratio)> = vec![(CState::C0, c0)];
         for state in CState::IDLE {
@@ -330,10 +316,7 @@ mod tests {
             (CState::C1, 55.0),
             (CState::C6, 20.0),
         ]);
-        let kv_20 = ResidencyVector::from_percents([
-            (CState::C0, 20.0),
-            (CState::C1, 80.0),
-        ]);
+        let kv_20 = ResidencyVector::from_percents([(CState::C0, 20.0), (CState::C1, 80.0)]);
         let s50 = motivation_savings(&search_50).as_percent();
         let s25 = motivation_savings(&search_25).as_percent();
         let s20 = motivation_savings(&kv_20).as_percent();
@@ -346,10 +329,7 @@ mod tests {
     fn lighter_load_higher_savings() {
         let mut prev = 0.0;
         for c0 in [60.0, 40.0, 20.0, 10.0] {
-            let r = ResidencyVector::from_percents([
-                (CState::C0, c0),
-                (CState::C1, 100.0 - c0),
-            ]);
+            let r = ResidencyVector::from_percents([(CState::C0, c0), (CState::C1, 100.0 - c0)]);
             let s = motivation_savings(&r).as_percent();
             assert!(s > prev, "c0={c0}: {s} <= {prev}");
             prev = s;
@@ -389,10 +369,7 @@ mod tests {
 
     #[test]
     fn transform_conserves_total_residency() {
-        let baseline = ResidencyVector::from_percents([
-            (CState::C0, 20.0),
-            (CState::C1, 80.0),
-        ]);
+        let baseline = ResidencyVector::from_percents([(CState::C0, 20.0), (CState::C1, 80.0)]);
         for (scal, rate) in [(0.0, 0.0), (0.5, 10_000.0), (1.0, 100_000.0)] {
             let aw = AwTransform::new(scal, rate).apply(&baseline);
             assert!(aw.is_complete(1e-9), "scal={scal} rate={rate}: {}", aw.total());
@@ -401,10 +378,7 @@ mod tests {
 
     #[test]
     fn higher_transition_rate_more_busy_time() {
-        let baseline = ResidencyVector::from_percents([
-            (CState::C0, 20.0),
-            (CState::C1, 80.0),
-        ]);
+        let baseline = ResidencyVector::from_percents([(CState::C0, 20.0), (CState::C1, 80.0)]);
         let low = AwTransform::new(0.5, 1_000.0).apply(&baseline);
         let high = AwTransform::new(0.5, 500_000.0).apply(&baseline);
         assert!(high.get(CState::C0) > low.get(CState::C0));
@@ -431,17 +405,10 @@ mod tests {
     fn high_load_smaller_savings() {
         let cat = catalog();
         let t = AwTransform::new(0.8, 100_000.0);
-        let low_load = ResidencyVector::from_percents([
-            (CState::C0, 20.0),
-            (CState::C1, 80.0),
-        ]);
-        let high_load = ResidencyVector::from_percents([
-            (CState::C0, 80.0),
-            (CState::C1, 20.0),
-        ]);
+        let low_load = ResidencyVector::from_percents([(CState::C0, 20.0), (CState::C1, 80.0)]);
+        let high_load = ResidencyVector::from_percents([(CState::C0, 80.0), (CState::C1, 20.0)]);
         let s = |r: &ResidencyVector| {
-            1.0 - t.average_power(r, &cat, FreqLevel::P1)
-                / average_power(r, &cat, FreqLevel::P1)
+            1.0 - t.average_power(r, &cat, FreqLevel::P1) / average_power(r, &cat, FreqLevel::P1)
         };
         assert!(s(&low_load) > 2.0 * s(&high_load));
     }
@@ -470,18 +437,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum")]
     fn vector_rejects_oversum() {
-        let _ = ResidencyVector::from_percents([
-            (CState::C0, 70.0),
-            (CState::C1, 70.0),
-        ]);
+        let _ = ResidencyVector::from_percents([(CState::C0, 70.0), (CState::C1, 70.0)]);
     }
 
     #[test]
     fn vector_accumulates_duplicates() {
-        let v = ResidencyVector::from_percents([
-            (CState::C1, 30.0),
-            (CState::C1, 20.0),
-        ]);
+        let v = ResidencyVector::from_percents([(CState::C1, 30.0), (CState::C1, 20.0)]);
         assert_eq!(v.get(CState::C1).as_percent(), 50.0);
     }
 

@@ -491,8 +491,7 @@ mod catalog_tests {
         let catalog = catalog_from_ppa(&cheap);
         let baseline = catalog_from_ppa(&PpaModel::skylake());
         assert!(
-            catalog.power(CState::C6A, FreqLevel::P1)
-                < baseline.power(CState::C6A, FreqLevel::P1)
+            catalog.power(CState::C6A, FreqLevel::P1) < baseline.power(CState::C6A, FreqLevel::P1)
         );
     }
 

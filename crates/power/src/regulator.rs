@@ -48,10 +48,7 @@ impl Fivr {
     /// Panics if `efficiency` is not in `(0, 1]`.
     #[must_use]
     pub fn new(static_loss: MilliWatts, efficiency: Ratio) -> Self {
-        assert!(
-            efficiency.get() > 0.0 && efficiency.get() <= 1.0,
-            "efficiency must be in (0, 1]"
-        );
+        assert!(efficiency.get() > 0.0 && efficiency.get() <= 1.0, "efficiency must be in (0, 1]");
         Fivr { static_loss, light_load_efficiency: efficiency }
     }
 

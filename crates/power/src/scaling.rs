@@ -128,13 +128,8 @@ mod tests {
         // Reverse of the paper's derivation: the 22 nm 2.5 MB slice that
         // yields 55 mW for 1.1 MB at 14 nm has (55 / (1.1/2.5) / 0.7)
         // ≈ 178.6 mW of sleep-mode leakage.
-        let p = scale_cache_leakage(
-            MilliWatts::new(178.6),
-            2.5,
-            TechNode::Nm22,
-            1.1,
-            TechNode::Nm14,
-        );
+        let p =
+            scale_cache_leakage(MilliWatts::new(178.6), 2.5, TechNode::Nm22, 1.1, TechNode::Nm14);
         assert!((p.as_milliwatts() - 55.0).abs() < 0.5, "{p}");
     }
 

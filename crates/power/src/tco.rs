@@ -115,8 +115,7 @@ mod tests {
         let hot = base.with_pue(1.5);
         let delta = MilliWatts::new(200.0);
         assert!(
-            (hot.yearly_fleet_savings(delta) / base.yearly_fleet_savings(delta) - 1.5).abs()
-                < 1e-9
+            (hot.yearly_fleet_savings(delta) / base.yearly_fleet_savings(delta) - 1.5).abs() < 1e-9
         );
     }
 

@@ -12,9 +12,7 @@ fn residency_strategy() -> impl Strategy<Value = ResidencyVector> {
     prop::collection::vec(0.01f64..1.0, 4).prop_map(|parts| {
         let total: f64 = parts.iter().sum();
         let states = [CState::C0, CState::C1, CState::C1E, CState::C6];
-        ResidencyVector::new(
-            states.iter().zip(&parts).map(|(&s, &p)| (s, Ratio::new(p / total))),
-        )
+        ResidencyVector::new(states.iter().zip(&parts).map(|(&s, &p)| (s, Ratio::new(p / total))))
     })
 }
 

@@ -39,9 +39,7 @@ impl CoreState {
     #[must_use]
     pub fn accounting_state(self) -> CState {
         match self {
-            CoreState::Active | CoreState::Entering { .. } | CoreState::Waking { .. } => {
-                CState::C0
-            }
+            CoreState::Active | CoreState::Entering { .. } | CoreState::Waking { .. } => CState::C0,
             CoreState::Idle { state } => state,
         }
     }
@@ -57,6 +55,10 @@ pub struct QueuedRequest {
     /// The idle-state exit latency this request personally waited for
     /// (non-zero only for the request whose arrival triggered the wake).
     pub wake_penalty: Nanos,
+    /// The idle state whose exit charged [`QueuedRequest::wake_penalty`]
+    /// (`None` when no penalty was charged) — attribution needs to know
+    /// *which* C-state the tail paid for.
+    pub wake_state: Option<CState>,
     /// `true` for OS timer-tick kernel work (excluded from client
     /// latency/throughput metrics).
     pub is_tick: bool,
@@ -203,15 +205,9 @@ mod tests {
     #[test]
     fn accounting_maps_transitions_to_c0() {
         assert_eq!(CoreState::Active.accounting_state(), CState::C0);
-        assert_eq!(
-            CoreState::Entering { target: CState::C6 }.accounting_state(),
-            CState::C0
-        );
+        assert_eq!(CoreState::Entering { target: CState::C6 }.accounting_state(), CState::C0);
         assert_eq!(CoreState::Waking { from: CState::C1 }.accounting_state(), CState::C0);
-        assert_eq!(
-            CoreState::Idle { state: CState::C6A }.accounting_state(),
-            CState::C6A
-        );
+        assert_eq!(CoreState::Idle { state: CState::C6A }.accounting_state(), CState::C6A);
     }
 
     #[test]
@@ -263,6 +259,7 @@ mod tests {
             arrival: Nanos::new(2.0),
             service: Nanos::from_micros(1.0),
             wake_penalty: Nanos::ZERO,
+            wake_state: None,
             is_tick: false,
         });
         assert!(!c.is_quiescent());

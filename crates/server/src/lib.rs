@@ -48,7 +48,7 @@ mod workload;
 pub use config::{Dispatch, GovernorKind, ServerConfig, SnoopTraffic};
 pub use core::{CoreState, SimCore};
 pub use metrics::{LatencyBreakdown, LatencyStats, RunMetrics};
-pub use sim::ServerSim;
+pub use sim::{RunOutput, ServerSim};
 pub use thermal::ThermalModel;
 pub use uncore::{PackageCState, UncoreModel, UncorePower};
 pub use workload::WorkloadSpec;

@@ -6,13 +6,14 @@ use std::fmt;
 use aw_cstates::CState;
 use aw_power::ResidencyVector;
 use aw_sim::SampleSet;
-use aw_telemetry::TelemetrySummary;
+use aw_telemetry::{AttributionSummary, TelemetrySummary};
 use aw_types::{MilliWatts, Nanos, Ratio};
 use serde::Serialize;
 
 use crate::uncore::PackageCState;
 
-/// Latency distribution summary: mean, median, p99 ("tail"), and max.
+/// Latency distribution summary: mean, median, p99 ("tail"), p99.9, and
+/// max.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct LatencyStats {
     /// Arithmetic mean.
@@ -21,6 +22,9 @@ pub struct LatencyStats {
     pub p50: Nanos,
     /// 99th percentile — the paper's "tail latency".
     pub p99: Nanos,
+    /// 99.9th percentile — the deeper tail the paper's latency CDFs
+    /// extend past p99, where C6 exit penalties concentrate.
+    pub p999: Nanos,
     /// Maximum observed.
     pub max: Nanos,
     /// Number of samples summarized. Zero marks "no data": the
@@ -39,6 +43,7 @@ impl LatencyStats {
             mean: Nanos::new(samples.mean().unwrap_or(0.0)),
             p50: Nanos::new(samples.median().unwrap_or(0.0)),
             p99: Nanos::new(samples.p99().unwrap_or(0.0)),
+            p999: Nanos::new(samples.percentile(0.999).unwrap_or(0.0)),
             max: Nanos::new(samples.percentile(1.0).unwrap_or(0.0)),
             count: samples.len() as u64,
         }
@@ -54,6 +59,20 @@ impl LatencyStats {
     /// server-side latency into end-to-end latency by adding the network
     /// round trip). An empty summary stays empty: there is nothing to
     /// offset.
+    ///
+    /// **Exactness assumption.** Adding a constant to each summarized
+    /// percentile is exact *only when the offset is deterministic*:
+    /// quantiles are order statistics, and adding the same constant `c`
+    /// to every sample preserves their order, so `Q(X + c) = Q(X) + c`
+    /// for every quantile (and the mean and max). The simulator's
+    /// network RTT (`Workload::network_rtt`) is a fixed per-workload
+    /// constant, which is why `end_to_end_latency` can be derived this
+    /// way instead of re-summarizing offset samples. If the RTT were
+    /// random, `Q(X + R)` would generally differ from `Q(X) + Q(R)`
+    /// (quantiles are not additive across independent variables), and
+    /// the offset percentiles would be wrong — the unit test
+    /// `offset_by_matches_per_sample_offsetting` pins the deterministic
+    /// case and documents the failure of a random one.
     #[must_use]
     pub fn offset_by(&self, offset: Nanos) -> LatencyStats {
         if self.is_empty() {
@@ -63,6 +82,7 @@ impl LatencyStats {
             mean: self.mean + offset,
             p50: self.p50 + offset,
             p99: self.p99 + offset,
+            p999: self.p999 + offset,
             max: self.max + offset,
             count: self.count,
         }
@@ -74,7 +94,11 @@ impl fmt::Display for LatencyStats {
         if self.is_empty() {
             return write!(f, "no samples");
         }
-        write!(f, "mean={} p50={} p99={} max={}", self.mean, self.p50, self.p99, self.max)
+        write!(
+            f,
+            "mean={} p50={} p99={} p999={} max={}",
+            self.mean, self.p50, self.p99, self.p999, self.max
+        )
     }
 }
 
@@ -156,6 +180,10 @@ pub struct RunMetrics {
     /// Telemetry headline numbers; `Some` only for traced runs (see
     /// `ServerSim::with_telemetry`).
     pub telemetry: Option<TelemetrySummary>,
+    /// Per-request latency attribution (phase means, tail bucket, exit
+    /// penalty by C-state); `Some` only for attributed runs (see
+    /// `ServerSim::with_attribution`).
+    pub attribution: Option<AttributionSummary>,
 }
 
 impl RunMetrics {
@@ -248,6 +276,9 @@ impl fmt::Display for RunMetrics {
         if let Some(t) = &self.telemetry {
             write!(f, "\n  telemetry: {t}")?;
         }
+        if let Some(a) = &self.attribution {
+            write!(f, "\n  {a}")?;
+        }
         Ok(())
     }
 }
@@ -266,13 +297,11 @@ mod tests {
             workload: "w".into(),
             duration: Nanos::from_secs(1.0),
             cores: 2,
-            residencies: ResidencyVector::from_percents([
-                (CState::C0, 30.0),
-                (CState::C1, 70.0),
-            ]),
+            residencies: ResidencyVector::from_percents([(CState::C0, 30.0), (CState::C1, 70.0)]),
             avg_core_power: MilliWatts::new(power_mw),
             server_latency: LatencyStats::from_samples(&mut s.clone()),
-            end_to_end_latency: LatencyStats::from_samples(&mut s).offset_by(Nanos::from_micros(117.0)),
+            end_to_end_latency: LatencyStats::from_samples(&mut s)
+                .offset_by(Nanos::from_micros(117.0)),
             completed: 1000,
             offered_qps: 1000.0,
             achieved_qps: 1000.0,
@@ -287,6 +316,7 @@ mod tests {
                 service: Nanos::from_micros(4.0),
             },
             telemetry: None,
+            attribution: None,
         }
     }
 
@@ -294,7 +324,55 @@ mod tests {
     fn latency_stats_ordering() {
         let m = sample_metrics(1000.0, 100.0);
         assert!(m.server_latency.p50 <= m.server_latency.p99);
-        assert!(m.server_latency.p99 <= m.server_latency.max);
+        assert!(m.server_latency.p99 <= m.server_latency.p999);
+        assert!(m.server_latency.p999 <= m.server_latency.max);
+        assert!(m.server_latency.to_string().contains("p999="));
+    }
+
+    #[test]
+    fn offset_by_matches_per_sample_offsetting() {
+        // Deterministic offset: offsetting the summary equals
+        // re-summarizing per-sample-offset data, for every statistic
+        // including the new p999 — quantiles commute with adding a
+        // constant.
+        let mut raw = SampleSet::new();
+        let mut shifted = SampleSet::new();
+        let rtt = Nanos::from_micros(117.0);
+        for i in 1..=2000 {
+            let x = f64::from(i) * f64::from(i); // heavy-ish spread
+            raw.record(x);
+            shifted.record(x + rtt.as_nanos());
+        }
+        let summary_offset = LatencyStats::from_samples(&mut raw).offset_by(rtt);
+        let per_sample = LatencyStats::from_samples(&mut shifted);
+        for (a, b) in [
+            (summary_offset.mean, per_sample.mean),
+            (summary_offset.p50, per_sample.p50),
+            (summary_offset.p99, per_sample.p99),
+            (summary_offset.p999, per_sample.p999),
+            (summary_offset.max, per_sample.max),
+        ] {
+            assert!((a.as_nanos() - b.as_nanos()).abs() < 1e-6, "{a} vs {b}");
+        }
+        assert_eq!(summary_offset.count, per_sample.count);
+
+        // A *random* offset breaks the equivalence: Q(X + R) is not
+        // Q(X) + mean(R) in general. This is why `offset_by` documents
+        // the deterministic-RTT assumption.
+        let mut jittered = SampleSet::new();
+        for i in 1..=2000 {
+            let x = f64::from(i) * f64::from(i);
+            // Deterministic stand-in for jitter, anti-correlated with
+            // rank: large samples get small offsets.
+            let r = rtt.as_nanos() * 2.0 * f64::from(2000 - i) / 2000.0;
+            jittered.record(x + r);
+        }
+        let per_sample_jittered = LatencyStats::from_samples(&mut jittered);
+        let naive = summary_offset; // summary + constant mean(R) = rtt
+        assert!(
+            (per_sample_jittered.p99.as_nanos() - naive.p99.as_nanos()).abs() > 1.0,
+            "random offset accidentally matched the constant-offset summary"
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@ use std::fmt;
 use aw_cstates::CState;
 use aw_power::ResidencyVector;
 use aw_sim::{EventQueue, SampleSet, SimRng};
-use aw_telemetry::{TelemetryRecorder, TelemetryReport};
+use aw_telemetry::{
+    Attribution, AttributionReport, RequestSpan, TelemetryRecorder, TelemetryReport,
+};
 use aw_types::{MilliWatts, Nanos, Ratio};
 
 use crate::config::{Dispatch, GovernorKind, ServerConfig, SnoopTraffic};
@@ -63,6 +65,30 @@ pub struct ServerSim {
     /// `Some` when tracing is enabled (see [`ServerSim::with_telemetry`]);
     /// `None` keeps every emission site a single branch on the fast path.
     telemetry: Option<TelemetryRecorder>,
+    /// `Some` when latency attribution is enabled (see
+    /// [`ServerSim::with_attribution`]).
+    attrib: Option<Attribution>,
+    /// Per-core (accounting-state label, entered-at) marks backing the
+    /// attribution timeline's residency intervals.
+    attrib_marks: Vec<(&'static str, Nanos)>,
+    /// Start of the measured window (= warm-up end): attribution ignores
+    /// power/residency before it, matching the metric reset.
+    measure_start: Nanos,
+}
+
+/// Everything a fully instrumented run produces: the metrics plus the
+/// optional telemetry and attribution reports.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The run's aggregate metrics. `metrics.telemetry` and
+    /// `metrics.attribution` carry the respective summaries when the
+    /// matching instrumentation was enabled.
+    pub metrics: RunMetrics,
+    /// Full telemetry report ([`ServerSim::with_telemetry`] runs only).
+    pub telemetry: Option<TelemetryReport>,
+    /// Full attribution report — per-request spans, timeline, summary
+    /// ([`ServerSim::with_attribution`] runs only).
+    pub attribution: Option<AttributionReport>,
 }
 
 impl ServerSim {
@@ -70,11 +96,12 @@ impl ServerSim {
     #[must_use]
     pub fn new(config: ServerConfig, workload: WorkloadSpec, seed: u64) -> Self {
         let mut rng = SimRng::seed(seed);
-        let cores = (0..config.cores)
-            .map(|id| SimCore::new(id, config.governor.build()))
-            .collect();
+        let cores: Vec<SimCore> =
+            (0..config.cores).map(|id| SimCore::new(id, config.governor.build())).collect();
         let _ = rng.fork(0); // decorrelate from the seed's first draw
         let end = config.warmup + config.duration;
+        let measure_start = config.warmup;
+        let attrib_marks = vec![("C0", Nanos::ZERO); cores.len()];
         let uncore = UncoreModel::skylake(config.cores, Nanos::ZERO);
         let snoop_rng = SimRng::seed(seed ^ 0x534E_4F4F_505F_5247); // "SNOOP_RG"
         ServerSim {
@@ -95,6 +122,9 @@ impl ServerSim {
             end,
             uncore,
             telemetry: None,
+            attrib: None,
+            attrib_marks,
+            measure_start,
         }
     }
 
@@ -109,6 +139,49 @@ impl ServerSim {
     pub fn with_telemetry(mut self, trace_limit: usize) -> Self {
         self.telemetry = Some(TelemetryRecorder::new(self.cores.len(), trace_limit));
         self
+    }
+
+    /// Enables per-request latency attribution over the measured window:
+    /// every completed (non-tick) request becomes a [`RequestSpan`], and
+    /// power/residency intervals feed a timeline with `window`-sized
+    /// buckets. Run with [`ServerSim::run_full`] to get the
+    /// [`AttributionReport`] back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is not strictly positive.
+    #[must_use]
+    pub fn with_attribution(mut self, window: Nanos) -> Self {
+        self.attrib = Some(Attribution::new(window));
+        self
+    }
+
+    /// Advances core `id`'s meters to `now`, feeding the elapsed
+    /// constant-power interval to the attribution timeline, then switches
+    /// the standing power.
+    fn switch_core_power(&mut self, id: usize, now: Nanos, power: MilliWatts) {
+        if let Some(a) = self.attrib.as_mut() {
+            let core = &self.cores[id];
+            let start = core.meter.now().max(self.measure_start);
+            if now > start {
+                a.record_power(start, now, core.current_power);
+            }
+        }
+        self.cores[id].switch_power(now, power);
+    }
+
+    /// Moves core `id` to a new life-cycle state, closing the previous
+    /// accounting-state interval in the attribution timeline.
+    fn set_core_state(&mut self, id: usize, now: Nanos, state: CoreState) {
+        if let Some(a) = self.attrib.as_mut() {
+            let (label, since) = self.attrib_marks[id];
+            let start = since.max(self.measure_start);
+            if now > start {
+                a.record_residency(label, start, now);
+            }
+            self.attrib_marks[id] = (trace::cstate_label(state.accounting_state()), now);
+        }
+        self.cores[id].set_state(now, state);
     }
 
     /// Re-derives the package state from core occupancy after any core
@@ -151,7 +224,15 @@ impl ServerSim {
     /// [`TelemetryReport`] if [`ServerSim::with_telemetry`] was called.
     /// The metrics' `telemetry` field carries the same summary.
     #[must_use]
-    pub fn run_traced(mut self) -> (RunMetrics, Option<TelemetryReport>) {
+    pub fn run_traced(self) -> (RunMetrics, Option<TelemetryReport>) {
+        let out = self.run_full();
+        (out.metrics, out.telemetry)
+    }
+
+    /// Runs the simulation and returns everything: metrics plus the
+    /// optional telemetry and attribution reports.
+    #[must_use]
+    pub fn run_full(mut self) -> RunOutput {
         // Every core starts active with nothing to do: send each to idle
         // immediately so the fleet begins in a realistic parked state.
         for id in 0..self.cores.len() {
@@ -197,9 +278,27 @@ impl ServerSim {
 
         let end = self.end;
         let report = self.telemetry.take().map(|t| t.into_report(end));
+        if self.attrib.is_some() {
+            // Flush the attribution timeline to the end of the run: the
+            // standing power interval and open residency mark of every
+            // core. `finalize` re-advances the meters to `end`, which is
+            // then a zero-length no-op.
+            for id in 0..self.cores.len() {
+                let p = self.cores[id].current_power;
+                self.switch_core_power(id, end, p);
+                let (label, since) = self.attrib_marks[id];
+                let start = since.max(self.measure_start);
+                if end > start {
+                    self.attrib.as_mut().expect("checked").record_residency(label, start, end);
+                }
+                self.attrib_marks[id] = (label, end);
+            }
+        }
+        let attribution = self.attrib.take().map(Attribution::finish);
         let mut metrics = self.finalize();
         metrics.telemetry = report.as_ref().map(|r| r.summary.clone());
-        (metrics, report)
+        metrics.attribution = attribution.as_ref().map(|r| r.summary.clone());
+        RunOutput { metrics, telemetry: report, attribution }
     }
 
     fn dispatch(&mut self) -> usize {
@@ -227,6 +326,7 @@ impl ServerSim {
             arrival: now,
             service,
             wake_penalty: Nanos::ZERO,
+            wake_state: None,
             is_tick: false,
         });
         if let Some(t) = self.telemetry.as_mut() {
@@ -238,6 +338,7 @@ impl ServerSim {
             let penalty = self.config.catalog.params(state).exit_latency;
             if let Some(req) = self.cores[id].queue.back_mut() {
                 req.wake_penalty = penalty;
+                req.wake_state = Some(state);
             }
             self.begin_wake(id, state, now, "arrival");
         }
@@ -258,10 +359,9 @@ impl ServerSim {
             t.wake(id as u32, now, reason);
             t.state_change(id as u32, now, trace::exit_label(from));
         }
-        let core = &mut self.cores[id];
-        core.switch_power(now, ramp);
-        core.set_state(now, CoreState::Waking { from });
-        let gen = core.generation;
+        self.switch_core_power(id, now, ramp);
+        self.set_core_state(id, now, CoreState::Waking { from });
+        let gen = self.cores[id].generation;
         self.queue.schedule(now + exit, Event::WakeDone { core: id, gen });
         self.update_uncore(now);
     }
@@ -271,11 +371,8 @@ impl ServerSim {
             GovernorKind::Oracle => Some((self.next_arrival - now).clamp_non_negative()),
             _ => None,
         };
-        let target = self.cores[id].governor.select(
-            &self.config.cstates,
-            &self.config.catalog,
-            hint,
-        );
+        let target =
+            self.cores[id].governor.select(&self.config.cstates, &self.config.catalog, hint);
         if let Some(t) = self.telemetry.as_mut() {
             // Predictive governors report their own estimate; for hinted
             // (oracle) governors the hint *is* the prediction.
@@ -286,12 +383,11 @@ impl ServerSim {
         }
         let entry = self.config.catalog.params(target).entry_latency;
         let ramp = self.transition_power(target);
-        let core = &mut self.cores[id];
-        core.idle_since = now;
+        self.cores[id].idle_since = now;
         // Entry burns the ramp power until the idle level is reached.
-        core.switch_power(now, ramp);
-        core.set_state(now, CoreState::Entering { target });
-        let gen = core.generation;
+        self.switch_core_power(id, now, ramp);
+        self.set_core_state(id, now, CoreState::Entering { target });
+        let gen = self.cores[id].generation;
         self.queue.schedule(now + entry, Event::EntryDone { core: id, gen });
         self.update_uncore(now);
     }
@@ -306,11 +402,10 @@ impl ServerSim {
         if let Some(t) = self.telemetry.as_mut() {
             t.state_change(id as u32, now, trace::cstate_label(target));
         }
-        let idle_power =
-            self.config.catalog.power(target, aw_cstates::FreqLevel::P1);
+        let idle_power = self.config.catalog.power(target, aw_cstates::FreqLevel::P1);
+        self.switch_core_power(id, now, idle_power);
+        self.set_core_state(id, now, CoreState::Idle { state: target });
         let core = &mut self.cores[id];
-        core.switch_power(now, idle_power);
-        core.set_state(now, CoreState::Idle { state: target });
         *core.entries.entry(target).or_insert(0) += 1;
 
         if core.queue.is_empty() {
@@ -321,6 +416,7 @@ impl ServerSim {
             let penalty = self.config.catalog.params(target).exit_latency;
             if let Some(req) = core.queue.front_mut() {
                 req.wake_penalty = penalty;
+                req.wake_state = Some(target);
             }
             self.begin_wake(id, target, now, "queued-work");
         }
@@ -344,7 +440,7 @@ impl ServerSim {
         // energy (in-rush current, clock restart) that residency-based
         // models cannot attribute.
         self.cores[id].transition_energy += self.config.transition_energy;
-        self.cores[id].set_state(now, CoreState::Active);
+        self.set_core_state(id, now, CoreState::Active);
         self.start_service(id, now);
     }
 
@@ -378,13 +474,9 @@ impl ServerSim {
         }
         let effective = req.service * time_factor;
 
-        let power = if turbo {
-            self.cores[id].thermal.turbo_power()
-        } else {
-            self.active_power()
-        };
+        let power = if turbo { self.cores[id].thermal.turbo_power() } else { self.active_power() };
+        self.switch_core_power(id, now, power);
         let core = &mut self.cores[id];
-        core.switch_power(now, power);
         core.serving_at_turbo = turbo;
         core.in_flight = Some(req);
         core.serve_start = now;
@@ -415,6 +507,27 @@ impl ServerSim {
             self.queue_waits.record(queue.as_nanos());
             self.service_times.record(service.as_nanos());
             self.completed += 1;
+            if let Some(a) = self.attrib.as_mut() {
+                // By construction queue + transition + service == sojourn
+                // (serve_start ≥ arrival), so the span satisfies the
+                // sum-to-latency invariant exactly. The current server
+                // model never stalls requests on snoops (snoops cost
+                // idle-core energy only), so that phase records zero.
+                a.record_span(RequestSpan {
+                    arrival: req.arrival,
+                    completion: now,
+                    queue_wait: queue,
+                    exit_penalty: transition,
+                    exit_state: if transition > Nanos::ZERO {
+                        req.wake_state.map(trace::cstate_label)
+                    } else {
+                        None
+                    },
+                    snoop_stall: Nanos::ZERO,
+                    service,
+                    network_rtt: self.workload.network_rtt(),
+                });
+            }
         }
         self.start_service(id, now);
     }
@@ -427,6 +540,7 @@ impl ServerSim {
             arrival: now,
             service: self.config.tick_work,
             wake_penalty: Nanos::ZERO,
+            wake_state: None,
             is_tick: true,
         });
         if let Some(t) = self.telemetry.as_mut() {
@@ -513,9 +627,7 @@ impl ServerSim {
 
         let residencies = if total_time > Nanos::ZERO {
             ResidencyVector::new(
-                residency_time
-                    .iter()
-                    .map(|(&s, &t)| (s, Ratio::new((t / total_time).min(1.0)))),
+                residency_time.iter().map(|(&s, &t)| (s, Ratio::new((t / total_time).min(1.0)))),
             )
         } else {
             ResidencyVector::default()
@@ -529,11 +641,8 @@ impl ServerSim {
         };
 
         let uncore_energy = self.uncore.finish(end);
-        let avg_uncore_power = if duration > Nanos::ZERO {
-            uncore_energy / duration
-        } else {
-            MilliWatts::ZERO
-        };
+        let avg_uncore_power =
+            if duration > Nanos::ZERO { uncore_energy / duration } else { MilliWatts::ZERO };
         let package_residency = [
             self.uncore.residency(PackageCState::Pc0),
             self.uncore.residency(PackageCState::Pc2),
@@ -574,8 +683,9 @@ impl ServerSim {
             avg_uncore_power,
             package_residency,
             breakdown,
-            // Filled by `run_traced` after the recorder is finished.
+            // Filled by `run_full` after the recorders are finished.
             telemetry: None,
+            attribution: None,
         }
     }
 }
@@ -606,8 +716,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = || {
-            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(50_000.0), 7)
-                .run()
+            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(50_000.0), 7).run()
         };
         let a = run();
         let b = run();
@@ -618,12 +727,8 @@ mod tests {
 
     #[test]
     fn throughput_matches_offered_load() {
-        let m = ServerSim::new(
-            short_config(NamedConfig::Baseline),
-            light_workload(100_000.0),
-            3,
-        )
-        .run();
+        let m =
+            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(100_000.0), 3).run();
         let ratio = m.achieved_qps / m.offered_qps;
         assert!((0.9..1.1).contains(&ratio), "achieved/offered = {ratio}");
     }
@@ -632,22 +737,14 @@ mod tests {
     fn residencies_sum_to_one() {
         for named in [NamedConfig::Baseline, NamedConfig::Aw, NamedConfig::NtNoC6] {
             let m = ServerSim::new(short_config(named), light_workload(60_000.0), 11).run();
-            assert!(
-                m.residencies.is_complete(1e-6),
-                "{named}: total {}",
-                m.residencies.total()
-            );
+            assert!(m.residencies.is_complete(1e-6), "{named}: total {}", m.residencies.total());
         }
     }
 
     #[test]
     fn light_load_is_mostly_idle() {
-        let m = ServerSim::new(
-            short_config(NamedConfig::Baseline),
-            light_workload(20_000.0),
-            5,
-        )
-        .run();
+        let m =
+            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(20_000.0), 5).run();
         assert!(m.residency_of(CState::C0).get() < 0.2, "{}", m.residencies);
     }
 
@@ -662,12 +759,8 @@ mod tests {
 
     #[test]
     fn aw_saves_power_at_light_load() {
-        let baseline = ServerSim::new(
-            short_config(NamedConfig::Baseline),
-            light_workload(60_000.0),
-            9,
-        )
-        .run();
+        let baseline =
+            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(60_000.0), 9).run();
         let aw = ServerSim::new(short_config(NamedConfig::Aw), light_workload(60_000.0), 9).run();
         let savings = aw.power_savings_vs(&baseline);
         assert!(savings.get() > 0.1, "savings {savings}");
@@ -678,12 +771,9 @@ mod tests {
 
     #[test]
     fn disabled_states_are_never_entered() {
-        let m = ServerSim::new(
-            short_config(NamedConfig::NtNoC6NoC1e),
-            light_workload(40_000.0),
-            13,
-        )
-        .run();
+        let m =
+            ServerSim::new(short_config(NamedConfig::NtNoC6NoC1e), light_workload(40_000.0), 13)
+                .run();
         assert_eq!(m.residency_of(CState::C6), Ratio::ZERO);
         assert_eq!(m.residency_of(CState::C1E), Ratio::ZERO);
         assert!(m.residency_of(CState::C1).get() > 0.5, "{}", m.residencies);
@@ -691,10 +781,9 @@ mod tests {
 
     #[test]
     fn snoops_burn_energy_in_coherent_states() {
-        let cfg = short_config(NamedConfig::Baseline)
-            .with_snoops(SnoopTraffic::at_rate(50_000.0));
-        let quiet = ServerSim::new(short_config(NamedConfig::Baseline), light_workload(30_000.0), 17)
-            .run();
+        let cfg = short_config(NamedConfig::Baseline).with_snoops(SnoopTraffic::at_rate(50_000.0));
+        let quiet =
+            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(30_000.0), 17).run();
         let noisy = ServerSim::new(cfg, light_workload(30_000.0), 17).run();
         assert!(noisy.snoops_served > 0);
         assert!(noisy.avg_core_power > quiet.avg_core_power);
@@ -702,37 +791,73 @@ mod tests {
 
     #[test]
     fn turbo_runs_when_credit_allows() {
-        let m = ServerSim::new(
-            short_config(NamedConfig::Baseline),
-            light_workload(40_000.0),
-            19,
-        )
-        .run();
+        let m =
+            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(40_000.0), 19).run();
         // Light load banks lots of thermal credit: turbo should engage.
         assert!(m.turbo_fraction.get() > 0.5, "turbo {}", m.turbo_fraction);
-        let nt = ServerSim::new(
-            short_config(NamedConfig::NtBaseline),
-            light_workload(40_000.0),
-            19,
-        )
-        .run();
+        let nt =
+            ServerSim::new(short_config(NamedConfig::NtBaseline), light_workload(40_000.0), 19)
+                .run();
         assert_eq!(nt.turbo_fraction, Ratio::ZERO);
     }
 
     #[test]
+    fn attribution_spans_match_metrics() {
+        let out = ServerSim::new(short_config(NamedConfig::Baseline), light_workload(60_000.0), 21)
+            .with_attribution(Nanos::from_millis(10.0))
+            .run_full();
+        let report = out.attribution.expect("attribution enabled");
+        // One span per measured request.
+        assert_eq!(report.spans.len() as u64, out.metrics.completed);
+        assert_eq!(report.summary.requests, out.metrics.completed);
+        // Phase means agree with the independent LatencyBreakdown path.
+        let b = out.metrics.breakdown;
+        let m = &report.summary.mean;
+        assert!((m.queue.as_nanos() - b.queue.as_nanos()).abs() < 1e-6);
+        assert!((m.exit_penalty.as_nanos() - b.transition.as_nanos()).abs() < 1e-6);
+        assert!((m.service.as_nanos() - b.service.as_nanos()).abs() < 1e-6);
+        assert_eq!(out.metrics.attribution.as_ref(), Some(&report.summary));
+        // Every span satisfies the sum-to-latency invariant exactly.
+        for span in &report.spans {
+            assert!(span.residual().as_nanos().abs() < 1e-6, "{span:?}");
+        }
+        // The timeline saw traffic, power, and residency.
+        let tl = &report.timeline;
+        assert!(tl.windows().iter().map(|w| w.completed()).sum::<u64>() > 0);
+        assert!(tl.windows().iter().any(|w| w.energy() > aw_types::Joules::ZERO));
+        assert!(!tl.residency_states().is_empty());
+    }
+
+    #[test]
+    fn attribution_off_yields_none() {
+        let out = ServerSim::new(short_config(NamedConfig::Baseline), light_workload(60_000.0), 21)
+            .run_full();
+        assert!(out.attribution.is_none());
+        assert!(out.metrics.attribution.is_none());
+    }
+
+    #[test]
+    fn attribution_does_not_perturb_the_run() {
+        // Attribution is pure observation: the measured metrics must be
+        // bit-identical with and without it.
+        let plain =
+            ServerSim::new(short_config(NamedConfig::Aw), light_workload(80_000.0), 27).run();
+        let attributed =
+            ServerSim::new(short_config(NamedConfig::Aw), light_workload(80_000.0), 27)
+                .with_attribution(Nanos::from_millis(5.0))
+                .run_full();
+        assert_eq!(plain.completed, attributed.metrics.completed);
+        assert_eq!(plain.avg_core_power, attributed.metrics.avg_core_power);
+        assert_eq!(plain.server_latency.p99, attributed.metrics.server_latency.p99);
+    }
+
+    #[test]
     fn heavier_load_more_c0() {
-        let light = ServerSim::new(
-            short_config(NamedConfig::Baseline),
-            light_workload(30_000.0),
-            23,
-        )
-        .run();
-        let heavy = ServerSim::new(
-            short_config(NamedConfig::Baseline),
-            light_workload(300_000.0),
-            23,
-        )
-        .run();
+        let light =
+            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(30_000.0), 23).run();
+        let heavy =
+            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(300_000.0), 23)
+                .run();
         assert!(heavy.residency_of(CState::C0) > light.residency_of(CState::C0));
         assert!(heavy.avg_core_power > light.avg_core_power);
     }
@@ -776,8 +901,7 @@ mod breakdown_tests {
             base.breakdown.transition
         );
         // Service time is workload-determined and barely changes.
-        let svc_ratio =
-            aw.breakdown.service.as_nanos() / base.breakdown.service.as_nanos();
+        let svc_ratio = aw.breakdown.service.as_nanos() / base.breakdown.service.as_nanos();
         assert!((0.9..1.1).contains(&svc_ratio), "{svc_ratio}");
     }
 

@@ -200,8 +200,7 @@ mod tests {
         let w = WorkloadSpec::poisson("w", 1_000_000.0, Nanos::from_micros(1.0), 0.5);
         let mut rng = SimRng::seed(1);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| w.next_gap(&mut rng).as_nanos()).sum::<f64>() / f64::from(n);
+        let mean: f64 = (0..n).map(|_| w.next_gap(&mut rng).as_nanos()).sum::<f64>() / f64::from(n);
         assert!((mean - 1_000.0).abs() < 30.0, "mean gap {mean}");
     }
 

@@ -125,13 +125,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let s = d.signum();
                 let candidate = self.parabolic(i, s);
-                self.heights[i] = if self.heights[i - 1] < candidate
-                    && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, s)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, s)
+                    };
                 self.positions[i] += s;
             }
         }
@@ -150,6 +149,36 @@ impl P2Quantile {
             + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
+    /// Clears all observations, returning the estimator to its
+    /// just-constructed state without reallocating.
+    ///
+    /// Lets per-window aggregators (e.g. a timeline) reuse one estimator
+    /// across windows instead of constructing a fresh one per window.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aw_sim::P2Quantile;
+    ///
+    /// let mut est = P2Quantile::new(0.5);
+    /// for x in [5.0, 1.0, 9.0] {
+    ///     est.record(x);
+    /// }
+    /// est.reset();
+    /// assert_eq!(est.count(), 0);
+    /// assert_eq!(est.estimate(), None);
+    /// est.record(42.0);
+    /// assert_eq!(est.estimate(), Some(42.0));
+    /// ```
+    pub fn reset(&mut self) {
+        let q = self.q;
+        self.heights = [0.0; 5];
+        self.positions = [1.0, 2.0, 3.0, 4.0, 5.0];
+        self.desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0];
+        self.count = 0;
+        self.warmup.clear();
+    }
+
     /// The current estimate, or `None` with fewer than five observations.
     #[must_use]
     pub fn estimate(&self) -> Option<f64> {
@@ -161,8 +190,7 @@ impl P2Quantile {
             }
             let mut sorted = self.warmup.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-            let rank =
-                ((self.q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let rank = ((self.q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
             return Some(sorted[rank - 1]);
         }
         Some(self.heights[2])
@@ -241,6 +269,30 @@ mod tests {
             est.record(7.0);
         }
         assert_eq!(est.estimate(), Some(7.0));
+    }
+
+    #[test]
+    fn reset_is_equivalent_to_fresh() {
+        let mut reused = P2Quantile::new(0.9);
+        let mut rng = SimRng::seed(6);
+        for _ in 0..10_000 {
+            reused.record(rng.uniform() * 100.0);
+        }
+        reused.reset();
+        assert_eq!(reused.count(), 0);
+        assert_eq!(reused.estimate(), None);
+
+        // Feeding the same stream into the reset estimator and a fresh
+        // one must produce bit-identical estimates.
+        let mut fresh = P2Quantile::new(0.9);
+        let mut rng2 = SimRng::seed(7);
+        for _ in 0..10_000 {
+            let x = rng2.uniform() * 100.0;
+            reused.record(x);
+            fresh.record(x);
+        }
+        assert_eq!(reused.estimate(), fresh.estimate());
+        assert_eq!(reused.count(), fresh.count());
     }
 
     #[test]

@@ -225,8 +225,7 @@ mod tests {
         assert_eq!(t.time_in(&0), Nanos::new(50.0));
         assert_eq!(t.time_in(&1), Nanos::new(25.0));
         assert_eq!(t.time_in(&2), Nanos::new(25.0));
-        let sum: f64 =
-            [0u8, 1, 2].iter().map(|s| t.residency(s).get()).sum();
+        let sum: f64 = [0u8, 1, 2].iter().map(|s| t.residency(s).get()).sum();
         assert!((sum - 1.0).abs() < 1e-12);
     }
 

@@ -156,6 +156,51 @@ proptest! {
         }
     }
 
+    /// Windowed P² estimates track exact percentiles on heavy-tailed
+    /// (lognormal) data, and `reset()` makes one estimator reusable
+    /// across windows: each window's estimate matches the exact
+    /// per-window percentile, not a blend with earlier windows.
+    #[test]
+    fn p2_reset_windows_track_exact_on_lognormal(
+        seed: u64,
+        median in 10.0f64..1e4,
+        sigma in 0.5f64..1.5,
+        windows in 2usize..5,
+    ) {
+        let mut rng = SimRng::seed(seed);
+        let ln = LogNormal::from_median(median, sigma);
+        let mut p50 = P2Quantile::new(0.5);
+        let mut p99 = P2Quantile::new(0.99);
+        for w in 0..windows {
+            // Shift each window so stale markers from a previous window
+            // would show up as gross error.
+            let shift = median * 10.0 * w as f64;
+            let mut exact = SampleSet::new();
+            for _ in 0..5_000 {
+                let x = ln.sample(&mut rng) + shift;
+                p50.record(x);
+                p99.record(x);
+                exact.record(x);
+            }
+            let est50 = p50.estimate().unwrap();
+            let truth50 = exact.percentile(0.5).unwrap();
+            prop_assert!(
+                (est50 - truth50).abs() <= 0.05 * truth50,
+                "window {w}: p50 {est50} vs exact {truth50}"
+            );
+            // The p99 of a lognormal is far out in the tail; P² tracks
+            // it within a coarser relative tolerance.
+            let est99 = p99.estimate().unwrap();
+            let truth99 = exact.percentile(0.99).unwrap();
+            prop_assert!(
+                (est99 - truth99).abs() <= 0.25 * truth99,
+                "window {w}: p99 {est99} vs exact {truth99}"
+            );
+            p50.reset();
+            p99.reset();
+        }
+    }
+
     /// Forked RNG streams never collide with the parent stream.
     #[test]
     fn forked_streams_differ(seed: u64) {

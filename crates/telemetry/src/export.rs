@@ -168,10 +168,7 @@ fn summary_json(summary: &TelemetrySummary) -> JsonValue {
         ("governor_decisions", JsonValue::UInt(summary.governor_decisions)),
         ("governor_mispredicts", JsonValue::UInt(summary.governor_mispredicts)),
         ("mispredict_rate", JsonValue::Num(summary.mispredict_rate)),
-        (
-            "mean_residency_error_ns",
-            JsonValue::Num(summary.mean_residency_error.as_nanos()),
-        ),
+        ("mean_residency_error_ns", JsonValue::Num(summary.mean_residency_error.as_nanos())),
         (
             "per_core_mispredict_rate",
             JsonValue::Array(
@@ -282,7 +279,9 @@ mod tests {
         // One C0 occupancy of 100 ns ending at t=100 → slice at ts=0.
         let report = sample_report();
         let json = report.chrome_trace_json();
-        assert!(json.contains("\"name\":\"C0\",\"cat\":\"cstate\",\"pid\":0,\"tid\":0,\"ts\":0,\"dur\":0.1"));
+        assert!(json.contains(
+            "\"name\":\"C0\",\"cat\":\"cstate\",\"pid\":0,\"tid\":0,\"ts\":0,\"dur\":0.1"
+        ));
     }
 
     #[test]

@@ -18,6 +18,17 @@
 //!    renders the registry as machine-readable JSON. Both use the
 //!    crate's own minimal [`json`] writer — no serde_json.
 //!
+//! 4. **Attribution** — [`RequestSpan`] decomposes one request's latency
+//!    into typed [`Phase`]s (queue wait, C-state exit penalty tagged
+//!    with the charging state, snoop stall, service, network RTT) under
+//!    a sum-to-latency invariant; an [`Attribution`] collector reduces a
+//!    run's spans to an [`AttributionSummary`] (all-requests and
+//!    p99-tail buckets, flamegraph folded-stack export) and a
+//!    [`Timeline`] of fixed windows (throughput, per-phase means,
+//!    windowed p50/p99/p99.9, average power, residency shares, CSV/JSON
+//!    export). An [`SloMonitor`] evaluates a p99 target per window and
+//!    reports the burn rate.
+//!
 //! The [`TelemetryRecorder`] ties the layers together for a simulator:
 //! it pairs C-state enter/exit events with exact residencies, scores
 //! every governor decision against the idle period that followed, and
@@ -47,14 +58,22 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod attrib;
 mod event;
 pub mod export;
 pub mod json;
 mod recorder;
 mod registry;
 mod sink;
+mod slo;
+mod span;
+mod timeline;
 
+pub use attrib::{Attribution, AttributionReport, AttributionSummary, ExitShare, PhaseMeans};
 pub use event::{EventKind, TraceEvent};
 pub use recorder::{TelemetryRecorder, TelemetryReport, TelemetrySummary};
 pub use registry::{LogHistogram, MetricsRegistry, TimeWeightedGauge};
 pub use sink::{NullSink, RingBufferSink, TraceSink};
+pub use slo::{SloMonitor, SloReport};
+pub use span::{Phase, RequestSpan};
+pub use timeline::{Timeline, TimelineWindow};

@@ -1,0 +1,453 @@
+//! Fixed-interval time-series aggregation of request spans.
+//!
+//! A [`Timeline`] chops simulated time into fixed windows and folds each
+//! completed [`RequestSpan`] into the window its completion falls in:
+//! throughput, per-phase mean latency contribution, windowed
+//! p50/p99/p99.9 (via [`aw_sim::P2Quantile`] — O(1) memory per window),
+//! average power, and per-C-state residency share. The result exports as
+//! CSV or JSON for plotting latency/power/residency against time — the
+//! view the paper's diurnal and load-step arguments need.
+
+use std::collections::BTreeMap;
+
+use aw_sim::P2Quantile;
+use aw_types::{Joules, MilliWatts, Nanos};
+
+use crate::json::JsonValue;
+use crate::span::{Phase, RequestSpan};
+
+/// Server-side phases exported as per-window columns (everything but
+/// the constant network RTT, which carries no time-series signal).
+const CSV_PHASES: [Phase; 4] =
+    [Phase::QueueWait, Phase::ExitPenalty, Phase::SnoopStall, Phase::Service];
+
+/// One fixed-duration aggregation window.
+#[derive(Debug, Clone)]
+pub struct TimelineWindow {
+    start: Nanos,
+    completed: u64,
+    /// Summed per-phase contribution, nanoseconds, indexed by
+    /// [`Phase::ALL`] order.
+    phase_ns: [f64; 5],
+    p50: P2Quantile,
+    p99: P2Quantile,
+    p999: P2Quantile,
+    energy: Joules,
+    /// Nanoseconds of core residency per accounting C-state.
+    residency_ns: BTreeMap<&'static str, f64>,
+}
+
+impl TimelineWindow {
+    fn new(start: Nanos) -> Self {
+        TimelineWindow {
+            start,
+            completed: 0,
+            phase_ns: [0.0; 5],
+            p50: P2Quantile::new(0.5),
+            p99: P2Quantile::new(0.99),
+            p999: P2Quantile::new(0.999),
+            energy: Joules::ZERO,
+            residency_ns: BTreeMap::new(),
+        }
+    }
+
+    /// The window's start timestamp.
+    #[must_use]
+    pub fn start(&self) -> Nanos {
+        self.start
+    }
+
+    /// Requests completed in this window.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// True when nothing was recorded into this window (skipped by the
+    /// exporters).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.completed == 0 && self.energy == Joules::ZERO && self.residency_ns.is_empty()
+    }
+
+    /// Mean per-request contribution of one phase in this window.
+    #[must_use]
+    pub fn phase_mean(&self, phase: Phase) -> Nanos {
+        if self.completed == 0 {
+            return Nanos::ZERO;
+        }
+        let idx = Phase::ALL.iter().position(|p| *p == phase).expect("phase in ALL");
+        Nanos::new(self.phase_ns[idx] / self.completed as f64)
+    }
+
+    /// Windowed p50 server latency estimate.
+    #[must_use]
+    pub fn p50(&self) -> Option<Nanos> {
+        self.p50.estimate().map(Nanos::new)
+    }
+
+    /// Windowed p99 server latency estimate.
+    #[must_use]
+    pub fn p99(&self) -> Option<Nanos> {
+        self.p99.estimate().map(Nanos::new)
+    }
+
+    /// Windowed p99.9 server latency estimate.
+    #[must_use]
+    pub fn p999(&self) -> Option<Nanos> {
+        self.p999.estimate().map(Nanos::new)
+    }
+
+    /// Energy deposited in this window (all cores).
+    #[must_use]
+    pub fn energy(&self) -> Joules {
+        self.energy
+    }
+
+    /// Per-C-state share of the residency recorded in this window
+    /// (normalised to sum to 1 over the states observed, so partial
+    /// trailing windows stay comparable).
+    #[must_use]
+    pub fn residency_share(&self) -> BTreeMap<&'static str, f64> {
+        let total: f64 = self.residency_ns.values().sum();
+        if total <= 0.0 {
+            return BTreeMap::new();
+        }
+        self.residency_ns.iter().map(|(s, ns)| (*s, ns / total)).collect()
+    }
+}
+
+/// A fixed-interval time series of request attribution, power, and
+/// residency.
+///
+/// # Examples
+///
+/// ```
+/// use aw_telemetry::{RequestSpan, Timeline};
+/// use aw_types::{MilliWatts, Nanos};
+///
+/// let mut tl = Timeline::new(Nanos::from_millis(1.0));
+/// tl.record_span(&RequestSpan {
+///     arrival: Nanos::new(500.0),
+///     completion: Nanos::new(4_500.0),
+///     queue_wait: Nanos::new(1_000.0),
+///     exit_penalty: Nanos::ZERO,
+///     exit_state: None,
+///     snoop_stall: Nanos::ZERO,
+///     service: Nanos::new(3_000.0),
+///     network_rtt: Nanos::ZERO,
+/// });
+/// tl.record_power(Nanos::ZERO, Nanos::from_millis(2.0), MilliWatts::from_watts(1.0));
+/// assert_eq!(tl.windows().len(), 2);
+/// assert_eq!(tl.windows()[0].completed(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    window: Nanos,
+    windows: Vec<TimelineWindow>,
+}
+
+impl Timeline {
+    /// Creates a timeline with the given window duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is not strictly positive.
+    #[must_use]
+    pub fn new(window: Nanos) -> Self {
+        assert!(window.as_nanos() > 0.0, "timeline window must be positive");
+        Timeline { window, windows: Vec::new() }
+    }
+
+    /// The fixed window duration.
+    #[must_use]
+    pub fn window_duration(&self) -> Nanos {
+        self.window
+    }
+
+    /// The windows recorded so far, in time order (may include empty
+    /// gap windows; the exporters skip those).
+    #[must_use]
+    pub fn windows(&self) -> &[TimelineWindow] {
+        &self.windows
+    }
+
+    fn window_mut(&mut self, t: Nanos) -> &mut TimelineWindow {
+        let idx = (t.as_nanos() / self.window.as_nanos()).max(0.0) as usize;
+        while self.windows.len() <= idx {
+            let start = Nanos::new(self.windows.len() as f64 * self.window.as_nanos());
+            self.windows.push(TimelineWindow::new(start));
+        }
+        &mut self.windows[idx]
+    }
+
+    /// Folds one completed request into the window of its completion
+    /// time.
+    pub fn record_span(&mut self, span: &RequestSpan) {
+        let latency = span.server_latency().as_nanos();
+        let w = self.window_mut(span.completion);
+        w.completed += 1;
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            w.phase_ns[i] += span.phase(*phase).as_nanos();
+        }
+        w.p50.record(latency);
+        w.p99.record(latency);
+        w.p999.record(latency);
+    }
+
+    /// Deposits `power` held over `[start, end)` into the overlapping
+    /// windows, pro-rated by overlap. Call once per constant-power
+    /// interval per core; energies accumulate across cores.
+    pub fn record_power(&mut self, start: Nanos, end: Nanos, power: MilliWatts) {
+        self.for_each_overlap(start, end, |w, overlap| w.energy += power * overlap);
+    }
+
+    /// Records that a core sat in accounting C-state `state` over
+    /// `[start, end)`, pro-rated across the overlapping windows.
+    pub fn record_residency(&mut self, state: &'static str, start: Nanos, end: Nanos) {
+        self.for_each_overlap(start, end, |w, overlap| {
+            *w.residency_ns.entry(state).or_insert(0.0) += overlap.as_nanos();
+        });
+    }
+
+    fn for_each_overlap(
+        &mut self,
+        start: Nanos,
+        end: Nanos,
+        mut f: impl FnMut(&mut TimelineWindow, Nanos),
+    ) {
+        if end.as_nanos() <= start.as_nanos() {
+            return;
+        }
+        let wn = self.window.as_nanos();
+        let first = (start.as_nanos() / wn).max(0.0) as usize;
+        // `end` is exclusive, so a boundary-aligned end stays in the
+        // previous window.
+        let last = ((end.as_nanos() - f64::EPSILON * end.as_nanos()).max(0.0) / wn) as usize;
+        for idx in first..=last {
+            let lo = start.as_nanos().max(idx as f64 * wn);
+            let hi = end.as_nanos().min((idx + 1) as f64 * wn);
+            if hi > lo {
+                // Touch via window_mut so gap windows are materialised.
+                let w = self.window_mut(Nanos::new(lo));
+                f(w, Nanos::new(hi - lo));
+            }
+        }
+    }
+
+    /// Average aggregate power over one window: deposited energy divided
+    /// by the window duration. Under-reports a partial trailing window
+    /// (its energy is spread over the full duration).
+    #[must_use]
+    pub fn avg_power(&self, w: &TimelineWindow) -> MilliWatts {
+        w.energy() / self.window
+    }
+
+    /// Throughput over one window, in requests per second.
+    #[must_use]
+    pub fn throughput_qps(&self, w: &TimelineWindow) -> f64 {
+        w.completed() as f64 / self.window.as_secs()
+    }
+
+    /// Every residency state observed anywhere in the timeline, sorted.
+    #[must_use]
+    pub fn residency_states(&self) -> Vec<&'static str> {
+        let mut states: Vec<&'static str> =
+            self.windows.iter().flat_map(|w| w.residency_ns.keys().copied()).collect();
+        states.sort_unstable();
+        states.dedup();
+        states
+    }
+
+    /// Renders the time series as CSV: one row per non-empty window,
+    /// with a `residency_<state>` share column for every state observed.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let states = self.residency_states();
+        let mut out = String::from("start_ms,completed,throughput_qps");
+        for phase in CSV_PHASES {
+            out.push_str(&format!(",{}_ns", phase.label()));
+        }
+        out.push_str(",p50_ns,p99_ns,p999_ns,avg_power_mw");
+        for s in &states {
+            out.push_str(&format!(",residency_{s}"));
+        }
+        out.push('\n');
+        for w in self.windows.iter().filter(|w| !w.is_empty()) {
+            out.push_str(&format!(
+                "{:.3},{},{:.3}",
+                w.start().as_millis(),
+                w.completed(),
+                self.throughput_qps(w)
+            ));
+            for phase in CSV_PHASES {
+                out.push_str(&format!(",{:.1}", w.phase_mean(phase).as_nanos()));
+            }
+            for q in [w.p50(), w.p99(), w.p999()] {
+                out.push_str(&format!(",{:.1}", q.unwrap_or(Nanos::ZERO).as_nanos()));
+            }
+            out.push_str(&format!(",{:.3}", self.avg_power(w).as_milliwatts()));
+            let share = w.residency_share();
+            for s in &states {
+                out.push_str(&format!(",{:.6}", share.get(s).copied().unwrap_or(0.0)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the time series as a JSON document with the same fields
+    /// as [`Timeline::to_csv`], one object per non-empty window.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let windows: Vec<JsonValue> = self
+            .windows
+            .iter()
+            .filter(|w| !w.is_empty())
+            .map(|w| {
+                let phases = CSV_PHASES
+                    .iter()
+                    .map(|p| (format!("{}_ns", p.label()), w.phase_mean(*p).as_nanos()))
+                    .collect::<Vec<_>>();
+                let mut fields = vec![
+                    ("start_ms", JsonValue::Num(w.start().as_millis())),
+                    ("completed", JsonValue::UInt(w.completed())),
+                    ("throughput_qps", JsonValue::Num(self.throughput_qps(w))),
+                ];
+                let phase_fields: Vec<(&str, JsonValue)> =
+                    phases.iter().map(|(k, v)| (k.as_str(), JsonValue::Num(*v))).collect();
+                fields.extend(phase_fields);
+                for (name, q) in [("p50_ns", w.p50()), ("p99_ns", w.p99()), ("p999_ns", w.p999())] {
+                    fields
+                        .push((name, q.map_or(JsonValue::Null, |v| JsonValue::Num(v.as_nanos()))));
+                }
+                fields.push(("avg_power_mw", JsonValue::Num(self.avg_power(w).as_milliwatts())));
+                let share = w.residency_share();
+                fields.push((
+                    "residency",
+                    JsonValue::Object(
+                        share.iter().map(|(s, v)| ((*s).to_string(), JsonValue::Num(*v))).collect(),
+                    ),
+                ));
+                JsonValue::obj(fields)
+            })
+            .collect();
+        JsonValue::obj(vec![
+            ("window_ns", JsonValue::Num(self.window.as_nanos())),
+            ("windows", JsonValue::Array(windows)),
+        ])
+        .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_at(completion: f64, service: f64, queue: f64, exit: f64) -> RequestSpan {
+        RequestSpan {
+            arrival: Nanos::new(completion - service - queue - exit),
+            completion: Nanos::new(completion),
+            queue_wait: Nanos::new(queue),
+            exit_penalty: Nanos::new(exit),
+            exit_state: if exit > 0.0 { Some("C6") } else { None },
+            snoop_stall: Nanos::ZERO,
+            service: Nanos::new(service),
+            network_rtt: Nanos::ZERO,
+        }
+    }
+
+    #[test]
+    fn spans_land_in_completion_window() {
+        let mut tl = Timeline::new(Nanos::new(1_000.0));
+        tl.record_span(&span_at(500.0, 300.0, 0.0, 0.0));
+        tl.record_span(&span_at(2_500.0, 400.0, 100.0, 0.0));
+        assert_eq!(tl.windows().len(), 3);
+        assert_eq!(tl.windows()[0].completed(), 1);
+        assert_eq!(tl.windows()[1].completed(), 0);
+        assert!(tl.windows()[1].is_empty());
+        assert_eq!(tl.windows()[2].completed(), 1);
+        assert_eq!(tl.windows()[2].phase_mean(Phase::Service), Nanos::new(400.0));
+        assert_eq!(tl.windows()[2].phase_mean(Phase::QueueWait), Nanos::new(100.0));
+    }
+
+    #[test]
+    fn power_is_prorated_across_windows() {
+        let mut tl = Timeline::new(Nanos::new(1_000.0));
+        // 1 W over [500, 2500): 0.5 µs in w0, 1 µs in w1, 0.5 µs in w2.
+        tl.record_power(Nanos::new(500.0), Nanos::new(2_500.0), MilliWatts::from_watts(1.0));
+        let e: Vec<f64> = tl.windows().iter().map(|w| w.energy().as_joules()).collect();
+        assert!((e[0] - 0.5e-6).abs() < 1e-12, "{e:?}");
+        assert!((e[1] - 1.0e-6).abs() < 1e-12, "{e:?}");
+        assert!((e[2] - 0.5e-6).abs() < 1e-12, "{e:?}");
+        let total: f64 = e.iter().sum();
+        assert!((total - 2.0e-6).abs() < 1e-12);
+        // Aggregate power in the fully covered window is the held power.
+        let p = tl.avg_power(&tl.windows()[1]);
+        assert!((p.as_watts() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_aligned_interval_stays_in_one_window() {
+        let mut tl = Timeline::new(Nanos::new(1_000.0));
+        tl.record_power(Nanos::ZERO, Nanos::new(1_000.0), MilliWatts::from_watts(1.0));
+        assert_eq!(tl.windows().len(), 1);
+        assert!((tl.windows()[0].energy().as_joules() - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residency_share_normalises() {
+        let mut tl = Timeline::new(Nanos::new(1_000.0));
+        tl.record_residency("C0", Nanos::ZERO, Nanos::new(250.0));
+        tl.record_residency("C6", Nanos::new(250.0), Nanos::new(1_000.0));
+        let share = tl.windows()[0].residency_share();
+        assert!((share["C0"] - 0.25).abs() < 1e-9);
+        assert!((share["C6"] - 0.75).abs() < 1e-9);
+        assert_eq!(tl.residency_states(), vec!["C0", "C6"]);
+    }
+
+    #[test]
+    fn csv_skips_empty_windows_and_has_stable_columns() {
+        let mut tl = Timeline::new(Nanos::new(1_000.0));
+        tl.record_span(&span_at(500.0, 300.0, 100.0, 50.0));
+        tl.record_span(&span_at(3_500.0, 300.0, 0.0, 0.0));
+        tl.record_residency("C1", Nanos::ZERO, Nanos::new(400.0));
+        let csv = tl.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + two non-empty windows:\n{csv}");
+        let header_cols = lines[0].split(',').count();
+        assert!(lines[0].starts_with("start_ms,completed,throughput_qps,queue_ns"));
+        assert!(lines[0].ends_with("residency_C1"));
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), header_cols, "ragged row: {row}");
+        }
+    }
+
+    #[test]
+    fn json_has_window_objects() {
+        let mut tl = Timeline::new(Nanos::new(1_000.0));
+        tl.record_span(&span_at(500.0, 300.0, 100.0, 0.0));
+        let json = tl.to_json();
+        assert!(json.contains("\"window_ns\""));
+        assert!(json.contains("\"service_ns\""));
+        assert!(json.contains("\"completed\":1"));
+    }
+
+    #[test]
+    fn windowed_quantiles_track_exact() {
+        let mut tl = Timeline::new(Nanos::new(1_000_000.0));
+        for i in 0..1_000 {
+            tl.record_span(&span_at(500.0 + f64::from(i), 100.0 + f64::from(i), 0.0, 0.0));
+        }
+        let w = &tl.windows()[0];
+        let p50 = w.p50().unwrap().as_nanos();
+        assert!((p50 - 600.0).abs() < 50.0, "{p50}");
+        assert!(w.p99().unwrap().as_nanos() > p50);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_window() {
+        let _ = Timeline::new(Nanos::ZERO);
+    }
+}

@@ -72,9 +72,8 @@ mod tests {
     fn low_rate_has_long_quiet_gaps() {
         let w = kafka(KafkaRate::Low);
         let mut rng = SimRng::seed(3);
-        let long_gaps = (0..10_000)
-            .filter(|_| w.next_gap(&mut rng) > Nanos::from_millis(5.0))
-            .count();
+        let long_gaps =
+            (0..10_000).filter(|_| w.next_gap(&mut rng) > Nanos::from_millis(5.0)).count();
         // ~15% of gaps are inter-batch; most of those exceed 5 ms.
         assert!((800..2500).contains(&long_gaps), "{long_gaps}");
     }
@@ -83,9 +82,8 @@ mod tests {
     fn high_rate_rarely_quiet() {
         let w = kafka(KafkaRate::High);
         let mut rng = SimRng::seed(4);
-        let long_gaps = (0..10_000)
-            .filter(|_| w.next_gap(&mut rng) > Nanos::from_millis(5.0))
-            .count();
+        let long_gaps =
+            (0..10_000).filter(|_| w.next_gap(&mut rng) > Nanos::from_millis(5.0)).count();
         assert!(long_gaps < 50, "{long_gaps}");
     }
 

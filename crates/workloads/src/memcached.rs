@@ -89,9 +89,8 @@ mod tests {
     fn get_fast_path_dominates() {
         let w = memcached_etc(100_000.0);
         let mut rng = SimRng::seed(2);
-        let below_8us = (0..10_000)
-            .filter(|_| w.next_service(&mut rng) < Nanos::from_micros(8.0))
-            .count();
+        let below_8us =
+            (0..10_000).filter(|_| w.next_service(&mut rng) < Nanos::from_micros(8.0)).count();
         assert!(below_8us > 6_000, "only {below_8us}/10000 on the GET path");
     }
 

@@ -102,9 +102,8 @@ mod tests {
     fn transactions_are_millisecond_scale() {
         let w = mysql_oltp(MysqlRate::Low);
         let mut rng = SimRng::seed(5);
-        let sub_ms = (0..5_000)
-            .filter(|_| w.next_service(&mut rng) < Nanos::from_millis(1.0))
-            .count();
+        let sub_ms =
+            (0..5_000).filter(|_| w.next_service(&mut rng) < Nanos::from_millis(1.0)).count();
         // The point-select class straddles 1 ms; roughly half land below.
         assert!((1_500..4_000).contains(&sub_ms), "{sub_ms}");
     }

@@ -102,9 +102,8 @@ mod tests {
     fn service_is_sub_millisecond_dominated() {
         let w = websearch(0.5, 10);
         let mut rng = SimRng::seed(9);
-        let sub_ms = (0..5_000)
-            .filter(|_| w.next_service(&mut rng) < Nanos::from_millis(1.0))
-            .count();
+        let sub_ms =
+            (0..5_000).filter(|_| w.next_service(&mut rng) < Nanos::from_millis(1.0)).count();
         assert!(sub_ms > 3_000, "{sub_ms}");
     }
 

@@ -167,8 +167,7 @@ impl DiurnalArrivals {
     }
 
     fn rate_at(&self, t: f64) -> f64 {
-        self.base_qps
-            * (1.0 + self.amplitude * (std::f64::consts::TAU * t / self.period_ns).sin())
+        self.base_qps * (1.0 + self.amplitude * (std::f64::consts::TAU * t / self.period_ns).sin())
     }
 }
 
@@ -232,10 +231,7 @@ mod tests {
     #[test]
     fn rejects_bad_traces() {
         assert!(matches!(TraceGaps::from_gaps(vec![]), Err(TraceError::Empty)));
-        assert!(matches!(
-            TraceGaps::from_gaps(vec![1.0, -2.0]),
-            Err(TraceError::InvalidGap(_))
-        ));
+        assert!(matches!(TraceGaps::from_gaps(vec![1.0, -2.0]), Err(TraceError::InvalidGap(_))));
         assert!(matches!(
             TraceGaps::from_arrival_times(&[10.0, 5.0]),
             Err(TraceError::InvalidGap(_))
@@ -260,10 +256,7 @@ mod tests {
         let measured_qps = n as f64 / (total / 1e9);
         // Rate-modulated sampling biases slightly toward high-rate
         // phases; allow 15%.
-        assert!(
-            (measured_qps - 50_000.0).abs() / 50_000.0 < 0.15,
-            "measured {measured_qps}"
-        );
+        assert!((measured_qps - 50_000.0).abs() / 50_000.0 < 0.15, "measured {measured_qps}");
     }
 
     #[test]

@@ -7,9 +7,9 @@
 
 use agilewatts::experiments::{
     enhanced_split, flow_latencies, governor_ablation, motivation, motivation_simulated,
-    retention_ablation, sleep_mode_ablation, snoop_impact, table1, table2, table3, table4,
-    table5, zone_count_ablation, Fig10, Fig11, Fig12, Fig13, Fig8, Fig9, PackageAnalysis,
-    SweepParams, Table5Params, Validation,
+    retention_ablation, sleep_mode_ablation, snoop_impact, table1, table2, table3, table4, table5,
+    zone_count_ablation, Fig10, Fig11, Fig12, Fig13, Fig8, Fig9, PackageAnalysis, SweepParams,
+    Table5Params, Validation,
 };
 
 fn main() {

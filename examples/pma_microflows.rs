@@ -15,21 +15,36 @@ fn main() {
     println!("C6A entry flow (Fig. 6 ①–③):");
     let entry = fsm.run_entry();
     for step in entry.steps() {
-        println!("  {:<22} start {:>7}  duration {:>7}", format!("{:?}", step.state), step.start, step.duration);
+        println!(
+            "  {:<22} start {:>7}  duration {:>7}",
+            format!("{:?}", step.state),
+            step.start,
+            step.duration
+        );
     }
     println!("  total: {}  (budget < 20 ns)\n", entry.total());
 
     println!("Snoop burst while idle (Fig. 6 ⓐ–ⓒ), 3 snoops:");
     let snoop = fsm.run_snoop(3);
     for step in snoop.steps() {
-        println!("  {:<22} start {:>7}  duration {:>7}", format!("{:?}", step.state), step.start, step.duration);
+        println!(
+            "  {:<22} start {:>7}  duration {:>7}",
+            format!("{:?}", step.state),
+            step.start,
+            step.duration
+        );
     }
     println!("  total: {}\n", snoop.total());
 
     println!("C6A exit flow (Fig. 6 ④–⑥):");
     let exit = fsm.run_exit();
     for step in exit.steps() {
-        println!("  {:<22} start {:>7}  duration {:>7}", format!("{:?}", step.state), step.start, step.duration);
+        println!(
+            "  {:<22} start {:>7}  duration {:>7}",
+            format!("{:?}", step.state),
+            step.start,
+            step.duration
+        );
     }
     println!("  total: {}  (budget < 80 ns)", exit.total());
     println!(
@@ -46,7 +61,11 @@ fn main() {
             "  {policy:<14?} latency {:>8}  in-rush peak {:>6.1}× AVX reference{}",
             w.latency,
             w.peak_current(),
-            if w.within_current_limit(1.05) { "  (within PDN limit)" } else { "  (VIOLATES PDN limit)" }
+            if w.within_current_limit(1.05) {
+                "  (within PDN limit)"
+            } else {
+                "  (VIOLATES PDN limit)"
+            }
         );
     }
     println!();

@@ -32,18 +32,9 @@ fn main() {
     println!("--- AgileWatts (C6A/C6AE/C6) ---");
     println!("{aw}\n");
 
-    println!(
-        "AW power savings:    {:.1}%",
-        aw.power_savings_vs(&baseline).as_percent()
-    );
-    println!(
-        "AW tail-latency Δ:   {:+.2}%",
-        aw.tail_latency_delta_vs(&baseline) * 100.0
-    );
-    println!(
-        "AW mean-latency Δ:   {:+.2}%",
-        aw.mean_latency_delta_vs(&baseline) * 100.0
-    );
+    println!("AW power savings:    {:.1}%", aw.power_savings_vs(&baseline).as_percent());
+    println!("AW tail-latency Δ:   {:+.2}%", aw.tail_latency_delta_vs(&baseline) * 100.0);
+    println!("AW mean-latency Δ:   {:+.2}%", aw.mean_latency_delta_vs(&baseline) * 100.0);
     println!(
         "Agile-state residency: {}",
         (aw.residency_of(CState::C6A) + aw.residency_of(CState::C6AE))

@@ -23,9 +23,8 @@ fn main() {
 
     for named in [NamedConfig::Baseline, NamedConfig::Aw] {
         let config = ServerConfig::new(cores, named).with_duration(duration);
-        let (metrics, report) = ServerSim::new(config, memcached_etc(qps), 42)
-            .with_telemetry(500_000)
-            .run_traced();
+        let (metrics, report) =
+            ServerSim::new(config, memcached_etc(qps), 42).with_telemetry(500_000).run_traced();
         let report = report.expect("telemetry enabled");
 
         println!("{metrics}\n");
@@ -34,10 +33,8 @@ fn main() {
         let stem = named.to_string().to_lowercase().replace([',', '_'], "-");
         let trace_path = format!("target/trace_cstates_{stem}.json");
         let metrics_path = format!("target/metrics_cstates_{stem}.json");
-        std::fs::write(&trace_path, report.chrome_trace_json())
-            .expect("write trace JSON");
-        std::fs::write(&metrics_path, report.metrics_json())
-            .expect("write metrics JSON");
+        std::fs::write(&trace_path, report.chrome_trace_json()).expect("write trace JSON");
+        std::fs::write(&metrics_path, report.metrics_json()).expect("write metrics JSON");
         println!("wrote {trace_path} ({} events) and {metrics_path}\n", report.events.len());
     }
 

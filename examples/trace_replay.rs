@@ -64,7 +64,11 @@ fn main() {
     let aw = run_diurnal(NamedConfig::Aw);
     println!("Diurnal swing (±85% around 240K QPS):");
     println!("  baseline: AvgP {}", base.avg_core_power);
-    println!("  AW:       AvgP {}  (savings {:.1}%)\n", aw.avg_core_power, aw.power_savings_vs(&base).as_percent());
+    println!(
+        "  AW:       AvgP {}  (savings {:.1}%)\n",
+        aw.avg_core_power,
+        aw.power_savings_vs(&base).as_percent()
+    );
 
     // 3) The energy-proportionality curve.
     let report = Proportionality::default().run();

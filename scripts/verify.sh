@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# One-shot verification gate: release build, full test suite, and a
-# warning-free clippy pass. CI and pre-commit both run exactly this.
+# One-shot verification gate: formatting, release build, full test suite
+# (unit + doc), a warning-free clippy pass, and an end-to-end smoke of
+# the latency-attribution example. CI and pre-commit both run exactly
+# this.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
 
 echo "==> cargo build --release"
 cargo build --workspace --release
@@ -10,7 +15,21 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo test --doc"
+cargo test -q --workspace --doc
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> latency_attribution example smoke"
+out=$(cargo run -q --release --example latency_attribution -- --quick)
+echo "$out" | grep -q "Latency attribution" || {
+    echo "verify: example printed no attribution table" >&2
+    exit 1
+}
+echo "$out" | grep -Eq "SLO p99<.*: (MET|VIOLATED)" || {
+    echo "verify: example printed no SLO verdict" >&2
+    exit 1
+}
 
 echo "verify: OK"

@@ -123,12 +123,8 @@ fn mysql_reaches_deep_idle_memcached_does_not() {
         6,
     )
     .run();
-    let memcached = ServerSim::new(
-        quick(NamedConfig::NtBaseline),
-        memcached_etc(300_000.0),
-        6,
-    )
-    .run();
+    let memcached =
+        ServerSim::new(quick(NamedConfig::NtBaseline), memcached_etc(300_000.0), 6).run();
     assert!(mysql.residency_of(CState::C6).get() > 0.2, "{}", mysql.residencies);
     assert!(memcached.residency_of(CState::C6).get() < 0.05, "{}", memcached.residencies);
 }
@@ -167,9 +163,7 @@ fn snoop_traffic_reduces_aw_advantage() {
 
 #[test]
 fn deterministic_across_full_stack() {
-    let run = || {
-        ServerSim::new(quick(NamedConfig::Aw), memcached_etc(90_000.0), 99).run()
-    };
+    let run = || ServerSim::new(quick(NamedConfig::Aw), memcached_etc(90_000.0), 99).run();
     let a = run();
     let b = run();
     assert_eq!(a.avg_core_power, b.avg_core_power);
@@ -184,16 +178,11 @@ fn timer_tick_chops_idle_periods() {
     // the idle periods are too short and the cores camp in C1/C1E —
     // the mechanism behind production residency profiles.
     let workload = || memcached_etc(5_000.0);
-    let base_cfg = || {
-        ServerConfig::new(4, NamedConfig::NtBaseline).with_duration(Nanos::from_millis(300.0))
-    };
+    let base_cfg =
+        || ServerConfig::new(4, NamedConfig::NtBaseline).with_duration(Nanos::from_millis(300.0));
     let no_tick = ServerSim::new(base_cfg(), workload(), 21).run();
-    let ticked = ServerSim::new(
-        base_cfg().with_timer_tick(Nanos::from_millis(1.0)),
-        workload(),
-        21,
-    )
-    .run();
+    let ticked =
+        ServerSim::new(base_cfg().with_timer_tick(Nanos::from_millis(1.0)), workload(), 21).run();
     assert!(
         ticked.residency_of(CState::C6) < no_tick.residency_of(CState::C6),
         "tick {} vs quiet {}",
@@ -232,14 +221,8 @@ fn diurnal_troughs_enable_deeper_states() {
     // A strong swing leaves long troughs; compared with a stationary
     // stream of the same mean rate, the deepest states get more time.
     let qps = 150_000.0;
-    let stationary = ServerSim::new(
-        quick(NamedConfig::NtBaseline),
-        memcached_etc(qps),
-        6,
-    )
-    .run();
-    let cfg = ServerConfig::new(4, NamedConfig::NtBaseline)
-        .with_duration(Nanos::from_millis(80.0));
+    let stationary = ServerSim::new(quick(NamedConfig::NtBaseline), memcached_etc(qps), 6).run();
+    let cfg = ServerConfig::new(4, NamedConfig::NtBaseline).with_duration(Nanos::from_millis(80.0));
     let diurnal = ServerSim::new(
         cfg,
         diurnal_memcached(qps, 0.9, 20e6), // 20 ms "days"
@@ -299,8 +282,7 @@ fn ppa_catalog_bridge_flows_into_simulation() {
         agilewatts::aw_types::Ratio::new(0.8),
     );
     let qps = 100_000.0;
-    let default_run =
-        ServerSim::new(quick(NamedConfig::Aw), memcached_etc(qps), 10).run();
+    let default_run = ServerSim::new(quick(NamedConfig::Aw), memcached_etc(qps), 10).run();
     let cheap_cfg = quick(NamedConfig::Aw).with_catalog(catalog_from_ppa(&cheap));
     let cheap_run = ServerSim::new(cheap_cfg, memcached_etc(qps), 10).run();
     assert!(
