@@ -17,15 +17,15 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig6_entry_exit_round_trip", |b| {
         b.iter(|| {
             let mut fsm = PmaFsm::new_c6a();
-            let e = fsm.run_entry();
-            let x = fsm.run_exit();
+            let e = fsm.run_entry().expect("fresh FSM is active");
+            let x = fsm.run_exit().expect("idle core can exit");
             std::hint::black_box(e.total() + x.total())
         })
     });
     c.bench_function("fig6_snoop_flow", |b| {
         let mut fsm = PmaFsm::new_c6a();
-        fsm.run_entry();
-        b.iter(|| std::hint::black_box(fsm.run_snoop(2).total()))
+        fsm.run_entry().expect("fresh FSM is active");
+        b.iter(|| std::hint::black_box(fsm.run_snoop(2).expect("idle").total()))
     });
 }
 

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use agilewatts::aw_cstates::NamedConfig;
+use agilewatts::aw_faults::FaultSpec;
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,6 +131,30 @@ impl TelemetryArgs {
     }
 }
 
+/// Robustness options, accepted by every experiment subcommand:
+/// deterministic fault injection and overload protection.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RobustnessArgs {
+    /// Parsed `--faults <spec>` fault-injection spec (e.g.
+    /// `seed=7,wake-fail=0.1,lost-wake=0.01`).
+    pub faults: Option<FaultSpec>,
+    /// `--queue-cap <N>`: bound each core's run queue, shedding arrivals
+    /// beyond it.
+    pub queue_cap: Option<usize>,
+    /// `--request-timeout <µs>`: drop requests that waited longer than
+    /// this when they reach the head of the queue.
+    pub request_timeout_us: Option<f64>,
+}
+
+impl RobustnessArgs {
+    /// `true` if any fault-injection or overload-protection option was
+    /// given, i.e. the run must print a "Degradation" section.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.faults.is_some() || self.queue_cap.is_some() || self.request_timeout_us.is_some()
+    }
+}
+
 /// Parse failures, with a human-readable message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError(pub String);
@@ -160,14 +185,16 @@ fn has_quick(rest: &[String]) -> Result<bool, ParseError> {
 
 /// Parses an argument vector (without the program name), extracting the
 /// telemetry options (`--trace-out`, `--metrics-out`, `--trace-limit`)
-/// first — they are accepted anywhere on the command line — and handing
-/// the rest to [`parse`].
+/// and robustness options (`--faults`, `--queue-cap`,
+/// `--request-timeout`) first — they are accepted anywhere on the
+/// command line — and handing the rest to [`parse`].
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] describing the first invalid argument.
-pub fn parse_cli(args: &[String]) -> Result<(Command, TelemetryArgs), ParseError> {
+pub fn parse_cli(args: &[String]) -> Result<(Command, TelemetryArgs, RobustnessArgs), ParseError> {
     let mut telemetry = TelemetryArgs::default();
+    let mut robustness = RobustnessArgs::default();
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -175,6 +202,33 @@ pub fn parse_cli(args: &[String]) -> Result<(Command, TelemetryArgs), ParseError
             it.next().cloned().ok_or_else(|| ParseError(format!("{name} needs a value")))
         };
         match arg.as_str() {
+            "--faults" => {
+                let v = value("--faults")?;
+                let spec = FaultSpec::parse(&v)
+                    .map_err(|e| ParseError(format!("bad --faults spec: {e}")))?;
+                robustness.faults = Some(spec);
+            }
+            "--queue-cap" => {
+                let v = value("--queue-cap")?;
+                let cap: usize =
+                    v.parse().map_err(|_| ParseError(format!("bad --queue-cap value '{v}'")))?;
+                if cap == 0 {
+                    return Err(ParseError("--queue-cap must be positive".into()));
+                }
+                robustness.queue_cap = Some(cap);
+            }
+            "--request-timeout" => {
+                let v = value("--request-timeout")?;
+                let us: f64 = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad --request-timeout value '{v}' (µs)")))?;
+                if us <= 0.0 || !us.is_finite() {
+                    return Err(ParseError(
+                        "--request-timeout must be positive microseconds".into(),
+                    ));
+                }
+                robustness.request_timeout_us = Some(us);
+            }
             "--trace-out" => telemetry.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => telemetry.metrics_out = Some(value("--metrics-out")?),
             "--trace-limit" => {
@@ -201,12 +255,14 @@ pub fn parse_cli(args: &[String]) -> Result<(Command, TelemetryArgs), ParseError
         }
     }
     let command = parse(&rest)?;
-    if telemetry.is_active() && matches!(command, Command::Help) {
+    if (telemetry.is_active() || robustness.is_active()) && matches!(command, Command::Help) {
         return Err(ParseError(
-            "--trace-out/--metrics-out/--slo-p99/--timeline-out/--attrib-out need an experiment subcommand".into(),
+            "--trace-out/--metrics-out/--slo-p99/--timeline-out/--attrib-out/--faults/\
+             --queue-cap/--request-timeout need an experiment subcommand"
+                .into(),
         ));
     }
-    Ok((command, telemetry))
+    Ok((command, telemetry, robustness))
 }
 
 /// Parses an argument vector (without the program name).
@@ -399,7 +455,7 @@ mod tests {
 
     #[test]
     fn telemetry_flags_accepted_anywhere() {
-        let (cmd, t) =
+        let (cmd, t, _) =
             parse_cli(&argv("fig 8 --trace-out /tmp/t.json --quick --metrics-out /tmp/m.json"))
                 .unwrap();
         assert_eq!(cmd, Command::Fig { number: 8, quick: true });
@@ -411,7 +467,7 @@ mod tests {
 
     #[test]
     fn trace_limit_parses_and_validates() {
-        let (_, t) = parse_cli(&argv("sweep --trace-limit 5000 --trace-out x.json")).unwrap();
+        let (_, t, _) = parse_cli(&argv("sweep --trace-limit 5000 --trace-out x.json")).unwrap();
         assert_eq!(t.limit(), 5000);
         assert!(parse_cli(&argv("sweep --trace-limit 0")).is_err());
         assert!(parse_cli(&argv("sweep --trace-limit abc")).is_err());
@@ -420,9 +476,10 @@ mod tests {
 
     #[test]
     fn no_telemetry_flags_is_inactive() {
-        let (cmd, t) = parse_cli(&argv("table 1")).unwrap();
+        let (cmd, t, r) = parse_cli(&argv("table 1")).unwrap();
         assert_eq!(cmd, Command::Table(1));
         assert!(!t.is_active());
+        assert!(!r.is_active());
     }
 
     #[test]
@@ -433,7 +490,7 @@ mod tests {
 
     #[test]
     fn attribution_flags_parse_anywhere() {
-        let (cmd, t) = parse_cli(&argv(
+        let (cmd, t, _) = parse_cli(&argv(
             "sweep --slo-p99 500000 --config AW --timeline-out /tmp/tl.csv --attrib-out /tmp/a.folded",
         ))
         .unwrap();
@@ -454,15 +511,42 @@ mod tests {
         assert!(parse_cli(&argv("sweep --slo-p99 -3")).is_err());
         assert!(parse_cli(&argv("sweep --slo-p99 abc")).is_err());
         assert!(parse_cli(&argv("sweep --slo-p99")).is_err());
-        let (_, t) = parse_cli(&argv("fig 8 --slo-p99 250000")).unwrap();
+        let (_, t, _) = parse_cli(&argv("fig 8 --slo-p99 250000")).unwrap();
         assert_eq!(t.slo_p99, Some(250_000.0));
         assert!(t.attrib_active());
     }
 
     #[test]
     fn trace_flags_alone_do_not_enable_attribution() {
-        let (_, t) = parse_cli(&argv("sweep --trace-out /tmp/t.json")).unwrap();
+        let (_, t, _) = parse_cli(&argv("sweep --trace-out /tmp/t.json")).unwrap();
         assert!(t.is_active());
         assert!(!t.attrib_active());
+    }
+
+    #[test]
+    fn robustness_flags_accepted_anywhere() {
+        let (cmd, _, r) = parse_cli(&argv(
+            "sweep --faults seed=7,wake-fail=0.2 --config AW --queue-cap 8 --request-timeout 500",
+        ))
+        .unwrap();
+        let Command::Sweep(s) = cmd else { panic!("expected sweep") };
+        assert_eq!(s.config, NamedConfig::Aw);
+        assert!(r.is_active());
+        let spec = r.faults.expect("faults parsed");
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.wake_fail, 0.2);
+        assert_eq!(r.queue_cap, Some(8));
+        assert_eq!(r.request_timeout_us, Some(500.0));
+    }
+
+    #[test]
+    fn robustness_flags_validate() {
+        assert!(parse_cli(&argv("sweep --faults wake-fail=2.0")).is_err());
+        assert!(parse_cli(&argv("sweep --faults no-such-key=1")).is_err());
+        assert!(parse_cli(&argv("sweep --queue-cap 0")).is_err());
+        assert!(parse_cli(&argv("sweep --queue-cap abc")).is_err());
+        assert!(parse_cli(&argv("sweep --request-timeout -5")).is_err());
+        assert!(parse_cli(&argv("sweep --request-timeout")).is_err());
+        assert!(parse_cli(&argv("--faults wake-fail=0.1")).is_err()); // needs a subcommand
     }
 }

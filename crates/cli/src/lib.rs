@@ -20,7 +20,7 @@
 mod args;
 mod run;
 
-pub use args::{parse, parse_cli, Command, ParseError, SweepArgs, TelemetryArgs};
+pub use args::{parse, parse_cli, Command, ParseError, RobustnessArgs, SweepArgs, TelemetryArgs};
 pub use run::{execute, execute_with};
 
 /// The CLI usage text.
@@ -75,4 +75,19 @@ ATTRIBUTION OPTIONS (any experiment subcommand):
                            residency); .json suffix = JSON, else CSV
     --attrib-out <FILE>    write the per-phase latency attribution as
                            folded stacks (flamegraph.pl / speedscope)
+
+ROBUSTNESS OPTIONS (any experiment subcommand):
+    --faults <SPEC>        inject deterministic faults; SPEC is comma-
+                           separated key=value pairs, e.g.
+                           seed=7,wake-fail=0.1,relock=0.05,lost-wake=0.02
+                           (keys: seed, wake-fail, wake-retries, relock,
+                           relock-ns, drowsy, lost-wake, lost-ns,
+                           spurious, storm, storm-size, slowdown,
+                           slow-factor, slow-ms; rates in events/s,
+                           probabilities in [0,1])
+    --queue-cap <N>        bound each core's run queue at N requests;
+                           excess arrivals are shed and retried by the
+                           client with jittered exponential backoff
+    --request-timeout <US> drop queued requests older than US microseconds
+                           at dispatch; dropped work is retried
 ";

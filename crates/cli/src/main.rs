@@ -5,13 +5,15 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match aw_cli::parse_cli(&args) {
-        Ok((command, telemetry)) => match aw_cli::execute_with(&command, &telemetry) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
+        Ok((command, telemetry, robustness)) => {
+            match aw_cli::execute_with(&command, &telemetry, &robustness) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
             }
-        },
+        }
         Err(e) => {
             eprintln!("error: {e}\n\n{}", aw_cli::USAGE);
             ExitCode::FAILURE

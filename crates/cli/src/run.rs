@@ -1,6 +1,7 @@
 //! Command execution: maps a parsed [`Command`] onto the experiment API.
 
 use agilewatts::aw_cstates::NamedConfig;
+use agilewatts::aw_faults::FaultPlan;
 use agilewatts::aw_server::{ServerConfig, ServerSim, WorkloadSpec};
 use agilewatts::aw_telemetry::{AttributionReport, SloMonitor, TelemetryReport};
 use agilewatts::aw_types::Nanos;
@@ -11,9 +12,9 @@ use agilewatts::experiments::{
     zone_count_ablation, Diurnal, Fig10, Fig11, Fig12, Fig13, Fig8, Fig9, PackageAnalysis,
     SweepParams, Table5Params, Validation,
 };
-use agilewatts::{attribution_table, telemetry_table};
+use agilewatts::{attribution_table, degradation_table, telemetry_table};
 
-use crate::args::{Command, ParseError, SweepArgs, TelemetryArgs};
+use crate::args::{Command, ParseError, RobustnessArgs, SweepArgs, TelemetryArgs};
 use crate::USAGE;
 
 fn sweep_params(quick: bool) -> SweepParams {
@@ -38,27 +39,32 @@ fn workload_by_name(args: &SweepArgs) -> Result<WorkloadSpec, ParseError> {
     }
 }
 
-/// Executes a command with telemetry options, writing its report to
-/// stdout and any requested trace/metrics JSON artifacts to disk.
+/// Executes a command with telemetry and robustness options, writing its
+/// report to stdout and any requested trace/metrics JSON artifacts to
+/// disk.
 ///
-/// A traced `sweep` instruments its own simulation; every other
-/// subcommand runs normally and then attaches one representative traced
-/// run (see [`run_traced_representative`]).
+/// A traced or fault-injected `sweep` instruments its own simulation;
+/// every other subcommand runs normally and then attaches one
+/// representative instrumented run (see [`run_traced_representative`]).
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] for semantic errors detectable only at
 /// execution time (e.g., an unknown workload name or unwritable output
-/// path).
-pub fn execute_with(command: &Command, telemetry: &TelemetryArgs) -> Result<(), ParseError> {
-    if !telemetry.is_active() {
+/// path), or when a fault-injected run trips a runtime invariant.
+pub fn execute_with(
+    command: &Command,
+    telemetry: &TelemetryArgs,
+    robustness: &RobustnessArgs,
+) -> Result<(), ParseError> {
+    if !telemetry.is_active() && !robustness.is_active() {
         return execute(command);
     }
     if let Command::Sweep(args) = command {
-        return run_sweep_with(args, telemetry);
+        return run_sweep_with(args, telemetry, robustness);
     }
     execute(command)?;
-    run_traced_representative(command, telemetry)
+    run_traced_representative(command, telemetry, robustness)
 }
 
 /// Executes a command, writing its report to stdout.
@@ -186,7 +192,19 @@ fn run_ablations(quick: bool) {
 }
 
 fn run_sweep(args: &SweepArgs) -> Result<(), ParseError> {
-    run_sweep_with(args, &TelemetryArgs::default())
+    run_sweep_with(args, &TelemetryArgs::default(), &RobustnessArgs::default())
+}
+
+/// Applies `--queue-cap` and `--request-timeout` to a server config.
+fn apply_robustness(config: ServerConfig, robustness: &RobustnessArgs) -> ServerConfig {
+    let mut config = config;
+    if let Some(cap) = robustness.queue_cap {
+        config = config.with_queue_cap(cap);
+    }
+    if let Some(us) = robustness.request_timeout_us {
+        config = config.with_request_timeout(Nanos::from_micros(us));
+    }
+    config
 }
 
 /// The attribution timeline window for a run of `duration_ms`: ~50
@@ -196,11 +214,19 @@ fn attrib_window(duration_ms: f64) -> Nanos {
     Nanos::from_millis((duration_ms / 50.0).max(1.0))
 }
 
-fn run_sweep_with(args: &SweepArgs, telemetry: &TelemetryArgs) -> Result<(), ParseError> {
+fn run_sweep_with(
+    args: &SweepArgs,
+    telemetry: &TelemetryArgs,
+    robustness: &RobustnessArgs,
+) -> Result<(), ParseError> {
     let workload = workload_by_name(args)?;
     let config = ServerConfig::new(args.cores, args.config)
         .with_duration(Nanos::from_millis(args.duration_ms));
+    let config = apply_robustness(config, robustness);
     let mut sim = ServerSim::new(config, workload, args.seed);
+    if let Some(spec) = &robustness.faults {
+        sim = sim.with_faults(FaultPlan::new(spec.clone()));
+    }
     if telemetry.is_active() {
         sim = sim.with_telemetry(telemetry.limit());
     }
@@ -208,6 +234,9 @@ fn run_sweep_with(args: &SweepArgs, telemetry: &TelemetryArgs) -> Result<(), Par
         sim = sim.with_attribution(attrib_window(args.duration_ms));
     }
     let output = sim.run_full();
+    if let Some(failure) = &output.failure {
+        return Err(ParseError(format!("{failure}")));
+    }
     let metrics = &output.metrics;
     println!("{metrics}");
     println!(
@@ -218,6 +247,9 @@ fn run_sweep_with(args: &SweepArgs, telemetry: &TelemetryArgs) -> Result<(), Par
         metrics.package_residency[1],
         metrics.package_residency[2],
     );
+    if robustness.is_active() || !metrics.degradation.is_clean() {
+        println!("{}", degradation_table(&metrics.degradation));
+    }
     if let Some(report) = &output.telemetry {
         println!("{}", telemetry_table(&report.summary));
         write_telemetry(report, telemetry)?;
@@ -283,13 +315,15 @@ fn write_attribution(
     Ok(())
 }
 
-/// The representative traced run attached to a non-sweep command: the AW
-/// configuration under the workload family the command studies. Keeps
-/// `--trace-out` meaningful on experiment subcommands whose own sweeps
-/// aggregate dozens of runs (tracing each would be an unreadable blur).
+/// The representative instrumented run attached to a non-sweep command:
+/// the AW configuration under the workload family the command studies.
+/// Keeps `--trace-out` and `--faults` meaningful on experiment
+/// subcommands whose own sweeps aggregate dozens of runs (instrumenting
+/// each would be an unreadable blur).
 fn run_traced_representative(
     command: &Command,
     telemetry: &TelemetryArgs,
+    robustness: &RobustnessArgs,
 ) -> Result<(), ParseError> {
     let workload = match command {
         Command::Fig { number: 12, .. } => mysql_oltp(MysqlRate::Mid),
@@ -299,15 +333,33 @@ fn run_traced_representative(
     let duration_ms = 100.0;
     let config =
         ServerConfig::new(10, NamedConfig::Aw).with_duration(Nanos::from_millis(duration_ms));
-    println!("\ntraced representative run: {} / {} on 10 cores", NamedConfig::Aw, workload.name());
-    let mut sim = ServerSim::new(config, workload, 42).with_telemetry(telemetry.limit());
+    let config = apply_robustness(config, robustness);
+    println!(
+        "\nrepresentative instrumented run: {} / {} on 10 cores",
+        NamedConfig::Aw,
+        workload.name()
+    );
+    let mut sim = ServerSim::new(config, workload, 42);
+    if let Some(spec) = &robustness.faults {
+        sim = sim.with_faults(FaultPlan::new(spec.clone()));
+    }
+    if telemetry.is_active() {
+        sim = sim.with_telemetry(telemetry.limit());
+    }
     if telemetry.attrib_active() {
         sim = sim.with_attribution(attrib_window(duration_ms));
     }
     let output = sim.run_full();
-    let report = output.telemetry.as_ref().expect("telemetry was enabled");
-    println!("{}", telemetry_table(&report.summary));
-    write_telemetry(report, telemetry)?;
+    if let Some(failure) = &output.failure {
+        return Err(ParseError(format!("{failure}")));
+    }
+    if robustness.is_active() || !output.metrics.degradation.is_clean() {
+        println!("{}", degradation_table(&output.metrics.degradation));
+    }
+    if let Some(report) = &output.telemetry {
+        println!("{}", telemetry_table(&report.summary));
+        write_telemetry(report, telemetry)?;
+    }
     if let Some(report) = &output.attribution {
         write_attribution(report, telemetry)?;
     }
@@ -368,7 +420,7 @@ mod tests {
             trace_limit: Some(10_000),
             ..TelemetryArgs::default()
         };
-        execute_with(&Command::Sweep(args), &telemetry).unwrap();
+        execute_with(&Command::Sweep(args), &telemetry, &RobustnessArgs::default()).unwrap();
         let trace_json = std::fs::read_to_string(&trace).unwrap();
         assert!(trace_json.contains("\"traceEvents\""));
         assert!(trace_json.contains("\"thread_name\""));
@@ -391,7 +443,7 @@ mod tests {
             attrib_out: Some(folded.to_string_lossy().into_owned()),
             ..TelemetryArgs::default()
         };
-        execute_with(&Command::Sweep(args), &telemetry).unwrap();
+        execute_with(&Command::Sweep(args), &telemetry, &RobustnessArgs::default()).unwrap();
 
         // The timeline CSV parses into equal-width rows with the
         // documented leading columns.
@@ -430,7 +482,20 @@ mod tests {
 
     #[test]
     fn inactive_telemetry_is_plain_execute() {
-        execute_with(&Command::Flows, &TelemetryArgs::default()).unwrap();
+        execute_with(&Command::Flows, &TelemetryArgs::default(), &RobustnessArgs::default())
+            .unwrap();
+    }
+
+    #[test]
+    fn faulted_sweep_executes_and_degrades_gracefully() {
+        use agilewatts::aw_faults::FaultSpec;
+        let args = SweepArgs { cores: 2, duration_ms: 20.0, qps: 80_000.0, ..SweepArgs::default() };
+        let robustness = RobustnessArgs {
+            faults: Some(FaultSpec::parse("seed=9,wake-fail=0.3,lost-wake=0.05").unwrap()),
+            queue_cap: Some(4),
+            request_timeout_us: Some(500.0),
+        };
+        execute_with(&Command::Sweep(args), &TelemetryArgs::default(), &robustness).unwrap();
     }
 
     #[test]

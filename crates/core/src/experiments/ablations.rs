@@ -134,8 +134,8 @@ pub struct RetentionAblation {
 #[must_use]
 pub fn retention_ablation() -> RetentionAblation {
     let mut fsm = PmaFsm::new_c6a();
-    let in_place_entry = fsm.run_entry().total();
-    let in_place_exit = fsm.run_exit().total();
+    let in_place_entry = fsm.run_entry().expect("fresh FSM is active").total();
+    let in_place_exit = fsm.run_exit().expect("idle core can exit").total();
 
     let c6 = C6Flow::new(MegaHertz::new(800.0), Ratio::new(0.0)); // no flush
     let save: Nanos =

@@ -48,8 +48,8 @@ pub fn flow_latencies() -> FlowLatencies {
     let c6a = C6AFlow::new();
 
     let mut fsm = PmaFsm::new_c6a();
-    let entry_measured = fsm.run_entry().total();
-    let exit_measured = fsm.run_exit().total();
+    let entry_measured = fsm.run_entry().expect("fresh FSM is active").total();
+    let exit_measured = fsm.run_exit().expect("idle core can exit").total();
 
     FlowLatencies {
         c1_round_trip: c1.entry_latency() + c1.exit_latency(),

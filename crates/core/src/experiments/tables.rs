@@ -237,7 +237,8 @@ pub fn table5(params: &Table5Params) -> TextTable {
 pub fn c6a_round_trip() -> (Nanos, Nanos) {
     let analytical = C6AFlow::new();
     let mut fsm = PmaFsm::new_c6a();
-    let measured = fsm.run_entry().total() + fsm.run_exit().total();
+    let measured = fsm.run_entry().expect("fresh FSM is active").total()
+        + fsm.run_exit().expect("idle core can exit").total();
     (analytical.round_trip(), measured)
 }
 

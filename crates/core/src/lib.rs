@@ -26,7 +26,8 @@
 //!
 //! The underlying layers are re-exported for direct use:
 //! [`aw_types`] (units), [`aw_sim`] (DES kernel), [`aw_cstates`]
-//! (C-state architecture), [`aw_pma`] (cycle-level PMA model),
+//! (C-state architecture), [`aw_faults`] (deterministic fault
+//! injection), [`aw_pma`] (cycle-level PMA model),
 //! [`aw_power`] (analytical models), [`aw_server`] (server simulator),
 //! [`aw_telemetry`] (event tracing, metrics, Chrome-trace export), and
 //! [`aw_workloads`] (workload models).
@@ -52,9 +53,10 @@
 pub mod experiments;
 mod report;
 
-pub use report::{attribution_table, telemetry_table, Series, TextTable};
+pub use report::{attribution_table, degradation_table, telemetry_table, Series, TextTable};
 
 pub use aw_cstates;
+pub use aw_faults;
 pub use aw_pma;
 pub use aw_power;
 pub use aw_server;

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use aw_server::DegradationStats;
 use aw_telemetry::{AttributionSummary, Phase, TelemetrySummary};
 use aw_types::Nanos;
 use serde::Serialize;
@@ -230,6 +231,34 @@ pub fn attribution_table(summary: &AttributionSummary) -> TextTable {
         summary.tail_mean_latency.to_string(),
         pct(summary.tail_mean_latency, summary.tail_mean_latency),
     ]);
+    t
+}
+
+/// Renders the fault/overload counters as an event/count [`TextTable`] —
+/// the "Degradation" section appended to reports when fault injection or
+/// overload protection was active.
+///
+/// # Examples
+///
+/// ```
+/// use agilewatts::{aw_server::DegradationStats, degradation_table};
+///
+/// let stats = DegradationStats { shed: 3, retries: 2, ..DegradationStats::default() };
+/// let table = degradation_table(&stats);
+/// assert!(table.to_string().contains("requests shed"));
+/// ```
+#[must_use]
+pub fn degradation_table(stats: &DegradationStats) -> TextTable {
+    let mut t = TextTable::new("Degradation", &["event", "count"]);
+    t.push_row(vec!["faults injected".into(), stats.faults_injected.to_string()]);
+    t.push_row(vec!["requests shed (queue full)".into(), stats.shed.to_string()]);
+    t.push_row(vec!["requests timed out".into(), stats.timeouts.to_string()]);
+    t.push_row(vec!["client retries".into(), stats.retries.to_string()]);
+    t.push_row(vec!["retries exhausted (dropped)".into(), stats.retries_exhausted.to_string()]);
+    t.push_row(vec!["full-C6 fallback exits".into(), stats.fallback_exits.to_string()]);
+    t.push_row(vec!["circuit-breaker trips".into(), stats.breaker_trips.to_string()]);
+    t.push_row(vec!["circuit-breaker restores".into(), stats.breaker_restores.to_string()]);
+    t.push_row(vec!["demoted governor selections".into(), stats.demoted_selections.to_string()]);
     t
 }
 

@@ -203,6 +203,26 @@ impl CStateConfig {
         )
     }
 
+    /// The inverse of [`CStateConfig::aw_twin`]: every agile state is
+    /// demoted to the legacy shallow state it replaces (C6A→C1,
+    /// C6AE→C1E). This is the degraded configuration a tripped circuit
+    /// breaker selects from while the agile fast-exit path is suspect;
+    /// legacy states pass through unchanged, so the set is never empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aw_cstates::{CState, NamedConfig};
+    ///
+    /// let demoted = NamedConfig::NtNoC6.config().aw_twin().demote_agile();
+    /// assert!(demoted.is_enabled(CState::C1));
+    /// assert!(!demoted.is_enabled(CState::C6A));
+    /// ```
+    #[must_use]
+    pub fn demote_agile(&self) -> CStateConfig {
+        CStateConfig::new(self.enabled.iter().map(|&s| s.replaces().unwrap_or(s)), self.turbo)
+    }
+
     /// Validates this configuration against a catalog: every enabled state
     /// must have parameters.
     ///

@@ -281,6 +281,114 @@ impl IdleGovernor for OracleGovernor {
     fn observe_idle(&mut self, _actual: Nanos) {}
 }
 
+/// A per-core circuit breaker guarding the agile (C6A/C6AE) fast-exit
+/// path.
+///
+/// After `threshold` *consecutive* transition failures the breaker trips
+/// open: the governor layer should then select from a
+/// [`CStateConfig::demote_agile`]d configuration so the core idles in the
+/// legacy shallow states instead. The breaker re-arms automatically once
+/// `cooldown` simulated time has passed, giving the agile path another
+/// chance; a successful transition while closed clears the failure
+/// streak.
+///
+/// # Examples
+///
+/// ```
+/// use aw_cstates::CircuitBreaker;
+/// use aw_types::Nanos;
+///
+/// let mut b = CircuitBreaker::new(2, Nanos::from_micros(10.0));
+/// let t = Nanos::ZERO;
+/// assert!(!b.record_failure(t));
+/// assert!(b.record_failure(t)); // second consecutive failure trips it
+/// assert!(b.is_open(t));
+/// assert!(!b.is_open(Nanos::from_micros(11.0))); // cooled down: re-armed
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Nanos,
+    consecutive_failures: u32,
+    open_until: Option<Nanos>,
+    trips: u64,
+    restores: u64,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker tripping after `threshold` consecutive
+    /// failures and re-arming `cooldown` after the trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero or `cooldown` is negative.
+    #[must_use]
+    pub fn new(threshold: u32, cooldown: Nanos) -> Self {
+        assert!(threshold > 0, "breaker threshold must be positive");
+        assert!(cooldown >= Nanos::ZERO, "breaker cooldown must be non-negative");
+        CircuitBreaker {
+            threshold,
+            cooldown,
+            consecutive_failures: 0,
+            open_until: None,
+            trips: 0,
+            restores: 0,
+        }
+    }
+
+    /// Records a transition failure at time `now`. Returns `true` if
+    /// this failure tripped the breaker open. Failures while already
+    /// open are ignored (the caller shouldn't be using the agile path).
+    pub fn record_failure(&mut self, now: Nanos) -> bool {
+        if self.open_until.is_some() {
+            return false;
+        }
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.threshold {
+            self.consecutive_failures = 0;
+            self.open_until = Some(now + self.cooldown);
+            self.trips += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a successful transition, clearing the failure streak.
+    pub fn record_success(&mut self) {
+        if self.open_until.is_none() {
+            self.consecutive_failures = 0;
+        }
+    }
+
+    /// `true` while the breaker is open at time `now`. Re-arms (closes)
+    /// the breaker if the cooldown has elapsed.
+    pub fn is_open(&mut self, now: Nanos) -> bool {
+        match self.open_until {
+            Some(until) if now >= until => {
+                self.open_until = None;
+                self.consecutive_failures = 0;
+                self.restores += 1;
+                false
+            }
+            Some(_) => true,
+            None => false,
+        }
+    }
+
+    /// Lifetime count of trips (closed → open).
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Lifetime count of restores (open → re-armed after cooldown).
+    #[must_use]
+    pub fn restores(&self) -> u64 {
+        self.restores
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +497,49 @@ mod tests {
         assert_eq!(g.select(&cfg, &cat, Some(Nanos::from_micros(50.0))), CState::C1E);
         assert_eq!(g.select(&cfg, &cat, Some(Nanos::from_millis(1.0))), CState::C6);
         assert_eq!(g.select(&cfg, &cat, None), CState::C1);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_rearms_after_cooldown() {
+        let mut b = CircuitBreaker::new(3, Nanos::from_micros(100.0));
+        let t0 = Nanos::from_micros(1.0);
+        assert!(!b.record_failure(t0));
+        assert!(!b.record_failure(t0));
+        assert!(!b.is_open(t0), "below threshold: still closed");
+        assert!(b.record_failure(t0), "third consecutive failure trips");
+        assert!(b.is_open(t0));
+        assert_eq!(b.trips(), 1);
+        // Still open just before the cooldown elapses...
+        assert!(b.is_open(t0 + Nanos::from_micros(99.0)));
+        // ...re-armed after it.
+        assert!(!b.is_open(t0 + Nanos::from_micros(100.0)));
+        assert_eq!(b.restores(), 1);
+    }
+
+    #[test]
+    fn success_clears_the_streak() {
+        let mut b = CircuitBreaker::new(2, Nanos::from_micros(10.0));
+        assert!(!b.record_failure(Nanos::ZERO));
+        b.record_success();
+        assert!(!b.record_failure(Nanos::ZERO), "streak was cleared");
+        assert!(b.record_failure(Nanos::ZERO));
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn failures_while_open_are_ignored() {
+        let mut b = CircuitBreaker::new(1, Nanos::from_micros(50.0));
+        assert!(b.record_failure(Nanos::ZERO));
+        assert!(!b.record_failure(Nanos::ZERO), "already open: no double trip");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn demote_agile_inverts_aw_twin() {
+        let base = NamedConfig::Baseline.config();
+        let demoted = base.aw_twin().demote_agile();
+        assert_eq!(demoted.enabled_states(), base.enabled_states());
+        assert_eq!(demoted.turbo(), base.turbo());
     }
 
     #[test]

@@ -44,5 +44,5 @@ pub use components::{
 };
 pub use config::{CStateConfig, NamedConfig};
 pub use flows::{C1Flow, C6AFlow, C6Flow, FlowPhase, FlowStep, PMA_CLOCK, SKYLAKE_CACHE_REFERENCE};
-pub use governor::{IdleGovernor, LadderGovernor, MenuGovernor, OracleGovernor};
+pub use governor::{CircuitBreaker, IdleGovernor, LadderGovernor, MenuGovernor, OracleGovernor};
 pub use state::{CState, FreqLevel};

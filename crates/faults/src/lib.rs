@@ -1,0 +1,33 @@
+//! # aw-faults
+//!
+//! Deterministic fault injection and runtime invariant checking for the
+//! AgileWatts reproduction.
+//!
+//! The crate supplies three pieces, all deliberately decoupled from the
+//! simulator so that `aw-pma` and `aw-server` only depend on small trait
+//! hooks:
+//!
+//! * [`FaultSpec`] — a parseable, canonically printable description of
+//!   which faults to inject and how often (`wake-fail=0.2,storm=1e4`).
+//! * [`FaultPlan`] — a seeded realization of a spec. Each fault category
+//!   draws from its own RNG stream so enabling one category never
+//!   perturbs another, and a plan with all rates at zero is perfectly
+//!   invisible (common random numbers).
+//! * [`InvariantChecker`] / [`FailureArtifact`] — runtime invariant
+//!   collection that turns violations into a structured, replayable
+//!   artifact carrying the seed and fault spec.
+//!
+//! The injection points themselves live in the consuming crates: the PMA
+//! flow FSM consults a [`FlowFaultHook`] during faulty exits, and the
+//! server simulator consults a [`ServerFaultHook`] for wake disruptions,
+//! lost/spurious wakes, snoop storms, and slowdown bursts.
+
+#![warn(missing_docs)]
+
+mod invariant;
+mod plan;
+mod spec;
+
+pub use invariant::{FailureArtifact, InvariantChecker};
+pub use plan::{FaultPlan, FlowFaultHook, NoFaults, ServerFaultHook, WakeDisruption};
+pub use spec::{FaultSpec, FaultSpecError, DEFAULT_FAULT_SEED};

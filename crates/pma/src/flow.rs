@@ -6,8 +6,17 @@
 //! power-ungate + SRPG restore, clock-ungate), and the snoop flow ⓐ–ⓒ.
 //! Every transition is traced with start time and duration so tests and
 //! benches can check the paper's latency budget step by step.
+//!
+//! Illegal transitions (entry from a non-active core, exit or snoop from
+//! a non-idle core) return a typed [`FlowError`] instead of panicking, so
+//! callers driving the FSM from external event streams can recover.
+//! [`PmaFsm::run_exit_faulty`] additionally consults a
+//! [`FlowFaultHook`] to model stuck UFPG gates (bounded retry with
+//! exponential backoff, then fallback to the full C6 restore path), ADPLL
+//! relock overruns, and CCSM drowsy-wake failures.
 
 use aw_cstates::{FreqLevel, PMA_CLOCK};
+use aw_faults::{FlowFaultHook, NoFaults};
 use aw_types::{Cycles, Nanos};
 use serde::Serialize;
 
@@ -61,6 +70,35 @@ impl PmaState {
         }
     }
 }
+
+/// A flow was requested from a state where it is not legal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowError {
+    /// `run_entry` needs [`PmaState::Active`]; the FSM was elsewhere.
+    EntryFromNonActive(PmaState),
+    /// `run_exit` needs [`PmaState::Idle`]; the FSM was elsewhere.
+    ExitFromNonIdle(PmaState),
+    /// `run_snoop` needs [`PmaState::Idle`]; the FSM was elsewhere.
+    SnoopFromNonIdle(PmaState),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::EntryFromNonActive(s) => {
+                write!(f, "entry requires an active core (state: {})", s.name())
+            }
+            FlowError::ExitFromNonIdle(s) => {
+                write!(f, "exit requires an idle core (state: {})", s.name())
+            }
+            FlowError::SnoopFromNonIdle(s) => {
+                write!(f, "snoop flow requires an idle core (state: {})", s.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
 
 /// One traced step: the state occupied, when it began, how long it took.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -131,6 +169,22 @@ impl FlowTrace {
     }
 }
 
+/// What happened during a fault-aware exit flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExitOutcome {
+    /// The traced steps, including retry and fallback time.
+    pub trace: FlowTrace,
+    /// Stuck-gate attempts retried before the wake went through.
+    pub retries: u32,
+    /// `true` if the retry budget ran out and the exit fell back to the
+    /// full C6 restore path.
+    pub fell_back: bool,
+    /// `true` if the ADPLL relock overran and added [`ADPLL_RELOCK_OVERRUN`].
+    pub relock_overrun: bool,
+    /// CCSM drowsy-wake repeats (0 or 1).
+    pub drowsy_retries: u32,
+}
+
 /// The core's power-management agent running the C6A/C6AE flow.
 ///
 /// Owns the three hardware subsystems the flow orchestrates: the UFPG
@@ -148,16 +202,20 @@ impl FlowTrace {
 /// let mut fsm = PmaFsm::new_c6a();
 /// fsm.write_context(0x5EED);
 ///
-/// let entry = fsm.run_entry();
+/// let entry = fsm.run_entry().expect("fresh FSM is active");
 /// assert!(entry.total().as_nanos() < 20.0);
 /// assert_eq!(fsm.state(), PmaState::Idle);
 ///
-/// let snoop = fsm.run_snoop(1);
+/// // Illegal flows are typed errors, not panics:
+/// assert!(fsm.run_entry().is_err());
+///
+/// let snoop = fsm.run_snoop(1).expect("idle core can serve snoops");
 /// assert_eq!(fsm.state(), PmaState::Idle); // back to full C6A
 ///
-/// let exit = fsm.run_exit();
+/// let exit = fsm.run_exit().expect("idle core can exit");
 /// assert!(exit.total().as_nanos() < 80.0);
 /// assert_eq!(fsm.read_context(), Some(0x5EED)); // context survived
+/// # drop(snoop);
 /// ```
 #[derive(Debug, Clone, Serialize)]
 pub struct PmaFsm {
@@ -178,6 +236,16 @@ pub struct PmaFsm {
 /// The non-blocking DVFS ramp to Pn kicked off at C6AE entry step ①
 /// (Sec. 5.2.1: "can take few tens of microseconds").
 pub const PN_TRANSITION: Nanos = Nanos::new(30_000.0);
+
+/// Base backoff after a stuck UFPG ungate attempt; doubles per retry.
+pub const WAKE_RETRY_BACKOFF: Nanos = Nanos::new(100.0);
+
+/// Duration of the full legacy C6 restore path used when the C6A fast
+/// exit gives up (matches the catalog's C6 exit latency of 30 µs).
+pub const C6_FALLBACK_EXIT: Nanos = Nanos::new(30_000.0);
+
+/// Extra exit latency when the ADPLL overruns its relock budget.
+pub const ADPLL_RELOCK_OVERRUN: Nanos = Nanos::new(2_000.0);
 
 impl PmaFsm {
     /// A PMA configured for C6A at the paper's design point.
@@ -282,11 +350,14 @@ impl PmaFsm {
 
     /// Runs the entry flow ①–③ from `Active` to `Idle`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the core is not active.
-    pub fn run_entry(&mut self) -> FlowTrace {
-        assert_eq!(self.state, PmaState::Active, "entry requires an active core");
+    /// [`FlowError::EntryFromNonActive`] if the core is not active; the
+    /// FSM is left untouched.
+    pub fn run_entry(&mut self) -> Result<FlowTrace, FlowError> {
+        if self.state != PmaState::Active {
+            return Err(FlowError::EntryFromNonActive(self.state));
+        }
         let mut trace = FlowTrace::default();
         let mut now = Nanos::ZERO;
 
@@ -316,17 +387,20 @@ impl PmaFsm {
         self.state = PmaState::Idle;
         self.entries += 1;
         self.now += trace.total();
-        trace
+        Ok(trace)
     }
 
     /// Runs the snoop flow ⓐ–ⓒ for a burst of `count` snoops, returning
     /// to full C6A/C6AE.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the core is not idle.
-    pub fn run_snoop(&mut self, count: u32) -> FlowTrace {
-        assert_eq!(self.state, PmaState::Idle, "snoop flow requires an idle core");
+    /// [`FlowError::SnoopFromNonIdle`] if the core is not idle; the FSM
+    /// is left untouched.
+    pub fn run_snoop(&mut self, count: u32) -> Result<FlowTrace, FlowError> {
+        if self.state != PmaState::Idle {
+            return Err(FlowError::SnoopFromNonIdle(self.state));
+        }
         let mut trace = FlowTrace::default();
         let mut now = Nanos::ZERO;
 
@@ -353,16 +427,44 @@ impl PmaFsm {
 
         self.state = PmaState::Idle;
         self.now += trace.total();
-        trace
+        Ok(trace)
     }
 
     /// Runs the exit flow ④–⑥ from `Idle` back to `Active`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the core is not idle.
-    pub fn run_exit(&mut self) -> FlowTrace {
-        assert_eq!(self.state, PmaState::Idle, "exit requires an idle core");
+    /// [`FlowError::ExitFromNonIdle`] if the core is not idle; the FSM is
+    /// left untouched.
+    pub fn run_exit(&mut self) -> Result<FlowTrace, FlowError> {
+        self.run_exit_faulty(&mut NoFaults, 0).map(|outcome| outcome.trace)
+    }
+
+    /// Runs the exit flow, consulting `hook` for injected faults and
+    /// degrading gracefully when they strike:
+    ///
+    /// * a stuck UFPG gate is retried up to `max_retries` times with an
+    ///   exponentially doubling backoff ([`WAKE_RETRY_BACKOFF`] base);
+    ///   if every retry sticks, the exit abandons the fast path and
+    ///   falls back to the full legacy C6 restore ([`C6_FALLBACK_EXIT`]);
+    /// * an ADPLL relock overrun stretches step ⑥ by
+    ///   [`ADPLL_RELOCK_OVERRUN`];
+    /// * a CCSM drowsy-wake failure repeats step ④ once.
+    ///
+    /// With a [`NoFaults`] hook this is exactly [`PmaFsm::run_exit`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::ExitFromNonIdle`] if the core is not idle; the FSM is
+    /// left untouched and the hook is not consulted.
+    pub fn run_exit_faulty(
+        &mut self,
+        hook: &mut dyn FlowFaultHook,
+        max_retries: u32,
+    ) -> Result<ExitOutcome, FlowError> {
+        if self.state != PmaState::Idle {
+            return Err(FlowError::ExitFromNonIdle(self.state));
+        }
         let mut trace = FlowTrace::default();
         let mut now = Nanos::ZERO;
 
@@ -371,18 +473,47 @@ impl PmaFsm {
         let d4 = self.ccsm.exit_sleep().at(PMA_CLOCK);
         trace.push(self.state, now, d4);
         now += d4;
+        let drowsy_retries = if hook.drowsy_wake_failure() {
+            // The drowsy arrays failed to come up; repeat the wake pulse.
+            trace.push(self.state, now, d4);
+            now += d4;
+            1
+        } else {
+            0
+        };
 
         // ⑤ power-ungate the UFPG zones (staggered), then deassert Ret.
         self.state = PmaState::ExitPowerUngate;
         let wake = self.ufpg.wake(self.wake_policy);
+        let stuck = hook.stuck_gate_attempts(max_retries);
+        let mut fell_back = false;
+        for attempt in 0..stuck {
+            // A zone gate stuck: the attempted (wasted) wake plus the
+            // doubling backoff before the next try.
+            let backoff = WAKE_RETRY_BACKOFF * f64::from(1u32 << attempt.min(8));
+            trace.push(self.state, now, wake.latency + backoff);
+            now += wake.latency + backoff;
+        }
         let restore = self.srpg.restore().at(PMA_CLOCK);
-        let d5 = wake.latency + restore;
-        trace.push(self.state, now, d5);
-        now += d5;
+        if stuck >= max_retries && stuck > 0 {
+            // Retry budget exhausted: give up on the fast path and take
+            // the full legacy C6 restore (context comes back with it).
+            fell_back = true;
+            trace.push(self.state, now, C6_FALLBACK_EXIT);
+            now += C6_FALLBACK_EXIT;
+        } else {
+            let d5 = wake.latency + restore;
+            trace.push(self.state, now, d5);
+            now += d5;
+        }
 
         // ⑥ clock-ungate every domain; the core resumes in C0.
         self.state = PmaState::ExitClockUngate;
-        let d6 = Cycles::new(2).at(PMA_CLOCK);
+        let relock_overrun = hook.relock_overrun();
+        let mut d6 = Cycles::new(2).at(PMA_CLOCK);
+        if relock_overrun {
+            d6 += ADPLL_RELOCK_OVERRUN;
+        }
         trace.push(self.state, now, d6);
 
         self.state = PmaState::Active;
@@ -391,7 +522,7 @@ impl PmaFsm {
         // Exit cancels any in-flight or completed Pn ramp: the core
         // returns to P1 for execution.
         self.pn_ready_at = None;
-        trace
+        Ok(ExitOutcome { trace, retries: stuck, fell_back, relock_overrun, drowsy_retries })
     }
 }
 
@@ -399,10 +530,18 @@ impl PmaFsm {
 mod tests {
     use super::*;
 
+    fn entry(fsm: &mut PmaFsm) -> FlowTrace {
+        fsm.run_entry().expect("entry must be legal here")
+    }
+
+    fn exit(fsm: &mut PmaFsm) -> FlowTrace {
+        fsm.run_exit().expect("exit must be legal here")
+    }
+
     #[test]
     fn entry_budget_under_20ns() {
         let mut fsm = PmaFsm::new_c6a();
-        let t = fsm.run_entry();
+        let t = entry(&mut fsm);
         assert!(t.total() < Nanos::new(20.0), "entry {}", t.total());
         assert!(t.is_contiguous());
         assert_eq!(fsm.state(), PmaState::Idle);
@@ -411,8 +550,8 @@ mod tests {
     #[test]
     fn exit_budget_under_80ns() {
         let mut fsm = PmaFsm::new_c6a();
-        fsm.run_entry();
-        let t = fsm.run_exit();
+        entry(&mut fsm);
+        let t = exit(&mut fsm);
         assert!(t.total() < Nanos::new(80.0), "exit {}", t.total());
         assert!(t.is_contiguous());
         assert_eq!(fsm.state(), PmaState::Active);
@@ -424,7 +563,7 @@ mod tests {
     #[test]
     fn round_trip_under_100ns() {
         let mut fsm = PmaFsm::new_c6a();
-        let total = fsm.run_entry().total() + fsm.run_exit().total();
+        let total = entry(&mut fsm).total() + exit(&mut fsm).total();
         assert!(total < Nanos::new(100.0), "round trip {total}");
     }
 
@@ -434,8 +573,8 @@ mod tests {
         // C6A's.
         let mut a = PmaFsm::new_c6a();
         let mut e = PmaFsm::new_c6ae();
-        assert_eq!(a.run_entry().total(), e.run_entry().total());
-        assert_eq!(a.run_exit().total(), e.run_exit().total());
+        assert_eq!(entry(&mut a).total(), entry(&mut e).total());
+        assert_eq!(exit(&mut a).total(), exit(&mut e).total());
         assert!(e.is_enhanced());
     }
 
@@ -444,8 +583,8 @@ mod tests {
         let mut fsm = PmaFsm::new_c6a();
         fsm.write_context(0xABCD);
         for _ in 0..100 {
-            fsm.run_entry();
-            fsm.run_exit();
+            entry(&mut fsm);
+            exit(&mut fsm);
         }
         assert_eq!(fsm.read_context(), Some(0xABCD));
         assert_eq!(fsm.transition_counts(), (100, 100));
@@ -455,17 +594,17 @@ mod tests {
     fn context_unreadable_while_gated() {
         let mut fsm = PmaFsm::new_c6a();
         fsm.write_context(7);
-        fsm.run_entry();
+        entry(&mut fsm);
         assert_eq!(fsm.read_context(), None);
-        fsm.run_exit();
+        exit(&mut fsm);
         assert_eq!(fsm.read_context(), Some(7));
     }
 
     #[test]
     fn snoop_flow_returns_to_idle() {
         let mut fsm = PmaFsm::new_c6a();
-        fsm.run_entry();
-        let t = fsm.run_snoop(4);
+        entry(&mut fsm);
+        let t = fsm.run_snoop(4).expect("idle core serves snoops");
         assert_eq!(fsm.state(), PmaState::Idle);
         assert!(t.is_contiguous());
         // 2 cy wake + 4 × 20 ns + 3 cy re-sleep = 90 ns.
@@ -476,10 +615,10 @@ mod tests {
     fn snoop_then_exit_preserves_context() {
         let mut fsm = PmaFsm::new_c6a();
         fsm.write_context(123);
-        fsm.run_entry();
-        fsm.run_snoop(2);
-        fsm.run_snoop(1);
-        fsm.run_exit();
+        entry(&mut fsm);
+        fsm.run_snoop(2).unwrap();
+        fsm.run_snoop(1).unwrap();
+        exit(&mut fsm);
         assert_eq!(fsm.read_context(), Some(123));
     }
 
@@ -487,8 +626,8 @@ mod tests {
     fn simultaneous_wake_is_faster_but_violates_current() {
         let mut fsm = PmaFsm::new_c6a();
         fsm.set_wake_policy(WakePolicy::Simultaneous);
-        fsm.run_entry();
-        let t = fsm.run_exit();
+        entry(&mut fsm);
+        let t = exit(&mut fsm);
         // Faster than the staggered 80 ns budget...
         assert!(t.total() < Nanos::new(30.0));
         // ...but the in-rush peak would be 5× the AVX budget (checked at
@@ -498,42 +637,172 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "entry requires an active core")]
-    fn double_entry_panics() {
+    fn double_entry_is_a_typed_error() {
         let mut fsm = PmaFsm::new_c6a();
-        fsm.run_entry();
-        fsm.run_entry();
+        fsm.run_entry().unwrap();
+        let err = fsm.run_entry().unwrap_err();
+        assert_eq!(err, FlowError::EntryFromNonActive(PmaState::Idle));
+        assert!(err.to_string().contains("entry requires an active core"));
+        // The failed call must not have perturbed the FSM.
+        assert_eq!(fsm.state(), PmaState::Idle);
+        assert_eq!(fsm.transition_counts(), (1, 0));
     }
 
     #[test]
-    #[should_panic(expected = "exit requires an idle core")]
-    fn exit_without_entry_panics() {
+    fn exit_without_entry_is_a_typed_error() {
         let mut fsm = PmaFsm::new_c6a();
-        fsm.run_exit();
+        let err = fsm.run_exit().unwrap_err();
+        assert_eq!(err, FlowError::ExitFromNonIdle(PmaState::Active));
+        assert!(err.to_string().contains("exit requires an idle core"));
+        assert_eq!(fsm.state(), PmaState::Active);
+        assert_eq!(fsm.transition_counts(), (0, 0));
     }
 
     #[test]
-    #[should_panic(expected = "snoop flow requires an idle core")]
-    fn snoop_while_active_panics() {
+    fn snoop_while_active_is_a_typed_error() {
         let mut fsm = PmaFsm::new_c6a();
-        fsm.run_snoop(1);
+        let err = fsm.run_snoop(1).unwrap_err();
+        assert_eq!(err, FlowError::SnoopFromNonIdle(PmaState::Active));
+        assert!(err.to_string().contains("snoop flow requires an idle core"));
+        assert_eq!(fsm.state(), PmaState::Active);
     }
 
     #[test]
     fn traces_enumerate_fig6_steps() {
         let mut fsm = PmaFsm::new_c6a();
-        let entry = fsm.run_entry();
+        let entry = entry(&mut fsm);
         let states: Vec<_> = entry.steps().iter().map(|s| s.state).collect();
         assert_eq!(
             states,
             [PmaState::EntryClockGate, PmaState::EntrySaveAndGate, PmaState::EntryCacheSleep]
         );
-        let exit = fsm.run_exit();
+        let exit = exit(&mut fsm);
         let states: Vec<_> = exit.steps().iter().map(|s| s.state).collect();
         assert_eq!(
             states,
             [PmaState::ExitCacheWake, PmaState::ExitPowerUngate, PmaState::ExitClockUngate]
         );
+    }
+}
+
+#[cfg(test)]
+mod faulty_exit_tests {
+    use super::*;
+
+    /// A scripted hook: pops pre-planned answers instead of drawing RNG.
+    struct Scripted {
+        stuck: u32,
+        relock: bool,
+        drowsy: bool,
+    }
+
+    impl FlowFaultHook for Scripted {
+        fn stuck_gate_attempts(&mut self, max_retries: u32) -> u32 {
+            self.stuck.min(max_retries)
+        }
+
+        fn relock_overrun(&mut self) -> bool {
+            self.relock
+        }
+
+        fn drowsy_wake_failure(&mut self) -> bool {
+            self.drowsy
+        }
+    }
+
+    #[test]
+    fn no_faults_hook_matches_plain_exit() {
+        let mut plain = PmaFsm::new_c6a();
+        plain.run_entry().unwrap();
+        let baseline = plain.run_exit().unwrap();
+
+        let mut faulty = PmaFsm::new_c6a();
+        faulty.run_entry().unwrap();
+        let outcome = faulty.run_exit_faulty(&mut NoFaults, 3).unwrap();
+        assert_eq!(outcome.trace, baseline);
+        assert_eq!(outcome.retries, 0);
+        assert!(!outcome.fell_back && !outcome.relock_overrun);
+        assert_eq!(outcome.drowsy_retries, 0);
+    }
+
+    #[test]
+    fn stuck_gate_retries_add_backoff_then_succeed() {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.run_entry().unwrap();
+        let mut hook = Scripted { stuck: 2, relock: false, drowsy: false };
+        let outcome = fsm.run_exit_faulty(&mut hook, 4).unwrap();
+        assert_eq!(outcome.retries, 2);
+        assert!(!outcome.fell_back);
+        assert_eq!(fsm.state(), PmaState::Active);
+        // 2 wasted wakes + 100 ns + 200 ns of backoff on top of the
+        // clean ~71.5 ns exit.
+        let clean = {
+            let mut f = PmaFsm::new_c6a();
+            f.run_entry().unwrap();
+            f.run_exit().unwrap().total()
+        };
+        let extra = outcome.trace.total() - clean;
+        assert!(extra > Nanos::new(300.0), "extra {extra}");
+        assert!(outcome.trace.is_contiguous());
+    }
+
+    #[test]
+    fn exhausted_retries_fall_back_to_full_c6_exit() {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.write_context(99);
+        fsm.run_entry().unwrap();
+        let mut hook = Scripted { stuck: 10, relock: false, drowsy: false };
+        let outcome = fsm.run_exit_faulty(&mut hook, 3).unwrap();
+        assert_eq!(outcome.retries, 3);
+        assert!(outcome.fell_back);
+        // The fallback is the slow legacy restore...
+        assert!(outcome.trace.total() > C6_FALLBACK_EXIT);
+        // ...but the core still comes back up with its context intact.
+        assert_eq!(fsm.state(), PmaState::Active);
+        assert_eq!(fsm.read_context(), Some(99));
+    }
+
+    #[test]
+    fn relock_overrun_stretches_the_clock_ungate() {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.run_entry().unwrap();
+        let mut hook = Scripted { stuck: 0, relock: true, drowsy: false };
+        let outcome = fsm.run_exit_faulty(&mut hook, 3).unwrap();
+        assert!(outcome.relock_overrun);
+        let d6 = outcome.trace.duration_of(PmaState::ExitClockUngate);
+        assert!(d6 > ADPLL_RELOCK_OVERRUN);
+    }
+
+    #[test]
+    fn drowsy_failure_repeats_the_cache_wake() {
+        let mut fsm = PmaFsm::new_c6a();
+        fsm.run_entry().unwrap();
+        let mut hook = Scripted { stuck: 0, relock: false, drowsy: true };
+        let outcome = fsm.run_exit_faulty(&mut hook, 3).unwrap();
+        assert_eq!(outcome.drowsy_retries, 1);
+        let cache_wake_steps =
+            outcome.trace.steps().iter().filter(|s| s.state == PmaState::ExitCacheWake).count();
+        assert_eq!(cache_wake_steps, 2);
+        assert!(outcome.trace.is_contiguous());
+    }
+
+    #[test]
+    fn faulty_exit_from_active_is_rejected_without_consulting_the_hook() {
+        struct Exploding;
+        impl FlowFaultHook for Exploding {
+            fn stuck_gate_attempts(&mut self, _max: u32) -> u32 {
+                panic!("hook must not be consulted on an illegal flow")
+            }
+            fn relock_overrun(&mut self) -> bool {
+                panic!("hook must not be consulted on an illegal flow")
+            }
+            fn drowsy_wake_failure(&mut self) -> bool {
+                panic!("hook must not be consulted on an illegal flow")
+            }
+        }
+        let mut fsm = PmaFsm::new_c6a();
+        let err = fsm.run_exit_faulty(&mut Exploding, 3).unwrap_err();
+        assert_eq!(err, FlowError::ExitFromNonIdle(PmaState::Active));
     }
 }
 
@@ -544,7 +813,7 @@ mod pn_transition_tests {
     #[test]
     fn c6a_never_drops_to_pn() {
         let mut fsm = PmaFsm::new_c6a();
-        fsm.run_entry();
+        fsm.run_entry().unwrap();
         fsm.wait(Nanos::from_micros(100.0));
         assert_eq!(fsm.freq_level(), FreqLevel::P1);
     }
@@ -552,7 +821,7 @@ mod pn_transition_tests {
     #[test]
     fn c6ae_reaches_pn_after_the_ramp() {
         let mut fsm = PmaFsm::new_c6ae();
-        fsm.run_entry();
+        fsm.run_entry().unwrap();
         // Ramp in flight: still at P1.
         assert_eq!(fsm.freq_level(), FreqLevel::P1);
         fsm.wait(Nanos::from_micros(10.0));
@@ -565,9 +834,9 @@ mod pn_transition_tests {
     #[test]
     fn early_exit_cancels_the_ramp() {
         let mut fsm = PmaFsm::new_c6ae();
-        fsm.run_entry();
+        fsm.run_entry().unwrap();
         fsm.wait(Nanos::from_micros(5.0));
-        fsm.run_exit();
+        fsm.run_exit().unwrap();
         assert_eq!(fsm.freq_level(), FreqLevel::P1);
         fsm.wait(Nanos::from_micros(100.0));
         assert_eq!(fsm.freq_level(), FreqLevel::P1, "cancelled ramp must not complete");
@@ -577,16 +846,16 @@ mod pn_transition_tests {
     fn ramp_does_not_lengthen_the_flow() {
         let mut a = PmaFsm::new_c6a();
         let mut e = PmaFsm::new_c6ae();
-        assert_eq!(a.run_entry().total(), e.run_entry().total());
+        assert_eq!(a.run_entry().unwrap().total(), e.run_entry().unwrap().total());
     }
 
     #[test]
     fn snoops_advance_time_but_keep_pn() {
         let mut fsm = PmaFsm::new_c6ae();
-        fsm.run_entry();
+        fsm.run_entry().unwrap();
         fsm.wait(PN_TRANSITION);
         assert_eq!(fsm.freq_level(), FreqLevel::Pn);
-        fsm.run_snoop(2);
+        fsm.run_snoop(2).unwrap();
         assert_eq!(fsm.freq_level(), FreqLevel::Pn, "snoop service keeps the core in C6AE");
     }
 
@@ -594,11 +863,11 @@ mod pn_transition_tests {
     fn clock_is_monotone() {
         let mut fsm = PmaFsm::new_c6ae();
         let t0 = fsm.now();
-        fsm.run_entry();
+        fsm.run_entry().unwrap();
         let t1 = fsm.now();
         fsm.wait(Nanos::from_micros(1.0));
         let t2 = fsm.now();
-        fsm.run_exit();
+        fsm.run_exit().unwrap();
         let t3 = fsm.now();
         assert!(t0 < t1 && t1 < t2 && t2 < t3);
     }

@@ -26,8 +26,8 @@
 //! use aw_pma::{PmaFsm, WakePolicy};
 //!
 //! let mut fsm = PmaFsm::new_c6a();
-//! let entry = fsm.run_entry();
-//! let exit = fsm.run_exit();
+//! let entry = fsm.run_entry().expect("fresh FSM is active");
+//! let exit = fsm.run_exit().expect("idle core can exit");
 //! assert!(entry.total().as_nanos() < 20.0);
 //! assert!(exit.total().as_nanos() < 80.0);
 //! ```
@@ -42,7 +42,10 @@ mod switch;
 mod ufpg;
 
 pub use cache::{CacheSleepController, CacheSleepState, SleepSetting};
-pub use flow::{FlowTrace, PmaFsm, PmaState, TraceStep, PN_TRANSITION};
+pub use flow::{
+    ExitOutcome, FlowError, FlowTrace, PmaFsm, PmaState, TraceStep, ADPLL_RELOCK_OVERRUN,
+    C6_FALLBACK_EXIT, PN_TRANSITION, WAKE_RETRY_BACKOFF,
+};
 pub use srpg::{RetentionSignal, SrpgBank};
 pub use switch::{CurrentProfile, DaisyChain, AVX_REFERENCE_WAKE};
 pub use ufpg::{Ufpg, UfpgZone, WakePolicy, WakeReport};

@@ -118,7 +118,7 @@ impl CurrentProfile {
             .chain([self.end, other.end])
             .filter(|&t| t < end)
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        times.sort_by(|a, b| a.as_nanos().total_cmp(&b.as_nanos()));
         times.dedup();
         let segments = times.into_iter().map(|t| (t, self.at(t) + other.at(t))).collect();
         CurrentProfile::from_segments(segments, end)

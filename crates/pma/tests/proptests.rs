@@ -69,25 +69,25 @@ proptest! {
     ) {
         let mut fsm = PmaFsm::new_c6ae();
         fsm.write_context(value);
-        let entry = fsm.run_entry();
+        let entry = fsm.run_entry().unwrap();
         prop_assert!(entry.total().as_nanos() < 20.0);
         for (op, n) in script {
             match op {
                 0 => {
-                    let t = fsm.run_snoop(n);
+                    let t = fsm.run_snoop(n).unwrap();
                     prop_assert!(t.is_contiguous());
                 }
                 1 => fsm.wait(Nanos::from_micros(f64::from(n))),
                 _ => {
-                    let exit = fsm.run_exit();
+                    let exit = fsm.run_exit().unwrap();
                     prop_assert!(exit.total().as_nanos() < 80.0);
                     prop_assert_eq!(fsm.read_context(), Some(value));
-                    let e2 = fsm.run_entry();
+                    let e2 = fsm.run_entry().unwrap();
                     prop_assert!(e2.total().as_nanos() < 20.0);
                 }
             }
         }
-        fsm.run_exit();
+        fsm.run_exit().unwrap();
         prop_assert_eq!(fsm.read_context(), Some(value));
     }
 

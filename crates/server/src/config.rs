@@ -84,6 +84,38 @@ impl SnoopTraffic {
     }
 }
 
+/// Client retry behaviour for shed or timed-out requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum submission attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// Base backoff before the first retry; doubles per attempt, with
+    /// ±50% deterministic jitter drawn from the sim's retry stream.
+    pub base_backoff: Nanos,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, base_backoff: Nanos::from_micros(50.0) }
+    }
+}
+
+/// Per-core circuit-breaker parameters guarding the agile exit path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerPolicy {
+    /// Consecutive agile-wake failures before the breaker trips and the
+    /// core's governor demotes C6A/C6AE to their legacy counterparts.
+    pub threshold: u32,
+    /// How long the breaker stays open before re-arming.
+    pub cooldown: Nanos,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy { threshold: 4, cooldown: Nanos::from_millis(1.0) }
+    }
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug)]
 pub struct ServerConfig {
@@ -125,6 +157,16 @@ pub struct ServerConfig {
     pub timer_tick: Option<Nanos>,
     /// Kernel work per timer tick.
     pub tick_work: Nanos,
+    /// Bound on each core's run-queue depth; arrivals beyond it are shed
+    /// (and retried per [`ServerConfig::retry`]). `None` = unbounded.
+    pub queue_cap: Option<usize>,
+    /// Maximum time a request may wait in queue before it is abandoned
+    /// and retried. `None` = no timeout.
+    pub request_timeout: Option<Nanos>,
+    /// Client retry/backoff behaviour for shed and timed-out requests.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker parameters for the agile exit path.
+    pub breaker: BreakerPolicy,
 }
 
 impl ServerConfig {
@@ -153,6 +195,10 @@ impl ServerConfig {
             transition_energy: Joules::new(10e-6),
             timer_tick: None,
             tick_work: Nanos::from_micros(5.0),
+            queue_cap: None,
+            request_timeout: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
         }
     }
 
@@ -219,6 +265,47 @@ impl ServerConfig {
     #[must_use]
     pub fn with_cstates(mut self, cstates: CStateConfig) -> Self {
         self.cstates = cstates;
+        self
+    }
+
+    /// Bounds each core's run queue at `cap` requests; excess arrivals
+    /// are shed and retried per the [`RetryPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "queue cap must be positive");
+        self.queue_cap = Some(cap);
+        self
+    }
+
+    /// Abandons requests that wait in queue longer than `timeout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is not positive.
+    #[must_use]
+    pub fn with_request_timeout(mut self, timeout: Nanos) -> Self {
+        assert!(timeout > Nanos::ZERO, "request timeout must be positive");
+        self.request_timeout = Some(timeout);
+        self
+    }
+
+    /// Overrides the client retry/backoff policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        assert!(retry.max_attempts > 0, "need at least one attempt");
+        self.retry = retry;
+        self
+    }
+
+    /// Overrides the circuit-breaker parameters.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: BreakerPolicy) -> Self {
+        assert!(breaker.threshold > 0, "breaker threshold must be positive");
+        self.breaker = breaker;
         self
     }
 

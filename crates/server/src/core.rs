@@ -62,6 +62,9 @@ pub struct QueuedRequest {
     /// `true` for OS timer-tick kernel work (excluded from client
     /// latency/throughput metrics).
     pub is_tick: bool,
+    /// 1-based submission attempt (grows when a shed or timed-out
+    /// request is retried by the client).
+    pub attempt: u32,
 }
 
 /// A simulated core: queue, state machine bookkeeping, governor, thermal
@@ -261,6 +264,7 @@ mod tests {
             wake_penalty: Nanos::ZERO,
             wake_state: None,
             is_tick: false,
+            attempt: 1,
         });
         assert!(!c.is_quiescent());
         assert_eq!(c.load(), 1);

@@ -45,9 +45,9 @@ pub mod trace;
 mod uncore;
 mod workload;
 
-pub use config::{Dispatch, GovernorKind, ServerConfig, SnoopTraffic};
+pub use config::{BreakerPolicy, Dispatch, GovernorKind, RetryPolicy, ServerConfig, SnoopTraffic};
 pub use core::{CoreState, SimCore};
-pub use metrics::{LatencyBreakdown, LatencyStats, RunMetrics};
+pub use metrics::{DegradationStats, LatencyBreakdown, LatencyStats, RunMetrics};
 pub use sim::{RunOutput, ServerSim};
 pub use thermal::ThermalModel;
 pub use uncore::{PackageCState, UncoreModel, UncorePower};

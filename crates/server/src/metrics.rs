@@ -140,6 +140,62 @@ impl LatencyBreakdown {
     }
 }
 
+/// Counters for fault injection, overload protection, and graceful
+/// degradation over the whole run (warm-up included: degradation events
+/// are accounting facts, not performance samples, so they are never
+/// reset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct DegradationStats {
+    /// Faults injected from the active fault plan.
+    pub faults_injected: u64,
+    /// Requests shed at a full bounded queue.
+    pub shed: u64,
+    /// Requests abandoned after waiting past the request timeout.
+    pub timeouts: u64,
+    /// Client retries submitted after shed/timeout.
+    pub retries: u64,
+    /// Requests dropped for good after exhausting their retry budget.
+    pub retries_exhausted: u64,
+    /// Agile exits that exhausted their UFPG retry budget and fell back
+    /// to the full legacy C6 restore path.
+    pub fallback_exits: u64,
+    /// Circuit-breaker trips (agile states demoted).
+    pub breaker_trips: u64,
+    /// Circuit-breaker re-arms after cooldown.
+    pub breaker_restores: u64,
+    /// Idle-state selections made from a demoted (breaker-open) config.
+    pub demoted_selections: u64,
+}
+
+impl DegradationStats {
+    /// `true` if nothing degraded: no faults fired and no overload
+    /// protection engaged.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        *self == DegradationStats::default()
+    }
+}
+
+impl fmt::Display for DegradationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean run (no faults, no shedding)");
+        }
+        write!(
+            f,
+            "faults={} shed={} timeouts={} retries={} dropped={} fallbacks={} trips={} restores={}",
+            self.faults_injected,
+            self.shed,
+            self.timeouts,
+            self.retries,
+            self.retries_exhausted,
+            self.fallback_exits,
+            self.breaker_trips,
+            self.breaker_restores
+        )
+    }
+}
+
 /// Everything one simulation run measures.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunMetrics {
@@ -184,6 +240,9 @@ pub struct RunMetrics {
     /// penalty by C-state); `Some` only for attributed runs (see
     /// `ServerSim::with_attribution`).
     pub attribution: Option<AttributionSummary>,
+    /// Fault/overload/degradation counters (always present; all-zero for
+    /// a clean run).
+    pub degradation: DegradationStats,
 }
 
 impl RunMetrics {
@@ -279,6 +338,9 @@ impl fmt::Display for RunMetrics {
         if let Some(a) = &self.attribution {
             write!(f, "\n  {a}")?;
         }
+        if !self.degradation.is_clean() {
+            write!(f, "\n  degradation: {}", self.degradation)?;
+        }
         Ok(())
     }
 }
@@ -317,6 +379,7 @@ mod tests {
             },
             telemetry: None,
             attribution: None,
+            degradation: DegradationStats::default(),
         }
     }
 
@@ -457,5 +520,20 @@ mod tests {
         let text = m.to_string();
         assert!(text.contains("QPS"));
         assert!(text.contains("residency"));
+    }
+
+    #[test]
+    fn degradation_display_distinguishes_clean_runs() {
+        let clean = DegradationStats::default();
+        assert!(clean.is_clean());
+        assert!(clean.to_string().contains("clean run"));
+
+        let mut m = sample_metrics(1000.0, 100.0);
+        assert!(!m.to_string().contains("degradation"), "clean run hides the section");
+        m.degradation.shed = 3;
+        m.degradation.retries = 2;
+        assert!(!m.degradation.is_clean());
+        assert!(m.to_string().contains("degradation: "));
+        assert!(m.degradation.to_string().contains("shed=3"));
     }
 }

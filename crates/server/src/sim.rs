@@ -3,7 +3,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use aw_cstates::CState;
+use aw_cstates::{CState, CStateConfig, CircuitBreaker};
+use aw_faults::{FailureArtifact, FaultPlan, InvariantChecker, ServerFaultHook};
 use aw_power::ResidencyVector;
 use aw_sim::{EventQueue, SampleSet, SimRng};
 use aw_telemetry::{
@@ -13,10 +14,18 @@ use aw_types::{MilliWatts, Nanos, Ratio};
 
 use crate::config::{Dispatch, GovernorKind, ServerConfig, SnoopTraffic};
 use crate::core::{CoreState, QueuedRequest, SimCore};
-use crate::metrics::{LatencyBreakdown, LatencyStats, RunMetrics};
+use crate::metrics::{DegradationStats, LatencyBreakdown, LatencyStats, RunMetrics};
 use crate::trace;
 use crate::uncore::{PackageCState, UncoreModel};
 use crate::workload::WorkloadSpec;
+
+/// Backoff between retries of a stuck UFPG un-gate attempt (mirrors
+/// `aw_pma::WAKE_RETRY_BACKOFF`; aw-server does not depend on aw-pma).
+const WAKE_RETRY_BACKOFF: Nanos = Nanos::new(100.0);
+
+/// Extra cache-wake time when the CCSM drowsy exit must repeat (two PMA
+/// clocks at 500 MHz).
+const DROWSY_REPEAT: Nanos = Nanos::new(4.0);
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +44,17 @@ enum Event {
     TimerTick { core: usize },
     /// End of the warm-up period: metrics reset.
     WarmupEnd,
+    /// Injected fault: a wake interrupt with no pending work.
+    SpuriousWake { core: usize },
+    /// Redelivery of a wake interrupt that an injected fault swallowed.
+    WakeRedelivery { core: usize },
+    /// Injected fault: a burst of coherence snoops hits a core.
+    SnoopStorm { core: usize },
+    /// Injected fault: a machine-wide service-time slowdown burst begins.
+    SlowdownStart,
+    /// A shed or timed-out request is resubmitted by the client after
+    /// jittered backoff.
+    Retry { service: Nanos, attempt: u32 },
 }
 
 /// The server simulator: drives a [`WorkloadSpec`] through a
@@ -74,6 +94,35 @@ pub struct ServerSim {
     /// Start of the measured window (= warm-up end): attribution ignores
     /// power/residency before it, matching the metric reset.
     measure_start: Nanos,
+    /// The seed the simulator was built with, kept for replay artifacts.
+    seed: u64,
+    /// `Some` when fault injection is enabled (see
+    /// [`ServerSim::with_faults`]). Every draw comes from the plan's own
+    /// seeded streams, so the workload sample path is never perturbed.
+    faults: Option<Box<dyn ServerFaultHook>>,
+    /// Dedicated stream for client retry-backoff jitter: drawn only when
+    /// a request is actually shed or timed out, so overload-free runs
+    /// never touch it (common random numbers).
+    retry_rng: SimRng,
+    /// Per-core circuit breakers demoting agile states after repeated
+    /// wake failures.
+    breakers: Vec<CircuitBreaker>,
+    /// The enabled C-state set with agile states demoted to their legacy
+    /// twins, used while a core's breaker is open.
+    demoted_cstates: CStateConfig,
+    /// Fault, shedding, retry, and breaker counters for the whole run.
+    degradation: DegradationStats,
+    /// Runtime invariant checker; violations become a
+    /// [`FailureArtifact`] in the run output instead of a panic.
+    invariants: InvariantChecker,
+    /// End of the current injected slowdown burst (`ZERO` when none).
+    slowdown_until: Nanos,
+    /// Non-tick admission attempts over the whole run (arrivals plus
+    /// client retries), for the request-conservation invariant.
+    arrivals_total: u64,
+    /// Non-tick completions over the whole run (warm-up included), for
+    /// the request-conservation invariant.
+    completed_all: u64,
 }
 
 /// Everything a fully instrumented run produces: the metrics plus the
@@ -89,6 +138,11 @@ pub struct RunOutput {
     /// Full attribution report — per-request spans, timeline, summary
     /// ([`ServerSim::with_attribution`] runs only).
     pub attribution: Option<AttributionReport>,
+    /// `Some` when a runtime invariant was violated: the structured
+    /// artifact carries the seed and fault plan needed to replay the
+    /// failing run. [`ServerSim::run`] and [`ServerSim::run_traced`]
+    /// panic on it; `run_full` hands it back for harnesses to inspect.
+    pub failure: Option<FailureArtifact>,
 }
 
 impl ServerSim {
@@ -104,6 +158,11 @@ impl ServerSim {
         let attrib_marks = vec![("C0", Nanos::ZERO); cores.len()];
         let uncore = UncoreModel::skylake(config.cores, Nanos::ZERO);
         let snoop_rng = SimRng::seed(seed ^ 0x534E_4F4F_505F_5247); // "SNOOP_RG"
+        let retry_rng = SimRng::seed(seed ^ 0x5245_5452_595F_5247); // "RETRY_RG"
+        let breakers = (0..config.cores)
+            .map(|_| CircuitBreaker::new(config.breaker.threshold, config.breaker.cooldown))
+            .collect();
+        let demoted_cstates = config.cstates.demote_agile();
         ServerSim {
             config,
             workload,
@@ -125,7 +184,28 @@ impl ServerSim {
             attrib: None,
             attrib_marks,
             measure_start,
+            seed,
+            faults: None,
+            retry_rng,
+            breakers,
+            demoted_cstates,
+            degradation: DegradationStats::default(),
+            invariants: InvariantChecker::new(),
+            slowdown_until: Nanos::ZERO,
+            arrivals_total: 0,
+            completed_all: 0,
         }
+    }
+
+    /// Attaches a fault-injection plan. Every hook draw comes from the
+    /// plan's own seeded streams, so a plan whose rates are all zero
+    /// (e.g. [`FaultPlan::none`]) leaves the run bit-identical to one
+    /// with no plan attached, and the same seed + plan always reproduces
+    /// the same disrupted run.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Box::new(plan));
+        self
     }
 
     /// Enables telemetry: structured trace events (bounded to
@@ -170,9 +250,23 @@ impl ServerSim {
         self.cores[id].switch_power(now, power);
     }
 
-    /// Moves core `id` to a new life-cycle state, closing the previous
+    /// Moves core `id` to a new life-cycle state, checking the transition
+    /// against the legal life-cycle arcs and closing the previous
     /// accounting-state interval in the attribution timeline.
     fn set_core_state(&mut self, id: usize, now: Nanos, state: CoreState) {
+        let from = self.cores[id].state;
+        let legal = match (from, state) {
+            (CoreState::Active, CoreState::Entering { .. })
+            | (CoreState::Idle { .. }, CoreState::Waking { .. })
+            | (CoreState::Waking { .. }, CoreState::Active) => true,
+            (CoreState::Entering { target }, CoreState::Idle { state: entered }) => {
+                target == entered
+            }
+            _ => false,
+        };
+        self.invariants.check(legal, || {
+            format!("core {id}: illegal life-cycle transition {from:?} -> {state:?} at {now}")
+        });
         if let Some(a) = self.attrib.as_mut() {
             let (label, since) = self.attrib_marks[id];
             let start = since.max(self.measure_start);
@@ -215,6 +309,13 @@ impl ServerSim {
     }
 
     /// Runs the simulation to completion and returns the metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a runtime invariant was violated; the message carries
+    /// the seed and fault plan needed to replay the failing run. Use
+    /// [`ServerSim::run_full`] to inspect the [`FailureArtifact`]
+    /// without panicking.
     #[must_use]
     pub fn run(self) -> RunMetrics {
         self.run_traced().0
@@ -223,9 +324,17 @@ impl ServerSim {
     /// Runs the simulation and additionally returns the
     /// [`TelemetryReport`] if [`ServerSim::with_telemetry`] was called.
     /// The metrics' `telemetry` field carries the same summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a runtime invariant was violated (see
+    /// [`ServerSim::run`]).
     #[must_use]
     pub fn run_traced(self) -> (RunMetrics, Option<TelemetryReport>) {
         let out = self.run_full();
+        if let Some(failure) = &out.failure {
+            panic!("{failure}");
+        }
         (out.metrics, out.telemetry)
     }
 
@@ -256,6 +365,13 @@ impl ServerSim {
                 self.queue.schedule(phase, Event::TimerTick { core: id });
             }
         }
+        if self.faults.is_some() {
+            for id in 0..self.cores.len() {
+                self.schedule_spurious(id, Nanos::ZERO);
+                self.schedule_storm(id, Nanos::ZERO);
+            }
+            self.schedule_slowdown(Nanos::ZERO);
+        }
 
         while let Some((now, event)) = self.queue.pop() {
             if now > self.end {
@@ -273,6 +389,11 @@ impl ServerSim {
                 Event::Snoop { core } => self.on_snoop(core, now),
                 Event::TimerTick { core } => self.on_timer_tick(core, now),
                 Event::WarmupEnd => self.on_warmup_end(now),
+                Event::SpuriousWake { core } => self.on_spurious_wake(core, now),
+                Event::WakeRedelivery { core } => self.on_wake_redelivery(core, now),
+                Event::SnoopStorm { core } => self.on_snoop_storm(core, now),
+                Event::SlowdownStart => self.on_slowdown_start(now),
+                Event::Retry { service, attempt } => self.on_retry(now, service, attempt),
             }
         }
 
@@ -289,7 +410,9 @@ impl ServerSim {
                 let (label, since) = self.attrib_marks[id];
                 let start = since.max(self.measure_start);
                 if end > start {
-                    self.attrib.as_mut().expect("checked").record_residency(label, start, end);
+                    if let Some(a) = self.attrib.as_mut() {
+                        a.record_residency(label, start, end);
+                    }
                 }
                 self.attrib_marks[id] = (label, end);
             }
@@ -298,7 +421,14 @@ impl ServerSim {
         let mut metrics = self.finalize();
         metrics.telemetry = report.as_ref().map(|r| r.summary.clone());
         metrics.attribution = attribution.as_ref().map(|r| r.summary.clone());
-        RunOutput { metrics, telemetry: report, attribution }
+        let fault_spec =
+            self.faults.as_ref().map_or_else(|| "none".to_string(), |f| f.spec().to_string());
+        let failure = FailureArtifact::from_checker(
+            std::mem::take(&mut self.invariants),
+            self.seed,
+            fault_spec,
+        );
+        RunOutput { metrics, telemetry: report, attribution, failure }
     }
 
     fn dispatch(&mut self) -> usize {
@@ -322,36 +452,68 @@ impl ServerSim {
     fn on_arrival(&mut self, now: Nanos) {
         let service = self.workload.next_service(&mut self.rng);
         let id = self.dispatch();
-        self.cores[id].queue.push_back(QueuedRequest {
-            arrival: now,
-            service,
-            wake_penalty: Nanos::ZERO,
-            wake_state: None,
-            is_tick: false,
-        });
-        if let Some(t) = self.telemetry.as_mut() {
-            t.enqueue(id as u32, now, self.cores[id].queue.len() as u32);
-        }
-
-        if let CoreState::Idle { state } = self.cores[id].state {
-            // This request personally pays the exit latency.
-            let penalty = self.config.catalog.params(state).exit_latency;
-            if let Some(req) = self.cores[id].queue.back_mut() {
-                req.wake_penalty = penalty;
-                req.wake_state = Some(state);
-            }
-            self.begin_wake(id, state, now, "arrival");
-        }
-        // Active, Waking: the queue drains naturally.
-        // Entering: EntryDone will notice the pending work and wake.
+        self.admit(id, now, service, 1);
 
         let gap = self.workload.next_gap(&mut self.rng);
         self.next_arrival = now + gap;
         self.queue.schedule(self.next_arrival, Event::Arrival);
     }
 
-    fn begin_wake(&mut self, id: usize, from: CState, now: Nanos, reason: &'static str) {
-        let exit = self.config.catalog.params(from).exit_latency;
+    /// Admits a client request (a fresh arrival or a retry) to core
+    /// `id`'s run queue, shedding it when the bounded queue is full.
+    /// Kernel timer ticks bypass this path — overload protection never
+    /// drops OS housekeeping work.
+    fn admit(&mut self, id: usize, now: Nanos, service: Nanos, attempt: u32) {
+        self.arrivals_total += 1;
+        if let Some(cap) = self.config.queue_cap {
+            if self.cores[id].queue.len() >= cap {
+                self.degradation.shed += 1;
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.shed(id as u32, now, cap as u32);
+                }
+                self.schedule_retry(now, service, attempt);
+                return;
+            }
+        }
+        self.cores[id].queue.push_back(QueuedRequest {
+            arrival: now,
+            service,
+            wake_penalty: Nanos::ZERO,
+            wake_state: None,
+            is_tick: false,
+            attempt,
+        });
+        if let Some(t) = self.telemetry.as_mut() {
+            t.enqueue(id as u32, now, self.cores[id].queue.len() as u32);
+        }
+
+        if let CoreState::Idle { state } = self.cores[id].state {
+            if let Some(delay) = self.faults.as_mut().and_then(|f| f.lost_wake()) {
+                // The wake interrupt is swallowed: the core stays parked
+                // until the redelivery fires (or other work wakes it).
+                self.note_fault(id, now, "lost-wake");
+                self.queue.schedule(now + delay, Event::WakeRedelivery { core: id });
+            } else {
+                // This request personally pays the (possibly disrupted)
+                // exit latency.
+                let exit = self.begin_wake(id, state, now, "arrival");
+                if let Some(req) = self.cores[id].queue.back_mut() {
+                    req.wake_penalty = exit;
+                    req.wake_state = Some(state);
+                }
+            }
+        }
+        // Active, Waking: the queue drains naturally.
+        // Entering: EntryDone will notice the pending work and wake.
+    }
+
+    /// Starts core `id`'s wake transition and returns the exit latency it
+    /// will actually take, including any injected wake disruption.
+    fn begin_wake(&mut self, id: usize, from: CState, now: Nanos, reason: &'static str) -> Nanos {
+        let mut exit = self.config.catalog.params(from).exit_latency;
+        if self.faults.is_some() && matches!(from, CState::C6A | CState::C6AE) {
+            exit += self.agile_wake_disruption(id, from, now);
+        }
         // The voltage/clock ramp means a transition burns roughly the
         // midpoint of the two endpoint powers, not full C0 power.
         let ramp = self.transition_power(from);
@@ -364,6 +526,60 @@ impl ServerSim {
         let gen = self.cores[id].generation;
         self.queue.schedule(now + exit, Event::WakeDone { core: id, gen });
         self.update_uncore(now);
+        exit
+    }
+
+    /// Consults the fault hook for one agile (C6A/C6AE) wake and returns
+    /// the extra exit latency from stuck-gate retries, the full-C6
+    /// fallback, ADPLL relock overruns, and drowsy-wake repeats. Feeds
+    /// the core's circuit breaker: a fallback counts as a failure, a
+    /// clean agile exit as a success.
+    fn agile_wake_disruption(&mut self, id: usize, from: CState, now: Nanos) -> Nanos {
+        let (d, relock_extra) = match self.faults.as_mut() {
+            Some(f) => (f.wake_disruption(), f.spec().relock_extra),
+            None => return Nanos::ZERO,
+        };
+        let mut extra = Nanos::ZERO;
+        if d.stuck_attempts > 0 {
+            self.note_fault(id, now, "wake-fail");
+            // Each stuck attempt re-runs the hardware wake plus an
+            // exponentially growing retry backoff.
+            let hw = self.config.catalog.params(from).hw_exit_latency();
+            for i in 0..d.stuck_attempts {
+                extra += hw + WAKE_RETRY_BACKOFF * f64::from(1u32 << i.min(8));
+            }
+        }
+        if d.fell_back {
+            // Retries exhausted: degrade gracefully to the full C6 exit.
+            self.degradation.fallback_exits += 1;
+            extra += self.config.catalog.params(CState::C6).exit_latency;
+            if self.breakers[id].record_failure(now) {
+                self.degradation.breaker_trips += 1;
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.breaker_trip(id as u32, now);
+                }
+            }
+        } else {
+            self.breakers[id].record_success();
+        }
+        if d.relock_overrun {
+            self.note_fault(id, now, "relock");
+            extra += relock_extra;
+        }
+        if d.drowsy_retry {
+            self.note_fault(id, now, "drowsy");
+            extra += DROWSY_REPEAT;
+        }
+        extra
+    }
+
+    /// Records one injected-fault occurrence: bumps the degradation
+    /// counter and emits the telemetry event when tracing is on.
+    fn note_fault(&mut self, id: usize, now: Nanos, kind: &'static str) {
+        self.degradation.faults_injected += 1;
+        if let Some(t) = self.telemetry.as_mut() {
+            t.fault(id as u32, now, kind);
+        }
     }
 
     fn begin_idle(&mut self, id: usize, now: Nanos) {
@@ -371,8 +587,25 @@ impl ServerSim {
             GovernorKind::Oracle => Some((self.next_arrival - now).clamp_non_negative()),
             _ => None,
         };
-        let target =
-            self.cores[id].governor.select(&self.config.cstates, &self.config.catalog, hint);
+        // While a core's breaker is open (too many consecutive agile wake
+        // failures), the governor selects from the demoted set: agile
+        // states fall back to their legacy twins until the cooldown
+        // elapses.
+        let restores_before = self.breakers[id].restores();
+        let breaker_open = self.breakers[id].is_open(now);
+        if self.breakers[id].restores() > restores_before {
+            self.degradation.breaker_restores += 1;
+            if let Some(t) = self.telemetry.as_mut() {
+                t.breaker_restore(id as u32, now);
+            }
+        }
+        let cstates = if breaker_open {
+            self.degradation.demoted_selections += 1;
+            &self.demoted_cstates
+        } else {
+            &self.config.cstates
+        };
+        let target = self.cores[id].governor.select(cstates, &self.config.catalog, hint);
         if let Some(t) = self.telemetry.as_mut() {
             // Predictive governors report their own estimate; for hinted
             // (oracle) governors the hint *is* the prediction.
@@ -405,20 +638,19 @@ impl ServerSim {
         let idle_power = self.config.catalog.power(target, aw_cstates::FreqLevel::P1);
         self.switch_core_power(id, now, idle_power);
         self.set_core_state(id, now, CoreState::Idle { state: target });
-        let core = &mut self.cores[id];
-        *core.entries.entry(target).or_insert(0) += 1;
+        *self.cores[id].entries.entry(target).or_insert(0) += 1;
 
-        if core.queue.is_empty() {
+        if self.cores[id].queue.is_empty() {
             self.update_uncore(now);
         } else {
             // Work arrived while the entry transition was in flight; the
-            // head request pays this state's exit latency.
-            let penalty = self.config.catalog.params(target).exit_latency;
-            if let Some(req) = core.queue.front_mut() {
-                req.wake_penalty = penalty;
+            // head request pays this state's (possibly disrupted) exit
+            // latency.
+            let exit = self.begin_wake(id, target, now, "queued-work");
+            if let Some(req) = self.cores[id].queue.front_mut() {
+                req.wake_penalty = exit;
                 req.wake_state = Some(target);
             }
-            self.begin_wake(id, target, now, "queued-work");
         }
     }
 
@@ -453,6 +685,23 @@ impl ServerSim {
         if let Some(t) = self.telemetry.as_mut() {
             t.dequeue(id as u32, now, self.cores[id].queue.len() as u32);
         }
+        if let Some(timeout) = self.config.request_timeout {
+            if !req.is_tick {
+                let waited = now - req.arrival;
+                if waited > timeout {
+                    // The client gave up on this request; dropping it at
+                    // dispatch sheds the now-useless service time, and
+                    // the client retries after backoff.
+                    self.degradation.timeouts += 1;
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.timeout(id as u32, now, waited);
+                    }
+                    self.schedule_retry(now, req.service, req.attempt);
+                    self.start_service(id, now);
+                    return;
+                }
+            }
+        }
 
         let turbo = self.config.cstates.turbo() && self.cores[id].thermal.turbo_available();
         if turbo && !self.cores[id].serving_at_turbo {
@@ -471,6 +720,11 @@ impl ServerSim {
             // The UFPG power gates cost ~1% frequency, felt in proportion
             // to the workload's frequency scalability.
             time_factor *= 1.0 + s * self.config.aw_frequency_degradation;
+        }
+        if now < self.slowdown_until {
+            if let Some(f) = self.faults.as_ref() {
+                time_factor *= f.spec().slowdown_factor;
+            }
         }
         let effective = req.service * time_factor;
 
@@ -496,6 +750,9 @@ impl ServerSim {
         core.total_busy += busy;
         if core.serving_at_turbo {
             core.turbo_busy += busy;
+        }
+        if !req.is_tick {
+            self.completed_all += 1;
         }
         if self.warmed_up && !req.is_tick {
             let sojourn = now - req.arrival;
@@ -542,6 +799,7 @@ impl ServerSim {
             wake_penalty: Nanos::ZERO,
             wake_state: None,
             is_tick: true,
+            attempt: 1,
         });
         if let Some(t) = self.telemetry.as_mut() {
             t.enqueue(id as u32, now, self.cores[id].queue.len() as u32);
@@ -581,6 +839,104 @@ impl ServerSim {
         }
     }
 
+    /// Schedules the client-side retry of a shed or timed-out request:
+    /// jittered exponential backoff until the attempt budget runs out.
+    fn schedule_retry(&mut self, now: Nanos, service: Nanos, attempt: u32) {
+        let next = attempt + 1;
+        if next > self.config.retry.max_attempts {
+            self.degradation.retries_exhausted += 1;
+            return;
+        }
+        // base × 2^(attempt−1), jittered over [0.5, 1.5) to decorrelate
+        // retry storms.
+        let exp = f64::from(1u32 << (attempt - 1).min(8));
+        let jitter = 0.5 + self.retry_rng.uniform();
+        let backoff = self.config.retry.base_backoff * (exp * jitter);
+        self.queue.schedule(now + backoff, Event::Retry { service, attempt: next });
+    }
+
+    fn on_retry(&mut self, now: Nanos, service: Nanos, attempt: u32) {
+        self.degradation.retries += 1;
+        let id = self.dispatch();
+        if let Some(t) = self.telemetry.as_mut() {
+            t.retry(id as u32, now, attempt);
+        }
+        self.admit(id, now, service, attempt);
+    }
+
+    fn schedule_spurious(&mut self, id: usize, now: Nanos) {
+        if let Some(gap) = self.faults.as_mut().and_then(|f| f.spurious_gap()) {
+            self.queue.schedule(now + gap, Event::SpuriousWake { core: id });
+        }
+    }
+
+    fn on_spurious_wake(&mut self, id: usize, now: Nanos) {
+        self.schedule_spurious(id, now);
+        self.note_fault(id, now, "spurious-wake");
+        if let CoreState::Idle { state } = self.cores[id].state {
+            // A wake with no pending work: the core pays a full exit and
+            // re-entry round trip for nothing.
+            self.begin_wake(id, state, now, "spurious");
+        }
+    }
+
+    fn on_wake_redelivery(&mut self, id: usize, now: Nanos) {
+        // Only meaningful if the core is still parked with the stranded
+        // work; anything else means another wake already got through.
+        if let CoreState::Idle { state } = self.cores[id].state {
+            if !self.cores[id].queue.is_empty() {
+                let exit = self.begin_wake(id, state, now, "redelivery");
+                if let Some(req) = self.cores[id].queue.front_mut() {
+                    if req.wake_state.is_none() {
+                        req.wake_penalty = exit;
+                        req.wake_state = Some(state);
+                    }
+                }
+            }
+        }
+    }
+
+    fn schedule_storm(&mut self, id: usize, now: Nanos) {
+        if let Some(gap) = self.faults.as_mut().and_then(|f| f.storm_gap()) {
+            self.queue.schedule(now + gap, Event::SnoopStorm { core: id });
+        }
+    }
+
+    fn on_snoop_storm(&mut self, id: usize, now: Nanos) {
+        self.schedule_storm(id, now);
+        self.note_fault(id, now, "snoop-storm");
+        let size = self.faults.as_ref().map_or(0, |f| f.spec().storm_size);
+        let SnoopTraffic { legacy_power, aw_power, burst_duration, .. } = self.config.snoops;
+        if let CoreState::Idle { state } = self.cores[id].state {
+            let extra = match state {
+                CState::C1 | CState::C1E => Some(legacy_power),
+                CState::C6A | CState::C6AE => Some(aw_power),
+                _ => None,
+            };
+            if let Some(p) = extra {
+                let core = &mut self.cores[id];
+                core.snoop_energy += p * burst_duration * f64::from(size);
+                core.snoops_served += u64::from(size);
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.snoop(id as u32, now, trace::cstate_label(state));
+                }
+            }
+        }
+    }
+
+    fn schedule_slowdown(&mut self, now: Nanos) {
+        if let Some(gap) = self.faults.as_mut().and_then(|f| f.slowdown_gap()) {
+            self.queue.schedule(now + gap, Event::SlowdownStart);
+        }
+    }
+
+    fn on_slowdown_start(&mut self, now: Nanos) {
+        self.schedule_slowdown(now);
+        self.note_fault(0, now, "slowdown");
+        let duration = self.faults.as_ref().map_or(Nanos::ZERO, |f| f.spec().slowdown_duration);
+        self.slowdown_until = self.slowdown_until.max(now + duration);
+    }
+
     fn on_warmup_end(&mut self, now: Nanos) {
         for core in &mut self.cores {
             core.reset_metrics(now);
@@ -594,7 +950,7 @@ impl ServerSim {
         self.warmed_up = true;
     }
 
-    fn finalize(mut self) -> RunMetrics {
+    fn finalize(&mut self) -> RunMetrics {
         let end = self.end;
         let mut residency_time: BTreeMap<CState, Nanos> = BTreeMap::new();
         let mut total_time = Nanos::ZERO;
@@ -661,6 +1017,32 @@ impl ServerSim {
             Ratio::ZERO
         };
 
+        // Runtime invariants: a run must account for all of its time and
+        // all of its requests, no matter what faults were injected.
+        if total_time > Nanos::ZERO {
+            let total = residencies.total();
+            self.invariants.check(residencies.is_complete(1e-6), || {
+                format!("residencies sum to {total}, expected 1")
+            });
+        }
+        let in_system: u64 = self
+            .cores
+            .iter()
+            .map(|c| {
+                c.queue.iter().filter(|r| !r.is_tick).count() as u64
+                    + u64::from(c.in_flight.is_some_and(|r| !r.is_tick))
+            })
+            .sum();
+        let accounted =
+            self.completed_all + self.degradation.timeouts + self.degradation.shed + in_system;
+        let arrived = self.arrivals_total;
+        self.invariants.check(arrived == accounted, || {
+            format!(
+                "request conservation: {arrived} admitted but {accounted} accounted \
+                 (completed + timed out + shed + in system)"
+            )
+        });
+
         RunMetrics {
             config: self.config.named.to_string(),
             workload: self.workload.name().to_string(),
@@ -683,6 +1065,7 @@ impl ServerSim {
             avg_uncore_power,
             package_residency,
             breakdown,
+            degradation: self.degradation,
             // Filled by `run_full` after the recorders are finished.
             telemetry: None,
             attribution: None,
@@ -849,6 +1232,51 @@ mod tests {
         assert_eq!(plain.completed, attributed.metrics.completed);
         assert_eq!(plain.avg_core_power, attributed.metrics.avg_core_power);
         assert_eq!(plain.server_latency.p99, attributed.metrics.server_latency.p99);
+    }
+
+    #[test]
+    fn inactive_fault_plan_is_invisible() {
+        // A plan with all rates zero must not perturb a single bit of the
+        // run: fault draws live on their own RNG streams (common random
+        // numbers), and zero-rate streams are never consulted.
+        let plain =
+            ServerSim::new(short_config(NamedConfig::Aw), light_workload(60_000.0), 7).run();
+        let faulted = ServerSim::new(short_config(NamedConfig::Aw), light_workload(60_000.0), 7)
+            .with_faults(FaultPlan::none())
+            .run();
+        assert_eq!(format!("{plain:?}"), format!("{faulted:?}"));
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic() {
+        let run = || {
+            let plan = FaultPlan::parse("seed=3,wake-fail=0.2,relock=0.1,lost-wake=0.05")
+                .expect("valid spec");
+            ServerSim::new(short_config(NamedConfig::Aw), light_workload(60_000.0), 7)
+                .with_faults(plan)
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert!(a.degradation.faults_injected > 0, "{}", a.degradation);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn bounded_queue_sheds_under_overload() {
+        let cfg = short_config(NamedConfig::Baseline).with_queue_cap(2);
+        let m = ServerSim::new(cfg, light_workload(1_200_000.0), 41).run();
+        assert!(m.degradation.shed > 0, "{}", m.degradation);
+        assert!(m.degradation.retries > 0, "{}", m.degradation);
+        assert!(m.degradation.retries_exhausted > 0, "{}", m.degradation);
+    }
+
+    #[test]
+    fn request_timeouts_shed_expired_work() {
+        let cfg =
+            short_config(NamedConfig::Baseline).with_request_timeout(Nanos::from_micros(30.0));
+        let m = ServerSim::new(cfg, light_workload(1_200_000.0), 43).run();
+        assert!(m.degradation.timeouts > 0, "{}", m.degradation);
     }
 
     #[test]

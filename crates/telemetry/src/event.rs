@@ -83,6 +83,31 @@ pub enum EventKind {
         /// How long the step took.
         duration: Nanos,
     },
+    /// A fault was injected from the active fault plan.
+    FaultInjected {
+        /// Which fault category struck (`"wake-fail"`, `"lost-wake"`, …).
+        kind: &'static str,
+    },
+    /// A request was shed because the core's bounded queue was full.
+    RequestShed {
+        /// Queue depth at the moment of shedding (== the cap).
+        depth: u32,
+    },
+    /// A request timed out waiting in queue and was abandoned.
+    RequestTimeout {
+        /// How long the request had waited when it timed out.
+        waited: Nanos,
+    },
+    /// A shed or timed-out request was re-submitted by the client after
+    /// jittered backoff.
+    RequestRetry {
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// A core's circuit breaker tripped: agile states demoted.
+    BreakerTrip,
+    /// A core's circuit breaker cooled down and re-armed.
+    BreakerRestore,
 }
 
 impl EventKind {
@@ -101,6 +126,12 @@ impl EventKind {
             EventKind::QueueEnqueue { .. } => "enqueue",
             EventKind::QueueDequeue { .. } => "dequeue",
             EventKind::FlowStep { .. } => "flow-step",
+            EventKind::FaultInjected { .. } => "fault",
+            EventKind::RequestShed { .. } => "shed",
+            EventKind::RequestTimeout { .. } => "timeout",
+            EventKind::RequestRetry { .. } => "retry",
+            EventKind::BreakerTrip => "breaker-trip",
+            EventKind::BreakerRestore => "breaker-restore",
         }
     }
 }
@@ -127,6 +158,12 @@ mod tests {
             EventKind::QueueEnqueue { depth: 1 },
             EventKind::QueueDequeue { depth: 0 },
             EventKind::FlowStep { step: "x", duration: Nanos::ZERO },
+            EventKind::FaultInjected { kind: "wake-fail" },
+            EventKind::RequestShed { depth: 8 },
+            EventKind::RequestTimeout { waited: Nanos::ZERO },
+            EventKind::RequestRetry { attempt: 1 },
+            EventKind::BreakerTrip,
+            EventKind::BreakerRestore,
         ];
         let mut labels: Vec<_> = kinds.iter().map(EventKind::label).collect();
         labels.sort_unstable();

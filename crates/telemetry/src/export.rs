@@ -147,6 +147,42 @@ pub fn chrome_trace_json(events: &[TraceEvent], cores: usize) -> String {
                     vec![("depth", JsonValue::UInt(u64::from(depth)))],
                 ));
             }
+            EventKind::FaultInjected { kind } => {
+                out.push(instant("fault", "fault", core, t, vec![("kind", JsonValue::str(kind))]));
+            }
+            EventKind::RequestShed { depth } => {
+                out.push(instant(
+                    "shed",
+                    "overload",
+                    core,
+                    t,
+                    vec![("depth", JsonValue::UInt(u64::from(depth)))],
+                ));
+            }
+            EventKind::RequestTimeout { waited } => {
+                out.push(instant(
+                    "timeout",
+                    "overload",
+                    core,
+                    t,
+                    vec![("waited_us", JsonValue::Num(waited.as_micros()))],
+                ));
+            }
+            EventKind::RequestRetry { attempt } => {
+                out.push(instant(
+                    "retry",
+                    "overload",
+                    core,
+                    t,
+                    vec![("attempt", JsonValue::UInt(u64::from(attempt)))],
+                ));
+            }
+            EventKind::BreakerTrip => {
+                out.push(instant("breaker-trip", "breaker", core, t, vec![]));
+            }
+            EventKind::BreakerRestore => {
+                out.push(instant("breaker-restore", "breaker", core, t, vec![]));
+            }
         }
     }
 

@@ -168,6 +168,42 @@ impl TelemetryRecorder {
         self.emit(time, core, EventKind::FlowStep { step, duration });
     }
 
+    /// Records an injected fault from the active fault plan.
+    pub fn fault(&mut self, core: u32, time: Nanos, kind: &'static str) {
+        self.registry.inc("faults.injected", 1);
+        self.emit(time, core, EventKind::FaultInjected { kind });
+    }
+
+    /// Records a request shed at a full bounded queue.
+    pub fn shed(&mut self, core: u32, time: Nanos, depth: u32) {
+        self.registry.inc("overload.shed", 1);
+        self.emit(time, core, EventKind::RequestShed { depth });
+    }
+
+    /// Records a queued request abandoned after waiting `waited`.
+    pub fn timeout(&mut self, core: u32, time: Nanos, waited: Nanos) {
+        self.registry.inc("overload.timeouts", 1);
+        self.emit(time, core, EventKind::RequestTimeout { waited });
+    }
+
+    /// Records a client retry (re-submission after backoff).
+    pub fn retry(&mut self, core: u32, time: Nanos, attempt: u32) {
+        self.registry.inc("overload.retries", 1);
+        self.emit(time, core, EventKind::RequestRetry { attempt });
+    }
+
+    /// Records a circuit-breaker trip on `core`.
+    pub fn breaker_trip(&mut self, core: u32, time: Nanos) {
+        self.registry.inc("breaker.trips", 1);
+        self.emit(time, core, EventKind::BreakerTrip);
+    }
+
+    /// Records a circuit-breaker re-arm on `core`.
+    pub fn breaker_restore(&mut self, core: u32, time: Nanos) {
+        self.registry.inc("breaker.restores", 1);
+        self.emit(time, core, EventKind::BreakerRestore);
+    }
+
     /// Direct access to the registry (for callers recording custom
     /// metrics alongside the built-in ones).
     pub fn registry_mut(&mut self) -> &mut MetricsRegistry {

@@ -1,0 +1,34 @@
+//! Chaos smoke run: a fault-injected AW server sweep with overload
+//! protection, printing the degradation ledger and the invariant verdict.
+//!
+//! ```console
+//! $ cargo run --example chaos_faults
+//! ```
+
+use agilewatts::aw_cstates::NamedConfig;
+use agilewatts::aw_faults::{FaultPlan, FaultSpec};
+use agilewatts::aw_server::{ServerConfig, ServerSim, WorkloadSpec};
+use agilewatts::aw_types::Nanos;
+use agilewatts::degradation_table;
+
+fn main() {
+    let spec = FaultSpec::parse(
+        "seed=7,wake-fail=0.3,relock=0.1,drowsy=0.1,lost-wake=0.05,spurious=2000,storm=500,slowdown=25",
+    )
+    .expect("valid fault spec");
+    println!("fault plan: {spec}");
+
+    let config = ServerConfig::new(4, NamedConfig::Aw)
+        .with_duration(Nanos::from_millis(60.0))
+        .with_queue_cap(16)
+        .with_request_timeout(Nanos::from_micros(400.0));
+    let workload = WorkloadSpec::poisson("chaos", 120_000.0, Nanos::from_micros(3.0), 0.8);
+    let output = ServerSim::new(config, workload, 42).with_faults(FaultPlan::new(spec)).run_full();
+
+    println!("{}", output.metrics);
+    println!("{}", degradation_table(&output.metrics.degradation));
+    match &output.failure {
+        Some(failure) => println!("invariants: VIOLATED\n{failure}"),
+        None => println!("invariants: OK"),
+    }
+}

@@ -13,7 +13,7 @@ fn main() {
     fsm.write_context(0xC0FFEE);
 
     println!("C6A entry flow (Fig. 6 ①–③):");
-    let entry = fsm.run_entry();
+    let entry = fsm.run_entry().expect("fresh FSM is active");
     for step in entry.steps() {
         println!(
             "  {:<22} start {:>7}  duration {:>7}",
@@ -25,7 +25,7 @@ fn main() {
     println!("  total: {}  (budget < 20 ns)\n", entry.total());
 
     println!("Snoop burst while idle (Fig. 6 ⓐ–ⓒ), 3 snoops:");
-    let snoop = fsm.run_snoop(3);
+    let snoop = fsm.run_snoop(3).expect("idle core can serve snoops");
     for step in snoop.steps() {
         println!(
             "  {:<22} start {:>7}  duration {:>7}",
@@ -37,7 +37,7 @@ fn main() {
     println!("  total: {}\n", snoop.total());
 
     println!("C6A exit flow (Fig. 6 ④–⑥):");
-    let exit = fsm.run_exit();
+    let exit = fsm.run_exit().expect("idle core can exit");
     for step in exit.steps() {
         println!(
             "  {:<22} start {:>7}  duration {:>7}",

@@ -32,4 +32,19 @@ echo "$out" | grep -Eq "SLO p99<.*: (MET|VIOLATED)" || {
     exit 1
 }
 
+echo "==> chaos_faults example smoke"
+out=$(cargo run -q --release --example chaos_faults)
+echo "$out" | grep -q "fault plan: seed=7" || {
+    echo "verify: chaos example printed no fault plan" >&2
+    exit 1
+}
+echo "$out" | grep -q "faults injected" || {
+    echo "verify: chaos example printed no degradation table" >&2
+    exit 1
+}
+echo "$out" | grep -q "invariants: OK" || {
+    echo "verify: chaos run violated invariants" >&2
+    exit 1
+}
+
 echo "verify: OK"

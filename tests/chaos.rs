@@ -1,0 +1,187 @@
+//! Chaos harness: deterministic fault injection, graceful degradation,
+//! and overload protection hold up under arbitrary fault plans — and the
+//! fault layer is bit-invisible when no faults fire.
+
+use agilewatts::aw_cstates::{CState, NamedConfig};
+use agilewatts::aw_faults::{FaultPlan, FaultSpec};
+use agilewatts::aw_server::{RunMetrics, ServerConfig, ServerSim, WorkloadSpec};
+use agilewatts::aw_sim::SimRng;
+use agilewatts::aw_types::Nanos;
+
+fn golden_workload() -> WorkloadSpec {
+    WorkloadSpec::poisson("golden", 60_000.0, Nanos::from_micros(3.0), 0.8)
+}
+
+fn golden_run(named: NamedConfig, seed: u64, plan: Option<FaultPlan>) -> RunMetrics {
+    let cfg = ServerConfig::new(4, named).with_duration(Nanos::from_millis(80.0));
+    let mut sim = ServerSim::new(cfg, golden_workload(), seed);
+    if let Some(plan) = plan {
+        sim = sim.with_faults(plan);
+    }
+    sim.run()
+}
+
+/// Bit-exact fingerprints captured on the pre-fault-layer baseline. The
+/// common-random-numbers discipline (each fault category owns its own
+/// seeded stream; inactive plans never draw) guarantees that compiling
+/// in — and even attaching — a zero-rate fault plan perturbs nothing.
+const GOLDEN: [(NamedConfig, u64, u64, u64, u64, u64); 2] = [
+    (NamedConfig::Aw, 7, 5015, 0x408c_58ee_016d_605b, 0x40ce_d59e_1951_8000, 0x40bd_655d_282c_e288),
+    (
+        NamedConfig::Baseline,
+        21,
+        4855,
+        0x4096_9bdd_9899_c9da,
+        0x40cf_6ca7_308f_5000,
+        0x40bd_0c77_6a1e_f322,
+    ),
+];
+
+#[test]
+fn fault_free_runs_match_golden_bits() {
+    for (named, seed, completed, power, p99, mean) in GOLDEN {
+        for plan in [None, Some(FaultPlan::none())] {
+            let attached = plan.is_some();
+            let m = golden_run(named, seed, plan);
+            assert_eq!(m.completed, completed, "{named} seed={seed} attached={attached}");
+            assert_eq!(
+                m.avg_core_power.as_milliwatts().to_bits(),
+                power,
+                "{named} power bits drifted (attached={attached})"
+            );
+            assert_eq!(
+                m.server_latency.p99.as_nanos().to_bits(),
+                p99,
+                "{named} p99 bits drifted (attached={attached})"
+            );
+            assert_eq!(
+                m.server_latency.mean.as_nanos().to_bits(),
+                mean,
+                "{named} mean bits drifted (attached={attached})"
+            );
+            assert!(m.degradation.is_clean(), "{named}: clean run reported degradation");
+        }
+    }
+}
+
+#[test]
+fn same_seed_and_plan_reproduce_identical_metrics() {
+    let spec = FaultSpec::parse(
+        "seed=11,wake-fail=0.25,relock=0.1,drowsy=0.1,lost-wake=0.05,spurious=2000,storm=500,slowdown=20",
+    )
+    .unwrap();
+    let run = || {
+        let cfg = ServerConfig::new(4, NamedConfig::Aw)
+            .with_duration(Nanos::from_millis(60.0))
+            .with_queue_cap(16)
+            .with_request_timeout(Nanos::from_micros(400.0));
+        ServerSim::new(cfg, golden_workload(), 13).with_faults(FaultPlan::new(spec.clone())).run()
+    };
+    let (a, b) = (run(), run());
+    assert!(a.degradation.faults_injected > 0, "plan was supposed to fire");
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed + plan must be bit-identical");
+}
+
+#[test]
+fn breaker_demotes_agile_states_and_rearms() {
+    // Every agile wake fails through all retries, so each C6A/C6AE exit
+    // falls back to a full C6 exit and the per-core breaker trips after
+    // K consecutive failures, demoting the governor menu to C1/C1E until
+    // the cooldown re-arms it.
+    let spec = FaultSpec::parse("seed=5,wake-fail=1.0").unwrap();
+    let cfg = ServerConfig::new(4, NamedConfig::Aw).with_duration(Nanos::from_millis(80.0));
+    let m = ServerSim::new(cfg, golden_workload(), 7).with_faults(FaultPlan::new(spec)).run();
+    let d = &m.degradation;
+    assert!(d.fallback_exits > 0, "no full-C6 fallback exits: {d:?}");
+    assert!(d.breaker_trips > 0, "breaker never tripped: {d:?}");
+    assert!(d.breaker_restores > 0, "breaker never re-armed: {d:?}");
+    assert!(d.demoted_selections > 0, "governor never saw the demoted menu: {d:?}");
+    // While the breaker is open the governor selects from the demoted
+    // menu (C1/C1E/C6), so agile residency must fall versus a healthy
+    // run of the same workload and seed, and the legacy twins pick up
+    // the idle time the agile states lost.
+    let healthy = golden_run(NamedConfig::Aw, 7, None);
+    let agile =
+        |m: &RunMetrics| m.residency_of(CState::C6A).get() + m.residency_of(CState::C6AE).get();
+    let legacy =
+        |m: &RunMetrics| m.residency_of(CState::C1).get() + m.residency_of(CState::C1E).get();
+    assert!(
+        agile(&m) < agile(&healthy),
+        "demotion did not reduce agile residency ({} vs healthy {})",
+        agile(&m),
+        agile(&healthy),
+    );
+    assert!(legacy(&m) > legacy(&healthy), "legacy twins gained no residency under demotion");
+    assert!(m.completed > 0, "server stopped serving under faults");
+}
+
+#[test]
+fn overload_sheds_are_bounded_and_accounted() {
+    let cfg = ServerConfig::new(2, NamedConfig::Aw)
+        .with_duration(Nanos::from_millis(40.0))
+        .with_queue_cap(32)
+        .with_request_timeout(Nanos::from_micros(40.0));
+    let w = WorkloadSpec::poisson("overload", 900_000.0, Nanos::from_micros(3.0), 0.8);
+    let m = ServerSim::new(cfg, w, 29).run();
+    let d = &m.degradation;
+    assert!(d.shed > 0, "bounded queue never shed: {d:?}");
+    assert!(d.timeouts > 0, "stale requests never timed out: {d:?}");
+    assert!(d.retries > 0, "shed work was never retried: {d:?}");
+    assert!(d.retries_exhausted > 0, "retry budget never exhausted: {d:?}");
+    assert!(m.completed > 0, "overload protection starved the server entirely");
+}
+
+/// One arbitrary-but-reproducible fault plan per chaos round.
+fn random_spec(rng: &mut SimRng, round: u64) -> FaultSpec {
+    let p = |rng: &mut SimRng| (rng.uniform() * 0.3 * 100.0).round() / 100.0;
+    let spec = format!(
+        "seed={},wake-fail={},wake-retries={},relock={},drowsy={},lost-wake={},spurious={},storm={},storm-size={},slowdown={},slow-factor={}",
+        1000 + round,
+        p(rng),
+        1 + (rng.uniform() * 4.0) as u32,
+        p(rng),
+        p(rng),
+        p(rng),
+        (rng.uniform() * 5_000.0).round(),
+        (rng.uniform() * 1_000.0).round(),
+        1 + (rng.uniform() * 128.0) as u32,
+        (rng.uniform() * 50.0).round(),
+        1.0 + (rng.uniform() * 4.0 * 10.0).round() / 10.0,
+    );
+    FaultSpec::parse(&spec).unwrap_or_else(|e| panic!("generated bad spec '{spec}': {e}"))
+}
+
+/// 32 arbitrary plans, each with overload protection and telemetry on:
+/// every run must terminate with invariants intact (conservation of
+/// requests, complete residencies, legal life-cycle transitions), and
+/// every degradation counter must agree with the telemetry registry —
+/// no shed or timed-out request goes unaccounted.
+#[test]
+fn chaos_plans_terminate_with_invariants_intact() {
+    let mut rng = SimRng::seed(0xC4A0_5EED);
+    for round in 0..32 {
+        let spec = random_spec(&mut rng, round);
+        let cfg = ServerConfig::new(4, NamedConfig::Aw)
+            .with_duration(Nanos::from_millis(30.0))
+            .with_queue_cap(8)
+            .with_request_timeout(Nanos::from_micros(300.0));
+        let w = WorkloadSpec::poisson("chaos", 120_000.0, Nanos::from_micros(3.0), 0.8);
+        let output = ServerSim::new(cfg, w, 100 + round)
+            .with_faults(FaultPlan::new(spec.clone()))
+            .with_telemetry(100_000)
+            .run_full();
+        assert!(
+            output.failure.is_none(),
+            "round {round} ({spec}) violated invariants:\n{}",
+            output.failure.unwrap()
+        );
+        let d = &output.metrics.degradation;
+        let reg = &output.telemetry.as_ref().expect("telemetry enabled").registry;
+        assert_eq!(reg.counter("faults.injected"), d.faults_injected, "round {round} ({spec})");
+        assert_eq!(reg.counter("overload.shed"), d.shed, "round {round} ({spec})");
+        assert_eq!(reg.counter("overload.timeouts"), d.timeouts, "round {round} ({spec})");
+        assert_eq!(reg.counter("overload.retries"), d.retries, "round {round} ({spec})");
+        assert_eq!(reg.counter("breaker.trips"), d.breaker_trips, "round {round} ({spec})");
+        assert_eq!(reg.counter("breaker.restores"), d.breaker_restores, "round {round} ({spec})");
+    }
+}

@@ -121,11 +121,11 @@ proptest! {
     fn pma_round_trip_context_safe(value: u64, snoops in prop::collection::vec(1u32..8, 0..6)) {
         let mut fsm = PmaFsm::new_c6a();
         fsm.write_context(value);
-        let entry = fsm.run_entry();
+        let entry = fsm.run_entry().unwrap();
         for &n in &snoops {
-            fsm.run_snoop(n);
+            fsm.run_snoop(n).unwrap();
         }
-        let exit = fsm.run_exit();
+        let exit = fsm.run_exit().unwrap();
         prop_assert_eq!(fsm.read_context(), Some(value));
         prop_assert!(entry.total().as_nanos() < 20.0);
         prop_assert!(exit.total().as_nanos() < 80.0);

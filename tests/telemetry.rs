@@ -172,7 +172,7 @@ fn pma_flow_traces_emit_into_sinks() {
     let mut fsm = PmaFsm::new_c6a();
     let mut sink = RingBufferSink::new(64);
     let base = Nanos::from_micros(5.0);
-    let entry = fsm.run_entry();
+    let entry = fsm.run_entry().expect("fresh FSM is active");
     entry.emit(&mut sink, 3, base);
     assert_eq!(sink.len(), entry.steps().len());
     let events: Vec<_> = sink.events().collect();
