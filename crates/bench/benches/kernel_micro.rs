@@ -24,6 +24,41 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // The same schedule/pop storm against a pre-sized heap — the shape
+    // `ServerSim::new` uses (capacity ∝ core count) to keep the queue
+    // from reallocating mid-simulation.
+    c.bench_function("event_queue_push_pop_1k_presized", |b| {
+        let mut rng = SimRng::seed(1);
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1_000);
+            for i in 0..1_000u32 {
+                q.schedule(Nanos::new(rng.uniform() * 1e6), i);
+            }
+            let mut last = 0u32;
+            while let Some((_, e)) = q.pop() {
+                last = e;
+            }
+            std::hint::black_box(last)
+        })
+    });
+
+    // Steady-state interleaved schedule/pop at simulator-like depth: the
+    // queue holds ~one event per core plus timers, never the whole run.
+    c.bench_function("event_queue_steady_state_depth_64", |b| {
+        let mut rng = SimRng::seed(6);
+        let mut q = EventQueue::with_capacity(64 * 4 + 16);
+        for i in 0..64u32 {
+            q.schedule(Nanos::new(rng.uniform() * 1e6), i);
+        }
+        let mut t = 1e6;
+        b.iter(|| {
+            let (when, e) = q.pop().expect("queue never drains");
+            t = when.as_nanos().max(t) + rng.uniform() * 1e3;
+            q.schedule(Nanos::new(t), e);
+            std::hint::black_box(e)
+        })
+    });
+
     c.bench_function("exponential_sample", |b| {
         let d = Exponential::with_mean(1_000.0);
         let mut rng = SimRng::seed(2);

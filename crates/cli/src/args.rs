@@ -131,6 +131,15 @@ impl TelemetryArgs {
     }
 }
 
+/// Execution options, accepted by every experiment subcommand.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecArgs {
+    /// `--jobs <N>`: worker threads for sweep execution. `None` defers
+    /// to the `AW_JOBS` environment variable and then to the machine's
+    /// available parallelism. Reports are byte-identical at any value.
+    pub jobs: Option<usize>,
+}
+
 /// Robustness options, accepted by every experiment subcommand:
 /// deterministic fault injection and overload protection.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -184,17 +193,20 @@ fn has_quick(rest: &[String]) -> Result<bool, ParseError> {
 }
 
 /// Parses an argument vector (without the program name), extracting the
-/// telemetry options (`--trace-out`, `--metrics-out`, `--trace-limit`)
-/// and robustness options (`--faults`, `--queue-cap`,
-/// `--request-timeout`) first — they are accepted anywhere on the
-/// command line — and handing the rest to [`parse`].
+/// telemetry options (`--trace-out`, `--metrics-out`, `--trace-limit`),
+/// robustness options (`--faults`, `--queue-cap`, `--request-timeout`),
+/// and execution options (`--jobs`) first — they are accepted anywhere
+/// on the command line — and handing the rest to [`parse`].
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] describing the first invalid argument.
-pub fn parse_cli(args: &[String]) -> Result<(Command, TelemetryArgs, RobustnessArgs), ParseError> {
+pub fn parse_cli(
+    args: &[String],
+) -> Result<(Command, TelemetryArgs, RobustnessArgs, ExecArgs), ParseError> {
     let mut telemetry = TelemetryArgs::default();
     let mut robustness = RobustnessArgs::default();
+    let mut exec = ExecArgs::default();
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -251,6 +263,15 @@ pub fn parse_cli(args: &[String]) -> Result<(Command, TelemetryArgs, RobustnessA
             }
             "--timeline-out" => telemetry.timeline_out = Some(value("--timeline-out")?),
             "--attrib-out" => telemetry.attrib_out = Some(value("--attrib-out")?),
+            "--jobs" => {
+                let v = value("--jobs")?;
+                let jobs: usize =
+                    v.parse().map_err(|_| ParseError(format!("bad --jobs value '{v}'")))?;
+                if jobs == 0 {
+                    return Err(ParseError("--jobs must be positive".into()));
+                }
+                exec.jobs = Some(jobs);
+            }
             _ => rest.push(arg.clone()),
         }
     }
@@ -262,7 +283,7 @@ pub fn parse_cli(args: &[String]) -> Result<(Command, TelemetryArgs, RobustnessA
                 .into(),
         ));
     }
-    Ok((command, telemetry, robustness))
+    Ok((command, telemetry, robustness, exec))
 }
 
 /// Parses an argument vector (without the program name).
@@ -455,7 +476,7 @@ mod tests {
 
     #[test]
     fn telemetry_flags_accepted_anywhere() {
-        let (cmd, t, _) =
+        let (cmd, t, _, _) =
             parse_cli(&argv("fig 8 --trace-out /tmp/t.json --quick --metrics-out /tmp/m.json"))
                 .unwrap();
         assert_eq!(cmd, Command::Fig { number: 8, quick: true });
@@ -467,7 +488,7 @@ mod tests {
 
     #[test]
     fn trace_limit_parses_and_validates() {
-        let (_, t, _) = parse_cli(&argv("sweep --trace-limit 5000 --trace-out x.json")).unwrap();
+        let (_, t, _, _) = parse_cli(&argv("sweep --trace-limit 5000 --trace-out x.json")).unwrap();
         assert_eq!(t.limit(), 5000);
         assert!(parse_cli(&argv("sweep --trace-limit 0")).is_err());
         assert!(parse_cli(&argv("sweep --trace-limit abc")).is_err());
@@ -476,7 +497,7 @@ mod tests {
 
     #[test]
     fn no_telemetry_flags_is_inactive() {
-        let (cmd, t, r) = parse_cli(&argv("table 1")).unwrap();
+        let (cmd, t, r, _) = parse_cli(&argv("table 1")).unwrap();
         assert_eq!(cmd, Command::Table(1));
         assert!(!t.is_active());
         assert!(!r.is_active());
@@ -490,7 +511,7 @@ mod tests {
 
     #[test]
     fn attribution_flags_parse_anywhere() {
-        let (cmd, t, _) = parse_cli(&argv(
+        let (cmd, t, _, _) = parse_cli(&argv(
             "sweep --slo-p99 500000 --config AW --timeline-out /tmp/tl.csv --attrib-out /tmp/a.folded",
         ))
         .unwrap();
@@ -511,21 +532,21 @@ mod tests {
         assert!(parse_cli(&argv("sweep --slo-p99 -3")).is_err());
         assert!(parse_cli(&argv("sweep --slo-p99 abc")).is_err());
         assert!(parse_cli(&argv("sweep --slo-p99")).is_err());
-        let (_, t, _) = parse_cli(&argv("fig 8 --slo-p99 250000")).unwrap();
+        let (_, t, _, _) = parse_cli(&argv("fig 8 --slo-p99 250000")).unwrap();
         assert_eq!(t.slo_p99, Some(250_000.0));
         assert!(t.attrib_active());
     }
 
     #[test]
     fn trace_flags_alone_do_not_enable_attribution() {
-        let (_, t, _) = parse_cli(&argv("sweep --trace-out /tmp/t.json")).unwrap();
+        let (_, t, _, _) = parse_cli(&argv("sweep --trace-out /tmp/t.json")).unwrap();
         assert!(t.is_active());
         assert!(!t.attrib_active());
     }
 
     #[test]
     fn robustness_flags_accepted_anywhere() {
-        let (cmd, _, r) = parse_cli(&argv(
+        let (cmd, _, r, _) = parse_cli(&argv(
             "sweep --faults seed=7,wake-fail=0.2 --config AW --queue-cap 8 --request-timeout 500",
         ))
         .unwrap();
@@ -537,6 +558,18 @@ mod tests {
         assert_eq!(spec.wake_fail, 0.2);
         assert_eq!(r.queue_cap, Some(8));
         assert_eq!(r.request_timeout_us, Some(500.0));
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_validates() {
+        let (cmd, _, _, e) = parse_cli(&argv("fig 8 --jobs 4 --quick")).unwrap();
+        assert_eq!(cmd, Command::Fig { number: 8, quick: true });
+        assert_eq!(e.jobs, Some(4));
+        let (_, _, _, e) = parse_cli(&argv("report")).unwrap();
+        assert_eq!(e.jobs, None);
+        assert!(parse_cli(&argv("sweep --jobs 0")).is_err());
+        assert!(parse_cli(&argv("sweep --jobs abc")).is_err());
+        assert!(parse_cli(&argv("sweep --jobs")).is_err());
     }
 
     #[test]

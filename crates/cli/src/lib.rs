@@ -20,7 +20,9 @@
 mod args;
 mod run;
 
-pub use args::{parse, parse_cli, Command, ParseError, RobustnessArgs, SweepArgs, TelemetryArgs};
+pub use args::{
+    parse, parse_cli, Command, ExecArgs, ParseError, RobustnessArgs, SweepArgs, TelemetryArgs,
+};
 pub use run::{execute, execute_with};
 
 /// The CLI usage text.
@@ -47,6 +49,12 @@ COMMANDS:
 
 OPTIONS (fig/validate/ablations/report):
     --quick                reduced parameter set (seconds, not minutes)
+
+EXECUTION OPTIONS (any experiment subcommand):
+    --jobs <N>             worker threads for sweep execution (default:
+                           the AW_JOBS environment variable, then the
+                           machine's available parallelism); reports are
+                           byte-identical at any worker count
 
 OPTIONS (sweep):
     --workload <memcached|kafka-low|kafka-high|mysql-low|mysql-mid|mysql-high|

@@ -3,6 +3,7 @@
 //! retention, and the C6A/C6AE split.
 
 use aw_cstates::{C6Flow, CState, CStateConfig, NamedConfig};
+use aw_exec::SweepExecutor;
 use aw_pma::{PmaFsm, Ufpg, WakePolicy};
 use aw_power::PpaModel;
 use aw_server::{GovernorKind, ServerConfig, ServerSim};
@@ -32,25 +33,23 @@ pub struct GovernorAblationRow {
 /// and oracle is the paper's "residency time is hard to guess" problem.
 #[must_use]
 pub fn governor_ablation(params: &SweepParams, qps: f64) -> Vec<GovernorAblationRow> {
-    [GovernorKind::Menu, GovernorKind::Ladder, GovernorKind::Oracle]
-        .iter()
-        .map(|&kind| {
-            let cfg = ServerConfig::new(params.cores, NamedConfig::Baseline)
-                .with_duration(params.duration)
-                .with_governor(kind);
-            let m = ServerSim::new(cfg, memcached_etc(qps), params.seed).run();
-            let deep = m.residency_of(CState::C1E).get()
-                + m.residency_of(CState::C6A).get()
-                + m.residency_of(CState::C6AE).get()
-                + m.residency_of(CState::C6).get();
-            GovernorAblationRow {
-                governor: format!("{kind:?}"),
-                avg_power_mw: m.avg_core_power.as_milliwatts(),
-                p99_us: m.server_latency.p99.as_micros(),
-                deep_residency_pct: deep * 100.0,
-            }
-        })
-        .collect()
+    let kinds = [GovernorKind::Menu, GovernorKind::Ladder, GovernorKind::Oracle];
+    SweepExecutor::current().map(&kinds, |&kind| {
+        let cfg = ServerConfig::new(params.cores, NamedConfig::Baseline)
+            .with_duration(params.duration)
+            .with_governor(kind);
+        let m = ServerSim::new(cfg, memcached_etc(qps), params.seed).run();
+        let deep = m.residency_of(CState::C1E).get()
+            + m.residency_of(CState::C6A).get()
+            + m.residency_of(CState::C6AE).get()
+            + m.residency_of(CState::C6).get();
+        GovernorAblationRow {
+            governor: format!("{kind:?}"),
+            avg_power_mw: m.avg_core_power.as_milliwatts(),
+            p99_us: m.server_latency.p99.as_micros(),
+            deep_residency_pct: deep * 100.0,
+        }
+    })
 }
 
 /// One zone-count ablation row.
@@ -164,21 +163,29 @@ pub struct EnhancedSplit {
 /// Runs the C6A/C6AE split ablation on Memcached.
 #[must_use]
 pub fn enhanced_split(params: &SweepParams, qps: f64) -> EnhancedSplit {
-    let run = |mask: CStateConfig| {
-        let cfg = ServerConfig::new(params.cores, NamedConfig::NtAw)
-            .with_cstates(mask)
-            .with_duration(params.duration);
-        ServerSim::new(cfg, memcached_etc(qps), params.seed).run()
-    };
-    let baseline_cfg =
-        ServerConfig::new(params.cores, NamedConfig::NtBaseline).with_duration(params.duration);
-    let baseline = ServerSim::new(baseline_cfg, memcached_etc(qps), params.seed).run();
-
-    let both = run(CStateConfig::new([CState::C6A, CState::C6AE, CState::C6], false));
-    let only = run(CStateConfig::new([CState::C6A, CState::C6], false));
+    // Three independent runs (baseline + two masks) on the executor.
+    let masks = [
+        None,
+        Some(CStateConfig::new([CState::C6A, CState::C6AE, CState::C6], false)),
+        Some(CStateConfig::new([CState::C6A, CState::C6], false)),
+    ];
+    let runs = SweepExecutor::current().map(&masks, |mask| match mask {
+        None => {
+            let cfg = ServerConfig::new(params.cores, NamedConfig::NtBaseline)
+                .with_duration(params.duration);
+            ServerSim::new(cfg, memcached_etc(qps), params.seed).run()
+        }
+        Some(mask) => {
+            let cfg = ServerConfig::new(params.cores, NamedConfig::NtAw)
+                .with_cstates(mask.clone())
+                .with_duration(params.duration);
+            ServerSim::new(cfg, memcached_etc(qps), params.seed).run()
+        }
+    });
+    let (baseline, both, only) = (&runs[0], &runs[1], &runs[2]);
     EnhancedSplit {
-        with_c6ae_pct: both.power_savings_vs(&baseline).as_percent(),
-        c6a_only_pct: only.power_savings_vs(&baseline).as_percent(),
+        with_c6ae_pct: both.power_savings_vs(baseline).as_percent(),
+        c6a_only_pct: only.power_savings_vs(baseline).as_percent(),
     }
 }
 

@@ -88,19 +88,27 @@ impl Diurnal {
         ServerSim::new(cfg, workload, self.seed).run()
     }
 
-    /// Runs both streams under both configurations.
+    /// Runs both streams under both configurations — four independent
+    /// simulations, executed on the ambient
+    /// [`SweepExecutor`](aw_exec::SweepExecutor).
     #[must_use]
     pub fn run(&self) -> DiurnalReport {
-        let base_flat = self.run_one(NamedConfig::Baseline, false);
-        let aw_flat = self.run_one(NamedConfig::Aw, false);
-        let base_diurnal = self.run_one(NamedConfig::Baseline, true);
-        let aw_diurnal = self.run_one(NamedConfig::Aw, true);
+        let points = [
+            (NamedConfig::Baseline, false),
+            (NamedConfig::Aw, false),
+            (NamedConfig::Baseline, true),
+            (NamedConfig::Aw, true),
+        ];
+        let runs = aw_exec::SweepExecutor::current()
+            .map(&points, |&(named, diurnal)| self.run_one(named, diurnal));
+        let (base_flat, aw_flat, base_diurnal, aw_diurnal) =
+            (&runs[0], &runs[1], &runs[2], &runs[3]);
         DiurnalReport {
-            stationary_savings_pct: aw_flat.power_savings_vs(&base_flat).as_percent(),
-            diurnal_savings_pct: aw_diurnal.power_savings_vs(&base_diurnal).as_percent(),
+            stationary_savings_pct: aw_flat.power_savings_vs(base_flat).as_percent(),
+            diurnal_savings_pct: aw_diurnal.power_savings_vs(base_diurnal).as_percent(),
             baseline_power_mw: base_diurnal.avg_core_power.as_milliwatts(),
             aw_power_mw: aw_diurnal.avg_core_power.as_milliwatts(),
-            tail_delta_pct: aw_diurnal.tail_latency_delta_vs(&base_diurnal) * 100.0,
+            tail_delta_pct: aw_diurnal.tail_latency_delta_vs(base_diurnal) * 100.0,
         }
     }
 }

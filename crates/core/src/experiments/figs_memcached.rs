@@ -3,6 +3,7 @@
 use std::fmt;
 
 use aw_cstates::{CState, NamedConfig};
+use aw_exec::SweepExecutor;
 use aw_power::AwTransform;
 use aw_server::{RunMetrics, ServerConfig, ServerSim};
 use aw_types::Nanos;
@@ -105,74 +106,90 @@ impl Fig8 {
         Fig8 { params }
     }
 
-    /// Runs the sweep.
+    /// Runs the sweep. Load points are independent simulations, so they
+    /// run on the ambient [`SweepExecutor`]; results are assembled in
+    /// load order regardless of worker count.
     #[must_use]
     pub fn run(&self) -> Fig8Report {
-        let mut rows = Vec::new();
+        let points = self.executor_points();
+        let results = SweepExecutor::current().map(&points, |&qps| self.run_point(qps));
+        let mut rows = Vec::with_capacity(results.len());
         let mut scalability = Series::new("2.0→2.2 GHz gain %");
-        for &qps in &self.params.qps {
-            let baseline = self.params.run(NamedConfig::Baseline, qps);
-            let aw = self.params.run(NamedConfig::Aw, qps);
-
-            // The paper's Eq. 3 methodology on the measured baseline.
-            let transform = AwTransform::new(
-                memcached_etc(qps).frequency_scalability(),
-                baseline.transitions_per_second() / self.params.cores as f64,
-            );
-            let catalog = aw_cstates::CStateCatalog::skylake_with_aw();
-            let p_base =
-                aw_power::average_power(&baseline.residencies, &catalog, aw_cstates::FreqLevel::P1);
-            let p_model =
-                transform.average_power(&baseline.residencies, &catalog, aw_cstates::FreqLevel::P1);
-
-            // Fig. 8c: worst case charges the extra AW transition latency
-            // (~100 ns) plus the 1% frequency stretch to *every* query;
-            // the expected case charges only the transitions that
-            // actually happened (transitions / completed queries).
-            let extra = 100.0; // ns per transition (Sec. 5.2)
-            let mean_lat = baseline.server_latency.mean.as_nanos().max(1.0);
-            let freq_stretch_ns = 0.01
-                * memcached_etc(qps).frequency_scalability()
-                * baseline.server_latency.mean.as_nanos();
-            let worst = (extra + freq_stretch_ns) / mean_lat * 100.0;
-            let transitions_per_query = if baseline.completed == 0 {
-                0.0
-            } else {
-                let total: u64 = baseline.transitions.values().sum();
-                total as f64 / baseline.completed as f64
-            };
-            let expected = (extra * transitions_per_query + freq_stretch_ns) / mean_lat * 100.0;
-            let e2e_mean = baseline.end_to_end_latency.mean.as_nanos().max(1.0);
-            let expected_e2e = (extra * transitions_per_query + freq_stretch_ns) / e2e_mean * 100.0;
-
-            rows.push(Fig8Row {
-                qps,
-                residency_pct: [
-                    baseline.residency_of(CState::C0).as_percent(),
-                    baseline.residency_of(CState::C1).as_percent(),
-                    baseline.residency_of(CState::C1E).as_percent(),
-                    baseline.residency_of(CState::C6).as_percent(),
-                ],
-                power_savings_pct: aw.power_savings_vs(&baseline).as_percent(),
-                model_savings_pct: (1.0 - p_model / p_base) * 100.0,
-                avg_latency_delta_pct: aw.mean_latency_delta_vs(&baseline) * 100.0,
-                tail_latency_delta_pct: aw.tail_latency_delta_vs(&baseline) * 100.0,
-                worst_case_server_delta_pct: worst,
-                expected_server_delta_pct: expected,
-                expected_e2e_delta_pct: expected_e2e,
-            });
-
-            // Fig. 8d: stretch service as if the cores ran at 2.0 GHz.
-            let s = memcached_etc(qps).frequency_scalability();
-            let slow_factor = 1.0 + s * (2.2 / 2.0 - 1.0);
-            let slow = self.params.run_scaled_service(NamedConfig::Baseline, qps, slow_factor);
-            let gain = (slow.server_latency.mean.as_nanos()
-                / baseline.server_latency.mean.as_nanos().max(1.0)
-                - 1.0)
-                * 100.0;
+        for (row, (qps, gain)) in results {
+            rows.push(row);
             scalability.push(qps, gain);
         }
         Fig8Report { rows, scalability }
+    }
+
+    fn executor_points(&self) -> Vec<f64> {
+        self.params.qps.clone()
+    }
+
+    /// One self-contained sweep point: the three simulations at `qps`
+    /// plus the Eq. 3 model transform, returning the Fig. 8a–c row and
+    /// the Fig. 8d scalability sample.
+    fn run_point(&self, qps: f64) -> (Fig8Row, (f64, f64)) {
+        let baseline = self.params.run(NamedConfig::Baseline, qps);
+        let aw = self.params.run(NamedConfig::Aw, qps);
+
+        // The paper's Eq. 3 methodology on the measured baseline.
+        let transform = AwTransform::new(
+            memcached_etc(qps).frequency_scalability(),
+            baseline.transitions_per_second() / self.params.cores as f64,
+        );
+        let catalog = aw_cstates::CStateCatalog::skylake_with_aw();
+        let p_base =
+            aw_power::average_power(&baseline.residencies, &catalog, aw_cstates::FreqLevel::P1);
+        let p_model =
+            transform.average_power(&baseline.residencies, &catalog, aw_cstates::FreqLevel::P1);
+
+        // Fig. 8c: worst case charges the extra AW transition latency
+        // (~100 ns) plus the 1% frequency stretch to *every* query;
+        // the expected case charges only the transitions that
+        // actually happened (transitions / completed queries).
+        let extra = 100.0; // ns per transition (Sec. 5.2)
+        let mean_lat = baseline.server_latency.mean.as_nanos().max(1.0);
+        let freq_stretch_ns = 0.01
+            * memcached_etc(qps).frequency_scalability()
+            * baseline.server_latency.mean.as_nanos();
+        let worst = (extra + freq_stretch_ns) / mean_lat * 100.0;
+        let transitions_per_query = if baseline.completed == 0 {
+            0.0
+        } else {
+            let total: u64 = baseline.transitions.values().sum();
+            total as f64 / baseline.completed as f64
+        };
+        let expected = (extra * transitions_per_query + freq_stretch_ns) / mean_lat * 100.0;
+        let e2e_mean = baseline.end_to_end_latency.mean.as_nanos().max(1.0);
+        let expected_e2e = (extra * transitions_per_query + freq_stretch_ns) / e2e_mean * 100.0;
+
+        let row = Fig8Row {
+            qps,
+            residency_pct: [
+                baseline.residency_of(CState::C0).as_percent(),
+                baseline.residency_of(CState::C1).as_percent(),
+                baseline.residency_of(CState::C1E).as_percent(),
+                baseline.residency_of(CState::C6).as_percent(),
+            ],
+            power_savings_pct: aw.power_savings_vs(&baseline).as_percent(),
+            model_savings_pct: (1.0 - p_model / p_base) * 100.0,
+            avg_latency_delta_pct: aw.mean_latency_delta_vs(&baseline) * 100.0,
+            tail_latency_delta_pct: aw.tail_latency_delta_vs(&baseline) * 100.0,
+            worst_case_server_delta_pct: worst,
+            expected_server_delta_pct: expected,
+            expected_e2e_delta_pct: expected_e2e,
+        };
+
+        // Fig. 8d: stretch service as if the cores ran at 2.0 GHz.
+        let s = memcached_etc(qps).frequency_scalability();
+        let slow_factor = 1.0 + s * (2.2 / 2.0 - 1.0);
+        let slow = self.params.run_scaled_service(NamedConfig::Baseline, qps, slow_factor);
+        let gain = (slow.server_latency.mean.as_nanos()
+            / baseline.server_latency.mean.as_nanos().max(1.0)
+            - 1.0)
+            * 100.0;
+        (row, (qps, gain))
     }
 }
 
@@ -254,28 +271,30 @@ impl Fig9 {
         Fig9 { params }
     }
 
-    /// Runs the sweep.
+    /// Runs the sweep: the flattened `config × qps` grid runs on the
+    /// ambient [`SweepExecutor`], rows landing in grid order.
     #[must_use]
     pub fn run(&self) -> Fig9Report {
-        let mut rows = Vec::new();
-        for named in Self::CONFIGS {
-            for &qps in &self.params.qps {
-                let m = self.params.run(named, qps);
-                rows.push(Fig9Row {
-                    config: named.to_string(),
-                    qps,
-                    avg_latency_us: m.server_latency.mean.as_micros(),
-                    tail_latency_us: m.server_latency.p99.as_micros(),
-                    package_power_w: m.package_power().as_watts(),
-                    residency_pct: [
-                        m.residency_of(CState::C0).as_percent(),
-                        m.residency_of(CState::C1).as_percent(),
-                        m.residency_of(CState::C1E).as_percent(),
-                        m.residency_of(CState::C6).as_percent(),
-                    ],
-                });
+        let points: Vec<(NamedConfig, f64)> = Self::CONFIGS
+            .into_iter()
+            .flat_map(|named| self.params.qps.iter().map(move |&qps| (named, qps)))
+            .collect();
+        let rows = SweepExecutor::current().map(&points, |&(named, qps)| {
+            let m = self.params.run(named, qps);
+            Fig9Row {
+                config: named.to_string(),
+                qps,
+                avg_latency_us: m.server_latency.mean.as_micros(),
+                tail_latency_us: m.server_latency.p99.as_micros(),
+                package_power_w: m.package_power().as_watts(),
+                residency_pct: [
+                    m.residency_of(CState::C0).as_percent(),
+                    m.residency_of(CState::C1).as_percent(),
+                    m.residency_of(CState::C1E).as_percent(),
+                    m.residency_of(CState::C6).as_percent(),
+                ],
             }
-        }
+        });
         Fig9Report { rows }
     }
 }
@@ -351,29 +370,32 @@ impl Fig10 {
     /// configuration had it.
     #[must_use]
     pub fn run(&self) -> Fig10Report {
-        let mut rows = Vec::new();
-        for &qps in &self.params.qps {
-            for named in Fig9::CONFIGS {
-                let tuned = self.params.run(named, qps);
-                let tuned_mask = named.config();
-                let mut aw_states = vec![aw_cstates::CState::C6A];
-                if tuned_mask.is_enabled(aw_cstates::CState::C6) {
-                    aw_states.push(aw_cstates::CState::C6);
-                }
-                let twin_mask = aw_cstates::CStateConfig::new(aw_states, tuned_mask.turbo());
-                let cfg = ServerConfig::new(self.params.cores, NamedConfig::NtAw)
-                    .with_cstates(twin_mask)
-                    .with_duration(self.params.duration);
-                let aw = ServerSim::new(cfg, memcached_etc(qps), self.params.seed).run();
-                rows.push(Fig10Row {
-                    config: named.to_string(),
-                    qps,
-                    power_reduction_pct: aw.power_savings_vs(&tuned).as_percent(),
-                    avg_latency_reduction_pct: -aw.mean_latency_delta_vs(&tuned) * 100.0,
-                    tail_latency_reduction_pct: -aw.tail_latency_delta_vs(&tuned) * 100.0,
-                });
+        let points: Vec<(f64, NamedConfig)> = self
+            .params
+            .qps
+            .iter()
+            .flat_map(|&qps| Fig9::CONFIGS.into_iter().map(move |named| (qps, named)))
+            .collect();
+        let rows = SweepExecutor::current().map(&points, |&(qps, named)| {
+            let tuned = self.params.run(named, qps);
+            let tuned_mask = named.config();
+            let mut aw_states = vec![aw_cstates::CState::C6A];
+            if tuned_mask.is_enabled(aw_cstates::CState::C6) {
+                aw_states.push(aw_cstates::CState::C6);
             }
-        }
+            let twin_mask = aw_cstates::CStateConfig::new(aw_states, tuned_mask.turbo());
+            let cfg = ServerConfig::new(self.params.cores, NamedConfig::NtAw)
+                .with_cstates(twin_mask)
+                .with_duration(self.params.duration);
+            let aw = ServerSim::new(cfg, memcached_etc(qps), self.params.seed).run();
+            Fig10Row {
+                config: named.to_string(),
+                qps,
+                power_reduction_pct: aw.power_savings_vs(&tuned).as_percent(),
+                avg_latency_reduction_pct: -aw.mean_latency_delta_vs(&tuned) * 100.0,
+                tail_latency_reduction_pct: -aw.tail_latency_delta_vs(&tuned) * 100.0,
+            }
+        });
         Fig10Report { rows }
     }
 }
@@ -457,22 +479,23 @@ impl Fig11 {
         Fig11 { params }
     }
 
-    /// Runs the sweep.
+    /// Runs the sweep on the ambient [`SweepExecutor`].
     #[must_use]
     pub fn run(&self) -> Fig11Report {
-        let mut rows = Vec::new();
-        for named in Self::CONFIGS {
-            for &qps in &self.params.qps {
-                let m = self.params.run(named, qps);
-                rows.push((
-                    named.to_string(),
-                    qps,
-                    m.server_latency.mean.as_micros(),
-                    m.server_latency.p99.as_micros(),
-                    m.turbo_fraction.get(),
-                ));
-            }
-        }
+        let points: Vec<(NamedConfig, f64)> = Self::CONFIGS
+            .into_iter()
+            .flat_map(|named| self.params.qps.iter().map(move |&qps| (named, qps)))
+            .collect();
+        let rows = SweepExecutor::current().map(&points, |&(named, qps)| {
+            let m = self.params.run(named, qps);
+            (
+                named.to_string(),
+                qps,
+                m.server_latency.mean.as_micros(),
+                m.server_latency.p99.as_micros(),
+                m.turbo_fraction.get(),
+            )
+        });
         Fig11Report { rows }
     }
 }

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use aw_cstates::{CState, CStateConfig, NamedConfig};
+use aw_exec::SweepExecutor;
 use aw_server::{RunMetrics, ServerConfig, ServerSim};
 use aw_types::Nanos;
 use aw_workloads::{kafka, mysql_oltp, KafkaRate, MysqlRate};
@@ -74,18 +75,26 @@ impl Fig12 {
         ServerSim::new(cfg, mysql_oltp(rate).scaled_qps(scale), self.seed).run()
     }
 
-    /// Runs all three rates.
+    /// Runs all three rates: the flattened `rate × configuration` grid
+    /// (nine independent simulations) runs on the ambient
+    /// [`SweepExecutor`], then each rate's triple folds into its row.
     #[must_use]
     pub fn run_all(&self) -> Fig12Report {
         let baseline_states = CStateConfig::new([CState::C1, CState::C6], false);
         let no_c6 = CStateConfig::new([CState::C1], false);
         let c6a = CStateConfig::new([CState::C6A], false);
-        let rows = MysqlRate::ALL
+        let configs = [baseline_states, no_c6, c6a];
+        let points: Vec<(MysqlRate, CStateConfig)> = MysqlRate::ALL
             .iter()
-            .map(|&rate| {
-                let base = self.run(baseline_states.clone(), rate);
-                let lean = self.run(no_c6.clone(), rate);
-                let aw = self.run(c6a.clone(), rate);
+            .flat_map(|&rate| configs.iter().map(move |c| (rate, c.clone())))
+            .collect();
+        let metrics = SweepExecutor::current()
+            .map(&points, |(rate, cstates)| self.run(cstates.clone(), *rate));
+        let rows = metrics
+            .chunks_exact(configs.len())
+            .zip(MysqlRate::ALL.iter())
+            .map(|(runs, &rate)| {
+                let (base, lean, aw) = (&runs[0], &runs[1], &runs[2]);
                 Fig12Row {
                     rate: rate.to_string(),
                     baseline_residency_pct: [
@@ -97,9 +106,9 @@ impl Fig12 {
                         lean.residency_of(CState::C0).as_percent(),
                         lean.residency_of(CState::C1).as_percent(),
                     ],
-                    tail_improvement_pct: -lean.tail_latency_delta_vs(&base) * 100.0,
-                    avg_improvement_pct: -lean.mean_latency_delta_vs(&base) * 100.0,
-                    c6a_power_reduction_pct: aw.power_savings_vs(&lean).as_percent(),
+                    tail_improvement_pct: -lean.tail_latency_delta_vs(base) * 100.0,
+                    avg_improvement_pct: -lean.mean_latency_delta_vs(base) * 100.0,
+                    c6a_power_reduction_pct: aw.power_savings_vs(lean).as_percent(),
                 }
             })
             .collect();
@@ -190,18 +199,24 @@ impl Fig13 {
         ServerSim::new(cfg, kafka(rate).scaled_qps(scale), self.seed).run()
     }
 
-    /// Runs both rates.
+    /// Runs both rates: the flattened `rate × configuration` grid (six
+    /// independent simulations) runs on the ambient [`SweepExecutor`].
     #[must_use]
     pub fn run_all(&self) -> Fig13Report {
         let baseline_states = CStateConfig::new([CState::C1, CState::C6], false);
         let no_c6 = CStateConfig::new([CState::C1], false);
         let c6a = CStateConfig::new([CState::C6A], false);
-        let rows = [KafkaRate::Low, KafkaRate::High]
-            .iter()
-            .map(|&rate| {
-                let base = self.run(baseline_states.clone(), rate);
-                let lean = self.run(no_c6.clone(), rate);
-                let aw = self.run(c6a.clone(), rate);
+        let configs = [baseline_states, no_c6, c6a];
+        let rates = [KafkaRate::Low, KafkaRate::High];
+        let points: Vec<(KafkaRate, CStateConfig)> =
+            rates.iter().flat_map(|&rate| configs.iter().map(move |c| (rate, c.clone()))).collect();
+        let metrics = SweepExecutor::current()
+            .map(&points, |(rate, cstates)| self.run(cstates.clone(), *rate));
+        let rows = metrics
+            .chunks_exact(configs.len())
+            .zip(rates.iter())
+            .map(|(runs, &rate)| {
+                let (base, lean, aw) = (&runs[0], &runs[1], &runs[2]);
                 Fig13Row {
                     rate: format!("{rate:?}").to_lowercase(),
                     baseline_residency_pct: [
@@ -210,9 +225,9 @@ impl Fig13 {
                         base.residency_of(CState::C6).as_percent(),
                     ],
                     c6_residency_pct: base.residency_of(CState::C6).as_percent(),
-                    tail_improvement_pct: -lean.tail_latency_delta_vs(&base) * 100.0,
-                    avg_improvement_pct: -lean.mean_latency_delta_vs(&base) * 100.0,
-                    c6a_power_reduction_pct: aw.power_savings_vs(&lean).as_percent(),
+                    tail_improvement_pct: -lean.tail_latency_delta_vs(base) * 100.0,
+                    avg_improvement_pct: -lean.mean_latency_delta_vs(base) * 100.0,
+                    c6a_power_reduction_pct: aw.power_savings_vs(lean).as_percent(),
                 }
             })
             .collect();

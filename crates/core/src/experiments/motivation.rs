@@ -97,25 +97,23 @@ pub fn motivation_simulated(seed: u64) -> Vec<MotivationRow> {
         ("search @ 25% load (simulated)", websearch(0.25, cores)),
         ("key-value store @ 20% load (simulated)", memcached_etc(kv_qps)),
     ];
-    cases
-        .into_iter()
-        .map(|(label, workload)| {
-            let cfg = ServerConfig::new(cores, NamedConfig::NtBaseline)
-                .with_cstates(CStateConfig::new([CState::C1, CState::C6], false))
-                .with_timer_tick(Nanos::from_millis(1.0))
-                .with_duration(Nanos::from_millis(600.0));
-            let m = ServerSim::new(cfg, workload, seed).run();
-            MotivationRow {
-                label: label.to_string(),
-                residencies_pct: (
-                    m.residency_of(CState::C0).as_percent(),
-                    m.residency_of(CState::C1).as_percent(),
-                    m.residency_of(CState::C6).as_percent(),
-                ),
-                savings_pct: motivation_savings(&m.residencies).as_percent(),
-            }
-        })
-        .collect()
+    // Three independent runs on the ambient executor, in case order.
+    aw_exec::SweepExecutor::current().map(&cases, |(label, workload)| {
+        let cfg = ServerConfig::new(cores, NamedConfig::NtBaseline)
+            .with_cstates(CStateConfig::new([CState::C1, CState::C6], false))
+            .with_timer_tick(Nanos::from_millis(1.0))
+            .with_duration(Nanos::from_millis(600.0));
+        let m = ServerSim::new(cfg, workload.clone(), seed).run();
+        MotivationRow {
+            label: (*label).to_string(),
+            residencies_pct: (
+                m.residency_of(CState::C0).as_percent(),
+                m.residency_of(CState::C1).as_percent(),
+                m.residency_of(CState::C6).as_percent(),
+            ),
+            savings_pct: motivation_savings(&m.residencies).as_percent(),
+        }
+    })
 }
 
 #[cfg(test)]

@@ -73,18 +73,23 @@ impl PackageAnalysis {
     }
 
     /// Runs the analysis: MySQL and Memcached, each under the legacy
-    /// C1+C6 baseline and under C6A-only AW.
+    /// C1+C6 baseline and under C6A-only AW — four independent
+    /// simulations on the ambient
+    /// [`SweepExecutor`](aw_exec::SweepExecutor), in row order.
     #[must_use]
     pub fn run(&self) -> Vec<PackageRow> {
         let scale = self.cores as f64 / 10.0;
         let legacy = CStateConfig::new([CState::C1, CState::C6], false);
         let aw = CStateConfig::new([CState::C6A], false);
-        vec![
-            self.run_one(mysql_oltp(MysqlRate::Low).scaled_qps(scale), legacy.clone(), "C1+C6"),
-            self.run_one(mysql_oltp(MysqlRate::Low).scaled_qps(scale), aw.clone(), "C6A only"),
-            self.run_one(memcached_etc(200_000.0 * scale), legacy, "C1+C6"),
-            self.run_one(memcached_etc(200_000.0 * scale), aw, "C6A only"),
-        ]
+        let points = [
+            (mysql_oltp(MysqlRate::Low).scaled_qps(scale), legacy.clone(), "C1+C6"),
+            (mysql_oltp(MysqlRate::Low).scaled_qps(scale), aw.clone(), "C6A only"),
+            (memcached_etc(200_000.0 * scale), legacy, "C1+C6"),
+            (memcached_etc(200_000.0 * scale), aw, "C6A only"),
+        ];
+        aw_exec::SweepExecutor::current().map(&points, |(workload, cstates, label)| {
+            self.run_one(workload.clone(), cstates.clone(), label)
+        })
     }
 }
 

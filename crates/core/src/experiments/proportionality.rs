@@ -8,6 +8,7 @@
 //! each curve comes to the ideal `P(u) = u × P(1)` line.
 
 use aw_cstates::NamedConfig;
+use aw_exec::SweepExecutor;
 use aw_server::{ServerConfig, ServerSim};
 use aw_types::Nanos;
 use aw_workloads::memcached_etc;
@@ -77,20 +78,29 @@ impl Proportionality {
         }
     }
 
-    /// Runs both configurations across the utilization sweep.
+    /// Runs both configurations across the utilization sweep. Each
+    /// utilization step is an independent baseline + AW pair; the steps
+    /// run on the ambient [`SweepExecutor`] and the two curves assemble
+    /// in utilization order.
     #[must_use]
     pub fn run(&self) -> ProportionalityReport {
         let mean_service = memcached_etc(1.0).mean_service().as_secs();
-        let mut baseline = Series::new("baseline mW/core");
-        let mut aw = Series::new("AW mW/core");
-        for &u in &self.utilizations {
+        let pairs = SweepExecutor::current().map(&self.utilizations, |&u| {
             let qps = u * self.cores as f64 / mean_service;
             let run = |named: NamedConfig| {
                 let cfg = ServerConfig::new(self.cores, named).with_duration(self.duration);
                 ServerSim::new(cfg, memcached_etc(qps), self.seed).run()
             };
-            baseline.push(u, run(NamedConfig::Baseline).avg_core_power.as_milliwatts());
-            aw.push(u, run(NamedConfig::Aw).avg_core_power.as_milliwatts());
+            (
+                run(NamedConfig::Baseline).avg_core_power.as_milliwatts(),
+                run(NamedConfig::Aw).avg_core_power.as_milliwatts(),
+            )
+        });
+        let mut baseline = Series::new("baseline mW/core");
+        let mut aw = Series::new("AW mW/core");
+        for (&u, &(base_mw, aw_mw)) in self.utilizations.iter().zip(pairs.iter()) {
+            baseline.push(u, base_mw);
+            aw.push(u, aw_mw);
         }
         let baseline_score = proportionality_score(&baseline.points);
         let aw_score = proportionality_score(&aw.points);

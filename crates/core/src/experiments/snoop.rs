@@ -1,4 +1,9 @@
 //! The Sec. 7.5 snoop-impact analysis.
+//!
+//! Unlike the sweep drivers, this analysis is closed-form — two catalog
+//! lookups and four divisions, no simulation loop — so there is no point
+//! grid to hand to the parallel `SweepExecutor`; it runs in-place on the
+//! calling thread.
 
 use aw_cstates::{CState, CStateCatalog, FreqLevel};
 use aw_types::MilliWatts;

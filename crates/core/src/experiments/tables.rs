@@ -1,6 +1,7 @@
 //! The five table experiments.
 
 use aw_cstates::{C6AFlow, CState, CStateCatalog, ComponentMatrix, FreqLevel, NamedConfig};
+use aw_exec::SweepExecutor;
 use aw_pma::{PmaFsm, Ufpg, WakePolicy};
 use aw_power::{PpaModel, TcoModel};
 use aw_server::{ServerConfig, ServerSim};
@@ -211,7 +212,9 @@ pub fn table5(params: &Table5Params) -> TextTable {
         "Table 5: AW yearly cost savings per 100K servers (Memcached)",
         &["QPS", "Baseline AvgP", "AW AvgP", "ΔP per core", "Savings ($M/yr)"],
     );
-    for &qps in &params.qps {
+    // Each QPS point is an independent baseline + AW pair; run the
+    // points on the ambient executor and push rows in load order.
+    let rows = SweepExecutor::current().map(&params.qps, |&qps| {
         let run = |named: NamedConfig| {
             let cfg = ServerConfig::new(params.cores, named).with_duration(params.duration);
             ServerSim::new(cfg, memcached_etc(qps), params.seed).run()
@@ -220,13 +223,16 @@ pub fn table5(params: &Table5Params) -> TextTable {
         let aw = run(NamedConfig::Aw);
         let delta = (baseline.avg_core_power - aw.avg_core_power).clamp_non_negative();
         let dollars = tco.yearly_fleet_savings(delta);
-        t.push_row(vec![
+        vec![
             format!("{:.0}K", qps / 1e3),
             baseline.avg_core_power.to_string(),
             aw.avg_core_power.to_string(),
             delta.to_string(),
             format!("{:.2}", dollars / 1e6),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.push_row(row);
     }
     t
 }

@@ -10,6 +10,7 @@
 use std::fmt;
 
 use aw_cstates::{CStateCatalog, FreqLevel, NamedConfig};
+use aw_exec::SweepExecutor;
 use aw_power::average_power;
 use aw_server::{ServerConfig, ServerSim};
 use aw_types::Nanos;
@@ -108,34 +109,33 @@ impl Validation {
     }
 
     /// Runs every workload at every utilization and cross-checks Eq. 2.
+    /// The suite's workloads are independent runs, so they execute on
+    /// the ambient [`SweepExecutor`] in suite order.
     #[must_use]
     pub fn run(&self) -> ValidationReport {
         let catalog = CStateCatalog::skylake_with_aw();
-        let rows = validation_suite(&self.utilizations, self.cores)
-            .into_iter()
-            .map(|w| {
-                // Turbo disabled so Eq. 2's fixed C0 power applies
-                // (the paper's Eq. 4 handles the Turbo case separately).
-                let cfg = ServerConfig::new(self.cores, NamedConfig::NtBaseline)
-                    .with_duration(self.duration);
-                let name = w.name().to_string();
-                let m = ServerSim::new(cfg, w, self.seed).run();
-                let measured = m.avg_core_power.as_milliwatts();
-                let estimated =
-                    average_power(&m.residencies, &catalog, FreqLevel::P1).as_milliwatts();
-                let accuracy = if measured > 0.0 {
-                    (1.0 - (estimated - measured).abs() / measured) * 100.0
-                } else {
-                    0.0
-                };
-                ValidationRow {
-                    workload: name,
-                    measured_mw: measured,
-                    estimated_mw: estimated,
-                    accuracy_pct: accuracy,
-                }
-            })
-            .collect();
+        let suite = validation_suite(&self.utilizations, self.cores);
+        let rows = SweepExecutor::current().map(&suite, |w| {
+            // Turbo disabled so Eq. 2's fixed C0 power applies
+            // (the paper's Eq. 4 handles the Turbo case separately).
+            let cfg =
+                ServerConfig::new(self.cores, NamedConfig::NtBaseline).with_duration(self.duration);
+            let name = w.name().to_string();
+            let m = ServerSim::new(cfg, w.clone(), self.seed).run();
+            let measured = m.avg_core_power.as_milliwatts();
+            let estimated = average_power(&m.residencies, &catalog, FreqLevel::P1).as_milliwatts();
+            let accuracy = if measured > 0.0 {
+                (1.0 - (estimated - measured).abs() / measured) * 100.0
+            } else {
+                0.0
+            };
+            ValidationRow {
+                workload: name,
+                measured_mw: measured,
+                estimated_mw: estimated,
+                accuracy_pct: accuracy,
+            }
+        });
         ValidationReport { rows }
     }
 }

@@ -25,7 +25,8 @@
 //! | Sec. 7.5 snoop impact | [`experiments::snoop_impact`] |
 //!
 //! The underlying layers are re-exported for direct use:
-//! [`aw_types`] (units), [`aw_sim`] (DES kernel), [`aw_cstates`]
+//! [`aw_types`] (units), [`aw_sim`] (DES kernel), [`aw_exec`]
+//! (deterministic parallel sweep execution), [`aw_cstates`]
 //! (C-state architecture), [`aw_faults`] (deterministic fault
 //! injection), [`aw_pma`] (cycle-level PMA model),
 //! [`aw_power`] (analytical models), [`aw_server`] (server simulator),
@@ -56,6 +57,7 @@ mod report;
 pub use report::{attribution_table, degradation_table, telemetry_table, Series, TextTable};
 
 pub use aw_cstates;
+pub use aw_exec;
 pub use aw_faults;
 pub use aw_pma;
 pub use aw_power;

@@ -163,12 +163,16 @@ impl ServerSim {
             .map(|_| CircuitBreaker::new(config.breaker.threshold, config.breaker.cooldown))
             .collect();
         let demoted_cstates = config.cstates.demote_agile();
+        // Steady-state pending events: one service/entry/wake deadline
+        // per core, plus per-core timer ticks and a handful of global
+        // timers (arrival, snoop, warmup, fault clocks).
+        let queue_cap = config.cores * 4 + 16;
         ServerSim {
             config,
             workload,
             rng,
             snoop_rng,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(queue_cap),
             cores,
             rr_next: 0,
             latencies: SampleSet::new(),
@@ -232,8 +236,23 @@ impl ServerSim {
     /// Panics if `window` is not strictly positive.
     #[must_use]
     pub fn with_attribution(mut self, window: Nanos) -> Self {
-        self.attrib = Some(Attribution::new(window));
+        // Pre-size the span reservoir for the expected completions so
+        // the per-request `RequestSpan` push reuses one allocation
+        // instead of growing through doubling reallocations mid-run.
+        self.attrib = Some(Attribution::with_capacity(window, self.expected_samples()));
         self
+    }
+
+    /// Expected measured completions, used to pre-size the sample
+    /// reservoirs: offered load times measured duration, bounded so a
+    /// pathological parameterization cannot demand an absurd allocation.
+    fn expected_samples(&self) -> usize {
+        let expected = self.workload.offered_qps() * self.config.duration.as_secs();
+        if expected.is_finite() && expected > 0.0 {
+            (expected.ceil() as usize).min(1 << 22)
+        } else {
+            0
+        }
     }
 
     /// Advances core `id`'s meters to `now`, feeding the elapsed
@@ -942,10 +961,13 @@ impl ServerSim {
             core.reset_metrics(now);
         }
         self.uncore.reset_metrics(now);
-        self.latencies = SampleSet::new();
-        self.transition_waits = SampleSet::new();
-        self.queue_waits = SampleSet::new();
-        self.service_times = SampleSet::new();
+        // Measurement starts here: swap in reservoirs pre-sized for the
+        // expected completions so the record path never reallocates.
+        let expected = self.expected_samples();
+        self.latencies = SampleSet::with_capacity(expected);
+        self.transition_waits = SampleSet::with_capacity(expected);
+        self.queue_waits = SampleSet::with_capacity(expected);
+        self.service_times = SampleSet::with_capacity(expected);
         self.completed = 0;
         self.warmed_up = true;
     }

@@ -82,9 +82,12 @@ impl P2Quantile {
         assert!(!x.is_nan(), "cannot rank NaN");
         self.count += 1;
         if self.warmup.len() < 5 {
-            self.warmup.push(x);
+            // Sorted insert: the warmup buffer stays query-ready, so
+            // `estimate` reads a rank directly instead of cloning and
+            // re-sorting the buffer on every call.
+            let at = self.warmup.partition_point(|&w| w <= x);
+            self.warmup.insert(at, x);
             if self.warmup.len() == 5 {
-                self.warmup.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
                 for (h, &w) in self.heights.iter_mut().zip(self.warmup.iter()) {
                     *h = w;
                 }
@@ -184,14 +187,14 @@ impl P2Quantile {
     pub fn estimate(&self) -> Option<f64> {
         if self.warmup.len() < 5 {
             // Fewer than five samples: fall back to the nearest-rank
-            // value among what we have, or nothing.
+            // value among what we have, or nothing. `record` keeps the
+            // buffer sorted, so the rank is a direct index.
             if self.warmup.is_empty() {
                 return None;
             }
-            let mut sorted = self.warmup.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-            let rank = ((self.q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-            return Some(sorted[rank - 1]);
+            let rank =
+                ((self.q * self.warmup.len() as f64).ceil() as usize).clamp(1, self.warmup.len());
+            return Some(self.warmup[rank - 1]);
         }
         Some(self.heights[2])
     }
@@ -250,6 +253,28 @@ mod tests {
         est.record(2.0);
         assert_eq!(est.estimate(), Some(2.0));
         assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn warmup_buffer_stays_sorted_and_rank_exact() {
+        // Regression for the warmup-phase quadratic smell: `estimate`
+        // used to clone and fully re-sort the buffer on every call.
+        // `record` now maintains a sorted insert, so (a) the buffer is
+        // sorted after every observation and (b) the estimate matches a
+        // reference clone-and-sort nearest-rank at every prefix.
+        for q in [0.1, 0.5, 0.99] {
+            let mut est = P2Quantile::new(q);
+            let mut fed: Vec<f64> = Vec::new();
+            for x in [9.0, 2.0, 7.0, 2.0] {
+                est.record(x);
+                fed.push(x);
+                assert!(est.warmup.windows(2).all(|w| w[0] <= w[1]), "warmup unsorted: {est:?}");
+                let mut reference = fed.clone();
+                reference.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                let rank = ((q * reference.len() as f64).ceil() as usize).clamp(1, reference.len());
+                assert_eq!(est.estimate(), Some(reference[rank - 1]), "q={q} after {fed:?}");
+            }
+        }
     }
 
     #[test]

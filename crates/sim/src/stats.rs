@@ -116,6 +116,17 @@ impl OnlineStats {
 /// fit comfortably in memory, so we keep exact samples rather than a sketch.
 /// Percentiles use the nearest-rank method.
 ///
+/// # NaN policy
+///
+/// Samples are expected to be non-NaN (the simulators only feed finite
+/// latencies, waits, and service times in here). NaN is *tolerated*
+/// rather than rejected: [`record`](Self::record) does not check, and
+/// percentile queries order samples with [`f64::total_cmp`] — IEEE 754
+/// total order, under which every NaN with a positive sign bit ranks
+/// above `+inf`. A stray NaN therefore skews the extreme upper
+/// percentiles instead of panicking mid-sweep; [`mean`](Self::mean)
+/// propagates it as NaN.
+///
 /// # Examples
 ///
 /// ```
@@ -140,6 +151,21 @@ impl SampleSet {
     #[must_use]
     pub fn new() -> Self {
         SampleSet { samples: Vec::new(), sorted: true }
+    }
+
+    /// Creates an empty sample set with room for `capacity` samples.
+    ///
+    /// Hot paths that know roughly how many samples a run will produce
+    /// (e.g. `offered load × duration`) use this to avoid the doubling
+    /// reallocations of a growing reservoir.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        SampleSet { samples: Vec::with_capacity(capacity), sorted: true }
+    }
+
+    /// Reserves room for at least `additional` further samples.
+    pub fn reserve(&mut self, additional: usize) {
+        self.samples.reserve(additional);
     }
 
     /// Records one sample.
@@ -182,7 +208,11 @@ impl SampleSet {
             return None;
         }
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+            // `total_cmp` is a total order, so there is no NaN panic
+            // path here, and `sort_unstable` skips the stable sort's
+            // scratch allocation; for the NaN-free data the simulators
+            // produce the resulting order is identical.
+            self.samples.sort_unstable_by(f64::total_cmp);
             self.sorted = true;
         }
         let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
@@ -372,6 +402,33 @@ mod tests {
         assert_eq!(s.percentile(1.0), Some(10.0));
         s.record(20.0);
         assert_eq!(s.percentile(1.0), Some(20.0));
+    }
+
+    #[test]
+    fn with_capacity_and_reserve_preallocate() {
+        let mut s = SampleSet::with_capacity(64);
+        assert!(s.is_empty());
+        let base = s.samples.capacity();
+        assert!(base >= 64);
+        for i in 0..64 {
+            s.record(f64::from(i));
+        }
+        assert_eq!(s.samples.capacity(), base, "pre-sized reservoir reallocated");
+        s.reserve(100);
+        assert!(s.samples.capacity() >= 164);
+        assert_eq!(s.percentile(0.5), Some(31.0));
+    }
+
+    #[test]
+    fn nan_skews_the_tail_instead_of_panicking() {
+        let mut s = SampleSet::new();
+        for x in [3.0, f64::NAN, 1.0, 2.0] {
+            s.record(x);
+        }
+        // total_cmp ranks the (positive-sign) NaN above +inf: the top
+        // percentile is poisoned, the rest of the query still answers.
+        assert_eq!(s.percentile(0.5), Some(2.0));
+        assert!(s.percentile(1.0).unwrap().is_nan());
     }
 
     #[test]

@@ -213,6 +213,19 @@ impl Attribution {
         Attribution { spans: Vec::new(), timeline: Timeline::new(window) }
     }
 
+    /// Like [`new`](Self::new), with the span reservoir pre-sized for
+    /// `expected_spans` requests so the per-request
+    /// [`record_span`](Self::record_span) push does not reallocate on
+    /// the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is not strictly positive.
+    #[must_use]
+    pub fn with_capacity(window: Nanos, expected_spans: usize) -> Self {
+        Attribution { spans: Vec::with_capacity(expected_spans), timeline: Timeline::new(window) }
+    }
+
     /// Records one completed request.
     pub fn record_span(&mut self, span: RequestSpan) {
         self.timeline.record_span(&span);
@@ -293,7 +306,7 @@ fn summarize(spans: &[RequestSpan]) -> AttributionSummary {
 
     // Exact nearest-rank p99 over server latency — the tail threshold.
     let mut latencies: Vec<f64> = all.iter().map(|s| s.server_latency().as_nanos()).collect();
-    latencies.sort_by(f64::total_cmp);
+    latencies.sort_unstable_by(f64::total_cmp);
     let tail_threshold = if latencies.is_empty() {
         Nanos::ZERO
     } else {

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Sweep-throughput benchmark: times `paper_report --quick` and the full
+# Fig. 8 sweep at jobs=1 vs jobs=N (N = available parallelism, floor 4)
+# and writes BENCH_sweep.json (wall-clock, speedup, points/sec) so the
+# perf trajectory is tracked PR over PR.
+#
+# The executor guarantees byte-identical output at any worker count, so
+# the two timings exercise the same work; the speedup column is pure
+# scheduling. On a single-core host the expected speedup is ~1.0 — the
+# JSON records host parallelism so the number stays interpretable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> building release artifacts"
+cargo build -q --release -p agilewatts --example paper_report
+cargo build -q --release -p aw-cli
+
+python3 - "$@" <<'EOF'
+import json, os, subprocess, time
+
+cores = os.cpu_count() or 1
+jobs_n = max(4, cores)
+
+def timed(cmd, env_jobs, runs=3):
+    """Median wall-clock of `cmd` with AW_JOBS=env_jobs."""
+    env = dict(os.environ, AW_JOBS=str(env_jobs))
+    samples = []
+    for _ in range(runs):
+        t0 = time.monotonic()
+        subprocess.run(cmd, stdout=subprocess.DEVNULL, env=env, check=True)
+        samples.append(time.monotonic() - t0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+FIG8_POINTS = 7  # SweepParams::default() qps grid
+
+benches = []
+for name, cmd, points in [
+    ("paper_report_quick", ["./target/release/examples/paper_report", "--quick"], None),
+    ("fig8_sweep", ["./target/release/agilewatts", "fig", "8"], FIG8_POINTS),
+]:
+    t1 = timed(cmd, 1)
+    tn = timed(cmd, jobs_n)
+    entry = {
+        "bench": name,
+        "jobs_1_wall_s": round(t1, 4),
+        f"jobs_{jobs_n}_wall_s": round(tn, 4),
+        "speedup": round(t1 / tn, 3) if tn > 0 else None,
+    }
+    if points is not None:
+        entry["points"] = points
+        entry["points_per_sec_jobs_1"] = round(points / t1, 3)
+        entry[f"points_per_sec_jobs_{jobs_n}"] = round(points / tn, 3)
+    benches.append(entry)
+    print(f"{name}: jobs=1 {t1:.3f}s, jobs={jobs_n} {tn:.3f}s, speedup {t1/tn:.2f}x")
+
+report = {
+    "host_parallelism": cores,
+    "jobs_n": jobs_n,
+    "note": "speedup ~1.0 expected when host_parallelism == 1"
+    if cores == 1
+    else "speedup should approach min(jobs_n, points, host_parallelism)",
+    "benches": benches,
+}
+with open("BENCH_sweep.json", "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_sweep.json")
+EOF

@@ -47,4 +47,13 @@ echo "$out" | grep -q "invariants: OK" || {
     exit 1
 }
 
+echo "==> parallel determinism smoke (--jobs 2 vs --jobs 1)"
+serial=$(cargo run -q --release -p aw-cli -- fig 8 --quick --jobs 1)
+parallel=$(cargo run -q --release -p aw-cli -- fig 8 --quick --jobs 2)
+if [ "$serial" != "$parallel" ]; then
+    echo "verify: fig 8 output differs between --jobs 1 and --jobs 2" >&2
+    diff <(echo "$serial") <(echo "$parallel") >&2 || true
+    exit 1
+fi
+
 echo "verify: OK"

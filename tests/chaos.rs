@@ -158,9 +158,13 @@ fn random_spec(rng: &mut SimRng, round: u64) -> FaultSpec {
 /// no shed or timed-out request goes unaccounted.
 #[test]
 fn chaos_plans_terminate_with_invariants_intact() {
+    // The plan stream is one serial RNG, so draw all 32 specs first;
+    // the rounds themselves are independent simulations (own seed, own
+    // plan) and run on the ambient executor.
     let mut rng = SimRng::seed(0xC4A0_5EED);
-    for round in 0..32 {
-        let spec = random_spec(&mut rng, round);
+    let rounds: Vec<(u64, FaultSpec)> =
+        (0..32).map(|round| (round, random_spec(&mut rng, round))).collect();
+    agilewatts::aw_exec::SweepExecutor::current().map(&rounds, |&(round, ref spec)| {
         let cfg = ServerConfig::new(4, NamedConfig::Aw)
             .with_duration(Nanos::from_millis(30.0))
             .with_queue_cap(8)
@@ -183,5 +187,5 @@ fn chaos_plans_terminate_with_invariants_intact() {
         assert_eq!(reg.counter("overload.retries"), d.retries, "round {round} ({spec})");
         assert_eq!(reg.counter("breaker.trips"), d.breaker_trips, "round {round} ({spec})");
         assert_eq!(reg.counter("breaker.restores"), d.breaker_restores, "round {round} ({spec})");
-    }
+    });
 }
