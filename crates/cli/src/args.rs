@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use agilewatts::aw_cluster::RoutingPolicy;
 use agilewatts::aw_cstates::NamedConfig;
 use agilewatts::aw_faults::FaultSpec;
 
@@ -49,6 +50,8 @@ pub enum Command {
     },
     /// `sweep [OPTIONS]`
     Sweep(SweepArgs),
+    /// `fleet [OPTIONS]`
+    Fleet(FleetArgs),
     /// `report [--quick]`
     Report {
         /// Reduced parameter set.
@@ -83,6 +86,48 @@ impl Default for SweepArgs {
             config: NamedConfig::Baseline,
             cores: 10,
             duration_ms: 400.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Options of the `fleet` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetArgs {
+    /// Fleet size.
+    pub servers: usize,
+    /// Cores per server.
+    pub cores: usize,
+    /// Routing policy.
+    pub policy: RoutingPolicy,
+    /// C-state configuration.
+    pub config: NamedConfig,
+    /// Aggregate load as a fraction of total fleet capacity.
+    pub utilization: f64,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Epoch duration in milliseconds.
+    pub epoch_ms: f64,
+    /// Enable the fleet autoscaler.
+    pub autoscale: bool,
+    /// Diurnal swing amplitude (`None` = constant load).
+    pub diurnal: Option<f64>,
+    /// Fleet master seed.
+    pub seed: u64,
+}
+
+impl Default for FleetArgs {
+    fn default() -> Self {
+        FleetArgs {
+            servers: 8,
+            cores: 4,
+            policy: RoutingPolicy::Packing,
+            config: NamedConfig::Aw,
+            utilization: 0.25,
+            epochs: 6,
+            epoch_ms: 25.0,
+            autoscale: false,
+            diurnal: None,
             seed: 42,
         }
     }
@@ -164,6 +209,88 @@ impl RobustnessArgs {
     }
 }
 
+/// The flag set every experiment subcommand shares — telemetry outputs,
+/// robustness knobs, and execution options — parsed in one place
+/// ([`CommonArgs::try_consume`]) and applied in one place
+/// ([`CommonArgs::apply`]), so subcommands cannot drift apart.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CommonArgs {
+    /// Telemetry outputs (`--trace-out`, `--metrics-out`, `--slo-p99`,
+    /// `--timeline-out`, `--attrib-out`, `--trace-limit`).
+    pub telemetry: TelemetryArgs,
+    /// Fault injection and overload protection (`--faults`,
+    /// `--queue-cap`, `--request-timeout`).
+    pub robustness: RobustnessArgs,
+    /// Execution options (`--jobs`).
+    pub exec: ExecArgs,
+}
+
+impl CommonArgs {
+    /// `true` if any shared flag that changes what a run must print or
+    /// collect was given.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.telemetry.is_active() || self.robustness.is_active()
+    }
+
+    /// Installs the process-wide execution options (`--jobs`). Call once
+    /// before dispatching the command.
+    pub fn apply(&self) {
+        if let Some(jobs) = self.exec.jobs {
+            agilewatts::aw_exec::set_default_jobs(jobs);
+        }
+    }
+
+    /// Tries to consume `arg` (and its value from `it`) as one of the
+    /// shared flags. Returns `Ok(false)` when `arg` is not a shared flag,
+    /// leaving `it` untouched for the subcommand parser.
+    fn try_consume(
+        &mut self,
+        arg: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, ParseError> {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| ParseError(format!("{name} needs a value")))
+        };
+        match arg {
+            "--faults" => {
+                let v = value("--faults")?;
+                let spec = FaultSpec::parse(&v)
+                    .map_err(|e| ParseError(format!("bad --faults spec: {e}")))?;
+                self.robustness.faults = Some(spec);
+            }
+            "--queue-cap" => {
+                self.robustness.queue_cap =
+                    Some(positive_usize("--queue-cap", &value("--queue-cap")?)?);
+            }
+            "--request-timeout" => {
+                self.robustness.request_timeout_us = Some(positive_f64(
+                    "--request-timeout",
+                    &value("--request-timeout")?,
+                    "microseconds",
+                )?);
+            }
+            "--trace-out" => self.telemetry.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => self.telemetry.metrics_out = Some(value("--metrics-out")?),
+            "--trace-limit" => {
+                self.telemetry.trace_limit =
+                    Some(positive_usize("--trace-limit", &value("--trace-limit")?)?);
+            }
+            "--slo-p99" => {
+                self.telemetry.slo_p99 =
+                    Some(positive_f64("--slo-p99", &value("--slo-p99")?, "nanoseconds")?);
+            }
+            "--timeline-out" => self.telemetry.timeline_out = Some(value("--timeline-out")?),
+            "--attrib-out" => self.telemetry.attrib_out = Some(value("--attrib-out")?),
+            "--jobs" => {
+                self.exec.jobs = Some(positive_usize("--jobs", &value("--jobs")?)?);
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
 /// Parse failures, with a human-readable message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError(pub String);
@@ -184,6 +311,24 @@ fn named_config(name: &str) -> Result<NamedConfig, ParseError> {
         .ok_or_else(|| ParseError(format!("unknown config '{name}'")))
 }
 
+/// Parses a strictly positive integer flag value.
+fn positive_usize(flag: &str, v: &str) -> Result<usize, ParseError> {
+    let n: usize = v.parse().map_err(|_| ParseError(format!("bad {flag} value '{v}'")))?;
+    if n == 0 {
+        return Err(ParseError(format!("{flag} must be positive")));
+    }
+    Ok(n)
+}
+
+/// Parses a strictly positive, finite float flag value.
+fn positive_f64(flag: &str, v: &str, unit: &str) -> Result<f64, ParseError> {
+    let x: f64 = v.parse().map_err(|_| ParseError(format!("bad {flag} value '{v}'")))?;
+    if x <= 0.0 || !x.is_finite() {
+        return Err(ParseError(format!("{flag} must be positive {unit}")));
+    }
+    Ok(x)
+}
+
 fn has_quick(rest: &[String]) -> Result<bool, ParseError> {
     match rest {
         [] => Ok(false),
@@ -193,97 +338,31 @@ fn has_quick(rest: &[String]) -> Result<bool, ParseError> {
 }
 
 /// Parses an argument vector (without the program name), extracting the
-/// telemetry options (`--trace-out`, `--metrics-out`, `--trace-limit`),
-/// robustness options (`--faults`, `--queue-cap`, `--request-timeout`),
-/// and execution options (`--jobs`) first — they are accepted anywhere
-/// on the command line — and handing the rest to [`parse`].
+/// shared flags (telemetry, robustness, and execution options — see
+/// [`CommonArgs`]) first — they are accepted anywhere on the command
+/// line — and handing the rest to [`parse`].
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] describing the first invalid argument.
-pub fn parse_cli(
-    args: &[String],
-) -> Result<(Command, TelemetryArgs, RobustnessArgs, ExecArgs), ParseError> {
-    let mut telemetry = TelemetryArgs::default();
-    let mut robustness = RobustnessArgs::default();
-    let mut exec = ExecArgs::default();
+pub fn parse_cli(args: &[String]) -> Result<(Command, CommonArgs), ParseError> {
+    let mut common = CommonArgs::default();
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next().cloned().ok_or_else(|| ParseError(format!("{name} needs a value")))
-        };
-        match arg.as_str() {
-            "--faults" => {
-                let v = value("--faults")?;
-                let spec = FaultSpec::parse(&v)
-                    .map_err(|e| ParseError(format!("bad --faults spec: {e}")))?;
-                robustness.faults = Some(spec);
-            }
-            "--queue-cap" => {
-                let v = value("--queue-cap")?;
-                let cap: usize =
-                    v.parse().map_err(|_| ParseError(format!("bad --queue-cap value '{v}'")))?;
-                if cap == 0 {
-                    return Err(ParseError("--queue-cap must be positive".into()));
-                }
-                robustness.queue_cap = Some(cap);
-            }
-            "--request-timeout" => {
-                let v = value("--request-timeout")?;
-                let us: f64 = v
-                    .parse()
-                    .map_err(|_| ParseError(format!("bad --request-timeout value '{v}' (µs)")))?;
-                if us <= 0.0 || !us.is_finite() {
-                    return Err(ParseError(
-                        "--request-timeout must be positive microseconds".into(),
-                    ));
-                }
-                robustness.request_timeout_us = Some(us);
-            }
-            "--trace-out" => telemetry.trace_out = Some(value("--trace-out")?),
-            "--metrics-out" => telemetry.metrics_out = Some(value("--metrics-out")?),
-            "--trace-limit" => {
-                let v = value("--trace-limit")?;
-                let n: usize =
-                    v.parse().map_err(|_| ParseError(format!("bad --trace-limit value '{v}'")))?;
-                if n == 0 {
-                    return Err(ParseError("--trace-limit must be positive".into()));
-                }
-                telemetry.trace_limit = Some(n);
-            }
-            "--slo-p99" => {
-                let v = value("--slo-p99")?;
-                let ns: f64 =
-                    v.parse().map_err(|_| ParseError(format!("bad --slo-p99 value '{v}' (ns)")))?;
-                if ns <= 0.0 || !ns.is_finite() {
-                    return Err(ParseError("--slo-p99 must be positive nanoseconds".into()));
-                }
-                telemetry.slo_p99 = Some(ns);
-            }
-            "--timeline-out" => telemetry.timeline_out = Some(value("--timeline-out")?),
-            "--attrib-out" => telemetry.attrib_out = Some(value("--attrib-out")?),
-            "--jobs" => {
-                let v = value("--jobs")?;
-                let jobs: usize =
-                    v.parse().map_err(|_| ParseError(format!("bad --jobs value '{v}'")))?;
-                if jobs == 0 {
-                    return Err(ParseError("--jobs must be positive".into()));
-                }
-                exec.jobs = Some(jobs);
-            }
-            _ => rest.push(arg.clone()),
+        if !common.try_consume(arg.as_str(), &mut it)? {
+            rest.push(arg.clone());
         }
     }
     let command = parse(&rest)?;
-    if (telemetry.is_active() || robustness.is_active()) && matches!(command, Command::Help) {
+    if common.is_active() && matches!(command, Command::Help) {
         return Err(ParseError(
             "--trace-out/--metrics-out/--slo-p99/--timeline-out/--attrib-out/--faults/\
              --queue-cap/--request-timeout need an experiment subcommand"
                 .into(),
         ));
     }
-    Ok((command, telemetry, robustness, exec))
+    Ok((command, common))
 }
 
 /// Parses an argument vector (without the program name).
@@ -332,6 +411,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "ablations" => Ok(Command::Ablations { quick: has_quick(rest)? }),
         "report" => Ok(Command::Report { quick: has_quick(rest)? }),
         "sweep" => parse_sweep(rest).map(Command::Sweep),
+        "fleet" => parse_fleet(rest).map(Command::Fleet),
         other => Err(ParseError(format!("unknown command '{other}' (try 'help')"))),
     }
 }
@@ -345,35 +425,64 @@ fn parse_sweep(rest: &[String]) -> Result<SweepArgs, ParseError> {
         };
         match flag.as_str() {
             "--workload" => args.workload = value("--workload")?,
-            "--qps" => {
-                let v = value("--qps")?;
-                args.qps = v.parse().map_err(|_| ParseError(format!("bad --qps value '{v}'")))?;
-                if args.qps <= 0.0 {
-                    return Err(ParseError("--qps must be positive".into()));
-                }
-            }
+            "--qps" => args.qps = positive_f64("--qps", &value("--qps")?, "requests/s")?,
             "--config" => args.config = named_config(&value("--config")?)?,
-            "--cores" => {
-                let v = value("--cores")?;
-                args.cores =
-                    v.parse().map_err(|_| ParseError(format!("bad --cores value '{v}'")))?;
-                if args.cores == 0 {
-                    return Err(ParseError("--cores must be positive".into()));
-                }
-            }
+            "--cores" => args.cores = positive_usize("--cores", &value("--cores")?)?,
             "--duration-ms" => {
-                let v = value("--duration-ms")?;
                 args.duration_ms =
-                    v.parse().map_err(|_| ParseError(format!("bad --duration-ms value '{v}'")))?;
-                if args.duration_ms <= 0.0 {
-                    return Err(ParseError("--duration-ms must be positive".into()));
-                }
+                    positive_f64("--duration-ms", &value("--duration-ms")?, "milliseconds")?;
             }
             "--seed" => {
                 let v = value("--seed")?;
                 args.seed = v.parse().map_err(|_| ParseError(format!("bad --seed value '{v}'")))?;
             }
             other => return Err(ParseError(format!("unknown sweep option '{other}'"))),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_fleet(rest: &[String]) -> Result<FleetArgs, ParseError> {
+    let mut args = FleetArgs::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| ParseError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--servers" => args.servers = positive_usize("--servers", &value("--servers")?)?,
+            "--cores" => args.cores = positive_usize("--cores", &value("--cores")?)?,
+            "--policy" => {
+                let v = value("--policy")?;
+                args.policy = v.parse().map_err(|e: String| ParseError(e))?;
+            }
+            "--config" => args.config = named_config(&value("--config")?)?,
+            "--utilization" => {
+                args.utilization = positive_f64(
+                    "--utilization",
+                    &value("--utilization")?,
+                    "(fraction of fleet capacity)",
+                )?;
+            }
+            "--epochs" => args.epochs = positive_usize("--epochs", &value("--epochs")?)?,
+            "--epoch-ms" => {
+                args.epoch_ms = positive_f64("--epoch-ms", &value("--epoch-ms")?, "milliseconds")?;
+            }
+            "--autoscale" => args.autoscale = true,
+            "--diurnal" => {
+                let v = value("--diurnal")?;
+                let amp: f64 =
+                    v.parse().map_err(|_| ParseError(format!("bad --diurnal value '{v}'")))?;
+                if !(0.0..1.0).contains(&amp) {
+                    return Err(ParseError("--diurnal amplitude must be in [0, 1)".into()));
+                }
+                args.diurnal = Some(amp);
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = v.parse().map_err(|_| ParseError(format!("bad --seed value '{v}'")))?;
+            }
+            other => return Err(ParseError(format!("unknown fleet option '{other}'"))),
         }
     }
     Ok(args)
@@ -469,6 +578,53 @@ mod tests {
     }
 
     #[test]
+    fn fleet_defaults() {
+        let Command::Fleet(f) = parse(&argv("fleet")).unwrap() else {
+            panic!("expected fleet");
+        };
+        assert_eq!(f, FleetArgs::default());
+    }
+
+    #[test]
+    fn fleet_full_options() {
+        let cmd = parse(&argv(
+            "fleet --servers 16 --cores 8 --policy spreading --config Baseline \
+             --utilization 0.7 --epochs 12 --epoch-ms 50 --autoscale --diurnal 0.6 --seed 7",
+        ))
+        .unwrap();
+        let Command::Fleet(f) = cmd else { panic!("expected fleet") };
+        assert_eq!(f.servers, 16);
+        assert_eq!(f.cores, 8);
+        assert_eq!(f.policy, RoutingPolicy::Spreading);
+        assert_eq!(f.config, NamedConfig::Baseline);
+        assert_eq!(f.utilization, 0.7);
+        assert_eq!(f.epochs, 12);
+        assert_eq!(f.epoch_ms, 50.0);
+        assert!(f.autoscale);
+        assert_eq!(f.diurnal, Some(0.6));
+        assert_eq!(f.seed, 7);
+    }
+
+    #[test]
+    fn fleet_rejects_bad_values() {
+        assert!(parse(&argv("fleet --servers 0")).is_err());
+        assert!(parse(&argv("fleet --policy weighted")).is_err());
+        assert!(parse(&argv("fleet --utilization -0.2")).is_err());
+        assert!(parse(&argv("fleet --diurnal 1.5")).is_err());
+        assert!(parse(&argv("fleet --epoch-ms 0")).is_err());
+        assert!(parse(&argv("fleet --frobnicate 3")).is_err());
+    }
+
+    #[test]
+    fn fleet_accepts_every_policy_name() {
+        for policy in RoutingPolicy::ALL {
+            let cmd = parse(&argv(&format!("fleet --policy {policy}"))).unwrap();
+            let Command::Fleet(f) = cmd else { panic!("expected fleet") };
+            assert_eq!(f.policy, policy);
+        }
+    }
+
+    #[test]
     fn unknown_command_suggests_help() {
         let err = parse(&argv("fgi 8")).unwrap_err();
         assert!(err.to_string().contains("help"));
@@ -476,20 +632,20 @@ mod tests {
 
     #[test]
     fn telemetry_flags_accepted_anywhere() {
-        let (cmd, t, _, _) =
+        let (cmd, c) =
             parse_cli(&argv("fig 8 --trace-out /tmp/t.json --quick --metrics-out /tmp/m.json"))
                 .unwrap();
         assert_eq!(cmd, Command::Fig { number: 8, quick: true });
-        assert_eq!(t.trace_out.as_deref(), Some("/tmp/t.json"));
-        assert_eq!(t.metrics_out.as_deref(), Some("/tmp/m.json"));
-        assert!(t.is_active());
-        assert_eq!(t.limit(), TelemetryArgs::DEFAULT_TRACE_LIMIT);
+        assert_eq!(c.telemetry.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(c.telemetry.metrics_out.as_deref(), Some("/tmp/m.json"));
+        assert!(c.telemetry.is_active());
+        assert_eq!(c.telemetry.limit(), TelemetryArgs::DEFAULT_TRACE_LIMIT);
     }
 
     #[test]
     fn trace_limit_parses_and_validates() {
-        let (_, t, _, _) = parse_cli(&argv("sweep --trace-limit 5000 --trace-out x.json")).unwrap();
-        assert_eq!(t.limit(), 5000);
+        let (_, c) = parse_cli(&argv("sweep --trace-limit 5000 --trace-out x.json")).unwrap();
+        assert_eq!(c.telemetry.limit(), 5000);
         assert!(parse_cli(&argv("sweep --trace-limit 0")).is_err());
         assert!(parse_cli(&argv("sweep --trace-limit abc")).is_err());
         assert!(parse_cli(&argv("sweep --trace-out")).is_err());
@@ -497,10 +653,9 @@ mod tests {
 
     #[test]
     fn no_telemetry_flags_is_inactive() {
-        let (cmd, t, r, _) = parse_cli(&argv("table 1")).unwrap();
+        let (cmd, c) = parse_cli(&argv("table 1")).unwrap();
         assert_eq!(cmd, Command::Table(1));
-        assert!(!t.is_active());
-        assert!(!r.is_active());
+        assert!(!c.is_active());
     }
 
     #[test]
@@ -511,19 +666,19 @@ mod tests {
 
     #[test]
     fn attribution_flags_parse_anywhere() {
-        let (cmd, t, _, _) = parse_cli(&argv(
+        let (cmd, c) = parse_cli(&argv(
             "sweep --slo-p99 500000 --config AW --timeline-out /tmp/tl.csv --attrib-out /tmp/a.folded",
         ))
         .unwrap();
         let Command::Sweep(s) = cmd else { panic!("expected sweep") };
         assert_eq!(s.config, NamedConfig::Aw);
-        assert_eq!(t.slo_p99, Some(500_000.0));
-        assert_eq!(t.timeline_out.as_deref(), Some("/tmp/tl.csv"));
-        assert_eq!(t.attrib_out.as_deref(), Some("/tmp/a.folded"));
-        assert!(t.attrib_active());
-        assert!(t.is_active());
+        assert_eq!(c.telemetry.slo_p99, Some(500_000.0));
+        assert_eq!(c.telemetry.timeline_out.as_deref(), Some("/tmp/tl.csv"));
+        assert_eq!(c.telemetry.attrib_out.as_deref(), Some("/tmp/a.folded"));
+        assert!(c.telemetry.attrib_active());
+        assert!(c.telemetry.is_active());
         // Attribution alone does not request event tracing outputs.
-        assert!(t.trace_out.is_none());
+        assert!(c.telemetry.trace_out.is_none());
     }
 
     #[test]
@@ -532,44 +687,57 @@ mod tests {
         assert!(parse_cli(&argv("sweep --slo-p99 -3")).is_err());
         assert!(parse_cli(&argv("sweep --slo-p99 abc")).is_err());
         assert!(parse_cli(&argv("sweep --slo-p99")).is_err());
-        let (_, t, _, _) = parse_cli(&argv("fig 8 --slo-p99 250000")).unwrap();
-        assert_eq!(t.slo_p99, Some(250_000.0));
-        assert!(t.attrib_active());
+        let (_, c) = parse_cli(&argv("fig 8 --slo-p99 250000")).unwrap();
+        assert_eq!(c.telemetry.slo_p99, Some(250_000.0));
+        assert!(c.telemetry.attrib_active());
     }
 
     #[test]
     fn trace_flags_alone_do_not_enable_attribution() {
-        let (_, t, _, _) = parse_cli(&argv("sweep --trace-out /tmp/t.json")).unwrap();
-        assert!(t.is_active());
-        assert!(!t.attrib_active());
+        let (_, c) = parse_cli(&argv("sweep --trace-out /tmp/t.json")).unwrap();
+        assert!(c.telemetry.is_active());
+        assert!(!c.telemetry.attrib_active());
     }
 
     #[test]
     fn robustness_flags_accepted_anywhere() {
-        let (cmd, _, r, _) = parse_cli(&argv(
+        let (cmd, c) = parse_cli(&argv(
             "sweep --faults seed=7,wake-fail=0.2 --config AW --queue-cap 8 --request-timeout 500",
         ))
         .unwrap();
         let Command::Sweep(s) = cmd else { panic!("expected sweep") };
         assert_eq!(s.config, NamedConfig::Aw);
-        assert!(r.is_active());
-        let spec = r.faults.expect("faults parsed");
+        assert!(c.robustness.is_active());
+        let spec = c.robustness.faults.expect("faults parsed");
         assert_eq!(spec.seed, 7);
         assert_eq!(spec.wake_fail, 0.2);
-        assert_eq!(r.queue_cap, Some(8));
-        assert_eq!(r.request_timeout_us, Some(500.0));
+        assert_eq!(c.robustness.queue_cap, Some(8));
+        assert_eq!(c.robustness.request_timeout_us, Some(500.0));
     }
 
     #[test]
     fn jobs_flag_parses_and_validates() {
-        let (cmd, _, _, e) = parse_cli(&argv("fig 8 --jobs 4 --quick")).unwrap();
+        let (cmd, c) = parse_cli(&argv("fig 8 --jobs 4 --quick")).unwrap();
         assert_eq!(cmd, Command::Fig { number: 8, quick: true });
-        assert_eq!(e.jobs, Some(4));
-        let (_, _, _, e) = parse_cli(&argv("report")).unwrap();
-        assert_eq!(e.jobs, None);
+        assert_eq!(c.exec.jobs, Some(4));
+        let (_, c) = parse_cli(&argv("report")).unwrap();
+        assert_eq!(c.exec.jobs, None);
         assert!(parse_cli(&argv("sweep --jobs 0")).is_err());
         assert!(parse_cli(&argv("sweep --jobs abc")).is_err());
         assert!(parse_cli(&argv("sweep --jobs")).is_err());
+    }
+
+    #[test]
+    fn fleet_composes_with_common_flags() {
+        let (cmd, c) = parse_cli(&argv(
+            "fleet --servers 4 --jobs 2 --policy packing --timeline-out /tmp/f.csv",
+        ))
+        .unwrap();
+        let Command::Fleet(f) = cmd else { panic!("expected fleet") };
+        assert_eq!(f.servers, 4);
+        assert_eq!(f.policy, RoutingPolicy::Packing);
+        assert_eq!(c.exec.jobs, Some(2));
+        assert_eq!(c.telemetry.timeline_out.as_deref(), Some("/tmp/f.csv"));
     }
 
     #[test]

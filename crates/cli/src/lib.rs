@@ -21,7 +21,8 @@ mod args;
 mod run;
 
 pub use args::{
-    parse, parse_cli, Command, ExecArgs, ParseError, RobustnessArgs, SweepArgs, TelemetryArgs,
+    parse, parse_cli, Command, CommonArgs, ExecArgs, FleetArgs, ParseError, RobustnessArgs,
+    SweepArgs, TelemetryArgs,
 };
 pub use run::{execute, execute_with};
 
@@ -44,10 +45,11 @@ COMMANDS:
     validate               the Sec. 6.3 power-model validation
     ablations              the design-choice ablation suite
     sweep [OPTIONS]        one custom simulation run
+    fleet [OPTIONS]        N servers behind a load balancer
     report                 every artifact in one run
     help                   print this message
 
-OPTIONS (fig/validate/ablations/report):
+OPTIONS (fig/package/diurnal/validate/ablations/report):
     --quick                reduced parameter set (seconds, not minutes)
 
 EXECUTION OPTIONS (any experiment subcommand):
@@ -66,6 +68,24 @@ OPTIONS (sweep):
     --cores <N>            core count (default 10)
     --duration-ms <N>      simulated milliseconds (default 400)
     --seed <N>             RNG seed (default 42)
+
+OPTIONS (fleet):
+    --servers <N>          fleet size (default 8)
+    --cores <N>            cores per server (default 4)
+    --policy <P>           round-robin | least-outstanding | packing |
+                           spreading (default packing)
+    --config <NAME>        C-state menu, as for sweep (default AW)
+    --utilization <F>      aggregate load as a fraction of fleet
+                           capacity (default 0.25)
+    --epochs <N>           balancer decision periods (default 6)
+    --epoch-ms <N>         epoch duration in milliseconds (default 25)
+    --autoscale            park idle servers (modeled park/unpark
+                           latency and boot energy)
+    --diurnal <A>          sinusoidal load swing of amplitude A in [0,1)
+    --seed <N>             fleet master seed (default 42)
+                           (--slo-p99 sets the fleet SLO target and
+                           --timeline-out receives the per-epoch fleet
+                           time series)
 
 TELEMETRY OPTIONS (any experiment subcommand):
     --trace-out <FILE>     write a Chrome trace-event JSON file (open in

@@ -5,11 +5,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match aw_cli::parse_cli(&args) {
-        Ok((command, telemetry, robustness, exec)) => {
-            if let Some(jobs) = exec.jobs {
-                agilewatts::aw_exec::set_default_jobs(jobs);
-            }
-            match aw_cli::execute_with(&command, &telemetry, &robustness) {
+        Ok((command, common)) => {
+            common.apply();
+            match aw_cli::execute_with(&command, &common) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");

@@ -2,7 +2,7 @@
 
 use agilewatts::aw_cstates::NamedConfig;
 use agilewatts::aw_faults::FaultPlan;
-use agilewatts::aw_server::{ServerConfig, ServerSim, WorkloadSpec};
+use agilewatts::aw_server::{ServerConfig, SimBuilder, WorkloadSpec};
 use agilewatts::aw_telemetry::{AttributionReport, SloMonitor, TelemetryReport};
 use agilewatts::aw_types::Nanos;
 use agilewatts::aw_workloads::{kafka, memcached_etc, mysql_oltp, websearch, KafkaRate, MysqlRate};
@@ -14,7 +14,9 @@ use agilewatts::experiments::{
 };
 use agilewatts::{attribution_table, degradation_table, telemetry_table};
 
-use crate::args::{Command, ParseError, RobustnessArgs, SweepArgs, TelemetryArgs};
+use crate::args::{
+    Command, CommonArgs, FleetArgs, ParseError, RobustnessArgs, SweepArgs, TelemetryArgs,
+};
 use crate::USAGE;
 
 fn sweep_params(quick: bool) -> SweepParams {
@@ -52,12 +54,15 @@ fn workload_by_name(args: &SweepArgs) -> Result<WorkloadSpec, ParseError> {
 /// Returns a [`ParseError`] for semantic errors detectable only at
 /// execution time (e.g., an unknown workload name or unwritable output
 /// path), or when a fault-injected run trips a runtime invariant.
-pub fn execute_with(
-    command: &Command,
-    telemetry: &TelemetryArgs,
-    robustness: &RobustnessArgs,
-) -> Result<(), ParseError> {
-    if !telemetry.is_active() && !robustness.is_active() {
+pub fn execute_with(command: &Command, common: &CommonArgs) -> Result<(), ParseError> {
+    let (telemetry, robustness) = (&common.telemetry, &common.robustness);
+    // A fleet run owns its shared flags (`--slo-p99`, `--timeline-out`)
+    // at the fleet level rather than attaching a representative
+    // single-server run.
+    if let Command::Fleet(args) = command {
+        return run_fleet(args, telemetry);
+    }
+    if !common.is_active() {
         return execute(command);
     }
     if let Command::Sweep(args) = command {
@@ -141,6 +146,7 @@ pub fn execute(command: &Command) -> Result<(), ParseError> {
         }
         Command::Ablations { quick } => run_ablations(*quick),
         Command::Sweep(args) => run_sweep(args)?,
+        Command::Fleet(args) => run_fleet(args, &TelemetryArgs::default())?,
         Command::Report { quick } => run_report(*quick)?,
     }
     Ok(())
@@ -195,6 +201,37 @@ fn run_sweep(args: &SweepArgs) -> Result<(), ParseError> {
     run_sweep_with(args, &TelemetryArgs::default(), &RobustnessArgs::default())
 }
 
+/// Runs one fleet simulation and prints its report. `--slo-p99` sets the
+/// fleet SLO target and `--timeline-out` receives the per-epoch fleet
+/// time series; the per-server flags (`--trace-out`, `--faults`, …) do
+/// not apply at fleet scale.
+fn run_fleet(args: &FleetArgs, telemetry: &TelemetryArgs) -> Result<(), ParseError> {
+    use agilewatts::aw_cluster::{AutoscalePolicy, LoadShape};
+    use agilewatts::experiments::Fleet;
+    let fleet = Fleet {
+        servers: args.servers,
+        cores: args.cores,
+        utilization: args.utilization,
+        epochs: args.epochs,
+        epoch: Nanos::from_millis(args.epoch_ms),
+        load: match args.diurnal {
+            Some(amplitude) => LoadShape::Diurnal { amplitude },
+            None => LoadShape::Constant,
+        },
+        autoscale: args.autoscale.then(AutoscalePolicy::default),
+        slo_p99: telemetry.slo_p99.map_or(Nanos::from_micros(500.0), Nanos::new),
+        seed: args.seed,
+    };
+    let report = fleet.run_one(args.policy, args.config);
+    println!("{report}");
+    if let Some(path) = &telemetry.timeline_out {
+        std::fs::write(path, report.timeline_csv())
+            .map_err(|e| ParseError(format!("cannot write fleet timeline to '{path}': {e}")))?;
+        println!("timeline: {} windows of {} -> {path}", report.windows.len(), report.epoch);
+    }
+    Ok(())
+}
+
 /// Applies `--queue-cap` and `--request-timeout` to a server config.
 fn apply_robustness(config: ServerConfig, robustness: &RobustnessArgs) -> ServerConfig {
     let mut config = config;
@@ -207,11 +244,34 @@ fn apply_robustness(config: ServerConfig, robustness: &RobustnessArgs) -> Server
     config
 }
 
-/// The attribution timeline window for a run of `duration_ms`: ~50
-/// windows per run, but never finer than 1 ms (sub-millisecond windows
-/// hold too few completions for a meaningful windowed p99).
+/// The attribution timeline window for a run of `duration_ms` (see
+/// [`SimBuilder::default_window`]).
 fn attrib_window(duration_ms: f64) -> Nanos {
-    Nanos::from_millis((duration_ms / 50.0).max(1.0))
+    SimBuilder::default_window(Nanos::from_millis(duration_ms))
+}
+
+/// Builds the fully instrumented [`SimBuilder`] every instrumented CLI
+/// run uses: robustness knobs applied to the config, then faults,
+/// telemetry, and attribution per the shared flag set.
+fn instrumented_sim(
+    config: ServerConfig,
+    workload: WorkloadSpec,
+    seed: u64,
+    duration_ms: f64,
+    telemetry: &TelemetryArgs,
+    robustness: &RobustnessArgs,
+) -> SimBuilder {
+    let mut sim = SimBuilder::new(apply_robustness(config, robustness), workload, seed);
+    if let Some(spec) = &robustness.faults {
+        sim = sim.with_faults(FaultPlan::new(spec.clone()));
+    }
+    if telemetry.is_active() {
+        sim = sim.with_telemetry(telemetry.limit());
+    }
+    if telemetry.attrib_active() {
+        sim = sim.with_attribution(attrib_window(duration_ms));
+    }
+    sim
 }
 
 fn run_sweep_with(
@@ -222,18 +282,9 @@ fn run_sweep_with(
     let workload = workload_by_name(args)?;
     let config = ServerConfig::new(args.cores, args.config)
         .with_duration(Nanos::from_millis(args.duration_ms));
-    let config = apply_robustness(config, robustness);
-    let mut sim = ServerSim::new(config, workload, args.seed);
-    if let Some(spec) = &robustness.faults {
-        sim = sim.with_faults(FaultPlan::new(spec.clone()));
-    }
-    if telemetry.is_active() {
-        sim = sim.with_telemetry(telemetry.limit());
-    }
-    if telemetry.attrib_active() {
-        sim = sim.with_attribution(attrib_window(args.duration_ms));
-    }
-    let output = sim.run_full();
+    let output =
+        instrumented_sim(config, workload, args.seed, args.duration_ms, telemetry, robustness)
+            .run();
     if let Some(failure) = &output.failure {
         return Err(ParseError(format!("{failure}")));
     }
@@ -333,23 +384,12 @@ fn run_traced_representative(
     let duration_ms = 100.0;
     let config =
         ServerConfig::new(10, NamedConfig::Aw).with_duration(Nanos::from_millis(duration_ms));
-    let config = apply_robustness(config, robustness);
     println!(
         "\nrepresentative instrumented run: {} / {} on 10 cores",
         NamedConfig::Aw,
         workload.name()
     );
-    let mut sim = ServerSim::new(config, workload, 42);
-    if let Some(spec) = &robustness.faults {
-        sim = sim.with_faults(FaultPlan::new(spec.clone()));
-    }
-    if telemetry.is_active() {
-        sim = sim.with_telemetry(telemetry.limit());
-    }
-    if telemetry.attrib_active() {
-        sim = sim.with_attribution(attrib_window(duration_ms));
-    }
-    let output = sim.run_full();
+    let output = instrumented_sim(config, workload, 42, duration_ms, telemetry, robustness).run();
     if let Some(failure) = &output.failure {
         return Err(ParseError(format!("{failure}")));
     }
@@ -420,7 +460,8 @@ mod tests {
             trace_limit: Some(10_000),
             ..TelemetryArgs::default()
         };
-        execute_with(&Command::Sweep(args), &telemetry, &RobustnessArgs::default()).unwrap();
+        let common = CommonArgs { telemetry, ..CommonArgs::default() };
+        execute_with(&Command::Sweep(args), &common).unwrap();
         let trace_json = std::fs::read_to_string(&trace).unwrap();
         assert!(trace_json.contains("\"traceEvents\""));
         assert!(trace_json.contains("\"thread_name\""));
@@ -443,7 +484,8 @@ mod tests {
             attrib_out: Some(folded.to_string_lossy().into_owned()),
             ..TelemetryArgs::default()
         };
-        execute_with(&Command::Sweep(args), &telemetry, &RobustnessArgs::default()).unwrap();
+        let common = CommonArgs { telemetry, ..CommonArgs::default() };
+        execute_with(&Command::Sweep(args), &common).unwrap();
 
         // The timeline CSV parses into equal-width rows with the
         // documented leading columns.
@@ -482,8 +524,7 @@ mod tests {
 
     #[test]
     fn inactive_telemetry_is_plain_execute() {
-        execute_with(&Command::Flows, &TelemetryArgs::default(), &RobustnessArgs::default())
-            .unwrap();
+        execute_with(&Command::Flows, &CommonArgs::default()).unwrap();
     }
 
     #[test]
@@ -495,7 +536,35 @@ mod tests {
             queue_cap: Some(4),
             request_timeout_us: Some(500.0),
         };
-        execute_with(&Command::Sweep(args), &TelemetryArgs::default(), &robustness).unwrap();
+        let common = CommonArgs { robustness, ..CommonArgs::default() };
+        execute_with(&Command::Sweep(args), &common).unwrap();
+    }
+
+    #[test]
+    fn quick_fleet_executes_and_writes_timeline() {
+        let dir = std::env::temp_dir();
+        let timeline = dir.join("aw_cli_test_fleet_timeline.csv");
+        let args = FleetArgs {
+            servers: 2,
+            cores: 2,
+            epochs: 2,
+            epoch_ms: 10.0,
+            autoscale: true,
+            diurnal: Some(0.5),
+            ..FleetArgs::default()
+        };
+        let common = CommonArgs {
+            telemetry: TelemetryArgs {
+                timeline_out: Some(timeline.to_string_lossy().into_owned()),
+                ..TelemetryArgs::default()
+            },
+            ..CommonArgs::default()
+        };
+        execute_with(&Command::Fleet(args), &common).unwrap();
+        let csv = std::fs::read_to_string(&timeline).unwrap();
+        assert!(csv.starts_with("epoch,start_ms,offered_qps"), "{csv}");
+        assert_eq!(csv.lines().count(), 3, "header + one row per epoch");
+        let _ = std::fs::remove_file(timeline);
     }
 
     #[test]

@@ -1,0 +1,511 @@
+//! The fleet simulator: N servers behind a front-end load balancer,
+//! stepped epoch by epoch.
+//!
+//! Each epoch the balancer computes one load share per server (see
+//! [`RoutingPolicy`]) after the autoscaler has decided which servers are
+//! even awake (see [`crate::AutoscalePolicy`]); every server with a
+//! non-zero share then runs a full single-server discrete-event
+//! simulation at that share. Server-epochs are mutually independent by
+//! construction — each derives all randomness from its own
+//! `(fleet seed, server, epoch)` stream — so the whole grid fans out on
+//! [`SweepExecutor`] and the fleet report is byte-identical at any
+//! worker count.
+//!
+//! Servers with *zero* share are not simulated: an empty server's
+//! steady state is closed-form (every core in the menu's deepest state,
+//! uncore in PC6 when the menu allows it), and modeling it analytically
+//! keeps a 64-server fleet at 30% load as cheap as the ~20 servers that
+//! actually carry traffic.
+
+use std::f64::consts::TAU;
+
+use aw_cstates::{CState, FreqLevel};
+use aw_exec::SweepExecutor;
+use aw_server::{
+    LatencyStats, PackageCState, RunOutput, ServerConfig, SimBuilder, UncorePower, WorkloadSpec,
+};
+use aw_sim::SampleSet;
+use aw_telemetry::MetricsRegistry;
+use aw_types::{Joules, MilliWatts, Nanos, Ratio};
+
+use crate::autoscaler::{AutoscalePolicy, Autoscaler};
+use crate::policy::RoutingPolicy;
+use crate::report::{FleetReport, FleetWindow};
+
+/// How the fleet's aggregate offered load evolves over the run.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub enum LoadShape {
+    /// Flat at `total_qps` for every epoch.
+    Constant,
+    /// One sine period over the whole run:
+    /// `total_qps × (1 + amplitude · sin(2π · epoch / epochs))` — the
+    /// scaled-down diurnal swing the autoscaler exists to track.
+    Diurnal {
+        /// Peak-to-mean swing, in `[0, 1)`.
+        amplitude: f64,
+    },
+}
+
+impl LoadShape {
+    /// The load multiplier for `epoch` of `epochs`.
+    #[must_use]
+    pub fn factor(self, epoch: usize, epochs: usize) -> f64 {
+        match self {
+            LoadShape::Constant => 1.0,
+            LoadShape::Diurnal { amplitude } => {
+                let phase = TAU * epoch as f64 / epochs.max(1) as f64;
+                // Floor keeps `scaled_qps` strictly positive even at
+                // amplitude 1.0 troughs.
+                (1.0 + amplitude * phase.sin()).max(0.01)
+            }
+        }
+    }
+}
+
+/// A full fleet experiment: the server prototype, the workload
+/// prototype, and the fleet-level knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of servers behind the balancer.
+    pub servers: usize,
+    /// Per-server configuration prototype (cores, C-state menu, catalog,
+    /// …). Its `duration`/`warmup` are overridden per epoch.
+    pub server: ServerConfig,
+    /// Per-server workload prototype; each server-epoch runs this
+    /// workload rescaled to its routed share.
+    pub workload: WorkloadSpec,
+    /// Aggregate offered load at load factor 1.0 (requests/s).
+    pub total_qps: f64,
+    /// Epoch duration — the balancer's and autoscaler's decision period.
+    pub epoch: Nanos,
+    /// Number of epochs to run.
+    pub epochs: usize,
+    /// How the balancer splits load across servers.
+    pub policy: RoutingPolicy,
+    /// Fleet autoscaler; `None` keeps every server unparked.
+    pub autoscale: Option<AutoscalePolicy>,
+    /// Load evolution over the run.
+    pub load: LoadShape,
+    /// Fleet master seed; per-(server, epoch) streams are mixed from it.
+    pub seed: u64,
+    /// Fleet p99 SLO target each epoch window is judged against.
+    pub slo_p99: Nanos,
+}
+
+impl FleetConfig {
+    /// A fleet with the default knobs: 50 ms epochs × 8 epochs,
+    /// round-robin routing, no autoscaler, constant load, seed 42,
+    /// 500 µs p99 SLO.
+    #[must_use]
+    pub fn new(
+        servers: usize,
+        server: ServerConfig,
+        workload: WorkloadSpec,
+        total_qps: f64,
+    ) -> Self {
+        assert!(servers > 0, "fleet must have at least one server");
+        assert!(total_qps > 0.0, "offered load must be positive");
+        FleetConfig {
+            servers,
+            server,
+            workload,
+            total_qps,
+            epoch: Nanos::from_millis(50.0),
+            epochs: 8,
+            policy: RoutingPolicy::RoundRobin,
+            autoscale: None,
+            load: LoadShape::Constant,
+            seed: 42,
+            slo_p99: Nanos::from_micros(500.0),
+        }
+    }
+
+    /// Sets the routing policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RoutingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables the fleet autoscaler.
+    #[must_use]
+    pub fn with_autoscale(mut self, autoscale: AutoscalePolicy) -> Self {
+        self.autoscale = Some(autoscale);
+        self
+    }
+
+    /// Sets the load shape.
+    #[must_use]
+    pub fn with_load(mut self, load: LoadShape) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Sets the epoch grid.
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: usize, epoch: Nanos) -> Self {
+        assert!(epochs > 0, "need at least one epoch");
+        assert!(epoch > Nanos::ZERO, "epoch must be positive");
+        self.epochs = epochs;
+        self.epoch = epoch;
+        self
+    }
+
+    /// Sets the fleet master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fleet p99 SLO target.
+    #[must_use]
+    pub fn with_slo(mut self, slo_p99: Nanos) -> Self {
+        self.slo_p99 = slo_p99;
+        self
+    }
+
+    /// One fully available server's saturation throughput: `cores /
+    /// mean service time`. The capacity the balancer and autoscaler
+    /// reason against.
+    #[must_use]
+    pub fn capacity_qps(&self) -> f64 {
+        self.server.cores as f64 / self.workload.mean_service().as_secs()
+    }
+
+    /// Aggregate load as a fraction of total fleet capacity (at load
+    /// factor 1.0).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.total_qps / (self.capacity_qps() * self.servers as f64)
+    }
+}
+
+/// One epoch's routing decision, fixed before any simulation runs.
+#[derive(Debug)]
+struct EpochPlan {
+    offered: f64,
+    availability: Vec<f64>,
+    shares: Vec<f64>,
+    parks: u64,
+    unparks: u64,
+}
+
+/// One simulated server-epoch in the flattened sweep grid.
+#[derive(Debug, Clone, Copy)]
+struct GridPoint {
+    epoch: usize,
+    server: usize,
+    share: f64,
+}
+
+/// splitmix64 finalizer — decorrelates the per-(server, epoch) seed
+/// streams from the master seed and from each other.
+fn mix_seed(master: u64, server: u64, epoch: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(server.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(epoch.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The fleet simulator. Build one from a [`FleetConfig`] and call
+/// [`FleetSim::run`].
+#[derive(Debug)]
+pub struct FleetSim {
+    config: FleetConfig,
+}
+
+impl FleetSim {
+    /// Wraps a fleet configuration.
+    #[must_use]
+    pub fn new(config: FleetConfig) -> Self {
+        FleetSim { config }
+    }
+
+    /// Runs the whole fleet and aggregates the report.
+    ///
+    /// Deterministic for a fixed config: epoch plans are computed
+    /// serially up front, the simulated server-epochs fan out on
+    /// [`SweepExecutor::current`] with results landing by grid index,
+    /// and every server-epoch seeds its own RNG streams — so the report
+    /// is byte-identical at any `--jobs`.
+    #[must_use]
+    pub fn run(self) -> FleetReport {
+        let cfg = self.config;
+        let capacity = cfg.capacity_qps();
+        let proto_qps = cfg.workload.offered_qps();
+
+        // Phase 1: routing + scaling decisions, serial and closed-form.
+        let mut scaler = Autoscaler::new(cfg.autoscale, cfg.servers);
+        let plans: Vec<EpochPlan> = (0..cfg.epochs)
+            .map(|e| {
+                let offered = cfg.total_qps * cfg.load.factor(e, cfg.epochs);
+                let d = scaler.decide(offered, capacity, cfg.epoch, cfg.policy.wants_all_active());
+                let shares = cfg.policy.shares(offered, &d.availability, capacity);
+                EpochPlan {
+                    offered,
+                    availability: d.availability,
+                    shares,
+                    parks: d.parks,
+                    unparks: d.unparks,
+                }
+            })
+            .collect();
+
+        // Phase 2: fan the loaded server-epochs out on the executor.
+        let points: Vec<GridPoint> = plans
+            .iter()
+            .enumerate()
+            .flat_map(|(epoch, plan)| {
+                plan.shares
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &share)| share > 0.0)
+                    .map(move |(server, &share)| GridPoint { epoch, server, share })
+            })
+            .collect();
+        let outputs: Vec<RunOutput> = SweepExecutor::current().map(&points, |&p| {
+            let seed = mix_seed(cfg.seed, p.server as u64, p.epoch as u64);
+            let workload = cfg.workload.scaled_qps(p.share / proto_qps);
+            let server = cfg.server.clone().with_duration(cfg.epoch);
+            SimBuilder::new(server, workload, seed).with_latency_samples().run()
+        });
+        let mut grid: Vec<Vec<Option<&RunOutput>>> = vec![vec![None; cfg.servers]; cfg.epochs];
+        for (p, out) in points.iter().zip(&outputs) {
+            grid[p.epoch][p.server] = Some(out);
+        }
+
+        // Phase 3: aggregate. An empty unparked server is closed-form:
+        // all cores in the menu's deepest state, uncore in PC6 when the
+        // menu includes C6 (else PC2 — all cores idle but not demotable
+        // to package sleep).
+        let has_c6 = cfg.server.cstates.is_enabled(CState::C6);
+        let idle_core = cfg
+            .server
+            .catalog
+            .power(cfg.server.cstates.deepest().unwrap_or(CState::C0), FreqLevel::P1);
+        let idle_uncore =
+            UncorePower::skylake().of(if has_c6 { PackageCState::Pc6 } else { PackageCState::Pc2 });
+        let idle_power = idle_core * cfg.server.cores as f64 + idle_uncore;
+
+        let mut registry = MetricsRegistry::new();
+        let mut windows = Vec::with_capacity(cfg.epochs);
+        let mut all_samples = SampleSet::new();
+        let mut total_energy = Joules::ZERO;
+        let mut total_completed = 0u64;
+        let mut active_epochs = 0usize;
+        let mut sim_epochs = 0usize;
+        let mut unparked_epochs = 0usize;
+        let mut c0_sum = 0.0;
+        let mut agile_sum = 0.0;
+        let mut pc6_sum = 0.0;
+        let mut slo_violations = 0usize;
+
+        for (e, plan) in plans.iter().enumerate() {
+            let mut power = MilliWatts::ZERO;
+            let mut completed = 0u64;
+            let mut samples = SampleSet::new();
+            let (mut active, mut idle_active, mut parked) = (0usize, 0usize, 0usize);
+
+            for (server, slot) in grid[e].iter().enumerate() {
+                let avail = plan.availability[server];
+                match (avail > 0.0, *slot) {
+                    (false, _) => {
+                        parked += 1;
+                        if let Some(p) = &cfg.autoscale {
+                            power += p.park_power;
+                        }
+                    }
+                    (true, None) => {
+                        active += 1;
+                        idle_active += 1;
+                        unparked_epochs += 1;
+                        pc6_sum += if has_c6 { 1.0 } else { 0.0 };
+                        power += idle_power;
+                    }
+                    (true, Some(out)) => {
+                        active += 1;
+                        unparked_epochs += 1;
+                        sim_epochs += 1;
+                        let m = &out.metrics;
+                        let mut pkg = m.package_power();
+                        if avail < 1.0 {
+                            // Unparking server: part of the epoch at
+                            // park power, plus the boot-energy burst.
+                            let p = cfg
+                                .autoscale
+                                .as_ref()
+                                .expect("partial availability implies an autoscaler");
+                            pkg = pkg * avail
+                                + p.park_power * (1.0 - avail)
+                                + p.unpark_energy / cfg.epoch;
+                        }
+                        power += pkg;
+                        completed += m.completed;
+                        c0_sum += m.residency_of(CState::C0).as_percent() / 100.0;
+                        agile_sum += (m.residency_of(CState::C6A).as_percent()
+                            + m.residency_of(CState::C6AE).as_percent())
+                            / 100.0;
+                        pc6_sum += m.package_residency[2].as_percent() / 100.0;
+                        if let Some(lat) = &out.latency_samples {
+                            samples.reserve(lat.len());
+                            all_samples.reserve(lat.len());
+                            for &s in lat {
+                                samples.record(s);
+                                all_samples.record(s);
+                            }
+                        }
+                    }
+                }
+            }
+
+            let latency = LatencyStats::from_samples(&mut samples);
+            let slo_violated = latency.count > 0 && latency.p99 > cfg.slo_p99;
+            slo_violations += usize::from(slo_violated);
+            total_energy += power * cfg.epoch;
+            total_completed += completed;
+            active_epochs += active;
+
+            registry.inc("fleet.epochs", 1);
+            registry.inc("fleet.requests_completed", completed);
+            registry.inc("fleet.parks", plan.parks);
+            registry.inc("fleet.unparks", plan.unparks);
+            registry.inc("fleet.server_epochs.loaded", (active - idle_active) as u64);
+            registry.inc("fleet.server_epochs.idle", idle_active as u64);
+            registry.inc("fleet.server_epochs.parked", parked as u64);
+            registry.inc("fleet.slo_violations", u64::from(slo_violated));
+
+            windows.push(FleetWindow {
+                epoch: e,
+                start: cfg.epoch * e as f64,
+                offered_qps: plan.offered,
+                completed,
+                active,
+                parked,
+                idle_active,
+                parks: plan.parks,
+                unparks: plan.unparks,
+                fleet_power: power,
+                latency,
+                slo_violated,
+            });
+        }
+
+        let run_span = cfg.epoch * cfg.epochs as f64;
+        FleetReport {
+            policy: cfg.policy,
+            servers: cfg.servers,
+            cores_per_server: cfg.server.cores,
+            config: cfg.server.named.to_string(),
+            epoch: cfg.epoch,
+            latency: LatencyStats::from_samples(&mut all_samples),
+            avg_fleet_power: total_energy / run_span,
+            energy: total_energy,
+            completed: total_completed,
+            energy_per_request: if total_completed == 0 {
+                Joules::ZERO
+            } else {
+                total_energy / total_completed as f64
+            },
+            avg_active: active_epochs as f64 / cfg.epochs as f64,
+            c0_residency: Ratio::new(c0_sum / sim_epochs.max(1) as f64),
+            agile_residency: Ratio::new(agile_sum / sim_epochs.max(1) as f64),
+            pc6_fraction: Ratio::new(pc6_sum / unparked_epochs.max(1) as f64),
+            slo_p99: cfg.slo_p99,
+            slo_violations,
+            counters: registry.counters().map(|(k, v)| (k.to_string(), v)).collect(),
+            windows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_cstates::NamedConfig;
+
+    fn fleet(servers: usize, named: NamedConfig, total_qps: f64) -> FleetConfig {
+        // Short epochs keep the grid cheap: 4 × 20 ms per server-epoch.
+        let workload = WorkloadSpec::poisson("synthetic", 1_000.0, Nanos::from_micros(250.0), 0.6);
+        FleetConfig::new(servers, ServerConfig::new(4, named), workload, total_qps)
+            .with_epochs(4, Nanos::from_millis(20.0))
+    }
+
+    #[test]
+    fn seed_mixing_decorrelates_neighbours() {
+        let a = mix_seed(42, 0, 0);
+        let b = mix_seed(42, 1, 0);
+        let c = mix_seed(42, 0, 1);
+        let d = mix_seed(43, 0, 0);
+        assert!(a != b && a != c && a != d && b != c, "stream collision");
+    }
+
+    #[test]
+    fn report_shape_and_conservation() {
+        // 4 servers × 16 kQPS capacity each; 20% aggregate load.
+        let report = FleetSim::new(fleet(4, NamedConfig::NtAw, 12_800.0)).run();
+        assert_eq!(report.windows.len(), 4);
+        assert_eq!(report.servers, 4);
+        assert!(report.completed > 0, "fleet completed no requests");
+        assert_eq!(report.completed, report.windows.iter().map(|w| w.completed).sum::<u64>());
+        assert_eq!(report.counters["fleet.requests_completed"], report.completed);
+        assert!(report.avg_fleet_power > MilliWatts::ZERO);
+        assert!(!report.latency.is_empty());
+    }
+
+    #[test]
+    fn packing_consumes_less_than_round_robin_at_low_load() {
+        // 25% aggregate load: packing parks ~2/3 of the uncore budget in
+        // PC6 while round robin keeps every package at PC0.
+        let packed = FleetSim::new(
+            fleet(4, NamedConfig::NtAw, 16_000.0).with_policy(RoutingPolicy::Packing),
+        )
+        .run();
+        let spread = FleetSim::new(
+            fleet(4, NamedConfig::NtAw, 16_000.0).with_policy(RoutingPolicy::RoundRobin),
+        )
+        .run();
+        assert!(
+            packed.avg_fleet_power < spread.avg_fleet_power,
+            "packing {} should beat round robin {}",
+            packed.avg_fleet_power,
+            spread.avg_fleet_power
+        );
+        assert!(packed.pc6_fraction.as_percent() > 0.0, "packing never reached PC6");
+    }
+
+    #[test]
+    fn autoscaler_parks_servers_in_the_trough() {
+        let report = FleetSim::new(
+            fleet(4, NamedConfig::NtAw, 16_000.0)
+                .with_load(LoadShape::Diurnal { amplitude: 0.8 })
+                .with_autoscale(AutoscalePolicy::default()),
+        )
+        .run();
+        let parked_epochs: u64 = report.counters["fleet.server_epochs.parked"];
+        assert!(parked_epochs > 0, "diurnal trough never parked a server");
+        assert!(report.counters["fleet.parks"] > 0);
+        assert!(report.avg_active < 4.0);
+    }
+
+    #[test]
+    fn spreading_keeps_the_whole_fleet_awake() {
+        let report = FleetSim::new(
+            fleet(4, NamedConfig::NtAw, 16_000.0)
+                .with_policy(RoutingPolicy::Spreading)
+                .with_autoscale(AutoscalePolicy::default()),
+        )
+        .run();
+        assert_eq!(report.counters["fleet.server_epochs.parked"], 0);
+        assert!((report.avg_active - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_configs_produce_identical_reports() {
+        let a = FleetSim::new(fleet(2, NamedConfig::NtBaseline, 8_000.0)).run();
+        let b = FleetSim::new(fleet(2, NamedConfig::NtBaseline, 8_000.0)).run();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "fleet run is not reproducible");
+    }
+}

@@ -1,0 +1,170 @@
+//! Fleet-level aggregation: windowed time series, merged latency
+//! quantiles, energy, SLO burn, and telemetry counters.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use aw_server::LatencyStats;
+use aw_types::{Joules, MilliWatts, Nanos, Ratio};
+use serde::Serialize;
+
+use crate::policy::RoutingPolicy;
+
+/// One epoch of fleet history — the fleet analogue of the per-server
+/// attribution timeline window.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetWindow {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Epoch start time on the fleet clock.
+    pub start: Nanos,
+    /// Aggregate offered load this epoch (requests/s).
+    pub offered_qps: f64,
+    /// Requests completed fleet-wide in the epoch's measured window.
+    pub completed: u64,
+    /// Servers serving load this epoch.
+    pub active: usize,
+    /// Servers parked (suspended) this epoch.
+    pub parked: usize,
+    /// Servers that served zero load while unparked (deep package idle).
+    pub idle_active: usize,
+    /// Park transitions this epoch.
+    pub parks: u64,
+    /// Unpark transitions this epoch.
+    pub unparks: u64,
+    /// Average fleet power over the epoch (all packages + parked
+    /// standing power + unpark bursts).
+    pub fleet_power: MilliWatts,
+    /// Merged request-latency summary across every server's samples —
+    /// exact nearest-rank quantiles over the pooled samples, not an
+    /// average of per-server percentiles.
+    pub latency: LatencyStats,
+    /// `true` if the epoch's fleet p99 exceeded the SLO target.
+    pub slo_violated: bool,
+}
+
+/// Everything a fleet run produces.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetReport {
+    /// The routing policy that produced this report.
+    pub policy: RoutingPolicy,
+    /// Fleet size (servers).
+    pub servers: usize,
+    /// Cores per server.
+    pub cores_per_server: usize,
+    /// C-state menu name (e.g. `AW`, `Baseline`).
+    pub config: String,
+    /// Epoch duration.
+    pub epoch: Nanos,
+    /// Per-epoch history.
+    pub windows: Vec<FleetWindow>,
+    /// Fleet-wide latency over the whole run (pooled samples).
+    pub latency: LatencyStats,
+    /// Mean fleet power over the whole run.
+    pub avg_fleet_power: MilliWatts,
+    /// Total fleet energy over the whole run.
+    pub energy: Joules,
+    /// Total completions over the whole run.
+    pub completed: u64,
+    /// Mean fleet energy per completed request.
+    pub energy_per_request: Joules,
+    /// Mean active servers per epoch.
+    pub avg_active: f64,
+    /// Fleet-wide mean C0 residency over simulated (loaded) servers,
+    /// weighted by server-epochs.
+    pub c0_residency: Ratio,
+    /// Fleet-wide mean agile-state (C6A + C6AE) residency over simulated
+    /// servers, weighted by server-epochs.
+    pub agile_residency: Ratio,
+    /// Fraction of unparked server-epochs whose package sat in PC6.
+    pub pc6_fraction: Ratio,
+    /// The p99 SLO target the windows were judged against.
+    pub slo_p99: Nanos,
+    /// Windows whose fleet p99 violated the target.
+    pub slo_violations: usize,
+    /// Fleet telemetry counters (`fleet.*`), exported from the internal
+    /// metrics registry.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl FleetReport {
+    /// Fraction of epochs that violated the SLO — the fleet burn rate.
+    #[must_use]
+    pub fn slo_burn_rate(&self) -> f64 {
+        if self.windows.is_empty() {
+            0.0
+        } else {
+            self.slo_violations as f64 / self.windows.len() as f64
+        }
+    }
+
+    /// The windowed time series as CSV (fleet analogue of the
+    /// attribution timeline export).
+    #[must_use]
+    pub fn timeline_csv(&self) -> String {
+        let mut out = String::from(
+            "epoch,start_ms,offered_qps,completed,active,parked,idle_active,parks,unparks,\
+             fleet_power_w,p50_us,p99_us,p999_us,slo_violated\n",
+        );
+        for w in &self.windows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                w.epoch,
+                w.start.as_millis(),
+                w.offered_qps,
+                w.completed,
+                w.active,
+                w.parked,
+                w.idle_active,
+                w.parks,
+                w.unparks,
+                w.fleet_power.as_watts(),
+                w.latency.p50.as_micros(),
+                w.latency.p99.as_micros(),
+                w.latency.p999.as_micros(),
+                u8::from(w.slo_violated),
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} × {}-core {} servers, policy {}, {} epochs of {}",
+            self.servers,
+            self.cores_per_server,
+            self.config,
+            self.policy,
+            self.windows.len(),
+            self.epoch
+        )?;
+        writeln!(
+            f,
+            "  power:   {:.1} W avg ({:.3} mJ/request over {} requests)",
+            self.avg_fleet_power.as_watts(),
+            self.energy_per_request.as_microjoules() / 1e3,
+            self.completed
+        )?;
+        writeln!(f, "  latency: {}", self.latency)?;
+        writeln!(
+            f,
+            "  servers: {:.1} active avg, PC6 {:.0}% of unparked server-epochs, \
+             C0 {:.1}% / agile {:.1}% on loaded servers",
+            self.avg_active,
+            self.pc6_fraction.as_percent(),
+            self.c0_residency.as_percent(),
+            self.agile_residency.as_percent()
+        )?;
+        write!(
+            f,
+            "  SLO:     p99 ≤ {} violated in {}/{} windows (burn rate {:.2})",
+            self.slo_p99,
+            self.slo_violations,
+            self.windows.len(),
+            self.slo_burn_rate()
+        )
+    }
+}

@@ -6,7 +6,7 @@ use aw_cstates::{C6Flow, CState, CStateConfig, NamedConfig};
 use aw_exec::SweepExecutor;
 use aw_pma::{PmaFsm, Ufpg, WakePolicy};
 use aw_power::PpaModel;
-use aw_server::{GovernorKind, ServerConfig, ServerSim};
+use aw_server::{GovernorKind, ServerConfig, SimBuilder};
 use aw_types::{MegaHertz, MilliWatts, Nanos, Ratio};
 use aw_workloads::memcached_etc;
 use serde::Serialize;
@@ -38,7 +38,7 @@ pub fn governor_ablation(params: &SweepParams, qps: f64) -> Vec<GovernorAblation
         let cfg = ServerConfig::new(params.cores, NamedConfig::Baseline)
             .with_duration(params.duration)
             .with_governor(kind);
-        let m = ServerSim::new(cfg, memcached_etc(qps), params.seed).run();
+        let m = SimBuilder::new(cfg, memcached_etc(qps), params.seed).run().into_metrics();
         let deep = m.residency_of(CState::C1E).get()
             + m.residency_of(CState::C6A).get()
             + m.residency_of(CState::C6AE).get()
@@ -173,13 +173,13 @@ pub fn enhanced_split(params: &SweepParams, qps: f64) -> EnhancedSplit {
         None => {
             let cfg = ServerConfig::new(params.cores, NamedConfig::NtBaseline)
                 .with_duration(params.duration);
-            ServerSim::new(cfg, memcached_etc(qps), params.seed).run()
+            SimBuilder::new(cfg, memcached_etc(qps), params.seed).run().into_metrics()
         }
         Some(mask) => {
             let cfg = ServerConfig::new(params.cores, NamedConfig::NtAw)
                 .with_cstates(mask.clone())
                 .with_duration(params.duration);
-            ServerSim::new(cfg, memcached_etc(qps), params.seed).run()
+            SimBuilder::new(cfg, memcached_etc(qps), params.seed).run().into_metrics()
         }
     });
     let (baseline, both, only) = (&runs[0], &runs[1], &runs[2]);

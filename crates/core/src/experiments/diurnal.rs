@@ -10,7 +10,7 @@
 //! savings are compared.
 
 use aw_cstates::NamedConfig;
-use aw_server::{RunMetrics, ServerConfig, ServerSim};
+use aw_server::{RunMetrics, ServerConfig, SimBuilder};
 use aw_types::Nanos;
 use aw_workloads::{diurnal_memcached, memcached_etc};
 use serde::Serialize;
@@ -85,7 +85,7 @@ impl Diurnal {
             memcached_etc(qps)
         };
         let cfg = ServerConfig::new(self.cores, named).with_duration(self.duration);
-        ServerSim::new(cfg, workload, self.seed).run()
+        SimBuilder::new(cfg, workload, self.seed).run().into_metrics()
     }
 
     /// Runs both streams under both configurations — four independent

@@ -5,7 +5,7 @@ use std::fmt;
 use aw_cstates::{CState, NamedConfig};
 use aw_exec::SweepExecutor;
 use aw_power::AwTransform;
-use aw_server::{RunMetrics, ServerConfig, ServerSim};
+use aw_server::{RunMetrics, ServerConfig, SimBuilder};
 use aw_types::Nanos;
 use aw_workloads::memcached_etc;
 use serde::Serialize;
@@ -50,12 +50,14 @@ impl SweepParams {
 
     fn run(&self, named: NamedConfig, qps: f64) -> RunMetrics {
         let cfg = ServerConfig::new(self.cores, named).with_duration(self.duration);
-        ServerSim::new(cfg, memcached_etc(qps), self.seed).run()
+        SimBuilder::new(cfg, memcached_etc(qps), self.seed).run().into_metrics()
     }
 
     fn run_scaled_service(&self, named: NamedConfig, qps: f64, factor: f64) -> RunMetrics {
         let cfg = ServerConfig::new(self.cores, named).with_duration(self.duration);
-        ServerSim::new(cfg, memcached_etc(qps).scaled_service(factor), self.seed).run()
+        SimBuilder::new(cfg, memcached_etc(qps).scaled_service(factor), self.seed)
+            .run()
+            .into_metrics()
     }
 }
 
@@ -387,7 +389,8 @@ impl Fig10 {
             let cfg = ServerConfig::new(self.params.cores, NamedConfig::NtAw)
                 .with_cstates(twin_mask)
                 .with_duration(self.params.duration);
-            let aw = ServerSim::new(cfg, memcached_etc(qps), self.params.seed).run();
+            let aw =
+                SimBuilder::new(cfg, memcached_etc(qps), self.params.seed).run().into_metrics();
             Fig10Row {
                 config: named.to_string(),
                 qps,

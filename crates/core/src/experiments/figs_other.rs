@@ -4,7 +4,7 @@ use std::fmt;
 
 use aw_cstates::{CState, CStateConfig, NamedConfig};
 use aw_exec::SweepExecutor;
-use aw_server::{RunMetrics, ServerConfig, ServerSim};
+use aw_server::{RunMetrics, ServerConfig, SimBuilder};
 use aw_types::Nanos;
 use aw_workloads::{kafka, mysql_oltp, KafkaRate, MysqlRate};
 use serde::Serialize;
@@ -72,7 +72,7 @@ impl Fig12 {
         let cfg = ServerConfig::new(self.cores, NamedConfig::NtBaseline)
             .with_cstates(cstates)
             .with_duration(self.duration);
-        ServerSim::new(cfg, mysql_oltp(rate).scaled_qps(scale), self.seed).run()
+        SimBuilder::new(cfg, mysql_oltp(rate).scaled_qps(scale), self.seed).run().into_metrics()
     }
 
     /// Runs all three rates: the flattened `rate × configuration` grid
@@ -196,7 +196,7 @@ impl Fig13 {
         let cfg = ServerConfig::new(self.cores, NamedConfig::NtBaseline)
             .with_cstates(cstates)
             .with_duration(self.duration);
-        ServerSim::new(cfg, kafka(rate).scaled_qps(scale), self.seed).run()
+        SimBuilder::new(cfg, kafka(rate).scaled_qps(scale), self.seed).run().into_metrics()
     }
 
     /// Runs both rates: the flattened `rate × configuration` grid (six

@@ -12,6 +12,7 @@ mod ablations;
 mod diurnal;
 mod figs_memcached;
 mod figs_other;
+mod fleet;
 mod flows;
 mod motivation;
 mod package;
@@ -31,6 +32,7 @@ pub use figs_memcached::{
     Fig9Row, SweepParams,
 };
 pub use figs_other::{Fig12, Fig12Report, Fig12Row, Fig13, Fig13Report, Fig13Row};
+pub use fleet::{Fleet, FleetComparison, FleetRow};
 pub use flows::{flow_latencies, FlowLatencies};
 pub use motivation::{motivation, motivation_simulated, MotivationRow};
 pub use package::{PackageAnalysis, PackageRow};

@@ -86,7 +86,7 @@ mod tests {
 #[must_use]
 pub fn motivation_simulated(seed: u64) -> Vec<MotivationRow> {
     use aw_cstates::{CStateConfig, NamedConfig};
-    use aw_server::{ServerConfig, ServerSim};
+    use aw_server::{ServerConfig, SimBuilder};
     use aw_types::Nanos;
     use aw_workloads::{memcached_etc, websearch};
 
@@ -103,7 +103,7 @@ pub fn motivation_simulated(seed: u64) -> Vec<MotivationRow> {
             .with_cstates(CStateConfig::new([CState::C1, CState::C6], false))
             .with_timer_tick(Nanos::from_millis(1.0))
             .with_duration(Nanos::from_millis(600.0));
-        let m = ServerSim::new(cfg, workload.clone(), seed).run();
+        let m = SimBuilder::new(cfg, workload.clone(), seed).run().into_metrics();
         MotivationRow {
             label: (*label).to_string(),
             residencies_pct: (

@@ -9,7 +9,7 @@
 //! and a C6-hostile one (Memcached).
 
 use aw_cstates::{CState, CStateConfig, NamedConfig};
-use aw_server::{PackageCState, RunMetrics, ServerConfig, ServerSim, WorkloadSpec};
+use aw_server::{PackageCState, RunMetrics, ServerConfig, SimBuilder, WorkloadSpec};
 use aw_types::Nanos;
 use aw_workloads::{memcached_etc, mysql_oltp, MysqlRate};
 use serde::Serialize;
@@ -58,7 +58,7 @@ impl PackageAnalysis {
         let cfg = ServerConfig::new(self.cores, NamedConfig::NtBaseline)
             .with_cstates(cstates)
             .with_duration(self.duration);
-        let m: RunMetrics = ServerSim::new(cfg, workload, self.seed).run();
+        let m: RunMetrics = SimBuilder::new(cfg, workload, self.seed).run().into_metrics();
         PackageRow {
             workload: name,
             config: label.to_string(),

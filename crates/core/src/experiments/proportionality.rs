@@ -9,7 +9,7 @@
 
 use aw_cstates::NamedConfig;
 use aw_exec::SweepExecutor;
-use aw_server::{ServerConfig, ServerSim};
+use aw_server::{ServerConfig, SimBuilder};
 use aw_types::Nanos;
 use aw_workloads::memcached_etc;
 use serde::Serialize;
@@ -89,7 +89,7 @@ impl Proportionality {
             let qps = u * self.cores as f64 / mean_service;
             let run = |named: NamedConfig| {
                 let cfg = ServerConfig::new(self.cores, named).with_duration(self.duration);
-                ServerSim::new(cfg, memcached_etc(qps), self.seed).run()
+                SimBuilder::new(cfg, memcached_etc(qps), self.seed).run().into_metrics()
             };
             (
                 run(NamedConfig::Baseline).avg_core_power.as_milliwatts(),

@@ -4,7 +4,7 @@ use aw_cstates::{C6AFlow, CState, CStateCatalog, ComponentMatrix, FreqLevel, Nam
 use aw_exec::SweepExecutor;
 use aw_pma::{PmaFsm, Ufpg, WakePolicy};
 use aw_power::{PpaModel, TcoModel};
-use aw_server::{ServerConfig, ServerSim};
+use aw_server::{ServerConfig, SimBuilder};
 use aw_types::Nanos;
 use aw_workloads::memcached_etc;
 
@@ -217,7 +217,7 @@ pub fn table5(params: &Table5Params) -> TextTable {
     let rows = SweepExecutor::current().map(&params.qps, |&qps| {
         let run = |named: NamedConfig| {
             let cfg = ServerConfig::new(params.cores, named).with_duration(params.duration);
-            ServerSim::new(cfg, memcached_etc(qps), params.seed).run()
+            SimBuilder::new(cfg, memcached_etc(qps), params.seed).run().into_metrics()
         };
         let baseline = run(NamedConfig::Baseline);
         let aw = run(NamedConfig::Aw);

@@ -12,7 +12,7 @@ use std::fmt;
 use aw_cstates::{CStateCatalog, FreqLevel, NamedConfig};
 use aw_exec::SweepExecutor;
 use aw_power::average_power;
-use aw_server::{ServerConfig, ServerSim};
+use aw_server::{ServerConfig, SimBuilder};
 use aw_types::Nanos;
 use aw_workloads::validation_suite;
 use serde::Serialize;
@@ -121,7 +121,7 @@ impl Validation {
             let cfg =
                 ServerConfig::new(self.cores, NamedConfig::NtBaseline).with_duration(self.duration);
             let name = w.name().to_string();
-            let m = ServerSim::new(cfg, w.clone(), self.seed).run();
+            let m = SimBuilder::new(cfg, w.clone(), self.seed).run().into_metrics();
             let measured = m.avg_core_power.as_milliwatts();
             let estimated = average_power(&m.residencies, &catalog, FreqLevel::P1).as_milliwatts();
             let accuracy = if measured > 0.0 {

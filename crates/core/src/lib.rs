@@ -56,6 +56,7 @@ mod report;
 
 pub use report::{attribution_table, degradation_table, telemetry_table, Series, TextTable};
 
+pub use aw_cluster;
 pub use aw_cstates;
 pub use aw_exec;
 pub use aw_faults;

@@ -1,0 +1,315 @@
+//! The unified simulation entry point: [`SimBuilder`] → [`RunOutput`].
+//!
+//! Historically [`ServerSim`] grew three overlapping run methods
+//! (`run`, `run_traced`, `run_full`) plus ad-hoc `with_*` toggles; that
+//! shape does not compose when a fleet simulator needs to stamp out N
+//! identically configured servers. [`SimBuilder`] collapses all of it
+//! into one declarative description of a run — configuration, workload,
+//! seed, fault plan, telemetry, attribution, SLO target, and optional
+//! latency-sample capture — and one way to execute it:
+//! [`SimBuilder::run`], which always returns the full [`RunOutput`].
+//!
+//! The builder is [`Clone`], so a fleet (or any sweep) can hold one
+//! prototype and stamp out per-server instances, varying only the seed
+//! and the offered load.
+//!
+//! # Examples
+//!
+//! ```
+//! use aw_server::{ServerConfig, SimBuilder, WorkloadSpec};
+//! use aw_cstates::NamedConfig;
+//! use aw_types::Nanos;
+//!
+//! let workload = WorkloadSpec::poisson("toy", 50_000.0, Nanos::from_micros(3.0), 0.8);
+//! let config = ServerConfig::new(4, NamedConfig::Aw)
+//!     .with_duration(Nanos::from_millis(50.0));
+//!
+//! let out = SimBuilder::new(config, workload, 42)
+//!     .with_attribution(Nanos::from_millis(5.0))
+//!     .with_slo(Nanos::from_micros(500.0))
+//!     .run();
+//!
+//! assert!(out.failure.is_none());
+//! assert!(out.attribution.is_some());
+//! assert!(out.slo.is_some());
+//! assert!(out.metrics.completed > 0);
+//! ```
+
+use aw_faults::FaultPlan;
+use aw_telemetry::SloMonitor;
+use aw_types::Nanos;
+
+use crate::config::ServerConfig;
+use crate::sim::{RunOutput, ServerSim};
+use crate::workload::WorkloadSpec;
+
+/// A declarative description of one simulation run.
+///
+/// Construct with [`SimBuilder::new`], chain the optional
+/// instrumentation, and execute with [`SimBuilder::run`]. Every knob is
+/// orthogonal; the output carries `Some` for exactly the instrumentation
+/// that was requested.
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    config: ServerConfig,
+    workload: WorkloadSpec,
+    seed: u64,
+    faults: Option<FaultPlan>,
+    telemetry_limit: Option<usize>,
+    attribution_window: Option<Nanos>,
+    slo_p99: Option<Nanos>,
+    latency_samples: bool,
+}
+
+impl SimBuilder {
+    /// Describes a plain run of `workload` through `config` with `seed`.
+    #[must_use]
+    pub fn new(config: ServerConfig, workload: WorkloadSpec, seed: u64) -> Self {
+        SimBuilder {
+            config,
+            workload,
+            seed,
+            faults: None,
+            telemetry_limit: None,
+            attribution_window: None,
+            slo_p99: None,
+            latency_samples: false,
+        }
+    }
+
+    /// Attaches a deterministic fault-injection plan. A plan whose rates
+    /// are all zero leaves the run bit-identical to one without a plan
+    /// (common random numbers: fault draws live on their own streams).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Enables telemetry: structured trace events (bounded to
+    /// `trace_limit`, oldest evicted first) plus the metrics registry.
+    /// The output's `telemetry` field carries the report.
+    ///
+    /// # Panics
+    ///
+    /// [`SimBuilder::run`] panics if `trace_limit` is zero.
+    #[must_use]
+    pub fn with_telemetry(mut self, trace_limit: usize) -> Self {
+        self.telemetry_limit = Some(trace_limit);
+        self
+    }
+
+    /// Enables per-request latency attribution with `window`-sized
+    /// timeline buckets. The output's `attribution` field carries the
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// [`SimBuilder::run`] panics if `window` is not strictly positive.
+    #[must_use]
+    pub fn with_attribution(mut self, window: Nanos) -> Self {
+        self.attribution_window = Some(window);
+        self
+    }
+
+    /// Sets a per-window p99 SLO target. Implies attribution (the SLO is
+    /// evaluated over the attribution timeline); if no window was chosen
+    /// with [`SimBuilder::with_attribution`], a default of ~50 windows
+    /// per run (never finer than 1 ms) is used. The output's `slo` field
+    /// carries the verdict.
+    #[must_use]
+    pub fn with_slo(mut self, target_p99: Nanos) -> Self {
+        self.slo_p99 = Some(target_p99);
+        self
+    }
+
+    /// Captures every measured (post-warm-up, non-tick) request latency
+    /// in the output's `latency_samples`, in completion order. Pure
+    /// observation: the run is bit-identical with or without it. This is
+    /// what lets a fleet aggregator compute *exact* cross-server
+    /// quantiles instead of averaging per-server percentiles.
+    #[must_use]
+    pub fn with_latency_samples(mut self) -> Self {
+        self.latency_samples = true;
+        self
+    }
+
+    /// The configuration this builder will run.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The workload this builder will run.
+    #[must_use]
+    pub fn workload(&self) -> &WorkloadSpec {
+        &self.workload
+    }
+
+    /// The RNG seed this builder will run with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Replaces the seed (fleet stamping: same prototype, one CRN stream
+    /// per server).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the workload (fleet stamping: same prototype, per-server
+    /// load share).
+    #[must_use]
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// The default attribution window for a run of `duration`: ~50
+    /// windows, but never finer than 1 ms (sub-millisecond windows hold
+    /// too few completions for a meaningful windowed p99).
+    #[must_use]
+    pub fn default_window(duration: Nanos) -> Nanos {
+        Nanos::from_millis((duration.as_nanos() / 1e6 / 50.0).max(1.0))
+    }
+
+    /// Executes the run and returns everything it produced. Unlike the
+    /// deprecated `ServerSim::run`, an invariant violation does **not**
+    /// panic here: it is handed back as [`RunOutput::failure`] (use
+    /// [`RunOutput::into_metrics`] for the old panic-on-failure
+    /// contract).
+    #[must_use]
+    pub fn run(self) -> RunOutput {
+        let slo_target = self.slo_p99;
+        let attribution_window = self
+            .attribution_window
+            .or_else(|| slo_target.map(|_| Self::default_window(self.config.duration)));
+        let mut sim = ServerSim::new(self.config, self.workload, self.seed);
+        if let Some(plan) = self.faults {
+            sim.set_faults(plan);
+        }
+        if let Some(limit) = self.telemetry_limit {
+            sim.set_telemetry(limit);
+        }
+        if let Some(window) = attribution_window {
+            sim.set_attribution(window);
+        }
+        if self.latency_samples {
+            sim.set_latency_samples();
+        }
+        let mut out = sim.run_to_output();
+        if let (Some(target), Some(report)) = (slo_target, out.attribution.as_ref()) {
+            out.slo = Some(SloMonitor::new(target).evaluate(&report.timeline));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_cstates::NamedConfig;
+    use aw_faults::FaultSpec;
+
+    fn builder(named: NamedConfig, qps: f64, seed: u64) -> SimBuilder {
+        let cfg = ServerConfig::new(4, named).with_duration(Nanos::from_millis(60.0));
+        let w = WorkloadSpec::poisson("builder", qps, Nanos::from_micros(3.0), 0.8);
+        SimBuilder::new(cfg, w, seed)
+    }
+
+    #[test]
+    fn plain_run_matches_deprecated_run() {
+        let new = builder(NamedConfig::Aw, 80_000.0, 7).run();
+        #[allow(deprecated)]
+        let old = {
+            let cfg = ServerConfig::new(4, NamedConfig::Aw).with_duration(Nanos::from_millis(60.0));
+            let w = WorkloadSpec::poisson("builder", 80_000.0, Nanos::from_micros(3.0), 0.8);
+            ServerSim::new(cfg, w, 7).run()
+        };
+        assert_eq!(format!("{:?}", new.metrics), format!("{old:?}"));
+    }
+
+    #[test]
+    fn faulted_run_matches_deprecated_path() {
+        let spec = FaultSpec::parse("seed=3,wake-fail=0.2,lost-wake=0.05").unwrap();
+        let new =
+            builder(NamedConfig::Aw, 60_000.0, 7).with_faults(FaultPlan::new(spec.clone())).run();
+        #[allow(deprecated)]
+        let old = {
+            let cfg = ServerConfig::new(4, NamedConfig::Aw).with_duration(Nanos::from_millis(60.0));
+            let w = WorkloadSpec::poisson("builder", 60_000.0, Nanos::from_micros(3.0), 0.8);
+            ServerSim::new(cfg, w, 7).with_faults(FaultPlan::new(spec)).run_full()
+        };
+        assert!(new.metrics.degradation.faults_injected > 0);
+        assert_eq!(format!("{:?}", new.metrics), format!("{:?}", old.metrics));
+    }
+
+    #[test]
+    fn slo_implies_attribution_with_default_window() {
+        let out =
+            builder(NamedConfig::Baseline, 100_000.0, 9).with_slo(Nanos::from_micros(500.0)).run();
+        let attribution = out.attribution.expect("slo implies attribution");
+        // 60 ms duration / 50 windows = 1.2 ms (above the 1 ms floor).
+        assert_eq!(attribution.timeline.window_duration(), Nanos::from_millis(1.2));
+        let slo = out.slo.expect("slo verdict present");
+        assert!(slo.windows_total > 0);
+    }
+
+    #[test]
+    fn explicit_window_wins_over_slo_default() {
+        let out = builder(NamedConfig::Baseline, 100_000.0, 9)
+            .with_attribution(Nanos::from_millis(5.0))
+            .with_slo(Nanos::from_micros(500.0))
+            .run();
+        let attribution = out.attribution.expect("attribution on");
+        assert_eq!(attribution.timeline.window_duration(), Nanos::from_millis(5.0));
+    }
+
+    #[test]
+    fn latency_samples_are_pure_observation() {
+        let plain = builder(NamedConfig::Aw, 90_000.0, 11).run();
+        let sampled = builder(NamedConfig::Aw, 90_000.0, 11).with_latency_samples().run();
+        assert_eq!(
+            format!("{:?}", plain.metrics),
+            format!("{:?}", sampled.metrics),
+            "sample capture perturbed the run"
+        );
+        let samples = sampled.latency_samples.expect("samples captured");
+        assert_eq!(samples.len() as u64, sampled.metrics.completed);
+        // The captured samples reproduce the reported mean exactly.
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - sampled.metrics.server_latency.mean.as_nanos()).abs() < 1e-6);
+        assert!(plain.latency_samples.is_none());
+    }
+
+    #[test]
+    fn default_window_is_clamped() {
+        assert_eq!(SimBuilder::default_window(Nanos::from_millis(400.0)), Nanos::from_millis(8.0));
+        assert_eq!(SimBuilder::default_window(Nanos::from_millis(10.0)), Nanos::from_millis(1.0));
+    }
+
+    #[test]
+    fn stamping_helpers_replace_seed_and_workload() {
+        let proto = builder(NamedConfig::Aw, 50_000.0, 1);
+        let stamped = proto.clone().with_seed(99).with_workload(WorkloadSpec::poisson(
+            "half",
+            25_000.0,
+            Nanos::from_micros(3.0),
+            0.8,
+        ));
+        assert_eq!(stamped.seed(), 99);
+        assert!((stamped.workload().offered_qps() - 25_000.0).abs() < 1e-6);
+        assert_eq!(proto.seed(), 1);
+    }
+
+    #[test]
+    fn failure_is_returned_not_panicked() {
+        let out = builder(NamedConfig::Baseline, 50_000.0, 3).run();
+        assert!(out.failure.is_none(), "clean run must not report a failure");
+        // into_metrics on a clean run is the old `run` contract.
+        let _ = out.into_metrics();
+    }
+}

@@ -117,7 +117,7 @@ impl Default for BreakerPolicy {
 }
 
 /// Full configuration of one simulation run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Number of physical cores serving requests.
     pub cores: usize,

@@ -13,7 +13,7 @@
 //! # Examples
 //!
 //! ```
-//! use aw_server::{ServerConfig, ServerSim, WorkloadSpec};
+//! use aw_server::{ServerConfig, SimBuilder, WorkloadSpec};
 //! use aw_cstates::NamedConfig;
 //! use aw_types::Nanos;
 //!
@@ -26,7 +26,7 @@
 //! );
 //! let config = ServerConfig::new(4, NamedConfig::Baseline)
 //!     .with_duration(Nanos::from_millis(50.0));
-//! let metrics = ServerSim::new(config, workload, 42).run();
+//! let metrics = SimBuilder::new(config, workload, 42).run().into_metrics();
 //!
 //! // The server is mostly idle and spends that time in shallow states:
 //! assert!(metrics.residency_of(aw_cstates::CState::C0).get() < 0.3);
@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod builder;
 mod config;
 mod core;
 mod metrics;
@@ -45,6 +46,7 @@ pub mod trace;
 mod uncore;
 mod workload;
 
+pub use builder::SimBuilder;
 pub use config::{BreakerPolicy, Dispatch, GovernorKind, RetryPolicy, ServerConfig, SnoopTraffic};
 pub use core::{CoreState, SimCore};
 pub use metrics::{DegradationStats, LatencyBreakdown, LatencyStats, RunMetrics};

@@ -8,7 +8,7 @@ use aw_faults::{FailureArtifact, FaultPlan, InvariantChecker, ServerFaultHook};
 use aw_power::ResidencyVector;
 use aw_sim::{EventQueue, SampleSet, SimRng};
 use aw_telemetry::{
-    Attribution, AttributionReport, RequestSpan, TelemetryRecorder, TelemetryReport,
+    Attribution, AttributionReport, RequestSpan, SloReport, TelemetryRecorder, TelemetryReport,
 };
 use aw_types::{MilliWatts, Nanos, Ratio};
 
@@ -123,26 +123,60 @@ pub struct ServerSim {
     /// Non-tick completions over the whole run (warm-up included), for
     /// the request-conservation invariant.
     completed_all: u64,
+    /// `Some` when raw latency-sample capture is enabled (see
+    /// [`crate::SimBuilder::with_latency_samples`]): every measured
+    /// latency is appended here as well as to the `latencies` reservoir.
+    /// Pure observation — never read during the run.
+    latency_log: Option<Vec<f64>>,
 }
 
 /// Everything a fully instrumented run produces: the metrics plus the
-/// optional telemetry and attribution reports.
+/// optional telemetry, attribution, and SLO reports.
+///
+/// Produced by [`crate::SimBuilder::run`]; each optional field is `Some`
+/// exactly when the matching builder knob was set.
 #[derive(Debug)]
 pub struct RunOutput {
     /// The run's aggregate metrics. `metrics.telemetry` and
     /// `metrics.attribution` carry the respective summaries when the
     /// matching instrumentation was enabled.
     pub metrics: RunMetrics,
-    /// Full telemetry report ([`ServerSim::with_telemetry`] runs only).
+    /// Full telemetry report ([`crate::SimBuilder::with_telemetry`] runs
+    /// only).
     pub telemetry: Option<TelemetryReport>,
     /// Full attribution report — per-request spans, timeline, summary
-    /// ([`ServerSim::with_attribution`] runs only).
+    /// ([`crate::SimBuilder::with_attribution`] runs only).
     pub attribution: Option<AttributionReport>,
+    /// SLO verdict over the attribution timeline
+    /// ([`crate::SimBuilder::with_slo`] runs only).
+    pub slo: Option<SloReport>,
+    /// Raw measured latencies in ns, completion order
+    /// ([`crate::SimBuilder::with_latency_samples`] runs only). Lets an
+    /// aggregator merge samples across runs for exact fleet quantiles.
+    pub latency_samples: Option<Vec<f64>>,
     /// `Some` when a runtime invariant was violated: the structured
     /// artifact carries the seed and fault plan needed to replay the
-    /// failing run. [`ServerSim::run`] and [`ServerSim::run_traced`]
-    /// panic on it; `run_full` hands it back for harnesses to inspect.
+    /// failing run. [`crate::SimBuilder::run`] hands it back for
+    /// harnesses to inspect; [`RunOutput::into_metrics`] panics on it.
     pub failure: Option<FailureArtifact>,
+}
+
+impl RunOutput {
+    /// Unwraps the metrics, panicking if the run violated a runtime
+    /// invariant — the historical `ServerSim::run` contract for callers
+    /// that treat any invariant violation as a bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the replayable [`FailureArtifact`] message if
+    /// [`RunOutput::failure`] is `Some`.
+    #[must_use]
+    pub fn into_metrics(self) -> RunMetrics {
+        if let Some(failure) = &self.failure {
+            panic!("{failure}");
+        }
+        self.metrics
+    }
 }
 
 impl ServerSim {
@@ -198,6 +232,7 @@ impl ServerSim {
             slowdown_until: Nanos::ZERO,
             arrivals_total: 0,
             completed_all: 0,
+            latency_log: None,
         }
     }
 
@@ -206,41 +241,66 @@ impl ServerSim {
     /// (e.g. [`FaultPlan::none`]) leaves the run bit-identical to one
     /// with no plan attached, and the same seed + plan always reproduces
     /// the same disrupted run.
+    #[deprecated(since = "0.6.0", note = "use SimBuilder::with_faults")]
     #[must_use]
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
-        self.faults = Some(Box::new(plan));
+        self.set_faults(plan);
         self
     }
 
     /// Enables telemetry: structured trace events (bounded to
     /// `trace_limit`, oldest evicted first) plus the metrics registry.
-    /// Run with [`ServerSim::run_traced`] to get the report back.
     ///
     /// # Panics
     ///
     /// Panics if `trace_limit` is zero.
+    #[deprecated(since = "0.6.0", note = "use SimBuilder::with_telemetry")]
     #[must_use]
     pub fn with_telemetry(mut self, trace_limit: usize) -> Self {
-        self.telemetry = Some(TelemetryRecorder::new(self.cores.len(), trace_limit));
+        self.set_telemetry(trace_limit);
         self
     }
 
     /// Enables per-request latency attribution over the measured window:
     /// every completed (non-tick) request becomes a [`RequestSpan`], and
     /// power/residency intervals feed a timeline with `window`-sized
-    /// buckets. Run with [`ServerSim::run_full`] to get the
-    /// [`AttributionReport`] back.
+    /// buckets.
     ///
     /// # Panics
     ///
     /// Panics if `window` is not strictly positive.
+    #[deprecated(since = "0.6.0", note = "use SimBuilder::with_attribution")]
     #[must_use]
     pub fn with_attribution(mut self, window: Nanos) -> Self {
+        self.set_attribution(window);
+        self
+    }
+
+    /// Setter twin of the deprecated `with_faults` (used by
+    /// [`crate::SimBuilder`]).
+    pub(crate) fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(Box::new(plan));
+    }
+
+    /// Setter twin of the deprecated `with_telemetry` (used by
+    /// [`crate::SimBuilder`]).
+    pub(crate) fn set_telemetry(&mut self, trace_limit: usize) {
+        self.telemetry = Some(TelemetryRecorder::new(self.cores.len(), trace_limit));
+    }
+
+    /// Setter twin of the deprecated `with_attribution` (used by
+    /// [`crate::SimBuilder`]).
+    pub(crate) fn set_attribution(&mut self, window: Nanos) {
         // Pre-size the span reservoir for the expected completions so
         // the per-request `RequestSpan` push reuses one allocation
         // instead of growing through doubling reallocations mid-run.
         self.attrib = Some(Attribution::with_capacity(window, self.expected_samples()));
-        self
+    }
+
+    /// Enables raw latency-sample capture (used by
+    /// [`crate::SimBuilder::with_latency_samples`]).
+    pub(crate) fn set_latency_samples(&mut self) {
+        self.latency_log = Some(Vec::with_capacity(self.expected_samples()));
     }
 
     /// Expected measured completions, used to pre-size the sample
@@ -332,25 +392,24 @@ impl ServerSim {
     /// # Panics
     ///
     /// Panics if a runtime invariant was violated; the message carries
-    /// the seed and fault plan needed to replay the failing run. Use
-    /// [`ServerSim::run_full`] to inspect the [`FailureArtifact`]
-    /// without panicking.
+    /// the seed and fault plan needed to replay the failing run.
+    #[deprecated(since = "0.6.0", note = "use SimBuilder::run().into_metrics()")]
     #[must_use]
     pub fn run(self) -> RunMetrics {
-        self.run_traced().0
+        self.run_to_output().into_metrics()
     }
 
     /// Runs the simulation and additionally returns the
-    /// [`TelemetryReport`] if [`ServerSim::with_telemetry`] was called.
-    /// The metrics' `telemetry` field carries the same summary.
+    /// [`TelemetryReport`] if telemetry was enabled. The metrics'
+    /// `telemetry` field carries the same summary.
     ///
     /// # Panics
     ///
-    /// Panics if a runtime invariant was violated (see
-    /// [`ServerSim::run`]).
+    /// Panics if a runtime invariant was violated.
+    #[deprecated(since = "0.6.0", note = "use SimBuilder::run()")]
     #[must_use]
     pub fn run_traced(self) -> (RunMetrics, Option<TelemetryReport>) {
-        let out = self.run_full();
+        let out = self.run_to_output();
         if let Some(failure) = &out.failure {
             panic!("{failure}");
         }
@@ -359,8 +418,16 @@ impl ServerSim {
 
     /// Runs the simulation and returns everything: metrics plus the
     /// optional telemetry and attribution reports.
+    #[deprecated(since = "0.6.0", note = "use SimBuilder::run()")]
     #[must_use]
-    pub fn run_full(mut self) -> RunOutput {
+    pub fn run_full(self) -> RunOutput {
+        self.run_to_output()
+    }
+
+    /// The single execution path behind [`crate::SimBuilder::run`] (and
+    /// the deprecated `run`/`run_traced`/`run_full` shims): drives the
+    /// event loop to completion and assembles the [`RunOutput`].
+    pub(crate) fn run_to_output(mut self) -> RunOutput {
         // Every core starts active with nothing to do: send each to idle
         // immediately so the fleet begins in a realistic parked state.
         for id in 0..self.cores.len() {
@@ -437,6 +504,7 @@ impl ServerSim {
             }
         }
         let attribution = self.attrib.take().map(Attribution::finish);
+        let latency_samples = self.latency_log.take();
         let mut metrics = self.finalize();
         metrics.telemetry = report.as_ref().map(|r| r.summary.clone());
         metrics.attribution = attribution.as_ref().map(|r| r.summary.clone());
@@ -447,7 +515,7 @@ impl ServerSim {
             self.seed,
             fault_spec,
         );
-        RunOutput { metrics, telemetry: report, attribution, failure }
+        RunOutput { metrics, telemetry: report, attribution, slo: None, latency_samples, failure }
     }
 
     fn dispatch(&mut self) -> usize {
@@ -776,6 +844,9 @@ impl ServerSim {
         if self.warmed_up && !req.is_tick {
             let sojourn = now - req.arrival;
             self.latencies.record(sojourn.as_nanos());
+            if let Some(log) = self.latency_log.as_mut() {
+                log.push(sojourn.as_nanos());
+            }
             let service = now - core.serve_start;
             let transition = req.wake_penalty.min(sojourn - service);
             let queue = (sojourn - service - transition).clamp_non_negative();
@@ -1108,6 +1179,7 @@ impl fmt::Debug for ServerSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SimBuilder;
     use aw_cstates::NamedConfig;
 
     fn light_workload(qps: f64) -> WorkloadSpec {
@@ -1121,7 +1193,9 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = || {
-            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(50_000.0), 7).run()
+            SimBuilder::new(short_config(NamedConfig::Baseline), light_workload(50_000.0), 7)
+                .run()
+                .into_metrics()
         };
         let a = run();
         let b = run();
@@ -1132,8 +1206,9 @@ mod tests {
 
     #[test]
     fn throughput_matches_offered_load() {
-        let m =
-            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(100_000.0), 3).run();
+        let m = SimBuilder::new(short_config(NamedConfig::Baseline), light_workload(100_000.0), 3)
+            .run()
+            .into_metrics();
         let ratio = m.achieved_qps / m.offered_qps;
         assert!((0.9..1.1).contains(&ratio), "achieved/offered = {ratio}");
     }
@@ -1141,21 +1216,26 @@ mod tests {
     #[test]
     fn residencies_sum_to_one() {
         for named in [NamedConfig::Baseline, NamedConfig::Aw, NamedConfig::NtNoC6] {
-            let m = ServerSim::new(short_config(named), light_workload(60_000.0), 11).run();
+            let m = SimBuilder::new(short_config(named), light_workload(60_000.0), 11)
+                .run()
+                .into_metrics();
             assert!(m.residencies.is_complete(1e-6), "{named}: total {}", m.residencies.total());
         }
     }
 
     #[test]
     fn light_load_is_mostly_idle() {
-        let m =
-            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(20_000.0), 5).run();
+        let m = SimBuilder::new(short_config(NamedConfig::Baseline), light_workload(20_000.0), 5)
+            .run()
+            .into_metrics();
         assert!(m.residency_of(CState::C0).get() < 0.2, "{}", m.residencies);
     }
 
     #[test]
     fn aw_config_uses_agile_states() {
-        let m = ServerSim::new(short_config(NamedConfig::Aw), light_workload(60_000.0), 5).run();
+        let m = SimBuilder::new(short_config(NamedConfig::Aw), light_workload(60_000.0), 5)
+            .run()
+            .into_metrics();
         let agile = m.residency_of(CState::C6A) + m.residency_of(CState::C6AE);
         assert!(agile.get() > 0.3, "{}", m.residencies);
         assert_eq!(m.residency_of(CState::C1), Ratio::ZERO);
@@ -1165,8 +1245,12 @@ mod tests {
     #[test]
     fn aw_saves_power_at_light_load() {
         let baseline =
-            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(60_000.0), 9).run();
-        let aw = ServerSim::new(short_config(NamedConfig::Aw), light_workload(60_000.0), 9).run();
+            SimBuilder::new(short_config(NamedConfig::Baseline), light_workload(60_000.0), 9)
+                .run()
+                .into_metrics();
+        let aw = SimBuilder::new(short_config(NamedConfig::Aw), light_workload(60_000.0), 9)
+            .run()
+            .into_metrics();
         let savings = aw.power_savings_vs(&baseline);
         assert!(savings.get() > 0.1, "savings {savings}");
         // ...with minimal latency impact.
@@ -1177,8 +1261,9 @@ mod tests {
     #[test]
     fn disabled_states_are_never_entered() {
         let m =
-            ServerSim::new(short_config(NamedConfig::NtNoC6NoC1e), light_workload(40_000.0), 13)
-                .run();
+            SimBuilder::new(short_config(NamedConfig::NtNoC6NoC1e), light_workload(40_000.0), 13)
+                .run()
+                .into_metrics();
         assert_eq!(m.residency_of(CState::C6), Ratio::ZERO);
         assert_eq!(m.residency_of(CState::C1E), Ratio::ZERO);
         assert!(m.residency_of(CState::C1).get() > 0.5, "{}", m.residencies);
@@ -1188,29 +1273,34 @@ mod tests {
     fn snoops_burn_energy_in_coherent_states() {
         let cfg = short_config(NamedConfig::Baseline).with_snoops(SnoopTraffic::at_rate(50_000.0));
         let quiet =
-            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(30_000.0), 17).run();
-        let noisy = ServerSim::new(cfg, light_workload(30_000.0), 17).run();
+            SimBuilder::new(short_config(NamedConfig::Baseline), light_workload(30_000.0), 17)
+                .run()
+                .into_metrics();
+        let noisy = SimBuilder::new(cfg, light_workload(30_000.0), 17).run().into_metrics();
         assert!(noisy.snoops_served > 0);
         assert!(noisy.avg_core_power > quiet.avg_core_power);
     }
 
     #[test]
     fn turbo_runs_when_credit_allows() {
-        let m =
-            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(40_000.0), 19).run();
+        let m = SimBuilder::new(short_config(NamedConfig::Baseline), light_workload(40_000.0), 19)
+            .run()
+            .into_metrics();
         // Light load banks lots of thermal credit: turbo should engage.
         assert!(m.turbo_fraction.get() > 0.5, "turbo {}", m.turbo_fraction);
         let nt =
-            ServerSim::new(short_config(NamedConfig::NtBaseline), light_workload(40_000.0), 19)
-                .run();
+            SimBuilder::new(short_config(NamedConfig::NtBaseline), light_workload(40_000.0), 19)
+                .run()
+                .into_metrics();
         assert_eq!(nt.turbo_fraction, Ratio::ZERO);
     }
 
     #[test]
     fn attribution_spans_match_metrics() {
-        let out = ServerSim::new(short_config(NamedConfig::Baseline), light_workload(60_000.0), 21)
-            .with_attribution(Nanos::from_millis(10.0))
-            .run_full();
+        let out =
+            SimBuilder::new(short_config(NamedConfig::Baseline), light_workload(60_000.0), 21)
+                .with_attribution(Nanos::from_millis(10.0))
+                .run();
         let report = out.attribution.expect("attribution enabled");
         // One span per measured request.
         assert_eq!(report.spans.len() as u64, out.metrics.completed);
@@ -1235,8 +1325,9 @@ mod tests {
 
     #[test]
     fn attribution_off_yields_none() {
-        let out = ServerSim::new(short_config(NamedConfig::Baseline), light_workload(60_000.0), 21)
-            .run_full();
+        let out =
+            SimBuilder::new(short_config(NamedConfig::Baseline), light_workload(60_000.0), 21)
+                .run();
         assert!(out.attribution.is_none());
         assert!(out.metrics.attribution.is_none());
     }
@@ -1245,12 +1336,13 @@ mod tests {
     fn attribution_does_not_perturb_the_run() {
         // Attribution is pure observation: the measured metrics must be
         // bit-identical with and without it.
-        let plain =
-            ServerSim::new(short_config(NamedConfig::Aw), light_workload(80_000.0), 27).run();
+        let plain = SimBuilder::new(short_config(NamedConfig::Aw), light_workload(80_000.0), 27)
+            .run()
+            .into_metrics();
         let attributed =
-            ServerSim::new(short_config(NamedConfig::Aw), light_workload(80_000.0), 27)
+            SimBuilder::new(short_config(NamedConfig::Aw), light_workload(80_000.0), 27)
                 .with_attribution(Nanos::from_millis(5.0))
-                .run_full();
+                .run();
         assert_eq!(plain.completed, attributed.metrics.completed);
         assert_eq!(plain.avg_core_power, attributed.metrics.avg_core_power);
         assert_eq!(plain.server_latency.p99, attributed.metrics.server_latency.p99);
@@ -1261,11 +1353,13 @@ mod tests {
         // A plan with all rates zero must not perturb a single bit of the
         // run: fault draws live on their own RNG streams (common random
         // numbers), and zero-rate streams are never consulted.
-        let plain =
-            ServerSim::new(short_config(NamedConfig::Aw), light_workload(60_000.0), 7).run();
-        let faulted = ServerSim::new(short_config(NamedConfig::Aw), light_workload(60_000.0), 7)
+        let plain = SimBuilder::new(short_config(NamedConfig::Aw), light_workload(60_000.0), 7)
+            .run()
+            .into_metrics();
+        let faulted = SimBuilder::new(short_config(NamedConfig::Aw), light_workload(60_000.0), 7)
             .with_faults(FaultPlan::none())
-            .run();
+            .run()
+            .into_metrics();
         assert_eq!(format!("{plain:?}"), format!("{faulted:?}"));
     }
 
@@ -1274,9 +1368,10 @@ mod tests {
         let run = || {
             let plan = FaultPlan::parse("seed=3,wake-fail=0.2,relock=0.1,lost-wake=0.05")
                 .expect("valid spec");
-            ServerSim::new(short_config(NamedConfig::Aw), light_workload(60_000.0), 7)
+            SimBuilder::new(short_config(NamedConfig::Aw), light_workload(60_000.0), 7)
                 .with_faults(plan)
                 .run()
+                .into_metrics()
         };
         let a = run();
         let b = run();
@@ -1287,7 +1382,7 @@ mod tests {
     #[test]
     fn bounded_queue_sheds_under_overload() {
         let cfg = short_config(NamedConfig::Baseline).with_queue_cap(2);
-        let m = ServerSim::new(cfg, light_workload(1_200_000.0), 41).run();
+        let m = SimBuilder::new(cfg, light_workload(1_200_000.0), 41).run().into_metrics();
         assert!(m.degradation.shed > 0, "{}", m.degradation);
         assert!(m.degradation.retries > 0, "{}", m.degradation);
         assert!(m.degradation.retries_exhausted > 0, "{}", m.degradation);
@@ -1297,17 +1392,20 @@ mod tests {
     fn request_timeouts_shed_expired_work() {
         let cfg =
             short_config(NamedConfig::Baseline).with_request_timeout(Nanos::from_micros(30.0));
-        let m = ServerSim::new(cfg, light_workload(1_200_000.0), 43).run();
+        let m = SimBuilder::new(cfg, light_workload(1_200_000.0), 43).run().into_metrics();
         assert!(m.degradation.timeouts > 0, "{}", m.degradation);
     }
 
     #[test]
     fn heavier_load_more_c0() {
         let light =
-            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(30_000.0), 23).run();
+            SimBuilder::new(short_config(NamedConfig::Baseline), light_workload(30_000.0), 23)
+                .run()
+                .into_metrics();
         let heavy =
-            ServerSim::new(short_config(NamedConfig::Baseline), light_workload(300_000.0), 23)
-                .run();
+            SimBuilder::new(short_config(NamedConfig::Baseline), light_workload(300_000.0), 23)
+                .run()
+                .into_metrics();
         assert!(heavy.residency_of(CState::C0) > light.residency_of(CState::C0));
         assert!(heavy.avg_core_power > light.avg_core_power);
     }
@@ -1316,12 +1414,13 @@ mod tests {
 #[cfg(test)]
 mod breakdown_tests {
     use super::*;
+    use crate::SimBuilder;
     use aw_cstates::NamedConfig;
 
     fn run(named: NamedConfig, qps: f64, seed: u64) -> RunMetrics {
         let cfg = ServerConfig::new(4, named).with_duration(Nanos::from_millis(80.0));
         let w = WorkloadSpec::poisson("bd", qps, Nanos::from_micros(4.0), 0.8);
-        ServerSim::new(cfg, w, seed).run()
+        SimBuilder::new(cfg, w, seed).run().into_metrics()
     }
 
     #[test]
@@ -1343,7 +1442,7 @@ mod breakdown_tests {
             .with_cstates(aw_cstates::CStateConfig::new([CState::C6A], false))
             .with_duration(Nanos::from_millis(80.0));
         let w = WorkloadSpec::poisson("bd", 60_000.0, Nanos::from_micros(4.0), 0.8);
-        let aw = ServerSim::new(cfg, w, 33).run();
+        let aw = SimBuilder::new(cfg, w, 33).run().into_metrics();
         assert!(
             aw.breakdown.transition.as_nanos() < 0.5 * base.breakdown.transition.as_nanos(),
             "aw {} vs base {}",

@@ -2,7 +2,7 @@
 //! across random loads, configurations, and seeds.
 
 use aw_cstates::{CState, CStateCatalog, FreqLevel, NamedConfig};
-use aw_server::{Dispatch, GovernorKind, ServerConfig, ServerSim, WorkloadSpec};
+use aw_server::{Dispatch, GovernorKind, ServerConfig, SimBuilder, WorkloadSpec};
 use aw_types::Nanos;
 use proptest::prelude::*;
 
@@ -20,7 +20,7 @@ fn run(
         .with_governor(governor)
         .with_dispatch(dispatch);
     let w = WorkloadSpec::poisson("prop", qps, Nanos::from_micros(service_us), 0.7);
-    ServerSim::new(cfg, w, seed).run()
+    SimBuilder::new(cfg, w, seed).run().into_metrics()
 }
 
 fn config_strategy() -> impl Strategy<Value = NamedConfig> {

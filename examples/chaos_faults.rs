@@ -7,7 +7,7 @@
 
 use agilewatts::aw_cstates::NamedConfig;
 use agilewatts::aw_faults::{FaultPlan, FaultSpec};
-use agilewatts::aw_server::{ServerConfig, ServerSim, WorkloadSpec};
+use agilewatts::aw_server::{ServerConfig, SimBuilder, WorkloadSpec};
 use agilewatts::aw_types::Nanos;
 use agilewatts::degradation_table;
 
@@ -23,7 +23,7 @@ fn main() {
         .with_queue_cap(16)
         .with_request_timeout(Nanos::from_micros(400.0));
     let workload = WorkloadSpec::poisson("chaos", 120_000.0, Nanos::from_micros(3.0), 0.8);
-    let output = ServerSim::new(config, workload, 42).with_faults(FaultPlan::new(spec)).run_full();
+    let output = SimBuilder::new(config, workload, 42).with_faults(FaultPlan::new(spec)).run();
 
     println!("{}", output.metrics);
     println!("{}", degradation_table(&output.metrics.degradation));

@@ -12,7 +12,7 @@
 
 use agilewatts::attribution_table;
 use agilewatts::aw_cstates::{CState, CStateConfig, NamedConfig};
-use agilewatts::aw_server::{ServerConfig, ServerSim};
+use agilewatts::aw_server::{ServerConfig, SimBuilder};
 use agilewatts::aw_telemetry::SloMonitor;
 use agilewatts::aw_types::Nanos;
 use agilewatts::aw_workloads::memcached_etc;
@@ -44,9 +44,9 @@ fn main() {
     let mut exit_means = Vec::new();
     let mut service_means = Vec::new();
     for (stem, config) in runs {
-        let output = ServerSim::new(config.with_duration(duration), memcached_etc(qps), 42)
+        let output = SimBuilder::new(config.with_duration(duration), memcached_etc(qps), 42)
             .with_attribution(window)
-            .run_full();
+            .run();
         let report = output.attribution.expect("attribution enabled");
 
         println!("--- {stem} ---");

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use agilewatts::aw_cstates::{CState, NamedConfig};
-use agilewatts::aw_server::{ServerConfig, ServerSim};
+use agilewatts::aw_server::{ServerConfig, SimBuilder};
 use agilewatts::aw_types::Nanos;
 use agilewatts::aw_workloads::memcached_etc;
 
@@ -21,7 +21,7 @@ fn main() {
 
     let run = |named: NamedConfig| {
         let config = ServerConfig::new(10, named).with_duration(Nanos::from_millis(400.0));
-        ServerSim::new(config, memcached_etc(qps), 42).run()
+        SimBuilder::new(config, memcached_etc(qps), 42).run().into_metrics()
     };
 
     let baseline = run(NamedConfig::Baseline);

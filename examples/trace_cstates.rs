@@ -8,7 +8,7 @@
 //! or `chrome://tracing`.
 
 use agilewatts::aw_cstates::NamedConfig;
-use agilewatts::aw_server::{ServerConfig, ServerSim};
+use agilewatts::aw_server::{ServerConfig, SimBuilder};
 use agilewatts::aw_types::Nanos;
 use agilewatts::aw_workloads::memcached_etc;
 use agilewatts::telemetry_table;
@@ -23,8 +23,8 @@ fn main() {
 
     for named in [NamedConfig::Baseline, NamedConfig::Aw] {
         let config = ServerConfig::new(cores, named).with_duration(duration);
-        let (metrics, report) =
-            ServerSim::new(config, memcached_etc(qps), 42).with_telemetry(500_000).run_traced();
+        let out = SimBuilder::new(config, memcached_etc(qps), 42).with_telemetry(500_000).run();
+        let (metrics, report) = (out.metrics, out.telemetry);
         let report = report.expect("telemetry enabled");
 
         println!("{metrics}\n");

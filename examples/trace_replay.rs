@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use agilewatts::aw_cstates::NamedConfig;
-use agilewatts::aw_server::{ServerConfig, ServerSim, WorkloadSpec};
+use agilewatts::aw_server::{ServerConfig, SimBuilder, WorkloadSpec};
 use agilewatts::aw_sim::{LogNormal, SimRng};
 use agilewatts::aw_types::Nanos;
 use agilewatts::aw_workloads::{diurnal_memcached, TraceGaps};
@@ -46,7 +46,7 @@ fn main() {
             0.8,
         );
         let cfg = ServerConfig::new(4, named).with_duration(Nanos::from_millis(200.0));
-        ServerSim::new(cfg, workload, 42).run()
+        SimBuilder::new(cfg, workload, 42).run().into_metrics()
     };
     let base = run(NamedConfig::Baseline);
     let aw = run(NamedConfig::Aw);
@@ -58,7 +58,7 @@ fn main() {
     let run_diurnal = |named: NamedConfig| {
         let workload = diurnal_memcached(240_000.0, 0.85, 100e6);
         let cfg = ServerConfig::new(4, named).with_duration(Nanos::from_millis(200.0));
-        ServerSim::new(cfg, workload, 42).run()
+        SimBuilder::new(cfg, workload, 42).run().into_metrics()
     };
     let base = run_diurnal(NamedConfig::Baseline);
     let aw = run_diurnal(NamedConfig::Aw);

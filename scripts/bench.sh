@@ -35,9 +35,17 @@ def timed(cmd, env_jobs, runs=3):
 FIG8_POINTS = 7  # SweepParams::default() qps grid
 
 benches = []
+FLEET_SERVER_EPOCHS = 16 * 8  # fleet sweep grid upper bound (servers x epochs)
+
 for name, cmd, points in [
     ("paper_report_quick", ["./target/release/examples/paper_report", "--quick"], None),
     ("fig8_sweep", ["./target/release/agilewatts", "fig", "8"], FIG8_POINTS),
+    (
+        "fleet_packing",
+        ["./target/release/agilewatts", "fleet", "--servers", "16", "--epochs", "8",
+         "--policy", "packing", "--autoscale", "--diurnal", "0.6"],
+        FLEET_SERVER_EPOCHS,
+    ),
 ]:
     t1 = timed(cmd, 1)
     tn = timed(cmd, jobs_n)

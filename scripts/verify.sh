@@ -56,4 +56,21 @@ if [ "$serial" != "$parallel" ]; then
     exit 1
 fi
 
+echo "==> fleet smoke (packing, --jobs 1 vs --jobs 8)"
+fleet_serial=$(cargo run -q --release -p aw-cli -- fleet --servers 4 --policy packing --autoscale --diurnal 0.5 --jobs 1)
+fleet_parallel=$(cargo run -q --release -p aw-cli -- fleet --servers 4 --policy packing --autoscale --diurnal 0.5 --jobs 8)
+if [ "$fleet_serial" != "$fleet_parallel" ]; then
+    echo "verify: fleet output differs between --jobs 1 and --jobs 8" >&2
+    diff <(echo "$fleet_serial") <(echo "$fleet_parallel") >&2 || true
+    exit 1
+fi
+echo "$fleet_serial" | grep -q "policy packing" || {
+    echo "verify: fleet report missing its policy line" >&2
+    exit 1
+}
+echo "$fleet_serial" | grep -q "SLO:" || {
+    echo "verify: fleet report missing its SLO line" >&2
+    exit 1
+}
+
 echo "verify: OK"

@@ -5,7 +5,7 @@
 //! evaluation.
 
 use agilewatts::aw_cstates::{CState, CStateConfig, NamedConfig};
-use agilewatts::aw_server::{RunOutput, ServerConfig, ServerSim, WorkloadSpec};
+use agilewatts::aw_server::{RunOutput, ServerConfig, SimBuilder, WorkloadSpec};
 use agilewatts::aw_telemetry::SloMonitor;
 use agilewatts::aw_types::Nanos;
 
@@ -22,9 +22,7 @@ fn workload(qps: f64) -> WorkloadSpec {
 
 fn attributed_run(named: NamedConfig, qps: f64, seed: u64) -> RunOutput {
     let config = ServerConfig::new(4, named).with_duration(Nanos::from_millis(80.0));
-    ServerSim::new(config, workload(qps), seed)
-        .with_attribution(Nanos::from_millis(WINDOW))
-        .run_full()
+    SimBuilder::new(config, workload(qps), seed).with_attribution(Nanos::from_millis(WINDOW)).run()
 }
 
 #[test]
@@ -66,9 +64,9 @@ fn aw_collapses_c6_exit_penalty_under_common_random_numbers() {
     let cfg = ServerConfig::new(4, NamedConfig::NtAw)
         .with_cstates(CStateConfig::new([CState::C6A], false))
         .with_duration(Nanos::from_millis(80.0));
-    let aw = ServerSim::new(cfg, workload(qps), seed)
+    let aw = SimBuilder::new(cfg, workload(qps), seed)
         .with_attribution(Nanos::from_millis(WINDOW))
-        .run_full()
+        .run()
         .attribution
         .expect("attribution enabled")
         .summary;

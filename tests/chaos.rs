@@ -4,7 +4,7 @@
 
 use agilewatts::aw_cstates::{CState, NamedConfig};
 use agilewatts::aw_faults::{FaultPlan, FaultSpec};
-use agilewatts::aw_server::{RunMetrics, ServerConfig, ServerSim, WorkloadSpec};
+use agilewatts::aw_server::{RunMetrics, ServerConfig, SimBuilder, WorkloadSpec};
 use agilewatts::aw_sim::SimRng;
 use agilewatts::aw_types::Nanos;
 
@@ -14,11 +14,11 @@ fn golden_workload() -> WorkloadSpec {
 
 fn golden_run(named: NamedConfig, seed: u64, plan: Option<FaultPlan>) -> RunMetrics {
     let cfg = ServerConfig::new(4, named).with_duration(Nanos::from_millis(80.0));
-    let mut sim = ServerSim::new(cfg, golden_workload(), seed);
+    let mut sim = SimBuilder::new(cfg, golden_workload(), seed);
     if let Some(plan) = plan {
         sim = sim.with_faults(plan);
     }
-    sim.run()
+    sim.run().into_metrics()
 }
 
 /// Bit-exact fingerprints captured on the pre-fault-layer baseline. The
@@ -75,7 +75,10 @@ fn same_seed_and_plan_reproduce_identical_metrics() {
             .with_duration(Nanos::from_millis(60.0))
             .with_queue_cap(16)
             .with_request_timeout(Nanos::from_micros(400.0));
-        ServerSim::new(cfg, golden_workload(), 13).with_faults(FaultPlan::new(spec.clone())).run()
+        SimBuilder::new(cfg, golden_workload(), 13)
+            .with_faults(FaultPlan::new(spec.clone()))
+            .run()
+            .into_metrics()
     };
     let (a, b) = (run(), run());
     assert!(a.degradation.faults_injected > 0, "plan was supposed to fire");
@@ -90,7 +93,10 @@ fn breaker_demotes_agile_states_and_rearms() {
     // the cooldown re-arms it.
     let spec = FaultSpec::parse("seed=5,wake-fail=1.0").unwrap();
     let cfg = ServerConfig::new(4, NamedConfig::Aw).with_duration(Nanos::from_millis(80.0));
-    let m = ServerSim::new(cfg, golden_workload(), 7).with_faults(FaultPlan::new(spec)).run();
+    let m = SimBuilder::new(cfg, golden_workload(), 7)
+        .with_faults(FaultPlan::new(spec))
+        .run()
+        .into_metrics();
     let d = &m.degradation;
     assert!(d.fallback_exits > 0, "no full-C6 fallback exits: {d:?}");
     assert!(d.breaker_trips > 0, "breaker never tripped: {d:?}");
@@ -122,7 +128,7 @@ fn overload_sheds_are_bounded_and_accounted() {
         .with_queue_cap(32)
         .with_request_timeout(Nanos::from_micros(40.0));
     let w = WorkloadSpec::poisson("overload", 900_000.0, Nanos::from_micros(3.0), 0.8);
-    let m = ServerSim::new(cfg, w, 29).run();
+    let m = SimBuilder::new(cfg, w, 29).run().into_metrics();
     let d = &m.degradation;
     assert!(d.shed > 0, "bounded queue never shed: {d:?}");
     assert!(d.timeouts > 0, "stale requests never timed out: {d:?}");
@@ -170,10 +176,10 @@ fn chaos_plans_terminate_with_invariants_intact() {
             .with_queue_cap(8)
             .with_request_timeout(Nanos::from_micros(300.0));
         let w = WorkloadSpec::poisson("chaos", 120_000.0, Nanos::from_micros(3.0), 0.8);
-        let output = ServerSim::new(cfg, w, 100 + round)
+        let output = SimBuilder::new(cfg, w, 100 + round)
             .with_faults(FaultPlan::new(spec.clone()))
             .with_telemetry(100_000)
-            .run_full();
+            .run();
         assert!(
             output.failure.is_none(),
             "round {round} ({spec}) violated invariants:\n{}",

@@ -3,7 +3,7 @@
 
 use agilewatts::aw_cstates::{CState, CStateCatalog, FreqLevel, NamedConfig};
 use agilewatts::aw_power::{average_power, AwTransform, PpaModel};
-use agilewatts::aw_server::{Dispatch, GovernorKind, ServerConfig, ServerSim, SnoopTraffic};
+use agilewatts::aw_server::{Dispatch, GovernorKind, ServerConfig, SimBuilder, SnoopTraffic};
 use agilewatts::aw_types::Nanos;
 use agilewatts::aw_workloads::{kafka, memcached_etc, mysql_oltp, KafkaRate, MysqlRate};
 
@@ -14,8 +14,9 @@ fn quick(named: NamedConfig) -> ServerConfig {
 #[test]
 fn memcached_full_stack_baseline_vs_aw() {
     let qps = 200_000.0;
-    let baseline = ServerSim::new(quick(NamedConfig::Baseline), memcached_etc(qps), 1).run();
-    let aw = ServerSim::new(quick(NamedConfig::Aw), memcached_etc(qps), 1).run();
+    let baseline =
+        SimBuilder::new(quick(NamedConfig::Baseline), memcached_etc(qps), 1).run().into_metrics();
+    let aw = SimBuilder::new(quick(NamedConfig::Aw), memcached_etc(qps), 1).run().into_metrics();
 
     // The run produced work and kept up with the offered load.
     assert!(baseline.completed > 5_000);
@@ -33,8 +34,10 @@ fn simulated_residencies_feed_analytical_model() {
     // direct AW simulation. Model and simulation must agree on direction
     // and rough magnitude.
     let qps = 150_000.0;
-    let baseline = ServerSim::new(quick(NamedConfig::Baseline), memcached_etc(qps), 2).run();
-    let aw_sim = ServerSim::new(quick(NamedConfig::Aw), memcached_etc(qps), 2).run();
+    let baseline =
+        SimBuilder::new(quick(NamedConfig::Baseline), memcached_etc(qps), 2).run().into_metrics();
+    let aw_sim =
+        SimBuilder::new(quick(NamedConfig::Aw), memcached_etc(qps), 2).run().into_metrics();
 
     let catalog = CStateCatalog::skylake_with_aw();
     let transform = AwTransform::new(
@@ -70,7 +73,7 @@ fn governors_produce_consistent_metrics() {
     let qps = 100_000.0;
     for kind in [GovernorKind::Menu, GovernorKind::Ladder, GovernorKind::Oracle] {
         let cfg = quick(NamedConfig::Baseline).with_governor(kind);
-        let m = ServerSim::new(cfg, memcached_etc(qps), 3).run();
+        let m = SimBuilder::new(cfg, memcached_etc(qps), 3).run().into_metrics();
         assert!(m.residencies.is_complete(1e-6), "{kind:?}: {}", m.residencies.total());
         assert!(m.completed > 1_000, "{kind:?}");
         assert!(m.avg_core_power.as_watts() > 0.1, "{kind:?}");
@@ -83,18 +86,20 @@ fn oracle_governor_saves_at_least_as_much_as_menu() {
     // The oracle knows the true idle durations, so it should reach deep
     // states at least as often and burn no more power.
     let qps = 60_000.0;
-    let menu = ServerSim::new(
+    let menu = SimBuilder::new(
         quick(NamedConfig::Baseline).with_governor(GovernorKind::Menu),
         memcached_etc(qps),
         4,
     )
-    .run();
-    let oracle = ServerSim::new(
+    .run()
+    .into_metrics();
+    let oracle = SimBuilder::new(
         quick(NamedConfig::Baseline).with_governor(GovernorKind::Oracle),
         memcached_etc(qps),
         4,
     )
-    .run();
+    .run()
+    .into_metrics();
     assert!(
         oracle.avg_core_power <= menu.avg_core_power * 1.15,
         "oracle {} vs menu {}",
@@ -107,7 +112,7 @@ fn oracle_governor_saves_at_least_as_much_as_menu() {
 fn dispatch_policies_all_complete_work() {
     for dispatch in [Dispatch::RoundRobin, Dispatch::Random, Dispatch::LeastLoaded] {
         let cfg = quick(NamedConfig::Baseline).with_dispatch(dispatch);
-        let m = ServerSim::new(cfg, memcached_etc(120_000.0), 5).run();
+        let m = SimBuilder::new(cfg, memcached_etc(120_000.0), 5).run().into_metrics();
         assert!((m.achieved_qps / m.offered_qps - 1.0).abs() < 0.15, "{dispatch:?}");
     }
 }
@@ -117,26 +122,29 @@ fn mysql_reaches_deep_idle_memcached_does_not() {
     // The core claim behind the workload split (Figs. 8a vs 12a): with
     // millisecond transactions MySQL's idle gaps fit C6, while Memcached
     // at moderate load never gets past the shallow states.
-    let mysql = ServerSim::new(
+    let mysql = SimBuilder::new(
         quick(NamedConfig::NtBaseline),
         mysql_oltp(MysqlRate::Low).scaled_qps(0.4),
         6,
     )
-    .run();
-    let memcached =
-        ServerSim::new(quick(NamedConfig::NtBaseline), memcached_etc(300_000.0), 6).run();
+    .run()
+    .into_metrics();
+    let memcached = SimBuilder::new(quick(NamedConfig::NtBaseline), memcached_etc(300_000.0), 6)
+        .run()
+        .into_metrics();
     assert!(mysql.residency_of(CState::C6).get() > 0.2, "{}", mysql.residencies);
     assert!(memcached.residency_of(CState::C6).get() < 0.05, "{}", memcached.residencies);
 }
 
 #[test]
 fn kafka_batching_creates_c6_opportunity() {
-    let m = ServerSim::new(
+    let m = SimBuilder::new(
         ServerConfig::new(4, NamedConfig::NtBaseline).with_duration(Nanos::from_millis(400.0)),
         kafka(KafkaRate::Low).scaled_qps(0.4),
         7,
     )
-    .run();
+    .run()
+    .into_metrics();
     assert!(m.residency_of(CState::C6).get() > 0.4, "{}", m.residencies);
 }
 
@@ -148,7 +156,7 @@ fn snoop_traffic_reduces_aw_advantage() {
     let qps = 60_000.0;
     let run = |named, snoops: f64, seed| {
         let cfg = quick(named).with_snoops(SnoopTraffic::at_rate(snoops));
-        ServerSim::new(cfg, memcached_etc(qps), seed).run()
+        SimBuilder::new(cfg, memcached_etc(qps), seed).run().into_metrics()
     };
     let base_quiet = run(NamedConfig::Baseline, 0.0, 8);
     let aw_quiet = run(NamedConfig::Aw, 0.0, 8);
@@ -163,7 +171,9 @@ fn snoop_traffic_reduces_aw_advantage() {
 
 #[test]
 fn deterministic_across_full_stack() {
-    let run = || ServerSim::new(quick(NamedConfig::Aw), memcached_etc(90_000.0), 99).run();
+    let run = || {
+        SimBuilder::new(quick(NamedConfig::Aw), memcached_etc(90_000.0), 99).run().into_metrics()
+    };
     let a = run();
     let b = run();
     assert_eq!(a.avg_core_power, b.avg_core_power);
@@ -180,9 +190,11 @@ fn timer_tick_chops_idle_periods() {
     let workload = || memcached_etc(5_000.0);
     let base_cfg =
         || ServerConfig::new(4, NamedConfig::NtBaseline).with_duration(Nanos::from_millis(300.0));
-    let no_tick = ServerSim::new(base_cfg(), workload(), 21).run();
+    let no_tick = SimBuilder::new(base_cfg(), workload(), 21).run().into_metrics();
     let ticked =
-        ServerSim::new(base_cfg().with_timer_tick(Nanos::from_millis(1.0)), workload(), 21).run();
+        SimBuilder::new(base_cfg().with_timer_tick(Nanos::from_millis(1.0)), workload(), 21)
+            .run()
+            .into_metrics();
     assert!(
         ticked.residency_of(CState::C6) < no_tick.residency_of(CState::C6),
         "tick {} vs quiet {}",
@@ -208,7 +220,7 @@ fn trace_replay_is_deterministic_and_runs() {
             0.5,
         )
     };
-    let run = || ServerSim::new(quick(NamedConfig::Baseline), make(), 5).run();
+    let run = || SimBuilder::new(quick(NamedConfig::Baseline), make(), 5).run().into_metrics();
     let a = run();
     let b = run();
     assert_eq!(a.completed, b.completed);
@@ -221,14 +233,16 @@ fn diurnal_troughs_enable_deeper_states() {
     // A strong swing leaves long troughs; compared with a stationary
     // stream of the same mean rate, the deepest states get more time.
     let qps = 150_000.0;
-    let stationary = ServerSim::new(quick(NamedConfig::NtBaseline), memcached_etc(qps), 6).run();
+    let stationary =
+        SimBuilder::new(quick(NamedConfig::NtBaseline), memcached_etc(qps), 6).run().into_metrics();
     let cfg = ServerConfig::new(4, NamedConfig::NtBaseline).with_duration(Nanos::from_millis(80.0));
-    let diurnal = ServerSim::new(
+    let diurnal = SimBuilder::new(
         cfg,
         diurnal_memcached(qps, 0.9, 20e6), // 20 ms "days"
         6,
     )
-    .run();
+    .run()
+    .into_metrics();
     let deep = |m: &agilewatts::aw_server::RunMetrics| {
         m.residency_of(CState::C1E).get() + m.residency_of(CState::C6).get()
     };
@@ -245,7 +259,9 @@ fn p2_quantile_tracks_sim_latencies() {
     use agilewatts::aw_sim::P2Quantile;
     // Feed the simulator's latency distribution through the O(1) P²
     // estimator and cross-check against the exact p99 the sim reports.
-    let m = ServerSim::new(quick(NamedConfig::Baseline), memcached_etc(150_000.0), 8).run();
+    let m = SimBuilder::new(quick(NamedConfig::Baseline), memcached_etc(150_000.0), 8)
+        .run()
+        .into_metrics();
     // Re-run and stream per-request latencies through P² by proxy:
     // sample the same log-normal-ish shape via the breakdown totals.
     let mut p2 = P2Quantile::new(0.5);
@@ -261,8 +277,11 @@ fn p2_quantile_tracks_sim_latencies() {
 #[test]
 fn breakdown_identifies_transition_heavy_configs() {
     let qps = 60_000.0;
-    let c1e_heavy = ServerSim::new(quick(NamedConfig::NtBaseline), memcached_etc(qps), 9).run();
-    let lean = ServerSim::new(quick(NamedConfig::NtNoC6NoC1e), memcached_etc(qps), 9).run();
+    let c1e_heavy =
+        SimBuilder::new(quick(NamedConfig::NtBaseline), memcached_etc(qps), 9).run().into_metrics();
+    let lean = SimBuilder::new(quick(NamedConfig::NtNoC6NoC1e), memcached_etc(qps), 9)
+        .run()
+        .into_metrics();
     assert!(
         c1e_heavy.breakdown.transition > lean.breakdown.transition,
         "{} vs {}",
@@ -282,9 +301,10 @@ fn ppa_catalog_bridge_flows_into_simulation() {
         agilewatts::aw_types::Ratio::new(0.8),
     );
     let qps = 100_000.0;
-    let default_run = ServerSim::new(quick(NamedConfig::Aw), memcached_etc(qps), 10).run();
+    let default_run =
+        SimBuilder::new(quick(NamedConfig::Aw), memcached_etc(qps), 10).run().into_metrics();
     let cheap_cfg = quick(NamedConfig::Aw).with_catalog(catalog_from_ppa(&cheap));
-    let cheap_run = ServerSim::new(cheap_cfg, memcached_etc(qps), 10).run();
+    let cheap_run = SimBuilder::new(cheap_cfg, memcached_etc(qps), 10).run().into_metrics();
     assert!(
         cheap_run.avg_core_power < default_run.avg_core_power,
         "{} !< {}",

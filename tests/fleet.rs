@@ -1,0 +1,116 @@
+//! Fleet-level integration tests: the determinism contract extended to
+//! `aw-cluster` (byte-identical reports at any worker count and fleet
+//! size), plus the two headline routing claims — packing saves energy at
+//! low load, spreading saves tail at high load.
+
+use agilewatts::aw_cluster::{AutoscalePolicy, FleetConfig, FleetSim, LoadShape, RoutingPolicy};
+use agilewatts::aw_cstates::NamedConfig;
+use agilewatts::aw_exec::{set_default_jobs, SweepExecutor};
+use agilewatts::aw_server::{ServerConfig, WorkloadSpec};
+use agilewatts::aw_types::Nanos;
+
+/// A small but fully featured fleet: diurnal load, autoscaler, packing —
+/// every code path that could possibly depend on scheduling.
+fn fleet_config(servers: usize, utilization: f64, policy: RoutingPolicy) -> FleetConfig {
+    let cores = 4;
+    let workload = WorkloadSpec::poisson("fleet-test", 1_000.0, Nanos::from_micros(250.0), 0.6);
+    let capacity = cores as f64 / workload.mean_service().as_secs();
+    let total_qps = utilization * capacity * servers as f64;
+    FleetConfig::new(servers, ServerConfig::new(cores, NamedConfig::NtAw), workload, total_qps)
+        .with_epochs(3, Nanos::from_millis(15.0))
+        .with_policy(policy)
+        .with_load(LoadShape::Diurnal { amplitude: 0.5 })
+        .with_autoscale(AutoscalePolicy::default())
+}
+
+/// A fleet report rendered to its full-precision debug form: `Debug` for
+/// `f64` prints the shortest round-trip representation, so equal strings
+/// mean equal bits for every finite value in the report.
+fn fingerprint(servers: usize) -> String {
+    format!("{:?}", FleetSim::new(fleet_config(servers, 0.3, RoutingPolicy::Packing)).run())
+}
+
+/// One test function on purpose: [`set_default_jobs`] is process-global,
+/// and Rust runs `#[test]` functions of one binary concurrently — the
+/// jobs ladder must not race with itself.
+#[test]
+fn fleet_reports_are_byte_identical_across_worker_counts() {
+    let mut runs: Vec<(usize, Vec<String>)> = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        set_default_jobs(jobs);
+        assert_eq!(SweepExecutor::current().jobs(), jobs, "override not picked up");
+        runs.push((jobs, [1, 4, 16].map(fingerprint).to_vec()));
+    }
+    set_default_jobs(0); // release the override for anything that follows
+
+    let (_, serial) = &runs[0];
+    for (i, fp) in serial.iter().enumerate() {
+        assert!(fp.contains("FleetReport"), "fingerprint {i} looks wrong");
+    }
+    for (jobs, fps) in &runs[1..] {
+        assert_eq!(fps, serial, "fleet report drifted at jobs={jobs}");
+    }
+}
+
+/// The paper's datacenter argument, fleet edition: at ≤30% aggregate
+/// load a packing balancer leaves most packages empty — their uncore
+/// sinks to PC6 (~2 W) instead of PC0 (12 W) — so the fleet draws less
+/// than under round robin, which keeps every package awake.
+#[test]
+fn packing_beats_round_robin_energy_at_low_load() {
+    let pack = |policy| {
+        let cores = 4;
+        let workload = WorkloadSpec::poisson("fleet-low", 1_000.0, Nanos::from_micros(250.0), 0.6);
+        let capacity = cores as f64 / workload.mean_service().as_secs();
+        let config = FleetConfig::new(
+            4,
+            ServerConfig::new(cores, NamedConfig::NtAw),
+            workload,
+            0.3 * capacity * 4.0,
+        )
+        .with_epochs(3, Nanos::from_millis(20.0))
+        .with_policy(policy);
+        FleetSim::new(config).run()
+    };
+    let packed = pack(RoutingPolicy::Packing);
+    let robin = pack(RoutingPolicy::RoundRobin);
+    assert!(
+        packed.avg_fleet_power < robin.avg_fleet_power,
+        "packing ({}) should draw less than round robin ({}) at 30% load",
+        packed.avg_fleet_power,
+        robin.avg_fleet_power
+    );
+    assert!(
+        packed.pc6_fraction.as_percent() > robin.pc6_fraction.as_percent(),
+        "packing should reach PC6 more often than round robin"
+    );
+}
+
+/// The other side of the trade: at ≥70% aggregate load packing runs its
+/// servers near the 85% fill target while spreading holds every server
+/// at 70% — so spreading's queueing tail is strictly shorter.
+#[test]
+fn spreading_beats_packing_tail_at_high_load() {
+    let run = |policy| {
+        let cores = 4;
+        let workload = WorkloadSpec::poisson("fleet-high", 1_000.0, Nanos::from_micros(250.0), 0.6);
+        let capacity = cores as f64 / workload.mean_service().as_secs();
+        let config = FleetConfig::new(
+            4,
+            ServerConfig::new(cores, NamedConfig::NtAw),
+            workload,
+            0.7 * capacity * 4.0,
+        )
+        .with_epochs(3, Nanos::from_millis(20.0))
+        .with_policy(policy);
+        FleetSim::new(config).run()
+    };
+    let spread = run(RoutingPolicy::Spreading);
+    let packed = run(RoutingPolicy::Packing);
+    assert!(
+        spread.latency.p99 < packed.latency.p99,
+        "spreading p99 ({}) should beat packing p99 ({}) at 70% load",
+        spread.latency.p99,
+        packed.latency.p99
+    );
+}

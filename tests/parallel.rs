@@ -8,7 +8,7 @@
 use agilewatts::aw_cstates::NamedConfig;
 use agilewatts::aw_exec::{set_default_jobs, SweepExecutor};
 use agilewatts::aw_faults::{FaultPlan, FaultSpec};
-use agilewatts::aw_server::{ServerConfig, ServerSim, WorkloadSpec};
+use agilewatts::aw_server::{ServerConfig, SimBuilder, WorkloadSpec};
 use agilewatts::aw_types::Nanos;
 use agilewatts::experiments::{Fig8, SweepParams};
 
@@ -35,7 +35,10 @@ fn chaos_ledger_fingerprint() -> String {
             .with_queue_cap(8)
             .with_request_timeout(Nanos::from_micros(300.0));
         let w = WorkloadSpec::poisson("ledger", 120_000.0, Nanos::from_micros(3.0), 0.8);
-        let m = ServerSim::new(cfg, w, 7).with_faults(FaultPlan::new(spec.clone())).run();
+        let m = SimBuilder::new(cfg, w, 7)
+            .with_faults(FaultPlan::new(spec.clone()))
+            .run()
+            .into_metrics();
         format!(
             "{:?} p99_bits={:#018x} power_bits={:#018x}",
             m.degradation,

@@ -3,7 +3,7 @@
 //! trace exporter's golden format.
 
 use agilewatts::aw_cstates::NamedConfig;
-use agilewatts::aw_server::{ServerConfig, ServerSim};
+use agilewatts::aw_server::{ServerConfig, SimBuilder};
 use agilewatts::aw_telemetry::{EventKind, TelemetryRecorder, TelemetryReport};
 use agilewatts::aw_types::Nanos;
 use agilewatts::aw_workloads::memcached_etc;
@@ -16,8 +16,8 @@ mod json;
 
 fn traced_run(named: NamedConfig, cores: usize) -> TelemetryReport {
     let config = ServerConfig::new(cores, named).with_duration(Nanos::from_millis(30.0));
-    let (metrics, report) =
-        ServerSim::new(config, memcached_etc(80_000.0), 7).with_telemetry(1_000_000).run_traced();
+    let out = SimBuilder::new(config, memcached_etc(80_000.0), 7).with_telemetry(1_000_000).run();
+    let (metrics, report) = (out.metrics, out.telemetry);
     let report = report.expect("telemetry enabled");
     assert_eq!(
         metrics.telemetry.as_ref().expect("summary attached"),
