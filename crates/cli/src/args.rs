@@ -52,6 +52,8 @@ pub enum Command {
     Sweep(SweepArgs),
     /// `fleet [OPTIONS]`
     Fleet(FleetArgs),
+    /// `watch [OPTIONS]`
+    Watch(WatchArgs),
     /// `report [--quick]`
     Report {
         /// Reduced parameter set.
@@ -133,6 +135,20 @@ impl Default for FleetArgs {
     }
 }
 
+/// Options of the `watch` subcommand: the live fleet cockpit. Accepts
+/// every `fleet` flag plus the rendering mode.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WatchArgs {
+    /// The fleet being watched (same flags and defaults as `fleet`).
+    pub fleet: FleetArgs,
+    /// `--headless`: render plain-text frames to stdout instead of
+    /// taking over the terminal — the deterministic/CI mode.
+    pub headless: bool,
+    /// `--frames <N>`: number of headless frames to emit (one per
+    /// epoch, from the start of the run); `None` = one per epoch.
+    pub frames: Option<usize>,
+}
+
 /// Telemetry options, accepted by every experiment subcommand.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TelemetryArgs {
@@ -183,6 +199,11 @@ pub struct ExecArgs {
     /// to the `AW_JOBS` environment variable and then to the machine's
     /// available parallelism. Reports are byte-identical at any value.
     pub jobs: Option<usize>,
+    /// `--progress`: force the live sweep progress reporter on stderr
+    /// even when stderr is not a terminal. By default progress is
+    /// auto-enabled on a TTY and off in scripts/pipelines, so golden
+    /// outputs never change.
+    pub progress: bool,
 }
 
 /// Robustness options, accepted by every experiment subcommand:
@@ -239,6 +260,9 @@ impl CommonArgs {
         if let Some(jobs) = self.exec.jobs {
             agilewatts::aw_exec::set_default_jobs(jobs);
         }
+        if self.exec.progress {
+            agilewatts::aw_exec::set_progress(agilewatts::aw_exec::ProgressMode::Enabled);
+        }
     }
 
     /// Tries to consume `arg` (and its value from `it`) as one of the
@@ -285,6 +309,7 @@ impl CommonArgs {
             "--jobs" => {
                 self.exec.jobs = Some(positive_usize("--jobs", &value("--jobs")?)?);
             }
+            "--progress" => self.exec.progress = true,
             _ => return Ok(false),
         }
         Ok(true)
@@ -412,6 +437,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "report" => Ok(Command::Report { quick: has_quick(rest)? }),
         "sweep" => parse_sweep(rest).map(Command::Sweep),
         "fleet" => parse_fleet(rest).map(Command::Fleet),
+        "watch" => parse_watch(rest).map(Command::Watch),
         other => Err(ParseError(format!("unknown command '{other}' (try 'help')"))),
     }
 }
@@ -442,48 +468,84 @@ fn parse_sweep(rest: &[String]) -> Result<SweepArgs, ParseError> {
     Ok(args)
 }
 
+/// Tries to consume `flag` (and its value from `it`) as one of the
+/// fleet-simulation flags shared by `fleet` and `watch`. Returns
+/// `Ok(false)` when `flag` is not a fleet flag.
+fn consume_fleet_flag(
+    args: &mut FleetArgs,
+    flag: &str,
+    it: &mut std::slice::Iter<'_, String>,
+) -> Result<bool, ParseError> {
+    let mut value =
+        |name: &str| it.next().cloned().ok_or_else(|| ParseError(format!("{name} needs a value")));
+    match flag {
+        "--servers" => args.servers = positive_usize("--servers", &value("--servers")?)?,
+        "--cores" => args.cores = positive_usize("--cores", &value("--cores")?)?,
+        "--policy" => {
+            let v = value("--policy")?;
+            args.policy = v.parse().map_err(|e: String| ParseError(e))?;
+        }
+        "--config" => args.config = named_config(&value("--config")?)?,
+        "--utilization" => {
+            args.utilization = positive_f64(
+                "--utilization",
+                &value("--utilization")?,
+                "(fraction of fleet capacity)",
+            )?;
+        }
+        "--epochs" => args.epochs = positive_usize("--epochs", &value("--epochs")?)?,
+        "--epoch-ms" => {
+            args.epoch_ms = positive_f64("--epoch-ms", &value("--epoch-ms")?, "milliseconds")?;
+        }
+        "--autoscale" => args.autoscale = true,
+        "--diurnal" => {
+            let v = value("--diurnal")?;
+            let amp: f64 =
+                v.parse().map_err(|_| ParseError(format!("bad --diurnal value '{v}'")))?;
+            if !(0.0..1.0).contains(&amp) {
+                return Err(ParseError("--diurnal amplitude must be in [0, 1)".into()));
+            }
+            args.diurnal = Some(amp);
+        }
+        "--seed" => {
+            let v = value("--seed")?;
+            args.seed = v.parse().map_err(|_| ParseError(format!("bad --seed value '{v}'")))?;
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
 fn parse_fleet(rest: &[String]) -> Result<FleetArgs, ParseError> {
     let mut args = FleetArgs::default();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().cloned().ok_or_else(|| ParseError(format!("{name} needs a value")))
-        };
-        match flag.as_str() {
-            "--servers" => args.servers = positive_usize("--servers", &value("--servers")?)?,
-            "--cores" => args.cores = positive_usize("--cores", &value("--cores")?)?,
-            "--policy" => {
-                let v = value("--policy")?;
-                args.policy = v.parse().map_err(|e: String| ParseError(e))?;
-            }
-            "--config" => args.config = named_config(&value("--config")?)?,
-            "--utilization" => {
-                args.utilization = positive_f64(
-                    "--utilization",
-                    &value("--utilization")?,
-                    "(fraction of fleet capacity)",
-                )?;
-            }
-            "--epochs" => args.epochs = positive_usize("--epochs", &value("--epochs")?)?,
-            "--epoch-ms" => {
-                args.epoch_ms = positive_f64("--epoch-ms", &value("--epoch-ms")?, "milliseconds")?;
-            }
-            "--autoscale" => args.autoscale = true,
-            "--diurnal" => {
-                let v = value("--diurnal")?;
-                let amp: f64 =
-                    v.parse().map_err(|_| ParseError(format!("bad --diurnal value '{v}'")))?;
-                if !(0.0..1.0).contains(&amp) {
-                    return Err(ParseError("--diurnal amplitude must be in [0, 1)".into()));
-                }
-                args.diurnal = Some(amp);
-            }
-            "--seed" => {
-                let v = value("--seed")?;
-                args.seed = v.parse().map_err(|_| ParseError(format!("bad --seed value '{v}'")))?;
-            }
-            other => return Err(ParseError(format!("unknown fleet option '{other}'"))),
+        if !consume_fleet_flag(&mut args, flag.as_str(), &mut it)? {
+            return Err(ParseError(format!("unknown fleet option '{flag}'")));
         }
+    }
+    Ok(args)
+}
+
+fn parse_watch(rest: &[String]) -> Result<WatchArgs, ParseError> {
+    let mut args = WatchArgs::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--headless" => args.headless = true,
+            "--frames" => {
+                let v = it.next().ok_or_else(|| ParseError("--frames needs a value".into()))?;
+                args.frames = Some(positive_usize("--frames", v)?);
+            }
+            other => {
+                if !consume_fleet_flag(&mut args.fleet, other, &mut it)? {
+                    return Err(ParseError(format!("unknown watch option '{other}'")));
+                }
+            }
+        }
+    }
+    if args.frames.is_some() && !args.headless {
+        return Err(ParseError("--frames only applies to --headless".into()));
     }
     Ok(args)
 }
@@ -622,6 +684,44 @@ mod tests {
             let Command::Fleet(f) = cmd else { panic!("expected fleet") };
             assert_eq!(f.policy, policy);
         }
+    }
+
+    #[test]
+    fn watch_defaults_and_composes_fleet_flags() {
+        let Command::Watch(w) = parse(&argv("watch")).unwrap() else {
+            panic!("expected watch");
+        };
+        assert_eq!(w, WatchArgs::default());
+        assert!(!w.headless);
+
+        let cmd = parse(&argv(
+            "watch --headless --frames 5 --servers 4 --policy spreading --autoscale --seed 7",
+        ))
+        .unwrap();
+        let Command::Watch(w) = cmd else { panic!("expected watch") };
+        assert!(w.headless);
+        assert_eq!(w.frames, Some(5));
+        assert_eq!(w.fleet.servers, 4);
+        assert_eq!(w.fleet.policy, RoutingPolicy::Spreading);
+        assert!(w.fleet.autoscale);
+        assert_eq!(w.fleet.seed, 7);
+    }
+
+    #[test]
+    fn watch_rejects_bad_values() {
+        assert!(parse(&argv("watch --frames 0 --headless")).is_err());
+        assert!(parse(&argv("watch --frames 3")).is_err(), "--frames needs --headless");
+        assert!(parse(&argv("watch --servers 0")).is_err());
+        assert!(parse(&argv("watch --quick")).is_err());
+    }
+
+    #[test]
+    fn progress_flag_parses_anywhere() {
+        let (cmd, c) = parse_cli(&argv("fig 8 --progress --quick")).unwrap();
+        assert_eq!(cmd, Command::Fig { number: 8, quick: true });
+        assert!(c.exec.progress);
+        let (_, c) = parse_cli(&argv("watch --headless")).unwrap();
+        assert!(!c.exec.progress);
     }
 
     #[test]

@@ -19,10 +19,11 @@
 
 mod args;
 mod run;
+mod watch;
 
 pub use args::{
     parse, parse_cli, Command, CommonArgs, ExecArgs, FleetArgs, ParseError, RobustnessArgs,
-    SweepArgs, TelemetryArgs,
+    SweepArgs, TelemetryArgs, WatchArgs,
 };
 pub use run::{execute, execute_with};
 
@@ -46,6 +47,7 @@ COMMANDS:
     ablations              the design-choice ablation suite
     sweep [OPTIONS]        one custom simulation run
     fleet [OPTIONS]        N servers behind a load balancer
+    watch [OPTIONS]        live fleet cockpit (streaming terminal UI)
     report                 every artifact in one run
     help                   print this message
 
@@ -57,6 +59,9 @@ EXECUTION OPTIONS (any experiment subcommand):
                            the AW_JOBS environment variable, then the
                            machine's available parallelism); reports are
                            byte-identical at any worker count
+    --progress             report sweep progress (done/total, points/s,
+                           ETA) on stderr; auto-enabled when stderr is a
+                           terminal, off when piped
 
 OPTIONS (sweep):
     --workload <memcached|kafka-low|kafka-high|mysql-low|mysql-mid|mysql-high|
@@ -86,6 +91,16 @@ OPTIONS (fleet):
                            (--slo-p99 sets the fleet SLO target and
                            --timeline-out receives the per-epoch fleet
                            time series)
+
+OPTIONS (watch):
+    all fleet options, plus:
+    --headless             print plain-text frames to stdout instead of
+                           taking over the terminal (deterministic; for
+                           scripts and tests)
+    --frames <N>           emit at most N headless frames (default: one
+                           per epoch)
+                           interactive keys: 1-4 or Tab switch tabs,
+                           q / Esc / Ctrl-C quit
 
 TELEMETRY OPTIONS (any experiment subcommand):
     --trace-out <FILE>     write a Chrome trace-event JSON file (open in

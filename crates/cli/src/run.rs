@@ -58,9 +58,12 @@ pub fn execute_with(command: &Command, common: &CommonArgs) -> Result<(), ParseE
     let (telemetry, robustness) = (&common.telemetry, &common.robustness);
     // A fleet run owns its shared flags (`--slo-p99`, `--timeline-out`)
     // at the fleet level rather than attaching a representative
-    // single-server run.
+    // single-server run. A watch run is a fleet run with a cockpit.
     if let Command::Fleet(args) = command {
         return run_fleet(args, telemetry);
+    }
+    if let Command::Watch(args) = command {
+        return crate::watch::run_watch(args, telemetry);
     }
     if !common.is_active() {
         return execute(command);
@@ -147,6 +150,7 @@ pub fn execute(command: &Command) -> Result<(), ParseError> {
         Command::Ablations { quick } => run_ablations(*quick),
         Command::Sweep(args) => run_sweep(args)?,
         Command::Fleet(args) => run_fleet(args, &TelemetryArgs::default())?,
+        Command::Watch(args) => crate::watch::run_watch(args, &TelemetryArgs::default())?,
         Command::Report { quick } => run_report(*quick)?,
     }
     Ok(())
@@ -201,14 +205,14 @@ fn run_sweep(args: &SweepArgs) -> Result<(), ParseError> {
     run_sweep_with(args, &TelemetryArgs::default(), &RobustnessArgs::default())
 }
 
-/// Runs one fleet simulation and prints its report. `--slo-p99` sets the
-/// fleet SLO target and `--timeline-out` receives the per-epoch fleet
-/// time series; the per-server flags (`--trace-out`, `--faults`, …) do
-/// not apply at fleet scale.
-fn run_fleet(args: &FleetArgs, telemetry: &TelemetryArgs) -> Result<(), ParseError> {
+/// Builds the [`Fleet`] experiment shared by `fleet` (batch) and `watch`
+/// (streaming) from the common flag set.
+pub(crate) fn fleet_experiment(
+    args: &FleetArgs,
+    telemetry: &TelemetryArgs,
+) -> agilewatts::experiments::Fleet {
     use agilewatts::aw_cluster::{AutoscalePolicy, LoadShape};
-    use agilewatts::experiments::Fleet;
-    let fleet = Fleet {
+    agilewatts::experiments::Fleet {
         servers: args.servers,
         cores: args.cores,
         utilization: args.utilization,
@@ -221,8 +225,15 @@ fn run_fleet(args: &FleetArgs, telemetry: &TelemetryArgs) -> Result<(), ParseErr
         autoscale: args.autoscale.then(AutoscalePolicy::default),
         slo_p99: telemetry.slo_p99.map_or(Nanos::from_micros(500.0), Nanos::new),
         seed: args.seed,
-    };
-    let report = fleet.run_one(args.policy, args.config);
+    }
+}
+
+/// Runs one fleet simulation and prints its report. `--slo-p99` sets the
+/// fleet SLO target and `--timeline-out` receives the per-epoch fleet
+/// time series; the per-server flags (`--trace-out`, `--faults`, …) do
+/// not apply at fleet scale.
+fn run_fleet(args: &FleetArgs, telemetry: &TelemetryArgs) -> Result<(), ParseError> {
+    let report = fleet_experiment(args, telemetry).run_one(args.policy, args.config);
     println!("{report}");
     if let Some(path) = &telemetry.timeline_out {
         std::fs::write(path, report.timeline_csv())
@@ -311,8 +322,15 @@ fn run_sweep_with(
     Ok(())
 }
 
-/// Writes the requested telemetry artifacts to disk.
+/// Writes the requested telemetry artifacts to disk, warning first when
+/// the trace ring dropped events (the trace on disk has gaps).
 fn write_telemetry(report: &TelemetryReport, telemetry: &TelemetryArgs) -> Result<(), ParseError> {
+    if report.summary.events_dropped > 0 {
+        println!(
+            "warning: trace buffer dropped {} events — raise --trace-limit for a complete trace",
+            report.summary.events_dropped
+        );
+    }
     if let Some(path) = &telemetry.trace_out {
         std::fs::write(path, report.chrome_trace_json())
             .map_err(|e| ParseError(format!("cannot write trace to '{path}': {e}")))?;

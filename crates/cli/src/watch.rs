@@ -1,0 +1,494 @@
+//! The live fleet cockpit behind `aw-cli watch`.
+//!
+//! The fleet simulation runs on a background thread, streaming each
+//! closed epoch over a bounded channel (see [`fleet_stream`]); the
+//! foreground renders a four-tab terminal UI from whatever has arrived
+//! so far. Because every frame is a pure function of the streamed
+//! events — no wall-clock, no terminal state — the `--headless` mode
+//! can print frames as plain text and get byte-identical output for a
+//! fixed seed at any `--jobs`.
+
+use std::thread;
+use std::time::Duration;
+
+use agilewatts::aw_cluster::{fleet_stream, FleetConfig, FleetEpochEvent, FleetSim, ServerRole};
+use agilewatts::aw_telemetry::{StreamPoll, WindowCounters};
+use agilewatts::aw_tui::{
+    shade, AnsiBackend, Backend, Block, Borders, Buffer, Color, Constraint, Direction, KeyReader,
+    Layout, Paragraph, Rect, Row, Sparkline, Style, Table, Tabs, Widget,
+};
+use agilewatts::aw_types::Nanos;
+
+use crate::args::{ParseError, TelemetryArgs, WatchArgs};
+
+/// The cockpit's tab set, in key order (`1`–`4`).
+pub(crate) const TAB_TITLES: [&str; 4] = ["Power", "Latency", "Routing", "Events"];
+
+/// Headless frame geometry — fixed so frame dumps are comparable
+/// across environments.
+const HEADLESS_WIDTH: u16 = 80;
+const HEADLESS_HEIGHT: u16 = 24;
+
+/// Epochs the consumer may fall behind before the simulator blocks —
+/// the backpressure bound of the cockpit channel.
+const CHANNEL_CAPACITY: usize = 8;
+
+/// Everything the cockpit has learned from the stream so far. Frames
+/// are rendered from this state alone.
+#[derive(Debug)]
+struct Cockpit {
+    servers: usize,
+    epochs_total: usize,
+    slo_p99: Nanos,
+    events: Vec<FleetEpochEvent>,
+    feed: Vec<String>,
+    finished: bool,
+}
+
+impl Cockpit {
+    fn new(servers: usize, epochs_total: usize, slo_p99: Nanos) -> Self {
+        Cockpit {
+            servers,
+            epochs_total,
+            slo_p99,
+            events: Vec::new(),
+            feed: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Ingests one epoch: derives feed lines, then stores the event.
+    fn push(&mut self, event: FleetEpochEvent) {
+        let e = event.window.epoch;
+        if event.window.parks > 0 || event.window.unparks > 0 {
+            self.feed.push(format!(
+                "e{e:03} autoscaler: {} parked, {} unparked",
+                event.window.parks, event.window.unparks
+            ));
+        }
+        for s in &event.servers {
+            if let Some(line) = counter_feed_line(e, s.server, &s.counters) {
+                self.feed.push(line);
+            }
+        }
+        if event.window.slo_violated {
+            self.feed.push(format!(
+                "e{e:03} SLO violated: fleet p99 {:.0} µs > {:.0} µs",
+                event.window.latency.p99.as_micros(),
+                self.slo_p99.as_micros()
+            ));
+        }
+        self.events.push(event);
+    }
+}
+
+/// One feed line for a server-epoch's fault/breaker counters, `None`
+/// when the epoch was clean. Counters are per-epoch (each server-epoch
+/// is an independent simulation), so no diffing is needed.
+fn counter_feed_line(epoch: usize, server: usize, c: &WindowCounters) -> Option<String> {
+    let mut parts = Vec::new();
+    for (count, what) in [
+        (c.faults_injected, "faults"),
+        (c.shed, "shed"),
+        (c.timeouts, "timeouts"),
+        (c.retries, "retries"),
+        (c.breaker_trips, "breaker trips"),
+        (c.breaker_restores, "breaker restores"),
+        (c.fallback_exits, "fallback exits"),
+    ] {
+        if count > 0 {
+            parts.push(format!("{count} {what}"));
+        }
+    }
+    (!parts.is_empty()).then(|| format!("e{epoch:03} s{server:02}: {}", parts.join(", ")))
+}
+
+/// Renders one full frame: the tab bar plus the selected tab's body.
+fn render(state: &Cockpit, tab: usize, area: Rect) -> Buffer {
+    let mut buf = Buffer::empty(area);
+    let chunks = Layout::default()
+        .direction(Direction::Vertical)
+        .constraints([Constraint::Length(1), Constraint::Min(0)])
+        .split(area);
+    Tabs::new(TAB_TITLES).select(tab).render(chunks[0], &mut buf);
+    let status = format!(
+        "epoch {}/{}{}",
+        state.events.len(),
+        state.epochs_total,
+        if state.finished { " · done" } else { "" }
+    );
+    let x = area.right().saturating_sub(status.chars().count() as u16);
+    buf.set_string(x, chunks[0].y, &status, Style::default().dim());
+    match tab {
+        0 => render_power(state, chunks[1], &mut buf),
+        1 => render_latency(state, chunks[1], &mut buf),
+        2 => render_routing(state, chunks[1], &mut buf),
+        _ => render_events(state, chunks[1], &mut buf),
+    }
+    buf
+}
+
+/// Tab 1: fleet power sparkline over epochs, plus the per-server
+/// C-state residency heatmap (one row per server, one column per
+/// epoch).
+fn render_power(state: &Cockpit, area: Rect, buf: &mut Buffer) {
+    let chunks = Layout::default()
+        .direction(Direction::Vertical)
+        .constraints([Constraint::Length(7), Constraint::Min(0)])
+        .split(area);
+    let watts: Vec<f64> = state.events.iter().map(|e| e.window.fleet_power.as_watts()).collect();
+    let cur = watts.last().copied().unwrap_or(0.0);
+    let peak = watts.iter().copied().fold(0.0, f64::max);
+    Sparkline::new(watts)
+        .style(Style::default().fg(Color::Green))
+        .block(
+            Block::default()
+                .borders(Borders::ALL)
+                .title(format!(" Fleet power {cur:.1} W · peak {peak:.1} W ")),
+        )
+        .render(chunks[0], buf);
+
+    let block = Block::default()
+        .borders(Borders::ALL)
+        .title(" Residency heatmap · shade = agile share · P parked · · idle ");
+    let inner = block.inner(chunks[1]);
+    block.render(chunks[1], buf);
+    for srv in 0..state.servers {
+        let y = inner.y + srv as u16;
+        if y >= inner.bottom() {
+            break;
+        }
+        buf.set_string(inner.x, y, &format!("s{srv:02} "), Style::default().dim());
+        for (i, ev) in state.events.iter().enumerate() {
+            let x = inner.x + 4 + i as u16;
+            if x >= inner.right() {
+                break;
+            }
+            let snap = &ev.servers[srv];
+            let (glyph, style) = match snap.role {
+                ServerRole::Parked => ('P', Style::default().fg(Color::Blue)),
+                ServerRole::Idle => ('·', Style::default().dim()),
+                ServerRole::Loaded => (shade(snap.agile_share), Style::default().fg(Color::Cyan)),
+            };
+            buf.set(x, y, glyph, style);
+        }
+    }
+}
+
+/// Tab 2: per-server p99 sparklines plus the fleet SLO burn summary.
+fn render_latency(state: &Cockpit, area: Rect, buf: &mut Buffer) {
+    let chunks = Layout::default()
+        .direction(Direction::Vertical)
+        .constraints([Constraint::Min(0), Constraint::Length(4)])
+        .split(area);
+    let block = Block::default().borders(Borders::ALL).title(" Per-server p99 (µs) ");
+    let inner = block.inner(chunks[0]);
+    block.render(chunks[0], buf);
+    for srv in 0..state.servers {
+        let y = inner.y + srv as u16;
+        if y >= inner.bottom() {
+            break;
+        }
+        let series: Vec<f64> = state
+            .events
+            .iter()
+            .map(|e| e.servers[srv].p99.map_or(0.0, |p| p.as_micros()))
+            .collect();
+        let last = series.last().copied().unwrap_or(0.0);
+        buf.set_string(inner.x, y, &format!("s{srv:02} {last:>7.1} "), Style::default());
+        let spark = Rect::new(inner.x + 12, y, inner.width.saturating_sub(12), 1);
+        Sparkline::new(series).style(Style::default().fg(Color::Yellow)).render(spark, buf);
+    }
+
+    let violated = state.events.iter().filter(|e| e.window.slo_violated).count();
+    let burn =
+        if state.events.is_empty() { 0.0 } else { violated as f64 / state.events.len() as f64 };
+    let fleet_p99 = state.events.last().map_or(0.0, |e| e.window.latency.p99.as_micros());
+    Paragraph::new([
+        format!("fleet p99 {fleet_p99:.1} µs · target {:.1} µs", state.slo_p99.as_micros()),
+        format!("burn rate {burn:.2} ({violated}/{} windows violated)", state.events.len()),
+    ])
+    .block(Block::default().borders(Borders::ALL).title(" SLO burn "))
+    .render(chunks[1], buf);
+}
+
+/// Tab 3: the routing and autoscaler decision table, most recent
+/// epochs last.
+fn render_routing(state: &Cockpit, area: Rect, buf: &mut Buffer) {
+    let block = Block::default().borders(Borders::ALL).title(" Routing & autoscaler decisions ");
+    let visible = usize::from(block.inner(area).height).saturating_sub(1);
+    let skip = state.events.len().saturating_sub(visible);
+    let rows: Vec<Row> = state
+        .events
+        .iter()
+        .skip(skip)
+        .map(|e| {
+            let w = &e.window;
+            Row::new([
+                format!("{}", w.epoch),
+                format!("{:.0}", w.offered_qps),
+                format!("{}", w.active),
+                format!("{}", w.idle_active),
+                format!("{}", w.parked),
+                format!("{}/{}", w.parks, w.unparks),
+                format!("{:.1}", w.fleet_power.as_watts()),
+                format!("{:.1}", w.latency.p99.as_micros()),
+                if w.slo_violated { "VIOL".to_string() } else { "ok".to_string() },
+            ])
+        })
+        .collect();
+    Table::new(
+        rows,
+        [
+            Constraint::Length(5),
+            Constraint::Length(8),
+            Constraint::Length(6),
+            Constraint::Length(4),
+            Constraint::Length(6),
+            Constraint::Length(7),
+            Constraint::Length(8),
+            Constraint::Length(8),
+            Constraint::Length(4),
+        ],
+    )
+    .header(
+        Row::new([
+            "epoch", "offered", "active", "idle", "parked", "park/un", "power W", "p99 µs", "SLO",
+        ])
+        .style(Style::default().bold()),
+    )
+    .block(block)
+    .render(area, buf);
+}
+
+/// Tab 4: the scrolling fault / breaker / autoscaler feed.
+fn render_events(state: &Cockpit, area: Rect, buf: &mut Buffer) {
+    let block = Block::default().borders(Borders::ALL).title(" Fault / breaker / autoscaler feed ");
+    let visible = usize::from(block.inner(area).height);
+    let skip = state.feed.len().saturating_sub(visible);
+    let lines: Vec<String> = if state.feed.is_empty() {
+        vec!["(no events yet)".to_string()]
+    } else {
+        state.feed.iter().skip(skip).cloned().collect()
+    };
+    Paragraph::new(lines).block(block).render(area, buf);
+}
+
+/// One headless frame: all four tabs rendered at the fixed headless
+/// geometry and concatenated.
+fn headless_frame(state: &Cockpit) -> String {
+    let area = Rect::new(0, 0, HEADLESS_WIDTH, HEADLESS_HEIGHT);
+    (0..TAB_TITLES.len())
+        .map(|tab| render(state, tab, area).to_plain_text())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Runs the `watch` subcommand.
+pub(crate) fn run_watch(args: &WatchArgs, telemetry: &TelemetryArgs) -> Result<(), ParseError> {
+    let config = crate::run::fleet_experiment(&args.fleet, telemetry)
+        .config(args.fleet.policy, args.fleet.config);
+    if args.headless {
+        run_headless(args, config);
+        Ok(())
+    } else {
+        run_interactive(config)
+    }
+}
+
+/// Headless mode: one plain-text frame per epoch (up to `--frames`),
+/// then the final fleet report — all on stdout, byte-deterministic for
+/// a fixed seed at any worker count.
+fn run_headless(args: &WatchArgs, config: FleetConfig) {
+    let frames = args.frames.unwrap_or(config.epochs);
+    let mut state = Cockpit::new(config.servers, config.epochs, config.slo_p99);
+    let (tx, mut rx) = fleet_stream(CHANNEL_CAPACITY);
+    let handle = thread::spawn(move || {
+        let mut tx = tx;
+        FleetSim::new(config).run_observed(&mut tx)
+    });
+    let mut emitted = 0usize;
+    while let Some(event) = rx.recv() {
+        state.push(event);
+        if emitted < frames {
+            println!("=== frame {emitted} ===");
+            println!("{}", headless_frame(&state));
+            emitted += 1;
+        }
+    }
+    state.finished = true;
+    let report = handle.join().expect("fleet simulation thread panicked");
+    println!("=== final ===");
+    println!("{report}");
+}
+
+/// Interactive mode: take over the terminal, render ~10 frames/s, and
+/// steer with `1`–`4`/`Tab` (tabs) and `q`/`Esc`/`Ctrl-C` (quit). The
+/// final fleet report is printed after the terminal is restored.
+fn run_interactive(config: FleetConfig) -> Result<(), ParseError> {
+    let mut state = Cockpit::new(config.servers, config.epochs, config.slo_p99);
+    let (tx, mut rx) = fleet_stream(CHANNEL_CAPACITY);
+    let handle = thread::spawn(move || {
+        let mut tx = tx;
+        FleetSim::new(config).run_observed(&mut tx)
+    });
+    let mut backend = AnsiBackend::new((HEADLESS_WIDTH, HEADLESS_HEIGHT))
+        .map_err(|e| ParseError(format!("cannot take over the terminal: {e}")))?;
+    let keys = KeyReader::spawn();
+    let mut tab = 0usize;
+    'ui: loop {
+        loop {
+            match rx.try_poll() {
+                StreamPoll::Item(event) => state.push(event),
+                StreamPoll::Pending => break,
+                StreamPoll::Closed => {
+                    state.finished = true;
+                    break;
+                }
+            }
+        }
+        let frame = render(&state, tab, backend.size());
+        backend.present(&frame).map_err(|e| ParseError(format!("terminal write failed: {e}")))?;
+        match keys.poll(Duration::from_millis(100)) {
+            Some(b'q' | b'Q' | 0x1b | 0x03) => break 'ui,
+            Some(b @ b'1'..=b'4') => tab = usize::from(b - b'1'),
+            Some(b'\t') => tab = (tab + 1) % TAB_TITLES.len(),
+            _ => {}
+        }
+    }
+    // Dropping the receiver lets the simulator finish unobserved if the
+    // user quit mid-run; dropping the backend restores the terminal
+    // before the report prints.
+    drop(rx);
+    drop(backend);
+    let report = handle.join().expect("fleet simulation thread panicked");
+    println!("{report}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::FleetArgs;
+    use agilewatts::aw_cluster::FleetObserver;
+
+    fn tiny_args() -> WatchArgs {
+        WatchArgs {
+            fleet: FleetArgs {
+                servers: 2,
+                cores: 2,
+                epochs: 3,
+                epoch_ms: 5.0,
+                autoscale: true,
+                diurnal: Some(0.8),
+                ..FleetArgs::default()
+            },
+            headless: true,
+            frames: Some(2),
+        }
+    }
+
+    /// Runs the tiny fleet inline (no threads) and feeds the cockpit.
+    fn tiny_state() -> Cockpit {
+        let args = tiny_args();
+        let config = crate::run::fleet_experiment(&args.fleet, &TelemetryArgs::default())
+            .config(args.fleet.policy, args.fleet.config);
+        let mut state = Cockpit::new(config.servers, config.epochs, config.slo_p99);
+        struct Into<'a>(&'a mut Cockpit);
+        impl FleetObserver for Into<'_> {
+            fn on_epoch(&mut self, event: &FleetEpochEvent) {
+                self.0.push(event.clone());
+            }
+        }
+        let mut observer = Into(&mut state);
+        let _ = FleetSim::new(config).run_observed(&mut observer);
+        state.finished = true;
+        state
+    }
+
+    #[test]
+    fn every_tab_renders_deterministically() {
+        let a = tiny_state();
+        let b = tiny_state();
+        let area = Rect::new(0, 0, HEADLESS_WIDTH, HEADLESS_HEIGHT);
+        for (tab, title) in TAB_TITLES.iter().enumerate() {
+            let fa = render(&a, tab, area).to_plain_text();
+            let fb = render(&b, tab, area).to_plain_text();
+            assert_eq!(fa, fb, "tab {tab} frame diverged between identical runs");
+            assert!(fa.contains(&format!("[{title}]")), "tab {tab} missing its selected title");
+            assert!(fa.contains("epoch 3/3 · done"), "tab {tab} missing run status");
+        }
+    }
+
+    #[test]
+    fn power_tab_shows_sparkline_and_heatmap_rows() {
+        let frame = render(&tiny_state(), 0, Rect::new(0, 0, HEADLESS_WIDTH, HEADLESS_HEIGHT))
+            .to_plain_text();
+        assert!(frame.contains("Fleet power"), "{frame}");
+        assert!(frame.contains("Residency heatmap"), "{frame}");
+        assert!(frame.contains("s00") && frame.contains("s01"), "{frame}");
+        // Heatmap cells come only from the documented glyph set.
+        let row = frame.lines().find(|l| l.contains("s00")).unwrap();
+        let cells: String = row.chars().filter(|c| "P·░▒▓█ ".contains(*c)).collect();
+        assert!(!cells.is_empty(), "{row}");
+    }
+
+    #[test]
+    fn latency_tab_shows_per_server_p99_and_burn() {
+        let frame = render(&tiny_state(), 1, Rect::new(0, 0, HEADLESS_WIDTH, HEADLESS_HEIGHT))
+            .to_plain_text();
+        assert!(frame.contains("Per-server p99"), "{frame}");
+        assert!(frame.contains("burn rate"), "{frame}");
+        assert!(frame.contains("target 500.0 µs"), "{frame}");
+    }
+
+    #[test]
+    fn routing_tab_tabulates_every_epoch() {
+        let frame = render(&tiny_state(), 2, Rect::new(0, 0, HEADLESS_WIDTH, HEADLESS_HEIGHT))
+            .to_plain_text();
+        assert!(frame.contains("Routing & autoscaler"), "{frame}");
+        assert!(frame.contains("epoch offered"), "{frame}");
+        for epoch in 0..3 {
+            assert!(
+                frame.lines().any(|l| l.trim_start().starts_with(&format!("│{epoch} "))
+                    || l.contains(&format!("│{epoch} "))),
+                "epoch {epoch} row missing:\n{frame}"
+            );
+        }
+    }
+
+    #[test]
+    fn events_tab_renders_feed_or_placeholder() {
+        let state = tiny_state();
+        let frame =
+            render(&state, 3, Rect::new(0, 0, HEADLESS_WIDTH, HEADLESS_HEIGHT)).to_plain_text();
+        assert!(frame.contains("Fault / breaker / autoscaler feed"), "{frame}");
+        if state.feed.is_empty() {
+            assert!(frame.contains("(no events yet)"), "{frame}");
+        } else {
+            assert!(state.feed.iter().any(|l| frame.contains(l.as_str())), "{frame}");
+        }
+
+        let empty = Cockpit::new(2, 3, Nanos::from_micros(500.0));
+        let frame =
+            render(&empty, 3, Rect::new(0, 0, HEADLESS_WIDTH, HEADLESS_HEIGHT)).to_plain_text();
+        assert!(frame.contains("(no events yet)"), "{frame}");
+        assert!(frame.contains("epoch 0/3"), "{frame}");
+    }
+
+    #[test]
+    fn headless_frames_are_reproducible() {
+        let a = headless_frame(&tiny_state());
+        let b = headless_frame(&tiny_state());
+        assert_eq!(a, b);
+        // All four tabs present, each selected exactly once.
+        for title in TAB_TITLES {
+            assert_eq!(a.matches(&format!("[{title}]")).count(), 1, "{title}");
+        }
+    }
+
+    #[test]
+    fn headless_watch_runs_end_to_end() {
+        run_watch(&tiny_args(), &TelemetryArgs::default()).unwrap();
+    }
+}

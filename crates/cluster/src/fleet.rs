@@ -31,6 +31,10 @@ use aw_types::{Joules, MilliWatts, Nanos, Ratio};
 use crate::autoscaler::{AutoscalePolicy, Autoscaler};
 use crate::policy::RoutingPolicy;
 use crate::report::{FleetReport, FleetWindow};
+use crate::stream::{
+    epoch_counters, FleetEpochEvent, FleetObserver, NullFleetObserver, ServerEpochSnapshot,
+    ServerRole,
+};
 
 /// How the fleet's aggregate offered load evolves over the run.
 #[derive(Debug, Clone, Copy, serde::Serialize)]
@@ -233,9 +237,25 @@ impl FleetSim {
     /// is byte-identical at any `--jobs`.
     #[must_use]
     pub fn run(self) -> FleetReport {
+        self.run_observed(&mut NullFleetObserver)
+    }
+
+    /// Runs the fleet while streaming each epoch to `observer` the
+    /// moment its server-epoch simulations finish and aggregate.
+    ///
+    /// Observation is pure: the report is byte-identical to
+    /// [`FleetSim::run`] at any worker count. Epochs fan out one at a
+    /// time (each epoch's loaded servers still run on every
+    /// [`SweepExecutor`] worker), so the observer sees epoch `e` before
+    /// epoch `e + 1` starts simulating. Pair with
+    /// [`crate::fleet_stream`] to move the events to a consumer thread
+    /// with bounded backpressure.
+    #[must_use]
+    pub fn run_observed(self, observer: &mut dyn FleetObserver) -> FleetReport {
         let cfg = self.config;
         let capacity = cfg.capacity_qps();
         let proto_qps = cfg.workload.offered_qps();
+        let observe = observer.is_enabled();
 
         // Phase 1: routing + scaling decisions, serial and closed-form.
         let mut scaler = Autoscaler::new(cfg.autoscale, cfg.servers);
@@ -254,30 +274,12 @@ impl FleetSim {
             })
             .collect();
 
-        // Phase 2: fan the loaded server-epochs out on the executor.
-        let points: Vec<GridPoint> = plans
-            .iter()
-            .enumerate()
-            .flat_map(|(epoch, plan)| {
-                plan.shares
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &share)| share > 0.0)
-                    .map(move |(server, &share)| GridPoint { epoch, server, share })
-            })
-            .collect();
-        let outputs: Vec<RunOutput> = SweepExecutor::current().map(&points, |&p| {
-            let seed = mix_seed(cfg.seed, p.server as u64, p.epoch as u64);
-            let workload = cfg.workload.scaled_qps(p.share / proto_qps);
-            let server = cfg.server.clone().with_duration(cfg.epoch);
-            SimBuilder::new(server, workload, seed).with_latency_samples().run()
-        });
-        let mut grid: Vec<Vec<Option<&RunOutput>>> = vec![vec![None; cfg.servers]; cfg.epochs];
-        for (p, out) in points.iter().zip(&outputs) {
-            grid[p.epoch][p.server] = Some(out);
-        }
-
-        // Phase 3: aggregate. An empty unparked server is closed-form:
+        // Phases 2+3, epoch by epoch: fan one epoch's loaded servers
+        // out on the executor, aggregate, stream, move on. Per-point
+        // outputs are independent of batching (each server-epoch owns
+        // its seed stream), so slicing the old flat grid into per-epoch
+        // fan-outs changes when results arrive, never what they are.
+        // An empty unparked server is closed-form:
         // all cores in the menu's deepest state, uncore in PC6 when the
         // menu includes C6 (else PC2 — all cores idle but not demotable
         // to package sleep).
@@ -304,18 +306,45 @@ impl FleetSim {
         let mut slo_violations = 0usize;
 
         for (e, plan) in plans.iter().enumerate() {
+            let points: Vec<GridPoint> = plan
+                .shares
+                .iter()
+                .enumerate()
+                .filter(|&(_, &share)| share > 0.0)
+                .map(|(server, &share)| GridPoint { epoch: e, server, share })
+                .collect();
+            let outputs: Vec<RunOutput> = SweepExecutor::current().map(&points, |&p| {
+                let seed = mix_seed(cfg.seed, p.server as u64, p.epoch as u64);
+                let workload = cfg.workload.scaled_qps(p.share / proto_qps);
+                let server = cfg.server.clone().with_duration(cfg.epoch);
+                SimBuilder::new(server, workload, seed).with_latency_samples().run()
+            });
+            let mut slots: Vec<Option<&RunOutput>> = vec![None; cfg.servers];
+            for (p, out) in points.iter().zip(&outputs) {
+                slots[p.server] = Some(out);
+            }
+
             let mut power = MilliWatts::ZERO;
             let mut completed = 0u64;
             let mut samples = SampleSet::new();
             let (mut active, mut idle_active, mut parked) = (0usize, 0usize, 0usize);
+            let mut snapshots: Vec<ServerEpochSnapshot> =
+                Vec::with_capacity(if observe { cfg.servers } else { 0 });
 
-            for (server, slot) in grid[e].iter().enumerate() {
+            for (server, slot) in slots.iter().enumerate() {
                 let avail = plan.availability[server];
                 match (avail > 0.0, *slot) {
                     (false, _) => {
                         parked += 1;
-                        if let Some(p) = &cfg.autoscale {
-                            power += p.park_power;
+                        let park =
+                            cfg.autoscale.as_ref().map_or(MilliWatts::ZERO, |p| p.park_power);
+                        power += park;
+                        if observe {
+                            snapshots.push(ServerEpochSnapshot::unsimulated(
+                                server,
+                                ServerRole::Parked,
+                                park,
+                            ));
                         }
                     }
                     (true, None) => {
@@ -324,6 +353,13 @@ impl FleetSim {
                         unparked_epochs += 1;
                         pc6_sum += if has_c6 { 1.0 } else { 0.0 };
                         power += idle_power;
+                        if observe {
+                            snapshots.push(ServerEpochSnapshot::unsimulated(
+                                server,
+                                ServerRole::Idle,
+                                idle_power,
+                            ));
+                        }
                     }
                     (true, Some(out)) => {
                         active += 1;
@@ -344,10 +380,12 @@ impl FleetSim {
                         }
                         power += pkg;
                         completed += m.completed;
-                        c0_sum += m.residency_of(CState::C0).as_percent() / 100.0;
-                        agile_sum += (m.residency_of(CState::C6A).as_percent()
+                        let c0 = m.residency_of(CState::C0).as_percent() / 100.0;
+                        let agile = (m.residency_of(CState::C6A).as_percent()
                             + m.residency_of(CState::C6AE).as_percent())
                             / 100.0;
+                        c0_sum += c0;
+                        agile_sum += agile;
                         pc6_sum += m.package_residency[2].as_percent() / 100.0;
                         if let Some(lat) = &out.latency_samples {
                             samples.reserve(lat.len());
@@ -356,6 +394,33 @@ impl FleetSim {
                                 samples.record(s);
                                 all_samples.record(s);
                             }
+                        }
+                        if observe {
+                            // Nearest-rank p99 by selection (O(n), not a
+                            // full sort): this runs once per loaded
+                            // server-epoch, and the streaming path is
+                            // budgeted at <2% over batch. The rank
+                            // formula matches `SampleSet::percentile`.
+                            let p99 = out.latency_samples.as_ref().and_then(|lat| {
+                                let mut own = lat.clone();
+                                let rank =
+                                    ((0.99 * own.len() as f64).ceil() as usize).clamp(1, own.len());
+                                (!own.is_empty()).then(|| {
+                                    let (_, &mut p, _) =
+                                        own.select_nth_unstable_by(rank - 1, f64::total_cmp);
+                                    Nanos::new(p)
+                                })
+                            });
+                            snapshots.push(ServerEpochSnapshot {
+                                server,
+                                role: ServerRole::Loaded,
+                                share_qps: plan.shares[server],
+                                power: pkg,
+                                p99,
+                                c0_share: c0,
+                                agile_share: agile,
+                                counters: epoch_counters(&m.degradation),
+                            });
                         }
                     }
                 }
@@ -377,7 +442,7 @@ impl FleetSim {
             registry.inc("fleet.server_epochs.parked", parked as u64);
             registry.inc("fleet.slo_violations", u64::from(slo_violated));
 
-            windows.push(FleetWindow {
+            let window = FleetWindow {
                 epoch: e,
                 start: cfg.epoch * e as f64,
                 offered_qps: plan.offered,
@@ -390,8 +455,13 @@ impl FleetSim {
                 fleet_power: power,
                 latency,
                 slo_violated,
-            });
+            };
+            if observe {
+                observer.on_epoch(&FleetEpochEvent { window: window.clone(), servers: snapshots });
+            }
+            windows.push(window);
         }
+        observer.on_finish();
 
         let run_span = cfg.epoch * cfg.epochs as f64;
         FleetReport {
@@ -500,6 +570,62 @@ mod tests {
         .run();
         assert_eq!(report.counters["fleet.server_epochs.parked"], 0);
         assert!((report.avg_active - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streamed_epochs_rebuild_the_fleet_timeline_byte_for_byte() {
+        struct Collector {
+            events: Vec<FleetEpochEvent>,
+            finished: bool,
+        }
+        impl FleetObserver for Collector {
+            fn on_epoch(&mut self, event: &FleetEpochEvent) {
+                assert!(!self.finished, "epoch delivered after finish");
+                assert_eq!(event.window.epoch, self.events.len(), "epochs out of order");
+                self.events.push(event.clone());
+            }
+            fn on_finish(&mut self) {
+                self.finished = true;
+            }
+        }
+
+        let config = fleet(3, NamedConfig::NtAw, 9_600.0)
+            .with_policy(RoutingPolicy::Packing)
+            .with_autoscale(AutoscalePolicy::default())
+            .with_load(LoadShape::Diurnal { amplitude: 0.8 });
+        let batch = FleetSim::new(config.clone()).run();
+
+        let mut collector = Collector { events: Vec::new(), finished: false };
+        let streamed = FleetSim::new(config.clone()).run_observed(&mut collector);
+        assert!(collector.finished, "observer never finished");
+        assert_eq!(
+            format!("{batch:?}"),
+            format!("{streamed:?}"),
+            "observation must not perturb the report"
+        );
+
+        let mut csv = String::from(FleetWindow::CSV_HEADER);
+        for event in &collector.events {
+            assert_eq!(event.servers.len(), config.servers, "snapshot per server");
+            csv.push_str(&event.window.csv_row());
+        }
+        assert_eq!(csv, batch.timeline_csv(), "streamed fleet CSV diverged from batch");
+
+        // Roles must mirror the window's census, and loaded servers
+        // carry residency + their own p99.
+        for event in &collector.events {
+            let loaded = event.servers.iter().filter(|s| s.role == ServerRole::Loaded).count();
+            let parked = event.servers.iter().filter(|s| s.role == ServerRole::Parked).count();
+            assert_eq!(loaded, event.window.active - event.window.idle_active);
+            assert_eq!(parked, event.window.parked);
+            for s in &event.servers {
+                if s.role == ServerRole::Loaded {
+                    assert!(s.share_qps > 0.0);
+                } else {
+                    assert!(s.p99.is_none() && s.share_qps <= 0.0);
+                }
+            }
+        }
     }
 
     #[test]

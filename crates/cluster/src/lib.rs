@@ -50,8 +50,13 @@ mod autoscaler;
 mod fleet;
 mod policy;
 mod report;
+mod stream;
 
 pub use autoscaler::{AutoscalePolicy, Autoscaler, ScaleDecision};
 pub use fleet::{FleetConfig, FleetSim, LoadShape};
 pub use policy::RoutingPolicy;
 pub use report::{FleetReport, FleetWindow};
+pub use stream::{
+    fleet_stream, FleetEpochEvent, FleetObserver, NullFleetObserver, ServerEpochSnapshot,
+    ServerRole,
+};

@@ -43,6 +43,38 @@ pub struct FleetWindow {
     pub slo_violated: bool,
 }
 
+impl FleetWindow {
+    /// Header line for [`FleetWindow::csv_row`] /
+    /// [`FleetReport::timeline_csv`] output, newline-terminated.
+    pub const CSV_HEADER: &'static str =
+        "epoch,start_ms,offered_qps,completed,active,parked,idle_active,parks,unparks,\
+         fleet_power_w,p50_us,p99_us,p999_us,slo_violated\n";
+
+    /// This window as one newline-terminated CSV row. Streamed windows
+    /// rendered row by row concatenate to exactly the batch
+    /// [`FleetReport::timeline_csv`] body.
+    #[must_use]
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            self.epoch,
+            self.start.as_millis(),
+            self.offered_qps,
+            self.completed,
+            self.active,
+            self.parked,
+            self.idle_active,
+            self.parks,
+            self.unparks,
+            self.fleet_power.as_watts(),
+            self.latency.p50.as_micros(),
+            self.latency.p99.as_micros(),
+            self.latency.p999.as_micros(),
+            u8::from(self.slo_violated),
+        )
+    }
+}
+
 /// Everything a fleet run produces.
 #[derive(Debug, Clone, Serialize)]
 pub struct FleetReport {
@@ -102,28 +134,9 @@ impl FleetReport {
     /// attribution timeline export).
     #[must_use]
     pub fn timeline_csv(&self) -> String {
-        let mut out = String::from(
-            "epoch,start_ms,offered_qps,completed,active,parked,idle_active,parks,unparks,\
-             fleet_power_w,p50_us,p99_us,p999_us,slo_violated\n",
-        );
+        let mut out = String::from(FleetWindow::CSV_HEADER);
         for w in &self.windows {
-            out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
-                w.epoch,
-                w.start.as_millis(),
-                w.offered_qps,
-                w.completed,
-                w.active,
-                w.parked,
-                w.idle_active,
-                w.parks,
-                w.unparks,
-                w.fleet_power.as_watts(),
-                w.latency.p50.as_micros(),
-                w.latency.p99.as_micros(),
-                w.latency.p999.as_micros(),
-                u8::from(w.slo_violated),
-            ));
+            out.push_str(&w.csv_row());
         }
         out
     }

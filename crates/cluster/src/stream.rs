@@ -1,0 +1,205 @@
+//! Streaming fleet observation: per-epoch events pushed while the
+//! fleet run is in flight.
+//!
+//! The fleet analogue of `aw_telemetry`'s window streaming. A
+//! [`FleetObserver`] receives one [`FleetEpochEvent`] per epoch as soon
+//! as that epoch's server-epoch simulations finish and aggregate — the
+//! event carries the exact [`FleetWindow`] the final report will
+//! contain plus one [`ServerEpochSnapshot`] per server, which the batch
+//! path never materializes. [`fleet_stream`] provides the bounded
+//! (backpressured) channel for moving events to a consumer thread; the
+//! channel types are re-exported from `aw_telemetry` so a cockpit can
+//! drain server windows and fleet epochs with one polling idiom.
+//!
+//! Determinism contract: observation is pure. The events are built from
+//! clones of values the aggregation loop computes anyway, in the same
+//! order, and the fan-out grid is unchanged — a run observed through
+//! any `FleetObserver` produces a byte-identical [`FleetReport`] to an
+//! unobserved run at any worker count.
+//!
+//! [`FleetReport`]: crate::FleetReport
+
+use aw_server::DegradationStats;
+use aw_telemetry::{bounded_stream, StreamReceiver, StreamSender, WindowCounters};
+use aw_types::{MilliWatts, Nanos};
+
+use crate::report::FleetWindow;
+
+/// What one server was doing during one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerRole {
+    /// Suspended by the autoscaler: only standing park power.
+    Parked,
+    /// Unparked but routed zero load: closed-form deep package idle.
+    Idle,
+    /// Routed a non-zero share and simulated in full.
+    Loaded,
+}
+
+impl ServerRole {
+    /// One-character glyph for compact per-server displays.
+    #[must_use]
+    pub fn glyph(self) -> char {
+        match self {
+            ServerRole::Parked => 'P',
+            ServerRole::Idle => '.',
+            ServerRole::Loaded => '#',
+        }
+    }
+}
+
+/// One server's slice of one fleet epoch.
+#[derive(Debug, Clone)]
+pub struct ServerEpochSnapshot {
+    /// Server index in the fleet.
+    pub server: usize,
+    /// Whether the server was parked, idle, or loaded this epoch.
+    pub role: ServerRole,
+    /// Load routed to this server (requests/s); zero unless loaded.
+    pub share_qps: f64,
+    /// The server's power contribution to the fleet epoch, including
+    /// park standing power and unpark bursts.
+    pub power: MilliWatts,
+    /// This server's own epoch p99 (exact nearest-rank over its
+    /// samples); `None` unless loaded with at least one completion.
+    pub p99: Option<Nanos>,
+    /// C0 residency share in `[0, 1]`; zero unless loaded.
+    pub c0_share: f64,
+    /// Agile-state (C6A + C6AE) residency share in `[0, 1]`; zero
+    /// unless loaded.
+    pub agile_share: f64,
+    /// Fault/degradation counters from this server's epoch simulation.
+    /// Per-epoch values (each server-epoch is an independent sim), not
+    /// run-cumulative.
+    pub counters: WindowCounters,
+}
+
+impl ServerEpochSnapshot {
+    /// A snapshot for a server that ran no simulation this epoch.
+    pub(crate) fn unsimulated(server: usize, role: ServerRole, power: MilliWatts) -> Self {
+        ServerEpochSnapshot {
+            server,
+            role,
+            share_qps: 0.0,
+            power,
+            p99: None,
+            c0_share: 0.0,
+            agile_share: 0.0,
+            counters: WindowCounters::default(),
+        }
+    }
+}
+
+/// Maps a server-epoch's degradation stats onto the shared streaming
+/// counter snapshot shape.
+pub(crate) fn epoch_counters(d: &DegradationStats) -> WindowCounters {
+    WindowCounters {
+        faults_injected: d.faults_injected,
+        shed: d.shed,
+        timeouts: d.timeouts,
+        retries: d.retries,
+        breaker_trips: d.breaker_trips,
+        breaker_restores: d.breaker_restores,
+        fallback_exits: d.fallback_exits,
+    }
+}
+
+/// One closed fleet epoch, pushed to a [`FleetObserver`] the moment the
+/// aggregation loop finishes it.
+#[derive(Debug, Clone)]
+pub struct FleetEpochEvent {
+    /// The epoch's fleet window — identical to the entry the final
+    /// [`crate::FleetReport::windows`] will contain at this index.
+    pub window: FleetWindow,
+    /// Per-server detail, indexed by server (always `servers` entries).
+    pub servers: Vec<ServerEpochSnapshot>,
+}
+
+/// Receives fleet epochs as they close.
+///
+/// Implementations must be cheap or internally backpressured: the
+/// aggregation loop calls [`FleetObserver::on_epoch`] inline, so a
+/// blocking observer paces the fleet run (that is the bounded-channel
+/// contract — see [`fleet_stream`]).
+pub trait FleetObserver: Send {
+    /// Called once per epoch, in epoch order.
+    fn on_epoch(&mut self, event: &FleetEpochEvent);
+
+    /// Called once after the last epoch, before the report is
+    /// assembled.
+    fn on_finish(&mut self) {}
+
+    /// Whether per-server snapshots should be built at all. The
+    /// [`NullFleetObserver`] returns `false`, letting the unobserved
+    /// path skip the per-server bookkeeping entirely.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The no-op observer behind [`crate::FleetSim::run`].
+#[derive(Debug, Default)]
+pub struct NullFleetObserver;
+
+impl FleetObserver for NullFleetObserver {
+    fn on_epoch(&mut self, _event: &FleetEpochEvent) {}
+
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+impl FleetObserver for StreamSender<FleetEpochEvent> {
+    fn on_epoch(&mut self, event: &FleetEpochEvent) {
+        // A dropped receiver is not an error: the fleet run completes
+        // and the remaining epochs are simply unobserved.
+        let _ = self.send(event.clone());
+    }
+
+    fn on_finish(&mut self) {
+        self.finish();
+    }
+}
+
+/// Creates a bounded fleet-epoch channel: the sender side implements
+/// [`FleetObserver`] and blocks when the consumer falls `capacity`
+/// epochs behind, pacing the simulation instead of buffering without
+/// bound.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+#[must_use]
+pub fn fleet_stream(
+    capacity: usize,
+) -> (StreamSender<FleetEpochEvent>, StreamReceiver<FleetEpochEvent>) {
+    bounded_stream(capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_glyphs_are_distinct() {
+        let glyphs =
+            [ServerRole::Parked.glyph(), ServerRole::Idle.glyph(), ServerRole::Loaded.glyph()];
+        assert!(glyphs[0] != glyphs[1] && glyphs[1] != glyphs[2] && glyphs[0] != glyphs[2]);
+    }
+
+    #[test]
+    fn null_observer_reports_disabled() {
+        assert!(!NullFleetObserver.is_enabled());
+    }
+
+    #[test]
+    fn stream_sender_observer_is_enabled_and_finishes() {
+        let (tx, rx) = fleet_stream(4);
+        let mut obs: Box<dyn FleetObserver> = Box::new(tx);
+        assert!(obs.is_enabled());
+        obs.on_finish();
+        drop(obs);
+        let mut rx = rx;
+        assert!(rx.recv().is_none(), "finish must not deliver an event");
+    }
+}

@@ -65,5 +65,6 @@ pub use aw_power;
 pub use aw_server;
 pub use aw_sim;
 pub use aw_telemetry;
+pub use aw_tui;
 pub use aw_types;
 pub use aw_workloads;

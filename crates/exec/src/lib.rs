@@ -46,11 +46,62 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use std::io::{IsTerminal, Write};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Process-wide job-count override; `0` means "not set".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide progress mode, stored as the `ProgressMode` discriminant.
+static PROGRESS_MODE: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether parallel sweeps report live progress on stderr.
+///
+/// Progress is purely cosmetic: it never touches stdout (golden outputs
+/// stay byte-identical) and never changes scheduling or results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProgressMode {
+    /// Report when stderr is a terminal (the default): interactive runs
+    /// see progress, scripts and redirected pipelines stay silent.
+    #[default]
+    Auto,
+    /// Always report.
+    Enabled,
+    /// Never report.
+    Disabled,
+}
+
+/// Installs the process-wide progress mode (what `aw-cli --progress`
+/// uses to force reporting on).
+pub fn set_progress(mode: ProgressMode) {
+    let v = match mode {
+        ProgressMode::Auto => 0,
+        ProgressMode::Enabled => 1,
+        ProgressMode::Disabled => 2,
+    };
+    PROGRESS_MODE.store(v, Ordering::SeqCst);
+}
+
+/// The installed [`ProgressMode`].
+#[must_use]
+pub fn progress_mode() -> ProgressMode {
+    match PROGRESS_MODE.load(Ordering::SeqCst) {
+        1 => ProgressMode::Enabled,
+        2 => ProgressMode::Disabled,
+        _ => ProgressMode::Auto,
+    }
+}
+
+/// Resolves the installed mode against the actual stderr.
+fn progress_active() -> bool {
+    match progress_mode() {
+        ProgressMode::Enabled => true,
+        ProgressMode::Disabled => false,
+        ProgressMode::Auto => std::io::stderr().is_terminal(),
+    }
+}
 
 /// Installs a process-wide default worker count, taking priority over
 /// `AW_JOBS` and the detected parallelism. `aw-cli` calls this when the
@@ -155,7 +206,33 @@ impl SweepExecutor {
         let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
 
+        // Live progress (opt-in, stderr only): workers bump `done`
+        // after each point; a reporter thread turns the counter into a
+        // points/sec + ETA line. Purely observational — the cursor and
+        // result slots are untouched.
+        let done = AtomicUsize::new(0);
+        let finished = AtomicBool::new(false);
+        let report = progress_active();
+
         std::thread::scope(|scope| {
+            if report {
+                scope.spawn(|| {
+                    let start = Instant::now();
+                    while !finished.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(100));
+                        let d = done.load(Ordering::Relaxed).min(n);
+                        let elapsed = start.elapsed().as_secs_f64();
+                        let rate = d as f64 / elapsed.max(1e-9);
+                        let eta = (n - d) as f64 / rate.max(1e-9);
+                        eprint!("\r  sweep: {d}/{n} points · {rate:.0}/s · ETA {eta:.0}s ");
+                        let _ = std::io::stderr().flush();
+                    }
+                    // Overwrite the progress line so the next stderr
+                    // write starts on a clean column.
+                    eprint!("\r\x1b[K");
+                    let _ = std::io::stderr().flush();
+                });
+            }
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
@@ -166,11 +243,13 @@ impl SweepExecutor {
                                 break;
                             }
                             local.push((i, point_fn(i, &points[i])));
+                            done.fetch_add(1, Ordering::Relaxed);
                         }
                         local
                     })
                 })
                 .collect();
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
             for handle in handles {
                 match handle.join() {
                     Ok(local) => {
@@ -179,8 +258,14 @@ impl SweepExecutor {
                             slots[i] = Some(r);
                         }
                     }
-                    Err(payload) => std::panic::resume_unwind(payload),
+                    Err(payload) => panic = Some(payload),
                 }
+            }
+            // Release the reporter before (possibly) unwinding, so the
+            // scope never deadlocks waiting for its sleep loop.
+            finished.store(true, Ordering::Release);
+            if let Some(payload) = panic {
+                std::panic::resume_unwind(payload);
             }
         });
 
@@ -259,6 +344,15 @@ mod tests {
             assert!(*p != 7, "sweep point exploded");
             *p
         });
+    }
+
+    #[test]
+    fn progress_mode_round_trips_and_defaults_to_auto() {
+        assert_eq!(progress_mode(), ProgressMode::Auto);
+        set_progress(ProgressMode::Disabled);
+        assert_eq!(progress_mode(), ProgressMode::Disabled);
+        set_progress(ProgressMode::Auto);
+        assert_eq!(progress_mode(), ProgressMode::Auto);
     }
 
     #[test]

@@ -183,10 +183,33 @@ impl SimBuilder {
     /// contract).
     #[must_use]
     pub fn run(self) -> RunOutput {
+        self.execute(None)
+    }
+
+    /// Executes the run while pushing every closed attribution window to
+    /// `observer` as it becomes final (see
+    /// [`aw_telemetry::WindowObserver`]). Implies attribution: if no
+    /// window was chosen with [`SimBuilder::with_attribution`], the
+    /// [`SimBuilder::default_window`] is used. Streaming is pure
+    /// observation — the returned [`RunOutput`] (and its timeline CSV)
+    /// is byte-identical to [`SimBuilder::run`]'s.
+    ///
+    /// Pair with [`aw_telemetry::window_stream`] to consume the windows
+    /// on another thread, or pass any collector (e.g.
+    /// [`aw_telemetry::TimelineCollector`]) to consume them in-process.
+    #[must_use]
+    pub fn run_streaming(self, observer: Box<dyn aw_telemetry::WindowObserver>) -> RunOutput {
+        self.execute(Some(observer))
+    }
+
+    /// The single execution path behind [`SimBuilder::run`] and
+    /// [`SimBuilder::run_streaming`].
+    fn execute(self, observer: Option<Box<dyn aw_telemetry::WindowObserver>>) -> RunOutput {
         let slo_target = self.slo_p99;
-        let attribution_window = self
-            .attribution_window
-            .or_else(|| slo_target.map(|_| Self::default_window(self.config.duration)));
+        let attribution_window = self.attribution_window.or_else(|| {
+            (slo_target.is_some() || observer.is_some())
+                .then(|| Self::default_window(self.config.duration))
+        });
         let mut sim = ServerSim::new(self.config, self.workload, self.seed);
         if let Some(plan) = self.faults {
             sim.set_faults(plan);
@@ -199,6 +222,9 @@ impl SimBuilder {
         }
         if self.latency_samples {
             sim.set_latency_samples();
+        }
+        if let Some(obs) = observer {
+            sim.set_window_observer(obs, slo_target);
         }
         let mut out = sim.run_to_output();
         if let (Some(target), Some(report)) = (slo_target, out.attribution.as_ref()) {
@@ -303,6 +329,83 @@ mod tests {
         assert_eq!(stamped.seed(), 99);
         assert!((stamped.workload().offered_qps() - 25_000.0).abs() < 1e-6);
         assert_eq!(proto.seed(), 1);
+    }
+
+    #[test]
+    fn streamed_windows_rebuild_the_batch_timeline_byte_for_byte() {
+        use aw_telemetry::{StreamWindow, TimelineCollector, WindowObserver};
+
+        let window = Nanos::from_millis(5.0);
+        let batch = builder(NamedConfig::Aw, 90_000.0, 13).with_attribution(window).run();
+        let batch_csv = batch.attribution.as_ref().expect("attribution on").timeline.to_csv();
+
+        /// Forwards to a [`TimelineCollector`] and checks the stream
+        /// contract on the way through: in-order, gap-free, finished
+        /// exactly once.
+        struct Checked {
+            collector: TimelineCollector,
+            next: usize,
+            finished: bool,
+        }
+        impl WindowObserver for Checked {
+            fn on_window(&mut self, w: &StreamWindow) {
+                assert_eq!(w.index, self.next, "stream skipped or repeated a window");
+                assert!(!self.finished, "window after finish");
+                self.next += 1;
+                self.collector.on_window(w);
+            }
+            fn on_finish(&mut self) {
+                self.finished = true;
+            }
+        }
+
+        let streamed = builder(NamedConfig::Aw, 90_000.0, 13)
+            .with_attribution(window)
+            .run_streaming(Box::new(Checked {
+                collector: TimelineCollector::new(window),
+                next: 0,
+                finished: false,
+            }));
+        // Streaming is pure observation: the batch output is unchanged.
+        assert_eq!(
+            format!("{:?}", batch.metrics),
+            format!("{:?}", streamed.metrics),
+            "streaming perturbed the run"
+        );
+        assert_eq!(
+            batch_csv,
+            streamed.attribution.as_ref().expect("attribution on").timeline.to_csv(),
+            "streaming changed the batch timeline itself"
+        );
+    }
+
+    #[test]
+    fn streaming_delivers_windows_before_the_run_ends() {
+        use aw_telemetry::window_stream;
+
+        let window = Nanos::from_millis(2.0);
+        let (tx, mut rx) = window_stream(256);
+        let handle = std::thread::spawn(move || {
+            builder(NamedConfig::Aw, 90_000.0, 17)
+                .with_attribution(window)
+                .with_slo(Nanos::from_micros(500.0))
+                .run_streaming(Box::new(tx))
+        });
+        let mut collector = aw_telemetry::TimelineCollector::new(window);
+        let mut seen = 0usize;
+        while let Some(w) = rx.recv() {
+            assert_eq!(w.index, seen);
+            assert_eq!(w.duration, window);
+            assert!(w.slo_violated.is_some(), "SLO target set, verdict missing");
+            aw_telemetry::WindowObserver::on_window(&mut collector, &w);
+            seen += 1;
+        }
+        let out = handle.join().expect("sim thread");
+        assert!(seen > 0, "no windows streamed");
+        assert_eq!(
+            collector.timeline().to_csv(),
+            out.attribution.as_ref().expect("attribution on").timeline.to_csv()
+        );
     }
 
     #[test]

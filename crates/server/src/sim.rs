@@ -9,6 +9,7 @@ use aw_power::ResidencyVector;
 use aw_sim::{EventQueue, SampleSet, SimRng};
 use aw_telemetry::{
     Attribution, AttributionReport, RequestSpan, SloReport, TelemetryRecorder, TelemetryReport,
+    WindowCounters, WindowObserver,
 };
 use aw_types::{MilliWatts, Nanos, Ratio};
 
@@ -128,6 +129,15 @@ pub struct ServerSim {
     /// latency is appended here as well as to the `latencies` reservoir.
     /// Pure observation — never read during the run.
     latency_log: Option<Vec<f64>>,
+    /// `Some` when streaming observation is enabled (see
+    /// [`crate::SimBuilder::run_streaming`]): closed attribution windows
+    /// are pushed here as the event loop crosses their boundaries. Pure
+    /// observation — windows are cloned out of the timeline, never
+    /// flushed early, so the batch output is unchanged.
+    observer: Option<Box<dyn WindowObserver>>,
+    /// The p99 target stamped on each streamed window's SLO verdict
+    /// (`None` streams windows without a verdict).
+    stream_slo: Option<Nanos>,
 }
 
 /// Everything a fully instrumented run produces: the metrics plus the
@@ -233,6 +243,8 @@ impl ServerSim {
             arrivals_total: 0,
             completed_all: 0,
             latency_log: None,
+            observer: None,
+            stream_slo: None,
         }
     }
 
@@ -301,6 +313,69 @@ impl ServerSim {
     /// [`crate::SimBuilder::with_latency_samples`]).
     pub(crate) fn set_latency_samples(&mut self) {
         self.latency_log = Some(Vec::with_capacity(self.expected_samples()));
+    }
+
+    /// Attaches a streaming window observer (used by
+    /// [`crate::SimBuilder::run_streaming`]); requires attribution,
+    /// which owns the timeline the stream is cut from. `slo_p99` stamps
+    /// each streamed window with the per-window `p99 > target` verdict.
+    pub(crate) fn set_window_observer(
+        &mut self,
+        observer: Box<dyn WindowObserver>,
+        slo_p99: Option<Nanos>,
+    ) {
+        self.observer = Some(observer);
+        self.stream_slo = slo_p99;
+    }
+
+    /// The cumulative degradation counters in the telemetry-layer shape
+    /// stamped on each streamed window.
+    fn window_counters(d: &DegradationStats) -> WindowCounters {
+        WindowCounters {
+            faults_injected: d.faults_injected,
+            shed: d.shed,
+            timeouts: d.timeouts,
+            retries: d.retries,
+            breaker_trips: d.breaker_trips,
+            breaker_restores: d.breaker_restores,
+            fallback_exits: d.fallback_exits,
+        }
+    }
+
+    /// Streams every attribution window that closed at or before the
+    /// run's watermark — the earliest simulated time any *future*
+    /// power/residency deposit or span completion can touch.
+    ///
+    /// The watermark is computed read-only: each core's energy meter
+    /// position and open residency mark are *inspected*, never flushed
+    /// (flushing would bump core generations and invalidate pending
+    /// events, perturbing the run). Future power deposits start at the
+    /// depositing core's current meter position, residency deposits at
+    /// its open mark, and span completions at the current event time —
+    /// all at or past the minimum of those clocks — so every window
+    /// ending at or before it is final and safe to clone out.
+    fn maybe_stream(&mut self, now: Nanos) {
+        let Some(mut observer) = self.observer.take() else {
+            return;
+        };
+        if let Some(a) = self.attrib.as_mut() {
+            let wn = a.timeline().window_duration().as_nanos();
+            // Cheap pre-check: the watermark never leads `now`, so no
+            // window can close before `now` crosses its boundary.
+            if now.as_nanos() >= (a.stream_cursor() + 1) as f64 * wn {
+                let mut wm = f64::INFINITY;
+                for (i, core) in self.cores.iter().enumerate() {
+                    wm = wm.min(core.meter.now().as_nanos());
+                    wm = wm.min(self.attrib_marks[i].1.as_nanos());
+                }
+                // Deposits clamp their start to the measured window, so
+                // nothing earlier than `measure_start` is ever touched.
+                let watermark = Nanos::new(wm.max(self.measure_start.as_nanos()));
+                let counters = Self::window_counters(&self.degradation);
+                a.stream_closed(watermark, counters, self.stream_slo, observer.as_mut());
+            }
+        }
+        self.observer = Some(observer);
     }
 
     /// Expected measured completions, used to pre-size the sample
@@ -481,6 +556,9 @@ impl ServerSim {
                 Event::SlowdownStart => self.on_slowdown_start(now),
                 Event::Retry { service, attempt } => self.on_retry(now, service, attempt),
             }
+            if self.observer.is_some() {
+                self.maybe_stream(now);
+            }
         }
 
         let end = self.end;
@@ -502,6 +580,15 @@ impl ServerSim {
                 }
                 self.attrib_marks[id] = (label, end);
             }
+        }
+        // With the timeline flushed to `end`, every remaining window is
+        // final: stream them and close the observer.
+        if let Some(mut observer) = self.observer.take() {
+            if let Some(a) = self.attrib.as_mut() {
+                let counters = Self::window_counters(&self.degradation);
+                a.stream_remaining(counters, self.stream_slo, observer.as_mut());
+            }
+            observer.on_finish();
         }
         let attribution = self.attrib.take().map(Attribution::finish);
         let latency_samples = self.latency_log.take();

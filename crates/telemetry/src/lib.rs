@@ -29,6 +29,13 @@
 //!    export). An [`SloMonitor`] evaluates a p99 target per window and
 //!    reports the burn rate.
 //!
+//! 5. **Streaming** — [`WindowObserver`]/[`StreamWindow`]: closed
+//!    timeline windows pushed incrementally while the run is in flight,
+//!    with [`window_stream`] providing a bounded (backpressured)
+//!    channel between a simulator thread and a live consumer, and
+//!    [`TimelineCollector`] rebuilding the batch [`Timeline`]
+//!    byte-identically from the stream.
+//!
 //! The [`TelemetryRecorder`] ties the layers together for a simulator:
 //! it pairs C-state enter/exit events with exact residencies, scores
 //! every governor decision against the idle period that followed, and
@@ -67,6 +74,7 @@ mod registry;
 mod sink;
 mod slo;
 mod span;
+mod stream;
 mod timeline;
 
 pub use attrib::{Attribution, AttributionReport, AttributionSummary, ExitShare, PhaseMeans};
@@ -76,4 +84,8 @@ pub use registry::{LogHistogram, MetricsRegistry, TimeWeightedGauge};
 pub use sink::{NullSink, RingBufferSink, TraceSink};
 pub use slo::{SloMonitor, SloReport};
 pub use span::{Phase, RequestSpan};
+pub use stream::{
+    bounded_stream, window_stream, StreamPoll, StreamReceiver, StreamSender, StreamWindow,
+    TimelineCollector, WindowCounters, WindowObserver,
+};
 pub use timeline::{Timeline, TimelineWindow};

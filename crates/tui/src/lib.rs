@@ -1,0 +1,41 @@
+//! # aw-tui — a zero-dependency terminal UI toolkit
+//!
+//! The rendering layer behind `aw-cli watch`, the live fleet cockpit.
+//! The API deliberately mirrors the ratatui idiom — `Layout` splits,
+//! `Block`/`Paragraph`/`Table`/`Sparkline`/`Tabs` widgets rendering
+//! into a cell [`Buffer`] — but is implemented entirely on raw ANSI
+//! escape sequences, because this workspace vendors no external crates.
+//!
+//! Two backends present finished frames:
+//!
+//! - [`AnsiBackend`] drives a real terminal: alternate screen, hidden
+//!   cursor, raw mode via `stty` (restored on drop), in-place repaints.
+//! - [`TextBackend`] records frames as plain text with trailing
+//!   whitespace trimmed — the `--headless` path, which makes every
+//!   frame byte-diffable and the whole cockpit testable in CI.
+//!
+//! ```
+//! use aw_tui::{Block, Borders, Buffer, Paragraph, Rect, Widget};
+//!
+//! let area = Rect::new(0, 0, 12, 3);
+//! let mut frame = Buffer::empty(area);
+//! Paragraph::new(["hello"])
+//!     .block(Block::default().title(" aw ").borders(Borders::ALL))
+//!     .render(area, &mut frame);
+//! assert!(frame.to_plain_text().contains("│hello"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod buffer;
+mod geometry;
+mod style;
+mod terminal;
+mod widgets;
+
+pub use buffer::{Buffer, Cell};
+pub use geometry::{Constraint, Direction, Layout, Rect};
+pub use style::{Color, Style};
+pub use terminal::{AnsiBackend, Backend, KeyReader, TextBackend};
+pub use widgets::{shade, Block, Borders, Paragraph, Row, Sparkline, Table, Tabs, Widget};

@@ -1,0 +1,151 @@
+//! Colors and text attributes, rendered as ANSI SGR sequences.
+
+use std::fmt::Write as _;
+
+/// The 16-color ANSI palette plus 256-color escape hatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Color {
+    /// Terminal default.
+    Reset,
+    /// ANSI black (30/40).
+    Black,
+    /// ANSI red.
+    Red,
+    /// ANSI green.
+    Green,
+    /// ANSI yellow.
+    Yellow,
+    /// ANSI blue.
+    Blue,
+    /// ANSI magenta.
+    Magenta,
+    /// ANSI cyan.
+    Cyan,
+    /// ANSI white (bright in most palettes renders as light gray).
+    Gray,
+    /// Bright black — the conventional dim gray.
+    DarkGray,
+    /// Bright white.
+    White,
+    /// An xterm-256 palette index.
+    Indexed(u8),
+}
+
+impl Color {
+    fn write_sgr(self, out: &mut String, base: u8) {
+        match self {
+            Color::Reset => write!(out, "{}", base + 9),
+            Color::Black => write!(out, "{base}"),
+            Color::Red => write!(out, "{}", base + 1),
+            Color::Green => write!(out, "{}", base + 2),
+            Color::Yellow => write!(out, "{}", base + 3),
+            Color::Blue => write!(out, "{}", base + 4),
+            Color::Magenta => write!(out, "{}", base + 5),
+            Color::Cyan => write!(out, "{}", base + 6),
+            Color::Gray => write!(out, "{}", base + 7),
+            Color::DarkGray => write!(out, "{}", base + 60),
+            Color::White => write!(out, "{}", base + 67),
+            Color::Indexed(i) => write!(out, "{};5;{i}", base + 8),
+        }
+        .expect("writing to String cannot fail");
+    }
+}
+
+/// A cell's visual attributes. `Default` is the terminal's own style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Style {
+    /// Foreground color, if overridden.
+    pub fg: Option<Color>,
+    /// Background color, if overridden.
+    pub bg: Option<Color>,
+    /// Bold / increased intensity.
+    pub bold: bool,
+    /// Dim / decreased intensity.
+    pub dim: bool,
+    /// Swap foreground and background.
+    pub reversed: bool,
+}
+
+impl Style {
+    /// Sets the foreground color.
+    #[must_use]
+    pub fn fg(mut self, color: Color) -> Self {
+        self.fg = Some(color);
+        self
+    }
+
+    /// Sets the background color.
+    #[must_use]
+    pub fn bg(mut self, color: Color) -> Self {
+        self.bg = Some(color);
+        self
+    }
+
+    /// Enables bold.
+    #[must_use]
+    pub fn bold(mut self) -> Self {
+        self.bold = true;
+        self
+    }
+
+    /// Enables dim.
+    #[must_use]
+    pub fn dim(mut self) -> Self {
+        self.dim = true;
+        self
+    }
+
+    /// Enables reverse video.
+    #[must_use]
+    pub fn reversed(mut self) -> Self {
+        self.reversed = true;
+        self
+    }
+
+    /// The full SGR sequence selecting this style from a reset state,
+    /// starting with `ESC[0m`. Empty styles render as a bare reset.
+    #[must_use]
+    pub fn sgr(&self) -> String {
+        let mut out = String::from("\x1b[0");
+        if self.bold {
+            out.push_str(";1");
+        }
+        if self.dim {
+            out.push_str(";2");
+        }
+        if self.reversed {
+            out.push_str(";7");
+        }
+        if let Some(fg) = self.fg {
+            out.push(';');
+            fg.write_sgr(&mut out, 30);
+        }
+        if let Some(bg) = self.bg {
+            out.push(';');
+            bg.write_sgr(&mut out, 40);
+        }
+        out.push('m');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_style_is_a_bare_reset() {
+        assert_eq!(Style::default().sgr(), "\x1b[0m");
+    }
+
+    #[test]
+    fn full_style_orders_attributes_then_colors() {
+        let style = Style::default().bold().reversed().fg(Color::Yellow).bg(Color::DarkGray);
+        assert_eq!(style.sgr(), "\x1b[0;1;7;33;100m");
+    }
+
+    #[test]
+    fn indexed_colors_use_the_256_palette_form() {
+        assert_eq!(Style::default().fg(Color::Indexed(208)).sgr(), "\x1b[0;38;5;208m");
+    }
+}

@@ -1,0 +1,196 @@
+//! Frame presentation: a live ANSI terminal backend (alternate screen,
+//! raw mode via `stty`, keyboard polling) and a headless text backend
+//! that records plain-text frames for deterministic testing.
+
+use std::io::{self, Read, Write};
+use std::process::{Command, Stdio};
+use std::sync::mpsc::{self, Receiver};
+use std::thread;
+use std::time::Duration;
+
+use crate::buffer::Buffer;
+use crate::geometry::Rect;
+
+/// Where rendered frames go.
+pub trait Backend {
+    /// The drawable area frames should be built for.
+    fn size(&self) -> Rect;
+
+    /// Presents one finished frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying terminal; the headless
+    /// backend never fails.
+    fn present(&mut self, frame: &Buffer) -> io::Result<()>;
+}
+
+/// A headless backend: frames accumulate as plain text, trailing
+/// whitespace trimmed — the `--headless` serialization golden tests
+/// and the determinism smoke diff against.
+#[derive(Debug, Clone)]
+pub struct TextBackend {
+    area: Rect,
+    frames: Vec<String>,
+}
+
+impl TextBackend {
+    /// A recorder with a fixed frame size.
+    #[must_use]
+    pub fn new(width: u16, height: u16) -> Self {
+        TextBackend { area: Rect::new(0, 0, width, height), frames: Vec::new() }
+    }
+
+    /// The recorded frames, in presentation order.
+    #[must_use]
+    pub fn frames(&self) -> &[String] {
+        &self.frames
+    }
+
+    /// All frames joined by a `=== frame N ===` separator line — the
+    /// stable dump format for snapshot diffs.
+    #[must_use]
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for (i, frame) in self.frames.iter().enumerate() {
+            out.push_str(&format!("=== frame {i} ===\n{frame}\n"));
+        }
+        out
+    }
+}
+
+impl Backend for TextBackend {
+    fn size(&self) -> Rect {
+        self.area
+    }
+
+    fn present(&mut self, frame: &Buffer) -> io::Result<()> {
+        self.frames.push(frame.to_plain_text());
+        Ok(())
+    }
+}
+
+/// Runs `stty` against the controlling terminal, ignoring failures —
+/// raw mode is best-effort (inside a pipe there is nothing to
+/// configure). `stty` acts on its *stdin*, which `Command::output()`
+/// would otherwise silently point at `/dev/null` — it must inherit
+/// ours to reach the terminal.
+fn stty(args: &[&str]) -> Option<String> {
+    let out = Command::new("stty").args(args).stdin(Stdio::inherit()).output().ok()?;
+    out.status.success().then(|| String::from_utf8_lossy(&out.stdout).trim().to_string())
+}
+
+/// A live terminal backend: switches to the alternate screen, hides
+/// the cursor, puts the terminal in raw mode (via `stty`, restored on
+/// drop), and repaints in place from the home position.
+#[derive(Debug)]
+pub struct AnsiBackend {
+    area: Rect,
+    saved_stty: Option<String>,
+    out: io::Stdout,
+}
+
+impl AnsiBackend {
+    /// Takes over the terminal. `fallback` is the frame size used when
+    /// the real size cannot be queried.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the initial escape sequences cannot be written.
+    pub fn new(fallback: (u16, u16)) -> io::Result<Self> {
+        let saved_stty = stty(&["-g"]);
+        let _ = stty(&["raw", "-echo"]);
+        let size = stty(&["size"]).and_then(|s| {
+            let mut it = s.split_whitespace();
+            let rows: u16 = it.next()?.parse().ok()?;
+            let cols: u16 = it.next()?.parse().ok()?;
+            Some((cols, rows))
+        });
+        let (width, height) = size.unwrap_or(fallback);
+        let mut out = io::stdout();
+        // Alternate screen + hidden cursor; both restored on drop.
+        write!(out, "\x1b[?1049h\x1b[?25l\x1b[2J")?;
+        out.flush()?;
+        Ok(AnsiBackend { area: Rect::new(0, 0, width, height), saved_stty, out })
+    }
+}
+
+impl Backend for AnsiBackend {
+    fn size(&self) -> Rect {
+        self.area
+    }
+
+    fn present(&mut self, frame: &Buffer) -> io::Result<()> {
+        write!(self.out, "\x1b[H{}", frame.to_ansi())?;
+        self.out.flush()
+    }
+}
+
+impl Drop for AnsiBackend {
+    fn drop(&mut self) {
+        let _ = write!(self.out, "\x1b[0m\x1b[?25h\x1b[?1049l");
+        let _ = self.out.flush();
+        match &self.saved_stty {
+            Some(saved) => {
+                let _ = stty(&[saved]);
+            }
+            None => {
+                let _ = stty(&["sane"]);
+            }
+        }
+    }
+}
+
+/// Non-blocking keyboard input: a reader thread pulls bytes off stdin
+/// and the UI loop polls them with a timeout. The thread parks on the
+/// blocking read and exits with the process — std-only terminals have
+/// no portable non-blocking stdin.
+#[derive(Debug)]
+pub struct KeyReader {
+    rx: Receiver<u8>,
+}
+
+impl KeyReader {
+    /// Spawns the stdin reader thread.
+    #[must_use]
+    pub fn spawn() -> Self {
+        let (tx, rx) = mpsc::channel();
+        thread::Builder::new()
+            .name("aw-tui-keys".into())
+            .spawn(move || {
+                let mut stdin = io::stdin();
+                let mut byte = [0u8; 1];
+                while let Ok(1) = stdin.read(&mut byte) {
+                    if tx.send(byte[0]).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawning the key reader thread failed");
+        KeyReader { rx }
+    }
+
+    /// Waits up to `timeout` for one key byte.
+    #[must_use]
+    pub fn poll(&self, timeout: Duration) -> Option<u8> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::style::Style;
+
+    #[test]
+    fn text_backend_records_trimmed_frames_in_order() {
+        let mut backend = TextBackend::new(4, 2);
+        let mut frame = Buffer::empty(backend.size());
+        frame.set_string(0, 0, "ab", Style::default());
+        backend.present(&frame).unwrap();
+        frame.set_string(0, 1, "c", Style::default());
+        backend.present(&frame).unwrap();
+        assert_eq!(backend.frames(), ["ab\n", "ab\nc"]);
+        assert_eq!(backend.dump(), "=== frame 0 ===\nab\n\n=== frame 1 ===\nab\nc\n");
+    }
+}

@@ -62,6 +62,26 @@ for name, cmd, points in [
     benches.append(entry)
     print(f"{name}: jobs=1 {t1:.3f}s, jobs={jobs_n} {tn:.3f}s, speedup {t1/tn:.2f}x")
 
+# Streaming-observation overhead: the same fleet grid batch vs. through
+# the watch cockpit (headless, one frame printed, so the delta is the
+# snapshot building + channel hops, not terminal I/O). Budget: <2%.
+fleet_grid = ["--servers", "16", "--epochs", "8", "--policy", "packing",
+              "--autoscale", "--diurnal", "0.6"]
+t_batch = timed(["./target/release/agilewatts", "fleet"] + fleet_grid, jobs_n)
+t_watch = timed(
+    ["./target/release/agilewatts", "watch", "--headless", "--frames", "1"] + fleet_grid,
+    jobs_n,
+)
+overhead_pct = round((t_watch / t_batch - 1.0) * 100.0, 2) if t_batch > 0 else None
+benches.append({
+    "bench": "watch_overhead",
+    "batch_wall_s": round(t_batch, 4),
+    "watch_wall_s": round(t_watch, 4),
+    "overhead_pct": overhead_pct,
+    "budget_pct": 2.0,
+})
+print(f"watch_overhead: batch {t_batch:.3f}s, watch {t_watch:.3f}s, overhead {overhead_pct}%")
+
 report = {
     "host_parallelism": cores,
     "jobs_n": jobs_n,

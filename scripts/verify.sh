@@ -73,4 +73,32 @@ echo "$fleet_serial" | grep -q "SLO:" || {
     exit 1
 }
 
+echo "==> watch headless determinism smoke"
+watch_cmd=(cargo run -q --release -p aw-cli -- watch --headless --frames 3 --seed 42 --servers 4 --autoscale --diurnal 0.5)
+watch_a=$("${watch_cmd[@]}" --jobs 1)
+watch_b=$("${watch_cmd[@]}" --jobs 1)
+if [ "$watch_a" != "$watch_b" ]; then
+    echo "verify: watch --headless differs between two identical runs" >&2
+    diff <(echo "$watch_a") <(echo "$watch_b") >&2 || true
+    exit 1
+fi
+watch_par=$("${watch_cmd[@]}" --jobs 8)
+if [ "$watch_a" != "$watch_par" ]; then
+    echo "verify: watch --headless differs between --jobs 1 and --jobs 8" >&2
+    diff <(echo "$watch_a") <(echo "$watch_par") >&2 || true
+    exit 1
+fi
+echo "$watch_a" | grep -q "=== frame 2 ===" || {
+    echo "verify: watch emitted fewer frames than requested" >&2
+    exit 1
+}
+echo "$watch_a" | grep -q "\[Power\]" || {
+    echo "verify: watch frame missing its tab bar" >&2
+    exit 1
+}
+echo "$watch_a" | grep -q "Residency heatmap" || {
+    echo "verify: watch frame missing the residency heatmap" >&2
+    exit 1
+}
+
 echo "verify: OK"

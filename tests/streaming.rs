@@ -1,0 +1,128 @@
+//! Streaming-observation integration tests: the windows pushed over a
+//! live stream rebuild the batch artifacts byte-for-byte — for a single
+//! server (attribution timeline CSV) and for a fleet (per-epoch
+//! timeline CSV) — including across the bounded channel to a consumer
+//! thread and at any worker count.
+
+use agilewatts::aw_cluster::{
+    fleet_stream, AutoscalePolicy, FleetConfig, FleetEpochEvent, FleetObserver, FleetSim,
+    FleetWindow, LoadShape, RoutingPolicy,
+};
+use agilewatts::aw_cstates::NamedConfig;
+use agilewatts::aw_exec::{set_default_jobs, SweepExecutor};
+use agilewatts::aw_server::{ServerConfig, SimBuilder, WorkloadSpec};
+use agilewatts::aw_telemetry::{window_stream, TimelineCollector, WindowObserver};
+use agilewatts::aw_types::Nanos;
+
+fn server_sim() -> SimBuilder {
+    let config = ServerConfig::new(4, NamedConfig::Aw).with_duration(Nanos::from_millis(60.0));
+    let workload = WorkloadSpec::poisson("stream-test", 120_000.0, Nanos::from_micros(20.0), 0.7);
+    SimBuilder::new(config, workload, 42).with_attribution(Nanos::from_millis(5.0))
+}
+
+/// The streamed server windows, consumed on another thread through the
+/// bounded channel, rebuild the batch attribution timeline CSV exactly.
+#[test]
+fn streamed_server_windows_rebuild_the_batch_timeline_csv() {
+    let batch = server_sim().run();
+    let batch_csv = batch.attribution.as_ref().expect("attribution requested").timeline.to_csv();
+
+    // In-process collector: the simplest consumer.
+    let collector = TimelineCollector::new(Nanos::from_millis(5.0));
+    let streamed = server_sim().run_streaming(Box::new(collector));
+    let streamed_csv =
+        streamed.attribution.as_ref().expect("attribution requested").timeline.to_csv();
+    assert_eq!(streamed_csv, batch_csv, "streaming must not perturb the run");
+
+    // Cross-thread: windows travel the bounded channel to a consumer
+    // thread that rebuilds the timeline as they arrive, in order.
+    let (tx, mut rx) = window_stream(4);
+    let consumer = std::thread::spawn(move || {
+        let mut collector = TimelineCollector::new(Nanos::from_millis(5.0));
+        let mut last = None;
+        while let Some(w) = rx.recv() {
+            if let Some(prev) = last {
+                assert!(w.window.start() > prev, "windows arrived out of order");
+            }
+            last = Some(w.window.start());
+            collector.on_window(&w);
+        }
+        collector.into_timeline().to_csv()
+    });
+    let piped = server_sim().run_streaming(Box::new(tx));
+    let cross_csv = consumer.join().expect("consumer panicked");
+    assert_eq!(cross_csv, batch_csv, "cross-thread rebuild drifted");
+    assert_eq!(
+        piped.attribution.as_ref().expect("attribution requested").timeline.to_csv(),
+        batch_csv
+    );
+}
+
+/// A small fleet with every scheduling-sensitive feature enabled.
+fn fleet_config() -> FleetConfig {
+    let cores = 4;
+    let workload = WorkloadSpec::poisson("stream-fleet", 1_000.0, Nanos::from_micros(250.0), 0.6);
+    let capacity = cores as f64 / workload.mean_service().as_secs();
+    FleetConfig::new(3, ServerConfig::new(cores, NamedConfig::NtAw), workload, 0.3 * capacity * 3.0)
+        .with_epochs(3, Nanos::from_millis(15.0))
+        .with_policy(RoutingPolicy::Packing)
+        .with_load(LoadShape::Diurnal { amplitude: 0.5 })
+        .with_autoscale(AutoscalePolicy::default())
+}
+
+/// Rebuilds the fleet timeline CSV from streamed epochs alone.
+#[derive(Default)]
+struct CsvRebuilder {
+    csv: String,
+}
+
+impl FleetObserver for CsvRebuilder {
+    fn on_epoch(&mut self, event: &FleetEpochEvent) {
+        if self.csv.is_empty() {
+            self.csv.push_str(FleetWindow::CSV_HEADER);
+        }
+        self.csv.push_str(&event.window.csv_row());
+    }
+}
+
+/// One test function on purpose: [`set_default_jobs`] is process-global
+/// and `#[test]` functions of one binary run concurrently. At every
+/// worker count, the CSV rebuilt from streamed epochs — both in-process
+/// and across the bounded channel — equals the batch timeline CSV.
+#[test]
+fn streamed_fleet_epochs_rebuild_the_timeline_csv_at_any_worker_count() {
+    let mut reference: Option<String> = None;
+    for jobs in [1usize, 8] {
+        set_default_jobs(jobs);
+        assert_eq!(SweepExecutor::current().jobs(), jobs, "override not picked up");
+
+        let batch_csv = FleetSim::new(fleet_config()).run().timeline_csv();
+
+        let mut rebuilder = CsvRebuilder::default();
+        let report = FleetSim::new(fleet_config()).run_observed(&mut rebuilder);
+        assert_eq!(rebuilder.csv, batch_csv, "in-process stream drifted at jobs={jobs}");
+        assert_eq!(report.timeline_csv(), batch_csv, "observation perturbed the run");
+
+        // Across the bounded channel: a slow consumer thread (capacity 1
+        // forces the producer to block on every epoch) still sees every
+        // window, in order.
+        let (tx, mut rx) = fleet_stream(1);
+        let producer = std::thread::spawn(move || {
+            let mut tx = tx;
+            FleetSim::new(fleet_config()).run_observed(&mut tx)
+        });
+        let mut rebuilder = CsvRebuilder::default();
+        while let Some(event) = rx.recv() {
+            rebuilder.on_epoch(&event);
+        }
+        let report = producer.join().expect("producer panicked");
+        assert_eq!(rebuilder.csv, batch_csv, "cross-thread stream drifted at jobs={jobs}");
+        assert_eq!(report.timeline_csv(), batch_csv);
+
+        match &reference {
+            None => reference = Some(batch_csv),
+            Some(first) => assert_eq!(&batch_csv, first, "timeline drifted at jobs={jobs}"),
+        }
+    }
+    set_default_jobs(0); // release the override for anything that follows
+}
