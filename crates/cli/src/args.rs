@@ -50,6 +50,8 @@ pub enum Command {
     },
     /// `sweep [OPTIONS]`
     Sweep(SweepArgs),
+    /// `analyze [OPTIONS]`
+    Analyze(AnalyzeArgs),
     /// `fleet [OPTIONS]`
     Fleet(FleetArgs),
     /// `watch [OPTIONS]`
@@ -88,6 +90,36 @@ impl Default for SweepArgs {
             config: NamedConfig::Baseline,
             cores: 10,
             duration_ms: 400.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Options of the `analyze` subcommand: the idle-opportunity comparison.
+/// No `--config` flag — the point of the command is to run the same
+/// workload under the Baseline and AW menus and compare how much of the
+/// idle opportunity each recovered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeArgs {
+    /// Workload selector (same names as `sweep`).
+    pub workload: String,
+    /// Offered load (memcached only).
+    pub qps: f64,
+    /// Core count.
+    pub cores: usize,
+    /// Simulated duration in milliseconds.
+    pub duration_ms: f64,
+    /// RNG seed (shared by both runs — common random numbers).
+    pub seed: u64,
+}
+
+impl Default for AnalyzeArgs {
+    fn default() -> Self {
+        AnalyzeArgs {
+            workload: "memcached".to_string(),
+            qps: 300_000.0,
+            cores: 10,
+            duration_ms: 200.0,
             seed: 42,
         }
     }
@@ -165,6 +197,11 @@ pub struct TelemetryArgs {
     pub timeline_out: Option<String>,
     /// Write the folded-stack attribution here (`--attrib-out`).
     pub attrib_out: Option<String>,
+    /// Write the idle-opportunity report here (`--idle-out`); a `.json`
+    /// suffix selects JSON, `.folded` the chosen→optimal folded stack,
+    /// anything else the windowed recovery CSV. Also enables idle
+    /// analysis (pure observation) on the run.
+    pub idle_out: Option<String>,
 }
 
 impl TelemetryArgs {
@@ -183,6 +220,13 @@ impl TelemetryArgs {
     #[must_use]
     pub fn attrib_active(&self) -> bool {
         self.slo_p99.is_some() || self.timeline_out.is_some() || self.attrib_out.is_some()
+    }
+
+    /// `true` if the idle-opportunity report was requested, i.e. the run
+    /// must capture idle intervals.
+    #[must_use]
+    pub fn idle_active(&self) -> bool {
+        self.idle_out.is_some()
     }
 
     /// The effective ring-buffer capacity.
@@ -251,7 +295,7 @@ impl CommonArgs {
     /// collect was given.
     #[must_use]
     pub fn is_active(&self) -> bool {
-        self.telemetry.is_active() || self.robustness.is_active()
+        self.telemetry.is_active() || self.telemetry.idle_active() || self.robustness.is_active()
     }
 
     /// Installs the process-wide execution options (`--jobs`). Call once
@@ -306,6 +350,7 @@ impl CommonArgs {
             }
             "--timeline-out" => self.telemetry.timeline_out = Some(value("--timeline-out")?),
             "--attrib-out" => self.telemetry.attrib_out = Some(value("--attrib-out")?),
+            "--idle-out" => self.telemetry.idle_out = Some(value("--idle-out")?),
             "--jobs" => {
                 self.exec.jobs = Some(positive_usize("--jobs", &value("--jobs")?)?);
             }
@@ -382,8 +427,8 @@ pub fn parse_cli(args: &[String]) -> Result<(Command, CommonArgs), ParseError> {
     let command = parse(&rest)?;
     if common.is_active() && matches!(command, Command::Help) {
         return Err(ParseError(
-            "--trace-out/--metrics-out/--slo-p99/--timeline-out/--attrib-out/--faults/\
-             --queue-cap/--request-timeout need an experiment subcommand"
+            "--trace-out/--metrics-out/--slo-p99/--timeline-out/--attrib-out/--idle-out/\
+             --faults/--queue-cap/--request-timeout need an experiment subcommand"
                 .into(),
         ));
     }
@@ -436,6 +481,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "ablations" => Ok(Command::Ablations { quick: has_quick(rest)? }),
         "report" => Ok(Command::Report { quick: has_quick(rest)? }),
         "sweep" => parse_sweep(rest).map(Command::Sweep),
+        "analyze" => parse_analyze(rest).map(Command::Analyze),
         "fleet" => parse_fleet(rest).map(Command::Fleet),
         "watch" => parse_watch(rest).map(Command::Watch),
         other => Err(ParseError(format!("unknown command '{other}' (try 'help')"))),
@@ -463,6 +509,31 @@ fn parse_sweep(rest: &[String]) -> Result<SweepArgs, ParseError> {
                 args.seed = v.parse().map_err(|_| ParseError(format!("bad --seed value '{v}'")))?;
             }
             other => return Err(ParseError(format!("unknown sweep option '{other}'"))),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_analyze(rest: &[String]) -> Result<AnalyzeArgs, ParseError> {
+    let mut args = AnalyzeArgs::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| ParseError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--workload" => args.workload = value("--workload")?,
+            "--qps" => args.qps = positive_f64("--qps", &value("--qps")?, "requests/s")?,
+            "--cores" => args.cores = positive_usize("--cores", &value("--cores")?)?,
+            "--duration-ms" => {
+                args.duration_ms =
+                    positive_f64("--duration-ms", &value("--duration-ms")?, "milliseconds")?;
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = v.parse().map_err(|_| ParseError(format!("bad --seed value '{v}'")))?;
+            }
+            other => return Err(ParseError(format!("unknown analyze option '{other}'"))),
         }
     }
     Ok(args)
@@ -637,6 +708,48 @@ mod tests {
         assert!(parse(&argv("sweep --config NoSuch")).is_err());
         assert!(parse(&argv("sweep --qps")).is_err());
         assert!(parse(&argv("sweep --frobnicate 3")).is_err());
+    }
+
+    #[test]
+    fn analyze_defaults_and_options() {
+        let Command::Analyze(a) = parse(&argv("analyze")).unwrap() else {
+            panic!("expected analyze");
+        };
+        assert_eq!(a, AnalyzeArgs::default());
+
+        let cmd = parse(&argv(
+            "analyze --workload mysql-mid --qps 50000 --cores 4 --duration-ms 80 --seed 7",
+        ))
+        .unwrap();
+        let Command::Analyze(a) = cmd else { panic!("expected analyze") };
+        assert_eq!(a.workload, "mysql-mid");
+        assert_eq!(a.qps, 50_000.0);
+        assert_eq!(a.cores, 4);
+        assert_eq!(a.duration_ms, 80.0);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn analyze_rejects_config_and_bad_values() {
+        // analyze always compares Baseline vs AW; --config is not a flag.
+        assert!(parse(&argv("analyze --config AW")).is_err());
+        assert!(parse(&argv("analyze --cores 0")).is_err());
+        assert!(parse(&argv("analyze --qps")).is_err());
+    }
+
+    #[test]
+    fn idle_out_parses_anywhere_and_activates() {
+        let (cmd, c) = parse_cli(&argv("sweep --idle-out /tmp/idle.csv --config AW")).unwrap();
+        let Command::Sweep(s) = cmd else { panic!("expected sweep") };
+        assert_eq!(s.config, NamedConfig::Aw);
+        assert_eq!(c.telemetry.idle_out.as_deref(), Some("/tmp/idle.csv"));
+        assert!(c.telemetry.idle_active());
+        assert!(c.is_active());
+        // Idle analysis alone requests neither tracing nor attribution.
+        assert!(!c.telemetry.is_active());
+        assert!(!c.telemetry.attrib_active());
+        assert!(parse_cli(&argv("--idle-out /tmp/i.csv")).is_err(), "needs a subcommand");
+        assert!(parse_cli(&argv("sweep --idle-out")).is_err(), "needs a value");
     }
 
     #[test]

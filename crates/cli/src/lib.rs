@@ -22,8 +22,8 @@ mod run;
 mod watch;
 
 pub use args::{
-    parse, parse_cli, Command, CommonArgs, ExecArgs, FleetArgs, ParseError, RobustnessArgs,
-    SweepArgs, TelemetryArgs, WatchArgs,
+    parse, parse_cli, AnalyzeArgs, Command, CommonArgs, ExecArgs, FleetArgs, ParseError,
+    RobustnessArgs, SweepArgs, TelemetryArgs, WatchArgs,
 };
 pub use run::{execute, execute_with};
 
@@ -46,6 +46,9 @@ COMMANDS:
     validate               the Sec. 6.3 power-model validation
     ablations              the design-choice ablation suite
     sweep [OPTIONS]        one custom simulation run
+    analyze [OPTIONS]      idle-opportunity report: Baseline vs AW on one
+                           workload (idle-period distributions, governor
+                           audit, achievable-vs-achieved energy)
     fleet [OPTIONS]        N servers behind a load balancer
     watch [OPTIONS]        live fleet cockpit (streaming terminal UI)
     report                 every artifact in one run
@@ -74,6 +77,16 @@ OPTIONS (sweep):
     --duration-ms <N>      simulated milliseconds (default 400)
     --seed <N>             RNG seed (default 42)
 
+OPTIONS (analyze):
+    --workload <W>         as for sweep (default memcached)
+    --qps <N>              offered load (memcached only; default 300000)
+    --cores <N>            core count (default 10)
+    --duration-ms <N>      simulated milliseconds (default 200)
+    --seed <N>             RNG seed (default 42; both configs share it)
+                           (no --config: analyze always contrasts
+                           Baseline against AW under identical load;
+                           --idle-out writes the AW report to disk)
+
 OPTIONS (fleet):
     --servers <N>          fleet size (default 8)
     --cores <N>            cores per server (default 4)
@@ -99,7 +112,7 @@ OPTIONS (watch):
                            scripts and tests)
     --frames <N>           emit at most N headless frames (default: one
                            per epoch)
-                           interactive keys: 1-4 or Tab switch tabs,
+                           interactive keys: 1-5 or Tab switch tabs,
                            q / Esc / Ctrl-C quit
 
 TELEMETRY OPTIONS (any experiment subcommand):
@@ -118,6 +131,10 @@ ATTRIBUTION OPTIONS (any experiment subcommand):
                            residency); .json suffix = JSON, else CSV
     --attrib-out <FILE>    write the per-phase latency attribution as
                            folded stacks (flamegraph.pl / speedscope)
+    --idle-out <FILE>      capture per-core idle intervals and write the
+                           idle-opportunity report (distributions,
+                           governor audit, energy ledger); .json suffix
+                           = JSON, .folded = folded stacks, else CSV
 
 ROBUSTNESS OPTIONS (any experiment subcommand):
     --faults <SPEC>        inject deterministic faults; SPEC is comma-

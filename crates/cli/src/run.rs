@@ -3,6 +3,7 @@
 use agilewatts::aw_cstates::NamedConfig;
 use agilewatts::aw_faults::FaultPlan;
 use agilewatts::aw_server::{ServerConfig, SimBuilder, WorkloadSpec};
+use agilewatts::aw_sleep::{BreakEven, IdleReport};
 use agilewatts::aw_telemetry::{AttributionReport, SloMonitor, TelemetryReport};
 use agilewatts::aw_types::Nanos;
 use agilewatts::aw_workloads::{kafka, memcached_etc, mysql_oltp, websearch, KafkaRate, MysqlRate};
@@ -15,7 +16,8 @@ use agilewatts::experiments::{
 use agilewatts::{attribution_table, degradation_table, telemetry_table};
 
 use crate::args::{
-    Command, CommonArgs, FleetArgs, ParseError, RobustnessArgs, SweepArgs, TelemetryArgs,
+    AnalyzeArgs, Command, CommonArgs, FleetArgs, ParseError, RobustnessArgs, SweepArgs,
+    TelemetryArgs,
 };
 use crate::USAGE;
 
@@ -27,16 +29,16 @@ fn sweep_params(quick: bool) -> SweepParams {
     }
 }
 
-fn workload_by_name(args: &SweepArgs) -> Result<WorkloadSpec, ParseError> {
-    match args.workload.as_str() {
-        "memcached" => Ok(memcached_etc(args.qps)),
+fn workload_by_name(name: &str, qps: f64, cores: usize) -> Result<WorkloadSpec, ParseError> {
+    match name {
+        "memcached" => Ok(memcached_etc(qps)),
         "kafka-low" => Ok(kafka(KafkaRate::Low)),
         "kafka-high" => Ok(kafka(KafkaRate::High)),
         "mysql-low" => Ok(mysql_oltp(MysqlRate::Low)),
         "mysql-mid" => Ok(mysql_oltp(MysqlRate::Mid)),
         "mysql-high" => Ok(mysql_oltp(MysqlRate::High)),
-        "websearch-25" => Ok(websearch(0.25, args.cores)),
-        "websearch-50" => Ok(websearch(0.5, args.cores)),
+        "websearch-25" => Ok(websearch(0.25, cores)),
+        "websearch-50" => Ok(websearch(0.5, cores)),
         other => Err(ParseError(format!("unknown workload '{other}'"))),
     }
 }
@@ -64,6 +66,11 @@ pub fn execute_with(command: &Command, common: &CommonArgs) -> Result<(), ParseE
     }
     if let Command::Watch(args) = command {
         return crate::watch::run_watch(args, telemetry);
+    }
+    // `analyze` always captures idle intervals; `--idle-out` only adds
+    // the artifact on disk.
+    if let Command::Analyze(args) = command {
+        return run_analyze(args, telemetry);
     }
     if !common.is_active() {
         return execute(command);
@@ -149,6 +156,7 @@ pub fn execute(command: &Command) -> Result<(), ParseError> {
         }
         Command::Ablations { quick } => run_ablations(*quick),
         Command::Sweep(args) => run_sweep(args)?,
+        Command::Analyze(args) => run_analyze(args, &TelemetryArgs::default())?,
         Command::Fleet(args) => run_fleet(args, &TelemetryArgs::default())?,
         Command::Watch(args) => crate::watch::run_watch(args, &TelemetryArgs::default())?,
         Command::Report { quick } => run_report(*quick)?,
@@ -243,6 +251,73 @@ fn run_fleet(args: &FleetArgs, telemetry: &TelemetryArgs) -> Result<(), ParseErr
     Ok(())
 }
 
+/// Runs the same workload under the Baseline and AW C-state menus with
+/// common random numbers, prints both idle-opportunity reports, and
+/// compares how much of the deep-sleep (C6-family) opportunity each
+/// recovered. `--idle-out` additionally writes the AW run's report to
+/// disk (`.json` = JSON, `.folded` = folded stack, else windowed CSV).
+fn run_analyze(args: &AnalyzeArgs, telemetry: &TelemetryArgs) -> Result<(), ParseError> {
+    let workload = workload_by_name(&args.workload, args.qps, args.cores)?;
+    let window = attrib_window(args.duration_ms);
+    // Both configurations are scored against the same yardstick — the
+    // full AW menu's break-even model. Under the baseline's own legacy
+    // model short idles are simply un-sleepable (C6's round trip never
+    // fits), which would make its recovery trivially perfect.
+    let yardstick = BreakEven::from_server(&ServerConfig::new(args.cores, NamedConfig::Aw));
+    let mut recoveries = Vec::new();
+    let mut aw_report = None;
+    for named in [NamedConfig::Baseline, NamedConfig::Aw] {
+        let config = ServerConfig::new(args.cores, named)
+            .with_duration(Nanos::from_millis(args.duration_ms));
+        let output =
+            SimBuilder::new(config.clone(), workload.clone(), args.seed).with_idle_analysis().run();
+        let intervals = output.idle_intervals.as_deref().unwrap_or(&[]);
+        let report =
+            IdleReport::analyze(intervals, &BreakEven::from_server(&config), args.cores, window);
+        println!("[{named}] {} @ {:.0} QPS, {} cores", workload.name(), args.qps, args.cores);
+        println!("{report}\n");
+        let vs_aw_menu = IdleReport::analyze(intervals, &yardstick, args.cores, window);
+        recoveries.push((named, vs_aw_menu.ledger.deep_recovery()));
+        if named == NamedConfig::Aw {
+            aw_report = Some(report);
+        }
+    }
+    let (baseline, aw) = (recoveries[0].1, recoveries[1].1);
+    println!(
+        "deep-sleep recovery vs the AW menu: {} {:.1}% vs {} {:.1}% ({:+.1} points)",
+        recoveries[0].0,
+        100.0 * baseline,
+        recoveries[1].0,
+        100.0 * aw,
+        100.0 * (aw - baseline)
+    );
+    if let Some(path) = &telemetry.idle_out {
+        write_idle_report(&aw_report.expect("AW run analyzed"), path)?;
+    }
+    Ok(())
+}
+
+/// Writes an idle-opportunity report to `path`, format by suffix:
+/// `.json` = full JSON, `.folded` = chosen→optimal folded stack, anything
+/// else the windowed recovery CSV.
+fn write_idle_report(report: &IdleReport, path: &str) -> Result<(), ParseError> {
+    let body = if path.ends_with(".json") {
+        report.to_json()
+    } else if path.ends_with(".folded") {
+        report.folded_stack()
+    } else {
+        report.to_csv()
+    };
+    std::fs::write(path, body)
+        .map_err(|e| ParseError(format!("cannot write idle report to '{path}': {e}")))?;
+    println!(
+        "idle report: {} intervals, {} windows -> {path}",
+        report.ledger.intervals,
+        report.windows.iter().filter(|w| w.intervals > 0).count()
+    );
+    Ok(())
+}
+
 /// Applies `--queue-cap` and `--request-timeout` to a server config.
 fn apply_robustness(config: ServerConfig, robustness: &RobustnessArgs) -> ServerConfig {
     let mut config = config;
@@ -282,6 +357,9 @@ fn instrumented_sim(
     if telemetry.attrib_active() {
         sim = sim.with_attribution(attrib_window(duration_ms));
     }
+    if telemetry.idle_active() {
+        sim = sim.with_idle_analysis();
+    }
     sim
 }
 
@@ -290,12 +368,18 @@ fn run_sweep_with(
     telemetry: &TelemetryArgs,
     robustness: &RobustnessArgs,
 ) -> Result<(), ParseError> {
-    let workload = workload_by_name(args)?;
+    let workload = workload_by_name(&args.workload, args.qps, args.cores)?;
     let config = ServerConfig::new(args.cores, args.config)
         .with_duration(Nanos::from_millis(args.duration_ms));
-    let output =
-        instrumented_sim(config, workload, args.seed, args.duration_ms, telemetry, robustness)
-            .run();
+    let output = instrumented_sim(
+        config.clone(),
+        workload,
+        args.seed,
+        args.duration_ms,
+        telemetry,
+        robustness,
+    )
+    .run();
     if let Some(failure) = &output.failure {
         return Err(ParseError(format!("{failure}")));
     }
@@ -318,6 +402,18 @@ fn run_sweep_with(
     }
     if let Some(report) = &output.attribution {
         write_attribution(report, telemetry)?;
+    }
+    if let Some(intervals) = output.idle_intervals.as_deref() {
+        let report = IdleReport::analyze(
+            intervals,
+            &BreakEven::from_server(&config),
+            args.cores,
+            attrib_window(args.duration_ms),
+        );
+        println!("{report}");
+        if let Some(path) = &telemetry.idle_out {
+            write_idle_report(&report, path)?;
+        }
     }
     Ok(())
 }
@@ -407,7 +503,8 @@ fn run_traced_representative(
         NamedConfig::Aw,
         workload.name()
     );
-    let output = instrumented_sim(config, workload, 42, duration_ms, telemetry, robustness).run();
+    let output =
+        instrumented_sim(config.clone(), workload, 42, duration_ms, telemetry, robustness).run();
     if let Some(failure) = &output.failure {
         return Err(ParseError(format!("{failure}")));
     }
@@ -420,6 +517,18 @@ fn run_traced_representative(
     }
     if let Some(report) = &output.attribution {
         write_attribution(report, telemetry)?;
+    }
+    if let Some(intervals) = output.idle_intervals.as_deref() {
+        let report = IdleReport::analyze(
+            intervals,
+            &BreakEven::from_server(&config),
+            config.cores,
+            attrib_window(duration_ms),
+        );
+        println!("{report}");
+        if let Some(path) = &telemetry.idle_out {
+            write_idle_report(&report, path)?;
+        }
     }
     Ok(())
 }
@@ -586,6 +695,45 @@ mod tests {
     }
 
     #[test]
+    fn quick_analyze_executes_and_writes_report() {
+        let dir = std::env::temp_dir();
+        let idle = dir.join("aw_cli_test_idle.csv");
+        let args =
+            AnalyzeArgs { cores: 2, duration_ms: 20.0, qps: 50_000.0, ..AnalyzeArgs::default() };
+        let telemetry = TelemetryArgs {
+            idle_out: Some(idle.to_string_lossy().into_owned()),
+            ..TelemetryArgs::default()
+        };
+        run_analyze(&args, &telemetry).unwrap();
+        let csv = std::fs::read_to_string(&idle).unwrap();
+        assert!(csv.starts_with("window,start_ms,intervals"), "{csv}");
+        assert!(csv.lines().count() > 1, "at least one window row");
+        let _ = std::fs::remove_file(idle);
+    }
+
+    #[test]
+    fn idle_out_sweep_writes_every_format() {
+        let dir = std::env::temp_dir();
+        let args = SweepArgs { cores: 2, duration_ms: 15.0, qps: 50_000.0, ..SweepArgs::default() };
+        for (name, probe) in [
+            ("aw_cli_test_idle.json", "\"ledger\""),
+            ("aw_cli_test_idle.folded", "idle;"),
+            ("aw_cli_test_idle2.csv", "window,start_ms"),
+        ] {
+            let path = dir.join(name);
+            let telemetry = TelemetryArgs {
+                idle_out: Some(path.to_string_lossy().into_owned()),
+                ..TelemetryArgs::default()
+            };
+            let common = CommonArgs { telemetry, ..CommonArgs::default() };
+            execute_with(&Command::Sweep(args.clone()), &common).unwrap();
+            let body = std::fs::read_to_string(&path).unwrap();
+            assert!(body.contains(probe), "{name}: {body}");
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
     fn unknown_workload_errors() {
         let args = SweepArgs { workload: "redis".into(), ..SweepArgs::default() };
         assert!(run_sweep(&args).is_err());
@@ -603,8 +751,7 @@ mod tests {
             "websearch-25",
             "websearch-50",
         ] {
-            let args = SweepArgs { workload: name.into(), ..SweepArgs::default() };
-            assert!(workload_by_name(&args).is_ok(), "{name}");
+            assert!(workload_by_name(name, 100_000.0, 4).is_ok(), "{name}");
         }
     }
 }

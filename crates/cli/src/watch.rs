@@ -2,7 +2,7 @@
 //!
 //! The fleet simulation runs on a background thread, streaming each
 //! closed epoch over a bounded channel (see [`fleet_stream`]); the
-//! foreground renders a four-tab terminal UI from whatever has arrived
+//! foreground renders a five-tab terminal UI from whatever has arrived
 //! so far. Because every frame is a pure function of the streamed
 //! events — no wall-clock, no terminal state — the `--headless` mode
 //! can print frames as plain text and get byte-identical output for a
@@ -21,8 +21,8 @@ use agilewatts::aw_types::Nanos;
 
 use crate::args::{ParseError, TelemetryArgs, WatchArgs};
 
-/// The cockpit's tab set, in key order (`1`–`4`).
-pub(crate) const TAB_TITLES: [&str; 4] = ["Power", "Latency", "Routing", "Events"];
+/// The cockpit's tab set, in key order (`1`–`5`).
+pub(crate) const TAB_TITLES: [&str; 5] = ["Power", "Latency", "Routing", "Events", "Opportunity"];
 
 /// Headless frame geometry — fixed so frame dumps are comparable
 /// across environments.
@@ -123,7 +123,8 @@ fn render(state: &Cockpit, tab: usize, area: Rect) -> Buffer {
         0 => render_power(state, chunks[1], &mut buf),
         1 => render_latency(state, chunks[1], &mut buf),
         2 => render_routing(state, chunks[1], &mut buf),
-        _ => render_events(state, chunks[1], &mut buf),
+        3 => render_events(state, chunks[1], &mut buf),
+        _ => render_opportunity(state, chunks[1], &mut buf),
     }
     buf
 }
@@ -274,7 +275,70 @@ fn render_events(state: &Cockpit, area: Rect, buf: &mut Buffer) {
     Paragraph::new(lines).block(block).render(area, buf);
 }
 
-/// One headless frame: all four tabs rendered at the fixed headless
+/// Tab 5: the fleet sleepable-idle sparkline plus the per-server
+/// opportunity-recovery heatmap — achieved idle energy savings as a
+/// share of the oracle-achievable savings (see `aw_sleep`).
+fn render_opportunity(state: &Cockpit, area: Rect, buf: &mut Buffer) {
+    let chunks = Layout::default()
+        .direction(Direction::Vertical)
+        .constraints([Constraint::Length(7), Constraint::Min(0)])
+        .split(area);
+    let shares: Vec<f64> = state
+        .events
+        .iter()
+        .map(|e| {
+            let sleepable: f64 =
+                e.servers.iter().map(|s| s.opportunity.sleepable_time.as_micros()).sum();
+            let idle: f64 = e.servers.iter().map(|s| s.opportunity.idle_time.as_micros()).sum();
+            if idle > 0.0 {
+                100.0 * sleepable / idle
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let cur = shares.last().copied().unwrap_or(0.0);
+    let recovery = state.events.last().map_or(1.0, |e| e.window.recovery_ratio);
+    Sparkline::new(shares)
+        .style(Style::default().fg(Color::Magenta))
+        .block(
+            Block::default().borders(Borders::ALL).title(format!(
+                " Sleepable idle {cur:.0}% · epoch recovery {:.0}% ",
+                100.0 * recovery
+            )),
+        )
+        .render(chunks[0], buf);
+
+    let block = Block::default()
+        .borders(Borders::ALL)
+        .title(" Recovery heatmap · shade = achieved/oracle savings · P parked · · idle ");
+    let inner = block.inner(chunks[1]);
+    block.render(chunks[1], buf);
+    for srv in 0..state.servers {
+        let y = inner.y + srv as u16;
+        if y >= inner.bottom() {
+            break;
+        }
+        buf.set_string(inner.x, y, &format!("s{srv:02} "), Style::default().dim());
+        for (i, ev) in state.events.iter().enumerate() {
+            let x = inner.x + 4 + i as u16;
+            if x >= inner.right() {
+                break;
+            }
+            let snap = &ev.servers[srv];
+            let (glyph, style) = match snap.role {
+                ServerRole::Parked => ('P', Style::default().fg(Color::Blue)),
+                ServerRole::Idle => ('·', Style::default().dim()),
+                ServerRole::Loaded => {
+                    (shade(snap.opportunity.recovery()), Style::default().fg(Color::Magenta))
+                }
+            };
+            buf.set(x, y, glyph, style);
+        }
+    }
+}
+
+/// One headless frame: all five tabs rendered at the fixed headless
 /// geometry and concatenated.
 fn headless_frame(state: &Cockpit) -> String {
     let area = Rect::new(0, 0, HEADLESS_WIDTH, HEADLESS_HEIGHT);
@@ -323,7 +387,7 @@ fn run_headless(args: &WatchArgs, config: FleetConfig) {
 }
 
 /// Interactive mode: take over the terminal, render ~10 frames/s, and
-/// steer with `1`–`4`/`Tab` (tabs) and `q`/`Esc`/`Ctrl-C` (quit). The
+/// steer with `1`–`5`/`Tab` (tabs) and `q`/`Esc`/`Ctrl-C` (quit). The
 /// final fleet report is printed after the terminal is restored.
 fn run_interactive(config: FleetConfig) -> Result<(), ParseError> {
     let mut state = Cockpit::new(config.servers, config.epochs, config.slo_p99);
@@ -351,7 +415,7 @@ fn run_interactive(config: FleetConfig) -> Result<(), ParseError> {
         backend.present(&frame).map_err(|e| ParseError(format!("terminal write failed: {e}")))?;
         match keys.poll(Duration::from_millis(100)) {
             Some(b'q' | b'Q' | 0x1b | 0x03) => break 'ui,
-            Some(b @ b'1'..=b'4') => tab = usize::from(b - b'1'),
+            Some(b @ b'1'..=b'5') => tab = usize::from(b - b'1'),
             Some(b'\t') => tab = (tab + 1) % TAB_TITLES.len(),
             _ => {}
         }
@@ -477,11 +541,32 @@ mod tests {
     }
 
     #[test]
+    fn opportunity_tab_shows_sparkline_and_recovery_heatmap() {
+        let state = tiny_state();
+        let frame =
+            render(&state, 4, Rect::new(0, 0, HEADLESS_WIDTH, HEADLESS_HEIGHT)).to_plain_text();
+        assert!(frame.contains("Sleepable idle"), "{frame}");
+        assert!(frame.contains("Recovery heatmap"), "{frame}");
+        assert!(frame.contains("s00") && frame.contains("s01"), "{frame}");
+        let row = frame.lines().find(|l| l.contains("s00")).unwrap();
+        let cells: String = row.chars().filter(|c| "P·░▒▓█ ".contains(*c)).collect();
+        assert!(!cells.is_empty(), "{row}");
+        // Every loaded server-epoch carries a real recovery ratio.
+        for ev in &state.events {
+            for s in &ev.servers {
+                if matches!(s.role, ServerRole::Loaded) {
+                    assert!((0.0..=1.0).contains(&s.opportunity.recovery()));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn headless_frames_are_reproducible() {
         let a = headless_frame(&tiny_state());
         let b = headless_frame(&tiny_state());
         assert_eq!(a, b);
-        // All four tabs present, each selected exactly once.
+        // All five tabs present, each selected exactly once.
         for title in TAB_TITLES {
             assert_eq!(a.matches(&format!("[{title}]")).count(), 1, "{title}");
         }

@@ -25,6 +25,7 @@ use aw_server::{
     LatencyStats, PackageCState, RunOutput, ServerConfig, SimBuilder, UncorePower, WorkloadSpec,
 };
 use aw_sim::SampleSet;
+use aw_sleep::{BreakEven, OpportunitySummary};
 use aw_telemetry::MetricsRegistry;
 use aw_types::{Joules, MilliWatts, Nanos, Ratio};
 
@@ -214,6 +215,16 @@ fn mix_seed(master: u64, server: u64, epoch: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Achieved-over-oracle savings ratio in `[0, 1]`, defined as 1.0 when
+/// nothing was recoverable (no loaded servers, or zero opportunity).
+fn recovery(achieved: Joules, oracle: Joules) -> f64 {
+    if oracle.as_joules() <= 0.0 {
+        1.0
+    } else {
+        (achieved.as_joules() / oracle.as_joules()).clamp(0.0, 1.0)
+    }
+}
+
 /// The fleet simulator. Build one from a [`FleetConfig`] and call
 /// [`FleetSim::run`].
 #[derive(Debug)]
@@ -304,6 +315,11 @@ impl FleetSim {
         let mut agile_sum = 0.0;
         let mut pc6_sum = 0.0;
         let mut slo_violations = 0usize;
+        // Idle-opportunity scoring model: same catalog and C-state menu
+        // every server-epoch simulation runs with.
+        let breakeven = BreakEven::from_server(&cfg.server);
+        let mut fleet_achieved = Joules::ZERO;
+        let mut fleet_oracle = Joules::ZERO;
 
         for (e, plan) in plans.iter().enumerate() {
             let points: Vec<GridPoint> = plan
@@ -317,7 +333,10 @@ impl FleetSim {
                 let seed = mix_seed(cfg.seed, p.server as u64, p.epoch as u64);
                 let workload = cfg.workload.scaled_qps(p.share / proto_qps);
                 let server = cfg.server.clone().with_duration(cfg.epoch);
-                SimBuilder::new(server, workload, seed).with_latency_samples().run()
+                SimBuilder::new(server, workload, seed)
+                    .with_latency_samples()
+                    .with_idle_analysis()
+                    .run()
             });
             let mut slots: Vec<Option<&RunOutput>> = vec![None; cfg.servers];
             for (p, out) in points.iter().zip(&outputs) {
@@ -326,6 +345,8 @@ impl FleetSim {
 
             let mut power = MilliWatts::ZERO;
             let mut completed = 0u64;
+            let mut epoch_achieved = Joules::ZERO;
+            let mut epoch_oracle = Joules::ZERO;
             let mut samples = SampleSet::new();
             let (mut active, mut idle_active, mut parked) = (0usize, 0usize, 0usize);
             let mut snapshots: Vec<ServerEpochSnapshot> =
@@ -387,6 +408,12 @@ impl FleetSim {
                         c0_sum += c0;
                         agile_sum += agile;
                         pc6_sum += m.package_residency[2].as_percent() / 100.0;
+                        let opportunity = OpportunitySummary::compute(
+                            out.idle_intervals.as_deref().unwrap_or(&[]),
+                            &breakeven,
+                        );
+                        epoch_achieved += opportunity.achieved_savings;
+                        epoch_oracle += opportunity.oracle_savings;
                         if let Some(lat) = &out.latency_samples {
                             samples.reserve(lat.len());
                             all_samples.reserve(lat.len());
@@ -420,6 +447,7 @@ impl FleetSim {
                                 c0_share: c0,
                                 agile_share: agile,
                                 counters: epoch_counters(&m.degradation),
+                                opportunity,
                             });
                         }
                     }
@@ -432,6 +460,8 @@ impl FleetSim {
             total_energy += power * cfg.epoch;
             total_completed += completed;
             active_epochs += active;
+            fleet_achieved += epoch_achieved;
+            fleet_oracle += epoch_oracle;
 
             registry.inc("fleet.epochs", 1);
             registry.inc("fleet.requests_completed", completed);
@@ -455,6 +485,7 @@ impl FleetSim {
                 fleet_power: power,
                 latency,
                 slo_violated,
+                recovery_ratio: recovery(epoch_achieved, epoch_oracle),
             };
             if observe {
                 observer.on_epoch(&FleetEpochEvent { window: window.clone(), servers: snapshots });
@@ -483,6 +514,7 @@ impl FleetSim {
             c0_residency: Ratio::new(c0_sum / sim_epochs.max(1) as f64),
             agile_residency: Ratio::new(agile_sum / sim_epochs.max(1) as f64),
             pc6_fraction: Ratio::new(pc6_sum / unparked_epochs.max(1) as f64),
+            opportunity_recovery: Ratio::new(recovery(fleet_achieved, fleet_oracle)),
             slo_p99: cfg.slo_p99,
             slo_violations,
             counters: registry.counters().map(|(k, v)| (k.to_string(), v)).collect(),

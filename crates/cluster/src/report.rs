@@ -41,6 +41,11 @@ pub struct FleetWindow {
     pub latency: LatencyStats,
     /// `true` if the epoch's fleet p99 exceeded the SLO target.
     pub slo_violated: bool,
+    /// Idle-opportunity recovery across this epoch's loaded servers:
+    /// achieved energy savings as a share of the oracle-achievable
+    /// savings (see `aw_sleep`), in `[0, 1]`; 1.0 when no loaded server
+    /// had anything to recover (all parked or analytically idle).
+    pub recovery_ratio: f64,
 }
 
 impl FleetWindow {
@@ -48,7 +53,7 @@ impl FleetWindow {
     /// [`FleetReport::timeline_csv`] output, newline-terminated.
     pub const CSV_HEADER: &'static str =
         "epoch,start_ms,offered_qps,completed,active,parked,idle_active,parks,unparks,\
-         fleet_power_w,p50_us,p99_us,p999_us,slo_violated\n";
+         fleet_power_w,p50_us,p99_us,p999_us,slo_violated,recovery\n";
 
     /// This window as one newline-terminated CSV row. Streamed windows
     /// rendered row by row concatenate to exactly the batch
@@ -56,7 +61,7 @@ impl FleetWindow {
     #[must_use]
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6}\n",
             self.epoch,
             self.start.as_millis(),
             self.offered_qps,
@@ -71,6 +76,7 @@ impl FleetWindow {
             self.latency.p99.as_micros(),
             self.latency.p999.as_micros(),
             u8::from(self.slo_violated),
+            self.recovery_ratio,
         )
     }
 }
@@ -110,6 +116,10 @@ pub struct FleetReport {
     pub agile_residency: Ratio,
     /// Fraction of unparked server-epochs whose package sat in PC6.
     pub pc6_fraction: Ratio,
+    /// Run-wide idle-opportunity recovery over loaded servers: total
+    /// achieved energy savings as a share of the oracle-achievable total
+    /// (1.0 when nothing was recoverable).
+    pub opportunity_recovery: Ratio,
     /// The p99 SLO target the windows were judged against.
     pub slo_p99: Nanos,
     /// Windows whose fleet p99 violated the target.
@@ -170,6 +180,11 @@ impl fmt::Display for FleetReport {
             self.pc6_fraction.as_percent(),
             self.c0_residency.as_percent(),
             self.agile_residency.as_percent()
+        )?;
+        writeln!(
+            f,
+            "  idle:    {:.1}% of the oracle-achievable idle savings recovered",
+            self.opportunity_recovery.as_percent()
         )?;
         write!(
             f,

@@ -20,6 +20,7 @@
 //! [`FleetReport`]: crate::FleetReport
 
 use aw_server::DegradationStats;
+use aw_sleep::OpportunitySummary;
 use aw_telemetry::{bounded_stream, StreamReceiver, StreamSender, WindowCounters};
 use aw_types::{MilliWatts, Nanos};
 
@@ -72,6 +73,12 @@ pub struct ServerEpochSnapshot {
     /// Per-epoch values (each server-epoch is an independent sim), not
     /// run-cumulative.
     pub counters: WindowCounters,
+    /// Idle-opportunity sums from this server's epoch simulation:
+    /// achieved vs. oracle-achievable energy savings and sleepable idle
+    /// time (see `aw_sleep::OpportunitySummary`). Zero — and therefore
+    /// `recovery() == 1.0` by the no-opportunity convention — for parked
+    /// and analytically-idled servers, which run no simulation.
+    pub opportunity: OpportunitySummary,
 }
 
 impl ServerEpochSnapshot {
@@ -86,6 +93,7 @@ impl ServerEpochSnapshot {
             c0_share: 0.0,
             agile_share: 0.0,
             counters: WindowCounters::default(),
+            opportunity: OpportunitySummary::default(),
         }
     }
 }

@@ -64,6 +64,7 @@ pub use aw_pma;
 pub use aw_power;
 pub use aw_server;
 pub use aw_sim;
+pub use aw_sleep;
 pub use aw_telemetry;
 pub use aw_tui;
 pub use aw_types;

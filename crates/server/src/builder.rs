@@ -1,13 +1,14 @@
 //! The unified simulation entry point: [`SimBuilder`] → [`RunOutput`].
 //!
 //! Historically [`ServerSim`] grew three overlapping run methods
-//! (`run`, `run_traced`, `run_full`) plus ad-hoc `with_*` toggles; that
-//! shape does not compose when a fleet simulator needs to stamp out N
-//! identically configured servers. [`SimBuilder`] collapses all of it
-//! into one declarative description of a run — configuration, workload,
-//! seed, fault plan, telemetry, attribution, SLO target, and optional
-//! latency-sample capture — and one way to execute it:
-//! [`SimBuilder::run`], which always returns the full [`RunOutput`].
+//! (`run`, `run_traced`, `run_full`, removed in 0.7) plus ad-hoc
+//! `with_*` toggles; that shape does not compose when a fleet simulator
+//! needs to stamp out N identically configured servers. [`SimBuilder`]
+//! collapses all of it into one declarative description of a run —
+//! configuration, workload, seed, fault plan, telemetry, attribution,
+//! SLO target, and optional latency-sample or idle-interval capture —
+//! and one way to execute it: [`SimBuilder::run`], which always returns
+//! the full [`RunOutput`].
 //!
 //! The builder is [`Clone`], so a fleet (or any sweep) can hold one
 //! prototype and stamp out per-server instances, varying only the seed
@@ -59,6 +60,7 @@ pub struct SimBuilder {
     attribution_window: Option<Nanos>,
     slo_p99: Option<Nanos>,
     latency_samples: bool,
+    idle_analysis: bool,
 }
 
 impl SimBuilder {
@@ -74,6 +76,7 @@ impl SimBuilder {
             attribution_window: None,
             slo_p99: None,
             latency_samples: false,
+            idle_analysis: false,
         }
     }
 
@@ -134,6 +137,18 @@ impl SimBuilder {
         self
     }
 
+    /// Captures every completed idle round trip (core, start, duration,
+    /// chosen state, governor prediction) in the output's
+    /// `idle_intervals`, in wake order. Pure observation: the run is
+    /// bit-identical with or without it. Feed the records to `aw-sleep`
+    /// for idle-period distributions, the governor audit, and the
+    /// achieved-vs-achievable opportunity ledger.
+    #[must_use]
+    pub fn with_idle_analysis(mut self) -> Self {
+        self.idle_analysis = true;
+        self
+    }
+
     /// The configuration this builder will run.
     #[must_use]
     pub fn config(&self) -> &ServerConfig {
@@ -176,11 +191,10 @@ impl SimBuilder {
         Nanos::from_millis((duration.as_nanos() / 1e6 / 50.0).max(1.0))
     }
 
-    /// Executes the run and returns everything it produced. Unlike the
-    /// deprecated `ServerSim::run`, an invariant violation does **not**
-    /// panic here: it is handed back as [`RunOutput::failure`] (use
-    /// [`RunOutput::into_metrics`] for the old panic-on-failure
-    /// contract).
+    /// Executes the run and returns everything it produced. An
+    /// invariant violation does **not** panic here: it is handed back
+    /// as [`RunOutput::failure`] (use [`RunOutput::into_metrics`] for
+    /// the panic-on-failure contract).
     #[must_use]
     pub fn run(self) -> RunOutput {
         self.execute(None)
@@ -223,6 +237,9 @@ impl SimBuilder {
         if self.latency_samples {
             sim.set_latency_samples();
         }
+        if self.idle_analysis {
+            sim.set_idle_analysis();
+        }
         if let Some(obs) = observer {
             sim.set_window_observer(obs, slo_target);
         }
@@ -247,30 +264,49 @@ mod tests {
     }
 
     #[test]
-    fn plain_run_matches_deprecated_run() {
-        let new = builder(NamedConfig::Aw, 80_000.0, 7).run();
-        #[allow(deprecated)]
-        let old = {
-            let cfg = ServerConfig::new(4, NamedConfig::Aw).with_duration(Nanos::from_millis(60.0));
-            let w = WorkloadSpec::poisson("builder", 80_000.0, Nanos::from_micros(3.0), 0.8);
-            ServerSim::new(cfg, w, 7).run()
-        };
-        assert_eq!(format!("{:?}", new.metrics), format!("{old:?}"));
+    fn plain_runs_are_deterministic() {
+        let a = builder(NamedConfig::Aw, 80_000.0, 7).run();
+        let b = builder(NamedConfig::Aw, 80_000.0, 7).run();
+        assert_eq!(format!("{:?}", a.metrics), format!("{:?}", b.metrics));
     }
 
     #[test]
-    fn faulted_run_matches_deprecated_path() {
+    fn faulted_runs_are_deterministic() {
         let spec = FaultSpec::parse("seed=3,wake-fail=0.2,lost-wake=0.05").unwrap();
-        let new =
-            builder(NamedConfig::Aw, 60_000.0, 7).with_faults(FaultPlan::new(spec.clone())).run();
-        #[allow(deprecated)]
-        let old = {
-            let cfg = ServerConfig::new(4, NamedConfig::Aw).with_duration(Nanos::from_millis(60.0));
-            let w = WorkloadSpec::poisson("builder", 60_000.0, Nanos::from_micros(3.0), 0.8);
-            ServerSim::new(cfg, w, 7).with_faults(FaultPlan::new(spec)).run_full()
+        let run = || {
+            builder(NamedConfig::Aw, 60_000.0, 7).with_faults(FaultPlan::new(spec.clone())).run()
         };
-        assert!(new.metrics.degradation.faults_injected > 0);
-        assert_eq!(format!("{:?}", new.metrics), format!("{:?}", old.metrics));
+        let a = run();
+        let b = run();
+        assert!(a.metrics.degradation.faults_injected > 0);
+        assert_eq!(format!("{:?}", a.metrics), format!("{:?}", b.metrics));
+    }
+
+    #[test]
+    fn idle_analysis_is_pure_observation() {
+        let plain = builder(NamedConfig::Aw, 90_000.0, 11).run();
+        let observed = builder(NamedConfig::Aw, 90_000.0, 11).with_idle_analysis().run();
+        assert_eq!(
+            format!("{:?}", plain.metrics),
+            format!("{:?}", observed.metrics),
+            "idle capture perturbed the run"
+        );
+        let intervals = observed.idle_intervals.expect("intervals captured");
+        assert!(!intervals.is_empty());
+        // Every interval covers at least its state's transition budget,
+        // and measured intervals start inside the measured window.
+        for iv in &intervals {
+            assert!(iv.duration >= Nanos::ZERO, "{iv:?}");
+            assert!(iv.core < 4, "{iv:?}");
+            if iv.measured {
+                assert!(iv.start >= Nanos::ZERO);
+            }
+        }
+        // The governor-observed idle stream and the captured one are the
+        // same: a menu governor run records a prediction from the second
+        // interval of each core onwards.
+        assert!(intervals.iter().any(|iv| iv.predicted.is_some()));
+        assert!(plain.idle_intervals.is_none());
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Idle-interval records captured for offline opportunity analysis.
+
+use aw_cstates::CState;
+use aw_types::Nanos;
+
+/// One completed per-core idle round trip (entry transition → residency
+/// → exit transition), captured on the wake path when idle analysis is
+/// enabled (see [`crate::SimBuilder::with_idle_analysis`]).
+///
+/// Capture is pure observation: records are appended as the simulation
+/// runs and never read back, so an instrumented run is bit-identical to
+/// an unobserved one. `duration` is the same round-trip time the
+/// governor observes through `observe_idle` — entry latency plus
+/// residency plus exit latency, including any injected wake disruption —
+/// so offline analysis scores governors against exactly the signal they
+/// learned from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdleInterval {
+    /// The core that idled.
+    pub core: usize,
+    /// When the idle period began (the governor decision point).
+    pub start: Nanos,
+    /// Full round-trip duration (entry + residency + exit).
+    pub duration: Nanos,
+    /// The idle state the governor chose.
+    pub chosen: CState,
+    /// The governor's idle-duration prediction at selection time: the
+    /// predictor's own estimate, falling back to the oracle hint for
+    /// hinted governors (`None` for non-predictive, unhinted
+    /// governors).
+    pub predicted: Option<Nanos>,
+    /// `true` when the interval began inside the measured window (at or
+    /// after warm-up end); analysis normally ignores unmeasured
+    /// intervals, matching the metric reset.
+    pub measured: bool,
+}
+
+impl IdleInterval {
+    /// Signed prediction error (`predicted − actual`) in nanoseconds,
+    /// `None` when no prediction was recorded. Negative values mean the
+    /// governor under-predicted (the pessimistic default for
+    /// latency-critical streams).
+    #[must_use]
+    pub fn prediction_error(&self) -> Option<Nanos> {
+        self.predicted.map(|p| p - self.duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_error_is_signed() {
+        let mut iv = IdleInterval {
+            core: 0,
+            start: Nanos::ZERO,
+            duration: Nanos::from_micros(10.0),
+            chosen: CState::C1,
+            predicted: Some(Nanos::from_micros(8.0)),
+            measured: true,
+        };
+        assert_eq!(iv.prediction_error(), Some(Nanos::from_micros(-2.0)));
+        iv.predicted = None;
+        assert_eq!(iv.prediction_error(), None);
+    }
+}

@@ -39,6 +39,7 @@
 mod builder;
 mod config;
 mod core;
+mod idle;
 mod metrics;
 mod sim;
 mod thermal;
@@ -49,6 +50,7 @@ mod workload;
 pub use builder::SimBuilder;
 pub use config::{BreakerPolicy, Dispatch, GovernorKind, RetryPolicy, ServerConfig, SnoopTraffic};
 pub use core::{CoreState, SimCore};
+pub use idle::IdleInterval;
 pub use metrics::{DegradationStats, LatencyBreakdown, LatencyStats, RunMetrics};
 pub use sim::{RunOutput, ServerSim};
 pub use thermal::ThermalModel;

@@ -15,6 +15,7 @@ use aw_types::{MilliWatts, Nanos, Ratio};
 
 use crate::config::{Dispatch, GovernorKind, ServerConfig, SnoopTraffic};
 use crate::core::{CoreState, QueuedRequest, SimCore};
+use crate::idle::IdleInterval;
 use crate::metrics::{DegradationStats, LatencyBreakdown, LatencyStats, RunMetrics};
 use crate::trace;
 use crate::uncore::{PackageCState, UncoreModel};
@@ -83,11 +84,12 @@ pub struct ServerSim {
     next_arrival: Nanos,
     end: Nanos,
     uncore: UncoreModel,
-    /// `Some` when tracing is enabled (see [`ServerSim::with_telemetry`]);
-    /// `None` keeps every emission site a single branch on the fast path.
+    /// `Some` when tracing is enabled (see
+    /// [`crate::SimBuilder::with_telemetry`]); `None` keeps every
+    /// emission site a single branch on the fast path.
     telemetry: Option<TelemetryRecorder>,
     /// `Some` when latency attribution is enabled (see
-    /// [`ServerSim::with_attribution`]).
+    /// [`crate::SimBuilder::with_attribution`]).
     attrib: Option<Attribution>,
     /// Per-core (accounting-state label, entered-at) marks backing the
     /// attribution timeline's residency intervals.
@@ -98,8 +100,9 @@ pub struct ServerSim {
     /// The seed the simulator was built with, kept for replay artifacts.
     seed: u64,
     /// `Some` when fault injection is enabled (see
-    /// [`ServerSim::with_faults`]). Every draw comes from the plan's own
-    /// seeded streams, so the workload sample path is never perturbed.
+    /// [`crate::SimBuilder::with_faults`]). Every draw comes from the
+    /// plan's own seeded streams, so the workload sample path is never
+    /// perturbed.
     faults: Option<Box<dyn ServerFaultHook>>,
     /// Dedicated stream for client retry-backoff jitter: drawn only when
     /// a request is actually shed or timed out, so overload-free runs
@@ -129,6 +132,15 @@ pub struct ServerSim {
     /// latency is appended here as well as to the `latencies` reservoir.
     /// Pure observation — never read during the run.
     latency_log: Option<Vec<f64>>,
+    /// `Some` when idle analysis is enabled (see
+    /// [`crate::SimBuilder::with_idle_analysis`]): every completed idle
+    /// round trip is recorded on the wake path. Pure observation —
+    /// never read during the run.
+    idle_log: Option<Vec<IdleInterval>>,
+    /// Per-core governor prediction stashed at the `begin_idle`
+    /// selection point, consumed by the matching wake-path record.
+    /// Only written while `idle_log` is attached.
+    idle_predictions: Vec<Option<Nanos>>,
     /// `Some` when streaming observation is enabled (see
     /// [`crate::SimBuilder::run_streaming`]): closed attribution windows
     /// are pushed here as the event loop crosses their boundaries. Pure
@@ -164,6 +176,11 @@ pub struct RunOutput {
     /// ([`crate::SimBuilder::with_latency_samples`] runs only). Lets an
     /// aggregator merge samples across runs for exact fleet quantiles.
     pub latency_samples: Option<Vec<f64>>,
+    /// Every completed idle round trip, in wake order
+    /// ([`crate::SimBuilder::with_idle_analysis`] runs only). Feed to
+    /// `aw-sleep` for idle-period distributions, the governor audit,
+    /// and the opportunity ledger.
+    pub idle_intervals: Option<Vec<IdleInterval>>,
     /// `Some` when a runtime invariant was violated: the structured
     /// artifact carries the seed and fault plan needed to replay the
     /// failing run. [`crate::SimBuilder::run`] hands it back for
@@ -173,8 +190,8 @@ pub struct RunOutput {
 
 impl RunOutput {
     /// Unwraps the metrics, panicking if the run violated a runtime
-    /// invariant — the historical `ServerSim::run` contract for callers
-    /// that treat any invariant violation as a bug.
+    /// invariant — for callers that treat any invariant violation as a
+    /// bug.
     ///
     /// # Panics
     ///
@@ -206,6 +223,7 @@ impl ServerSim {
         let breakers = (0..config.cores)
             .map(|_| CircuitBreaker::new(config.breaker.threshold, config.breaker.cooldown))
             .collect();
+        let idle_predictions = vec![None; config.cores];
         let demoted_cstates = config.cstates.demote_agile();
         // Steady-state pending events: one service/entry/wake deadline
         // per core, plus per-core timer ticks and a handful of global
@@ -243,65 +261,44 @@ impl ServerSim {
             arrivals_total: 0,
             completed_all: 0,
             latency_log: None,
+            idle_log: None,
+            idle_predictions,
             observer: None,
             stream_slo: None,
         }
     }
 
-    /// Attaches a fault-injection plan. Every hook draw comes from the
-    /// plan's own seeded streams, so a plan whose rates are all zero
+    /// Attaches a fault-injection plan (used by
+    /// [`crate::SimBuilder::with_faults`]). Every hook draw comes from
+    /// the plan's own seeded streams, so a plan whose rates are all zero
     /// (e.g. [`FaultPlan::none`]) leaves the run bit-identical to one
     /// with no plan attached, and the same seed + plan always reproduces
     /// the same disrupted run.
-    #[deprecated(since = "0.6.0", note = "use SimBuilder::with_faults")]
-    #[must_use]
-    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
-        self.set_faults(plan);
-        self
+    pub(crate) fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(Box::new(plan));
     }
 
-    /// Enables telemetry: structured trace events (bounded to
-    /// `trace_limit`, oldest evicted first) plus the metrics registry.
+    /// Enables telemetry (used by
+    /// [`crate::SimBuilder::with_telemetry`]): structured trace events
+    /// (bounded to `trace_limit`, oldest evicted first) plus the metrics
+    /// registry.
     ///
     /// # Panics
     ///
     /// Panics if `trace_limit` is zero.
-    #[deprecated(since = "0.6.0", note = "use SimBuilder::with_telemetry")]
-    #[must_use]
-    pub fn with_telemetry(mut self, trace_limit: usize) -> Self {
-        self.set_telemetry(trace_limit);
-        self
+    pub(crate) fn set_telemetry(&mut self, trace_limit: usize) {
+        self.telemetry = Some(TelemetryRecorder::new(self.cores.len(), trace_limit));
     }
 
-    /// Enables per-request latency attribution over the measured window:
-    /// every completed (non-tick) request becomes a [`RequestSpan`], and
+    /// Enables per-request latency attribution over the measured window
+    /// (used by [`crate::SimBuilder::with_attribution`]): every
+    /// completed (non-tick) request becomes a [`RequestSpan`], and
     /// power/residency intervals feed a timeline with `window`-sized
     /// buckets.
     ///
     /// # Panics
     ///
     /// Panics if `window` is not strictly positive.
-    #[deprecated(since = "0.6.0", note = "use SimBuilder::with_attribution")]
-    #[must_use]
-    pub fn with_attribution(mut self, window: Nanos) -> Self {
-        self.set_attribution(window);
-        self
-    }
-
-    /// Setter twin of the deprecated `with_faults` (used by
-    /// [`crate::SimBuilder`]).
-    pub(crate) fn set_faults(&mut self, plan: FaultPlan) {
-        self.faults = Some(Box::new(plan));
-    }
-
-    /// Setter twin of the deprecated `with_telemetry` (used by
-    /// [`crate::SimBuilder`]).
-    pub(crate) fn set_telemetry(&mut self, trace_limit: usize) {
-        self.telemetry = Some(TelemetryRecorder::new(self.cores.len(), trace_limit));
-    }
-
-    /// Setter twin of the deprecated `with_attribution` (used by
-    /// [`crate::SimBuilder`]).
     pub(crate) fn set_attribution(&mut self, window: Nanos) {
         // Pre-size the span reservoir for the expected completions so
         // the per-request `RequestSpan` push reuses one allocation
@@ -313,6 +310,14 @@ impl ServerSim {
     /// [`crate::SimBuilder::with_latency_samples`]).
     pub(crate) fn set_latency_samples(&mut self) {
         self.latency_log = Some(Vec::with_capacity(self.expected_samples()));
+    }
+
+    /// Enables idle-interval capture (used by
+    /// [`crate::SimBuilder::with_idle_analysis`]). A light-load core
+    /// completes roughly one idle round trip per served request, so the
+    /// sample-reservoir estimate is a reasonable pre-size here too.
+    pub(crate) fn set_idle_analysis(&mut self) {
+        self.idle_log = Some(Vec::with_capacity(self.expected_samples()));
     }
 
     /// Attaches a streaming window observer (used by
@@ -462,46 +467,9 @@ impl ServerSim {
         (self.active_power() + idle) / 2.0
     }
 
-    /// Runs the simulation to completion and returns the metrics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a runtime invariant was violated; the message carries
-    /// the seed and fault plan needed to replay the failing run.
-    #[deprecated(since = "0.6.0", note = "use SimBuilder::run().into_metrics()")]
-    #[must_use]
-    pub fn run(self) -> RunMetrics {
-        self.run_to_output().into_metrics()
-    }
-
-    /// Runs the simulation and additionally returns the
-    /// [`TelemetryReport`] if telemetry was enabled. The metrics'
-    /// `telemetry` field carries the same summary.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a runtime invariant was violated.
-    #[deprecated(since = "0.6.0", note = "use SimBuilder::run()")]
-    #[must_use]
-    pub fn run_traced(self) -> (RunMetrics, Option<TelemetryReport>) {
-        let out = self.run_to_output();
-        if let Some(failure) = &out.failure {
-            panic!("{failure}");
-        }
-        (out.metrics, out.telemetry)
-    }
-
-    /// Runs the simulation and returns everything: metrics plus the
-    /// optional telemetry and attribution reports.
-    #[deprecated(since = "0.6.0", note = "use SimBuilder::run()")]
-    #[must_use]
-    pub fn run_full(self) -> RunOutput {
-        self.run_to_output()
-    }
-
-    /// The single execution path behind [`crate::SimBuilder::run`] (and
-    /// the deprecated `run`/`run_traced`/`run_full` shims): drives the
-    /// event loop to completion and assembles the [`RunOutput`].
+    /// The single execution path behind [`crate::SimBuilder::run`]:
+    /// drives the event loop to completion and assembles the
+    /// [`RunOutput`].
     pub(crate) fn run_to_output(mut self) -> RunOutput {
         // Every core starts active with nothing to do: send each to idle
         // immediately so the fleet begins in a realistic parked state.
@@ -592,6 +560,7 @@ impl ServerSim {
         }
         let attribution = self.attrib.take().map(Attribution::finish);
         let latency_samples = self.latency_log.take();
+        let idle_intervals = self.idle_log.take();
         let mut metrics = self.finalize();
         metrics.telemetry = report.as_ref().map(|r| r.summary.clone());
         metrics.attribution = attribution.as_ref().map(|r| r.summary.clone());
@@ -602,7 +571,15 @@ impl ServerSim {
             self.seed,
             fault_spec,
         );
-        RunOutput { metrics, telemetry: report, attribution, slo: None, latency_samples, failure }
+        RunOutput {
+            metrics,
+            telemetry: report,
+            attribution,
+            slo: None,
+            latency_samples,
+            idle_intervals,
+            failure,
+        }
     }
 
     fn dispatch(&mut self) -> usize {
@@ -780,6 +757,13 @@ impl ServerSim {
             &self.config.cstates
         };
         let target = self.cores[id].governor.select(cstates, &self.config.catalog, hint);
+        if self.idle_log.is_some() {
+            // Stash the prediction the governor acted on for the
+            // wake-path interval record: the predictor's own estimate,
+            // falling back to the oracle hint (read-only — pure
+            // observation).
+            self.idle_predictions[id] = self.cores[id].governor.last_prediction().or(hint);
+        }
         if let Some(t) = self.telemetry.as_mut() {
             // Predictive governors report their own estimate; for hinted
             // (oracle) governors the hint *is* the prediction.
@@ -836,6 +820,17 @@ impl ServerSim {
             return;
         };
         let idle_duration = now - self.cores[id].idle_since;
+        if let Some(log) = self.idle_log.as_mut() {
+            let start = self.cores[id].idle_since;
+            log.push(IdleInterval {
+                core: id,
+                start,
+                duration: idle_duration,
+                chosen: from,
+                predicted: self.idle_predictions[id],
+                measured: start >= self.measure_start,
+            });
+        }
         if let Some(t) = self.telemetry.as_mut() {
             let target = self.config.catalog.params(from).target_residency;
             t.idle_outcome(id as u32, now, idle_duration, target);
@@ -1246,7 +1241,7 @@ impl ServerSim {
             package_residency,
             breakdown,
             degradation: self.degradation,
-            // Filled by `run_full` after the recorders are finished.
+            // Filled by `run_to_output` after the recorders are finished.
             telemetry: None,
             attribution: None,
         }

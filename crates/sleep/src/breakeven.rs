@@ -1,0 +1,273 @@
+//! The break-even energy model behind the governor audit.
+//!
+//! For every idle interval the analyzer must answer two questions the
+//! simulator never asks at run time: *what would this interval have cost in
+//! each candidate state*, and *which state would an oracle with perfect
+//! knowledge of the interval's length have picked*. Both reduce to the
+//! classic break-even argument (paper Sec. 2.2): a state pays off once the
+//! interval is long enough that the energy saved while resident outweighs
+//! the energy burned ramping through the entry and exit transitions.
+
+use aw_cstates::{CState, CStateCatalog, FreqLevel};
+use aw_server::ServerConfig;
+use aw_types::{Joules, MilliWatts, Nanos};
+
+/// Per-state cost coefficients derived from the catalog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StateCost {
+    /// Entry + exit transition time: the part of an interval that cannot be
+    /// spent resident.
+    budget: Nanos,
+    /// Average power during the transition ramp, modeled as the midpoint
+    /// between active power and the state's resident power — the same
+    /// linear-ramp model the simulator's transition meter integrates.
+    ramp: MilliWatts,
+    /// Power while resident, at the frequency level the state pins.
+    resident: MilliWatts,
+}
+
+/// Break-even energy model for a server's C-state catalog.
+///
+/// Scores any `(state, interval length)` pair in joules and picks the
+/// energy-optimal state for a known interval length, so the analyzer can
+/// compare the governor's causal choice against a clairvoyant oracle.
+///
+/// # Examples
+///
+/// ```
+/// use aw_cstates::{CState, CStateCatalog};
+/// use aw_sleep::BreakEven;
+/// use aw_types::Nanos;
+///
+/// let cat = CStateCatalog::skylake_baseline();
+/// let model = BreakEven::new(&cat, &[CState::C1, CState::C1E, CState::C6]);
+/// // A 10 µs nap is too short for C6's 133 µs round trip...
+/// assert_ne!(model.optimal(Nanos::from_micros(10.0), CState::C1), CState::C6);
+/// // ...but a 10 ms one comfortably amortizes it.
+/// assert_eq!(model.optimal(Nanos::from_millis(10.0), CState::C1), CState::C6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakEven {
+    /// Active (C0) power at P1 — the do-nothing baseline cost.
+    active: MilliWatts,
+    /// Cost coefficients per catalog state, indexed by `CState::depth()`
+    /// (`None` for states absent from the catalog). Depth-indexing keeps
+    /// the per-interval scoring loop free of lookups.
+    costs: [Option<StateCost>; CState::ALL.len()],
+    /// Idle states the governor was allowed to choose, shallowest first.
+    enabled: Vec<CState>,
+}
+
+impl BreakEven {
+    /// Builds the model from a catalog and the set of governor-enabled
+    /// idle states. Non-idle entries (C0) and states missing from the
+    /// catalog are ignored.
+    #[must_use]
+    pub fn new(catalog: &CStateCatalog, enabled: &[CState]) -> Self {
+        let active = catalog.power(CState::C0, FreqLevel::P1);
+        let mut costs = [None; CState::ALL.len()];
+        for s in catalog.states() {
+            let p = catalog.params(s);
+            let resident = p.power(FreqLevel::P1);
+            let cost = if s == CState::C0 {
+                StateCost { budget: Nanos::ZERO, ramp: active, resident: active }
+            } else {
+                StateCost {
+                    budget: p.entry_latency + p.exit_latency,
+                    ramp: (active + resident) * 0.5,
+                    resident,
+                }
+            };
+            costs[s.depth() as usize] = Some(cost);
+        }
+        let mut enabled: Vec<CState> =
+            enabled.iter().copied().filter(|s| s.is_idle() && catalog.get(*s).is_some()).collect();
+        enabled.sort_by_key(|s| s.depth());
+        enabled.dedup();
+        assert!(!enabled.is_empty(), "break-even model needs at least one enabled idle state");
+        Self { active, costs, enabled }
+    }
+
+    /// Builds the model straight from a server configuration, using its
+    /// catalog and enabled C-state set — the common entry point for
+    /// analyzing a [`aw_server::RunOutput`].
+    #[must_use]
+    pub fn from_server(config: &ServerConfig) -> Self {
+        Self::new(&config.catalog, &config.cstates.enabled_states())
+    }
+
+    fn cost(&self, state: CState) -> StateCost {
+        self.costs[state.depth() as usize]
+            .unwrap_or_else(|| panic!("state {state} not in the catalog"))
+    }
+
+    /// The enabled idle states, shallowest first.
+    #[must_use]
+    pub fn enabled(&self) -> &[CState] {
+        &self.enabled
+    }
+
+    /// The shallowest enabled idle state — the floor every interval can
+    /// reach.
+    #[must_use]
+    pub fn shallowest(&self) -> CState {
+        self.enabled[0]
+    }
+
+    /// Entry + exit transition budget for `state`: the minimum interval
+    /// length for which the state is even reachable.
+    #[must_use]
+    pub fn budget(&self, state: CState) -> Nanos {
+        self.cost(state).budget
+    }
+
+    /// The smallest transition budget across enabled states: anything above
+    /// it is sleepable time in the best case.
+    #[must_use]
+    pub fn min_budget(&self) -> Nanos {
+        self.enabled
+            .iter()
+            .map(|s| self.budget(*s))
+            .reduce(Nanos::min)
+            .expect("enabled set is non-empty")
+    }
+
+    /// Energy burned keeping the core active (C0 at P1) for `interval`.
+    #[must_use]
+    pub fn active_energy(&self, interval: Nanos) -> Joules {
+        self.active * interval
+    }
+
+    /// Energy burned spending `interval` in `state`: the transition ramp
+    /// for up to the state's budget, resident power for the remainder.
+    /// Intervals shorter than the budget pay ramp power for their full
+    /// length (a truncated transition), so the result never exceeds
+    /// [`BreakEven::active_energy`].
+    #[must_use]
+    pub fn energy(&self, state: CState, interval: Nanos) -> Joules {
+        let c = self.cost(state);
+        let ramp_time = interval.min(c.budget);
+        let resident_time = (interval - c.budget).max(Nanos::ZERO);
+        c.ramp * ramp_time + c.resident * resident_time
+    }
+
+    /// The energy-optimal state for an interval of known length `interval`,
+    /// chosen among the enabled states whose budget fits plus the state the
+    /// governor actually `chosen` — including the causal choice guarantees
+    /// the oracle never scores worse than the governor, even when a circuit
+    /// breaker demoted the governor outside the enabled set. Ties go to the
+    /// shallower state (less exit-latency exposure for equal energy);
+    /// when no deeper state's budget fits, the shallowest enabled state
+    /// wins by default.
+    #[must_use]
+    pub fn optimal(&self, interval: Nanos, chosen: CState) -> CState {
+        self.score(interval, chosen).0
+    }
+
+    /// Scores an interval in one pass: the oracle-optimal state plus the
+    /// two energies every per-interval analysis needs — `(optimal, oracle
+    /// energy, achieved energy)`. Equivalent to
+    /// `(optimal(t, c), energy(optimal, t), energy(c, t))` without
+    /// re-scoring candidates the optimum scan already priced; the
+    /// analyzer calls this once per captured interval.
+    #[must_use]
+    pub fn score(&self, interval: Nanos, chosen: CState) -> (CState, Joules, Joules) {
+        let mut best = self.shallowest();
+        let mut best_energy = self.energy(best, interval);
+        let mut chosen_energy = (chosen == best).then_some(best_energy);
+        let deeper = self.enabled.iter().copied().skip(1);
+        for s in deeper.chain(std::iter::once(chosen)).filter(|s| s.is_idle()) {
+            if s != chosen && interval < self.budget(s) {
+                continue;
+            }
+            let e = self.energy(s, interval);
+            if s == chosen {
+                chosen_energy = Some(e);
+            }
+            // Strict `<`: candidates iterate shallow→deep, so ties keep the
+            // shallower state (less exit-latency exposure for equal energy).
+            if e < best_energy {
+                best = s;
+                best_energy = e;
+            }
+        }
+        // `chosen` is always in the candidate chain, so this only fires for
+        // a non-idle `chosen` (C0), which the filter excludes.
+        let chosen_energy = chosen_energy.unwrap_or_else(|| self.energy(chosen, interval));
+        (best, best_energy, chosen_energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> BreakEven {
+        let cat = CStateCatalog::skylake_baseline();
+        BreakEven::new(&cat, &[CState::C1, CState::C1E, CState::C6])
+    }
+
+    #[test]
+    fn budgets_match_table_one() {
+        let m = baseline();
+        assert_eq!(m.budget(CState::C1), Nanos::from_micros(2.0));
+        assert_eq!(m.budget(CState::C6), Nanos::from_micros(133.0));
+        assert_eq!(m.min_budget(), Nanos::from_micros(2.0));
+    }
+
+    #[test]
+    fn energy_never_exceeds_active() {
+        let m = baseline();
+        for us in [0.5, 2.0, 10.0, 133.0, 1000.0] {
+            let t = Nanos::from_micros(us);
+            for s in [CState::C1, CState::C1E, CState::C6] {
+                assert!(
+                    m.energy(s, t) <= m.active_energy(t) + Joules::new(1e-12),
+                    "E({s}, {us}us) above active"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_prefers_depth_with_length() {
+        let m = baseline();
+        // Short naps stay shallow, long naps go deep.
+        assert_eq!(m.optimal(Nanos::from_micros(3.0), CState::C1), CState::C1);
+        assert_eq!(m.optimal(Nanos::from_millis(10.0), CState::C1), CState::C6);
+        // The oracle never scores worse than the causal choice.
+        let t = Nanos::from_micros(50.0);
+        for chosen in [CState::C1, CState::C1E, CState::C6] {
+            let opt = m.optimal(t, chosen);
+            assert!(m.energy(opt, t) <= m.energy(chosen, t));
+        }
+    }
+
+    #[test]
+    fn chosen_outside_enabled_is_still_a_candidate() {
+        let cat = CStateCatalog::skylake_with_aw();
+        // Only C1 enabled, but the governor (hypothetically demoted weirdly)
+        // chose C6A: the oracle must consider C6A so it cannot lose to it.
+        let m = BreakEven::new(&cat, &[CState::C1]);
+        let t = Nanos::from_millis(1.0);
+        let opt = m.optimal(t, CState::C6A);
+        assert_eq!(opt, CState::C6A);
+        assert!(m.energy(opt, t) <= m.energy(CState::C1, t));
+    }
+
+    #[test]
+    fn aw_states_dominate_their_legacy_twins() {
+        let cat = CStateCatalog::skylake_with_aw();
+        let m = BreakEven::new(&cat, &[CState::C6A, CState::C6AE, CState::C6]);
+        // At 10 µs the 2 µs-budget C6A already beats everything.
+        assert_eq!(m.optimal(Nanos::from_micros(10.0), CState::C6A), CState::C6A);
+    }
+
+    #[test]
+    fn from_server_uses_the_config_catalog() {
+        use aw_cstates::NamedConfig;
+        let cfg = ServerConfig::new(4, NamedConfig::Aw);
+        let m = BreakEven::from_server(&cfg);
+        assert!(m.enabled().contains(&CState::C6A));
+    }
+}

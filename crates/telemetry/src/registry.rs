@@ -151,8 +151,13 @@ impl LogHistogram {
         if x < 1.0 {
             0
         } else {
-            // log2 floor + 1, capped.
-            ((x.log2().floor() as usize) + 1).min(Self::MAX_BUCKETS - 1)
+            // log2 floor + 1, capped. For x ≥ 1.0 the floor of log2 is the
+            // unbiased IEEE-754 exponent (the mantissa lies in [1, 2)), so
+            // read it straight from the bits — `record` sits on hot paths
+            // and a libm call per observation is measurable. Infinity's
+            // exponent field (2047) lands above the cap like before.
+            let exponent = ((x.to_bits() >> 52) & 0x7ff) as usize;
+            (exponent - 1022).min(Self::MAX_BUCKETS - 1)
         }
     }
 

@@ -87,6 +87,7 @@ fn stty(args: &[&str]) -> Option<String> {
 pub struct AnsiBackend {
     area: Rect,
     saved_stty: Option<String>,
+    raw_mode: bool,
     out: io::Stdout,
 }
 
@@ -94,12 +95,25 @@ impl AnsiBackend {
     /// Takes over the terminal. `fallback` is the frame size used when
     /// the real size cannot be queried.
     ///
+    /// When raw mode cannot be entered (stdin is a pipe, or `stty` is
+    /// missing) the backend still works, but keys stay line-buffered
+    /// and echoed — a warning is printed on stderr instead of failing
+    /// silently; check [`AnsiBackend::raw_mode`]. Scripted runs should
+    /// prefer a headless mode over an un-raw interactive terminal.
+    ///
     /// # Errors
     ///
     /// Fails only if the initial escape sequences cannot be written.
     pub fn new(fallback: (u16, u16)) -> io::Result<Self> {
         let saved_stty = stty(&["-g"]);
-        let _ = stty(&["raw", "-echo"]);
+        let raw_mode = stty(&["raw", "-echo"]).is_some();
+        if !raw_mode {
+            eprintln!(
+                "aw-tui: cannot enter raw mode (stdin is not a terminal, or `stty` is \
+                 unavailable); keys will be line-buffered and echoed — press Enter after \
+                 each key, or use --headless for scripted runs"
+            );
+        }
         let size = stty(&["size"]).and_then(|s| {
             let mut it = s.split_whitespace();
             let rows: u16 = it.next()?.parse().ok()?;
@@ -111,7 +125,15 @@ impl AnsiBackend {
         // Alternate screen + hidden cursor; both restored on drop.
         write!(out, "\x1b[?1049h\x1b[?25l\x1b[2J")?;
         out.flush()?;
-        Ok(AnsiBackend { area: Rect::new(0, 0, width, height), saved_stty, out })
+        Ok(AnsiBackend { area: Rect::new(0, 0, width, height), saved_stty, raw_mode, out })
+    }
+
+    /// `true` when the terminal really is in raw mode; `false` means
+    /// the `stty` handshake failed (the warning above was printed) and
+    /// input is still line-buffered.
+    #[must_use]
+    pub fn raw_mode(&self) -> bool {
+        self.raw_mode
     }
 }
 

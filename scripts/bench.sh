@@ -82,6 +82,31 @@ benches.append({
 })
 print(f"watch_overhead: batch {t_batch:.3f}s, watch {t_watch:.3f}s, overhead {overhead_pct}%")
 
+# Idle-observation overhead: the same sweep bare vs. with `--idle-out`
+# (per-core interval capture + the aw-sleep analysis + CSV export).
+# Observation is pure — the run artifacts stay byte-identical — so the
+# delta is the analyzer itself. Budget: <25%. The sim hot path serves a
+# request in well under a microsecond, so pricing every idle interval
+# against the break-even model (~70 ns each; see aw-sleep's ignored
+# analyze_microbench test) is inherently a double-digit share of sweep
+# wall-clock; the budget tracks regressions against that floor.
+sweep_grid = ["--workload", "memcached", "--qps", "300000", "--cores", "10",
+              "--duration-ms", "200"]
+t_plain = timed(["./target/release/agilewatts", "sweep"] + sweep_grid, jobs_n)
+t_idle = timed(
+    ["./target/release/agilewatts", "sweep", "--idle-out", "target/bench_idle.csv"] + sweep_grid,
+    jobs_n,
+)
+overhead_pct = round((t_idle / t_plain - 1.0) * 100.0, 2) if t_plain > 0 else None
+benches.append({
+    "bench": "analyze_overhead",
+    "plain_wall_s": round(t_plain, 4),
+    "idle_out_wall_s": round(t_idle, 4),
+    "overhead_pct": overhead_pct,
+    "budget_pct": 25.0,
+})
+print(f"analyze_overhead: plain {t_plain:.3f}s, idle-out {t_idle:.3f}s, overhead {overhead_pct}%")
+
 report = {
     "host_parallelism": cores,
     "jobs_n": jobs_n,
