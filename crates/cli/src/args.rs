@@ -4,7 +4,7 @@ use std::fmt;
 
 use agilewatts::aw_cluster::RoutingPolicy;
 use agilewatts::aw_cstates::NamedConfig;
-use agilewatts::aw_faults::FaultSpec;
+use agilewatts::aw_faults::{FaultSpec, FleetFaultSpec};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,6 +148,9 @@ pub struct FleetArgs {
     pub diurnal: Option<f64>,
     /// Fleet master seed.
     pub seed: u64,
+    /// `--fleet-faults <SPEC>`: fleet-level chaos plan (crashes, rack
+    /// outages, link degradation, throttles, unpark failures).
+    pub fleet_faults: Option<FleetFaultSpec>,
 }
 
 impl Default for FleetArgs {
@@ -163,6 +166,7 @@ impl Default for FleetArgs {
             autoscale: false,
             diurnal: None,
             seed: 42,
+            fleet_faults: None,
         }
     }
 }
@@ -582,6 +586,11 @@ fn consume_fleet_flag(
             let v = value("--seed")?;
             args.seed = v.parse().map_err(|_| ParseError(format!("bad --seed value '{v}'")))?;
         }
+        "--fleet-faults" => {
+            let v = value("--fleet-faults")?;
+            args.fleet_faults =
+                Some(FleetFaultSpec::parse(&v).map_err(|e| ParseError(e.to_string()))?);
+        }
         _ => return Ok(false),
     }
     Ok(true)
@@ -788,6 +797,25 @@ mod tests {
         assert!(parse(&argv("fleet --diurnal 1.5")).is_err());
         assert!(parse(&argv("fleet --epoch-ms 0")).is_err());
         assert!(parse(&argv("fleet --frobnicate 3")).is_err());
+    }
+
+    #[test]
+    fn fleet_faults_parse_on_fleet_and_watch() {
+        let spec = "crash=0.02,down-epochs=3,unpark-fail=0.1";
+        let cmd = parse(&argv(&format!("fleet --fleet-faults {spec}"))).unwrap();
+        let Command::Fleet(f) = cmd else { panic!("expected fleet") };
+        let parsed = f.fleet_faults.expect("spec attached");
+        assert!(parsed.is_active());
+        // Round-trips through the canonical display form.
+        assert_eq!(FleetFaultSpec::parse(&parsed.to_string()).unwrap(), parsed);
+
+        let cmd = parse(&argv("watch --headless --fleet-faults crash-at=2:1")).unwrap();
+        let Command::Watch(w) = cmd else { panic!("expected watch") };
+        assert!(w.fleet.fleet_faults.is_some());
+
+        assert!(parse(&argv("fleet --fleet-faults")).is_err()); // needs a value
+        assert!(parse(&argv("fleet --fleet-faults crash=2.0")).is_err()); // bad probability
+        assert!(parse(&argv("fleet --fleet-faults no-such-key=1")).is_err());
     }
 
     #[test]

@@ -101,9 +101,19 @@ OPTIONS (fleet):
                            latency and boot energy)
     --diurnal <A>          sinusoidal load swing of amplitude A in [0,1)
     --seed <N>             fleet master seed (default 42)
-                           (--slo-p99 sets the fleet SLO target and
+    --fleet-faults <SPEC>  inject fleet-level chaos; SPEC is comma-
+                           separated key=value pairs, e.g.
+                           crash=0.02,down-epochs=3,unpark-fail=0.1
+                           (keys: seed, crash, crash-at, down-epochs,
+                           unpark-fail, degrade, degrade-ns,
+                           degrade-epochs, rack-size, rack-outage,
+                           throttle, throttle-factor, throttle-epochs;
+                           crash-at pins one crash as EPOCH:SERVER)
+                           (--slo-p99 sets the fleet SLO target,
                            --timeline-out receives the per-epoch fleet
-                           time series)
+                           time series, and the robustness flags
+                           --faults / --queue-cap / --request-timeout
+                           apply to every simulated server-epoch)
 
 OPTIONS (watch):
     all fleet options, plus:

@@ -62,10 +62,10 @@ pub fn execute_with(command: &Command, common: &CommonArgs) -> Result<(), ParseE
     // at the fleet level rather than attaching a representative
     // single-server run. A watch run is a fleet run with a cockpit.
     if let Command::Fleet(args) = command {
-        return run_fleet(args, telemetry);
+        return run_fleet(args, telemetry, robustness);
     }
     if let Command::Watch(args) = command {
-        return crate::watch::run_watch(args, telemetry);
+        return crate::watch::run_watch(args, telemetry, robustness);
     }
     // `analyze` always captures idle intervals; `--idle-out` only adds
     // the artifact on disk.
@@ -157,8 +157,12 @@ pub fn execute(command: &Command) -> Result<(), ParseError> {
         Command::Ablations { quick } => run_ablations(*quick),
         Command::Sweep(args) => run_sweep(args)?,
         Command::Analyze(args) => run_analyze(args, &TelemetryArgs::default())?,
-        Command::Fleet(args) => run_fleet(args, &TelemetryArgs::default())?,
-        Command::Watch(args) => crate::watch::run_watch(args, &TelemetryArgs::default())?,
+        Command::Fleet(args) => {
+            run_fleet(args, &TelemetryArgs::default(), &RobustnessArgs::default())?;
+        }
+        Command::Watch(args) => {
+            crate::watch::run_watch(args, &TelemetryArgs::default(), &RobustnessArgs::default())?;
+        }
         Command::Report { quick } => run_report(*quick)?,
     }
     Ok(())
@@ -218,6 +222,7 @@ fn run_sweep(args: &SweepArgs) -> Result<(), ParseError> {
 pub(crate) fn fleet_experiment(
     args: &FleetArgs,
     telemetry: &TelemetryArgs,
+    robustness: &RobustnessArgs,
 ) -> agilewatts::experiments::Fleet {
     use agilewatts::aw_cluster::{AutoscalePolicy, LoadShape};
     agilewatts::experiments::Fleet {
@@ -233,16 +238,29 @@ pub(crate) fn fleet_experiment(
         autoscale: args.autoscale.then(AutoscalePolicy::default),
         slo_p99: telemetry.slo_p99.map_or(Nanos::from_micros(500.0), Nanos::new),
         seed: args.seed,
+        fleet_faults: args.fleet_faults.clone(),
+        server_faults: robustness.faults.clone(),
+        queue_cap: robustness.queue_cap,
+        request_timeout_us: robustness.request_timeout_us,
     }
 }
 
 /// Runs one fleet simulation and prints its report. `--slo-p99` sets the
 /// fleet SLO target and `--timeline-out` receives the per-epoch fleet
-/// time series; the per-server flags (`--trace-out`, `--faults`, …) do
-/// not apply at fleet scale.
-fn run_fleet(args: &FleetArgs, telemetry: &TelemetryArgs) -> Result<(), ParseError> {
-    let report = fleet_experiment(args, telemetry).run_one(args.policy, args.config);
+/// time series. `--fleet-faults` injects fleet-level chaos, and the
+/// per-server robustness flags (`--faults`, `--queue-cap`,
+/// `--request-timeout`) apply to every simulated server-epoch; the
+/// tracing flags (`--trace-out`, …) do not apply at fleet scale.
+fn run_fleet(
+    args: &FleetArgs,
+    telemetry: &TelemetryArgs,
+    robustness: &RobustnessArgs,
+) -> Result<(), ParseError> {
+    let report = fleet_experiment(args, telemetry, robustness).run_one(args.policy, args.config);
     println!("{report}");
+    if let Some(artifact) = &report.failure {
+        println!("replay: agilewatts fleet {}", artifact.replay_hint());
+    }
     if let Some(path) = &telemetry.timeline_out {
         std::fs::write(path, report.timeline_csv())
             .map_err(|e| ParseError(format!("cannot write fleet timeline to '{path}': {e}")))?;

@@ -12,6 +12,7 @@ use std::thread;
 use std::time::Duration;
 
 use agilewatts::aw_cluster::{fleet_stream, FleetConfig, FleetEpochEvent, FleetSim, ServerRole};
+use agilewatts::aw_faults::FleetFaultKind;
 use agilewatts::aw_telemetry::{StreamPoll, WindowCounters};
 use agilewatts::aw_tui::{
     shade, AnsiBackend, Backend, Block, Borders, Buffer, Color, Constraint, Direction, KeyReader,
@@ -19,7 +20,7 @@ use agilewatts::aw_tui::{
 };
 use agilewatts::aw_types::Nanos;
 
-use crate::args::{ParseError, TelemetryArgs, WatchArgs};
+use crate::args::{ParseError, RobustnessArgs, TelemetryArgs, WatchArgs};
 
 /// The cockpit's tab set, in key order (`1`–`5`).
 pub(crate) const TAB_TITLES: [&str; 5] = ["Power", "Latency", "Routing", "Events", "Opportunity"];
@@ -33,6 +34,15 @@ const HEADLESS_HEIGHT: u16 = 24;
 /// the backpressure bound of the cockpit channel.
 const CHANNEL_CAPACITY: usize = 8;
 
+/// One row of the Events-tab feed: fleet-wide rows (autoscaler, SLO)
+/// have no server id; fault and counter rows carry one.
+#[derive(Debug)]
+struct FeedRow {
+    epoch: usize,
+    server: Option<usize>,
+    what: String,
+}
+
 /// Everything the cockpit has learned from the stream so far. Frames
 /// are rendered from this state alone.
 #[derive(Debug)]
@@ -41,7 +51,7 @@ struct Cockpit {
     epochs_total: usize,
     slo_p99: Nanos,
     events: Vec<FleetEpochEvent>,
-    feed: Vec<String>,
+    feed: Vec<FeedRow>,
     finished: bool,
 }
 
@@ -57,35 +67,52 @@ impl Cockpit {
         }
     }
 
-    /// Ingests one epoch: derives feed lines, then stores the event.
+    /// Ingests one epoch: derives feed rows, then stores the event.
     fn push(&mut self, event: FleetEpochEvent) {
         let e = event.window.epoch;
+        // Fleet fault events first — they explain everything after them.
+        for rec in &event.faults {
+            let what = if rec.kind == FleetFaultKind::RackOutage {
+                format!("{} (rack {})", rec.kind, rec.server)
+            } else {
+                rec.kind.to_string()
+            };
+            self.feed.push(FeedRow { epoch: e, server: Some(rec.server), what });
+        }
         if event.window.parks > 0 || event.window.unparks > 0 {
-            self.feed.push(format!(
-                "e{e:03} autoscaler: {} parked, {} unparked",
-                event.window.parks, event.window.unparks
-            ));
+            self.feed.push(FeedRow {
+                epoch: e,
+                server: None,
+                what: format!(
+                    "autoscaler: {} parked, {} unparked",
+                    event.window.parks, event.window.unparks
+                ),
+            });
         }
         for s in &event.servers {
-            if let Some(line) = counter_feed_line(e, s.server, &s.counters) {
-                self.feed.push(line);
+            if let Some(what) = counter_feed_line(&s.counters) {
+                self.feed.push(FeedRow { epoch: e, server: Some(s.server), what });
             }
         }
         if event.window.slo_violated {
-            self.feed.push(format!(
-                "e{e:03} SLO violated: fleet p99 {:.0} µs > {:.0} µs",
-                event.window.latency.p99.as_micros(),
-                self.slo_p99.as_micros()
-            ));
+            self.feed.push(FeedRow {
+                epoch: e,
+                server: None,
+                what: format!(
+                    "SLO violated: fleet p99 {:.0} µs > {:.0} µs",
+                    event.window.latency.p99.as_micros(),
+                    self.slo_p99.as_micros()
+                ),
+            });
         }
         self.events.push(event);
     }
 }
 
-/// One feed line for a server-epoch's fault/breaker counters, `None`
+/// One feed cell for a server-epoch's fault/breaker counters, `None`
 /// when the epoch was clean. Counters are per-epoch (each server-epoch
 /// is an independent simulation), so no diffing is needed.
-fn counter_feed_line(epoch: usize, server: usize, c: &WindowCounters) -> Option<String> {
+fn counter_feed_line(c: &WindowCounters) -> Option<String> {
     let mut parts = Vec::new();
     for (count, what) in [
         (c.faults_injected, "faults"),
@@ -100,7 +127,7 @@ fn counter_feed_line(epoch: usize, server: usize, c: &WindowCounters) -> Option<
             parts.push(format!("{count} {what}"));
         }
     }
-    (!parts.is_empty()).then(|| format!("e{epoch:03} s{server:02}: {}", parts.join(", ")))
+    (!parts.is_empty()).then(|| parts.join(", "))
 }
 
 /// Renders one full frame: the tab bar plus the selected tab's body.
@@ -151,7 +178,7 @@ fn render_power(state: &Cockpit, area: Rect, buf: &mut Buffer) {
 
     let block = Block::default()
         .borders(Borders::ALL)
-        .title(" Residency heatmap · shade = agile share · P parked · · idle ");
+        .title(" Residency heatmap · shade agile · P parked · · idle · X crashed · E ejected ");
     let inner = block.inner(chunks[1]);
     block.render(chunks[1], buf);
     for srv in 0..state.servers {
@@ -170,6 +197,8 @@ fn render_power(state: &Cockpit, area: Rect, buf: &mut Buffer) {
                 ServerRole::Parked => ('P', Style::default().fg(Color::Blue)),
                 ServerRole::Idle => ('·', Style::default().dim()),
                 ServerRole::Loaded => (shade(snap.agile_share), Style::default().fg(Color::Cyan)),
+                ServerRole::Crashed => ('X', Style::default().fg(Color::Red)),
+                ServerRole::Ejected => ('E', Style::default().fg(Color::Yellow)),
             };
             buf.set(x, y, glyph, style);
         }
@@ -262,17 +291,32 @@ fn render_routing(state: &Cockpit, area: Rect, buf: &mut Buffer) {
     .render(area, buf);
 }
 
-/// Tab 4: the scrolling fault / breaker / autoscaler feed.
+/// Tab 4: the scrolling fault / breaker / autoscaler feed — an
+/// epoch/server/event table so fleet chaos reads per machine.
 fn render_events(state: &Cockpit, area: Rect, buf: &mut Buffer) {
     let block = Block::default().borders(Borders::ALL).title(" Fault / breaker / autoscaler feed ");
-    let visible = usize::from(block.inner(area).height);
+    if state.feed.is_empty() {
+        Paragraph::new(["(no events yet)".to_string()]).block(block).render(area, buf);
+        return;
+    }
+    let visible = usize::from(block.inner(area).height).saturating_sub(1);
     let skip = state.feed.len().saturating_sub(visible);
-    let lines: Vec<String> = if state.feed.is_empty() {
-        vec!["(no events yet)".to_string()]
-    } else {
-        state.feed.iter().skip(skip).cloned().collect()
-    };
-    Paragraph::new(lines).block(block).render(area, buf);
+    let rows: Vec<Row> = state
+        .feed
+        .iter()
+        .skip(skip)
+        .map(|r| {
+            Row::new([
+                format!("{}", r.epoch),
+                r.server.map_or_else(|| "-".to_string(), |s| format!("s{s:02}")),
+                r.what.clone(),
+            ])
+        })
+        .collect();
+    Table::new(rows, [Constraint::Length(5), Constraint::Length(6), Constraint::Length(64)])
+        .header(Row::new(["epoch", "server", "event"]).style(Style::default().bold()))
+        .block(block)
+        .render(area, buf);
 }
 
 /// Tab 5: the fleet sleepable-idle sparkline plus the per-server
@@ -311,7 +355,7 @@ fn render_opportunity(state: &Cockpit, area: Rect, buf: &mut Buffer) {
 
     let block = Block::default()
         .borders(Borders::ALL)
-        .title(" Recovery heatmap · shade = achieved/oracle savings · P parked · · idle ");
+        .title(" Recovery heatmap · shade achieved/oracle · X crashed · E ejected ");
     let inner = block.inner(chunks[1]);
     block.render(chunks[1], buf);
     for srv in 0..state.servers {
@@ -332,6 +376,8 @@ fn render_opportunity(state: &Cockpit, area: Rect, buf: &mut Buffer) {
                 ServerRole::Loaded => {
                     (shade(snap.opportunity.recovery()), Style::default().fg(Color::Magenta))
                 }
+                ServerRole::Crashed => ('X', Style::default().fg(Color::Red)),
+                ServerRole::Ejected => ('E', Style::default().fg(Color::Yellow)),
             };
             buf.set(x, y, glyph, style);
         }
@@ -349,8 +395,12 @@ fn headless_frame(state: &Cockpit) -> String {
 }
 
 /// Runs the `watch` subcommand.
-pub(crate) fn run_watch(args: &WatchArgs, telemetry: &TelemetryArgs) -> Result<(), ParseError> {
-    let config = crate::run::fleet_experiment(&args.fleet, telemetry)
+pub(crate) fn run_watch(
+    args: &WatchArgs,
+    telemetry: &TelemetryArgs,
+    robustness: &RobustnessArgs,
+) -> Result<(), ParseError> {
+    let config = crate::run::fleet_experiment(&args.fleet, telemetry, robustness)
         .config(args.fleet.policy, args.fleet.config);
     if args.headless {
         run_headless(args, config);
@@ -455,8 +505,12 @@ mod tests {
     /// Runs the tiny fleet inline (no threads) and feeds the cockpit.
     fn tiny_state() -> Cockpit {
         let args = tiny_args();
-        let config = crate::run::fleet_experiment(&args.fleet, &TelemetryArgs::default())
-            .config(args.fleet.policy, args.fleet.config);
+        let config = crate::run::fleet_experiment(
+            &args.fleet,
+            &TelemetryArgs::default(),
+            &RobustnessArgs::default(),
+        )
+        .config(args.fleet.policy, args.fleet.config);
         let mut state = Cockpit::new(config.servers, config.epochs, config.slo_p99);
         struct Into<'a>(&'a mut Cockpit);
         impl FleetObserver for Into<'_> {
@@ -530,7 +584,8 @@ mod tests {
         if state.feed.is_empty() {
             assert!(frame.contains("(no events yet)"), "{frame}");
         } else {
-            assert!(state.feed.iter().any(|l| frame.contains(l.as_str())), "{frame}");
+            assert!(frame.contains("epoch") && frame.contains("server"), "{frame}");
+            assert!(state.feed.iter().any(|r| frame.contains(r.what.as_str())), "{frame}");
         }
 
         let empty = Cockpit::new(2, 3, Nanos::from_micros(500.0));
@@ -574,6 +629,6 @@ mod tests {
 
     #[test]
     fn headless_watch_runs_end_to_end() {
-        run_watch(&tiny_args(), &TelemetryArgs::default()).unwrap();
+        run_watch(&tiny_args(), &TelemetryArgs::default(), &RobustnessArgs::default()).unwrap();
     }
 }

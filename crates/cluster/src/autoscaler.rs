@@ -68,12 +68,16 @@ impl AutoscalePolicy {
 #[derive(Debug, Clone)]
 pub struct ScaleDecision {
     /// Per-server serve fraction for the epoch: `1.0` steady active,
-    /// `(0, 1)` unparking this epoch, `0.0` parked.
+    /// `(0, 1)` unparking this epoch, `0.0` parked (or ineligible).
     pub availability: Vec<f64>,
     /// Servers parked by this decision.
     pub parks: u64,
     /// Servers unparked by this decision.
     pub unparks: u64,
+    /// Unpark attempts that failed: the slot stays dark this epoch and
+    /// is retried at the next decision. Always zero without a fault
+    /// plan.
+    pub unpark_failures: u64,
 }
 
 /// Tracks the active set across epochs and emits one [`ScaleDecision`]
@@ -85,7 +89,7 @@ pub struct ScaleDecision {
 pub struct Autoscaler {
     policy: Option<AutoscalePolicy>,
     fleet_size: usize,
-    active: usize,
+    active: Vec<bool>,
 }
 
 impl Autoscaler {
@@ -94,7 +98,7 @@ impl Autoscaler {
     #[must_use]
     pub fn new(policy: Option<AutoscalePolicy>, fleet_size: usize) -> Self {
         assert!(fleet_size > 0, "fleet must have at least one server");
-        Autoscaler { policy, fleet_size, active: fleet_size }
+        Autoscaler { policy, fleet_size, active: vec![true; fleet_size] }
     }
 
     /// Decides the epoch's active set for `offered_qps`. `force_all`
@@ -107,38 +111,78 @@ impl Autoscaler {
         epoch: Nanos,
         force_all: bool,
     ) -> ScaleDecision {
+        let eligible = vec![true; self.fleet_size];
+        self.decide_faulty(offered_qps, capacity_qps, epoch, force_all, &eligible, |_| true)
+    }
+
+    /// [`Autoscaler::decide`] under faults: only `eligible` servers
+    /// (healthy and in the router's rotation) can be activated, and
+    /// every park→active transition must pass `unpark_ok` — a failed
+    /// unpark leaves the slot dark for the epoch (counted in
+    /// [`ScaleDecision::unpark_failures`]) and is retried at the next
+    /// decision instead of being silently replaced, so unpark failures
+    /// cost real capacity under pressure.
+    ///
+    /// With every server eligible and `unpark_ok` always true this is
+    /// exactly [`Autoscaler::decide`]: the first `target` servers in
+    /// index order are active, newly activated ones pay the unpark
+    /// latency.
+    pub fn decide_faulty(
+        &mut self,
+        offered_qps: f64,
+        capacity_qps: f64,
+        epoch: Nanos,
+        force_all: bool,
+        eligible: &[bool],
+        mut unpark_ok: impl FnMut(usize) -> bool,
+    ) -> ScaleDecision {
+        assert_eq!(eligible.len(), self.fleet_size, "eligibility mask must cover the fleet");
         let target = match (&self.policy, force_all) {
             (None, _) | (_, true) => self.fleet_size,
             (Some(p), false) => p.target_active(offered_qps, capacity_qps, self.fleet_size),
         };
-        let previous = self.active;
-        self.active = target;
         let unpark_avail = self.policy.as_ref().map_or(1.0, |p| p.unpark_availability(epoch));
-        let availability = (0..self.fleet_size)
-            .map(|i| {
-                if i < target {
-                    // Newly unparked servers pay the boot latency.
-                    if i >= previous {
-                        unpark_avail
-                    } else {
-                        1.0
-                    }
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        ScaleDecision {
-            availability,
-            parks: previous.saturating_sub(target) as u64,
-            unparks: target.saturating_sub(previous) as u64,
+
+        let mut availability = vec![0.0; self.fleet_size];
+        let mut next_active = vec![false; self.fleet_size];
+        let (mut activated, mut parks, mut unparks, mut unpark_failures) =
+            (0usize, 0u64, 0u64, 0u64);
+        for i in 0..self.fleet_size {
+            if !eligible[i] || activated >= target {
+                continue;
+            }
+            if self.active[i] {
+                next_active[i] = true;
+                availability[i] = 1.0;
+                activated += 1;
+            } else if unpark_ok(i) {
+                next_active[i] = true;
+                availability[i] = unpark_avail;
+                activated += 1;
+                unparks += 1;
+            } else {
+                // Failed unpark: the slot stays dark and still counts
+                // against the target — the fleet runs short this epoch.
+                activated += 1;
+                unpark_failures += 1;
+            }
         }
+        for i in 0..self.fleet_size {
+            // Deliberate parks only: an eligible server dropped from the
+            // active set. Crashed/ejected servers fall out of the set
+            // without counting as park transitions.
+            if self.active[i] && !next_active[i] && eligible[i] {
+                parks += 1;
+            }
+        }
+        self.active = next_active;
+        ScaleDecision { availability, parks, unparks, unpark_failures }
     }
 
     /// Servers currently active.
     #[must_use]
     pub fn active(&self) -> usize {
-        self.active
+        self.active.iter().filter(|&&a| a).count()
     }
 }
 

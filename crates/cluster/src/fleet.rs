@@ -16,11 +16,30 @@
 //! uncore in PC6 when the menu allows it), and modeling it analytically
 //! keeps a 64-server fleet at 30% load as cheap as the ~20 servers that
 //! actually carry traffic.
+//!
+//! # Fleet chaos
+//!
+//! With [`FleetConfig::with_fleet_faults`] the run proceeds under a
+//! deterministic [`FleetFaultPlan`]: servers crash mid-epoch and go
+//! dark, racks fail together, links degrade, capacity throttles, and
+//! unparks fail. The health/ejection reaction lives in
+//! [`crate::health`]; this module handles the traffic consequences —
+//! the requests a crashing server drops are re-offered to the survivors
+//! in the next one or two epochs (deterministic jittered backoff), and
+//! traffic with nowhere to go is shed into the
+//! [`FleetDegradation`] ledger. Every fault draw and every retry split
+//! is a pure function of `(seed, category, server, epoch)`, so chaotic
+//! runs stay byte-identical at any `--jobs` and replay exactly from
+//! their [`FleetFailureArtifact`].
 
 use std::f64::consts::TAU;
 
 use aw_cstates::{CState, FreqLevel};
 use aw_exec::SweepExecutor;
+use aw_faults::{
+    FaultPlan, FaultSpec, FleetFailureArtifact, FleetFaultKind, FleetFaultPlan, FleetFaultRecord,
+    FleetFaultSpec,
+};
 use aw_server::{
     LatencyStats, PackageCState, RunOutput, ServerConfig, SimBuilder, UncorePower, WorkloadSpec,
 };
@@ -30,8 +49,9 @@ use aw_telemetry::MetricsRegistry;
 use aw_types::{Joules, MilliWatts, Nanos, Ratio};
 
 use crate::autoscaler::{AutoscalePolicy, Autoscaler};
+use crate::health::HealthTracker;
 use crate::policy::RoutingPolicy;
-use crate::report::{FleetReport, FleetWindow};
+use crate::report::{FleetDegradation, FleetReport, FleetWindow};
 use crate::stream::{
     epoch_counters, FleetEpochEvent, FleetObserver, NullFleetObserver, ServerEpochSnapshot,
     ServerRole,
@@ -95,12 +115,22 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Fleet p99 SLO target each epoch window is judged against.
     pub slo_p99: Nanos,
+    /// Fleet-level fault injection (crashes, rack outages, link
+    /// degradation, throttles, unpark failures); `None` runs fair
+    /// weather. An inert spec (`FleetFaultSpec::none()`) is byte-
+    /// identical to `None` — the common-random-numbers contract.
+    pub fleet_faults: Option<FleetFaultSpec>,
+    /// Per-server (in-machine) fault injection applied to every
+    /// simulated server-epoch; each derives its own fault seed from the
+    /// spec's via the fleet's `(seed, server, epoch)` mixer. `None`
+    /// (and an inert spec) leaves the simulations untouched.
+    pub server_faults: Option<FaultSpec>,
 }
 
 impl FleetConfig {
     /// A fleet with the default knobs: 50 ms epochs × 8 epochs,
     /// round-robin routing, no autoscaler, constant load, seed 42,
-    /// 500 µs p99 SLO.
+    /// 500 µs p99 SLO, no faults.
     #[must_use]
     pub fn new(
         servers: usize,
@@ -122,6 +152,8 @@ impl FleetConfig {
             load: LoadShape::Constant,
             seed: 42,
             slo_p99: Nanos::from_micros(500.0),
+            fleet_faults: None,
+            server_faults: None,
         }
     }
 
@@ -170,6 +202,21 @@ impl FleetConfig {
         self
     }
 
+    /// Enables fleet-level fault injection under `spec`.
+    #[must_use]
+    pub fn with_fleet_faults(mut self, spec: FleetFaultSpec) -> Self {
+        self.fleet_faults = Some(spec);
+        self
+    }
+
+    /// Enables per-server fault injection under `spec` for every
+    /// simulated server-epoch.
+    #[must_use]
+    pub fn with_server_faults(mut self, spec: FaultSpec) -> Self {
+        self.server_faults = Some(spec);
+        self
+    }
+
     /// One fully available server's saturation throughput: `cores /
     /// mean service time`. The capacity the balancer and autoscaler
     /// reason against.
@@ -186,7 +233,8 @@ impl FleetConfig {
     }
 }
 
-/// One epoch's routing decision, fixed before any simulation runs.
+/// One epoch's routing, scaling, and fault decisions, fixed before any
+/// simulation runs.
 #[derive(Debug)]
 struct EpochPlan {
     offered: f64,
@@ -194,6 +242,32 @@ struct EpochPlan {
     shares: Vec<f64>,
     parks: u64,
     unparks: u64,
+    unpark_failures: u64,
+    /// `Some(phase)` — the server crashes after serving `phase` of the
+    /// epoch.
+    crash_phase: Vec<Option<f64>>,
+    /// Crashed in an earlier epoch; 0 W, no traffic.
+    dark: Vec<bool>,
+    /// Up but out of the router's rotation.
+    ejected: Vec<bool>,
+    /// Extra per-request network latency on degraded links.
+    degrade_extra: Vec<Option<Nanos>>,
+    /// Remaining capacity fraction on throttled servers.
+    throttle: Vec<Option<f64>>,
+    degraded_server_epochs: u64,
+    throttled_server_epochs: u64,
+    /// Requests lost to mid-epoch crashes, re-offered in later epochs.
+    retried: u64,
+    /// Requests dropped at the balancer (empty rotation).
+    shed: u64,
+    events: Vec<FleetFaultRecord>,
+    crashes: u64,
+    rack_outages: u64,
+    restarts: u64,
+    restart_failures: u64,
+    ejections: u64,
+    probes: u64,
+    readmissions: u64,
 }
 
 /// One simulated server-epoch in the flattened sweep grid.
@@ -202,6 +276,13 @@ struct GridPoint {
     epoch: usize,
     server: usize,
     share: f64,
+    /// Fraction of the epoch actually served (< 1.0 only when crashing
+    /// mid-epoch).
+    phase: f64,
+    /// Degraded-link latency added to every request.
+    extra_rtt: Option<Nanos>,
+    /// Capacity throttle factor (service times stretch by its inverse).
+    throttle: Option<f64>,
 }
 
 /// splitmix64 finalizer — decorrelates the per-(server, epoch) seed
@@ -251,6 +332,127 @@ impl FleetSim {
         self.run_observed(&mut NullFleetObserver)
     }
 
+    /// Computes every epoch's routing/scaling/fault plan serially.
+    /// Everything non-deterministic-looking in a chaotic fleet run —
+    /// crash timing, ejection, retry splits, unpark failures — is fixed
+    /// here, before any simulation runs, from pure `(seed, category,
+    /// server, epoch)` draws.
+    fn plan_epochs(cfg: &FleetConfig, capacity: f64) -> (Vec<EpochPlan>, u64) {
+        let fleet_spec = cfg.fleet_faults.clone().unwrap_or_default();
+        let fault_plan = FleetFaultPlan::new(fleet_spec.clone());
+        let mut health = HealthTracker::new(cfg.servers, &fleet_spec);
+        let mut scaler = Autoscaler::new(cfg.autoscale, cfg.servers);
+        let epoch_secs = cfg.epoch.as_secs();
+        // Retried traffic carried into later epochs (QPS-equivalent);
+        // two slots past the end catch retries that outlive the run.
+        let mut carry = vec![0.0f64; cfg.epochs + 2];
+
+        let plans = (0..cfg.epochs)
+            .map(|e| {
+                let mut step = health.step(e, &fault_plan);
+                let offered = cfg.total_qps * cfg.load.factor(e, cfg.epochs) + carry[e];
+
+                // Autoscale over the healthy rotation; failed unparks
+                // leave their slot dark for the epoch.
+                let rotation = step.in_rotation.clone();
+                let mut failed_unparks = Vec::new();
+                let d = scaler.decide_faulty(
+                    offered,
+                    capacity,
+                    cfg.epoch,
+                    cfg.policy.wants_all_active(),
+                    &rotation,
+                    |s| {
+                        if fault_plan.unpark_fails(s, e) {
+                            failed_unparks.push(s);
+                            false
+                        } else {
+                            true
+                        }
+                    },
+                );
+                for server in failed_unparks {
+                    step.events.push(FleetFaultRecord {
+                        epoch: e,
+                        server,
+                        kind: FleetFaultKind::UnparkFailed,
+                    });
+                }
+
+                // Route over the in-rotation servers with capacity.
+                // Compacting to rotation members before calling the
+                // policy keeps `shares` oblivious to ejected/dark
+                // servers; for a fault-free fleet the compaction is the
+                // identity, so shares are bit-identical to the pre-chaos
+                // code path.
+                let members: Vec<usize> = (0..cfg.servers)
+                    .filter(|&s| step.in_rotation[s] && d.availability[s] > 0.0)
+                    .collect();
+                let mut shares = vec![0.0; cfg.servers];
+                let mut shed_qps = 0.0;
+                if members.is_empty() {
+                    // Nothing to route to: the whole epoch's offered
+                    // load is shed at the balancer.
+                    shed_qps = offered;
+                } else {
+                    let avail: Vec<f64> = members.iter().map(|&s| d.availability[s]).collect();
+                    let member_shares = cfg.policy.shares(offered, &avail, capacity);
+                    for (&s, share) in members.iter().zip(member_shares) {
+                        shares[s] = share;
+                    }
+                }
+
+                // Traffic on a crashing server past its crash point is
+                // retried against survivors with deterministic jittered
+                // backoff: a `retry_jitter` fraction next epoch, the
+                // rest the epoch after.
+                let mut retried_qps = 0.0;
+                for (s, &share) in shares.iter().enumerate().take(cfg.servers) {
+                    if let Some(phase) = step.crash_phase[s] {
+                        let lost = share * (1.0 - phase);
+                        if lost > 0.0 {
+                            let j = fault_plan.retry_jitter(s, e);
+                            carry[e + 1] += lost * j;
+                            carry[e + 2] += lost * (1.0 - j);
+                            retried_qps += lost;
+                        }
+                    }
+                }
+
+                EpochPlan {
+                    offered,
+                    availability: d.availability,
+                    shares,
+                    parks: d.parks,
+                    unparks: d.unparks,
+                    unpark_failures: d.unpark_failures,
+                    crash_phase: step.crash_phase,
+                    dark: step.dark,
+                    ejected: step.ejected,
+                    degrade_extra: step.degrade_extra,
+                    throttle: step.throttle,
+                    degraded_server_epochs: step.degraded_server_epochs,
+                    throttled_server_epochs: step.throttled_server_epochs,
+                    retried: (retried_qps * epoch_secs).round() as u64,
+                    shed: (shed_qps * epoch_secs).round() as u64,
+                    events: step.events,
+                    crashes: step.crashes,
+                    rack_outages: step.rack_outages,
+                    restarts: step.restarts,
+                    restart_failures: step.restart_failures,
+                    ejections: step.ejections,
+                    probes: step.probes,
+                    readmissions: step.readmissions,
+                }
+            })
+            .collect();
+        // Retries whose backoff landed past the end of the run never
+        // find a server: shed, charged to the fleet ledger (they belong
+        // to no window).
+        let leftover = ((carry[cfg.epochs] + carry[cfg.epochs + 1]) * epoch_secs).round() as u64;
+        (plans, leftover)
+    }
+
     /// Runs the fleet while streaming each epoch to `observer` the
     /// moment its server-epoch simulations finish and aggregate.
     ///
@@ -262,28 +464,16 @@ impl FleetSim {
     /// [`crate::fleet_stream`] to move the events to a consumer thread
     /// with bounded backpressure.
     #[must_use]
+    #[allow(clippy::too_many_lines)]
     pub fn run_observed(self, observer: &mut dyn FleetObserver) -> FleetReport {
         let cfg = self.config;
         let capacity = cfg.capacity_qps();
         let proto_qps = cfg.workload.offered_qps();
         let observe = observer.is_enabled();
 
-        // Phase 1: routing + scaling decisions, serial and closed-form.
-        let mut scaler = Autoscaler::new(cfg.autoscale, cfg.servers);
-        let plans: Vec<EpochPlan> = (0..cfg.epochs)
-            .map(|e| {
-                let offered = cfg.total_qps * cfg.load.factor(e, cfg.epochs);
-                let d = scaler.decide(offered, capacity, cfg.epoch, cfg.policy.wants_all_active());
-                let shares = cfg.policy.shares(offered, &d.availability, capacity);
-                EpochPlan {
-                    offered,
-                    availability: d.availability,
-                    shares,
-                    parks: d.parks,
-                    unparks: d.unparks,
-                }
-            })
-            .collect();
+        // Phase 1: routing + scaling + fault decisions, serial and
+        // closed-form.
+        let (plans, leftover_shed) = Self::plan_epochs(&cfg, capacity);
 
         // Phases 2+3, epoch by epoch: fan one epoch's loaded servers
         // out on the executor, aggregate, stream, move on. Per-point
@@ -302,6 +492,7 @@ impl FleetSim {
         let idle_uncore =
             UncorePower::skylake().of(if has_c6 { PackageCState::Pc6 } else { PackageCState::Pc2 });
         let idle_power = idle_core * cfg.server.cores as f64 + idle_uncore;
+        let park_power = cfg.autoscale.as_ref().map_or(MilliWatts::ZERO, |p| p.park_power);
 
         let mut registry = MetricsRegistry::new();
         let mut windows = Vec::with_capacity(cfg.epochs);
@@ -315,6 +506,7 @@ impl FleetSim {
         let mut agile_sum = 0.0;
         let mut pc6_sum = 0.0;
         let mut slo_violations = 0usize;
+        let mut degradation = FleetDegradation::default();
         // Idle-opportunity scoring model: same catalog and C-state menu
         // every server-epoch simulation runs with.
         let breakeven = BreakEven::from_server(&cfg.server);
@@ -327,16 +519,35 @@ impl FleetSim {
                 .iter()
                 .enumerate()
                 .filter(|&(_, &share)| share > 0.0)
-                .map(|(server, &share)| GridPoint { epoch: e, server, share })
+                .map(|(server, &share)| GridPoint {
+                    epoch: e,
+                    server,
+                    share,
+                    phase: plan.crash_phase[server].unwrap_or(1.0),
+                    extra_rtt: plan.degrade_extra[server],
+                    throttle: plan.throttle[server],
+                })
                 .collect();
             let outputs: Vec<RunOutput> = SweepExecutor::current().map(&points, |&p| {
                 let seed = mix_seed(cfg.seed, p.server as u64, p.epoch as u64);
-                let workload = cfg.workload.scaled_qps(p.share / proto_qps);
-                let server = cfg.server.clone().with_duration(cfg.epoch);
-                SimBuilder::new(server, workload, seed)
+                let mut workload = cfg.workload.scaled_qps(p.share / proto_qps);
+                if let Some(extra) = p.extra_rtt {
+                    let rtt = workload.network_rtt() + extra;
+                    workload = workload.with_network_rtt(rtt);
+                }
+                if let Some(factor) = p.throttle {
+                    workload = workload.scaled_service(1.0 / factor);
+                }
+                let server = cfg.server.clone().with_duration(cfg.epoch * p.phase);
+                let mut builder = SimBuilder::new(server, workload, seed)
                     .with_latency_samples()
-                    .with_idle_analysis()
-                    .run()
+                    .with_idle_analysis();
+                if let Some(fs) = &cfg.server_faults {
+                    let mut spec = fs.clone();
+                    spec.seed = mix_seed(fs.seed, p.server as u64, p.epoch as u64);
+                    builder = builder.with_faults(FaultPlan::new(spec));
+                }
+                builder.run()
             });
             let mut slots: Vec<Option<&RunOutput>> = vec![None; cfg.servers];
             for (p, out) in points.iter().zip(&outputs) {
@@ -349,106 +560,208 @@ impl FleetSim {
             let mut epoch_oracle = Joules::ZERO;
             let mut samples = SampleSet::new();
             let (mut active, mut idle_active, mut parked) = (0usize, 0usize, 0usize);
+            let (mut crashed, mut ejected) = (0usize, 0usize);
             let mut snapshots: Vec<ServerEpochSnapshot> =
                 Vec::with_capacity(if observe { cfg.servers } else { 0 });
 
+            // Pulls the sums/samples out of one simulated server-epoch;
+            // shared by the loaded and crashing arms. Captures only the
+            // (immutable) break-even model — every accumulator comes in
+            // by reference so the census arms can keep using them.
+            let absorb_sim = |out: &RunOutput,
+                              phase: f64,
+                              samples: &mut SampleSet,
+                              all_samples: &mut SampleSet,
+                              completed: &mut u64,
+                              epoch_achieved: &mut Joules,
+                              epoch_oracle: &mut Joules,
+                              c0_sum: &mut f64,
+                              agile_sum: &mut f64,
+                              pc6_sum: &mut f64,
+                              degradation: &mut FleetDegradation| {
+                let m = &out.metrics;
+                // A mid-epoch crash serves `phase` of the epoch at its
+                // simulated power and is dark (0 W) for the rest, so its
+                // epoch-average contribution scales by `phase`.
+                let pkg = m.package_power() * phase;
+                *completed += m.completed;
+                *c0_sum += m.residency_of(CState::C0).as_percent() / 100.0;
+                *agile_sum += (m.residency_of(CState::C6A).as_percent()
+                    + m.residency_of(CState::C6AE).as_percent())
+                    / 100.0;
+                *pc6_sum += m.package_residency[2].as_percent() / 100.0;
+                degradation.absorb_server(&m.degradation);
+                let opportunity = OpportunitySummary::compute(
+                    out.idle_intervals.as_deref().unwrap_or(&[]),
+                    &breakeven,
+                );
+                *epoch_achieved += opportunity.achieved_savings;
+                *epoch_oracle += opportunity.oracle_savings;
+                if let Some(lat) = &out.latency_samples {
+                    samples.reserve(lat.len());
+                    all_samples.reserve(lat.len());
+                    for &s in lat {
+                        samples.record(s);
+                        all_samples.record(s);
+                    }
+                }
+                (pkg, opportunity)
+            };
+
             for (server, slot) in slots.iter().enumerate() {
                 let avail = plan.availability[server];
-                match (avail > 0.0, *slot) {
-                    (false, _) => {
-                        parked += 1;
-                        let park =
-                            cfg.autoscale.as_ref().map_or(MilliWatts::ZERO, |p| p.park_power);
-                        power += park;
-                        if observe {
-                            snapshots.push(ServerEpochSnapshot::unsimulated(
-                                server,
-                                ServerRole::Parked,
-                                park,
-                            ));
-                        }
-                    }
-                    (true, None) => {
-                        active += 1;
-                        idle_active += 1;
-                        unparked_epochs += 1;
-                        pc6_sum += if has_c6 { 1.0 } else { 0.0 };
-                        power += idle_power;
-                        if observe {
-                            snapshots.push(ServerEpochSnapshot::unsimulated(
-                                server,
-                                ServerRole::Idle,
-                                idle_power,
-                            ));
-                        }
-                    }
-                    (true, Some(out)) => {
-                        active += 1;
-                        unparked_epochs += 1;
-                        sim_epochs += 1;
-                        let m = &out.metrics;
-                        let mut pkg = m.package_power();
-                        if avail < 1.0 {
-                            // Unparking server: part of the epoch at
-                            // park power, plus the boot-energy burst.
-                            let p = cfg
-                                .autoscale
-                                .as_ref()
-                                .expect("partial availability implies an autoscaler");
-                            pkg = pkg * avail
-                                + p.park_power * (1.0 - avail)
-                                + p.unpark_energy / cfg.epoch;
-                        }
-                        power += pkg;
-                        completed += m.completed;
-                        let c0 = m.residency_of(CState::C0).as_percent() / 100.0;
-                        let agile = (m.residency_of(CState::C6A).as_percent()
-                            + m.residency_of(CState::C6AE).as_percent())
-                            / 100.0;
-                        c0_sum += c0;
-                        agile_sum += agile;
-                        pc6_sum += m.package_residency[2].as_percent() / 100.0;
-                        let opportunity = OpportunitySummary::compute(
-                            out.idle_intervals.as_deref().unwrap_or(&[]),
-                            &breakeven,
-                        );
-                        epoch_achieved += opportunity.achieved_savings;
-                        epoch_oracle += opportunity.oracle_savings;
-                        if let Some(lat) = &out.latency_samples {
-                            samples.reserve(lat.len());
-                            all_samples.reserve(lat.len());
-                            for &s in lat {
-                                samples.record(s);
-                                all_samples.record(s);
+                if let Some(phase) = plan.crash_phase[server] {
+                    // Crashed mid-epoch: served `phase` of it.
+                    crashed += 1;
+                    match *slot {
+                        Some(out) => {
+                            sim_epochs += 1;
+                            unparked_epochs += 1;
+                            let (pkg, opportunity) = absorb_sim(
+                                out,
+                                phase,
+                                &mut samples,
+                                &mut all_samples,
+                                &mut completed,
+                                &mut epoch_achieved,
+                                &mut epoch_oracle,
+                                &mut c0_sum,
+                                &mut agile_sum,
+                                &mut pc6_sum,
+                                &mut degradation,
+                            );
+                            power += pkg;
+                            if observe {
+                                snapshots.push(ServerEpochSnapshot {
+                                    server,
+                                    role: ServerRole::Crashed,
+                                    share_qps: plan.shares[server],
+                                    power: pkg,
+                                    p99: epoch_p99(out),
+                                    c0_share: out.metrics.residency_of(CState::C0).as_percent()
+                                        / 100.0,
+                                    agile_share: (out
+                                        .metrics
+                                        .residency_of(CState::C6A)
+                                        .as_percent()
+                                        + out.metrics.residency_of(CState::C6AE).as_percent())
+                                        / 100.0,
+                                    counters: epoch_counters(&out.metrics.degradation),
+                                    opportunity,
+                                });
                             }
                         }
-                        if observe {
-                            // Nearest-rank p99 by selection (O(n), not a
-                            // full sort): this runs once per loaded
-                            // server-epoch, and the streaming path is
-                            // budgeted at <2% over batch. The rank
-                            // formula matches `SampleSet::percentile`.
-                            let p99 = out.latency_samples.as_ref().and_then(|lat| {
-                                let mut own = lat.clone();
-                                let rank =
-                                    ((0.99 * own.len() as f64).ceil() as usize).clamp(1, own.len());
-                                (!own.is_empty()).then(|| {
-                                    let (_, &mut p, _) =
-                                        own.select_nth_unstable_by(rank - 1, f64::total_cmp);
-                                    Nanos::new(p)
-                                })
-                            });
-                            snapshots.push(ServerEpochSnapshot {
-                                server,
-                                role: ServerRole::Loaded,
-                                share_qps: plan.shares[server],
-                                power: pkg,
-                                p99,
-                                c0_share: c0,
-                                agile_share: agile,
-                                counters: epoch_counters(&m.degradation),
-                                opportunity,
-                            });
+                        None => {
+                            // Crashed while carrying no traffic: idle
+                            // (or parked) until the crash point, dark
+                            // after.
+                            let pre = if avail > 0.0 { idle_power } else { park_power };
+                            power += pre * phase;
+                            if observe {
+                                snapshots.push(ServerEpochSnapshot::unsimulated(
+                                    server,
+                                    ServerRole::Crashed,
+                                    pre * phase,
+                                ));
+                            }
+                        }
+                    }
+                } else if plan.dark[server] {
+                    // Dark from an earlier crash: 0 W, no traffic.
+                    crashed += 1;
+                    if observe {
+                        snapshots.push(ServerEpochSnapshot::unsimulated(
+                            server,
+                            ServerRole::Crashed,
+                            MilliWatts::ZERO,
+                        ));
+                    }
+                } else if plan.ejected[server] {
+                    // Up but out of rotation: deep package idle while
+                    // the router re-probes it.
+                    ejected += 1;
+                    unparked_epochs += 1;
+                    pc6_sum += if has_c6 { 1.0 } else { 0.0 };
+                    power += idle_power;
+                    if observe {
+                        snapshots.push(ServerEpochSnapshot::unsimulated(
+                            server,
+                            ServerRole::Ejected,
+                            idle_power,
+                        ));
+                    }
+                } else {
+                    match (avail > 0.0, *slot) {
+                        (false, _) => {
+                            parked += 1;
+                            power += park_power;
+                            if observe {
+                                snapshots.push(ServerEpochSnapshot::unsimulated(
+                                    server,
+                                    ServerRole::Parked,
+                                    park_power,
+                                ));
+                            }
+                        }
+                        (true, None) => {
+                            active += 1;
+                            idle_active += 1;
+                            unparked_epochs += 1;
+                            pc6_sum += if has_c6 { 1.0 } else { 0.0 };
+                            power += idle_power;
+                            if observe {
+                                snapshots.push(ServerEpochSnapshot::unsimulated(
+                                    server,
+                                    ServerRole::Idle,
+                                    idle_power,
+                                ));
+                            }
+                        }
+                        (true, Some(out)) => {
+                            active += 1;
+                            unparked_epochs += 1;
+                            sim_epochs += 1;
+                            let (mut pkg, opportunity) = absorb_sim(
+                                out,
+                                1.0,
+                                &mut samples,
+                                &mut all_samples,
+                                &mut completed,
+                                &mut epoch_achieved,
+                                &mut epoch_oracle,
+                                &mut c0_sum,
+                                &mut agile_sum,
+                                &mut pc6_sum,
+                                &mut degradation,
+                            );
+                            if avail < 1.0 {
+                                // Unparking server: part of the epoch at
+                                // park power, plus the boot-energy burst.
+                                let p = cfg
+                                    .autoscale
+                                    .as_ref()
+                                    .expect("partial availability implies an autoscaler");
+                                pkg = pkg * avail
+                                    + p.park_power * (1.0 - avail)
+                                    + p.unpark_energy / cfg.epoch;
+                            }
+                            power += pkg;
+                            if observe {
+                                let m = &out.metrics;
+                                snapshots.push(ServerEpochSnapshot {
+                                    server,
+                                    role: ServerRole::Loaded,
+                                    share_qps: plan.shares[server],
+                                    power: pkg,
+                                    p99: epoch_p99(out),
+                                    c0_share: m.residency_of(CState::C0).as_percent() / 100.0,
+                                    agile_share: (m.residency_of(CState::C6A).as_percent()
+                                        + m.residency_of(CState::C6AE).as_percent())
+                                        / 100.0,
+                                    counters: epoch_counters(&m.degradation),
+                                    opportunity,
+                                });
+                            }
                         }
                     }
                 }
@@ -463,6 +776,19 @@ impl FleetSim {
             fleet_achieved += epoch_achieved;
             fleet_oracle += epoch_oracle;
 
+            degradation.crashes += plan.crashes;
+            degradation.rack_outages += plan.rack_outages;
+            degradation.restarts += plan.restarts;
+            degradation.restart_failures += plan.restart_failures;
+            degradation.ejections += plan.ejections;
+            degradation.probes += plan.probes;
+            degradation.readmissions += plan.readmissions;
+            degradation.unpark_failures += plan.unpark_failures;
+            degradation.degraded_server_epochs += plan.degraded_server_epochs;
+            degradation.throttled_server_epochs += plan.throttled_server_epochs;
+            degradation.retried_requests += plan.retried;
+            degradation.shed_requests += plan.shed;
+
             registry.inc("fleet.epochs", 1);
             registry.inc("fleet.requests_completed", completed);
             registry.inc("fleet.parks", plan.parks);
@@ -470,7 +796,19 @@ impl FleetSim {
             registry.inc("fleet.server_epochs.loaded", (active - idle_active) as u64);
             registry.inc("fleet.server_epochs.idle", idle_active as u64);
             registry.inc("fleet.server_epochs.parked", parked as u64);
+            registry.inc("fleet.server_epochs.crashed", crashed as u64);
+            registry.inc("fleet.server_epochs.ejected", ejected as u64);
             registry.inc("fleet.slo_violations", u64::from(slo_violated));
+            registry.inc("fleet.crashes", plan.crashes);
+            registry.inc("fleet.rack_outages", plan.rack_outages);
+            registry.inc("fleet.restarts", plan.restarts);
+            registry.inc("fleet.restart_failures", plan.restart_failures);
+            registry.inc("fleet.ejections", plan.ejections);
+            registry.inc("fleet.probes", plan.probes);
+            registry.inc("fleet.readmissions", plan.readmissions);
+            registry.inc("fleet.unpark_failures", plan.unpark_failures);
+            registry.inc("fleet.requests_retried", plan.retried);
+            registry.inc("fleet.requests_shed", plan.shed);
 
             let window = FleetWindow {
                 epoch: e,
@@ -486,13 +824,32 @@ impl FleetSim {
                 latency,
                 slo_violated,
                 recovery_ratio: recovery(epoch_achieved, epoch_oracle),
+                crashed,
+                ejected,
+                retried: plan.retried,
+                shed: plan.shed,
             };
             if observe {
-                observer.on_epoch(&FleetEpochEvent { window: window.clone(), servers: snapshots });
+                observer.on_epoch(&FleetEpochEvent {
+                    window: window.clone(),
+                    servers: snapshots,
+                    faults: plan.events.clone(),
+                });
             }
             windows.push(window);
         }
         observer.on_finish();
+
+        degradation.shed_requests += leftover_shed;
+        registry.inc("fleet.requests_shed", leftover_shed);
+
+        let failure = cfg.fleet_faults.as_ref().filter(|s| s.is_active()).map(|spec| {
+            FleetFailureArtifact::new(
+                cfg.seed,
+                spec,
+                plans.iter().flat_map(|p| p.events.iter().copied()).collect(),
+            )
+        });
 
         let run_span = cfg.epoch * cfg.epochs as f64;
         FleetReport {
@@ -518,9 +875,24 @@ impl FleetSim {
             slo_p99: cfg.slo_p99,
             slo_violations,
             counters: registry.counters().map(|(k, v)| (k.to_string(), v)).collect(),
+            degradation,
+            failure,
             windows,
         }
     }
+}
+
+/// This server-epoch's own p99 — exact nearest-rank by selection (O(n),
+/// not a full sort). The rank formula matches `SampleSet::percentile`.
+fn epoch_p99(out: &RunOutput) -> Option<Nanos> {
+    out.latency_samples.as_ref().and_then(|lat| {
+        let mut own = lat.clone();
+        let rank = ((0.99 * own.len() as f64).ceil() as usize).clamp(1, own.len());
+        (!own.is_empty()).then(|| {
+            let (_, &mut p, _) = own.select_nth_unstable_by(rank - 1, f64::total_cmp);
+            Nanos::new(p)
+        })
+    })
 }
 
 #[cfg(test)]
@@ -555,6 +927,8 @@ mod tests {
         assert_eq!(report.counters["fleet.requests_completed"], report.completed);
         assert!(report.avg_fleet_power > MilliWatts::ZERO);
         assert!(!report.latency.is_empty());
+        assert!(report.degradation.is_clean(), "fault-free run dirtied the ledger");
+        assert!(report.failure.is_none());
     }
 
     #[test]
@@ -639,6 +1013,7 @@ mod tests {
         let mut csv = String::from(FleetWindow::CSV_HEADER);
         for event in &collector.events {
             assert_eq!(event.servers.len(), config.servers, "snapshot per server");
+            assert!(event.faults.is_empty(), "fault-free run produced fault events");
             csv.push_str(&event.window.csv_row());
         }
         assert_eq!(csv, batch.timeline_csv(), "streamed fleet CSV diverged from batch");
@@ -665,5 +1040,76 @@ mod tests {
         let a = FleetSim::new(fleet(2, NamedConfig::NtBaseline, 8_000.0)).run();
         let b = FleetSim::new(fleet(2, NamedConfig::NtBaseline, 8_000.0)).run();
         assert_eq!(format!("{a:?}"), format!("{b:?}"), "fleet run is not reproducible");
+    }
+
+    #[test]
+    fn inert_fault_hooks_are_invisible() {
+        // The fleet-level CRN contract: a linked-but-inactive fault
+        // plan (fleet- or server-level) must be byte-identical to no
+        // fault hook at all.
+        let bare = FleetSim::new(fleet(2, NamedConfig::NtAw, 8_000.0)).run();
+        let inert_fleet = FleetSim::new(
+            fleet(2, NamedConfig::NtAw, 8_000.0).with_fleet_faults(FleetFaultSpec::none()),
+        )
+        .run();
+        let inert_server = FleetSim::new(
+            fleet(2, NamedConfig::NtAw, 8_000.0).with_server_faults(FaultSpec::none()),
+        )
+        .run();
+        assert_eq!(format!("{bare:?}"), format!("{inert_fleet:?}"), "inert fleet plan perturbed");
+        assert_eq!(format!("{bare:?}"), format!("{inert_server:?}"), "inert server plan perturbed");
+    }
+
+    #[test]
+    fn scheduled_crash_ejects_recovers_and_fills_the_ledger() {
+        let spec = FleetFaultSpec::parse("crash-at=1:0,down-epochs=1").unwrap();
+        let config = fleet(3, NamedConfig::NtAw, 9_600.0)
+            .with_epochs(6, Nanos::from_millis(20.0))
+            .with_fleet_faults(spec);
+        let report = FleetSim::new(config).run();
+
+        assert_eq!(report.degradation.crashes, 1);
+        assert_eq!(report.degradation.ejections, 1);
+        assert_eq!(report.degradation.restarts, 1);
+        assert_eq!(report.degradation.readmissions, 1);
+        assert!(report.degradation.retried_requests > 0, "lost crash traffic never retried");
+        assert_eq!(report.counters["fleet.crashes"], 1);
+
+        // Window census: crash epoch 1 shows the casualty; dark epoch 2
+        // keeps it crashed; by the final epoch everyone is back.
+        assert_eq!(report.windows[1].crashed, 1);
+        assert_eq!(report.windows[2].crashed, 1);
+        assert_eq!(report.windows[5].crashed, 0);
+        assert_eq!(report.windows[5].active, 3, "fleet never fully recovered");
+
+        // The artifact replays: same seed + parsed spec => same report.
+        let artifact = report.failure.as_ref().expect("active faults produce an artifact");
+        let kinds: Vec<FleetFaultKind> = artifact.events.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&FleetFaultKind::Crash));
+        assert!(kinds.contains(&FleetFaultKind::Eject));
+        assert!(kinds.contains(&FleetFaultKind::Restart));
+        assert!(kinds.contains(&FleetFaultKind::Readmit));
+        let respec = FleetFaultSpec::parse(&artifact.fleet_spec).unwrap();
+        let replay = FleetSim::new(
+            fleet(3, NamedConfig::NtAw, 9_600.0)
+                .with_epochs(6, Nanos::from_millis(20.0))
+                .with_seed(artifact.seed)
+                .with_fleet_faults(respec),
+        )
+        .run();
+        assert_eq!(format!("{report:?}"), format!("{replay:?}"), "artifact replay diverged");
+    }
+
+    #[test]
+    fn empty_rotation_sheds_instead_of_panicking() {
+        // Every server crashes at epoch 0 and stays down past the end:
+        // epochs 1+ have nobody to route to.
+        let spec = FleetFaultSpec::parse("crash-at=0:0,crash-at=0:1,down-epochs=8").unwrap();
+        let report =
+            FleetSim::new(fleet(2, NamedConfig::NtAw, 8_000.0).with_fleet_faults(spec)).run();
+        assert!(report.degradation.shed_requests > 0, "dead fleet shed nothing");
+        assert_eq!(report.windows[1].active, 0);
+        assert_eq!(report.windows[1].crashed, 2);
+        assert!(report.windows[1].shed > 0);
     }
 }

@@ -22,7 +22,14 @@
 //!    power-oblivious baselines,
 //! 4. every loaded server-epoch runs a full single-server
 //!    discrete-event simulation; empty and parked servers are
-//!    closed-form.
+//!    closed-form,
+//! 5. optionally, a fleet fault plan (`aw_faults::FleetFaultSpec`)
+//!    injects server crashes, rack outages, link degradation, capacity
+//!    throttles, and unpark failures; the router health-checks its
+//!    backends, ejects casualties with exponential-backoff re-probing,
+//!    and the autoscaler unparks replacements — every consequence lands
+//!    in the [`FleetDegradation`] ledger and a replayable
+//!    `FleetFailureArtifact`.
 //!
 //! Server-epochs derive all randomness from dedicated
 //! `(seed, server, epoch)` streams and fan out on `aw-exec`, so a fleet
@@ -48,6 +55,7 @@
 
 mod autoscaler;
 mod fleet;
+mod health;
 mod policy;
 mod report;
 mod stream;
@@ -55,7 +63,7 @@ mod stream;
 pub use autoscaler::{AutoscalePolicy, Autoscaler, ScaleDecision};
 pub use fleet::{FleetConfig, FleetSim, LoadShape};
 pub use policy::RoutingPolicy;
-pub use report::{FleetReport, FleetWindow};
+pub use report::{FleetDegradation, FleetReport, FleetWindow};
 pub use stream::{
     fleet_stream, FleetEpochEvent, FleetObserver, NullFleetObserver, ServerEpochSnapshot,
     ServerRole,

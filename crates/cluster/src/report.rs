@@ -4,11 +4,72 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use aw_server::LatencyStats;
+use aw_faults::FleetFailureArtifact;
+use aw_server::{DegradationStats, LatencyStats};
 use aw_types::{Joules, MilliWatts, Nanos, Ratio};
 use serde::Serialize;
 
 use crate::policy::RoutingPolicy;
+
+/// Fleet-level degradation ledger: everything the fault-injection and
+/// recovery machinery did to (and for) the fleet, plus the per-server
+/// [`DegradationStats`] rolled up across every simulated server-epoch
+/// (which earlier fleet reports silently dropped).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct FleetDegradation {
+    /// Per-server degradation counters (sheds, timeouts, retries,
+    /// breaker trips, …) summed over all simulated server-epochs.
+    pub servers: DegradationStats,
+    /// Server crashes (including those from rack outages).
+    pub crashes: u64,
+    /// Correlated rack-scoped outages.
+    pub rack_outages: u64,
+    /// Successful crash restarts.
+    pub restarts: u64,
+    /// Failed restart attempts (retried the next epoch).
+    pub restart_failures: u64,
+    /// Router ejections (crashed or persistently degraded servers).
+    pub ejections: u64,
+    /// Health re-probes of ejected servers.
+    pub probes: u64,
+    /// Readmissions after a healthy probe.
+    pub readmissions: u64,
+    /// Autoscaler unpark attempts that failed.
+    pub unpark_failures: u64,
+    /// Server-epochs served with a degraded (slow) link.
+    pub degraded_server_epochs: u64,
+    /// Server-epochs served under a capacity throttle.
+    pub throttled_server_epochs: u64,
+    /// Requests lost to mid-epoch crashes and re-offered to survivors
+    /// in later epochs (jittered backoff).
+    pub retried_requests: u64,
+    /// Requests dropped at the balancer: no server in rotation, or
+    /// retried traffic whose backoff landed past the end of the run.
+    pub shed_requests: u64,
+}
+
+impl FleetDegradation {
+    /// `true` if the fleet saw no fault, ejection, retry, or shed — and
+    /// no per-server degradation either.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        *self == FleetDegradation::default()
+    }
+
+    /// Field-wise accumulation of one simulated server-epoch's stats.
+    pub(crate) fn absorb_server(&mut self, d: &DegradationStats) {
+        let s = &mut self.servers;
+        s.faults_injected += d.faults_injected;
+        s.shed += d.shed;
+        s.timeouts += d.timeouts;
+        s.retries += d.retries;
+        s.retries_exhausted += d.retries_exhausted;
+        s.fallback_exits += d.fallback_exits;
+        s.breaker_trips += d.breaker_trips;
+        s.breaker_restores += d.breaker_restores;
+        s.demoted_selections += d.demoted_selections;
+    }
+}
 
 /// One epoch of fleet history — the fleet analogue of the per-server
 /// attribution timeline window.
@@ -46,6 +107,16 @@ pub struct FleetWindow {
     /// savings (see `aw_sleep`), in `[0, 1]`; 1.0 when no loaded server
     /// had anything to recover (all parked or analytically idle).
     pub recovery_ratio: f64,
+    /// Servers crashed this epoch: mid-epoch casualties plus servers
+    /// still dark from earlier crashes.
+    pub crashed: usize,
+    /// Servers up but ejected from the router's rotation.
+    pub ejected: usize,
+    /// Requests lost to crashes this epoch and re-offered to survivors
+    /// in later epochs.
+    pub retried: u64,
+    /// Requests dropped at the balancer this epoch (empty rotation).
+    pub shed: u64,
 }
 
 impl FleetWindow {
@@ -53,7 +124,8 @@ impl FleetWindow {
     /// [`FleetReport::timeline_csv`] output, newline-terminated.
     pub const CSV_HEADER: &'static str =
         "epoch,start_ms,offered_qps,completed,active,parked,idle_active,parks,unparks,\
-         fleet_power_w,p50_us,p99_us,p999_us,slo_violated,recovery\n";
+         fleet_power_w,p50_us,p99_us,p999_us,slo_violated,recovery,crashed,ejected,\
+         retried,shed\n";
 
     /// This window as one newline-terminated CSV row. Streamed windows
     /// rendered row by row concatenate to exactly the batch
@@ -61,7 +133,7 @@ impl FleetWindow {
     #[must_use]
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{}\n",
             self.epoch,
             self.start.as_millis(),
             self.offered_qps,
@@ -77,6 +149,10 @@ impl FleetWindow {
             self.latency.p999.as_micros(),
             u8::from(self.slo_violated),
             self.recovery_ratio,
+            self.crashed,
+            self.ejected,
+            self.retried,
+            self.shed,
         )
     }
 }
@@ -127,6 +203,12 @@ pub struct FleetReport {
     /// Fleet telemetry counters (`fleet.*`), exported from the internal
     /// metrics registry.
     pub counters: BTreeMap<String, u64>,
+    /// Fleet-level degradation ledger: crashes, ejections, retries,
+    /// sheds, and the rolled-up per-server [`DegradationStats`].
+    pub degradation: FleetDegradation,
+    /// Replayable record of the fleet fault events; `Some` only when an
+    /// active fleet fault spec was configured.
+    pub failure: Option<FleetFailureArtifact>,
 }
 
 impl FleetReport {
@@ -186,6 +268,30 @@ impl fmt::Display for FleetReport {
             "  idle:    {:.1}% of the oracle-achievable idle savings recovered",
             self.opportunity_recovery.as_percent()
         )?;
+        if !self.degradation.is_clean() {
+            let d = &self.degradation;
+            writeln!(
+                f,
+                "  chaos:   {} crash(es) ({} rack outage(s)), {} ejection(s), \
+                 {} readmission(s), {} restart(s) (+{} failed), {} unpark failure(s)",
+                d.crashes,
+                d.rack_outages,
+                d.ejections,
+                d.readmissions,
+                d.restarts,
+                d.restart_failures,
+                d.unpark_failures
+            )?;
+            writeln!(
+                f,
+                "           {} degraded / {} throttled server-epoch(s); \
+                 {} request(s) retried, {} shed at the balancer",
+                d.degraded_server_epochs,
+                d.throttled_server_epochs,
+                d.retried_requests,
+                d.shed_requests
+            )?;
+        }
         write!(
             f,
             "  SLO:     p99 ≤ {} violated in {}/{} windows (burn rate {:.2})",

@@ -19,6 +19,7 @@
 //!
 //! [`FleetReport`]: crate::FleetReport
 
+use aw_faults::FleetFaultRecord;
 use aw_server::DegradationStats;
 use aw_sleep::OpportunitySummary;
 use aw_telemetry::{bounded_stream, StreamReceiver, StreamSender, WindowCounters};
@@ -35,6 +36,12 @@ pub enum ServerRole {
     Idle,
     /// Routed a non-zero share and simulated in full.
     Loaded,
+    /// Crashed: died mid-epoch (serving part of it) or still dark from
+    /// an earlier crash.
+    Crashed,
+    /// Up but ejected from the router's rotation, awaiting a healthy
+    /// re-probe; idles at deep package sleep.
+    Ejected,
 }
 
 impl ServerRole {
@@ -45,6 +52,8 @@ impl ServerRole {
             ServerRole::Parked => 'P',
             ServerRole::Idle => '.',
             ServerRole::Loaded => '#',
+            ServerRole::Crashed => 'X',
+            ServerRole::Ejected => 'E',
         }
     }
 }
@@ -121,6 +130,10 @@ pub struct FleetEpochEvent {
     pub window: FleetWindow,
     /// Per-server detail, indexed by server (always `servers` entries).
     pub servers: Vec<ServerEpochSnapshot>,
+    /// Fleet fault events fired at this epoch's boundary (crashes,
+    /// ejections, probes, readmissions, …), in deterministic order.
+    /// Empty on fault-free runs.
+    pub faults: Vec<FleetFaultRecord>,
 }
 
 /// Receives fleet epochs as they close.
@@ -190,9 +203,18 @@ mod tests {
 
     #[test]
     fn role_glyphs_are_distinct() {
-        let glyphs =
-            [ServerRole::Parked.glyph(), ServerRole::Idle.glyph(), ServerRole::Loaded.glyph()];
-        assert!(glyphs[0] != glyphs[1] && glyphs[1] != glyphs[2] && glyphs[0] != glyphs[2]);
+        let glyphs = [
+            ServerRole::Parked.glyph(),
+            ServerRole::Idle.glyph(),
+            ServerRole::Loaded.glyph(),
+            ServerRole::Crashed.glyph(),
+            ServerRole::Ejected.glyph(),
+        ];
+        for (i, a) in glyphs.iter().enumerate() {
+            for b in &glyphs[i + 1..] {
+                assert_ne!(a, b, "role glyphs collide");
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use aw_cluster::{AutoscalePolicy, FleetConfig, FleetReport, FleetSim, LoadShape, RoutingPolicy};
 use aw_cstates::NamedConfig;
+use aw_faults::{FaultSpec, FleetFaultSpec};
 use aw_server::ServerConfig;
 use aw_types::Nanos;
 use aw_workloads::memcached_etc;
@@ -40,6 +41,15 @@ pub struct Fleet {
     pub slo_p99: Nanos,
     /// Fleet master seed.
     pub seed: u64,
+    /// Fleet-level chaos plan (server crashes, rack outages, link
+    /// degradation, capacity throttles, unpark failures).
+    pub fleet_faults: Option<FleetFaultSpec>,
+    /// Per-server micro-fault plan, re-seeded per `(server, epoch)`.
+    pub server_faults: Option<FaultSpec>,
+    /// Bound each core's run queue (shed + client retry above it).
+    pub queue_cap: Option<usize>,
+    /// Drop queued requests older than this many microseconds.
+    pub request_timeout_us: Option<f64>,
 }
 
 impl Default for Fleet {
@@ -54,6 +64,10 @@ impl Default for Fleet {
             autoscale: Some(AutoscalePolicy::default()),
             slo_p99: Nanos::from_micros(500.0),
             seed: 42,
+            fleet_faults: None,
+            server_faults: None,
+            queue_cap: None,
+            request_timeout_us: None,
         }
     }
 }
@@ -171,7 +185,13 @@ impl Fleet {
     /// cell.
     #[must_use]
     pub fn config(&self, policy: RoutingPolicy, named: NamedConfig) -> FleetConfig {
-        let server = ServerConfig::new(self.cores, named);
+        let mut server = ServerConfig::new(self.cores, named);
+        if let Some(cap) = self.queue_cap {
+            server = server.with_queue_cap(cap);
+        }
+        if let Some(us) = self.request_timeout_us {
+            server = server.with_request_timeout(Nanos::from_micros(us));
+        }
         let workload = memcached_etc(1_000.0);
         let capacity = self.cores as f64 / workload.mean_service().as_secs();
         let total_qps = self.utilization * capacity * self.servers as f64;
@@ -183,6 +203,12 @@ impl Fleet {
             .with_slo(self.slo_p99);
         if let Some(autoscale) = self.autoscale {
             config = config.with_autoscale(autoscale);
+        }
+        if let Some(spec) = &self.fleet_faults {
+            config = config.with_fleet_faults(spec.clone());
+        }
+        if let Some(spec) = &self.server_faults {
+            config = config.with_server_faults(spec.clone());
         }
         config
     }

@@ -13,6 +13,11 @@
 //!   draws from its own RNG stream so enabling one category never
 //!   perturbs another, and a plan with all rates at zero is perfectly
 //!   invisible (common random numbers).
+//! * [`FleetFaultSpec`] / [`FleetFaultPlan`] — fleet-scale failures
+//!   (server crashes + restarts, correlated rack outages, unpark
+//!   failures, link degradation, capacity throttles) whose draws are
+//!   pure functions of `(seed, category, server, epoch)`, consumed by
+//!   `aw-cluster`'s health/ejection machinery.
 //! * [`InvariantChecker`] / [`FailureArtifact`] — runtime invariant
 //!   collection that turns violations into a structured, replayable
 //!   artifact carrying the seed and fault spec.
@@ -24,10 +29,15 @@
 
 #![warn(missing_docs)]
 
+mod fleet;
 mod invariant;
 mod plan;
 mod spec;
 
+pub use fleet::{
+    FleetFailureArtifact, FleetFaultKind, FleetFaultPlan, FleetFaultRecord, FleetFaultSpec,
+    DEFAULT_FLEET_FAULT_SEED,
+};
 pub use invariant::{FailureArtifact, InvariantChecker};
 pub use plan::{FaultPlan, FlowFaultHook, NoFaults, ServerFaultHook, WakeDisruption};
 pub use spec::{FaultSpec, FaultSpecError, DEFAULT_FAULT_SEED};

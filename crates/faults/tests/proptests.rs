@@ -1,0 +1,94 @@
+//! Property-based tests of the fleet fault-spec grammar.
+//!
+//! The load-bearing property is the replay contract: a
+//! [`FleetFailureArtifact`](aw_faults::FleetFailureArtifact) embeds its
+//! spec only as the `Display` string, so `parse(spec.to_string())` must
+//! reproduce the spec *exactly* for every representable spec — any field
+//! the canonical form dropped or rounded would silently change a replay.
+
+use aw_faults::{FleetFaultPlan, FleetFaultSpec};
+use aw_types::Nanos;
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = FleetFaultSpec> {
+    (
+        (
+            0u64..u64::MAX,
+            0.0f64..=1.0,
+            prop::collection::vec((0usize..64, 0usize..32), 0..4),
+            1usize..12,
+            0.0f64..=1.0,
+        ),
+        (0.0f64..=1.0, 1.0f64..5_000_000.0, 1usize..12, 1usize..16, 0.0f64..=1.0),
+        (0.0f64..=1.0, 0.01f64..=1.0, 1usize..12),
+    )
+        .prop_map(
+            |(
+                (seed, crash, crash_at, down_epochs, unpark_fail),
+                (degrade, degrade_ns, degrade_epochs, rack_size, rack_outage),
+                (throttle, throttle_factor, throttle_epochs),
+            )| FleetFaultSpec {
+                seed,
+                crash,
+                crash_at,
+                down_epochs,
+                unpark_fail,
+                degrade,
+                degrade_extra: Nanos::new(degrade_ns),
+                degrade_epochs,
+                rack_size,
+                rack_outage,
+                throttle,
+                throttle_factor,
+                throttle_epochs,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every representable fleet fault spec round-trips through its
+    /// canonical `Display` form — the exact string a failure artifact
+    /// embeds for replay — and that form is a fixed point.
+    #[test]
+    fn fleet_spec_roundtrips_through_display(spec in spec_strategy()) {
+        let printed = spec.to_string();
+        let reparsed = FleetFaultSpec::parse(&printed)
+            .unwrap_or_else(|e| panic!("'{printed}' failed to re-parse: {e}"));
+        prop_assert_eq!(&reparsed, &spec, "display form '{}' lost information", printed);
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    /// Plan draws are pure functions of `(seed, server, epoch)`: asking
+    /// the same question twice — or from two independently built plans —
+    /// gives the same answer, and bounded draws stay in their documented
+    /// ranges. This purity is what makes fleet chaos invisible to
+    /// `--jobs` fan-out.
+    #[test]
+    fn fleet_plan_draws_are_pure(
+        spec in spec_strategy(),
+        server in 0usize..32,
+        epoch in 0usize..64,
+    ) {
+        let a = FleetFaultPlan::new(spec.clone());
+        let b = FleetFaultPlan::new(spec);
+        prop_assert_eq!(a.crash_starts(server, epoch), b.crash_starts(server, epoch));
+        prop_assert_eq!(a.unpark_fails(server, epoch), b.unpark_fails(server, epoch));
+        prop_assert_eq!(a.degrade_starts(server, epoch), b.degrade_starts(server, epoch));
+        prop_assert_eq!(a.throttle_starts(server, epoch), b.throttle_starts(server, epoch));
+        prop_assert_eq!(a.rack_outage_starts(server, epoch), b.rack_outage_starts(server, epoch));
+        prop_assert_eq!(
+            a.crash_phase(server, epoch).to_bits(),
+            b.crash_phase(server, epoch).to_bits()
+        );
+        prop_assert_eq!(
+            a.retry_jitter(server, epoch).to_bits(),
+            b.retry_jitter(server, epoch).to_bits()
+        );
+        let phase = a.crash_phase(server, epoch);
+        prop_assert!((0.25..0.9).contains(&phase), "crash phase {} out of range", phase);
+        let jitter = a.retry_jitter(server, epoch);
+        prop_assert!((0.5..1.0).contains(&jitter), "retry jitter {} out of range", jitter);
+    }
+}

@@ -107,6 +107,29 @@ benches.append({
 })
 print(f"analyze_overhead: plain {t_plain:.3f}s, idle-out {t_idle:.3f}s, overhead {overhead_pct}%")
 
+# Fleet-chaos overhead: the same fleet grid bare vs. with an *inert*
+# fleet fault hook attached (seed pinned, every category at zero rate).
+# The hook is pinned bit-invisible (tests/chaos.rs), so the delta is
+# the health tracker, the per-epoch plan bookkeeping, and the always-on
+# chaos counters. Budget: <5% — the plan draws are a handful of
+# splitmix64 finalizers per server-epoch against a full discrete-event
+# simulation, so anything above noise means a regression on the fleet
+# hot path.
+t_clean = timed(["./target/release/agilewatts", "fleet"] + fleet_grid, jobs_n)
+t_chaos = timed(
+    ["./target/release/agilewatts", "fleet", "--fleet-faults", "seed=1"] + fleet_grid,
+    jobs_n,
+)
+overhead_pct = round((t_chaos / t_clean - 1.0) * 100.0, 2) if t_clean > 0 else None
+benches.append({
+    "bench": "fleet_chaos",
+    "clean_wall_s": round(t_clean, 4),
+    "inert_faults_wall_s": round(t_chaos, 4),
+    "overhead_pct": overhead_pct,
+    "budget_pct": 5.0,
+})
+print(f"fleet_chaos: clean {t_clean:.3f}s, inert hook {t_chaos:.3f}s, overhead {overhead_pct}%")
+
 report = {
     "host_parallelism": cores,
     "jobs_n": jobs_n,

@@ -73,6 +73,36 @@ echo "$fleet_serial" | grep -q "SLO:" || {
     exit 1
 }
 
+echo "==> fleet chaos smoke (--fleet-faults, --jobs 1 vs --jobs 8)"
+chaos_cmd=(cargo run -q --release -p aw-cli -- fleet --servers 4 --epochs 8 --autoscale \
+    --fleet-faults "crash-at=2:0,down-epochs=2,unpark-fail=0.2")
+chaos_serial=$("${chaos_cmd[@]}" --jobs 1)
+chaos_parallel=$("${chaos_cmd[@]}" --jobs 8)
+if [ "$chaos_serial" != "$chaos_parallel" ]; then
+    echo "verify: chaotic fleet output differs between --jobs 1 and --jobs 8" >&2
+    diff <(echo "$chaos_serial") <(echo "$chaos_parallel") >&2 || true
+    exit 1
+fi
+echo "$chaos_serial" | grep -q "chaos:" || {
+    echo "verify: chaotic fleet report missing its degradation ledger" >&2
+    exit 1
+}
+echo "$chaos_serial" | grep -q "replay: agilewatts fleet --seed" || {
+    echo "verify: chaotic fleet report printed no replay hint" >&2
+    exit 1
+}
+# Artifact replay round-trip: the example replays its FleetFailureArtifact
+# and asserts bit-identity (plus the p99 spike/recovery arc) internally.
+chaos_example=$(cargo run -q --release --example fleet_chaos)
+echo "$chaos_example" | grep -q "replay: OK" || {
+    echo "verify: fleet_chaos example replay failed" >&2
+    exit 1
+}
+echo "$chaos_example" | grep -q "byte-identical at --jobs 1/2/8" || {
+    echo "verify: fleet_chaos example skipped its determinism ladder" >&2
+    exit 1
+}
+
 echo "==> watch headless determinism smoke"
 watch_cmd=(cargo run -q --release -p aw-cli -- watch --headless --frames 3 --seed 42 --servers 4 --autoscale --diurnal 0.5)
 watch_a=$("${watch_cmd[@]}" --jobs 1)

@@ -2,8 +2,10 @@
 //! and overload protection hold up under arbitrary fault plans — and the
 //! fault layer is bit-invisible when no faults fire.
 
+use agilewatts::aw_cluster::{AutoscalePolicy, FleetConfig, FleetSim, LoadShape, RoutingPolicy};
 use agilewatts::aw_cstates::{CState, NamedConfig};
-use agilewatts::aw_faults::{FaultPlan, FaultSpec};
+use agilewatts::aw_exec::{set_default_jobs, SweepExecutor};
+use agilewatts::aw_faults::{FaultPlan, FaultSpec, FleetFaultSpec};
 use agilewatts::aw_server::{RunMetrics, ServerConfig, SimBuilder, WorkloadSpec};
 use agilewatts::aw_sim::SimRng;
 use agilewatts::aw_types::Nanos;
@@ -135,6 +137,57 @@ fn overload_sheds_are_bounded_and_accounted() {
     assert!(d.retries > 0, "shed work was never retried: {d:?}");
     assert!(d.retries_exhausted > 0, "retry budget never exhausted: {d:?}");
     assert!(m.completed > 0, "overload protection starved the server entirely");
+}
+
+/// A fully featured fleet config (diurnal load, autoscaler, packing)
+/// with an optional fleet fault hook attached.
+fn chaos_fleet(fleet_faults: Option<FleetFaultSpec>) -> FleetConfig {
+    let cores = 4;
+    let workload = WorkloadSpec::poisson("fleet-chaos", 1_000.0, Nanos::from_micros(250.0), 0.6);
+    let capacity = cores as f64 / workload.mean_service().as_secs();
+    let mut config = FleetConfig::new(
+        4,
+        ServerConfig::new(cores, NamedConfig::NtAw),
+        workload,
+        0.3 * capacity * 4.0,
+    )
+    .with_epochs(3, Nanos::from_millis(15.0))
+    .with_policy(RoutingPolicy::Packing)
+    .with_load(LoadShape::Diurnal { amplitude: 0.5 })
+    .with_autoscale(AutoscalePolicy::default());
+    if let Some(spec) = fleet_faults {
+        config = config.with_fleet_faults(spec);
+    }
+    config
+}
+
+/// Fleet-scale CRN invisibility: a `NoFaults`-equivalent fleet fault
+/// plan (attached but inert) leaves the full fleet report byte-identical
+/// to the no-hook run — timeline CSV, ledger, every latency bit — at
+/// serial and fanned-out worker counts alike. One test function on
+/// purpose: [`set_default_jobs`] is process-global and must not race
+/// with itself across `#[test]` functions of this binary.
+#[test]
+fn inert_fleet_fault_plan_is_invisible_at_any_fanout() {
+    let fingerprint = |faults: Option<FleetFaultSpec>| {
+        let report = FleetSim::new(chaos_fleet(faults)).run();
+        format!("{}\n{report:?}", report.timeline_csv())
+    };
+    let mut ladders: Vec<(usize, String)> = Vec::new();
+    for jobs in [1usize, 8] {
+        set_default_jobs(jobs);
+        assert_eq!(SweepExecutor::current().jobs(), jobs, "override not picked up");
+        let bare = fingerprint(None);
+        let inert = fingerprint(Some(FleetFaultSpec::none()));
+        assert_eq!(bare, inert, "inert fleet fault hook drifted the report at jobs={jobs}");
+        ladders.push((jobs, bare));
+    }
+    set_default_jobs(0); // release the override for anything that follows
+
+    let (_, serial) = &ladders[0];
+    for (jobs, fp) in &ladders[1..] {
+        assert_eq!(fp, serial, "fleet report drifted between jobs=1 and jobs={jobs}");
+    }
 }
 
 /// One arbitrary-but-reproducible fault plan per chaos round.

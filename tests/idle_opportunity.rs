@@ -98,7 +98,7 @@ fn idle_analysis_is_invisible_in_every_artifact() {
     set_default_jobs(0); // release the override for anything that follows
 
     let (_, serial) = &fleets[0];
-    assert!(serial.contains(",recovery\n"), "fleet timeline lost its recovery column");
+    assert!(serial.contains(",recovery,"), "fleet timeline lost its recovery column");
     for (jobs, fp) in &fleets[1..] {
         assert_eq!(fp, serial, "fleet timeline drifted at jobs={jobs}");
     }
