@@ -252,6 +252,13 @@ pub struct ExecArgs {
     /// auto-enabled on a TTY and off in scripts/pipelines, so golden
     /// outputs never change.
     pub progress: bool,
+    /// `--no-idle-skip`: disable the analytic idle-skip fast path,
+    /// forcing every simulation event through the calendar queue. The
+    /// two engines are byte-identical by contract — this debug knob
+    /// exists so the equivalence stays checkable end-to-end
+    /// (`scripts/verify.sh` diffs a run against its `--no-idle-skip`
+    /// twin).
+    pub no_idle_skip: bool,
 }
 
 /// Robustness options, accepted by every experiment subcommand:
@@ -311,6 +318,9 @@ impl CommonArgs {
         if self.exec.progress {
             agilewatts::aw_exec::set_progress(agilewatts::aw_exec::ProgressMode::Enabled);
         }
+        if self.exec.no_idle_skip {
+            agilewatts::aw_server::set_default_idle_skip(false);
+        }
     }
 
     /// Tries to consume `arg` (and its value from `it`) as one of the
@@ -359,6 +369,7 @@ impl CommonArgs {
                 self.exec.jobs = Some(positive_usize("--jobs", &value("--jobs")?)?);
             }
             "--progress" => self.exec.progress = true,
+            "--no-idle-skip" => self.exec.no_idle_skip = true,
             _ => return Ok(false),
         }
         Ok(true)
@@ -863,6 +874,15 @@ mod tests {
         assert!(c.exec.progress);
         let (_, c) = parse_cli(&argv("watch --headless")).unwrap();
         assert!(!c.exec.progress);
+    }
+
+    #[test]
+    fn no_idle_skip_flag_parses_anywhere() {
+        let (cmd, c) = parse_cli(&argv("fig 8 --no-idle-skip --quick")).unwrap();
+        assert_eq!(cmd, Command::Fig { number: 8, quick: true });
+        assert!(c.exec.no_idle_skip);
+        let (_, c) = parse_cli(&argv("fig 8")).unwrap();
+        assert!(!c.exec.no_idle_skip);
     }
 
     #[test]

@@ -499,6 +499,7 @@ impl FleetSim {
         let mut all_samples = SampleSet::new();
         let mut total_energy = Joules::ZERO;
         let mut total_completed = 0u64;
+        let mut total_events = 0u64;
         let mut active_epochs = 0usize;
         let mut sim_epochs = 0usize;
         let mut unparked_epochs = 0usize;
@@ -549,6 +550,7 @@ impl FleetSim {
                 }
                 builder.run()
             });
+            total_events += outputs.iter().map(|o| o.metrics.events).sum::<u64>();
             let mut slots: Vec<Option<&RunOutput>> = vec![None; cfg.servers];
             for (p, out) in points.iter().zip(&outputs) {
                 slots[p.server] = Some(out);
@@ -862,6 +864,7 @@ impl FleetSim {
             avg_fleet_power: total_energy / run_span,
             energy: total_energy,
             completed: total_completed,
+            events: total_events,
             energy_per_request: if total_completed == 0 {
                 Joules::ZERO
             } else {

@@ -180,6 +180,11 @@ pub struct FleetReport {
     pub energy: Joules,
     /// Total completions over the whole run.
     pub completed: u64,
+    /// Total simulation events processed across every simulated
+    /// server-epoch (queue pops plus inline idle-skip chain steps).
+    /// Dividing by wall-clock gives the fleet engine throughput tracked
+    /// in `BENCH_singlerun.json`.
+    pub events: u64,
     /// Mean fleet energy per completed request.
     pub energy_per_request: Joules,
     /// Mean active servers per epoch.
@@ -254,6 +259,7 @@ impl fmt::Display for FleetReport {
             self.completed
         )?;
         writeln!(f, "  latency: {}", self.latency)?;
+        writeln!(f, "  engine:  {} simulation events", self.events)?;
         writeln!(
             f,
             "  servers: {:.1} active avg, PC6 {:.0}% of unparked server-epochs, \

@@ -160,9 +160,15 @@ impl CStateConfig {
     /// Enabled idle states, shallowest first.
     #[must_use]
     pub fn enabled_states(&self) -> Vec<CState> {
-        let mut v: Vec<CState> = self.enabled.iter().copied().collect();
-        v.sort_by_key(|s| s.depth());
-        v
+        self.iter_enabled().collect()
+    }
+
+    /// Iterates the enabled idle states shallowest-first without
+    /// allocating — the hot-path sibling of [`Self::enabled_states`],
+    /// used by governors that run once per idle entry. [`CState::ALL`]
+    /// is depth-ordered, so the order matches `enabled_states` exactly.
+    pub fn iter_enabled(&self) -> impl Iterator<Item = CState> + '_ {
+        CState::ALL.into_iter().filter(|s| self.enabled.contains(s))
     }
 
     /// The deepest enabled idle state.

@@ -59,18 +59,18 @@ pub trait IdleGovernor: fmt::Debug + Send {
 /// that waking-up will not be needed before a target residency time").
 fn deepest_fitting(config: &CStateConfig, catalog: &CStateCatalog, predicted: Nanos) -> CState {
     let mut choice = None;
-    for state in config.enabled_states() {
+    let mut shallowest = None;
+    for state in config.iter_enabled() {
         let Some(params) = catalog.get(state) else { continue };
+        if shallowest.is_none() {
+            shallowest = Some(state);
+        }
         if params.target_residency <= predicted {
             choice = Some(state);
         }
     }
-    choice
-        .or_else(|| {
-            // Nothing fits: take the shallowest state present in the catalog.
-            config.enabled_states().into_iter().find(|&s| catalog.get(s).is_some())
-        })
-        .expect("config validated against catalog: at least one enabled state")
+    // Nothing fits: take the shallowest state present in the catalog.
+    choice.or(shallowest).expect("config validated against catalog: at least one enabled state")
 }
 
 /// A Linux-`menu`-style predictive governor.
@@ -217,8 +217,13 @@ impl IdleGovernor for LadderGovernor {
         catalog: &CStateCatalog,
         _hint: Option<Nanos>,
     ) -> CState {
-        let states: Vec<CState> =
-            config.enabled_states().into_iter().filter(|&s| catalog.get(s).is_some()).collect();
+        let mut states = [CState::C0; CState::ALL.len()];
+        let mut n = 0;
+        for s in config.iter_enabled().filter(|&s| catalog.get(s).is_some()) {
+            states[n] = s;
+            n += 1;
+        }
+        let states = &states[..n];
         assert!(!states.is_empty(), "config validated against catalog");
         self.rung = self.rung.min(states.len() - 1);
 

@@ -99,8 +99,11 @@ pub struct SimCore {
     pub idle_since: Nanos,
     /// Generation counter invalidating stale scheduled events.
     pub generation: u64,
-    /// Idle-state entries since the last metric reset, by state.
-    pub entries: std::collections::BTreeMap<CState, u64>,
+    /// Idle-state entries since the last metric reset, as `(state,
+    /// count)` pairs in first-entered order. At most one pair per
+    /// C-state, so a linear scan is cheaper than a map on the per-entry
+    /// hot path.
+    pub entries: Vec<(CState, u64)>,
     /// Busy time spent at Turbo frequency since the last reset.
     pub turbo_busy: Nanos,
     /// Total busy time since the last reset.
@@ -130,7 +133,7 @@ impl SimCore {
             thermal: ThermalModel::skylake(),
             idle_since: Nanos::ZERO,
             generation: 0,
-            entries: std::collections::BTreeMap::new(),
+            entries: Vec::new(),
             turbo_busy: Nanos::ZERO,
             total_busy: Nanos::ZERO,
             snoops_served: 0,
@@ -170,6 +173,14 @@ impl SimCore {
         self.turbo_busy = Nanos::ZERO;
         self.total_busy = Nanos::ZERO;
         self.snoops_served = 0;
+    }
+
+    /// Counts one entry into idle state `state`.
+    pub fn record_entry(&mut self, state: CState) {
+        match self.entries.iter_mut().find(|(s, _)| *s == state) {
+            Some((_, n)) => *n += 1,
+            None => self.entries.push((state, 1)),
+        }
     }
 
     /// `true` if the core has no queued or in-flight work.

@@ -225,6 +225,12 @@ pub struct RunMetrics {
     pub transitions: BTreeMap<CState, u64>,
     /// Snoop bursts serviced by idle cores.
     pub snoops_served: u64,
+    /// Logical simulation events the engine processed over the whole
+    /// run (warm-up included) — queue pops plus inline idle-skip chain
+    /// steps. Dividing by wall-clock gives the events/sec engine
+    /// throughput tracked in `BENCH_singlerun.json`; the count is
+    /// identical with idle-skip on or off.
+    pub events: u64,
     /// Fraction of busy time spent at Turbo frequency.
     pub turbo_fraction: Ratio,
     /// Average uncore power over the window.
@@ -369,6 +375,7 @@ mod tests {
             achieved_qps: 1000.0,
             transitions: BTreeMap::from([(CState::C1, 500u64)]),
             snoops_served: 0,
+            events: 4000,
             turbo_fraction: Ratio::ZERO,
             avg_uncore_power: MilliWatts::from_watts(10.0),
             package_residency: [Ratio::ONE, Ratio::ZERO, Ratio::ZERO],

@@ -150,6 +150,37 @@ pub struct ServerSim {
     /// The p99 target stamped on each streamed window's SLO verdict
     /// (`None` streams windows without a verdict).
     stream_slo: Option<Nanos>,
+    /// `false` disables the analytic idle-skip fast path (the
+    /// `--no-idle-skip` debug flag): every event then flows through the
+    /// calendar queue exactly as in the classic stepped engine. The two
+    /// modes are byte-identical by construction (DESIGN §15); the flag
+    /// exists so the equivalence stays checkable end-to-end.
+    idle_skip: bool,
+    /// The core whose wake → serve → re-park chain is currently being
+    /// run inline (analytic idle-skip): that core's chain deadlines
+    /// divert to `chain_next` instead of the event queue.
+    chain_core: Option<usize>,
+    /// The next inline-chain event, consumed by the driver loop in
+    /// [`ServerSim::run_chain`]. At most one chain deadline is ever
+    /// outstanding, so a single slot replaces the queue.
+    chain_next: Option<(Nanos, Event)>,
+    /// Upper bound on the service-time stretch factor (AW frequency
+    /// degradation; Turbo only *shortens* service), precomputed for the
+    /// idle-skip eligibility test.
+    max_time_factor: f64,
+    /// Logical simulation events processed — popped from the queue or
+    /// run inline by the idle-skip chain. The numerator of the
+    /// events-per-second throughput metric; identical with idle-skip on
+    /// or off.
+    events: u64,
+    /// Events run inline by the idle-skip chain (subset of `events`).
+    chained: u64,
+    /// Cores currently parked in some C-state, maintained incrementally
+    /// at each life-cycle transition so the package-state update avoids
+    /// an O(cores) rescan on every event.
+    idle_cores: usize,
+    /// Subset of `idle_cores` parked specifically in core C6.
+    c6_cores: usize,
 }
 
 /// Everything a fully instrumented run produces: the metrics plus the
@@ -186,6 +217,14 @@ pub struct RunOutput {
     /// failing run. [`crate::SimBuilder::run`] hands it back for
     /// harnesses to inspect; [`RunOutput::into_metrics`] panics on it.
     pub failure: Option<FailureArtifact>,
+    /// Events the analytic idle-skip chain ran inline instead of
+    /// through the event queue — a subset of `metrics.events`, always
+    /// zero with idle-skip off. `chained / events` is the skip hit
+    /// rate. Deliberately an engine diagnostic *outside*
+    /// [`RunMetrics`]: instrumented runs (fault plans, telemetry,
+    /// window observers) disable the fast path, and their metrics must
+    /// stay bit-identical to plain runs.
+    pub chained: u64,
 }
 
 impl RunOutput {
@@ -225,10 +264,27 @@ impl ServerSim {
             .collect();
         let idle_predictions = vec![None; config.cores];
         let demoted_cstates = config.cstates.demote_agile();
-        // Steady-state pending events: one service/entry/wake deadline
-        // per core, plus per-core timer ticks and a handful of global
-        // timers (arrival, snoop, warmup, fault clocks).
-        let queue_cap = config.cores * 4 + 16;
+        // Pending-event envelope, sized like the sample reservoirs from
+        // the offered load rather than from the core count alone: one
+        // service/entry/wake deadline per core, per-core timer ticks, a
+        // handful of global timers (arrival, snoop, warmup, fault
+        // clocks) — plus, when overload protection can shed or expire
+        // work, up to one in-flight retry event per request arriving
+        // inside the longest jittered backoff window (offered QPS ×
+        // horizon × one event each, capped so a pathological
+        // parameterization cannot demand an absurd allocation).
+        let mut queue_cap = config.cores * 4 + 16;
+        if config.queue_cap.is_some() || config.request_timeout.is_some() {
+            let exp = f64::from(1u32 << (config.retry.max_attempts.saturating_sub(1)).min(8));
+            let horizon = config.retry.base_backoff * (exp * 1.5);
+            let retries = workload.offered_qps() * horizon.as_secs();
+            if retries.is_finite() && retries > 0.0 {
+                queue_cap += (retries.ceil() as usize).min(1 << 14);
+            }
+        }
+        let s = workload.frequency_scalability();
+        let max_time_factor =
+            if config.is_aw() { 1.0 + s * config.aw_frequency_degradation } else { 1.0 };
         ServerSim {
             config,
             workload,
@@ -265,7 +321,23 @@ impl ServerSim {
             idle_predictions,
             observer: None,
             stream_slo: None,
+            idle_skip: true,
+            chain_core: None,
+            chain_next: None,
+            max_time_factor,
+            events: 0,
+            chained: 0,
+            idle_cores: 0,
+            c6_cores: 0,
         }
+    }
+
+    /// Enables or disables the analytic idle-skip fast path (used by
+    /// [`crate::SimBuilder::without_idle_skip`]). Both settings produce
+    /// byte-identical output; `false` forces every event through the
+    /// queue for equivalence checking and debugging.
+    pub(crate) fn set_idle_skip(&mut self, on: bool) {
+        self.idle_skip = on;
     }
 
     /// Attaches a fault-injection plan (used by
@@ -434,23 +506,36 @@ impl ServerSim {
             }
             self.attrib_marks[id] = (trace::cstate_label(state.accounting_state()), now);
         }
+        if let CoreState::Idle { state: parked } = from {
+            self.idle_cores -= 1;
+            if parked == CState::C6 {
+                self.c6_cores -= 1;
+            }
+        }
+        if let CoreState::Idle { state: parked } = state {
+            self.idle_cores += 1;
+            if parked == CState::C6 {
+                self.c6_cores += 1;
+            }
+        }
         self.cores[id].set_state(now, state);
     }
 
     /// Re-derives the package state from core occupancy after any core
-    /// state change.
+    /// state change. The occupancy counts are maintained incrementally in
+    /// [`Self::set_core_state`].
     fn update_uncore(&mut self, now: Nanos) {
-        let mut idle = 0;
-        let mut c6 = 0;
-        for core in &self.cores {
-            if let CoreState::Idle { state } = core.state {
-                idle += 1;
-                if state == CState::C6 {
-                    c6 += 1;
+        debug_assert_eq!(
+            (self.idle_cores, self.c6_cores),
+            self.cores.iter().fold((0, 0), |(idle, c6), core| match core.state {
+                CoreState::Idle { state } => {
+                    (idle + 1, c6 + usize::from(state == CState::C6))
                 }
-            }
-        }
-        self.uncore.update(idle, c6, now);
+                _ => (idle, c6),
+            }),
+            "incremental idle/C6 counts diverged from core occupancy"
+        );
+        self.uncore.update(self.idle_cores, self.c6_cores, now);
     }
 
     /// The active-state (C0) power at base frequency.
@@ -506,6 +591,7 @@ impl ServerSim {
             if now > self.end {
                 break;
             }
+            self.events += 1;
             if let Some(t) = self.telemetry.as_mut() {
                 // Depth counts the popped event plus everything pending.
                 t.sim_event(now, self.queue.len() + 1);
@@ -579,6 +665,7 @@ impl ServerSim {
             latency_samples,
             idle_intervals,
             failure,
+            chained: self.chained,
         }
     }
 
@@ -603,11 +690,16 @@ impl ServerSim {
     fn on_arrival(&mut self, now: Nanos) {
         let service = self.workload.next_service(&mut self.rng);
         let id = self.dispatch();
-        self.admit(id, now, service, 1);
-
+        // The next arrival is drawn and scheduled *before* the admit so
+        // the queue's earliest pending time covers it — the idle-skip
+        // eligibility test needs the full horizon in one peek. The RNG
+        // draw order (service, dispatch, gap) is unchanged, and no
+        // governor consults `next_arrival` inside `admit`, so the
+        // reordering is invisible to the sample path.
         let gap = self.workload.next_gap(&mut self.rng);
         self.next_arrival = now + gap;
         self.queue.schedule(self.next_arrival, Event::Arrival);
+        self.admit(id, now, service, 1);
     }
 
     /// Admits a client request (a fresh arrival or a retry) to core
@@ -644,6 +736,11 @@ impl ServerSim {
                 // until the redelivery fires (or other work wakes it).
                 self.note_fault(id, now, "lost-wake");
                 self.queue.schedule(now + delay, Event::WakeRedelivery { core: id });
+            } else if self.chain_eligible(id, state, now, service) {
+                // Analytic idle-skip: the whole wake → serve → re-park
+                // chain provably finishes before anything else fires,
+                // so run it inline instead of through the queue.
+                self.run_chain(id, state, now);
             } else {
                 // This request personally pays the (possibly disrupted)
                 // exit latency.
@@ -656,6 +753,88 @@ impl ServerSim {
         }
         // Active, Waking: the queue drains naturally.
         // Entering: EntryDone will notice the pending work and wake.
+    }
+
+    /// Decides whether the freshly admitted request on idle core `id`
+    /// can be served as an inline chain: the wake → serve sequence must
+    /// provably finish *strictly* before any other pending event fires
+    /// and at or before the run's end (DESIGN §15). The bound uses the
+    /// un-disrupted exit latency (fault injection disables the skip
+    /// entirely) and the largest possible service stretch; Turbo only
+    /// shortens service, so the bound is conservative. The strictness
+    /// matters: on an exact tie the stepped engine would pop the
+    /// earlier-scheduled event first, so ties fall back to stepping.
+    fn chain_eligible(&mut self, id: usize, state: CState, now: Nanos, service: Nanos) -> bool {
+        if !self.idle_skip
+            || self.faults.is_some()
+            || self.telemetry.is_some()
+            || self.observer.is_some()
+            || self.cores[id].queue.len() != 1
+        {
+            return false;
+        }
+        let exit = self.config.catalog.params(state).exit_latency;
+        // A timeout shorter than the exit latency would drop the
+        // request at dispatch and schedule a retry mid-chain.
+        if self.config.request_timeout.is_some_and(|t| exit > t) {
+            return false;
+        }
+        let chain_end = now + exit + service * self.max_time_factor;
+        chain_end <= self.end && self.queue.peek_time().is_some_and(|next| chain_end < next)
+    }
+
+    /// Runs the admitted request's wake → serve steps inline: the same
+    /// handlers the stepped engine would run, at the same timestamps, in
+    /// the same order — only the queue traffic (two schedule/pop round
+    /// trips per request) disappears. Mutations are identical by
+    /// construction, which is what keeps idle-skip on/off byte-identical.
+    ///
+    /// The chain deliberately ends at `ServiceDone`: the re-park
+    /// `EntryDone` deadline that `on_service_done` produces goes through
+    /// the queue like any other event (the chain marker is cleared
+    /// first), so the eligibility horizon never has to bound the entry
+    /// latency of whatever C-state the governor picks next.
+    fn run_chain(&mut self, id: usize, state: CState, now: Nanos) {
+        self.chain_core = Some(id);
+        let exit = self.begin_wake(id, state, now, "arrival");
+        if let Some(req) = self.cores[id].queue.back_mut() {
+            req.wake_penalty = exit;
+            req.wake_state = Some(state);
+        }
+        let Some((wake_at, wake_ev)) = self.chain_next.take() else {
+            self.chain_core = None;
+            return;
+        };
+        self.events += 1;
+        self.chained += 1;
+        let Event::WakeDone { core, gen } = wake_ev else {
+            unreachable!("begin_wake schedules WakeDone");
+        };
+        self.on_wake_done(core, gen, wake_at);
+        let Some((serve_at, serve_ev)) = self.chain_next.take() else {
+            self.chain_core = None;
+            return;
+        };
+        self.events += 1;
+        self.chained += 1;
+        let Event::ServiceDone { core, gen } = serve_ev else {
+            unreachable!("start_service schedules ServiceDone");
+        };
+        // Last inline step: clear the marker so the re-park EntryDone
+        // (and anything else on_service_done schedules) takes the queue.
+        self.chain_core = None;
+        self.on_service_done(core, gen, serve_at);
+    }
+
+    /// Routes a core's wake/serve/park deadline into the event queue
+    /// (stepped mode) or into the inline-chain slot while `id`'s chain
+    /// is being run analytically.
+    fn schedule_core_event(&mut self, id: usize, at: Nanos, event: Event) {
+        if self.chain_core == Some(id) {
+            self.chain_next = Some((at, event));
+        } else {
+            self.queue.schedule(at, event);
+        }
     }
 
     /// Starts core `id`'s wake transition and returns the exit latency it
@@ -675,7 +854,7 @@ impl ServerSim {
         self.switch_core_power(id, now, ramp);
         self.set_core_state(id, now, CoreState::Waking { from });
         let gen = self.cores[id].generation;
-        self.queue.schedule(now + exit, Event::WakeDone { core: id, gen });
+        self.schedule_core_event(id, now + exit, Event::WakeDone { core: id, gen });
         self.update_uncore(now);
         exit
     }
@@ -779,7 +958,7 @@ impl ServerSim {
         self.switch_core_power(id, now, ramp);
         self.set_core_state(id, now, CoreState::Entering { target });
         let gen = self.cores[id].generation;
-        self.queue.schedule(now + entry, Event::EntryDone { core: id, gen });
+        self.schedule_core_event(id, now + entry, Event::EntryDone { core: id, gen });
         self.update_uncore(now);
     }
 
@@ -796,7 +975,7 @@ impl ServerSim {
         let idle_power = self.config.catalog.power(target, aw_cstates::FreqLevel::P1);
         self.switch_core_power(id, now, idle_power);
         self.set_core_state(id, now, CoreState::Idle { state: target });
-        *self.cores[id].entries.entry(target).or_insert(0) += 1;
+        self.cores[id].record_entry(target);
 
         if self.cores[id].queue.is_empty() {
             self.update_uncore(now);
@@ -904,7 +1083,7 @@ impl ServerSim {
         core.in_flight = Some(req);
         core.serve_start = now;
         let gen = core.generation;
-        self.queue.schedule(now + effective, Event::ServiceDone { core: id, gen });
+        self.schedule_core_event(id, now + effective, Event::ServiceDone { core: id, gen });
     }
 
     fn on_service_done(&mut self, id: usize, gen: u64, now: Nanos) {
@@ -1139,7 +1318,7 @@ impl ServerSim {
             let p = core.current_power;
             core.switch_power(end, p);
             core.tracker.finish(end);
-            for (&state, _) in core.entries.iter() {
+            for &(state, _) in core.entries.iter() {
                 // ensure states appear even if time rounds to zero
                 residency_time.entry(state).or_insert(Nanos::ZERO);
             }
@@ -1148,7 +1327,7 @@ impl ServerSim {
             }
             total_time += core.tracker.total_time();
             energy += core.meter.energy() + core.snoop_energy + core.transition_energy;
-            for (&s, &n) in core.entries.iter() {
+            for &(s, n) in core.entries.iter() {
                 *transitions.entry(s).or_insert(0) += n;
             }
             turbo_busy += core.turbo_busy;
@@ -1236,6 +1415,7 @@ impl ServerSim {
             },
             transitions,
             snoops_served: snoops,
+            events: self.events,
             turbo_fraction,
             avg_uncore_power,
             package_residency,

@@ -1,8 +1,5 @@
 //! Time-weighted state residency tracking and energy integration.
 
-use std::collections::HashMap;
-use std::hash::Hash;
-
 use aw_types::{Joules, MilliWatts, Nanos, Ratio};
 
 /// Tracks how long a component spends in each state of type `S`.
@@ -32,24 +29,35 @@ pub struct ResidencyTracker<S> {
     current: S,
     since: Nanos,
     finished_at: Option<Nanos>,
-    time_in: HashMap<S, Nanos>,
     transitions: u64,
-    entries: HashMap<S, u64>,
+    /// Per-state accumulators in first-seen order: state, accumulated
+    /// time, entry count. State types are tiny enums in practice (a
+    /// handful of C-states), so a linear scan of a dense vector beats a
+    /// hash lookup on the simulator's per-transition hot path.
+    slots: Vec<(S, Nanos, u64)>,
 }
 
-impl<S: Eq + Hash + Clone> ResidencyTracker<S> {
+impl<S: Eq + Clone> ResidencyTracker<S> {
     /// Creates a tracker whose component starts in `initial` at time `start`.
     #[must_use]
     pub fn new(initial: S, start: Nanos) -> Self {
-        let mut entries = HashMap::new();
-        entries.insert(initial.clone(), 1);
         ResidencyTracker {
-            current: initial,
+            current: initial.clone(),
             since: start,
             finished_at: None,
-            time_in: HashMap::new(),
             transitions: 0,
-            entries,
+            slots: vec![(initial, Nanos::ZERO, 1)],
+        }
+    }
+
+    /// Index of `state`'s accumulator slot, appending one if absent.
+    fn slot(&mut self, state: &S) -> usize {
+        match self.slots.iter().position(|(s, _, _)| s == state) {
+            Some(i) => i,
+            None => {
+                self.slots.push((state.clone(), Nanos::ZERO, 0));
+                self.slots.len() - 1
+            }
         }
     }
 
@@ -68,8 +76,11 @@ impl<S: Eq + Hash + Clone> ResidencyTracker<S> {
         if next == self.current {
             return;
         }
-        *self.time_in.entry(self.current.clone()).or_insert(Nanos::ZERO) += now - self.since;
-        *self.entries.entry(next.clone()).or_insert(0) += 1;
+        let current = self.current.clone();
+        let i = self.slot(&current);
+        self.slots[i].1 += now - self.since;
+        let j = self.slot(&next);
+        self.slots[j].2 += 1;
         self.current = next;
         self.since = now;
         self.transitions += 1;
@@ -91,7 +102,9 @@ impl<S: Eq + Hash + Clone> ResidencyTracker<S> {
     pub fn finish(&mut self, end: Nanos) {
         assert!(self.finished_at.is_none(), "tracker already finished");
         assert!(end >= self.since, "finish must not precede last transition");
-        *self.time_in.entry(self.current.clone()).or_insert(Nanos::ZERO) += end - self.since;
+        let current = self.current.clone();
+        let i = self.slot(&current);
+        self.slots[i].1 += end - self.since;
         self.since = end;
         self.finished_at = Some(end);
     }
@@ -99,13 +112,13 @@ impl<S: Eq + Hash + Clone> ResidencyTracker<S> {
     /// Total time attributed to `state` so far.
     #[must_use]
     pub fn time_in(&self, state: &S) -> Nanos {
-        self.time_in.get(state).copied().unwrap_or(Nanos::ZERO)
+        self.slots.iter().find(|(s, _, _)| s == state).map_or(Nanos::ZERO, |&(_, t, _)| t)
     }
 
     /// Total observed time across all states.
     #[must_use]
     pub fn total_time(&self) -> Nanos {
-        self.time_in.values().copied().sum()
+        self.slots.iter().map(|&(_, t, _)| t).sum()
     }
 
     /// Fraction of observed time spent in `state` (the paper's `R_Ci`).
@@ -130,12 +143,13 @@ impl<S: Eq + Hash + Clone> ResidencyTracker<S> {
     /// Number of times `state` was entered (the initial state counts once).
     #[must_use]
     pub fn entry_count(&self, state: &S) -> u64 {
-        self.entries.get(state).copied().unwrap_or(0)
+        self.slots.iter().find(|(s, _, _)| s == state).map_or(0, |&(_, _, n)| n)
     }
 
-    /// Iterates over `(state, time)` pairs in unspecified order.
+    /// Iterates over `(state, time)` pairs in first-seen order. States
+    /// that were entered but never exited appear with zero time.
     pub fn iter(&self) -> impl Iterator<Item = (&S, Nanos)> {
-        self.time_in.iter().map(|(s, &t)| (s, t))
+        self.slots.iter().map(|(s, t, _)| (s, *t))
     }
 }
 

@@ -30,6 +30,42 @@ proptest! {
         prop_assert_eq!(drained, expected);
     }
 
+    /// The calendar queue pops in exactly the same order as a retained
+    /// `BinaryHeap` reference model for arbitrary interleavings of
+    /// `schedule` and `pop` — including equal timestamps (FIFO by
+    /// sequence number) and pushes earlier than the last popped time.
+    #[test]
+    fn queue_matches_binary_heap_reference(
+        ops in prop::collection::vec((0u64..2, 0.0f64..1000.0), 1..400),
+        quantize: bool,
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut q = EventQueue::new();
+        // Reference model: min-heap on (time-bits, insertion seq). Times
+        // are non-negative, so the f64 bit pattern orders like the value.
+        let mut model: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut seq = 0usize;
+        for (push, t) in ops {
+            // Half the runs quantize times so equal timestamps are common.
+            let t = if quantize { (t / 50.0).floor() * 50.0 } else { t };
+            if push == 0 || model.is_empty() {
+                q.schedule(Nanos::new(t), seq);
+                model.push(Reverse((t.to_bits(), seq)));
+                seq += 1;
+            } else {
+                let Reverse((bits, id)) = model.pop().unwrap();
+                let got = q.pop();
+                prop_assert_eq!(got, Some((Nanos::new(f64::from_bits(bits)), id)));
+            }
+        }
+        while let Some(Reverse((bits, id))) = model.pop() {
+            prop_assert_eq!(q.pop(), Some((Nanos::new(f64::from_bits(bits)), id)));
+        }
+        prop_assert_eq!(q.pop(), None);
+    }
+
     /// OnlineStats merge order doesn't matter (associativity within fp
     /// tolerance).
     #[test]

@@ -142,4 +142,64 @@ with open("BENCH_sweep.json", "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
 print("wrote BENCH_sweep.json")
+
+# ---------------------------------------------------------------------
+# Single-run engine throughput (BENCH_singlerun.json): raw simulation
+# events per second of wall-clock, not sweep points. Both commands print
+# an "engine: <N> simulation events" line; dividing by the measured wall
+# gives the metric the fast-path work (analytic idle-skip, calendar
+# queue, allocation-free hot loop) is judged by. The event count is
+# byte-deterministic — identical at any --jobs and with idle-skip on or
+# off — so the denominator is the only thing that moves PR over PR.
+
+def events_of(cmd, env_jobs):
+    """Total `engine:` simulation events reported by `cmd`."""
+    env = dict(os.environ, AW_JOBS=str(env_jobs))
+    out = subprocess.run(cmd, capture_output=True, text=True, env=env, check=True).stdout
+    for line in out.splitlines():
+        if "simulation events" in line:
+            return int(line.split()[1])
+    raise SystemExit(f"no 'simulation events' line in output of {cmd}")
+
+single = []
+
+# The Fig. 8 default-grid anchor point: memcached on 10 cores at 300k
+# QPS for 400 simulated ms, seed 42 — one server, one seed, pure engine.
+fig8_point = ["./target/release/agilewatts", "sweep", "--workload", "memcached",
+              "--qps", "300000", "--cores", "10", "--duration-ms", "400", "--seed", "42"]
+ev = events_of(fig8_point, 1)
+wall = timed(fig8_point, 1)
+single.append({
+    "bench": "fig8_single_run",
+    "events": ev,
+    "wall_s": round(wall, 4),
+    "events_per_sec": round(ev / wall, 1),
+})
+print(f"fig8_single_run: {ev} events in {wall:.3f}s = {ev / wall / 1e6:.2f} Mev/s")
+
+# Fleet scale: 1000 diurnal servers with the autoscaler, 24 epochs — the
+# intra-run sharding path (every epoch's loaded servers fan out across
+# the executor). One timing run per jobs setting; at ~15 s serial the
+# median-of-3 protocol would triple the bench for little extra signal.
+fleet_1k = ["./target/release/agilewatts", "fleet", "--servers", "1000", "--epochs", "24",
+            "--epoch-ms", "5", "--policy", "packing", "--autoscale", "--diurnal", "0.8"]
+ev = events_of(fleet_1k, 1)
+wall_1 = timed(fleet_1k, 1, runs=1)
+wall_n = timed(fleet_1k, jobs_n, runs=1)
+single.append({
+    "bench": "fleet_1k_diurnal",
+    "events": ev,
+    "jobs_1_wall_s": round(wall_1, 4),
+    f"jobs_{jobs_n}_wall_s": round(wall_n, 4),
+    "events_per_sec_jobs_1": round(ev / wall_1, 1),
+    f"events_per_sec_jobs_{jobs_n}": round(ev / wall_n, 1),
+})
+print(f"fleet_1k_diurnal: {ev} events, jobs=1 {wall_1:.3f}s "
+      f"({ev / wall_1 / 1e6:.2f} Mev/s), jobs={jobs_n} {wall_n:.3f}s "
+      f"({ev / wall_n / 1e6:.2f} Mev/s)")
+
+with open("BENCH_singlerun.json", "w") as f:
+    json.dump({"host_parallelism": cores, "jobs_n": jobs_n, "benches": single}, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_singlerun.json")
 EOF

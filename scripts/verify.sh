@@ -56,6 +56,15 @@ if [ "$serial" != "$parallel" ]; then
     exit 1
 fi
 
+echo "==> idle-skip equivalence smoke (--no-idle-skip vs default)"
+skip_on=$(cargo run -q --release -p aw-cli -- fig 8 --quick --jobs 1)
+skip_off=$(cargo run -q --release -p aw-cli -- fig 8 --quick --jobs 1 --no-idle-skip)
+if [ "$skip_on" != "$skip_off" ]; then
+    echo "verify: fig 8 output differs with --no-idle-skip (the fast path is not pure)" >&2
+    diff <(echo "$skip_on") <(echo "$skip_off") >&2 || true
+    exit 1
+fi
+
 echo "==> fleet smoke (packing, --jobs 1 vs --jobs 8)"
 fleet_serial=$(cargo run -q --release -p aw-cli -- fleet --servers 4 --policy packing --autoscale --diurnal 0.5 --jobs 1)
 fleet_parallel=$(cargo run -q --release -p aw-cli -- fleet --servers 4 --policy packing --autoscale --diurnal 0.5 --jobs 8)
@@ -91,6 +100,12 @@ echo "$chaos_serial" | grep -q "replay: agilewatts fleet --seed" || {
     echo "verify: chaotic fleet report printed no replay hint" >&2
     exit 1
 }
+chaos_noskip=$("${chaos_cmd[@]}" --jobs 1 --no-idle-skip)
+if [ "$chaos_serial" != "$chaos_noskip" ]; then
+    echo "verify: chaotic fleet output differs with --no-idle-skip" >&2
+    diff <(echo "$chaos_serial") <(echo "$chaos_noskip") >&2 || true
+    exit 1
+fi
 # Artifact replay round-trip: the example replays its FleetFailureArtifact
 # and asserts bit-identity (plus the p99 spike/recovery arc) internally.
 chaos_example=$(cargo run -q --release --example fleet_chaos)

@@ -5,10 +5,11 @@
 //! so `--jobs 1`, `--jobs 2`, and `--jobs 8` are indistinguishable from
 //! the outside.
 
+use agilewatts::aw_cluster::{AutoscalePolicy, FleetConfig, FleetSim, LoadShape, RoutingPolicy};
 use agilewatts::aw_cstates::NamedConfig;
 use agilewatts::aw_exec::{set_default_jobs, SweepExecutor};
 use agilewatts::aw_faults::{FaultPlan, FaultSpec};
-use agilewatts::aw_server::{ServerConfig, SimBuilder, WorkloadSpec};
+use agilewatts::aw_server::{set_default_idle_skip, ServerConfig, SimBuilder, WorkloadSpec};
 use agilewatts::aw_types::Nanos;
 use agilewatts::experiments::{Fig8, SweepParams};
 
@@ -49,25 +50,42 @@ fn chaos_ledger_fingerprint() -> String {
     rows.join("\n")
 }
 
-/// One test function on purpose: [`set_default_jobs`] is process-global,
-/// and Rust runs `#[test]` functions of one binary concurrently — the
-/// jobs ladder must not race with itself.
+/// A sharded fleet run — diurnal load with the autoscaler, so epochs
+/// differ in population — rendered to its full-precision debug form.
+/// The fleet fans each epoch's loaded servers out across the executor's
+/// workers, so this exercises intra-run sharding, not just sweep points.
+fn fleet_fingerprint() -> String {
+    let workload = WorkloadSpec::poisson("shard", 1_000.0, Nanos::from_micros(250.0), 0.6);
+    let config = FleetConfig::new(6, ServerConfig::new(4, NamedConfig::NtAw), workload, 14_400.0)
+        .with_epochs(4, Nanos::from_millis(20.0))
+        .with_policy(RoutingPolicy::Packing)
+        .with_load(LoadShape::Diurnal { amplitude: 0.8 })
+        .with_autoscale(AutoscalePolicy::default());
+    format!("{:?}", FleetSim::new(config).run())
+}
+
+/// One test function on purpose: [`set_default_jobs`] and
+/// [`set_default_idle_skip`] are process-global, and Rust runs `#[test]`
+/// functions of one binary concurrently — the jobs ladder and the
+/// engine-mode toggles must not race with each other.
 #[test]
 fn reports_are_byte_identical_across_worker_counts() {
-    let mut runs: Vec<(usize, String, String)> = Vec::new();
+    let mut runs: Vec<(usize, String, String, String)> = Vec::new();
     for jobs in [1usize, 2, 8] {
         set_default_jobs(jobs);
         assert_eq!(SweepExecutor::current().jobs(), jobs, "override not picked up");
-        runs.push((jobs, fig8_fingerprint(), chaos_ledger_fingerprint()));
+        runs.push((jobs, fig8_fingerprint(), chaos_ledger_fingerprint(), fleet_fingerprint()));
     }
     set_default_jobs(0); // release the override for anything that follows
 
-    let (_, fig8_serial, ledger_serial) = &runs[0];
+    let (_, fig8_serial, ledger_serial, fleet_serial) = &runs[0];
     assert!(fig8_serial.contains("Fig8Report"), "fingerprint looks wrong: {fig8_serial}");
     assert_eq!(ledger_serial.lines().count(), 3);
-    for (jobs, fig8, ledger) in &runs[1..] {
+    assert!(fleet_serial.contains("FleetReport"), "fingerprint looks wrong");
+    for (jobs, fig8, ledger, fleet) in &runs[1..] {
         assert_eq!(fig8, fig8_serial, "Fig. 8 report drifted at jobs={jobs}");
         assert_eq!(ledger, ledger_serial, "chaos ledger drifted at jobs={jobs}");
+        assert_eq!(fleet, fleet_serial, "sharded fleet report drifted at jobs={jobs}");
     }
 
     // An explicitly-constructed executor obeys the same contract without
@@ -75,4 +93,33 @@ fn reports_are_byte_identical_across_worker_counts() {
     let explicit: Vec<u64> =
         SweepExecutor::with_jobs(8).map(&[1u64, 2, 3, 4, 5, 6, 7, 8, 9], |&x| x * x);
     assert_eq!(explicit, vec![1, 4, 9, 16, 25, 36, 49, 64, 81], "results must land by index");
+
+    // The analytic idle-skip fast path is a pure optimization (DESIGN
+    // §15): disabling it must not move a single bit of any report. The
+    // engine counters prove the comparison is not vacuous — the skip-on
+    // run actually took the inline chain, the skip-off run never did.
+    let single = |skip: bool| {
+        let cfg = ServerConfig::new(4, NamedConfig::Aw).with_duration(Nanos::from_millis(60.0));
+        let w = WorkloadSpec::poisson("skip", 40_000.0, Nanos::from_micros(3.0), 0.8);
+        let b = SimBuilder::new(cfg, w, 42);
+        (if skip { b } else { b.without_idle_skip() }).run()
+    };
+    let (on, off) = (single(true), single(false));
+    assert!(on.chained > 0, "idle-skip never fired; the comparison proves nothing");
+    assert_eq!(off.chained, 0, "skip-off run took the inline chain");
+    assert_eq!(
+        format!("{:?}", on.metrics),
+        format!("{:?}", off.metrics),
+        "idle-skip changed the simulation"
+    );
+
+    // The same contract holds through the process-global default — the
+    // path the CLI's `--no-idle-skip` takes — and at fleet scale, where
+    // every simulated server-epoch inherits the default.
+    set_default_idle_skip(false);
+    let fig8_noskip = fig8_fingerprint();
+    let fleet_noskip = fleet_fingerprint();
+    set_default_idle_skip(true);
+    assert_eq!(&fig8_noskip, fig8_serial, "--no-idle-skip changed the Fig. 8 report");
+    assert_eq!(&fleet_noskip, fleet_serial, "--no-idle-skip changed the fleet report");
 }
