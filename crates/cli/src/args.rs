@@ -5,6 +5,7 @@ use std::fmt;
 use agilewatts::aw_cluster::RoutingPolicy;
 use agilewatts::aw_cstates::NamedConfig;
 use agilewatts::aw_faults::{FaultSpec, FleetFaultSpec};
+use agilewatts::aw_server::HardwareModel;
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +57,11 @@ pub enum Command {
     Fleet(FleetArgs),
     /// `watch [OPTIONS]`
     Watch(WatchArgs),
+    /// `cross-vendor [--quick]`
+    CrossVendor {
+        /// Reduced parameter set.
+        quick: bool,
+    },
     /// `report [--quick]`
     Report {
         /// Reduced parameter set.
@@ -299,6 +305,11 @@ pub struct CommonArgs {
     pub robustness: RobustnessArgs,
     /// Execution options (`--jobs`).
     pub exec: ExecArgs,
+    /// Hardware model names from `--hw` (validated against the registry
+    /// at parse time). Empty = the default Skylake-SP. A comma-separated
+    /// list builds a mixed fleet (`fleet`/`watch`) or restricts the
+    /// `cross-vendor` grid.
+    pub hw: Vec<String>,
 }
 
 impl CommonArgs {
@@ -307,6 +318,32 @@ impl CommonArgs {
     #[must_use]
     pub fn is_active(&self) -> bool {
         self.telemetry.is_active() || self.telemetry.idle_active() || self.robustness.is_active()
+    }
+
+    /// The parsed `--hw` models, in the order given on the command line.
+    #[must_use]
+    pub fn hw_models(&self) -> Vec<&'static HardwareModel> {
+        self.hw
+            .iter()
+            .map(|n| HardwareModel::by_name(n).expect("validated at parse time"))
+            .collect()
+    }
+
+    /// The one hardware model a single-server subcommand runs on
+    /// (default: Skylake-SP, the paper's part).
+    ///
+    /// # Errors
+    ///
+    /// Errors when `--hw` named more than one model — only `fleet`,
+    /// `watch`, and `cross-vendor` accept a list.
+    pub fn single_hw(&self) -> Result<&'static HardwareModel, ParseError> {
+        match self.hw.len() {
+            0 => Ok(HardwareModel::skylake_sp()),
+            1 => Ok(HardwareModel::by_name(&self.hw[0]).expect("validated at parse time")),
+            n => Err(ParseError(format!(
+                "--hw named {n} models; only fleet, watch, and cross-vendor accept a list"
+            ))),
+        }
     }
 
     /// Installs the process-wide execution options (`--jobs`). Call once
@@ -365,6 +402,14 @@ impl CommonArgs {
             "--timeline-out" => self.telemetry.timeline_out = Some(value("--timeline-out")?),
             "--attrib-out" => self.telemetry.attrib_out = Some(value("--attrib-out")?),
             "--idle-out" => self.telemetry.idle_out = Some(value("--idle-out")?),
+            "--hw" => {
+                let v = value("--hw")?;
+                for name in v.split(',') {
+                    let hw = HardwareModel::by_name(name.trim())
+                        .map_err(|e| ParseError(e.to_string()))?;
+                    self.hw.push(hw.name.to_string());
+                }
+            }
             "--jobs" => {
                 self.exec.jobs = Some(positive_usize("--jobs", &value("--jobs")?)?);
             }
@@ -440,10 +485,10 @@ pub fn parse_cli(args: &[String]) -> Result<(Command, CommonArgs), ParseError> {
         }
     }
     let command = parse(&rest)?;
-    if common.is_active() && matches!(command, Command::Help) {
+    if (common.is_active() || !common.hw.is_empty()) && matches!(command, Command::Help) {
         return Err(ParseError(
             "--trace-out/--metrics-out/--slo-p99/--timeline-out/--attrib-out/--idle-out/\
-             --faults/--queue-cap/--request-timeout need an experiment subcommand"
+             --faults/--queue-cap/--request-timeout/--hw need an experiment subcommand"
                 .into(),
         ));
     }
@@ -494,6 +539,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "snoop" => has_quick(rest).map(|_| Command::Snoop),
         "validate" => Ok(Command::Validate { quick: has_quick(rest)? }),
         "ablations" => Ok(Command::Ablations { quick: has_quick(rest)? }),
+        "cross-vendor" => Ok(Command::CrossVendor { quick: has_quick(rest)? }),
         "report" => Ok(Command::Report { quick: has_quick(rest)? }),
         "sweep" => parse_sweep(rest).map(Command::Sweep),
         "analyze" => parse_analyze(rest).map(Command::Analyze),
@@ -883,6 +929,47 @@ mod tests {
         assert!(c.exec.no_idle_skip);
         let (_, c) = parse_cli(&argv("fig 8")).unwrap();
         assert!(!c.exec.no_idle_skip);
+    }
+
+    #[test]
+    fn hw_flag_parses_and_validates_names() {
+        let (cmd, c) = parse_cli(&argv("fig 8 --hw skylake-sp --quick")).unwrap();
+        assert_eq!(cmd, Command::Fig { number: 8, quick: true });
+        assert_eq!(c.hw, vec!["skylake-sp".to_string()]);
+        assert_eq!(c.single_hw().unwrap().name, "skylake-sp");
+
+        // Comma list for mixed fleets, validated member by member.
+        let (_, c) = parse_cli(&argv("fleet --hw skylake-sp,zen2")).unwrap();
+        assert_eq!(c.hw, vec!["skylake-sp".to_string(), "zen2".to_string()]);
+        assert_eq!(c.hw_models().len(), 2);
+        assert!(c.single_hw().is_err(), "lists are fleet/watch/cross-vendor only");
+
+        // No flag = the default Skylake-SP part.
+        let (_, c) = parse_cli(&argv("fig 8 --quick")).unwrap();
+        assert!(c.hw.is_empty());
+        assert_eq!(c.single_hw().unwrap().name, "skylake-sp");
+    }
+
+    #[test]
+    fn unknown_hw_error_lists_known_models() {
+        let err = parse_cli(&argv("fig 8 --hw epyc-9999")).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("epyc-9999"), "{msg}");
+        assert!(msg.contains("skylake-sp"), "{msg}");
+        assert!(msg.contains("zen2"), "{msg}");
+        assert!(parse_cli(&argv("fleet --hw skylake-sp,nope")).is_err());
+        assert!(parse_cli(&argv("sweep --hw")).is_err(), "needs a value");
+        assert!(parse_cli(&argv("--hw zen2")).is_err(), "needs a subcommand");
+    }
+
+    #[test]
+    fn cross_vendor_parses() {
+        assert_eq!(
+            parse(&argv("cross-vendor --quick")).unwrap(),
+            Command::CrossVendor { quick: true }
+        );
+        assert_eq!(parse(&argv("cross-vendor")).unwrap(), Command::CrossVendor { quick: false });
+        assert!(parse(&argv("cross-vendor --fast")).is_err());
     }
 
     #[test]

@@ -51,11 +51,22 @@ COMMANDS:
                            audit, achievable-vs-achieved energy)
     fleet [OPTIONS]        N servers behind a load balancer
     watch [OPTIONS]        live fleet cockpit (streaming terminal UI)
+    cross-vendor           the Fig. 8 sweep on every hardware model
     report                 every artifact in one run
     help                   print this message
 
-OPTIONS (fig/package/diurnal/validate/ablations/report):
+OPTIONS (fig/package/diurnal/validate/ablations/cross-vendor/report):
     --quick                reduced parameter set (seconds, not minutes)
+
+HARDWARE OPTIONS (any experiment subcommand):
+    --hw <NAME[,NAME...]>  hardware model to simulate (default: skylake-sp;
+                           see `analyze`/`fig` etc.). A comma list builds a
+                           mixed fleet (fleet/watch, servers cycle through
+                           the list) or restricts the cross-vendor grid;
+                           other subcommands take exactly one model. An
+                           unknown name errors, listing the known models.
+                           Tables 2-4, flows, and motivation describe the
+                           modeled Skylake-SP part and reject other models
 
 EXECUTION OPTIONS (any experiment subcommand):
     --jobs <N>             worker threads for sweep execution (default:

@@ -2,16 +2,16 @@
 
 use agilewatts::aw_cstates::NamedConfig;
 use agilewatts::aw_faults::FaultPlan;
-use agilewatts::aw_server::{ServerConfig, SimBuilder, WorkloadSpec};
+use agilewatts::aw_server::{HardwareModel, ServerConfig, SimBuilder, WorkloadSpec};
 use agilewatts::aw_sleep::{BreakEven, IdleReport};
 use agilewatts::aw_telemetry::{AttributionReport, SloMonitor, TelemetryReport};
 use agilewatts::aw_types::Nanos;
 use agilewatts::aw_workloads::{kafka, memcached_etc, mysql_oltp, websearch, KafkaRate, MysqlRate};
 use agilewatts::experiments::{
     enhanced_split, flow_latencies, governor_ablation, motivation, motivation_simulated,
-    retention_ablation, sleep_mode_ablation, snoop_impact, table1, table2, table3, table4, table5,
-    zone_count_ablation, Diurnal, Fig10, Fig11, Fig12, Fig13, Fig8, Fig9, PackageAnalysis,
-    SweepParams, Table5Params, Validation,
+    retention_ablation, sleep_mode_ablation, snoop_impact_on, table1_for, table2, table3, table4,
+    table5, zone_count_ablation, CrossVendor, Diurnal, Fig10, Fig11, Fig12, Fig13, Fig8, Fig9,
+    PackageAnalysis, SweepParams, Table5Params, Validation,
 };
 use agilewatts::{attribution_table, degradation_table, telemetry_table};
 
@@ -21,12 +21,8 @@ use crate::args::{
 };
 use crate::USAGE;
 
-fn sweep_params(quick: bool) -> SweepParams {
-    if quick {
-        SweepParams::quick()
-    } else {
-        SweepParams::default()
-    }
+fn sweep_params(quick: bool, hw: &'static HardwareModel) -> SweepParams {
+    if quick { SweepParams::quick() } else { SweepParams::default() }.with_hw(hw)
 }
 
 fn workload_by_name(name: &str, qps: f64, cores: usize) -> Result<WorkloadSpec, ParseError> {
@@ -60,44 +56,76 @@ pub fn execute_with(command: &Command, common: &CommonArgs) -> Result<(), ParseE
     let (telemetry, robustness) = (&common.telemetry, &common.robustness);
     // A fleet run owns its shared flags (`--slo-p99`, `--timeline-out`)
     // at the fleet level rather than attaching a representative
-    // single-server run. A watch run is a fleet run with a cockpit.
+    // single-server run, and its `--hw` list builds a mixed fleet. A
+    // watch run is a fleet run with a cockpit.
     if let Command::Fleet(args) = command {
-        return run_fleet(args, telemetry, robustness);
+        return run_fleet(args, telemetry, robustness, common.hw_models());
     }
     if let Command::Watch(args) = command {
-        return crate::watch::run_watch(args, telemetry, robustness);
+        return crate::watch::run_watch(args, telemetry, robustness, common.hw_models());
     }
+    // `cross-vendor` sweeps every registered model unless `--hw`
+    // restricts the grid.
+    if let Command::CrossVendor { quick } = command {
+        return run_cross_vendor(*quick, common.hw_models());
+    }
+    // Everything else runs on exactly one hardware model.
+    let hw = common.single_hw()?;
     // `analyze` always captures idle intervals; `--idle-out` only adds
     // the artifact on disk.
     if let Command::Analyze(args) = command {
-        return run_analyze(args, telemetry);
+        return run_analyze(args, telemetry, hw);
     }
     if !common.is_active() {
-        return execute(command);
+        return execute_on(command, hw);
     }
     if let Command::Sweep(args) = command {
-        return run_sweep_with(args, telemetry, robustness);
+        return run_sweep_with(args, telemetry, robustness, hw);
     }
-    execute(command)?;
-    run_traced_representative(command, telemetry, robustness)
+    execute_on(command, hw)?;
+    run_traced_representative(command, telemetry, robustness, hw)
 }
 
-/// Executes a command, writing its report to stdout.
+/// Executes a command on the default Skylake-SP hardware model, writing
+/// its report to stdout.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] for semantic errors detectable only at
 /// execution time (e.g., an unknown workload name).
 pub fn execute(command: &Command) -> Result<(), ParseError> {
+    execute_on(command, HardwareModel::skylake_sp())
+}
+
+/// Executes a command on one hardware model, writing its report to
+/// stdout. Subcommands that describe the modeled Skylake-SP part itself
+/// (tables 2–4, `flows`, `motivation`) reject any other model instead of
+/// silently answering for the wrong silicon.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for semantic errors detectable only at
+/// execution time (e.g., an unknown workload name, or `--hw` on a
+/// Skylake-only subcommand).
+pub fn execute_on(command: &Command, hw: &'static HardwareModel) -> Result<(), ParseError> {
+    if hw.name != "skylake-sp"
+        && matches!(command, Command::Table(2..=4) | Command::Flows | Command::Motivation { .. })
+    {
+        return Err(ParseError(format!(
+            "this command describes the modeled Skylake-SP part (PMA/UFPG/PPA calibration); \
+             --hw {} does not apply",
+            hw.name
+        )));
+    }
     match command {
         Command::Help => println!("{USAGE}"),
-        Command::Table(1) => println!("{}", table1()),
+        Command::Table(1) => println!("{}", table1_for(hw)),
         Command::Table(2) => println!("{}", table2()),
         Command::Table(3) => println!("{}", table3()),
         Command::Table(4) => println!("{}", table4()),
-        Command::Table(5) => println!("{}", table5(&Table5Params::default())),
+        Command::Table(5) => println!("{}", table5(&Table5Params::default().with_hw(hw))),
         Command::Table(n) => return Err(ParseError(format!("no table {n}"))),
-        Command::Fig { number, quick } => run_fig(*number, *quick)?,
+        Command::Fig { number, quick } => run_fig(*number, *quick, hw)?,
         Command::Flows => {
             let f = flow_latencies();
             println!("C1 round trip:        {}", f.c1_round_trip);
@@ -122,7 +150,8 @@ pub fn execute(command: &Command) -> Result<(), ParseError> {
             }
         }
         Command::Package { quick } => {
-            let pkg = if *quick { PackageAnalysis::quick() } else { PackageAnalysis::default() };
+            let pkg = if *quick { PackageAnalysis::quick() } else { PackageAnalysis::default() }
+                .with_hw(hw);
             for r in pkg.run() {
                 println!(
                     "{:<16} {:<9} PC0/PC2/PC6 = {:>5.1}/{:>5.1}/{:>5.1}%  uncore {:>7.1} mW  core {:>7.1} mW",
@@ -132,7 +161,7 @@ pub fn execute(command: &Command) -> Result<(), ParseError> {
             }
         }
         Command::Diurnal { quick } => {
-            let d = if *quick { Diurnal::quick() } else { Diurnal::default() };
+            let d = if *quick { Diurnal::quick() } else { Diurnal::default() }.with_hw(hw);
             let r = d.run();
             println!(
                 "stationary savings {:.1}%, diurnal savings {:.1}% (baseline {:.0} mW → AW {:.0} mW, tail Δ {:+.1}%)",
@@ -144,43 +173,49 @@ pub fn execute(command: &Command) -> Result<(), ParseError> {
             );
         }
         Command::Snoop => {
-            let s = snoop_impact();
+            let s = snoop_impact_on(hw);
             println!(
                 "AW savings: {:.1}% quiet → {:.1}% snooping ({:.1} points lost)",
                 s.savings_quiet_pct, s.savings_snooping_pct, s.lost_pct
             );
         }
         Command::Validate { quick } => {
-            let v = if *quick { Validation::quick() } else { Validation::default() };
+            let v = if *quick { Validation::quick() } else { Validation::default() }.with_hw(hw);
             println!("{}", v.run());
         }
-        Command::Ablations { quick } => run_ablations(*quick),
-        Command::Sweep(args) => run_sweep(args)?,
-        Command::Analyze(args) => run_analyze(args, &TelemetryArgs::default())?,
+        Command::Ablations { quick } => run_ablations(*quick, hw),
+        Command::CrossVendor { quick } => run_cross_vendor(*quick, Vec::new())?,
+        Command::Sweep(args) => run_sweep(args, hw)?,
+        Command::Analyze(args) => run_analyze(args, &TelemetryArgs::default(), hw)?,
         Command::Fleet(args) => {
-            run_fleet(args, &TelemetryArgs::default(), &RobustnessArgs::default())?;
+            run_fleet(args, &TelemetryArgs::default(), &RobustnessArgs::default(), Vec::new())?;
         }
         Command::Watch(args) => {
-            crate::watch::run_watch(args, &TelemetryArgs::default(), &RobustnessArgs::default())?;
+            crate::watch::run_watch(
+                args,
+                &TelemetryArgs::default(),
+                &RobustnessArgs::default(),
+                Vec::new(),
+            )?;
         }
-        Command::Report { quick } => run_report(*quick)?,
+        Command::Report { quick } => run_report(*quick, hw)?,
     }
     Ok(())
 }
 
-fn run_fig(number: u8, quick: bool) -> Result<(), ParseError> {
-    let params = sweep_params(quick);
+fn run_fig(number: u8, quick: bool, hw: &'static HardwareModel) -> Result<(), ParseError> {
+    let params = sweep_params(quick, hw);
     match number {
         8 => println!("{}", Fig8::new(params).run()),
         9 => println!("{}", Fig9::new(params).run()),
         10 => println!("{}", Fig10::new(params).run()),
         11 => println!("{}", Fig11::new(params).run()),
         12 => {
-            let f = if quick { Fig12::quick() } else { Fig12::default() };
+            let f = if quick { Fig12::quick() } else { Fig12::default() }.with_hw(hw);
             println!("{}", f.run_all());
         }
         13 => {
-            let f = if quick { Fig13::quick() } else { Fig13::default() };
+            let f = if quick { Fig13::quick() } else { Fig13::default() }.with_hw(hw);
             println!("{}", f.run_all());
         }
         n => return Err(ParseError(format!("no figure {n}"))),
@@ -188,8 +223,19 @@ fn run_fig(number: u8, quick: bool) -> Result<(), ParseError> {
     Ok(())
 }
 
-fn run_ablations(quick: bool) {
-    let params = sweep_params(quick);
+/// Runs the cross-vendor grid: the Fig. 8 sweep per hardware model —
+/// every registered model, or the `--hw` list when one was given.
+fn run_cross_vendor(quick: bool, models: Vec<&'static HardwareModel>) -> Result<(), ParseError> {
+    let mut grid = CrossVendor::new(sweep_params(quick, HardwareModel::skylake_sp()));
+    if !models.is_empty() {
+        grid = grid.with_models(models);
+    }
+    println!("{}", grid.run());
+    Ok(())
+}
+
+fn run_ablations(quick: bool, hw: &'static HardwareModel) {
+    let params = sweep_params(quick, hw);
     let qps = if quick { 60_000.0 } else { 300_000.0 };
     println!("Governors (Memcached @ {qps:.0} QPS):");
     for r in governor_ablation(&params, qps) {
@@ -213,8 +259,8 @@ fn run_ablations(quick: bool) {
     println!("C6AE split: {:.1}% with C6AE vs {:.1}% C6A-only", e.with_c6ae_pct, e.c6a_only_pct);
 }
 
-fn run_sweep(args: &SweepArgs) -> Result<(), ParseError> {
-    run_sweep_with(args, &TelemetryArgs::default(), &RobustnessArgs::default())
+fn run_sweep(args: &SweepArgs, hw: &'static HardwareModel) -> Result<(), ParseError> {
+    run_sweep_with(args, &TelemetryArgs::default(), &RobustnessArgs::default(), hw)
 }
 
 /// Builds the [`Fleet`] experiment shared by `fleet` (batch) and `watch`
@@ -223,9 +269,11 @@ pub(crate) fn fleet_experiment(
     args: &FleetArgs,
     telemetry: &TelemetryArgs,
     robustness: &RobustnessArgs,
+    hw: Vec<&'static HardwareModel>,
 ) -> agilewatts::experiments::Fleet {
     use agilewatts::aw_cluster::{AutoscalePolicy, LoadShape};
     agilewatts::experiments::Fleet {
+        hw,
         servers: args.servers,
         cores: args.cores,
         utilization: args.utilization,
@@ -255,8 +303,10 @@ fn run_fleet(
     args: &FleetArgs,
     telemetry: &TelemetryArgs,
     robustness: &RobustnessArgs,
+    hw: Vec<&'static HardwareModel>,
 ) -> Result<(), ParseError> {
-    let report = fleet_experiment(args, telemetry, robustness).run_one(args.policy, args.config);
+    let report =
+        fleet_experiment(args, telemetry, robustness, hw).run_one(args.policy, args.config);
     println!("{report}");
     if let Some(artifact) = &report.failure {
         println!("replay: agilewatts fleet {}", artifact.replay_hint());
@@ -274,25 +324,37 @@ fn run_fleet(
 /// compares how much of the deep-sleep (C6-family) opportunity each
 /// recovered. `--idle-out` additionally writes the AW run's report to
 /// disk (`.json` = JSON, `.folded` = folded stack, else windowed CSV).
-fn run_analyze(args: &AnalyzeArgs, telemetry: &TelemetryArgs) -> Result<(), ParseError> {
+fn run_analyze(
+    args: &AnalyzeArgs,
+    telemetry: &TelemetryArgs,
+    hw: &'static HardwareModel,
+) -> Result<(), ParseError> {
     let workload = workload_by_name(&args.workload, args.qps, args.cores)?;
     let window = attrib_window(args.duration_ms);
     // Both configurations are scored against the same yardstick — the
-    // full AW menu's break-even model. Under the baseline's own legacy
-    // model short idles are simply un-sleepable (C6's round trip never
-    // fits), which would make its recovery trivially perfect.
-    let yardstick = BreakEven::from_server(&ServerConfig::new(args.cores, NamedConfig::Aw));
+    // full AW menu's break-even model *of the active hardware model*, so
+    // `analyze --hw zen2` audits against Zen 2's own costs. Under the
+    // baseline's own legacy model short idles are simply un-sleepable
+    // (C6's round trip never fits), which would make its recovery
+    // trivially perfect.
+    let yardstick = BreakEven::from_server(&ServerConfig::for_hw(hw, args.cores, NamedConfig::Aw));
     let mut recoveries = Vec::new();
     let mut aw_report = None;
     for named in [NamedConfig::Baseline, NamedConfig::Aw] {
-        let config = ServerConfig::new(args.cores, named)
+        let config = ServerConfig::for_hw(hw, args.cores, named)
             .with_duration(Nanos::from_millis(args.duration_ms));
         let output =
             SimBuilder::new(config.clone(), workload.clone(), args.seed).with_idle_analysis().run();
         let intervals = output.idle_intervals.as_deref().unwrap_or(&[]);
         let report =
             IdleReport::analyze(intervals, &BreakEven::from_server(&config), args.cores, window);
-        println!("[{named}] {} @ {:.0} QPS, {} cores", workload.name(), args.qps, args.cores);
+        println!(
+            "[{named}] {} @ {:.0} QPS, {} cores ({})",
+            workload.name(),
+            args.qps,
+            args.cores,
+            hw.name
+        );
         println!("{report}\n");
         let vs_aw_menu = IdleReport::analyze(intervals, &yardstick, args.cores, window);
         recoveries.push((named, vs_aw_menu.ledger.deep_recovery()));
@@ -385,9 +447,10 @@ fn run_sweep_with(
     args: &SweepArgs,
     telemetry: &TelemetryArgs,
     robustness: &RobustnessArgs,
+    hw: &'static HardwareModel,
 ) -> Result<(), ParseError> {
     let workload = workload_by_name(&args.workload, args.qps, args.cores)?;
-    let config = ServerConfig::new(args.cores, args.config)
+    let config = ServerConfig::for_hw(hw, args.cores, args.config)
         .with_duration(Nanos::from_millis(args.duration_ms));
     let output = instrumented_sim(
         config.clone(),
@@ -511,6 +574,7 @@ fn run_traced_representative(
     command: &Command,
     telemetry: &TelemetryArgs,
     robustness: &RobustnessArgs,
+    hw: &'static HardwareModel,
 ) -> Result<(), ParseError> {
     let workload = match command {
         Command::Fig { number: 12, .. } => mysql_oltp(MysqlRate::Mid),
@@ -518,8 +582,8 @@ fn run_traced_representative(
         _ => memcached_etc(200_000.0),
     };
     let duration_ms = 100.0;
-    let config =
-        ServerConfig::new(10, NamedConfig::Aw).with_duration(Nanos::from_millis(duration_ms));
+    let config = ServerConfig::for_hw(hw, 10, NamedConfig::Aw)
+        .with_duration(Nanos::from_millis(duration_ms));
     println!(
         "\nrepresentative instrumented run: {} / {} on 10 cores",
         NamedConfig::Aw,
@@ -555,18 +619,21 @@ fn run_traced_representative(
     Ok(())
 }
 
-fn run_report(quick: bool) -> Result<(), ParseError> {
+fn run_report(quick: bool, hw: &'static HardwareModel) -> Result<(), ParseError> {
     for n in 1..=5 {
-        execute(&Command::Table(n))?;
+        // Tables 2–4 describe the modeled Skylake-SP part; a report on
+        // another model keeps them on their native silicon.
+        let table_hw = if (2..=4).contains(&n) { HardwareModel::skylake_sp() } else { hw };
+        execute_on(&Command::Table(n), table_hw)?;
     }
     execute(&Command::Motivation { simulated: false })?;
     execute(&Command::Flows)?;
     for number in 8..=13 {
-        run_fig(number, quick)?;
+        run_fig(number, quick, hw)?;
     }
-    execute(&Command::Validate { quick })?;
-    execute(&Command::Snoop)?;
-    run_ablations(quick);
+    execute_on(&Command::Validate { quick }, hw)?;
+    execute_on(&Command::Snoop, hw)?;
+    run_ablations(quick, hw);
     Ok(())
 }
 
@@ -594,7 +661,9 @@ mod tests {
     #[test]
     fn quick_sweep_executes() {
         let args = SweepArgs { cores: 2, duration_ms: 20.0, qps: 50_000.0, ..SweepArgs::default() };
-        run_sweep(&args).unwrap();
+        run_sweep(&args, HardwareModel::skylake_sp()).unwrap();
+        // The same custom run retargets cleanly onto the other backend.
+        run_sweep(&args, HardwareModel::zen2()).unwrap();
     }
 
     #[test]
@@ -726,7 +795,7 @@ mod tests {
             idle_out: Some(idle.to_string_lossy().into_owned()),
             ..TelemetryArgs::default()
         };
-        run_analyze(&args, &telemetry).unwrap();
+        run_analyze(&args, &telemetry, HardwareModel::skylake_sp()).unwrap();
         let csv = std::fs::read_to_string(&idle).unwrap();
         assert!(csv.starts_with("window,start_ms,intervals"), "{csv}");
         assert!(csv.lines().count() > 1, "at least one window row");
@@ -758,7 +827,27 @@ mod tests {
     #[test]
     fn unknown_workload_errors() {
         let args = SweepArgs { workload: "redis".into(), ..SweepArgs::default() };
-        assert!(run_sweep(&args).is_err());
+        assert!(run_sweep(&args, HardwareModel::skylake_sp()).is_err());
+    }
+
+    #[test]
+    fn skylake_only_commands_reject_other_models() {
+        for cmd in [Command::Table(3), Command::Flows, Command::Motivation { simulated: false }] {
+            let err = execute_on(&cmd, HardwareModel::zen2()).unwrap_err();
+            assert!(err.to_string().contains("Skylake-SP"), "{err}");
+            execute_on(&cmd, HardwareModel::skylake_sp()).unwrap();
+        }
+        // Simulation-driven commands run on either model.
+        execute_on(&Command::Table(1), HardwareModel::zen2()).unwrap();
+        execute_on(&Command::Snoop, HardwareModel::zen2()).unwrap();
+    }
+
+    #[test]
+    fn mixed_hw_fleet_executes() {
+        let args =
+            FleetArgs { servers: 2, cores: 2, epochs: 2, epoch_ms: 10.0, ..FleetArgs::default() };
+        let hw = vec![HardwareModel::skylake_sp(), HardwareModel::zen2()];
+        run_fleet(&args, &TelemetryArgs::default(), &RobustnessArgs::default(), hw).unwrap();
     }
 
     #[test]

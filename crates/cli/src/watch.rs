@@ -399,8 +399,9 @@ pub(crate) fn run_watch(
     args: &WatchArgs,
     telemetry: &TelemetryArgs,
     robustness: &RobustnessArgs,
+    hw: Vec<&'static agilewatts::aw_server::HardwareModel>,
 ) -> Result<(), ParseError> {
-    let config = crate::run::fleet_experiment(&args.fleet, telemetry, robustness)
+    let config = crate::run::fleet_experiment(&args.fleet, telemetry, robustness, hw)
         .config(args.fleet.policy, args.fleet.config);
     if args.headless {
         run_headless(args, config);
@@ -509,6 +510,7 @@ mod tests {
             &args.fleet,
             &TelemetryArgs::default(),
             &RobustnessArgs::default(),
+            Vec::new(),
         )
         .config(args.fleet.policy, args.fleet.config);
         let mut state = Cockpit::new(config.servers, config.epochs, config.slo_p99);
@@ -629,6 +631,7 @@ mod tests {
 
     #[test]
     fn headless_watch_runs_end_to_end() {
-        run_watch(&tiny_args(), &TelemetryArgs::default(), &RobustnessArgs::default()).unwrap();
+        run_watch(&tiny_args(), &TelemetryArgs::default(), &RobustnessArgs::default(), Vec::new())
+            .unwrap();
     }
 }

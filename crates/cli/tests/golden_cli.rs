@@ -1,0 +1,127 @@
+//! Golden and determinism tests run against the real `agilewatts`
+//! binary, so they cover argument parsing, hardware-model selection,
+//! and report rendering end to end.
+//!
+//! The golden files pin `--hw skylake-sp` output byte-identical to the
+//! seed constants: any drift in the Skylake-SP calibration (or in the
+//! default-model plumbing) fails these before it reaches a reviewer.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_agilewatts")).args(args).output().expect("binary runs")
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "`agilewatts {}` failed: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+const FLEET_CHAOS: &[&str] = &[
+    "fleet",
+    "--servers",
+    "4",
+    "--epochs",
+    "8",
+    "--autoscale",
+    "--fleet-faults",
+    "crash-at=2:0,down-epochs=2,unpark-fail=0.2",
+];
+
+/// `--hw skylake-sp` is the explicit spelling of the default: its Fig. 8
+/// output must stay byte-identical to the seed golden.
+#[test]
+fn fig8_skylake_matches_seed_golden() {
+    let expected = golden("fig8_quick_skylake.txt");
+    assert_eq!(stdout_of(&["fig", "8", "--quick", "--jobs", "1"]), expected);
+    assert_eq!(stdout_of(&["fig", "8", "--quick", "--hw", "skylake-sp", "--jobs", "2"]), expected);
+}
+
+/// The chaos fleet run (crash + slow-unpark faults, autoscaler on) is
+/// pinned too — it exercises the fleet layer's per-server hardware
+/// plumbing even when every server is the default model.
+#[test]
+fn fleet_chaos_skylake_matches_seed_golden() {
+    let expected = golden("fleet_chaos_skylake.txt");
+    let mut with_jobs = FLEET_CHAOS.to_vec();
+    with_jobs.extend(["--jobs", "1"]);
+    assert_eq!(stdout_of(&with_jobs), expected);
+    let mut with_hw = FLEET_CHAOS.to_vec();
+    with_hw.extend(["--hw", "skylake-sp", "--jobs", "2"]);
+    assert_eq!(stdout_of(&with_hw), expected);
+}
+
+/// The same Fig. 8 grid runs end to end on the Zen 2 backend, and its
+/// numbers genuinely differ from Skylake-SP's.
+#[test]
+fn fig8_runs_on_zen2() {
+    let z = stdout_of(&["fig", "8", "--quick", "--hw", "zen2", "--jobs", "1"]);
+    assert!(z.contains("Fig. 8"), "{z}");
+    assert_ne!(z, golden("fig8_quick_skylake.txt"));
+}
+
+/// A mixed skylake-sp,zen2 fleet is byte-deterministic at any worker
+/// count: per-server seed streams make the schedule independent of how
+/// servers land on threads.
+#[test]
+fn mixed_fleet_deterministic_across_jobs() {
+    let out = |jobs: &str| {
+        let mut args = FLEET_CHAOS.to_vec();
+        args.extend(["--hw", "skylake-sp,zen2", "--jobs", jobs]);
+        stdout_of(&args)
+    };
+    let one = out("1");
+    assert_eq!(one, out("2"));
+    assert_eq!(one, out("8"));
+    // And the mix really changes the report vs the all-Skylake fleet.
+    assert_ne!(one, golden("fleet_chaos_skylake.txt"));
+}
+
+/// Unknown model names fail fast and name the alternatives.
+#[test]
+fn unknown_hw_lists_known_models() {
+    let out = run(&["fig", "8", "--quick", "--hw", "epyc9"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown hardware model `epyc9`"), "{err}");
+    assert!(err.contains("skylake-sp") && err.contains("zen2"), "{err}");
+}
+
+/// Skylake-structural subcommands reject other models instead of
+/// answering with the wrong silicon's numbers.
+#[test]
+fn skylake_only_commands_reject_zen2() {
+    for args in [["table", "2"], ["table", "4"], ["flows", "--hw"]] {
+        let full: Vec<&str> = if args[1] == "--hw" {
+            vec![args[0], "--hw", "zen2"]
+        } else {
+            vec![args[0], args[1], "--hw", "zen2"]
+        };
+        let out = run(&full);
+        assert!(!out.status.success(), "`{}` should fail", full.join(" "));
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("Skylake-SP"), "{err}");
+    }
+}
+
+/// The cross-vendor grid runs and covers both registered models; the
+/// `--hw` list restricts it.
+#[test]
+fn cross_vendor_covers_registry() {
+    let all = stdout_of(&["cross-vendor", "--quick", "--jobs", "2"]);
+    assert!(all.contains("skylake-sp") && all.contains("zen2"), "{all}");
+    let only = stdout_of(&["cross-vendor", "--quick", "--hw", "zen2", "--jobs", "1"]);
+    assert!(only.contains("zen2") && !only.contains("skylake-sp"), "{only}");
+}

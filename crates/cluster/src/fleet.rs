@@ -41,7 +41,7 @@ use aw_faults::{
     FleetFaultSpec,
 };
 use aw_server::{
-    LatencyStats, PackageCState, RunOutput, ServerConfig, SimBuilder, UncorePower, WorkloadSpec,
+    HardwareModel, LatencyStats, PackageCState, RunOutput, ServerConfig, SimBuilder, WorkloadSpec,
 };
 use aw_sim::SampleSet;
 use aw_sleep::{BreakEven, OpportunitySummary};
@@ -125,6 +125,12 @@ pub struct FleetConfig {
     /// spec's via the fleet's `(seed, server, epoch)` mixer. `None`
     /// (and an inert spec) leaves the simulations untouched.
     pub server_faults: Option<FaultSpec>,
+    /// Hardware models cycled across server slots: server `s` runs the
+    /// prototype rehosted onto `hw[s % hw.len()]`, so a two-entry list
+    /// builds an alternating Skylake-SP / Zen 2 fleet. Empty (the
+    /// default) keeps every server on the prototype as-is — including
+    /// any catalog overrides a rehost would discard.
+    pub hw: Vec<&'static HardwareModel>,
 }
 
 impl FleetConfig {
@@ -154,6 +160,7 @@ impl FleetConfig {
             slo_p99: Nanos::from_micros(500.0),
             fleet_faults: None,
             server_faults: None,
+            hw: Vec::new(),
         }
     }
 
@@ -215,6 +222,26 @@ impl FleetConfig {
     pub fn with_server_faults(mut self, spec: FaultSpec) -> Self {
         self.server_faults = Some(spec);
         self
+    }
+
+    /// Cycles the given hardware models across server slots (see the
+    /// [`FleetConfig::hw`] field). An empty list keeps the prototype.
+    #[must_use]
+    pub fn with_hw(mut self, hw: Vec<&'static HardwareModel>) -> Self {
+        self.hw = hw;
+        self
+    }
+
+    /// The concrete configuration for server slot `server`: the
+    /// prototype rehosted onto the slot's hardware model, or the
+    /// prototype itself when no `hw` list is set.
+    #[must_use]
+    pub fn server_config(&self, server: usize) -> ServerConfig {
+        if self.hw.is_empty() {
+            self.server.clone()
+        } else {
+            self.server.rehosted(self.hw[server % self.hw.len()])
+        }
     }
 
     /// One fully available server's saturation throughput: `cores /
@@ -480,18 +507,27 @@ impl FleetSim {
         // outputs are independent of batching (each server-epoch owns
         // its seed stream), so slicing the old flat grid into per-epoch
         // fan-outs changes when results arrive, never what they are.
+        // Server slots may host different hardware models (mixed
+        // fleets), so every per-slot quantity — the config a simulation
+        // clones, the closed-form idle power, the break-even scoring
+        // model — is resolved per slot up front.
+        let per_server: Vec<ServerConfig> =
+            (0..cfg.servers).map(|s| cfg.server_config(s)).collect();
         // An empty unparked server is closed-form:
         // all cores in the menu's deepest state, uncore in PC6 when the
         // menu includes C6 (else PC2 — all cores idle but not demotable
-        // to package sleep).
-        let has_c6 = cfg.server.cstates.is_enabled(CState::C6);
-        let idle_core = cfg
-            .server
-            .catalog
-            .power(cfg.server.cstates.deepest().unwrap_or(CState::C0), FreqLevel::P1);
-        let idle_uncore =
-            UncorePower::skylake().of(if has_c6 { PackageCState::Pc6 } else { PackageCState::Pc2 });
-        let idle_power = idle_core * cfg.server.cores as f64 + idle_uncore;
+        // to package sleep). `(has_c6, idle power)` per slot.
+        let idle: Vec<(bool, MilliWatts)> = per_server
+            .iter()
+            .map(|sc| {
+                let has_c6 = sc.cstates.is_enabled(CState::C6);
+                let core =
+                    sc.catalog.power(sc.cstates.deepest().unwrap_or(CState::C0), FreqLevel::P1);
+                let uncore =
+                    sc.hw.uncore.of(if has_c6 { PackageCState::Pc6 } else { PackageCState::Pc2 });
+                (has_c6, core * sc.cores as f64 + uncore)
+            })
+            .collect();
         let park_power = cfg.autoscale.as_ref().map_or(MilliWatts::ZERO, |p| p.park_power);
 
         let mut registry = MetricsRegistry::new();
@@ -508,9 +544,10 @@ impl FleetSim {
         let mut pc6_sum = 0.0;
         let mut slo_violations = 0usize;
         let mut degradation = FleetDegradation::default();
-        // Idle-opportunity scoring model: same catalog and C-state menu
-        // every server-epoch simulation runs with.
-        let breakeven = BreakEven::from_server(&cfg.server);
+        // Idle-opportunity scoring models: each slot's intervals are
+        // priced with the catalog and C-state menu its simulations ran
+        // with, so a zen2 slot is never audited with skylake costs.
+        let breakevens: Vec<BreakEven> = per_server.iter().map(BreakEven::from_server).collect();
         let mut fleet_achieved = Joules::ZERO;
         let mut fleet_oracle = Joules::ZERO;
 
@@ -539,7 +576,7 @@ impl FleetSim {
                 if let Some(factor) = p.throttle {
                     workload = workload.scaled_service(1.0 / factor);
                 }
-                let server = cfg.server.clone().with_duration(cfg.epoch * p.phase);
+                let server = per_server[p.server].clone().with_duration(cfg.epoch * p.phase);
                 let mut builder = SimBuilder::new(server, workload, seed)
                     .with_latency_samples()
                     .with_idle_analysis();
@@ -567,10 +604,12 @@ impl FleetSim {
                 Vec::with_capacity(if observe { cfg.servers } else { 0 });
 
             // Pulls the sums/samples out of one simulated server-epoch;
-            // shared by the loaded and crashing arms. Captures only the
-            // (immutable) break-even model — every accumulator comes in
-            // by reference so the census arms can keep using them.
+            // shared by the loaded and crashing arms. The slot's own
+            // break-even model comes in as an argument — every
+            // accumulator comes in by reference so the census arms can
+            // keep using them.
             let absorb_sim = |out: &RunOutput,
+                              be: &BreakEven,
                               phase: f64,
                               samples: &mut SampleSet,
                               all_samples: &mut SampleSet,
@@ -593,10 +632,8 @@ impl FleetSim {
                     / 100.0;
                 *pc6_sum += m.package_residency[2].as_percent() / 100.0;
                 degradation.absorb_server(&m.degradation);
-                let opportunity = OpportunitySummary::compute(
-                    out.idle_intervals.as_deref().unwrap_or(&[]),
-                    &breakeven,
-                );
+                let opportunity =
+                    OpportunitySummary::compute(out.idle_intervals.as_deref().unwrap_or(&[]), be);
                 *epoch_achieved += opportunity.achieved_savings;
                 *epoch_oracle += opportunity.oracle_savings;
                 if let Some(lat) = &out.latency_samples {
@@ -621,6 +658,7 @@ impl FleetSim {
                             unparked_epochs += 1;
                             let (pkg, opportunity) = absorb_sim(
                                 out,
+                                &breakevens[server],
                                 phase,
                                 &mut samples,
                                 &mut all_samples,
@@ -657,7 +695,7 @@ impl FleetSim {
                             // Crashed while carrying no traffic: idle
                             // (or parked) until the crash point, dark
                             // after.
-                            let pre = if avail > 0.0 { idle_power } else { park_power };
+                            let pre = if avail > 0.0 { idle[server].1 } else { park_power };
                             power += pre * phase;
                             if observe {
                                 snapshots.push(ServerEpochSnapshot::unsimulated(
@@ -683,13 +721,13 @@ impl FleetSim {
                     // the router re-probes it.
                     ejected += 1;
                     unparked_epochs += 1;
-                    pc6_sum += if has_c6 { 1.0 } else { 0.0 };
-                    power += idle_power;
+                    pc6_sum += if idle[server].0 { 1.0 } else { 0.0 };
+                    power += idle[server].1;
                     if observe {
                         snapshots.push(ServerEpochSnapshot::unsimulated(
                             server,
                             ServerRole::Ejected,
-                            idle_power,
+                            idle[server].1,
                         ));
                     }
                 } else {
@@ -709,13 +747,13 @@ impl FleetSim {
                             active += 1;
                             idle_active += 1;
                             unparked_epochs += 1;
-                            pc6_sum += if has_c6 { 1.0 } else { 0.0 };
-                            power += idle_power;
+                            pc6_sum += if idle[server].0 { 1.0 } else { 0.0 };
+                            power += idle[server].1;
                             if observe {
                                 snapshots.push(ServerEpochSnapshot::unsimulated(
                                     server,
                                     ServerRole::Idle,
-                                    idle_power,
+                                    idle[server].1,
                                 ));
                             }
                         }
@@ -725,6 +763,7 @@ impl FleetSim {
                             sim_epochs += 1;
                             let (mut pkg, opportunity) = absorb_sim(
                                 out,
+                                &breakevens[server],
                                 1.0,
                                 &mut samples,
                                 &mut all_samples,
@@ -859,6 +898,15 @@ impl FleetSim {
             servers: cfg.servers,
             cores_per_server: cfg.server.cores,
             config: cfg.server.named.to_string(),
+            // Recorded only when some server actually runs on different
+            // silicon than the prototype: `--hw skylake-sp` is then the
+            // explicit spelling of the default and reports stay
+            // byte-identical to a bare run.
+            hw: if cfg.hw.iter().all(|h| std::ptr::eq(*h, cfg.server.hw)) {
+                Vec::new()
+            } else {
+                cfg.hw.iter().map(|h| h.name.to_string()).collect()
+            },
             epoch: cfg.epoch,
             latency: LatencyStats::from_samples(&mut all_samples),
             avg_fleet_power: total_energy / run_span,
@@ -1036,6 +1084,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mixed_hw_fleet_is_reproducible_and_reports_models() {
+        let hw = vec![HardwareModel::skylake_sp(), HardwareModel::zen2()];
+        let cfg = fleet(4, NamedConfig::NtAw, 12_800.0).with_hw(hw);
+        let a = FleetSim::new(cfg.clone()).run();
+        let b = FleetSim::new(cfg).run();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "mixed fleet is not reproducible");
+        assert_eq!(a.hw, vec!["skylake-sp".to_string(), "zen2".to_string()]);
+        assert!(a.completed > 0);
+    }
+
+    #[test]
+    fn single_skylake_hw_entry_matches_the_prototype_fleet() {
+        // Rehosting the (skylake-default) prototype onto skylake-sp is
+        // the identity for everything the simulations consume.
+        let bare = FleetSim::new(fleet(2, NamedConfig::NtAw, 8_000.0)).run();
+        let hosted = FleetSim::new(
+            fleet(2, NamedConfig::NtAw, 8_000.0).with_hw(vec![HardwareModel::skylake_sp()]),
+        )
+        .run();
+        assert_eq!(bare.timeline_csv(), hosted.timeline_csv());
+        assert_eq!(bare.avg_fleet_power, hosted.avg_fleet_power);
+        assert_eq!(bare.energy, hosted.energy);
     }
 
     #[test]

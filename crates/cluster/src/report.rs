@@ -168,6 +168,11 @@ pub struct FleetReport {
     pub cores_per_server: usize,
     /// C-state menu name (e.g. `AW`, `Baseline`).
     pub config: String,
+    /// Hardware model names cycled across server slots; empty for a
+    /// homogeneous fleet running the prototype configuration. Kept out
+    /// of serialized reports when empty so default runs are unchanged.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub hw: Vec<String>,
     /// Epoch duration.
     pub epoch: Nanos,
     /// Per-epoch history.
@@ -251,6 +256,9 @@ impl fmt::Display for FleetReport {
             self.windows.len(),
             self.epoch
         )?;
+        if !self.hw.is_empty() {
+            writeln!(f, "  hw:      {} (cycled across server slots)", self.hw.join(", "))?;
+        }
         writeln!(
             f,
             "  power:   {:.1} W avg ({:.3} mJ/request over {} requests)",

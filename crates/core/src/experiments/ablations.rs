@@ -35,7 +35,7 @@ pub struct GovernorAblationRow {
 pub fn governor_ablation(params: &SweepParams, qps: f64) -> Vec<GovernorAblationRow> {
     let kinds = [GovernorKind::Menu, GovernorKind::Ladder, GovernorKind::Oracle];
     SweepExecutor::current().map(&kinds, |&kind| {
-        let cfg = ServerConfig::new(params.cores, NamedConfig::Baseline)
+        let cfg = ServerConfig::for_hw(params.hw, params.cores, NamedConfig::Baseline)
             .with_duration(params.duration)
             .with_governor(kind);
         let m = SimBuilder::new(cfg, memcached_etc(qps), params.seed).run().into_metrics();
@@ -171,12 +171,12 @@ pub fn enhanced_split(params: &SweepParams, qps: f64) -> EnhancedSplit {
     ];
     let runs = SweepExecutor::current().map(&masks, |mask| match mask {
         None => {
-            let cfg = ServerConfig::new(params.cores, NamedConfig::NtBaseline)
+            let cfg = ServerConfig::for_hw(params.hw, params.cores, NamedConfig::NtBaseline)
                 .with_duration(params.duration);
             SimBuilder::new(cfg, memcached_etc(qps), params.seed).run().into_metrics()
         }
         Some(mask) => {
-            let cfg = ServerConfig::new(params.cores, NamedConfig::NtAw)
+            let cfg = ServerConfig::for_hw(params.hw, params.cores, NamedConfig::NtAw)
                 .with_cstates(mask.clone())
                 .with_duration(params.duration);
             SimBuilder::new(cfg, memcached_etc(qps), params.seed).run().into_metrics()

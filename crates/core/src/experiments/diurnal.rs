@@ -10,7 +10,7 @@
 //! savings are compared.
 
 use aw_cstates::NamedConfig;
-use aw_server::{RunMetrics, ServerConfig, SimBuilder};
+use aw_server::{HardwareModel, RunMetrics, ServerConfig, SimBuilder};
 use aw_types::Nanos;
 use aw_workloads::{diurnal_memcached, memcached_etc};
 use serde::Serialize;
@@ -30,6 +30,8 @@ pub struct Diurnal {
     pub duration: Nanos,
     /// RNG seed.
     pub seed: u64,
+    /// Hardware model the server is built on.
+    pub hw: &'static HardwareModel,
 }
 
 impl Default for Diurnal {
@@ -41,6 +43,7 @@ impl Default for Diurnal {
             cores: 10,
             duration: Nanos::from_millis(800.0),
             seed: 42,
+            hw: HardwareModel::skylake_sp(),
         }
     }
 }
@@ -68,12 +71,18 @@ impl Diurnal {
     pub fn quick() -> Self {
         Diurnal {
             base_qps: 300_000.0,
-            amplitude: 0.85,
             period: Nanos::from_millis(40.0),
             cores: 4,
             duration: Nanos::from_millis(80.0),
-            seed: 42,
+            ..Diurnal::default()
         }
+    }
+
+    /// Retargets the experiment onto another hardware model.
+    #[must_use]
+    pub fn with_hw(mut self, hw: &'static HardwareModel) -> Self {
+        self.hw = hw;
+        self
     }
 
     fn run_one(&self, named: NamedConfig, diurnal: bool) -> RunMetrics {
@@ -84,7 +93,7 @@ impl Diurnal {
         } else {
             memcached_etc(qps)
         };
-        let cfg = ServerConfig::new(self.cores, named).with_duration(self.duration);
+        let cfg = ServerConfig::for_hw(self.hw, self.cores, named).with_duration(self.duration);
         SimBuilder::new(cfg, workload, self.seed).run().into_metrics()
     }
 

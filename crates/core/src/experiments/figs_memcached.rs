@@ -5,7 +5,7 @@ use std::fmt;
 use aw_cstates::{CState, NamedConfig};
 use aw_exec::SweepExecutor;
 use aw_power::AwTransform;
-use aw_server::{RunMetrics, ServerConfig, SimBuilder};
+use aw_server::{HardwareModel, RunMetrics, ServerConfig, SimBuilder};
 use aw_types::Nanos;
 use aw_workloads::memcached_etc;
 use serde::Serialize;
@@ -23,6 +23,9 @@ pub struct SweepParams {
     pub duration: Nanos,
     /// RNG seed.
     pub seed: u64,
+    /// Hardware model every sweep point simulates (menus, powers,
+    /// latencies, and the Fig. 8d scalability frequency pair).
+    pub hw: &'static HardwareModel,
 }
 
 impl Default for SweepParams {
@@ -32,6 +35,7 @@ impl Default for SweepParams {
             cores: 10,
             duration: Nanos::from_millis(400.0),
             seed: 42,
+            hw: HardwareModel::skylake_sp(),
         }
     }
 }
@@ -45,16 +49,24 @@ impl SweepParams {
             cores: 4,
             duration: Nanos::from_millis(60.0),
             seed: 42,
+            hw: HardwareModel::skylake_sp(),
         }
     }
 
+    /// Retargets the sweep onto another hardware model.
+    #[must_use]
+    pub fn with_hw(mut self, hw: &'static HardwareModel) -> Self {
+        self.hw = hw;
+        self
+    }
+
     fn run(&self, named: NamedConfig, qps: f64) -> RunMetrics {
-        let cfg = ServerConfig::new(self.cores, named).with_duration(self.duration);
+        let cfg = ServerConfig::for_hw(self.hw, self.cores, named).with_duration(self.duration);
         SimBuilder::new(cfg, memcached_etc(qps), self.seed).run().into_metrics()
     }
 
     fn run_scaled_service(&self, named: NamedConfig, qps: f64, factor: f64) -> RunMetrics {
-        let cfg = ServerConfig::new(self.cores, named).with_duration(self.duration);
+        let cfg = ServerConfig::for_hw(self.hw, self.cores, named).with_duration(self.duration);
         SimBuilder::new(cfg, memcached_etc(qps).scaled_service(factor), self.seed)
             .run()
             .into_metrics()
@@ -116,7 +128,8 @@ impl Fig8 {
         let points = self.executor_points();
         let results = SweepExecutor::current().map(&points, |&qps| self.run_point(qps));
         let mut rows = Vec::with_capacity(results.len());
-        let mut scalability = Series::new("2.0→2.2 GHz gain %");
+        let (slow, fast) = self.params.hw.scal_freqs;
+        let mut scalability = Series::new(format!("{slow:.1}→{fast:.1} GHz gain %"));
         for (row, (qps, gain)) in results {
             rows.push(row);
             scalability.push(qps, gain);
@@ -140,17 +153,18 @@ impl Fig8 {
             memcached_etc(qps).frequency_scalability(),
             baseline.transitions_per_second() / self.params.cores as f64,
         );
-        let catalog = aw_cstates::CStateCatalog::skylake_with_aw();
+        let catalog = self.params.hw.catalog();
         let p_base =
             aw_power::average_power(&baseline.residencies, &catalog, aw_cstates::FreqLevel::P1);
         let p_model =
             transform.average_power(&baseline.residencies, &catalog, aw_cstates::FreqLevel::P1);
 
         // Fig. 8c: worst case charges the extra AW transition latency
-        // (~100 ns) plus the 1% frequency stretch to *every* query;
-        // the expected case charges only the transitions that
-        // actually happened (transitions / completed queries).
-        let extra = 100.0; // ns per transition (Sec. 5.2)
+        // (the model's retention wake-up, ~100 ns on Skylake-SP) plus
+        // the 1% frequency stretch to *every* query; the expected case
+        // charges only the transitions that actually happened
+        // (transitions / completed queries).
+        let extra = self.params.hw.aw_wake_extra().as_nanos();
         let mean_lat = baseline.server_latency.mean.as_nanos().max(1.0);
         let freq_stretch_ns = 0.01
             * memcached_etc(qps).frequency_scalability()
@@ -183,9 +197,11 @@ impl Fig8 {
             expected_e2e_delta_pct: expected_e2e,
         };
 
-        // Fig. 8d: stretch service as if the cores ran at 2.0 GHz.
+        // Fig. 8d: stretch service as if the cores ran at the model's
+        // slow scalability frequency instead of the fast one.
         let s = memcached_etc(qps).frequency_scalability();
-        let slow_factor = 1.0 + s * (2.2 / 2.0 - 1.0);
+        let (slow_ghz, fast_ghz) = self.params.hw.scal_freqs;
+        let slow_factor = 1.0 + s * (fast_ghz / slow_ghz - 1.0);
         let slow = self.params.run_scaled_service(NamedConfig::Baseline, qps, slow_factor);
         let gain = (slow.server_latency.mean.as_nanos()
             / baseline.server_latency.mean.as_nanos().max(1.0)
@@ -386,7 +402,7 @@ impl Fig10 {
                 aw_states.push(aw_cstates::CState::C6);
             }
             let twin_mask = aw_cstates::CStateConfig::new(aw_states, tuned_mask.turbo());
-            let cfg = ServerConfig::new(self.params.cores, NamedConfig::NtAw)
+            let cfg = ServerConfig::for_hw(self.params.hw, self.params.cores, NamedConfig::NtAw)
                 .with_cstates(twin_mask)
                 .with_duration(self.params.duration);
             let aw =

@@ -4,7 +4,7 @@ use std::fmt;
 
 use aw_cstates::{CState, CStateConfig, NamedConfig};
 use aw_exec::SweepExecutor;
-use aw_server::{RunMetrics, ServerConfig, SimBuilder};
+use aw_server::{HardwareModel, RunMetrics, ServerConfig, SimBuilder};
 use aw_types::Nanos;
 use aw_workloads::{kafka, mysql_oltp, KafkaRate, MysqlRate};
 use serde::Serialize;
@@ -51,11 +51,18 @@ pub struct Fig12 {
     pub duration: Nanos,
     /// RNG seed.
     pub seed: u64,
+    /// Hardware model the servers are built on.
+    pub hw: &'static HardwareModel,
 }
 
 impl Default for Fig12 {
     fn default() -> Self {
-        Fig12 { cores: 10, duration: Nanos::from_secs(2.0), seed: 42 }
+        Fig12 {
+            cores: 10,
+            duration: Nanos::from_secs(2.0),
+            seed: 42,
+            hw: HardwareModel::skylake_sp(),
+        }
     }
 }
 
@@ -63,13 +70,20 @@ impl Fig12 {
     /// A reduced instance for tests.
     #[must_use]
     pub fn quick() -> Self {
-        Fig12 { cores: 4, duration: Nanos::from_millis(600.0), seed: 42 }
+        Fig12 { cores: 4, duration: Nanos::from_millis(600.0), ..Fig12::default() }
+    }
+
+    /// Retargets the experiment onto another hardware model.
+    #[must_use]
+    pub fn with_hw(mut self, hw: &'static HardwareModel) -> Self {
+        self.hw = hw;
+        self
     }
 
     fn run(&self, cstates: CStateConfig, rate: MysqlRate) -> RunMetrics {
         // Scale the 10-core rates down for smaller test servers.
         let scale = self.cores as f64 / 10.0;
-        let cfg = ServerConfig::new(self.cores, NamedConfig::NtBaseline)
+        let cfg = ServerConfig::for_hw(self.hw, self.cores, NamedConfig::NtBaseline)
             .with_cstates(cstates)
             .with_duration(self.duration);
         SimBuilder::new(cfg, mysql_oltp(rate).scaled_qps(scale), self.seed).run().into_metrics()
@@ -176,11 +190,18 @@ pub struct Fig13 {
     pub duration: Nanos,
     /// RNG seed.
     pub seed: u64,
+    /// Hardware model the servers are built on.
+    pub hw: &'static HardwareModel,
 }
 
 impl Default for Fig13 {
     fn default() -> Self {
-        Fig13 { cores: 10, duration: Nanos::from_secs(2.0), seed: 42 }
+        Fig13 {
+            cores: 10,
+            duration: Nanos::from_secs(2.0),
+            seed: 42,
+            hw: HardwareModel::skylake_sp(),
+        }
     }
 }
 
@@ -188,12 +209,19 @@ impl Fig13 {
     /// A reduced instance for tests.
     #[must_use]
     pub fn quick() -> Self {
-        Fig13 { cores: 4, duration: Nanos::from_millis(600.0), seed: 42 }
+        Fig13 { cores: 4, duration: Nanos::from_millis(600.0), ..Fig13::default() }
+    }
+
+    /// Retargets the experiment onto another hardware model.
+    #[must_use]
+    pub fn with_hw(mut self, hw: &'static HardwareModel) -> Self {
+        self.hw = hw;
+        self
     }
 
     fn run(&self, cstates: CStateConfig, rate: KafkaRate) -> RunMetrics {
         let scale = self.cores as f64 / 10.0;
-        let cfg = ServerConfig::new(self.cores, NamedConfig::NtBaseline)
+        let cfg = ServerConfig::for_hw(self.hw, self.cores, NamedConfig::NtBaseline)
             .with_cstates(cstates)
             .with_duration(self.duration);
         SimBuilder::new(cfg, kafka(rate).scaled_qps(scale), self.seed).run().into_metrics()

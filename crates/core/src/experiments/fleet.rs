@@ -12,7 +12,7 @@
 use aw_cluster::{AutoscalePolicy, FleetConfig, FleetReport, FleetSim, LoadShape, RoutingPolicy};
 use aw_cstates::NamedConfig;
 use aw_faults::{FaultSpec, FleetFaultSpec};
-use aw_server::ServerConfig;
+use aw_server::{HardwareModel, ServerConfig};
 use aw_types::Nanos;
 use aw_workloads::memcached_etc;
 use serde::Serialize;
@@ -50,6 +50,9 @@ pub struct Fleet {
     pub queue_cap: Option<usize>,
     /// Drop queued requests older than this many microseconds.
     pub request_timeout_us: Option<f64>,
+    /// Hardware models cycled across server slots (mixed fleets); empty
+    /// keeps every server on the default prototype.
+    pub hw: Vec<&'static HardwareModel>,
 }
 
 impl Default for Fleet {
@@ -68,6 +71,7 @@ impl Default for Fleet {
             server_faults: None,
             queue_cap: None,
             request_timeout_us: None,
+            hw: Vec::new(),
         }
     }
 }
@@ -200,7 +204,8 @@ impl Fleet {
             .with_policy(policy)
             .with_load(self.load)
             .with_seed(self.seed)
-            .with_slo(self.slo_p99);
+            .with_slo(self.slo_p99)
+            .with_hw(self.hw.clone());
         if let Some(autoscale) = self.autoscale {
             config = config.with_autoscale(autoscale);
         }

@@ -9,6 +9,7 @@
 //! [`TextTable`]: crate::TextTable
 
 mod ablations;
+mod crossvendor;
 mod diurnal;
 mod figs_memcached;
 mod figs_other;
@@ -26,6 +27,7 @@ pub use ablations::{
     zone_count_ablation, EnhancedSplit, GovernorAblationRow, RetentionAblation, SleepModeAblation,
     ZoneAblationRow,
 };
+pub use crossvendor::{CrossVendor, CrossVendorEntry, CrossVendorReport};
 pub use diurnal::{Diurnal, DiurnalReport};
 pub use figs_memcached::{
     Fig10, Fig10Report, Fig10Row, Fig11, Fig11Report, Fig8, Fig8Report, Fig8Row, Fig9, Fig9Report,
@@ -37,6 +39,8 @@ pub use flows::{flow_latencies, FlowLatencies};
 pub use motivation::{motivation, motivation_simulated, MotivationRow};
 pub use package::{PackageAnalysis, PackageRow};
 pub use proportionality::{Proportionality, ProportionalityReport};
-pub use snoop::{snoop_impact, SnoopImpact};
-pub use tables::{c6a_round_trip, table1, table2, table3, table4, table5, Table5Params};
+pub use snoop::{snoop_impact, snoop_impact_on, SnoopImpact};
+pub use tables::{
+    c6a_round_trip, table1, table1_for, table2, table3, table4, table5, Table5Params,
+};
 pub use validation::{Validation, ValidationReport, ValidationRow};

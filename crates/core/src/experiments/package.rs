@@ -9,7 +9,7 @@
 //! and a C6-hostile one (Memcached).
 
 use aw_cstates::{CState, CStateConfig, NamedConfig};
-use aw_server::{PackageCState, RunMetrics, ServerConfig, SimBuilder, WorkloadSpec};
+use aw_server::{HardwareModel, PackageCState, RunMetrics, ServerConfig, SimBuilder, WorkloadSpec};
 use aw_types::Nanos;
 use aw_workloads::{memcached_etc, mysql_oltp, MysqlRate};
 use serde::Serialize;
@@ -38,11 +38,19 @@ pub struct PackageAnalysis {
     pub duration: Nanos,
     /// RNG seed.
     pub seed: u64,
+    /// Hardware model the server is built on (its uncore powers and CCX
+    /// topology set what PC2 vs PC6 residency costs).
+    pub hw: &'static HardwareModel,
 }
 
 impl Default for PackageAnalysis {
     fn default() -> Self {
-        PackageAnalysis { cores: 10, duration: Nanos::from_secs(1.0), seed: 42 }
+        PackageAnalysis {
+            cores: 10,
+            duration: Nanos::from_secs(1.0),
+            seed: 42,
+            hw: HardwareModel::skylake_sp(),
+        }
     }
 }
 
@@ -50,12 +58,19 @@ impl PackageAnalysis {
     /// A reduced instance for tests.
     #[must_use]
     pub fn quick() -> Self {
-        PackageAnalysis { cores: 4, duration: Nanos::from_millis(400.0), seed: 42 }
+        PackageAnalysis { cores: 4, duration: Nanos::from_millis(400.0), ..Self::default() }
+    }
+
+    /// Retargets the experiment onto another hardware model.
+    #[must_use]
+    pub fn with_hw(mut self, hw: &'static HardwareModel) -> Self {
+        self.hw = hw;
+        self
     }
 
     fn run_one(&self, workload: WorkloadSpec, cstates: CStateConfig, label: &str) -> PackageRow {
         let name = workload.name().to_string();
-        let cfg = ServerConfig::new(self.cores, NamedConfig::NtBaseline)
+        let cfg = ServerConfig::for_hw(self.hw, self.cores, NamedConfig::NtBaseline)
             .with_cstates(cstates)
             .with_duration(self.duration);
         let m: RunMetrics = SimBuilder::new(cfg, workload, self.seed).run().into_metrics();

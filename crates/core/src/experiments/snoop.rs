@@ -5,7 +5,7 @@
 //! grid to hand to the parallel `SweepExecutor`; it runs in-place on the
 //! calling thread.
 
-use aw_cstates::{CState, CStateCatalog, FreqLevel};
+use aw_cstates::{CState, FreqLevel};
 use aw_types::MilliWatts;
 use serde::Serialize;
 
@@ -44,7 +44,14 @@ pub struct SnoopImpact {
 /// ```
 #[must_use]
 pub fn snoop_impact() -> SnoopImpact {
-    let catalog = CStateCatalog::skylake_with_aw();
+    snoop_impact_on(aw_server::HardwareModel::skylake_sp())
+}
+
+/// [`snoop_impact`] on another hardware model's catalog: the same snoop
+/// power deltas applied to that model's C1 and derived-C6A powers.
+#[must_use]
+pub fn snoop_impact_on(hw: &'static aw_server::HardwareModel) -> SnoopImpact {
+    let catalog = hw.catalog();
     let c1 = catalog.power(CState::C1, FreqLevel::P1);
     let c6a = catalog.power(CState::C6A, FreqLevel::P1);
     let c1_snooping = c1 + MilliWatts::new(50.0);

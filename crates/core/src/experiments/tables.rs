@@ -1,10 +1,10 @@
 //! The five table experiments.
 
-use aw_cstates::{C6AFlow, CState, CStateCatalog, ComponentMatrix, FreqLevel, NamedConfig};
+use aw_cstates::{C6AFlow, CState, ComponentMatrix, FreqLevel, NamedConfig};
 use aw_exec::SweepExecutor;
 use aw_pma::{PmaFsm, Ufpg, WakePolicy};
 use aw_power::{PpaModel, TcoModel};
-use aw_server::{ServerConfig, SimBuilder};
+use aw_server::{HardwareModel, ServerConfig, SimBuilder};
 use aw_types::Nanos;
 use aw_workloads::memcached_etc;
 
@@ -22,9 +22,22 @@ use crate::TextTable;
 /// ```
 #[must_use]
 pub fn table1() -> TextTable {
-    let catalog = CStateCatalog::skylake_with_aw();
+    table1_for(HardwareModel::skylake_sp())
+}
+
+/// [`table1`] retargeted onto another hardware model: that model's base
+/// menu plus the generically derived agile states, with its own
+/// latencies and powers.
+#[must_use]
+pub fn table1_for(hw: &'static HardwareModel) -> TextTable {
+    let catalog = hw.catalog();
+    let title = if hw.name == "skylake-sp" {
+        "Table 1: Core C-states (Skylake server + AgileWatts)".to_string()
+    } else {
+        format!("Table 1: Core C-states ({} + AgileWatts)", hw.vendor)
+    };
     let mut t = TextTable::new(
-        "Table 1: Core C-states (Skylake server + AgileWatts)",
+        &title,
         &["C-state", "Transition time", "Target residency", "Power per core"],
     );
     for state in catalog.states() {
@@ -174,6 +187,8 @@ pub struct Table5Params {
     pub duration: Nanos,
     /// RNG seed.
     pub seed: u64,
+    /// Hardware model the fleet is built on.
+    pub hw: &'static HardwareModel,
 }
 
 impl Default for Table5Params {
@@ -183,6 +198,7 @@ impl Default for Table5Params {
             cores: 10,
             duration: Nanos::from_millis(400.0),
             seed: 42,
+            hw: HardwareModel::skylake_sp(),
         }
     }
 }
@@ -195,8 +211,15 @@ impl Table5Params {
             qps: vec![50e3, 300e3],
             cores: 4,
             duration: Nanos::from_millis(60.0),
-            seed: 42,
+            ..Self::default()
         }
+    }
+
+    /// Retargets the sweep onto another hardware model.
+    #[must_use]
+    pub fn with_hw(mut self, hw: &'static HardwareModel) -> Self {
+        self.hw = hw;
+        self
     }
 }
 
@@ -216,7 +239,8 @@ pub fn table5(params: &Table5Params) -> TextTable {
     // points on the ambient executor and push rows in load order.
     let rows = SweepExecutor::current().map(&params.qps, |&qps| {
         let run = |named: NamedConfig| {
-            let cfg = ServerConfig::new(params.cores, named).with_duration(params.duration);
+            let cfg =
+                ServerConfig::for_hw(params.hw, params.cores, named).with_duration(params.duration);
             SimBuilder::new(cfg, memcached_etc(qps), params.seed).run().into_metrics()
         };
         let baseline = run(NamedConfig::Baseline);

@@ -9,10 +9,10 @@
 
 use std::fmt;
 
-use aw_cstates::{CStateCatalog, FreqLevel, NamedConfig};
+use aw_cstates::{FreqLevel, NamedConfig};
 use aw_exec::SweepExecutor;
 use aw_power::average_power;
-use aw_server::{ServerConfig, SimBuilder};
+use aw_server::{HardwareModel, ServerConfig, SimBuilder};
 use aw_types::Nanos;
 use aw_workloads::validation_suite;
 use serde::Serialize;
@@ -83,6 +83,8 @@ pub struct Validation {
     pub duration: Nanos,
     /// RNG seed.
     pub seed: u64,
+    /// Hardware model whose Eq. 2 catalog is cross-checked.
+    pub hw: &'static HardwareModel,
 }
 
 impl Default for Validation {
@@ -92,6 +94,7 @@ impl Default for Validation {
             cores: 10,
             duration: Nanos::from_secs(1.0),
             seed: 42,
+            hw: HardwareModel::skylake_sp(),
         }
     }
 }
@@ -104,8 +107,15 @@ impl Validation {
             utilizations: vec![0.15],
             cores: 4,
             duration: Nanos::from_millis(300.0),
-            seed: 42,
+            ..Validation::default()
         }
+    }
+
+    /// Retargets the validation onto another hardware model.
+    #[must_use]
+    pub fn with_hw(mut self, hw: &'static HardwareModel) -> Self {
+        self.hw = hw;
+        self
     }
 
     /// Runs every workload at every utilization and cross-checks Eq. 2.
@@ -113,13 +123,13 @@ impl Validation {
     /// the ambient [`SweepExecutor`] in suite order.
     #[must_use]
     pub fn run(&self) -> ValidationReport {
-        let catalog = CStateCatalog::skylake_with_aw();
+        let catalog = self.hw.catalog();
         let suite = validation_suite(&self.utilizations, self.cores);
         let rows = SweepExecutor::current().map(&suite, |w| {
             // Turbo disabled so Eq. 2's fixed C0 power applies
             // (the paper's Eq. 4 handles the Turbo case separately).
-            let cfg =
-                ServerConfig::new(self.cores, NamedConfig::NtBaseline).with_duration(self.duration);
+            let cfg = ServerConfig::for_hw(self.hw, self.cores, NamedConfig::NtBaseline)
+                .with_duration(self.duration);
             let name = w.name().to_string();
             let m = SimBuilder::new(cfg, w.clone(), self.seed).run().into_metrics();
             let measured = m.avg_core_power.as_milliwatts();

@@ -32,6 +32,13 @@ pub struct CStateParams {
     pub power_p1: MilliWatts,
     /// Core power while resident at minimum frequency (Pn).
     pub power_pn: MilliWatts,
+    /// The pure hardware exit latency, excluding the shared software
+    /// overhead (interrupt delivery, kernel idle-loop exit). For the AW
+    /// states this is the Fig. 6 retention-wake flow (< 80 ns exit,
+    /// Sec. 5.2.2); for C1 a few nanoseconds of clock-ungating; for C6
+    /// the full state restore. Hardware models (`aw-hw`) calibrate it
+    /// per part.
+    pub hw_exit: Nanos,
 }
 
 impl CStateParams {
@@ -53,19 +60,21 @@ impl CStateParams {
 
 /// The catalog mapping every modeled C-state to its parameters.
 ///
-/// Defaults reproduce Table 1 of the paper for an Intel Skylake server
-/// (SKX) core; [`CStateCatalog::skylake_with_aw`] adds the AgileWatts C6A
-/// and C6AE rows. Individual rows can be overridden (e.g., to plug in power
-/// numbers computed by the `aw-power` PPA model) via
+/// Catalogs are produced by hardware models (`aw_hw::HardwareModel`):
+/// the model's base menu reproduces the part's measured legacy states
+/// (Table 1 of the paper for Skylake-SP) and the AW rows are derived
+/// from it generically. Individual rows can be overridden (e.g., to
+/// plug in power numbers computed by the `aw-power` PPA model) via
 /// [`CStateCatalog::set_params`].
 ///
 /// # Examples
 ///
 /// ```
 /// use aw_cstates::{CState, CStateCatalog};
+/// use aw_hw::HardwareModel;
 /// use aw_types::Nanos;
 ///
-/// let cat = CStateCatalog::skylake_with_aw();
+/// let cat = HardwareModel::skylake_sp().catalog();
 /// // C6 transition is ~66× the C1/C6A transition budget (133 µs vs 2 µs)
 /// let ratio = cat.params(CState::C6).transition_time
 ///     / cat.params(CState::C6A).transition_time;
@@ -85,23 +94,28 @@ impl CStateParams {
     /// The pure hardware exit latency, excluding the shared software
     /// overhead (interrupt delivery, kernel idle-loop exit).
     ///
-    /// For the AW states this is the Fig. 6 flow latency (< 80 ns exit,
-    /// Sec. 5.2.2); for C1 a few nanoseconds of clock-ungating; for C6 the
-    /// full ~30 µs restore.
+    /// This is the stored [`CStateParams::hw_exit`] calibration (kept
+    /// as a method because the simulator's wake path reads it).
     #[must_use]
     pub fn hw_exit_latency(&self) -> Nanos {
-        match self.state {
-            CState::C0 => Nanos::ZERO,
-            CState::C1 | CState::C1E => Nanos::new(5.0),
-            CState::C6A => Nanos::new(80.0),
-            CState::C6AE => Nanos::new(100.0),
-            CState::C6 => Nanos::from_micros(30.0),
-        }
+        self.hw_exit
     }
 }
 
 impl CStateCatalog {
+    /// An empty catalog; populate it with [`CStateCatalog::set_params`].
+    ///
+    /// This is how hardware models (`aw-hw`) assemble their base menus.
+    #[must_use]
+    pub fn empty() -> Self {
+        CStateCatalog { params: BTreeMap::new() }
+    }
+
     /// The legacy Skylake server catalog: C0, C1, C1E, C6 (Table 1).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `aw_hw::HardwareModel::by_name(\"skylake-sp\")` and its `base_catalog()`"
+    )]
     #[must_use]
     pub fn skylake_baseline() -> Self {
         let mut params = BTreeMap::new();
@@ -114,6 +128,7 @@ impl CStateCatalog {
                 target_residency: Nanos::ZERO,
                 power_p1: MilliWatts::from_watts(4.0),
                 power_pn: MilliWatts::from_watts(1.0),
+                hw_exit: Nanos::ZERO,
             },
             CStateParams {
                 state: CState::C1,
@@ -123,6 +138,7 @@ impl CStateCatalog {
                 target_residency: Nanos::from_micros(2.0),
                 power_p1: MilliWatts::from_watts(1.44),
                 power_pn: MilliWatts::from_watts(0.88),
+                hw_exit: Nanos::new(5.0),
             },
             CStateParams {
                 state: CState::C1E,
@@ -132,6 +148,7 @@ impl CStateCatalog {
                 target_residency: Nanos::from_micros(20.0),
                 power_p1: MilliWatts::from_watts(0.88),
                 power_pn: MilliWatts::from_watts(0.88),
+                hw_exit: Nanos::new(5.0),
             },
             CStateParams {
                 state: CState::C6,
@@ -141,6 +158,7 @@ impl CStateCatalog {
                 target_residency: Nanos::from_micros(600.0),
                 power_p1: MilliWatts::from_watts(0.1),
                 power_pn: MilliWatts::from_watts(0.1),
+                hw_exit: Nanos::from_micros(30.0),
             },
         ] {
             params.insert(p.state, p);
@@ -155,8 +173,13 @@ impl CStateCatalog {
     /// they replace — the hardware flow adds only ~100 ns (Sec. 5.2) — and
     /// use the Table 1 headline powers (~0.3 W / ~0.23 W, i.e., the
     /// midpoints of Table 3's 290–315 mW and 227–243 mW ranges).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `aw_hw::HardwareModel::by_name(\"skylake-sp\")` and its `catalog()`"
+    )]
     #[must_use]
     pub fn skylake_with_aw() -> Self {
+        #[allow(deprecated)]
         let mut cat = Self::skylake_baseline();
         cat.params.insert(
             CState::C6A,
@@ -168,6 +191,7 @@ impl CStateCatalog {
                 target_residency: Nanos::from_micros(2.0),
                 power_p1: MilliWatts::new(302.5),
                 power_pn: MilliWatts::new(302.5),
+                hw_exit: Nanos::new(80.0),
             },
         );
         cat.params.insert(
@@ -180,6 +204,7 @@ impl CStateCatalog {
                 target_residency: Nanos::from_micros(20.0),
                 power_p1: MilliWatts::new(235.0),
                 power_pn: MilliWatts::new(235.0),
+                hw_exit: Nanos::new(100.0),
             },
         );
         cat
@@ -228,6 +253,10 @@ impl CStateCatalog {
 }
 
 #[cfg(test)]
+// The deprecated constructors stay pinned by these tests for their one
+// release as shims; `tests/shim_equivalence.rs` additionally pins them
+// byte-identical to the `aw-hw` skylake-sp model.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

@@ -301,6 +301,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // see the note on `governor::tests`
     fn validate_against_catalog() {
         let legacy = CStateCatalog::skylake_baseline();
         assert_eq!(NamedConfig::Aw.config().validate(&legacy), Err(CState::C6A));

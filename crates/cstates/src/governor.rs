@@ -84,10 +84,11 @@ fn deepest_fitting(config: &CStateConfig, catalog: &CStateCatalog, predicted: Na
 /// # Examples
 ///
 /// ```
-/// use aw_cstates::{CState, CStateCatalog, IdleGovernor, MenuGovernor, NamedConfig};
+/// use aw_cstates::{CState, IdleGovernor, MenuGovernor, NamedConfig};
+/// use aw_hw::HardwareModel;
 /// use aw_types::Nanos;
 ///
-/// let catalog = CStateCatalog::skylake_with_aw();
+/// let catalog = HardwareModel::skylake_sp().catalog();
 /// let config = NamedConfig::Baseline.config();
 /// let mut gov = MenuGovernor::new();
 ///
@@ -395,6 +396,11 @@ impl CircuitBreaker {
 }
 
 #[cfg(test)]
+// Unit tests must use the deprecated in-crate constructors: linking
+// `aw-hw` here would pull in a second (non-test) build of this crate
+// whose types don't unify. `tests/shim_equivalence.rs` pins the shims
+// identical to the aw-hw model, so the coverage is the same.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::NamedConfig;

@@ -14,12 +14,16 @@
 //! * **C6AE** (*C6A Enhanced*) — replaces C1E: additionally drops the core
 //!   to the minimum voltage/frequency level (Pn), reaching ~0.23 W.
 //!
+//! Concrete parameter tables live in hardware models (`aw-hw`); this
+//! crate defines the state machinery they parameterize.
+//!
 //! # Examples
 //!
 //! ```
-//! use aw_cstates::{CState, CStateCatalog, FreqLevel};
+//! use aw_cstates::{CState, FreqLevel};
+//! use aw_hw::HardwareModel;
 //!
-//! let skylake = CStateCatalog::skylake_with_aw();
+//! let skylake = HardwareModel::skylake_sp().catalog();
 //! let c1 = skylake.params(CState::C1);
 //! let c6a = skylake.params(CState::C6A);
 //!

@@ -1,9 +1,9 @@
 //! Property-based tests of the C-state architecture invariants.
 
 use aw_cstates::{
-    C6AFlow, C6Flow, CState, CStateCatalog, CStateConfig, IdleGovernor, LadderGovernor,
-    MenuGovernor, NamedConfig,
+    C6AFlow, C6Flow, CState, CStateConfig, IdleGovernor, LadderGovernor, MenuGovernor, NamedConfig,
 };
+use aw_hw::HardwareModel;
 use aw_types::{MegaHertz, Nanos, Ratio};
 use proptest::prelude::*;
 
@@ -43,9 +43,9 @@ proptest! {
     fn configs_validate(idx in 0usize..10) {
         let named = NamedConfig::ALL[idx];
         let cfg = named.config();
-        prop_assert_eq!(cfg.validate(&CStateCatalog::skylake_with_aw()), Ok(()));
+        prop_assert_eq!(cfg.validate(&HardwareModel::skylake_sp().catalog()), Ok(()));
         if !named.is_aw() {
-            prop_assert_eq!(cfg.validate(&CStateCatalog::skylake_baseline()), Ok(()));
+            prop_assert_eq!(cfg.validate(&HardwareModel::skylake_sp().base_catalog()), Ok(()));
         }
     }
 
@@ -56,7 +56,7 @@ proptest! {
     fn governor_determinism(idles in prop::collection::vec(1.0f64..1e7, 1..40), idx in 0usize..10) {
         let named = NamedConfig::ALL[idx];
         let cfg = named.config();
-        let catalog = CStateCatalog::skylake_with_aw();
+        let catalog = HardwareModel::skylake_sp().catalog();
         let run = || {
             let mut g = MenuGovernor::new();
             let mut picks = Vec::new();
@@ -80,7 +80,7 @@ proptest! {
     #[test]
     fn ladder_moves_one_rung(idles in prop::collection::vec(1.0f64..1e7, 2..60)) {
         let cfg = NamedConfig::Baseline.config();
-        let catalog = CStateCatalog::skylake_with_aw();
+        let catalog = HardwareModel::skylake_sp().catalog();
         let mut g = LadderGovernor::new();
         let mut prev: Option<CState> = None;
         let order = [CState::C1, CState::C1E, CState::C6];
@@ -114,7 +114,7 @@ proptest! {
     /// Catalog power ordering is strict at P1 for every adjacent pair.
     #[test]
     fn catalog_power_strictly_ordered(_x in 0u8..1) {
-        let catalog = CStateCatalog::skylake_with_aw();
+        let catalog = HardwareModel::skylake_sp().catalog();
         let states = catalog.states();
         for w in states.windows(2) {
             prop_assert!(

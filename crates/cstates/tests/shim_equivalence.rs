@@ -1,0 +1,22 @@
+//! Pins the deprecated Skylake catalog constructors byte-identical to
+//! the `aw-hw` skylake-sp model for their one release as shims.
+//!
+//! Equality here is exact `f64` equality on every parameter of every
+//! state (via `CStateCatalog: PartialEq`): the determinism contract
+//! (`--hw skylake-sp` output byte-identical to the seed) hinges on the
+//! model and the shims never drifting apart.
+
+#![allow(deprecated)]
+
+use aw_cstates::CStateCatalog;
+use aw_hw::HardwareModel;
+
+#[test]
+fn baseline_shim_matches_model() {
+    assert_eq!(CStateCatalog::skylake_baseline(), HardwareModel::skylake_sp().base_catalog());
+}
+
+#[test]
+fn with_aw_shim_matches_model() {
+    assert_eq!(CStateCatalog::skylake_with_aw(), HardwareModel::skylake_sp().catalog());
+}

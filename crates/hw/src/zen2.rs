@@ -1,0 +1,87 @@
+//! The AMD Zen 2 (Rome, EPYC 7502-class) instance, calibrated from
+//! Schöne et al., *Energy Efficiency Aspects of the AMD Zen 2
+//! Architecture* (per-parameter sources and the approximations made
+//! are tabulated in DESIGN §16).
+//!
+//! The interesting structural differences from Skylake-SP:
+//!
+//! * the menu is **C0 / C1 / CC6 only** — Zen 2 exposes no C1E-style
+//!   intermediate state, so only a C6A twin is derived;
+//! * **CC6 is far heavier**: entry+exit run through the IO die
+//!   (~400 µs exit per the platform idle table), which widens the
+//!   latency gap AW closes;
+//! * the L3 is sliced per four-core **CCX**; a slice only sleeps when
+//!   its whole CCX is in CC6 ([`CcxSpec`]), and the IO die keeps
+//!   package power high regardless.
+
+use aw_cstates::{CState, CStateCatalog, CStateParams};
+use aw_types::{MegaHertz, MilliWatts, Nanos};
+
+use crate::model::{HardwareModel, RetentionPoint};
+use crate::uncore::{CcxSpec, UncorePower};
+
+pub(crate) fn model() -> HardwareModel {
+    let mut base = CStateCatalog::empty();
+    for p in [
+        CStateParams {
+            state: CState::C0,
+            transition_time: Nanos::ZERO,
+            entry_latency: Nanos::ZERO,
+            exit_latency: Nanos::ZERO,
+            target_residency: Nanos::ZERO,
+            power_p1: MilliWatts::from_watts(2.6),
+            power_pn: MilliWatts::from_watts(1.1),
+            hw_exit: Nanos::ZERO,
+        },
+        CStateParams {
+            state: CState::C1,
+            transition_time: Nanos::from_micros(2.0),
+            entry_latency: Nanos::from_micros(1.0),
+            exit_latency: Nanos::from_micros(1.0),
+            target_residency: Nanos::from_micros(2.0),
+            power_p1: MilliWatts::from_watts(1.1),
+            power_pn: MilliWatts::from_watts(0.7),
+            hw_exit: Nanos::new(5.0),
+        },
+        // CC6: core + private L2 power-gated; the wake path runs
+        // through the IO die's power-management firmware.
+        CStateParams {
+            state: CState::C6,
+            transition_time: Nanos::from_micros(530.0),
+            entry_latency: Nanos::from_micros(130.0),
+            exit_latency: Nanos::from_micros(400.0),
+            target_residency: Nanos::from_micros(800.0),
+            power_p1: MilliWatts::new(88.0),
+            power_pn: MilliWatts::new(88.0),
+            hw_exit: Nanos::from_micros(400.0),
+        },
+    ] {
+        base.set_params(p);
+    }
+
+    HardwareModel {
+        name: "zen2",
+        vendor: "AMD Zen 2 (EPYC 7502-class, Rome)",
+        base_freq: MegaHertz::from_ghz(2.5),
+        turbo_freq: MegaHertz::from_ghz(3.35),
+        scal_freqs: (2.3, 2.5),
+        base,
+        // An AW retention point for Zen 2: same in-place-retention
+        // flow as Skylake's C6A, costed slightly higher than Intel's
+        // 302.5 mW to reflect the larger per-core L2 (512 KB) held in
+        // retention.
+        retention: vec![RetentionPoint {
+            state: CState::C6A,
+            hw_exit: Nanos::new(100.0),
+            power: MilliWatts::new(260.0),
+        }],
+        // The IO die dominates: Rome idles tens of watts above
+        // Skylake-SP even with every core in CC6.
+        uncore: UncorePower {
+            pc0: MilliWatts::from_watts(40.0),
+            pc2: MilliWatts::from_watts(31.0),
+            pc6: MilliWatts::from_watts(18.0),
+        },
+        ccx: Some(CcxSpec { cores_per_ccx: 4, l3_sleep: MilliWatts::from_watts(1.5) }),
+    }
+}

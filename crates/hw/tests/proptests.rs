@@ -1,0 +1,111 @@
+//! Property tests: every registered hardware model's catalog is
+//! self-consistent, whatever gets added to the registry later.
+
+use aw_cstates::{CState, FreqLevel, NamedConfig};
+use aw_hw::HardwareModel;
+use aw_types::Nanos;
+use proptest::prelude::*;
+
+fn models() -> &'static [HardwareModel] {
+    HardwareModel::all()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Resident power falls strictly with depth at P1 and
+    /// non-strictly at Pn, for the base and the derived AW menu.
+    #[test]
+    fn power_monotone_in_depth(mi in 0usize..2, aw in 0usize..2) {
+        let hw = &models()[mi % models().len()];
+        let cat = if aw == 1 { hw.catalog() } else { hw.base_catalog() };
+        let states = cat.states();
+        for w in states.windows(2) {
+            prop_assert!(
+                cat.power(w[0], FreqLevel::P1) > cat.power(w[1], FreqLevel::P1),
+                "{}: {} !> {}", hw.name, w[0], w[1]
+            );
+            prop_assert!(
+                cat.power(w[0], FreqLevel::Pn) >= cat.power(w[1], FreqLevel::Pn),
+                "{}: {} !>= {} at Pn", hw.name, w[0], w[1]
+            );
+        }
+    }
+
+    /// Every idle state has positive latencies and a target residency
+    /// no smaller than its exit latency.
+    #[test]
+    fn latencies_positive(mi in 0usize..2) {
+        let hw = &models()[mi % models().len()];
+        let cat = hw.catalog();
+        for s in cat.states() {
+            let p = cat.params(s);
+            if s == CState::C0 {
+                prop_assert_eq!(p.exit_latency, Nanos::ZERO);
+                continue;
+            }
+            prop_assert!(p.exit_latency > Nanos::ZERO, "{}: {s}", hw.name);
+            prop_assert!(p.entry_latency > Nanos::ZERO, "{}: {s}", hw.name);
+            prop_assert!(p.hw_exit_latency() > Nanos::ZERO, "{}: {s}", hw.name);
+            prop_assert!(p.transition_time >= p.entry_latency, "{}: {s}", hw.name);
+            prop_assert!(p.target_residency >= p.exit_latency, "{}: {s}", hw.name);
+        }
+    }
+
+    /// The derived AW menu dominates the base menu on residency: for
+    /// any idle interval at least as long as the legacy state's target
+    /// residency, idling in the agile twin consumes no more energy and
+    /// adds at most the retention wake latency.
+    #[test]
+    fn aw_menu_dominates_base(mi in 0usize..2, idle_us in 2.0f64..100_000.0) {
+        let hw = &models()[mi % models().len()];
+        let cat = hw.catalog();
+        let idle = Nanos::from_micros(idle_us);
+        for r in &hw.retention {
+            let Some(agile) = cat.get(r.state) else { continue };
+            let legacy = cat.params(r.state.replaces().unwrap());
+            if idle < legacy.target_residency {
+                continue;
+            }
+            // Strictly less resident power at both levels...
+            prop_assert!(agile.power(FreqLevel::P1) < legacy.power(FreqLevel::P1));
+            prop_assert!(agile.power(FreqLevel::Pn) <= legacy.power(FreqLevel::Pn));
+            // ...for an exit-latency premium bounded by the retention
+            // wake flow, i.e. nanoseconds against microseconds of gain.
+            prop_assert_eq!(agile.exit_latency - legacy.exit_latency, r.hw_exit);
+            prop_assert!(r.hw_exit <= Nanos::new(150.0), "{}", hw.name);
+            // Net energy over the interval is lower for the agile twin.
+            let e_legacy = legacy.power(FreqLevel::P1) * idle;
+            let e_agile = agile.power(FreqLevel::P1) * idle;
+            prop_assert!(e_agile < e_legacy, "{}: {}", hw.name, r.state);
+        }
+    }
+
+    /// Named configurations survive restriction on every model: never
+    /// empty, Turbo preserved, and the result validates against the
+    /// model's catalog.
+    #[test]
+    fn named_configs_restrict_cleanly(mi in 0usize..2, ni in 0usize..10) {
+        let hw = &models()[mi % models().len()];
+        let named = NamedConfig::ALL[ni];
+        let cfg = hw.restrict(&named.config());
+        prop_assert!(cfg.deepest().is_some());
+        prop_assert_eq!(cfg.turbo(), named.config().turbo());
+        prop_assert_eq!(cfg.validate(&hw.catalog()), Ok(()));
+    }
+
+    /// Uncore power levels are ordered PC0 ≥ PC2 ≥ PC6, and a CCX
+    /// spec's full-fleet L3 credit never drives PC2 below PC6.
+    #[test]
+    fn uncore_levels_ordered(mi in 0usize..2, cores in 1usize..64) {
+        let hw = &models()[mi % models().len()];
+        prop_assert!(hw.uncore.pc0 >= hw.uncore.pc2, "{}", hw.name);
+        prop_assert!(hw.uncore.pc2 >= hw.uncore.pc6, "{}", hw.name);
+        if let Some(ccx) = hw.ccx {
+            prop_assert!(ccx.cores_per_ccx > 0);
+            let ccxes = cores / ccx.cores_per_ccx;
+            let credited = (hw.uncore.pc2 - ccx.l3_sleep * ccxes as f64).max(hw.uncore.pc6);
+            prop_assert!(credited >= hw.uncore.pc6, "{}", hw.name);
+        }
+    }
+}

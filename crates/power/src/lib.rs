@@ -41,7 +41,10 @@ mod regulator;
 mod scaling;
 mod tco;
 
-pub use model::{average_power, motivation_savings, turbo_savings, AwTransform, ResidencyVector};
+pub use model::{
+    average_power, motivation_savings, motivation_savings_in, turbo_savings, AwTransform,
+    ResidencyVector,
+};
 pub use ppa::{catalog_from_ppa, AreaBound, PowerBound, PpaComponent, PpaModel, PpaRow};
 pub use regulator::{Fivr, SleepTransistorLvr};
 pub use scaling::{leakage_scale, scale_cache_leakage, TechNode};

@@ -119,7 +119,7 @@ impl fmt::Display for ResidencyVector {
 /// use aw_cstates::{CState, CStateCatalog, FreqLevel};
 /// use aw_power::{average_power, ResidencyVector};
 ///
-/// let catalog = CStateCatalog::skylake_with_aw();
+/// let catalog = aw_hw::HardwareModel::skylake_sp().catalog();
 /// let r = ResidencyVector::from_percents([
 ///     (CState::C0, 20.0),
 ///     (CState::C1, 80.0),
@@ -141,11 +141,19 @@ pub fn average_power(
 /// with C1's latency and C6's power — all C1 residency is re-priced at C6
 /// power.
 ///
-/// Returns the fractional reduction of baseline average power.
+/// Returns the fractional reduction of baseline average power, priced
+/// with the Skylake-SP hardware model's legacy menu. For other parts use
+/// [`motivation_savings_in`] with that model's base catalog.
 #[must_use]
 pub fn motivation_savings(residencies: &ResidencyVector) -> Ratio {
-    let catalog = CStateCatalog::skylake_baseline();
-    let baseline = average_power(residencies, &catalog, FreqLevel::P1);
+    motivation_savings_in(residencies, &aw_hw::HardwareModel::skylake_sp().base_catalog())
+}
+
+/// Eq. 1 priced with an explicit legacy C-state catalog, so the upper
+/// bound can be computed for any registered hardware model.
+#[must_use]
+pub fn motivation_savings_in(residencies: &ResidencyVector, catalog: &CStateCatalog) -> Ratio {
+    let baseline = average_power(residencies, catalog, FreqLevel::P1);
     if baseline <= MilliWatts::ZERO {
         return Ratio::ZERO;
     }
@@ -197,7 +205,7 @@ pub fn turbo_savings(
 /// use aw_cstates::{CState, CStateCatalog, FreqLevel};
 /// use aw_power::{average_power, AwTransform, ResidencyVector};
 ///
-/// let catalog = CStateCatalog::skylake_with_aw();
+/// let catalog = aw_hw::HardwareModel::skylake_sp().catalog();
 /// let baseline = ResidencyVector::from_percents([
 ///     (CState::C0, 20.0),
 ///     (CState::C1, 80.0),
@@ -300,7 +308,7 @@ mod tests {
     use super::*;
 
     fn catalog() -> CStateCatalog {
-        CStateCatalog::skylake_with_aw()
+        aw_hw::HardwareModel::skylake_sp().catalog()
     }
 
     #[test]

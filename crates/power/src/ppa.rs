@@ -455,8 +455,8 @@ mod tests {
 /// ```
 #[must_use]
 pub fn catalog_from_ppa(model: &PpaModel) -> aw_cstates::CStateCatalog {
-    use aw_cstates::{CState, CStateCatalog};
-    let mut catalog = CStateCatalog::skylake_with_aw();
+    use aw_cstates::CState;
+    let mut catalog = aw_hw::HardwareModel::skylake_sp().catalog();
     let mut c6a = *catalog.params(CState::C6A);
     c6a.power_p1 = model.c6a_total().mid();
     c6a.power_pn = model.c6a_total().mid();
@@ -477,7 +477,7 @@ mod catalog_tests {
     #[test]
     fn default_ppa_matches_builtin_catalog_within_tolerance() {
         let from_ppa = catalog_from_ppa(&PpaModel::skylake());
-        let builtin = aw_cstates::CStateCatalog::skylake_with_aw();
+        let builtin = aw_hw::HardwareModel::skylake_sp().catalog();
         let a = from_ppa.power(CState::C6A, FreqLevel::P1).as_milliwatts();
         let b = builtin.power(CState::C6A, FreqLevel::P1).as_milliwatts();
         assert!((a - b).abs() < 15.0, "{a} vs {b}");
@@ -498,7 +498,7 @@ mod catalog_tests {
     #[test]
     fn latencies_unchanged_by_ppa() {
         let catalog = catalog_from_ppa(&PpaModel::skylake());
-        let builtin = aw_cstates::CStateCatalog::skylake_with_aw();
+        let builtin = aw_hw::HardwareModel::skylake_sp().catalog();
         assert_eq!(
             catalog.params(CState::C6A).exit_latency,
             builtin.params(CState::C6A).exit_latency

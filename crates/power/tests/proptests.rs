@@ -1,6 +1,6 @@
 //! Property-based tests of the analytical power models.
 
-use aw_cstates::{CState, CStateCatalog, FreqLevel};
+use aw_cstates::{CState, FreqLevel};
 use aw_power::{
     average_power, leakage_scale, motivation_savings, scale_cache_leakage, turbo_savings,
     AwTransform, Fivr, PpaModel, ResidencyVector, SleepTransistorLvr, TcoModel, TechNode,
@@ -23,7 +23,7 @@ proptest! {
     /// reduce power.
     #[test]
     fn moving_residency_deeper_reduces_power(r in residency_strategy(), shift in 0.0f64..1.0) {
-        let catalog = CStateCatalog::skylake_baseline();
+        let catalog = aw_hw::HardwareModel::skylake_sp().base_catalog();
         let p0 = average_power(&r, &catalog, FreqLevel::P1);
         // Move `shift` of the C1 residency into C6.
         let c1 = r.get(CState::C1);
@@ -50,7 +50,7 @@ proptest! {
     /// Eq. 4 turbo savings scale inversely with the measured baseline.
     #[test]
     fn turbo_savings_inverse_in_baseline(r in residency_strategy(), base_w in 1.0f64..10.0) {
-        let catalog = CStateCatalog::skylake_with_aw();
+        let catalog = aw_hw::HardwareModel::skylake_sp().catalog();
         let s1 = turbo_savings(&r, &catalog, MilliWatts::from_watts(base_w));
         let s2 = turbo_savings(&r, &catalog, MilliWatts::from_watts(2.0 * base_w));
         prop_assert!((s1.get() - 2.0 * s2.get()).abs() < 1e-9);

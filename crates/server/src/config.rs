@@ -5,6 +5,7 @@ use aw_cstates::{
     CStateCatalog, CStateConfig, IdleGovernor, LadderGovernor, MenuGovernor, NamedConfig,
     OracleGovernor,
 };
+use aw_hw::HardwareModel;
 use aw_types::{Joules, MegaHertz, MilliWatts, Nanos};
 
 /// How arriving requests are routed to cores.
@@ -119,6 +120,13 @@ impl Default for BreakerPolicy {
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
+    /// The hardware model this configuration was built from: the
+    /// provenance for the catalog snapshot below, and the live source
+    /// of uncore power and CCX topology during the run. The catalog
+    /// itself stays a snapshot so experiments can still override
+    /// individual rows (e.g. PPA-derived C6A power) via
+    /// [`ServerConfig::with_catalog`].
+    pub hw: &'static HardwareModel,
     /// Number of physical cores serving requests.
     pub cores: usize,
     /// Named C-state configuration (enable mask + Turbo flag).
@@ -170,24 +178,36 @@ pub struct ServerConfig {
 }
 
 impl ServerConfig {
-    /// A Xeon-4114-shaped configuration: `cores` cores at 2.2 GHz base /
-    /// 3.0 GHz Turbo, menu governor, round-robin dispatch, 1 s simulated
-    /// with 100 ms warm-up, no snoop traffic.
+    /// A Xeon-4114-shaped configuration: `cores` cores on the
+    /// `skylake-sp` hardware model (2.2 GHz base / 3.0 GHz Turbo), menu
+    /// governor, round-robin dispatch, 1 s simulated with 100 ms
+    /// warm-up, no snoop traffic.
+    #[must_use]
+    pub fn new(cores: usize, named: NamedConfig) -> Self {
+        Self::for_hw(HardwareModel::skylake_sp(), cores, named)
+    }
+
+    /// A configuration for `cores` cores of the given hardware model:
+    /// the model's full (AW-derived) catalog, base/Turbo frequencies,
+    /// and the named enable mask restricted to the states the model
+    /// actually has — on Zen 2 (no C1E) `Baseline` becomes C1+C6 and
+    /// `AW` becomes C6A+C6.
     ///
     /// The catalog always carries the AW states so AW configurations
     /// validate; legacy configurations simply never select them.
     #[must_use]
-    pub fn new(cores: usize, named: NamedConfig) -> Self {
+    pub fn for_hw(hw: &'static HardwareModel, cores: usize, named: NamedConfig) -> Self {
         assert!(cores > 0, "need at least one core");
         ServerConfig {
+            hw,
             cores,
             named,
-            cstates: named.config(),
-            catalog: CStateCatalog::skylake_with_aw(),
+            cstates: hw.restrict(&named.config()),
+            catalog: hw.catalog(),
             governor: GovernorKind::Menu,
             dispatch: Dispatch::RoundRobin,
-            base_freq: MegaHertz::from_ghz(2.2),
-            turbo_freq: MegaHertz::from_ghz(3.0),
+            base_freq: hw.base_freq,
+            turbo_freq: hw.turbo_freq,
             snoops: SnoopTraffic::none(),
             duration: Nanos::from_secs(1.0),
             warmup: Nanos::from_millis(100.0),
@@ -200,6 +220,25 @@ impl ServerConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerPolicy::default(),
         }
+    }
+
+    /// Moves this configuration onto another hardware model, replacing
+    /// the model-derived pieces (catalog, enable mask, frequencies)
+    /// while keeping everything operational — duration, governor,
+    /// dispatch, overload protection, fault policies. The enable mask
+    /// is re-derived from [`ServerConfig::named`], so a custom
+    /// [`ServerConfig::with_cstates`] override does not survive the
+    /// move (it may name states the new model lacks). Mixed fleets use
+    /// this to stamp one prototype onto per-server hardware.
+    #[must_use]
+    pub fn rehosted(&self, hw: &'static HardwareModel) -> Self {
+        let mut c = self.clone();
+        c.hw = hw;
+        c.catalog = hw.catalog();
+        c.cstates = hw.restrict(&self.named.config());
+        c.base_freq = hw.base_freq;
+        c.turbo_freq = hw.turbo_freq;
+        c
     }
 
     /// Sets the simulated duration (post-warm-up).
@@ -365,5 +404,49 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn rejects_zero_cores() {
         let _ = ServerConfig::new(0, NamedConfig::Baseline);
+    }
+
+    #[test]
+    fn default_is_skylake_sp() {
+        let c = ServerConfig::new(4, NamedConfig::Aw);
+        let h = ServerConfig::for_hw(HardwareModel::skylake_sp(), 4, NamedConfig::Aw);
+        assert_eq!(c.hw.name, "skylake-sp");
+        assert_eq!(c.catalog, h.catalog);
+        assert_eq!(c.cstates, h.cstates);
+        assert_eq!(c.base_freq, h.base_freq);
+        assert_eq!(c.turbo_freq, h.turbo_freq);
+    }
+
+    #[test]
+    fn for_hw_zen2_restricts_menu() {
+        use aw_cstates::CState;
+        let c = ServerConfig::for_hw(HardwareModel::zen2(), 8, NamedConfig::Baseline);
+        assert_eq!(c.base_freq, MegaHertz::from_ghz(2.5));
+        assert!(c.cstates.is_enabled(CState::C1));
+        assert!(!c.cstates.is_enabled(CState::C1E));
+        assert!(c.cstates.is_enabled(CState::C6));
+        assert_eq!(c.cstates.validate(&c.catalog), Ok(()));
+        let aw = ServerConfig::for_hw(HardwareModel::zen2(), 8, NamedConfig::Aw);
+        assert!(aw.cstates.is_enabled(CState::C6A));
+        assert!(!aw.cstates.is_enabled(CState::C6AE));
+    }
+
+    #[test]
+    fn rehosted_keeps_operational_knobs() {
+        let c = ServerConfig::new(4, NamedConfig::Aw)
+            .with_duration(Nanos::from_millis(10.0))
+            .with_governor(GovernorKind::Oracle)
+            .with_queue_cap(64);
+        let z = c.rehosted(HardwareModel::zen2());
+        assert_eq!(z.hw.name, "zen2");
+        assert_eq!(z.duration, c.duration);
+        assert_eq!(z.governor, GovernorKind::Oracle);
+        assert_eq!(z.queue_cap, Some(64));
+        assert_eq!(z.base_freq, MegaHertz::from_ghz(2.5));
+        assert_eq!(z.cstates.validate(&z.catalog), Ok(()));
+        // Round-tripping back to skylake restores the original menu.
+        let back = z.rehosted(HardwareModel::skylake_sp());
+        assert_eq!(back.catalog, c.catalog);
+        assert_eq!(back.cstates, c.cstates);
     }
 }

@@ -55,4 +55,7 @@ pub use metrics::{DegradationStats, LatencyBreakdown, LatencyStats, RunMetrics};
 pub use sim::{RunOutput, ServerSim};
 pub use thermal::ThermalModel;
 pub use uncore::{PackageCState, UncoreModel, UncorePower};
+// The hardware-model surface, re-exported so simulator users don't need
+// a separate aw-hw dependency for the common path.
+pub use aw_hw::{CcxSpec, HardwareModel};
 pub use workload::WorkloadSpec;

@@ -256,7 +256,7 @@ impl ServerSim {
         let end = config.warmup + config.duration;
         let measure_start = config.warmup;
         let attrib_marks = vec![("C0", Nanos::ZERO); cores.len()];
-        let uncore = UncoreModel::skylake(config.cores, Nanos::ZERO);
+        let uncore = UncoreModel::for_hw(config.hw, config.cores, Nanos::ZERO);
         let snoop_rng = SimRng::seed(seed ^ 0x534E_4F4F_505F_5247); // "SNOOP_RG"
         let retry_rng = SimRng::seed(seed ^ 0x5245_5452_595F_5247); // "RETRY_RG"
         let breakers = (0..config.cores)
@@ -535,7 +535,25 @@ impl ServerSim {
             }),
             "incremental idle/C6 counts diverged from core occupancy"
         );
-        self.uncore.update(self.idle_cores, self.c6_cores, now);
+        // On core-complex parts, count CCXes whose cores are all in
+        // legacy C6: only those may sleep their L3 slice. Guarded so
+        // the per-core scan never runs on models without a CCX
+        // topology (skylake-sp) or when too few cores are in C6 for
+        // any complex to be fully asleep.
+        let asleep_ccx = match self.config.hw.ccx {
+            Some(ccx) if self.c6_cores >= ccx.cores_per_ccx => self
+                .cores
+                .chunks(ccx.cores_per_ccx)
+                .filter(|grp| {
+                    grp.len() == ccx.cores_per_ccx
+                        && grp
+                            .iter()
+                            .all(|c| matches!(c.state, CoreState::Idle { state: CState::C6 }))
+                })
+                .count(),
+            _ => 0,
+        };
+        self.uncore.update_ccx(self.idle_cores, self.c6_cores, asleep_ccx, now);
     }
 
     /// The active-state (C0) power at base frequency.

@@ -1,4 +1,4 @@
-//! Package-level (uncore) idle states.
+//! Package-level (uncore) idle-state tracking.
 //!
 //! The paper scopes itself to *core* C-states and notes (footnote 1)
 //! that package C-states (PC2/PC6…) save additional uncore power but
@@ -9,55 +9,21 @@
 //! AgilePkgC paper (ref [9]) attacks that limitation; this module models
 //! the baseline package behaviour so the simulator's package power is
 //! honest about it.
+//!
+//! The data types ([`PackageCState`], [`UncorePower`], [`CcxSpec`])
+//! live in `aw-hw` so every [`aw_hw::HardwareModel`] carries its own
+//! uncore calibration; this module hosts the state machine that
+//! integrates them over a run. On core-complex parts (Zen 2) the model
+//! additionally credits the L3 slice of every fully-sleeping CCX —
+//! and, mirroring the package-level story, cores idling in C6A hold
+//! their CCX's L3 awake because their caches stay coherent.
 
 use aw_sim::{EnergyMeter, ResidencyTracker};
 use aw_types::{Joules, MilliWatts, Nanos, Ratio};
-use serde::Serialize;
 
-/// Package-level idle states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
-pub enum PackageCState {
-    /// At least one core is active or transitioning: uncore fully on.
-    Pc0,
-    /// Every core idle: uncore clock-gated where possible.
-    Pc2,
-    /// Every core in (legacy) C6 with caches flushed: uncore voltage
-    /// reduced, shared cache in retention.
-    Pc6,
-}
+pub use aw_hw::{PackageCState, UncorePower};
 
-/// Uncore power levels per package state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
-pub struct UncorePower {
-    /// Uncore power with any core active.
-    pub pc0: MilliWatts,
-    /// Uncore power with all cores idle.
-    pub pc2: MilliWatts,
-    /// Uncore power with all cores in C6.
-    pub pc6: MilliWatts,
-}
-
-impl UncorePower {
-    /// Skylake-like defaults: 12 W active, 8 W all-idle, 2 W in PC6.
-    #[must_use]
-    pub fn skylake() -> Self {
-        UncorePower {
-            pc0: MilliWatts::from_watts(12.0),
-            pc2: MilliWatts::from_watts(8.0),
-            pc6: MilliWatts::from_watts(2.0),
-        }
-    }
-
-    /// The power drawn in `state`.
-    #[must_use]
-    pub fn of(&self, state: PackageCState) -> MilliWatts {
-        match state {
-            PackageCState::Pc0 => self.pc0,
-            PackageCState::Pc2 => self.pc2,
-            PackageCState::Pc6 => self.pc6,
-        }
-    }
-}
+use aw_hw::{CcxSpec, HardwareModel};
 
 /// Tracks the package idle state from per-core occupancy counts and
 /// integrates uncore energy.
@@ -90,7 +56,11 @@ impl UncorePower {
 pub struct UncoreModel {
     cores: usize,
     power: UncorePower,
+    ccx: Option<CcxSpec>,
     state: PackageCState,
+    /// CCXes whose cores are all in legacy C6 (their L3 slice asleep);
+    /// always zero without a [`CcxSpec`].
+    asleep_ccx: usize,
     meter: EnergyMeter,
     tracker: ResidencyTracker<PackageCState>,
 }
@@ -118,16 +88,45 @@ impl UncoreModel {
         UncoreModel {
             cores,
             power,
+            ccx: None,
             state: PackageCState::Pc0,
+            asleep_ccx: 0,
             meter: EnergyMeter::new(start),
             tracker: ResidencyTracker::new(PackageCState::Pc0, start),
         }
+    }
+
+    /// Creates the model from a hardware model's uncore calibration,
+    /// including its CCX topology if it has one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    #[must_use]
+    pub fn for_hw(hw: &HardwareModel, cores: usize, start: Nanos) -> Self {
+        let mut m = UncoreModel::new(cores, hw.uncore, start);
+        m.ccx = hw.ccx;
+        m
     }
 
     /// Current package state.
     #[must_use]
     pub fn state(&self) -> PackageCState {
         self.state
+    }
+
+    /// Power drawn right now: the package-state level, minus the L3
+    /// credit of every fully-sleeping CCX while the package itself is
+    /// still above PC6 (floored at the PC6 level — a package can't
+    /// beat all-slices-plus-fabric-asleep by sleeping slices alone).
+    fn current_power(&self) -> MilliWatts {
+        let base = self.power.of(self.state);
+        match (&self.ccx, self.state) {
+            (Some(ccx), PackageCState::Pc0 | PackageCState::Pc2) if self.asleep_ccx > 0 => {
+                (base - ccx.l3_sleep * self.asleep_ccx as f64).max(self.power.pc6)
+            }
+            _ => base,
+        }
     }
 
     /// Reports the occupancy at time `now`: `idle_cores` cores resident
@@ -137,6 +136,23 @@ impl UncoreModel {
     ///
     /// Panics if the counts are inconsistent with the core count.
     pub fn update(&mut self, idle_cores: usize, c6_cores: usize, now: Nanos) {
+        self.update_ccx(idle_cores, c6_cores, 0, now);
+    }
+
+    /// As [`UncoreModel::update`], additionally reporting how many
+    /// CCXes currently have *all* their cores in legacy C6 (only
+    /// meaningful on models with a [`CcxSpec`]; ignored otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts are inconsistent with the core count.
+    pub fn update_ccx(
+        &mut self,
+        idle_cores: usize,
+        c6_cores: usize,
+        asleep_ccx: usize,
+        now: Nanos,
+    ) {
         assert!(idle_cores <= self.cores, "idle count exceeds core count");
         assert!(c6_cores <= idle_cores, "C6 cores must be idle cores");
         let next = if idle_cores < self.cores {
@@ -146,16 +162,20 @@ impl UncoreModel {
         } else {
             PackageCState::Pc2
         };
-        if next != self.state {
-            self.meter.advance(self.power.of(self.state), now);
-            self.tracker.transition(next, now);
+        let asleep_ccx = if self.ccx.is_some() { asleep_ccx } else { 0 };
+        if next != self.state || asleep_ccx != self.asleep_ccx {
+            self.meter.advance(self.current_power(), now);
+            if next != self.state {
+                self.tracker.transition(next, now);
+            }
             self.state = next;
+            self.asleep_ccx = asleep_ccx;
         }
     }
 
     /// Closes the observation window and returns accumulated energy.
     pub fn finish(&mut self, end: Nanos) -> Joules {
-        self.meter.advance(self.power.of(self.state), end);
+        self.meter.advance(self.current_power(), end);
         self.tracker.finish(end);
         self.meter.energy()
     }
@@ -256,5 +276,31 @@ mod tests {
     fn rejects_inconsistent_counts() {
         let mut u = UncoreModel::skylake(2, Nanos::ZERO);
         u.update(1, 2, Nanos::new(1.0));
+    }
+
+    #[test]
+    fn ccx_credit_applies_in_pc2() {
+        // 8 zen2-style cores = 2 CCXes of 4. One CCX fully in C6 while
+        // the package sits in PC2 credits one L3 slice.
+        let zen = HardwareModel::zen2();
+        let mut u = UncoreModel::for_hw(zen, 8, Nanos::ZERO);
+        // All idle, one CCX (4 cores) in C6: PC2 with one slice asleep.
+        u.update_ccx(8, 4, 1, Nanos::from_millis(1.0));
+        assert_eq!(u.state(), PackageCState::Pc2);
+        u.finish(Nanos::from_millis(2.0));
+        // 1 ms at PC0 (40 W) + 1 ms at PC2 minus one slice credit.
+        let credited = (zen.uncore.pc2 - zen.ccx.unwrap().l3_sleep).max(zen.uncore.pc6);
+        let expect = 40.0e-3 + credited.as_watts() * 1.0e-3;
+        assert!((u.energy().as_joules() - expect).abs() < 1e-9, "{}", u.energy());
+    }
+
+    #[test]
+    fn ccx_credit_ignored_without_spec() {
+        // Skylake has no CCX spec: a nonzero asleep count changes nothing.
+        let mut a = UncoreModel::skylake(4, Nanos::ZERO);
+        let mut b = UncoreModel::skylake(4, Nanos::ZERO);
+        a.update(4, 0, Nanos::from_millis(1.0));
+        b.update_ccx(4, 0, 7, Nanos::from_millis(1.0));
+        assert_eq!(a.finish(Nanos::from_millis(2.0)), b.finish(Nanos::from_millis(2.0)));
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests of the full server simulator's invariants,
 //! across random loads, configurations, and seeds.
 
-use aw_cstates::{CState, CStateCatalog, FreqLevel, NamedConfig};
+use aw_cstates::{CState, FreqLevel, NamedConfig};
 use aw_server::{Dispatch, GovernorKind, ServerConfig, SimBuilder, WorkloadSpec};
 use aw_types::Nanos;
 use proptest::prelude::*;
@@ -44,7 +44,7 @@ proptest! {
         let m = run(named, cores, qps, service_us, seed, GovernorKind::Menu, Dispatch::RoundRobin);
         prop_assert!(m.residencies.is_complete(1e-6), "{}", m.residencies.total());
 
-        let catalog = CStateCatalog::skylake_with_aw();
+        let catalog = aw_server::HardwareModel::skylake_sp().catalog();
         let floor = catalog.power(CState::C6, FreqLevel::P1);
         let ceiling = aw_types::MilliWatts::from_watts(6.5);
         prop_assert!(m.avg_core_power >= floor * 0.9, "{}", m.avg_core_power);

@@ -35,11 +35,12 @@ struct StateCost {
 /// # Examples
 ///
 /// ```
-/// use aw_cstates::{CState, CStateCatalog};
+/// use aw_cstates::CState;
+/// use aw_server::HardwareModel;
 /// use aw_sleep::BreakEven;
 /// use aw_types::Nanos;
 ///
-/// let cat = CStateCatalog::skylake_baseline();
+/// let cat = HardwareModel::skylake_sp().base_catalog();
 /// let model = BreakEven::new(&cat, &[CState::C1, CState::C1E, CState::C6]);
 /// // A 10 µs nap is too short for C6's 133 µs round trip...
 /// assert_ne!(model.optimal(Nanos::from_micros(10.0), CState::C1), CState::C6);
@@ -94,6 +95,14 @@ impl BreakEven {
     #[must_use]
     pub fn from_server(config: &ServerConfig) -> Self {
         Self::new(&config.catalog, &config.cstates.enabled_states())
+    }
+
+    /// Builds the model from a hardware model's full (AW-derived) catalog,
+    /// so audits can price intervals for any registered part without
+    /// constructing a server configuration first.
+    #[must_use]
+    pub fn for_hw(hw: &aw_server::HardwareModel, enabled: &[CState]) -> Self {
+        Self::new(&hw.catalog(), enabled)
     }
 
     fn cost(&self, state: CState) -> StateCost {
@@ -202,8 +211,10 @@ impl BreakEven {
 mod tests {
     use super::*;
 
+    use aw_server::HardwareModel;
+
     fn baseline() -> BreakEven {
-        let cat = CStateCatalog::skylake_baseline();
+        let cat = HardwareModel::skylake_sp().base_catalog();
         BreakEven::new(&cat, &[CState::C1, CState::C1E, CState::C6])
     }
 
@@ -245,7 +256,7 @@ mod tests {
 
     #[test]
     fn chosen_outside_enabled_is_still_a_candidate() {
-        let cat = CStateCatalog::skylake_with_aw();
+        let cat = HardwareModel::skylake_sp().catalog();
         // Only C1 enabled, but the governor (hypothetically demoted weirdly)
         // chose C6A: the oracle must consider C6A so it cannot lose to it.
         let m = BreakEven::new(&cat, &[CState::C1]);
@@ -257,8 +268,10 @@ mod tests {
 
     #[test]
     fn aw_states_dominate_their_legacy_twins() {
-        let cat = CStateCatalog::skylake_with_aw();
-        let m = BreakEven::new(&cat, &[CState::C6A, CState::C6AE, CState::C6]);
+        let m = BreakEven::for_hw(
+            HardwareModel::skylake_sp(),
+            &[CState::C6A, CState::C6AE, CState::C6],
+        );
         // At 10 µs the 2 µs-budget C6A already beats everything.
         assert_eq!(m.optimal(Nanos::from_micros(10.0), CState::C6A), CState::C6A);
     }

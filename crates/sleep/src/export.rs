@@ -151,15 +151,15 @@ fn distribution_json(d: &IdleDistribution) -> JsonValue {
 
 #[cfg(test)]
 mod tests {
-    use aw_cstates::{CState, CStateCatalog};
-    use aw_server::IdleInterval;
+    use aw_cstates::CState;
+    use aw_server::{HardwareModel, IdleInterval};
     use aw_types::Nanos;
 
     use crate::{BreakEven, IdleReport};
 
     fn report() -> IdleReport {
         let model = BreakEven::new(
-            &CStateCatalog::skylake_baseline(),
+            &HardwareModel::skylake_sp().base_catalog(),
             &[CState::C1, CState::C1E, CState::C6],
         );
         let intervals: Vec<_> = (0..20)

@@ -569,10 +569,13 @@ impl OpportunitySummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aw_cstates::CStateCatalog;
+    use aw_server::HardwareModel;
 
     fn model() -> BreakEven {
-        BreakEven::new(&CStateCatalog::skylake_baseline(), &[CState::C1, CState::C1E, CState::C6])
+        BreakEven::new(
+            &HardwareModel::skylake_sp().base_catalog(),
+            &[CState::C1, CState::C1E, CState::C6],
+        )
     }
 
     fn iv(core: usize, start_us: f64, dur_us: f64, chosen: CState) -> IdleInterval {

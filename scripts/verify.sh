@@ -146,4 +146,52 @@ echo "$watch_a" | grep -q "Residency heatmap" || {
     exit 1
 }
 
+echo "==> hardware-model gates (--hw)"
+# The explicit default spelling must stay byte-identical to the seed
+# goldens -- any Skylake-SP calibration drift fails here.
+cargo run -q --release -p aw-cli -- fig 8 --quick --hw skylake-sp --jobs 2 >target/verify_sky_fig8.txt
+if ! diff target/verify_sky_fig8.txt tests/golden/fig8_quick_skylake.txt >&2; then
+    echo "verify: fig 8 --hw skylake-sp drifted from tests/golden/fig8_quick_skylake.txt" >&2
+    exit 1
+fi
+sky_fig8=$(cat target/verify_sky_fig8.txt)
+"${chaos_cmd[@]}" --hw skylake-sp --jobs 2 >target/verify_sky_chaos.txt
+if ! diff target/verify_sky_chaos.txt tests/golden/fleet_chaos_skylake.txt >&2; then
+    echo "verify: chaos fleet --hw skylake-sp drifted from tests/golden/fleet_chaos_skylake.txt" >&2
+    exit 1
+fi
+# Zen 2 smoke: the same grid runs end to end on the other backend and
+# actually produces different numbers.
+zen_fig8=$(cargo run -q --release -p aw-cli -- fig 8 --quick --hw zen2 --jobs 2)
+echo "$zen_fig8" | grep -q "Fig. 8" || {
+    echo "verify: fig 8 --hw zen2 printed no report" >&2
+    exit 1
+}
+if [ "$zen_fig8" = "$sky_fig8" ]; then
+    echo "verify: zen2 output identical to skylake-sp (model not plumbed through)" >&2
+    exit 1
+fi
+# Mixed fleet: byte-identical at --jobs 1/2/8.
+mixed_cmd=("${chaos_cmd[@]}" --hw skylake-sp,zen2)
+mixed_1=$("${mixed_cmd[@]}" --jobs 1)
+mixed_2=$("${mixed_cmd[@]}" --jobs 2)
+mixed_8=$("${mixed_cmd[@]}" --jobs 8)
+if [ "$mixed_1" != "$mixed_2" ] || [ "$mixed_1" != "$mixed_8" ]; then
+    echo "verify: mixed skylake-sp,zen2 fleet differs across --jobs 1/2/8" >&2
+    exit 1
+fi
+echo "$mixed_1" | grep -q "hw:      skylake-sp, zen2" || {
+    echo "verify: mixed fleet report missing its hw line" >&2
+    exit 1
+}
+# Unknown names fail fast and list the registry.
+if cargo run -q --release -p aw-cli -- fig 8 --hw epyc9 2>/tmp/aw_hw_err; then
+    echo "verify: unknown --hw name was accepted" >&2
+    exit 1
+fi
+grep -q "known models" /tmp/aw_hw_err || {
+    echo "verify: unknown --hw error did not list known models" >&2
+    exit 1
+}
+
 echo "verify: OK"

@@ -1,9 +1,11 @@
 //! Cross-crate integration tests: drive the full stack (workload →
 //! server DES → metrics → analytical models) end to end.
 
-use agilewatts::aw_cstates::{CState, CStateCatalog, FreqLevel, NamedConfig};
+use agilewatts::aw_cstates::{CState, FreqLevel, NamedConfig};
 use agilewatts::aw_power::{average_power, AwTransform, PpaModel};
-use agilewatts::aw_server::{Dispatch, GovernorKind, ServerConfig, SimBuilder, SnoopTraffic};
+use agilewatts::aw_server::{
+    Dispatch, GovernorKind, HardwareModel, ServerConfig, SimBuilder, SnoopTraffic,
+};
 use agilewatts::aw_types::Nanos;
 use agilewatts::aw_workloads::{kafka, memcached_etc, mysql_oltp, KafkaRate, MysqlRate};
 
@@ -39,7 +41,7 @@ fn simulated_residencies_feed_analytical_model() {
     let aw_sim =
         SimBuilder::new(quick(NamedConfig::Aw), memcached_etc(qps), 2).run().into_metrics();
 
-    let catalog = CStateCatalog::skylake_with_aw();
+    let catalog = HardwareModel::skylake_sp().catalog();
     let transform = AwTransform::new(
         memcached_etc(qps).frequency_scalability(),
         baseline.transitions_per_second() / baseline.cores as f64,
@@ -61,7 +63,7 @@ fn simulated_residencies_feed_analytical_model() {
 fn ppa_model_power_matches_catalog_entries() {
     // The catalog's C6A/C6AE power figures are the PPA model midpoints.
     let ppa = PpaModel::skylake();
-    let catalog = CStateCatalog::skylake_with_aw();
+    let catalog = HardwareModel::skylake_sp().catalog();
     let c6a = catalog.power(CState::C6A, FreqLevel::P1).as_milliwatts();
     let c6ae = catalog.power(CState::C6AE, FreqLevel::P1).as_milliwatts();
     assert!((c6a - ppa.c6a_total().mid().as_milliwatts()).abs() < 15.0);

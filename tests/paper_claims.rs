@@ -4,16 +4,17 @@
 //! each check targets the *shape*: who wins, by roughly what factor, and
 //! where the crossovers fall.
 
-use agilewatts::aw_cstates::{CState, CStateCatalog, FreqLevel};
+use agilewatts::aw_cstates::{CState, FreqLevel};
 use agilewatts::aw_power::PpaModel;
+use agilewatts::aw_server::HardwareModel;
 use agilewatts::experiments::{
-    flow_latencies, motivation, snoop_impact, Fig8, SweepParams, Validation,
+    flow_latencies, motivation, snoop_impact, CrossVendor, Fig8, SweepParams, Validation,
 };
 
 #[test]
 fn claim_c6a_power_is_5_to_7_pct_of_c0() {
     // "while consuming only 7% and 5% of the active state (C0) power"
-    let catalog = CStateCatalog::skylake_with_aw();
+    let catalog = HardwareModel::skylake_sp().catalog();
     let c0 = catalog.power(CState::C0, FreqLevel::P1);
     let c6a_pct = catalog.power(CState::C6A, FreqLevel::P1) / c0 * 100.0;
     let c6ae_pct = catalog.power(CState::C6AE, FreqLevel::P1) / c0 * 100.0;
@@ -70,6 +71,7 @@ fn claim_memcached_savings_shape() {
         cores: 8,
         duration: agilewatts::aw_types::Nanos::from_millis(120.0),
         seed: 42,
+        hw: HardwareModel::skylake_sp(),
     })
     .run();
     let savings: Vec<f64> = report.rows.iter().map(|r| r.power_savings_pct).collect();
@@ -116,7 +118,7 @@ fn claim_aw_area_overhead_3_to_7_pct() {
 fn claim_c6a_latency_equals_c1_budget() {
     // Table 1: C6A keeps C1's 2 µs software transition budget and 2 µs
     // target residency; C6AE keeps C1E's 10 µs / 20 µs.
-    let catalog = CStateCatalog::skylake_with_aw();
+    let catalog = HardwareModel::skylake_sp().catalog();
     let c1 = catalog.params(CState::C1);
     let c6a = catalog.params(CState::C6A);
     assert_eq!(c1.transition_time, c6a.transition_time);
@@ -125,4 +127,21 @@ fn claim_c6a_latency_equals_c1_budget() {
     let c6ae = catalog.params(CState::C6AE);
     assert_eq!(c1e.transition_time, c6ae.transition_time);
     assert_eq!(c1e.target_residency, c6ae.target_residency);
+}
+
+#[test]
+fn cross_vendor_low_load_ordering() {
+    // The heavier a model's legacy C6 round trip, the less often its
+    // governor can afford deep sleep -- and the more AW's retention
+    // wake recovers. Zen 2's ~530 us CC6 round trip (vs Skylake-SP's
+    // 133 us) must therefore make AW's low-load savings *larger* on
+    // Rome than on Skylake.
+    let report = CrossVendor::new(SweepParams::quick()).run();
+    let low = |model: &str| {
+        report.entry(model).unwrap_or_else(|| panic!("{model} missing")).report.rows[0]
+            .power_savings_pct
+    };
+    let (sky, zen) = (low("skylake-sp"), low("zen2"));
+    assert!(sky > 20.0, "skylake low-load savings {sky:.1}%");
+    assert!(zen > sky, "zen2 {zen:.1}% must beat skylake {sky:.1}% at low load");
 }

@@ -1,10 +1,11 @@
 //! Property-based tests over the core invariants of the stack.
 
 use agilewatts::aw_cstates::{
-    CState, CStateCatalog, CStateConfig, IdleGovernor, MenuGovernor, NamedConfig, OracleGovernor,
+    CState, CStateConfig, IdleGovernor, MenuGovernor, NamedConfig, OracleGovernor,
 };
 use agilewatts::aw_pma::{PmaFsm, Ufpg, WakePolicy};
 use agilewatts::aw_power::{average_power, AwTransform, ResidencyVector};
+use agilewatts::aw_server::HardwareModel;
 use agilewatts::aw_sim::{Distribution, EventQueue, Exponential, LogNormal, SimRng};
 use agilewatts::aw_types::{MilliWatts, Nanos, Ratio};
 use proptest::prelude::*;
@@ -36,7 +37,7 @@ proptest! {
             states.iter().zip(&parts).map(|(&s, &p)| (s, Ratio::new(p / total))),
         );
         prop_assert!(r.is_complete(1e-9));
-        let catalog = CStateCatalog::skylake_baseline();
+        let catalog = HardwareModel::skylake_sp().base_catalog();
         let p = average_power(&r, &catalog, agilewatts::aw_cstates::FreqLevel::P1);
         prop_assert!(p >= catalog.power(CState::C6, agilewatts::aw_cstates::FreqLevel::P1));
         prop_assert!(p <= catalog.power(CState::C0, agilewatts::aw_cstates::FreqLevel::P1));
@@ -65,7 +66,7 @@ proptest! {
         prop_assert_eq!(aw.get(CState::C1), Ratio::ZERO);
         prop_assert_eq!(aw.get(CState::C1E), Ratio::ZERO);
 
-        let catalog = CStateCatalog::skylake_with_aw();
+        let catalog = HardwareModel::skylake_sp().catalog();
         let level = agilewatts::aw_cstates::FreqLevel::P1;
         let p0 = average_power(&baseline, &catalog, level);
         let p1 = average_power(&aw, &catalog, level);
@@ -85,7 +86,7 @@ proptest! {
     ) {
         let named = NamedConfig::ALL[config_idx];
         let config = named.config();
-        let catalog = CStateCatalog::skylake_with_aw();
+        let catalog = HardwareModel::skylake_sp().catalog();
         let mut menu = MenuGovernor::new();
         let mut oracle = OracleGovernor::new();
         for &i in &idles {
@@ -103,7 +104,7 @@ proptest! {
     #[test]
     fn oracle_choice_fits_residency(idle_us in 0.1f64..100_000.0) {
         let config = NamedConfig::Baseline.config();
-        let catalog = CStateCatalog::skylake_with_aw();
+        let catalog = HardwareModel::skylake_sp().catalog();
         let idle = Nanos::from_micros(idle_us);
         let mut oracle = OracleGovernor::new();
         let s = oracle.select(&config, &catalog, Some(idle));
